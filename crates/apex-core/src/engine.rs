@@ -1,0 +1,340 @@
+//! The APEx engine loop (Algorithm 1).
+
+use apex_data::Dataset;
+use apex_mech::PreparedQuery;
+use apex_query::{AccuracySpec, ExplorationQuery, QueryAnswer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::transcript::{QueryRecord, Transcript, TranscriptEntry};
+use crate::translator::choose_mechanism;
+use crate::EngineError;
+
+/// How APEx picks among mechanisms whose privacy loss is data dependent
+/// (Algorithm 1, Lines 8/10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Pick the least worst-case loss `εᵘ`. Never gambles.
+    Pessimistic,
+    /// Pick the least best-case loss `εˡ`, betting that data-dependent
+    /// mechanisms (ICQ-MPM) stop early. The paper's evaluation runs this
+    /// mode, so it is the default.
+    #[default]
+    Optimistic,
+}
+
+/// Engine construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// The data owner's total privacy budget `B`.
+    pub budget: f64,
+    /// Mechanism selection mode.
+    pub mode: Mode,
+    /// Seed for the engine's noise RNG. Fixed seeds make whole
+    /// explorations reproducible; production deployments should seed from
+    /// OS entropy.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self { budget: 1.0, mode: Mode::default(), seed: 0xA9E5_0001 }
+    }
+}
+
+/// A successful answer.
+#[derive(Debug, Clone)]
+pub struct Answered {
+    /// The noisy answer `ω`.
+    pub answer: QueryAnswer,
+    /// Actual privacy loss charged.
+    pub epsilon: f64,
+    /// Worst-case loss the analyzer admitted.
+    pub epsilon_upper: f64,
+    /// Name of the mechanism that ran.
+    pub mechanism: &'static str,
+}
+
+/// The engine's response to a submission.
+#[derive(Debug, Clone)]
+pub enum EngineResponse {
+    /// The query was answered.
+    Answered(Answered),
+    /// `'Query Denied'` — no mechanism fits the remaining budget. The
+    /// budget is left unchanged and further (cheaper) queries may still
+    /// succeed.
+    Denied,
+}
+
+impl EngineResponse {
+    /// The answer, if the query was answered.
+    pub fn answered(&self) -> Option<&Answered> {
+        match self {
+            EngineResponse::Answered(a) => Some(a),
+            EngineResponse::Denied => None,
+        }
+    }
+
+    /// Whether the query was denied.
+    pub fn is_denied(&self) -> bool {
+        matches!(self, EngineResponse::Denied)
+    }
+}
+
+/// The APEx privacy engine: owns the sensitive dataset, enforces the
+/// privacy budget, and answers adaptively chosen queries.
+#[derive(Debug)]
+pub struct ApexEngine {
+    data: Dataset,
+    budget: f64,
+    mode: Mode,
+    spent: f64,
+    transcript: Transcript,
+    rng: StdRng,
+}
+
+impl ApexEngine {
+    /// Creates an engine over `data` with the given configuration.
+    ///
+    /// # Panics
+    /// Panics if the budget is not positive and finite (an engine that
+    /// can never answer anything is a configuration bug worth failing
+    /// loudly on).
+    pub fn new(data: Dataset, config: EngineConfig) -> Self {
+        assert!(
+            config.budget.is_finite() && config.budget > 0.0,
+            "privacy budget must be positive and finite, got {}",
+            config.budget
+        );
+        Self {
+            data,
+            budget: config.budget,
+            mode: config.mode,
+            spent: 0.0,
+            transcript: Transcript::new(),
+            rng: StdRng::seed_from_u64(config.seed),
+        }
+    }
+
+    /// The owner-specified total budget `B`.
+    pub fn budget(&self) -> f64 {
+        self.budget
+    }
+
+    /// Actual privacy loss spent so far `B_i`.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Remaining budget `B − B_i`.
+    pub fn remaining(&self) -> f64 {
+        (self.budget - self.spent).max(0.0)
+    }
+
+    /// The selection mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The transcript of all interactions so far.
+    pub fn transcript(&self) -> &Transcript {
+        &self.transcript
+    }
+
+    /// The public schema of the dataset (safe to expose; Section 3
+    /// assumes schema and domains are public).
+    pub fn schema(&self) -> &apex_data::Schema {
+        self.data.schema()
+    }
+
+    /// Submits one query with its accuracy requirement — one iteration of
+    /// Algorithm 1's loop.
+    ///
+    /// # Errors
+    /// Returns an error for malformed queries (unknown attributes, empty
+    /// workloads, `k > L`). Budget exhaustion is **not** an error — it
+    /// yields [`EngineResponse::Denied`].
+    pub fn submit(
+        &mut self,
+        query: &ExplorationQuery,
+        accuracy: &AccuracySpec,
+    ) -> Result<EngineResponse, EngineError> {
+        let prepared = PreparedQuery::prepare(self.data.schema(), query)?;
+        let record = QueryRecord {
+            kind: prepared.kind().name(),
+            workload_size: prepared.n_queries(),
+            alpha: accuracy.alpha(),
+            beta: accuracy.beta(),
+        };
+
+        // Lines 4–10: translate all applicable mechanisms, keep those
+        // whose worst case fits, choose by mode. The decision depends
+        // only on the query, the accuracy, and the remaining budget —
+        // never the data (Case 3 of the Theorem 6.2 proof).
+        let choice = choose_mechanism(&prepared, accuracy, self.remaining(), self.mode)?;
+
+        let Some(choice) = choice else {
+            // Line 16: 'Query Denied'; budget unchanged.
+            self.transcript.push(TranscriptEntry::Denied { query: record });
+            return Ok(EngineResponse::Denied);
+        };
+
+        // Line 11: run the mechanism.
+        let out = choice.mechanism.run(&prepared, accuracy, &self.data, &mut self.rng)?;
+        debug_assert!(
+            out.epsilon <= choice.translation.upper * (1.0 + 1e-9),
+            "mechanism reported a loss above its own worst case"
+        );
+
+        // Line 12: charge the *actual* loss.
+        self.spent += out.epsilon;
+        let answered = Answered {
+            answer: out.answer.clone(),
+            epsilon: out.epsilon,
+            epsilon_upper: choice.translation.upper,
+            mechanism: choice.mechanism.name(),
+        };
+        self.transcript.push(TranscriptEntry::Answered {
+            query: record,
+            mechanism: answered.mechanism,
+            epsilon: answered.epsilon,
+            epsilon_upper: answered.epsilon_upper,
+            answer: out.answer,
+        });
+        Ok(EngineResponse::Answered(answered))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex_data::{Attribute, Domain, Predicate, Schema, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![Attribute::new("v", Domain::IntRange { min: 0, max: 63 })]).unwrap()
+    }
+
+    fn data() -> Dataset {
+        let mut d = Dataset::empty(schema());
+        for i in 0..64_i64 {
+            for _ in 0..(i + 1) {
+                d.push(vec![Value::Int(i)]).unwrap();
+            }
+        }
+        d
+    }
+
+    fn histogram(bins: usize) -> ExplorationQuery {
+        ExplorationQuery::wcq(
+            (0..bins)
+                .map(|i| {
+                    Predicate::range("v", (64 * i / bins) as f64, (64 * (i + 1) / bins) as f64)
+                })
+                .collect(),
+        )
+    }
+
+    fn engine(budget: f64) -> ApexEngine {
+        ApexEngine::new(data(), EngineConfig { budget, mode: Mode::Pessimistic, seed: 1 })
+    }
+
+    #[test]
+    fn answers_within_budget() {
+        let mut e = engine(10.0);
+        let acc = AccuracySpec::new(30.0, 0.01).unwrap();
+        let r = e.submit(&histogram(8), &acc).unwrap();
+        let a = r.answered().expect("should answer");
+        assert!(a.epsilon > 0.0);
+        assert!(e.spent() > 0.0);
+        assert_eq!(e.transcript().answered(), 1);
+    }
+
+    #[test]
+    fn denies_when_budget_too_small() {
+        let mut e = engine(1e-6);
+        let acc = AccuracySpec::new(30.0, 0.01).unwrap();
+        let r = e.submit(&histogram(8), &acc).unwrap();
+        assert!(r.is_denied());
+        assert_eq!(e.spent(), 0.0);
+        assert_eq!(e.transcript().denied(), 1);
+    }
+
+    #[test]
+    fn budget_is_never_exceeded_across_many_queries() {
+        let mut e = engine(0.5);
+        let acc = AccuracySpec::new(20.0, 0.01).unwrap();
+        let mut denied = 0;
+        for _ in 0..50 {
+            if e.submit(&histogram(8), &acc).unwrap().is_denied() {
+                denied += 1;
+            }
+        }
+        assert!(e.spent() <= 0.5 + 1e-9, "spent {}", e.spent());
+        assert!(denied > 0, "some queries must eventually be denied");
+        assert!(e.transcript().is_valid(0.5));
+    }
+
+    #[test]
+    fn denial_does_not_end_the_session() {
+        // An expensive query is denied; a cheaper one afterwards succeeds.
+        let mut e = engine(0.05);
+        let expensive = AccuracySpec::new(2.0, 0.0005).unwrap();
+        let cheap = AccuracySpec::new(200.0, 0.01).unwrap();
+        assert!(e.submit(&histogram(8), &expensive).unwrap().is_denied());
+        assert!(!e.submit(&histogram(8), &cheap).unwrap().is_denied());
+    }
+
+    #[test]
+    fn malformed_query_is_an_error_not_a_denial() {
+        let mut e = engine(1.0);
+        let acc = AccuracySpec::new(10.0, 0.01).unwrap();
+        let bad = ExplorationQuery::wcq(vec![Predicate::eq("nope", 1_i64)]);
+        assert!(e.submit(&bad, &acc).is_err());
+        // Errors leave no transcript trace and no budget change.
+        assert_eq!(e.transcript().len(), 0);
+        assert_eq!(e.spent(), 0.0);
+    }
+
+    #[test]
+    fn optimistic_mode_can_underspend_the_worst_case() {
+        // ICQ with counts far from the threshold: optimistic mode picks
+        // MPM, which stops at the first poke.
+        let icq = ExplorationQuery::icq(
+            (0..8)
+                .map(|i| Predicate::range("v", (8 * i) as f64, (8 * (i + 1)) as f64))
+                .collect(),
+            2000.0, // all bin counts are << 2000: trivially decidable
+        );
+        let acc = AccuracySpec::new(30.0, 0.0005).unwrap();
+        let mut e =
+            ApexEngine::new(data(), EngineConfig { budget: 10.0, mode: Mode::Optimistic, seed: 2 });
+        let r = e.submit(&icq, &acc).unwrap();
+        let a = r.answered().unwrap();
+        assert_eq!(a.mechanism, "MPM");
+        assert!(
+            a.epsilon < a.epsilon_upper,
+            "actual {} should beat worst case {}",
+            a.epsilon,
+            a.epsilon_upper
+        );
+    }
+
+    #[test]
+    fn transcript_records_everything_in_order() {
+        let mut e = engine(1.0);
+        let acc = AccuracySpec::new(50.0, 0.01).unwrap();
+        e.submit(&histogram(4), &acc).unwrap();
+        e.submit(&histogram(4), &AccuracySpec::new(0.5, 0.0005).unwrap()).unwrap();
+        let t = e.transcript();
+        assert_eq!(t.len(), 2);
+        assert!(!t.entries()[0].is_denied());
+        assert!(t.entries()[1].is_denied());
+        assert!(t.is_valid(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "privacy budget must be positive")]
+    fn zero_budget_panics() {
+        let _ = engine(0.0);
+    }
+}

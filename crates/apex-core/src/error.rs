@@ -1,0 +1,51 @@
+//! Engine-level errors.
+
+use apex_mech::MechError;
+use apex_query::WorkloadError;
+
+/// Errors surfaced by [`crate::ApexEngine`].
+///
+/// Note that a *denied* query is **not** an error — denial is a normal
+/// response ([`crate::EngineResponse::Denied`]) whose occurrence is part
+/// of the privacy proof. Errors are malformed inputs or internal faults.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The query could not be compiled against the schema.
+    Workload(WorkloadError),
+    /// A mechanism failed to translate or run.
+    Mechanism(MechError),
+    /// The owner-specified budget is not a positive finite number.
+    InvalidBudget(f64),
+    /// No mechanism in the registry supports the query type at all
+    /// (distinct from denial: this is a configuration bug).
+    NoApplicableMechanism,
+}
+
+impl From<WorkloadError> for EngineError {
+    fn from(e: WorkloadError) -> Self {
+        EngineError::Workload(e)
+    }
+}
+
+impl From<MechError> for EngineError {
+    fn from(e: MechError) -> Self {
+        EngineError::Mechanism(e)
+    }
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Workload(e) => write!(f, "workload error: {e}"),
+            EngineError::Mechanism(e) => write!(f, "mechanism error: {e}"),
+            EngineError::InvalidBudget(b) => {
+                write!(f, "privacy budget must be positive and finite, got {b}")
+            }
+            EngineError::NoApplicableMechanism => {
+                write!(f, "no registered mechanism supports this query type")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}

@@ -1,0 +1,117 @@
+//! A thread-safe engine handle for concurrent analysts.
+//!
+//! The privacy budget is a *shared* resource: when several analyst
+//! sessions explore the same dataset, their combined loss must stay under
+//! `B` (sequential composition holds regardless of interleaving). This
+//! wrapper serializes submissions through a [`parking_lot::Mutex`], so
+//! the admit-then-charge sequence in [`ApexEngine::submit`] is atomic.
+
+use std::sync::Arc;
+
+use apex_query::{AccuracySpec, ExplorationQuery};
+use parking_lot::Mutex;
+
+use crate::{ApexEngine, EngineError, EngineResponse};
+
+/// A cloneable, thread-safe handle to one [`ApexEngine`].
+#[derive(Debug, Clone)]
+pub struct SharedEngine {
+    inner: Arc<Mutex<ApexEngine>>,
+}
+
+impl SharedEngine {
+    /// Wraps an engine for shared use.
+    pub fn new(engine: ApexEngine) -> Self {
+        Self { inner: Arc::new(Mutex::new(engine)) }
+    }
+
+    /// Submits a query; the whole admit–run–charge sequence runs under
+    /// the lock, so concurrent analysts cannot jointly overshoot `B`.
+    ///
+    /// # Errors
+    /// Same contract as [`ApexEngine::submit`].
+    pub fn submit(
+        &self,
+        query: &ExplorationQuery,
+        accuracy: &AccuracySpec,
+    ) -> Result<EngineResponse, EngineError> {
+        self.inner.lock().submit(query, accuracy)
+    }
+
+    /// Actual privacy loss spent so far.
+    pub fn spent(&self) -> f64 {
+        self.inner.lock().spent()
+    }
+
+    /// Remaining budget.
+    pub fn remaining(&self) -> f64 {
+        self.inner.lock().remaining()
+    }
+
+    /// Total budget `B`.
+    pub fn budget(&self) -> f64 {
+        self.inner.lock().budget()
+    }
+
+    /// Runs `f` with the locked engine (e.g. to inspect the transcript).
+    pub fn with_engine<T>(&self, f: impl FnOnce(&ApexEngine) -> T) -> T {
+        f(&self.inner.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EngineConfig, Mode};
+    use apex_data::{Attribute, Dataset, Domain, Predicate, Schema, Value};
+
+    fn make_engine(budget: f64) -> ApexEngine {
+        let schema =
+            Schema::new(vec![Attribute::new("v", Domain::IntRange { min: 0, max: 9 })]).unwrap();
+        let mut d = Dataset::empty(schema);
+        for i in 0..10_i64 {
+            for _ in 0..10 {
+                d.push(vec![Value::Int(i)]).unwrap();
+            }
+        }
+        ApexEngine::new(d, EngineConfig { budget, mode: Mode::Pessimistic, seed: 3 })
+    }
+
+    fn query() -> ExplorationQuery {
+        ExplorationQuery::wcq((0..10).map(|i| Predicate::eq("v", i as i64)).collect())
+    }
+
+    #[test]
+    fn concurrent_analysts_never_overshoot_the_budget() {
+        let shared = SharedEngine::new(make_engine(0.5));
+        let acc = AccuracySpec::new(20.0, 0.01).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let h = shared.clone();
+                let q = query();
+                s.spawn(move || {
+                    for _ in 0..10 {
+                        let _ = h.submit(&q, &acc).unwrap();
+                    }
+                });
+            }
+        });
+        assert!(shared.spent() <= 0.5 + 1e-9, "spent {}", shared.spent());
+        shared.with_engine(|e| {
+            assert!(e.transcript().is_valid(0.5));
+            assert_eq!(e.transcript().len(), 80);
+        });
+    }
+
+    #[test]
+    fn handle_reports_budget_state() {
+        let shared = SharedEngine::new(make_engine(2.0));
+        assert_eq!(shared.budget(), 2.0);
+        assert_eq!(shared.spent(), 0.0);
+        assert_eq!(shared.remaining(), 2.0);
+        let acc = AccuracySpec::new(20.0, 0.01).unwrap();
+        shared.submit(&query(), &acc).unwrap();
+        assert!(shared.spent() > 0.0);
+        assert!((shared.remaining() + shared.spent() - 2.0).abs() < 1e-12);
+    }
+}

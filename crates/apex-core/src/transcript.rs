@@ -1,0 +1,201 @@
+//! Transcripts of interaction (Section 6.1).
+//!
+//! A transcript `T_i = [(q₁,α₁,β₁), (ω₁,ε₁), …]` encodes the analyst's
+//! entire view of the private database. The privacy guarantee (Theorem
+//! 6.2) is stated over *valid* transcripts (Definition 6.1): cumulative
+//! actual loss never exceeds `B`, and every answered query also fit under
+//! `B` in the worst case at submission time.
+
+use apex_query::QueryAnswer;
+
+/// The analyst-visible description of a submitted query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRecord {
+    /// Query type name ("WCQ"/"ICQ"/"TCQ").
+    pub kind: &'static str,
+    /// Workload size `L`.
+    pub workload_size: usize,
+    /// Requested error bound `α`.
+    pub alpha: f64,
+    /// Requested failure probability `β`.
+    pub beta: f64,
+}
+
+/// One interaction: the query plus APEx's response.
+#[derive(Debug, Clone)]
+pub enum TranscriptEntry {
+    /// The query was answered by `mechanism` at actual privacy loss
+    /// `epsilon` (worst case `epsilon_upper`).
+    Answered {
+        /// The query as submitted.
+        query: QueryRecord,
+        /// Name of the mechanism APEx selected.
+        mechanism: &'static str,
+        /// Actual privacy loss `ε` charged to the budget.
+        epsilon: f64,
+        /// Worst-case loss `εᵘ` the analyzer admitted against the budget.
+        epsilon_upper: f64,
+        /// The noisy answer `ω`.
+        answer: QueryAnswer,
+    },
+    /// The query was denied (`ω = ⊥`, `ε = 0`).
+    Denied {
+        /// The query as submitted.
+        query: QueryRecord,
+    },
+}
+
+impl TranscriptEntry {
+    /// The actual privacy loss of this entry (0 for denials).
+    pub fn epsilon(&self) -> f64 {
+        match self {
+            TranscriptEntry::Answered { epsilon, .. } => *epsilon,
+            TranscriptEntry::Denied { .. } => 0.0,
+        }
+    }
+
+    /// Whether the entry is a denial.
+    pub fn is_denied(&self) -> bool {
+        matches!(self, TranscriptEntry::Denied { .. })
+    }
+}
+
+/// The full interaction history between one analyst and the engine.
+#[derive(Debug, Clone, Default)]
+pub struct Transcript {
+    entries: Vec<TranscriptEntry>,
+}
+
+impl Transcript {
+    /// An empty transcript.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an entry.
+    pub(crate) fn push(&mut self, entry: TranscriptEntry) {
+        self.entries.push(entry);
+    }
+
+    /// All entries, oldest first.
+    pub fn entries(&self) -> &[TranscriptEntry] {
+        &self.entries
+    }
+
+    /// Number of interactions (answered + denied).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether any interaction happened yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total actual privacy loss `B_i = Σ ε_j`.
+    pub fn total_epsilon(&self) -> f64 {
+        self.entries.iter().map(TranscriptEntry::epsilon).sum()
+    }
+
+    /// Number of answered queries.
+    pub fn answered(&self) -> usize {
+        self.entries.iter().filter(|e| !e.is_denied()).count()
+    }
+
+    /// Number of denied queries.
+    pub fn denied(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_denied()).count()
+    }
+
+    /// Checks Definition 6.1 (valid APEx transcript) against a budget:
+    ///
+    /// 1. the running sum of actual losses never exceeds `budget`, and
+    /// 2. for every answered entry, the *worst-case* loss admitted at
+    ///    submission time also fit: `B_{i−1} + εᵘᵢ ≤ budget`.
+    pub fn is_valid(&self, budget: f64) -> bool {
+        // Small tolerance for floating-point accumulation.
+        let tol = 1e-9 * budget.max(1.0);
+        let mut spent = 0.0;
+        for e in &self.entries {
+            if let TranscriptEntry::Answered { epsilon, epsilon_upper, .. } = e {
+                if spent + epsilon_upper > budget + tol {
+                    return false;
+                }
+                spent += epsilon;
+                if spent > budget + tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> QueryRecord {
+        QueryRecord { kind: "WCQ", workload_size: 4, alpha: 10.0, beta: 0.05 }
+    }
+
+    fn answered(eps: f64, upper: f64) -> TranscriptEntry {
+        TranscriptEntry::Answered {
+            query: record(),
+            mechanism: "LM",
+            epsilon: eps,
+            epsilon_upper: upper,
+            answer: QueryAnswer::Counts(vec![0.0; 4]),
+        }
+    }
+
+    #[test]
+    fn totals_and_counts() {
+        let mut t = Transcript::new();
+        t.push(answered(0.2, 0.2));
+        t.push(TranscriptEntry::Denied { query: record() });
+        t.push(answered(0.3, 0.5));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.answered(), 2);
+        assert_eq!(t.denied(), 1);
+        assert!((t.total_epsilon() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn valid_transcript_within_budget() {
+        let mut t = Transcript::new();
+        t.push(answered(0.2, 0.2));
+        t.push(answered(0.1, 0.8)); // worst case 0.2 + 0.8 = 1.0 fits B = 1
+        assert!(t.is_valid(1.0));
+    }
+
+    #[test]
+    fn invalid_when_worst_case_overflows() {
+        let mut t = Transcript::new();
+        t.push(answered(0.2, 0.2));
+        t.push(answered(0.1, 0.9)); // 0.2 + 0.9 > 1.0: should have denied
+        assert!(!t.is_valid(1.0));
+    }
+
+    #[test]
+    fn invalid_when_actual_overflows() {
+        let mut t = Transcript::new();
+        t.push(answered(1.2, 1.2));
+        assert!(!t.is_valid(1.0));
+    }
+
+    #[test]
+    fn denials_cost_nothing() {
+        let mut t = Transcript::new();
+        for _ in 0..10 {
+            t.push(TranscriptEntry::Denied { query: record() });
+        }
+        assert_eq!(t.total_epsilon(), 0.0);
+        assert!(t.is_valid(0.1));
+    }
+
+    #[test]
+    fn empty_transcript_is_valid() {
+        assert!(Transcript::new().is_valid(0.0));
+    }
+}

@@ -1,0 +1,63 @@
+//! Ablation benchmark: the strategy mechanism's Monte-Carlo
+//! accuracy-to-privacy translation (Algorithm 3) as a function of the
+//! simulation sample size `N` and the strategy branching factor.
+//!
+//! DESIGN.md §6 calls out two tunables: `N` (the paper's 10,000) trades
+//! translation latency against the tightness of the confidence band, and
+//! the `H_b` branching factor trades tree depth (sensitivity) against
+//! reconstruction fan-in. This bench quantifies the latency side.
+
+use apex_linalg::pinv;
+use apex_mech::mc::{McConfig, McTranslator};
+use apex_query::Strategy;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_mc(c: &mut Criterion) {
+    // Prefix workload over 64 cells answered through H2.
+    let n_cells = 64;
+    let mut w_rows = Vec::new();
+    for i in 1..=n_cells {
+        let mut row = vec![0.0; n_cells];
+        for cell in row.iter_mut().take(i) {
+            *cell = 1.0;
+        }
+        w_rows.push(row);
+    }
+    let w = apex_linalg::Matrix::from_rows(&w_rows);
+
+    let mut g = c.benchmark_group("mc_translate_samples");
+    g.sample_size(10);
+    for samples in [1_000usize, 5_000, 10_000] {
+        let a = Strategy::H2.build(n_cells).unwrap();
+        let recon = w.matmul(&pinv(&a).unwrap()).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(samples), &samples, |b, &n| {
+            b.iter(|| {
+                let t = McTranslator::new(&recon, &a, McConfig { samples: n, ..Default::default() });
+                black_box(t.translate(40.0, 5e-4))
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("mc_translate_branching");
+    g.sample_size(10);
+    for branching in [2usize, 4, 8] {
+        let a = Strategy::Hierarchical { branching }.build(n_cells).unwrap();
+        let recon = w.matmul(&pinv(&a).unwrap()).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(branching), &branching, |b, _| {
+            b.iter(|| {
+                let t = McTranslator::new(
+                    &recon,
+                    &a,
+                    McConfig { samples: 5_000, ..Default::default() },
+                );
+                black_box(t.translate(40.0, 5e-4))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mc);
+criterion_main!(benches);

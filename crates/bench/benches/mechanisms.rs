@@ -1,0 +1,70 @@
+//! Criterion microbenchmarks: `translate` and `run` latency of every
+//! mechanism on representative benchmark queries.
+//!
+//! These measure *engine overhead* (the paper's experiments measure
+//! privacy cost, not latency — but a production engine must also answer
+//! fast). The expensive outlier is SM's Monte-Carlo translation, which
+//! is benchmarked separately in `mc_translate.rs`.
+
+use apex_bench::Datasets;
+use apex_data::Predicate;
+use apex_mech::{
+    LaplaceMechanism, LaplaceTopKMechanism, Mechanism, MultiPokingMechanism, PreparedQuery,
+};
+use apex_query::{AccuracySpec, ExplorationQuery};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let ds = Datasets::generate(20_000, 42);
+    let data = &ds.adult;
+    let n = data.len() as f64;
+    let acc = AccuracySpec::new(0.08 * n, 5e-4).expect("valid");
+
+    let hist: Vec<Predicate> = (0..100)
+        .map(|i| Predicate::range("capital_gain", 50.0 * i as f64, 50.0 * (i + 1) as f64))
+        .collect();
+
+    let wcq = PreparedQuery::prepare(data.schema(), &ExplorationQuery::wcq(hist.clone()))
+        .expect("compiles");
+    let icq =
+        PreparedQuery::prepare(data.schema(), &ExplorationQuery::icq(hist.clone(), 0.1 * n))
+            .expect("compiles");
+    let tcq = PreparedQuery::prepare(data.schema(), &ExplorationQuery::tcq(hist, 10))
+        .expect("compiles");
+
+    let mut g = c.benchmark_group("translate");
+    g.bench_function("LM/WCQ-100", |b| {
+        b.iter(|| black_box(LaplaceMechanism.translate(&wcq, &acc).unwrap()))
+    });
+    g.bench_function("MPM/ICQ-100", |b| {
+        b.iter(|| black_box(MultiPokingMechanism::default().translate(&icq, &acc).unwrap()))
+    });
+    g.bench_function("LTM/TCQ-100", |b| {
+        b.iter(|| black_box(LaplaceTopKMechanism.translate(&tcq, &acc).unwrap()))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("run");
+    g.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(7);
+    g.bench_function("LM/WCQ-100", |b| {
+        b.iter(|| black_box(LaplaceMechanism.run(&wcq, &acc, data, &mut rng).unwrap()))
+    });
+    g.bench_function("MPM/ICQ-100", |b| {
+        b.iter(|| {
+            black_box(
+                MultiPokingMechanism::default().run(&icq, &acc, data, &mut rng).unwrap(),
+            )
+        })
+    });
+    g.bench_function("LTM/TCQ-100", |b| {
+        b.iter(|| black_box(LaplaceTopKMechanism.run(&tcq, &acc, data, &mut rng).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mechanisms);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benchmarks of the domain partitioner `T(W)` and the
+//! histogram transform `T_W(D)` — the data-plane hot path of every query.
+
+use apex_bench::Datasets;
+use apex_data::{DomainPartition, Predicate};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_partition(c: &mut Criterion) {
+    let ds = Datasets::generate(50_000, 42);
+    let adult = &ds.adult;
+    let taxi = &ds.taxi;
+
+    let mut g = c.benchmark_group("partition_build");
+    for l in [50usize, 100, 200] {
+        let width = 5000.0 / l as f64;
+        let hist: Vec<Predicate> = (0..l)
+            .map(|i| Predicate::range("capital_gain", width * i as f64, width * (i + 1) as f64))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("histogram", l), &hist, |b, wl| {
+            b.iter(|| black_box(DomainPartition::build(adult.schema(), wl).unwrap()))
+        });
+        let prefix: Vec<Predicate> =
+            (1..=l).map(|i| Predicate::range("capital_gain", 0.0, width * i as f64)).collect();
+        g.bench_with_input(BenchmarkId::new("prefix", l), &prefix, |b, wl| {
+            b.iter(|| black_box(DomainPartition::build(adult.schema(), wl).unwrap()))
+        });
+    }
+    // Two-dimensional workload: 10 × 10 zone pairs.
+    let zones: Vec<Predicate> = (1..=10_i64)
+        .flat_map(|pu| (1..=10_i64).map(move |d| {
+            Predicate::eq("puid", pu).and(Predicate::eq("doid", d))
+        }))
+        .collect();
+    g.bench_function("2d_zones_100", |b| {
+        b.iter(|| black_box(DomainPartition::build(taxi.schema(), &zones).unwrap()))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("histogram_transform");
+    g.sample_size(20);
+    let hist: Vec<Predicate> = (0..100)
+        .map(|i| Predicate::range("capital_gain", 50.0 * i as f64, 50.0 * (i + 1) as f64))
+        .collect();
+    let p = DomainPartition::build(adult.schema(), &hist).unwrap();
+    g.bench_function("adult_32k_rows_100_bins", |b| {
+        b.iter(|| black_box(p.histogram(adult)))
+    });
+    let p_taxi = DomainPartition::build(taxi.schema(), &zones).unwrap();
+    g.bench_function("taxi_50k_rows_100_bins", |b| {
+        b.iter(|| black_box(p_taxi.histogram(taxi)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

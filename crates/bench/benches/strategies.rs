@@ -1,0 +1,42 @@
+//! End-to-end benchmark of one ER exploration run (materialization +
+//! engine-mediated strategy) — the unit of work Figures 5–7 repeat
+//! hundreds of times.
+
+use apex_cleaning::strategies::{materialize_for_cleaner, run_strategy_on};
+use apex_cleaning::{CleanerModel, StrategyKind};
+use apex_data::synth::{citations_dataset, CitationsConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_strategies(c: &mut Criterion) {
+    let pairs = citations_dataset(&CitationsConfig { n_pairs: 1_000, ..Default::default() });
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut cleaner = CleanerModel::default().sample(&mut rng);
+    // Modest grid so one run is a representative unit, not a marathon.
+    cleaner.n_thetas = 3;
+    cleaner.sims.truncate(3);
+    cleaner.transforms.truncate(2);
+
+    let mut g = c.benchmark_group("er");
+    g.sample_size(10);
+    g.bench_function("materialize_1k_pairs", |b| {
+        b.iter(|| black_box(materialize_for_cleaner(&pairs, &cleaner).unwrap()))
+    });
+
+    let m = materialize_for_cleaner(&pairs, &cleaner).unwrap();
+    for kind in [StrategyKind::Bs1, StrategyKind::Bs2, StrategyKind::Ms1, StrategyKind::Ms2] {
+        g.bench_function(format!("run_{}", kind.name()), |b| {
+            b.iter(|| {
+                black_box(
+                    run_strategy_on(kind, &m, &cleaner, 1.0, 80.0, 5e-4, 11).unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

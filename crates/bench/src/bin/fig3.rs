@@ -1,0 +1,87 @@
+//! Figure 3: F1 score between the true and noisy answer sets vs privacy
+//! cost for QI4 (ICQ) and QT1 (TCQ), sweeping α.
+//!
+//! Expected shape: F1 ≈ 1 at tight α, degrading as α relaxes — showing
+//! the `(α, β)` requirement tracks familiar set-quality measures.
+
+use apex_bench::{
+    benchmark_queries, f1_of_answer, parallel_map, parse_common_flags, write_records, Datasets,
+    ExperimentRecord,
+};
+use apex_core::{choose_mechanism, Mode};
+use apex_mech::PreparedQuery;
+use apex_query::AccuracySpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const BETA: f64 = 5e-4;
+const ALPHAS: [f64; 7] = [0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64];
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (quick, runs, taxi) = parse_common_flags(&args);
+    let runs = runs.unwrap_or(if quick { 3 } else { 10 });
+    let taxi_rows = taxi.unwrap_or(if quick { 20_000 } else { 500_000 });
+
+    eprintln!("generating datasets (taxi = {taxi_rows} rows)…");
+    let ds = Datasets::generate(taxi_rows, 42);
+    let queries = benchmark_queries(ds.adult.len(), ds.taxi.len());
+
+    println!("{:<5} {:>10} {:>6} {:>12} {:>10}", "query", "alpha/|D|", "mech", "eps_median", "f1_median");
+
+    let mut records = Vec::new();
+    for name in ["QI4", "QT1"] {
+        let bq = queries.iter().find(|q| q.name == name).expect("query exists");
+        let data = ds.get(bq.dataset);
+        let n = data.len();
+        let prepared = PreparedQuery::prepare(data.schema(), &bq.query).expect("query compiles");
+        let truth = prepared.compiled().true_answer(data);
+
+        for ratio in ALPHAS {
+            let acc = AccuracySpec::new(ratio * n as f64, BETA).expect("valid accuracy");
+            let choice = choose_mechanism(&prepared, &acc, f64::INFINITY, Mode::Optimistic)
+                .expect("translation succeeds")
+                .expect("admissible");
+
+            let results: Vec<(f64, f64)> =
+                parallel_map((0..runs).collect::<Vec<usize>>(), runs.min(8), |run| {
+                    let mut rng = StdRng::seed_from_u64(
+                        0x0000_F163 ^ ((run as u64) << 16) ^ ratio.to_bits().rotate_left(7),
+                    );
+                    let out =
+                        choice.mechanism.run(&prepared, &acc, data, &mut rng).expect("runs");
+                    (out.epsilon, f1_of_answer(&prepared, &truth, &out.answer))
+                });
+
+            for (run, &(eps, f1)) in results.iter().enumerate() {
+                let mut r = ExperimentRecord::new("fig3", name);
+                r.mechanism = choice.mechanism.name().to_string();
+                r.alpha = ratio;
+                r.beta = BETA;
+                r.epsilon_upper = choice.translation.upper;
+                r.epsilon = eps;
+                r.value = f1;
+                r.measure = "f1".into();
+                r.run = run;
+                records.push(r);
+            }
+            let med = |i: usize| {
+                let mut v: Vec<f64> =
+                    results.iter().map(|r| if i == 0 { r.0 } else { r.1 }).collect();
+                v.sort_by(|a, b| a.total_cmp(b));
+                v[v.len() / 2]
+            };
+            println!(
+                "{:<5} {:>10.2} {:>6} {:>12.6} {:>10.4}",
+                name,
+                ratio,
+                choice.mechanism.name(),
+                med(0),
+                med(1)
+            );
+        }
+    }
+
+    let path = write_records("fig3", &records).expect("write experiments/fig3.jsonl");
+    eprintln!("wrote {path}");
+}

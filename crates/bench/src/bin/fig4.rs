@@ -1,0 +1,199 @@
+//! Figure 4: privacy cost sensitivity to query parameters.
+//!
+//! * `fig4 a` — vary workload size `L` for QW1/QW2 templates (LM vs SM):
+//!   LM's cost on prefixes grows linearly in L, SM's logarithmically.
+//! * `fig4 b` — vary `k` for QT3/QT4 templates (LM vs LTM): LTM linear in
+//!   k, LM flat.
+//! * `fig4 c` — vary the ICQ threshold `c` for the QI2 template: all
+//!   mechanisms flat except MPM, whose *actual* cost spikes whenever `c`
+//!   approaches true bin counts.
+
+use apex_bench::{parse_common_flags, write_records, Datasets, ExperimentRecord};
+use apex_data::{CmpOp, Predicate};
+use apex_mech::{
+    LaplaceMechanism, LaplaceTopKMechanism, Mechanism, MultiPokingMechanism, PreparedQuery,
+    StrategyMechanism,
+};
+use apex_query::{AccuracySpec, ExplorationQuery};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const BETA: f64 = 5e-4;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(|s| s.as_str()).unwrap_or("a");
+    let (quick, runs, taxi) = parse_common_flags(&args);
+    let runs = runs.unwrap_or(if quick { 5 } else { 10 });
+    let taxi_rows = taxi.unwrap_or(if quick { 20_000 } else { 200_000 });
+
+    match which {
+        "a" => vary_workload_size(),
+        "b" => vary_k(taxi_rows),
+        "c" => vary_threshold(runs),
+        other => {
+            eprintln!("unknown panel {other:?}; use: fig4 a|b|c");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Panel (a): privacy cost vs workload size L (Adult, α = 0.08·|D|).
+fn vary_workload_size() {
+    let ds = Datasets::generate(1_000, 42); // taxi unused here
+    let data = &ds.adult;
+    let alpha = 0.08 * data.len() as f64;
+    let acc = AccuracySpec::new(alpha, BETA).expect("valid");
+    let sm = StrategyMechanism::h2();
+
+    println!("{:>4} {:>14} {:>14} {:>14} {:>14}", "L", "LM,QW1", "LM,QW2", "SM,QW1", "SM,QW2");
+    let mut records = Vec::new();
+    for l in [100usize, 200, 300, 400, 500] {
+        // QW1 template: L disjoint bins; QW2 template: L prefixes.
+        let width = 5000.0 / l as f64;
+        let hist: Vec<Predicate> = (0..l)
+            .map(|i| Predicate::range("capital_gain", width * i as f64, width * (i + 1) as f64))
+            .collect();
+        let prefix: Vec<Predicate> =
+            (1..=l).map(|i| Predicate::range("capital_gain", 0.0, width * i as f64)).collect();
+
+        let mut row = vec![l as f64];
+        for (subject, wl) in [("QW1", hist), ("QW2", prefix)] {
+            let q = PreparedQuery::prepare(data.schema(), &ExplorationQuery::wcq(wl))
+                .expect("compiles");
+            for (mech_name, eps) in [
+                ("LM", LaplaceMechanism.translate(&q, &acc).expect("ok").upper),
+                ("SM", sm.translate(&q, &acc).expect("ok").upper),
+            ] {
+                row.push(eps);
+                let mut r = ExperimentRecord::new("fig4a", subject);
+                r.mechanism = mech_name.into();
+                r.alpha = 0.08;
+                r.beta = BETA;
+                r.epsilon_upper = eps;
+                r.epsilon = eps;
+                r.value = l as f64;
+                r.measure = "workload_size".into();
+                records.push(r);
+            }
+        }
+        // Row order collected as [L, QW1-LM, QW1-SM, QW2-LM, QW2-SM].
+        println!(
+            "{:>4} {:>14.6} {:>14.6} {:>14.6} {:>14.6}",
+            row[0] as usize, row[1], row[3], row[2], row[4]
+        );
+    }
+    let path = write_records("fig4a", &records).expect("write");
+    eprintln!("wrote {path}");
+}
+
+/// Panel (b): privacy cost vs top-k parameter (NYTaxi, α = 0.08·|D|).
+fn vary_k(taxi_rows: usize) {
+    let ds = Datasets::generate(taxi_rows, 42);
+    let data = &ds.taxi;
+    let alpha = 0.08 * data.len() as f64;
+    let acc = AccuracySpec::new(alpha, BETA).expect("valid");
+
+    // QT3 template: zone pairs (sensitivity 1); QT4: cumulative (high).
+    let zone_pairs: Vec<Predicate> = (1..=10)
+        .flat_map(|pu| {
+            (1..=10).map(move |d| {
+                Predicate::eq("puid", pu as i64).and(Predicate::eq("doid", d as i64))
+            })
+        })
+        .collect();
+    let cumulative: Vec<Predicate> = (0..50)
+        .flat_map(|i| {
+            [
+                Predicate::cmp("trip_distance", CmpOp::Ge, 0.2 * i as f64),
+                Predicate::cmp("fare_amount", CmpOp::Ge, 1.0 * i as f64),
+            ]
+        })
+        .collect();
+
+    println!("{:>4} {:>14} {:>14} {:>14} {:>14}", "k", "LM,QT3", "LM,QT4", "LTM,QT3", "LTM,QT4");
+    let mut records = Vec::new();
+    for k in [10usize, 20, 30, 40, 50] {
+        let mut cols = Vec::new();
+        for (subject, wl) in [("QT3", zone_pairs.clone()), ("QT4", cumulative.clone())] {
+            let q = PreparedQuery::prepare(data.schema(), &ExplorationQuery::tcq(wl, k))
+                .expect("compiles");
+            for (mech_name, eps) in [
+                ("LM", LaplaceMechanism.translate(&q, &acc).expect("ok").upper),
+                ("LTM", LaplaceTopKMechanism.translate(&q, &acc).expect("ok").upper),
+            ] {
+                cols.push(eps);
+                let mut r = ExperimentRecord::new("fig4b", subject);
+                r.mechanism = mech_name.into();
+                r.alpha = 0.08;
+                r.beta = BETA;
+                r.epsilon_upper = eps;
+                r.epsilon = eps;
+                r.value = k as f64;
+                r.measure = "k".into();
+                records.push(r);
+            }
+        }
+        println!(
+            "{:>4} {:>14.8} {:>14.8} {:>14.8} {:>14.8}",
+            k, cols[0], cols[2], cols[1], cols[3]
+        );
+    }
+    let path = write_records("fig4b", &records).expect("write");
+    eprintln!("wrote {path}");
+}
+
+/// Panel (c): actual privacy cost vs ICQ threshold `c` for the QI2
+/// template (Adult, α = 0.02·|D|). MPM's cost is data dependent.
+fn vary_threshold(runs: usize) {
+    let ds = Datasets::generate(1_000, 42);
+    let data = &ds.adult;
+    let n = data.len() as f64;
+    let alpha = 0.02 * n;
+    let acc = AccuracySpec::new(alpha, BETA).expect("valid");
+    let sm = StrategyMechanism::h2();
+    let mpm = MultiPokingMechanism::default();
+
+    let workload: Vec<Predicate> = (0..50)
+        .flat_map(|i| {
+            ["M", "F"].map(|sex| {
+                Predicate::range("capital_gain", 100.0 * i as f64, 100.0 * (i + 1) as f64)
+                    .and(Predicate::eq("sex", sex))
+            })
+        })
+        .collect();
+
+    println!("{:>8} {:>14} {:>14} {:>14}", "c/|D|", "ICQ-LM", "ICQ-SM", "ICQ-MPM(med)");
+    let mut records = Vec::new();
+    for c_ratio in [0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.32, 0.4, 0.5, 0.6, 0.61, 0.7, 0.8, 1.0] {
+        let q = PreparedQuery::prepare(
+            data.schema(),
+            &ExplorationQuery::icq(workload.clone(), c_ratio * n),
+        )
+        .expect("compiles");
+        let e_lm = LaplaceMechanism.translate(&q, &acc).expect("ok").upper;
+        let e_sm = sm.translate(&q, &acc).expect("ok").upper;
+        let mut costs: Vec<f64> = (0..runs)
+            .map(|run| {
+                let mut rng =
+                    StdRng::seed_from_u64(0x000F_164C ^ (run as u64) << 7 ^ c_ratio.to_bits());
+                mpm.run(&q, &acc, data, &mut rng).expect("runs").epsilon
+            })
+            .collect();
+        costs.sort_by(|a, b| a.total_cmp(b));
+        let e_mpm = costs[costs.len() / 2];
+        println!("{:>8.2} {:>14.6} {:>14.6} {:>14.6}", c_ratio, e_lm, e_sm, e_mpm);
+        for (mech, eps) in [("ICQ-LM", e_lm), ("ICQ-SM", e_sm), ("ICQ-MPM", e_mpm)] {
+            let mut r = ExperimentRecord::new("fig4c", "QI2");
+            r.mechanism = mech.into();
+            r.alpha = 0.02;
+            r.beta = BETA;
+            r.epsilon = eps;
+            r.value = c_ratio;
+            r.measure = "threshold".into();
+            records.push(r);
+        }
+    }
+    let path = write_records("fig4c", &records).expect("write");
+    eprintln!("wrote {path}");
+}

@@ -1,0 +1,31 @@
+//! Figure 5: ER task quality vs privacy budget B for the four strategies
+//! at fixed α = 0.08·|D|, |D| = 4000 pairs.
+//!
+//! Expected shape: quality rises with B, then saturates; ICQ/TCQ-based
+//! strategies (BS2/MS2) reach good quality at smaller budgets than the
+//! WCQ-based ones because each decision reveals (and costs) less.
+
+use apex_bench::{parse_common_flags, print_summary, run_er_sweep, write_records, ErConfig};
+use apex_cleaning::StrategyKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (quick, runs, _) = parse_common_flags(&args);
+    let runs = runs.unwrap_or(if quick { 8 } else { 100 });
+    let n_pairs = if quick { 1_000 } else { 4_000 };
+    let alpha = 0.08 * n_pairs as f64;
+
+    let configs: Vec<ErConfig> = [0.1, 0.2, 0.5, 1.0, 1.5, 2.0]
+        .iter()
+        .map(|&b| ErConfig { budget: b, alpha })
+        .collect();
+    let strategies =
+        [StrategyKind::Bs1, StrategyKind::Bs2, StrategyKind::Ms1, StrategyKind::Ms2];
+
+    eprintln!("fig5: |D| = {n_pairs}, {runs} cleaner runs per point…");
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8);
+    let records = run_er_sweep("fig5", n_pairs, &strategies, &configs, runs, threads);
+    print_summary(&records, true);
+    let path = write_records("fig5", &records).expect("write");
+    eprintln!("wrote {path}");
+}

@@ -1,0 +1,31 @@
+//! Figure 6: ER task quality vs accuracy requirement α at fixed budget
+//! B = 1, |D| = 4000 pairs.
+//!
+//! Expected shape: quality is unimodal in α — too-tight α answers few
+//! queries before the budget runs out; too-loose α answers many but
+//! misleads the cleaner with noise. The optimum sits mid-range
+//! (the paper finds ~0.08|D|).
+
+use apex_bench::{parse_common_flags, print_summary, run_er_sweep, write_records, ErConfig};
+use apex_cleaning::StrategyKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (quick, runs, _) = parse_common_flags(&args);
+    let runs = runs.unwrap_or(if quick { 8 } else { 100 });
+    let n_pairs = if quick { 1_000 } else { 4_000 };
+
+    let configs: Vec<ErConfig> = [0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64]
+        .iter()
+        .map(|&a| ErConfig { budget: 1.0, alpha: a * n_pairs as f64 })
+        .collect();
+    let strategies =
+        [StrategyKind::Bs1, StrategyKind::Bs2, StrategyKind::Ms1, StrategyKind::Ms2];
+
+    eprintln!("fig6: |D| = {n_pairs}, {runs} cleaner runs per point…");
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8);
+    let records = run_er_sweep("fig6", n_pairs, &strategies, &configs, runs, threads);
+    print_summary(&records, false);
+    let path = write_records("fig6", &records).expect("write");
+    eprintln!("wrote {path}");
+}

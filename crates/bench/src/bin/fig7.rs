@@ -1,0 +1,39 @@
+//! Figure 7: the blocking strategies at the smaller |D| = 1000 — both
+//! the budget sweep (α = 0.08·|D|) and the α sweep (B = 1).
+//!
+//! Expected shape vs Figure 5/6: smaller data needs a *larger* budget to
+//! reach the same recall (the same relative α is a smaller absolute α,
+//! so each query costs more), while the optimal α/|D| grows.
+
+use apex_bench::{parse_common_flags, print_summary, run_er_sweep, write_records, ErConfig};
+use apex_cleaning::StrategyKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (quick, runs, _) = parse_common_flags(&args);
+    let runs = runs.unwrap_or(if quick { 8 } else { 100 });
+    let n_pairs = 1_000;
+    let strategies = [StrategyKind::Bs1, StrategyKind::Bs2];
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8);
+
+    eprintln!("fig7 (budget sweep): |D| = {n_pairs}, {runs} runs per point…");
+    let alpha = 0.08 * n_pairs as f64;
+    let configs: Vec<ErConfig> = [0.1, 0.2, 0.5, 1.0, 1.5, 2.0]
+        .iter()
+        .map(|&b| ErConfig { budget: b, alpha })
+        .collect();
+    let mut records = run_er_sweep("fig7-budget", n_pairs, &strategies, &configs, runs, threads);
+    print_summary(&records, true);
+
+    eprintln!("fig7 (alpha sweep): B = 1…");
+    let configs: Vec<ErConfig> = [0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64]
+        .iter()
+        .map(|&a| ErConfig { budget: 1.0, alpha: a * n_pairs as f64 })
+        .collect();
+    let alpha_records = run_er_sweep("fig7-alpha", n_pairs, &strategies, &configs, runs, threads);
+    print_summary(&alpha_records, false);
+    records.extend(alpha_records);
+
+    let path = write_records("fig7", &records).expect("write");
+    eprintln!("wrote {path}");
+}

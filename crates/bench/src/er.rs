@@ -1,0 +1,112 @@
+//! Shared driver for the entity-resolution experiments (Figures 5–7).
+
+use apex_cleaning::strategies::{materialize_for_cleaner, run_strategy_on};
+use apex_cleaning::{CleanerModel, StrategyKind};
+use apex_data::synth::{citations_dataset, CitationsConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::runner::{parallel_map, ExperimentRecord};
+
+/// One (budget, alpha) configuration to sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct ErConfig {
+    /// Privacy budget B.
+    pub budget: f64,
+    /// Absolute accuracy α (the figures express it as a fraction of |D|).
+    pub alpha: f64,
+}
+
+/// Runs `runs` sampled cleaners for each strategy × configuration and
+/// returns experiment records (one per run). The expensive
+/// materialization is done once per cleaner and shared across all
+/// configurations and strategies.
+pub fn run_er_sweep(
+    experiment: &str,
+    n_pairs: usize,
+    strategies: &[StrategyKind],
+    configs: &[ErConfig],
+    runs: usize,
+    threads: usize,
+) -> Vec<ExperimentRecord> {
+    let pairs = citations_dataset(&CitationsConfig { n_pairs, ..Default::default() });
+    let model = CleanerModel::default();
+
+    let outputs = parallel_map((0..runs).collect::<Vec<usize>>(), threads, |run| {
+        let mut rng = StdRng::seed_from_u64(0xE12_0000 + run as u64);
+        let cleaner = model.sample(&mut rng);
+        let m = materialize_for_cleaner(&pairs, &cleaner).expect("materialization succeeds");
+        let mut recs = Vec::new();
+        for &kind in strategies {
+            for (ci, cfg) in configs.iter().enumerate() {
+                let seed = 0x5EED_0000 + (run as u64) * 100 + ci as u64;
+                let out = run_strategy_on(
+                    kind, &m, &cleaner, cfg.budget, cfg.alpha, 5e-4, seed,
+                )
+                .expect("strategy runs");
+                let (value, measure) = if kind.is_blocking() {
+                    (out.quality.recall, "recall")
+                } else {
+                    (out.quality.f1, "f1")
+                };
+                let mut r = ExperimentRecord::new(experiment, kind.name());
+                r.alpha = cfg.alpha / n_pairs as f64;
+                r.beta = 5e-4;
+                r.budget = cfg.budget;
+                r.epsilon = out.spent;
+                r.value = value;
+                r.measure = measure.into();
+                r.run = run;
+                recs.push(r);
+            }
+        }
+        recs
+    });
+    outputs.into_iter().flatten().collect()
+}
+
+/// Prints per-(strategy, config) quartiles of `value` from the records.
+pub fn print_summary(records: &[ExperimentRecord], group_by_budget: bool) {
+    println!(
+        "{:<5} {:>8} {:>10} {:>8} {:>8} {:>8}  (n runs)",
+        "strat",
+        if group_by_budget { "B" } else { "a/|D|" },
+        "measure",
+        "q25",
+        "median",
+        "q75"
+    );
+    let mut groups: Vec<(String, f64)> = records
+        .iter()
+        .map(|r| (r.subject.clone(), if group_by_budget { r.budget } else { r.alpha }))
+        .collect();
+    groups.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    groups.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
+    for (subject, key) in groups {
+        let mut vals: Vec<f64> = records
+            .iter()
+            .filter(|r| {
+                r.subject == subject
+                    && (if group_by_budget { r.budget } else { r.alpha } == key)
+            })
+            .map(|r| r.value)
+            .collect();
+        vals.sort_by(|a, b| a.total_cmp(b));
+        let q = |p: f64| vals[((vals.len() - 1) as f64 * p) as usize];
+        let measure = records
+            .iter()
+            .find(|r| r.subject == subject)
+            .map(|r| r.measure.clone())
+            .unwrap_or_default();
+        println!(
+            "{:<5} {:>8.3} {:>10} {:>8.3} {:>8.3} {:>8.3}  ({})",
+            subject,
+            key,
+            measure,
+            q(0.25),
+            q(0.5),
+            q(0.75),
+            vals.len()
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Benchmark harness regenerating every table and figure of the APEx
+//! paper's evaluation (Sections 7 and 8).
+//!
+//! * [`queries`] — the 12 benchmark queries of Table 1, re-created on the
+//!   synthetic Adult / NYTaxi datasets;
+//! * [`metrics`] — the paper's empirical error and F1 measures;
+//! * [`runner`] — shared experiment plumbing: per-mechanism runs,
+//!   parallel sweeps, JSON/text reporting.
+//!
+//! One binary per experiment (see DESIGN.md §3 for the full index):
+//!
+//! ```text
+//! cargo run --release -p apex-bench --bin fig2     # Fig 2: ε vs error, 12 queries
+//! cargo run --release -p apex-bench --bin fig3     # Fig 3: F1 vs ε (QI4, QT1)
+//! cargo run --release -p apex-bench --bin table2   # Table 2: all mechanisms × 12 queries
+//! cargo run --release -p apex-bench --bin fig4 a   # Fig 4a: vary workload size L
+//! cargo run --release -p apex-bench --bin fig4 b   # Fig 4b: vary TCQ k
+//! cargo run --release -p apex-bench --bin fig4 c   # Fig 4c: vary ICQ threshold c
+//! cargo run --release -p apex-bench --bin fig5     # Fig 5: ER quality vs budget B
+//! cargo run --release -p apex-bench --bin fig6     # Fig 6: ER quality vs α at B = 1
+//! cargo run --release -p apex-bench --bin fig7     # Fig 7: ER blocking at |D| = 1000
+//! ```
+//!
+//! Every binary accepts `--quick` for a fast smoke pass and writes JSON
+//! lines under `experiments/` next to its textual report.
+
+pub mod er;
+pub mod metrics;
+pub mod queries;
+pub mod runner;
+
+pub use er::{print_summary, run_er_sweep, ErConfig};
+pub use metrics::{empirical_error, f1_of_answer, true_selection};
+pub use queries::{benchmark_queries, BenchQuery, DatasetId, Datasets};
+pub use runner::{parallel_map, parse_common_flags, write_records, ExperimentRecord};

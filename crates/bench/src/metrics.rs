@@ -1,0 +1,181 @@
+//! The paper's empirical quality measures (Section 7.1, "Metrics").
+//!
+//! * WCQ: `‖ω − q_W(D)‖∞ / |D|` — scaled maximum count error.
+//! * ICQ / TCQ: the scaled maximum distance of *mislabeled* predicates —
+//!   how far outside the tolerance band a wrongly included/excluded bin's
+//!   true count lies (0 when no bin is mislabeled beyond the band).
+//! * F1 between the true and noisy answer *sets* (Figure 3).
+
+use apex_mech::PreparedQuery;
+use apex_query::{QueryAnswer, QueryKind};
+
+/// The ground-truth selection for ICQ/TCQ given the true counts.
+pub fn true_selection(kind: QueryKind, truth: &[f64]) -> Vec<usize> {
+    match kind {
+        QueryKind::Wcq => (0..truth.len()).collect(),
+        QueryKind::Icq { threshold } => (0..truth.len())
+            .filter(|&i| truth[i] > threshold)
+            .collect(),
+        QueryKind::Tcq { k } => {
+            let mut idx: Vec<usize> = (0..truth.len()).collect();
+            idx.sort_by(|&a, &b| truth[b].total_cmp(&truth[a]).then(a.cmp(&b)));
+            idx.truncate(k);
+            idx
+        }
+    }
+}
+
+/// The paper's empirical error of one mechanism answer, scaled by `|D|`.
+pub fn empirical_error(
+    q: &PreparedQuery,
+    truth: &[f64],
+    answer: &QueryAnswer,
+    data_size: usize,
+) -> f64 {
+    let n = data_size as f64;
+    match (q.kind(), answer) {
+        (QueryKind::Wcq, QueryAnswer::Counts(noisy)) => {
+            noisy
+                .iter()
+                .zip(truth)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0_f64, f64::max)
+                / n
+        }
+        (QueryKind::Icq { threshold }, QueryAnswer::Bins(bins)) => {
+            // Mislabeled predicates: included with true count < c, or
+            // excluded with true count > c. The error is the largest
+            // distance |count − c| over the mislabeled ones.
+            let inset: std::collections::HashSet<usize> = bins.iter().copied().collect();
+            let mut worst = 0.0_f64;
+            for (i, &t) in truth.iter().enumerate() {
+                let included = inset.contains(&i);
+                if included && t < threshold {
+                    worst = worst.max(threshold - t);
+                } else if !included && t > threshold {
+                    worst = worst.max(t - threshold);
+                }
+            }
+            worst / n
+        }
+        (QueryKind::Tcq { k }, QueryAnswer::Bins(bins)) => {
+            // ck = k-th largest true count; mislabeled = returned bin with
+            // count below ck, or true-top-k bin missing with count above.
+            let mut sorted = truth.to_vec();
+            sorted.sort_by(|a, b| b.total_cmp(a));
+            let ck = sorted.get(k.saturating_sub(1)).copied().unwrap_or(0.0);
+            let inset: std::collections::HashSet<usize> = bins.iter().copied().collect();
+            let true_top: std::collections::HashSet<usize> =
+                true_selection(QueryKind::Tcq { k }, truth).into_iter().collect();
+            let mut worst = 0.0_f64;
+            for (i, &t) in truth.iter().enumerate() {
+                if inset.contains(&i) && t < ck {
+                    worst = worst.max(ck - t);
+                }
+                if true_top.contains(&i) && !inset.contains(&i) && t > ck {
+                    worst = worst.max(t - ck);
+                }
+            }
+            worst / n
+        }
+        _ => f64::NAN, // mismatched kind/answer: a harness bug
+    }
+}
+
+/// F1 similarity between the noisy answer set and the ground truth set
+/// (Figure 3's measure). For WCQ this is undefined and returns NaN.
+pub fn f1_of_answer(q: &PreparedQuery, truth: &[f64], answer: &QueryAnswer) -> f64 {
+    let QueryAnswer::Bins(bins) = answer else {
+        return f64::NAN;
+    };
+    let truth_set: std::collections::HashSet<usize> =
+        true_selection(q.kind(), truth).into_iter().collect();
+    let pred_set: std::collections::HashSet<usize> = bins.iter().copied().collect();
+    let tp = pred_set.intersection(&truth_set).count() as f64;
+    if pred_set.is_empty() && truth_set.is_empty() {
+        return 1.0;
+    }
+    let precision = if pred_set.is_empty() { 0.0 } else { tp / pred_set.len() as f64 };
+    let recall = if truth_set.is_empty() { 0.0 } else { tp / truth_set.len() as f64 };
+    if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex_data::{Attribute, Domain, Predicate, Schema};
+    use apex_query::ExplorationQuery;
+
+    fn prepared(kind_query: ExplorationQuery) -> PreparedQuery {
+        let schema =
+            Schema::new(vec![Attribute::new("v", Domain::IntRange { min: 0, max: 9 })]).unwrap();
+        PreparedQuery::prepare(&schema, &kind_query).unwrap()
+    }
+
+    fn preds(n: usize) -> Vec<Predicate> {
+        (0..n).map(|i| Predicate::eq("v", i as i64)).collect()
+    }
+
+    #[test]
+    fn wcq_error_is_scaled_max() {
+        let q = prepared(ExplorationQuery::wcq(preds(3)));
+        let truth = [10.0, 20.0, 30.0];
+        let ans = QueryAnswer::Counts(vec![12.0, 19.0, 35.0]);
+        assert!((empirical_error(&q, &truth, &ans, 100) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn icq_error_zero_when_labels_correct() {
+        let q = prepared(ExplorationQuery::icq(preds(3), 15.0));
+        let truth = [10.0, 20.0, 30.0];
+        let ans = QueryAnswer::Bins(vec![1, 2]);
+        assert_eq!(empirical_error(&q, &truth, &ans, 100), 0.0);
+    }
+
+    #[test]
+    fn icq_error_measures_worst_mislabeling() {
+        let q = prepared(ExplorationQuery::icq(preds(3), 15.0));
+        let truth = [10.0, 20.0, 30.0];
+        // Bin 2 (count 30 > 15) missing → distance 15; bin 0 (10 < 15)
+        // wrongly included → distance 5. Worst = 15.
+        let ans = QueryAnswer::Bins(vec![0, 1]);
+        assert!((empirical_error(&q, &truth, &ans, 100) - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tcq_error_relative_to_kth_count() {
+        let q = prepared(ExplorationQuery::tcq(preds(4), 2));
+        let truth = [40.0, 30.0, 20.0, 5.0];
+        // ck = 30. Returning {0, 3} wrongly includes 3 (25 below ck) and
+        // misses 1 (0 above ck → not counted since 30 is not > 30).
+        let ans = QueryAnswer::Bins(vec![0, 3]);
+        assert!((empirical_error(&q, &truth, &ans, 100) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_matches_set_overlap() {
+        let q = prepared(ExplorationQuery::icq(preds(4), 15.0));
+        let truth = [10.0, 20.0, 30.0, 40.0]; // true set {1,2,3}
+        let ans = QueryAnswer::Bins(vec![1, 2]);
+        // precision 1, recall 2/3 → F1 = 0.8.
+        assert!((f1_of_answer(&q, &truth, &ans) - 0.8).abs() < 1e-12);
+        // Perfect answer.
+        let ans = QueryAnswer::Bins(vec![1, 2, 3]);
+        assert_eq!(f1_of_answer(&q, &truth, &ans), 1.0);
+        // Empty prediction with non-empty truth.
+        let ans = QueryAnswer::Bins(vec![]);
+        assert_eq!(f1_of_answer(&q, &truth, &ans), 0.0);
+    }
+
+    #[test]
+    fn true_selection_per_kind() {
+        let truth = [5.0, 50.0, 25.0];
+        assert_eq!(true_selection(QueryKind::Icq { threshold: 20.0 }, &truth), vec![1, 2]);
+        assert_eq!(true_selection(QueryKind::Tcq { k: 2 }, &truth), vec![1, 2]);
+        assert_eq!(true_selection(QueryKind::Wcq, &truth), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Shared experiment plumbing: records, JSON output, parallel sweeps.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// One measured data point, serialized as a JSON line so downstream
+/// plotting is trivial.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentRecord {
+    /// Experiment id ("fig2", "table2", …).
+    pub experiment: String,
+    /// Query or strategy name ("QW1", "BS2", …).
+    pub subject: String,
+    /// Mechanism name when applicable.
+    pub mechanism: String,
+    /// Relative accuracy `α/|D|` (or absolute α for ER experiments).
+    pub alpha: f64,
+    /// Failure probability β.
+    pub beta: f64,
+    /// Privacy budget B when applicable (NaN otherwise).
+    pub budget: f64,
+    /// Worst-case translated privacy cost εᵘ.
+    pub epsilon_upper: f64,
+    /// Actual privacy cost ε.
+    pub epsilon: f64,
+    /// Empirical error (paper's scaled measure) or task quality.
+    pub value: f64,
+    /// What `value` measures ("error", "f1", "recall").
+    pub measure: String,
+    /// Run index within the repetition loop.
+    pub run: usize,
+}
+
+impl ExperimentRecord {
+    /// A mostly-empty record to fill in field by field.
+    pub fn new(experiment: &str, subject: &str) -> Self {
+        Self {
+            experiment: experiment.to_string(),
+            subject: subject.to_string(),
+            mechanism: String::new(),
+            alpha: f64::NAN,
+            beta: f64::NAN,
+            budget: f64::NAN,
+            epsilon_upper: f64::NAN,
+            epsilon: f64::NAN,
+            value: f64::NAN,
+            measure: String::new(),
+            run: 0,
+        }
+    }
+}
+
+/// Writes records as JSON lines under `experiments/<name>.jsonl`
+/// (creating the directory), and returns the path written.
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn write_records(name: &str, records: &[ExperimentRecord]) -> std::io::Result<String> {
+    let dir = Path::new("experiments");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.jsonl"));
+    let mut f = std::fs::File::create(&path)?;
+    for r in records {
+        let line = serde_json::to_string(r).expect("records serialize");
+        writeln!(f, "{line}")?;
+    }
+    Ok(path.display().to_string())
+}
+
+/// Maps `f` over `items` across `threads` worker threads (crossbeam
+/// scoped threads; no async runtime needed), preserving input order.
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(n);
+    let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let queue = crossbeam::queue::SegQueue::new();
+    for item in work {
+        queue.push(item);
+    }
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let slots_mutex = std::sync::Mutex::new(&mut slots);
+    crossbeam::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| {
+                while let Some((i, item)) = queue.pop() {
+                    let r = f(item);
+                    slots_mutex.lock().expect("no poisoning")[i] = Some(r);
+                }
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+    slots.into_iter().map(|s| s.expect("every slot filled")).collect()
+}
+
+/// Parses a `--quick` flag and an optional `--runs N` / `--taxi N` pair
+/// from argv; returns (quick, runs override, taxi-rows override).
+pub fn parse_common_flags(args: &[String]) -> (bool, Option<usize>, Option<usize>) {
+    let quick = args.iter().any(|a| a == "--quick");
+    let grab = |flag: &str| -> Option<usize> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+    };
+    (quick, grab("--runs"), grab("--taxi"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..100).collect(), 8, |x: i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_empty_and_single() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), 4, |x| x);
+        assert!(out.is_empty());
+        assert_eq!(parallel_map(vec![7], 4, |x: i32| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn records_serialize_to_json() {
+        let mut r = ExperimentRecord::new("fig2", "QW1");
+        r.mechanism = "LM".into();
+        r.epsilon = 0.5;
+        let s = serde_json::to_string(&r).unwrap();
+        assert!(s.contains("\"experiment\":\"fig2\""));
+        assert!(s.contains("\"mechanism\":\"LM\""));
+    }
+
+    #[test]
+    fn flags_parse() {
+        let args: Vec<String> =
+            ["x", "--quick", "--runs", "5", "--taxi", "1000"].iter().map(|s| s.to_string()).collect();
+        let (q, r, t) = parse_common_flags(&args);
+        assert!(q);
+        assert_eq!(r, Some(5));
+        assert_eq!(t, Some(1000));
+        let (q, r, t) = parse_common_flags(&["x".to_string()]);
+        assert!(!q);
+        assert_eq!(r, None);
+        assert_eq!(t, None);
+    }
+}

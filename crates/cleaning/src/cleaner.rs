@@ -1,0 +1,232 @@
+//! The cleaner model (Table 3): the space of plausible human cleaners.
+//!
+//! Each concrete [`Cleaner`] is one sample from the model — a particular
+//! choice of attributes, transformations, similarity functions, threshold
+//! grid, predicate ordering, acceptance criteria and answer-trust style.
+//! The case study reports distributions of task quality over 100 sampled
+//! cleaners, exactly as the paper does.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::{Similarity, SimilarityPredicate, Transformation};
+
+/// How the cleaner treats noisy answers (`c6` / `x11` in Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Style {
+    /// Trust the noisy answer as is.
+    Neutral,
+    /// Add `α/5` to the answer (assume counts are undershot).
+    Optimistic,
+    /// Subtract `α/5` (assume counts are overshot).
+    Pessimistic,
+}
+
+/// One concrete cleaner: the parameters `x₁ … x₁₁` of Table 3.
+#[derive(Debug, Clone)]
+pub struct Cleaner {
+    /// `x₁`: how many attributes to keep (those with least nulls).
+    pub n_attrs: usize,
+    /// `x₂`: transformations to try.
+    pub transforms: Vec<Transformation>,
+    /// `x₃`: similarity functions to try.
+    pub sims: Vec<Similarity>,
+    /// `x₄`: lower end of the threshold grid.
+    pub theta_lo: f64,
+    /// `x₅`: upper end of the threshold grid.
+    pub theta_hi: f64,
+    /// `x₆`: number of thresholds in the grid.
+    pub n_thetas: usize,
+    /// Whether thresholds are tried in descending order.
+    pub descending: bool,
+    /// Seed for the `x₇` predicate permutation.
+    pub order_seed: u64,
+    /// `x₈`: minimum fraction of remaining matches a blocking predicate
+    /// must catch.
+    pub min_match_frac: f64,
+    /// `x₉`: maximum fraction of remaining non-matches it may catch.
+    pub max_nonmatch_frac: f64,
+    /// `x₁₀`: relaxation factor applied when a pass accepts nothing.
+    pub relax_factor: f64,
+    /// Matching criterion: max fraction of captured matches a predicate
+    /// may prune.
+    pub max_match_prune: f64,
+    /// Matching criterion: min fraction of captured non-matches it must
+    /// prune.
+    pub min_nonmatch_prune: f64,
+    /// `x₁₁`: trust style.
+    pub style: Style,
+    /// Blocking-cost cutoff (pairs admitted), 550 for `|D| = 4000`.
+    pub cost_cutoff: usize,
+    /// Safety cap on the formula size (keeps partition grids small).
+    pub max_selected: usize,
+}
+
+impl Cleaner {
+    /// Style adjustment of a noisy count (`±α/5`, Table 3's `c6`).
+    pub fn adjust(&self, noisy: f64, alpha: f64) -> f64 {
+        match self.style {
+            Style::Neutral => noisy,
+            Style::Optimistic => noisy + alpha / 5.0,
+            Style::Pessimistic => noisy - alpha / 5.0,
+        }
+    }
+
+    /// Generates the ordered candidate predicate list over `attrs`
+    /// (already restricted to the cleaner's chosen attributes): the cross
+    /// product `attrs × x₂ × x₃ × thresholds`, permuted per `x₇` at the
+    /// (attr, transform, sim) granularity with thresholds kept in the
+    /// cleaner's preferred order.
+    pub fn candidate_predicates(&self, attrs: &[String]) -> Vec<SimilarityPredicate> {
+        let mut groups: Vec<(String, Transformation, Similarity)> = Vec::new();
+        for a in attrs {
+            for &t in &self.transforms {
+                for &s in &self.sims {
+                    groups.push((a.clone(), t, s));
+                }
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(self.order_seed);
+        groups.shuffle(&mut rng);
+
+        let mut thetas: Vec<f64> = (0..self.n_thetas)
+            .map(|i| {
+                if self.n_thetas == 1 {
+                    (self.theta_lo + self.theta_hi) / 2.0
+                } else {
+                    self.theta_lo
+                        + (self.theta_hi - self.theta_lo) * i as f64 / (self.n_thetas - 1) as f64
+                }
+            })
+            .collect();
+        if self.descending {
+            thetas.reverse();
+        }
+
+        let mut out = Vec::with_capacity(groups.len() * thetas.len());
+        for (a, t, s) in groups {
+            for &theta in &thetas {
+                out.push(SimilarityPredicate::new(a.clone(), t, s, theta));
+            }
+        }
+        out
+    }
+}
+
+/// The cleaner model: samples concrete cleaners from the Table 3
+/// parameter space.
+#[derive(Debug, Clone)]
+pub struct CleanerModel {
+    /// Blocking-cost cutoff used by all sampled cleaners.
+    pub cost_cutoff: usize,
+}
+
+impl Default for CleanerModel {
+    fn default() -> Self {
+        // 550 is the paper's cutoff for the 4000-pair citations sample.
+        Self { cost_cutoff: 550 }
+    }
+}
+
+impl CleanerModel {
+    /// Samples one concrete cleaner.
+    pub fn sample(&self, rng: &mut StdRng) -> Cleaner {
+        let n_attrs = *[2usize, 3].choose(rng).expect("non-empty");
+
+        let mut transforms = Transformation::ALL.to_vec();
+        transforms.shuffle(rng);
+        transforms.truncate(rng.gen_range(1..=3));
+
+        let mut sims = Similarity::ALL.to_vec();
+        sims.shuffle(rng);
+        sims.truncate(rng.gen_range(2..=6));
+
+        let theta_lo = rng.gen_range(0.05..0.5);
+        let theta_hi = rng.gen_range(0.5..0.95);
+        let n_thetas = rng.gen_range(2..=6);
+        let descending = rng.gen_bool(0.7); // cleaners usually try strict first
+
+        let style = *[Style::Neutral, Style::Optimistic, Style::Pessimistic]
+            .choose(rng)
+            .expect("non-empty");
+
+        Cleaner {
+            n_attrs,
+            transforms,
+            sims,
+            theta_lo,
+            theta_hi,
+            n_thetas,
+            descending,
+            order_seed: rng.gen(),
+            min_match_frac: rng.gen_range(0.2..0.5),
+            max_nonmatch_frac: rng.gen_range(0.1..0.2),
+            relax_factor: *[2.0, 3.0].choose(rng).expect("non-empty"),
+            max_match_prune: rng.gen_range(0.01..0.05),
+            min_nonmatch_prune: rng.gen_range(0.4..0.6),
+            style,
+            cost_cutoff: self.cost_cutoff,
+            max_selected: 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(seed: u64) -> Cleaner {
+        let mut rng = StdRng::seed_from_u64(seed);
+        CleanerModel::default().sample(&mut rng)
+    }
+
+    #[test]
+    fn sampled_cleaners_are_in_range() {
+        for seed in 0..50 {
+            let c = sample(seed);
+            assert!((2..=3).contains(&c.n_attrs));
+            assert!(!c.transforms.is_empty() && c.transforms.len() <= 3);
+            assert!(c.sims.len() >= 2 && c.sims.len() <= 6);
+            assert!(c.theta_lo < 0.5 && c.theta_hi > 0.5);
+            assert!((2..=6).contains(&c.n_thetas));
+            assert!(c.min_match_frac >= 0.2 && c.min_match_frac <= 0.5);
+            assert!(c.max_nonmatch_frac >= 0.1 && c.max_nonmatch_frac <= 0.2);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let a = sample(9);
+        let b = sample(9);
+        assert_eq!(a.transforms, b.transforms);
+        assert_eq!(a.sims, b.sims);
+        assert_eq!(a.order_seed, b.order_seed);
+    }
+
+    #[test]
+    fn candidate_predicates_cover_the_grid() {
+        let c = sample(3);
+        let attrs = vec!["title".to_string(), "authors".to_string()];
+        let preds = c.candidate_predicates(&attrs);
+        assert_eq!(preds.len(), 2 * c.transforms.len() * c.sims.len() * c.n_thetas);
+        // All thresholds are inside the configured range.
+        for p in &preds {
+            assert!(p.theta >= c.theta_lo - 1e-9 && p.theta <= c.theta_hi + 1e-9);
+        }
+        // Deterministic ordering per cleaner.
+        let again = c.candidate_predicates(&attrs);
+        assert_eq!(preds, again);
+    }
+
+    #[test]
+    fn style_adjustment() {
+        let mut c = sample(1);
+        c.style = Style::Optimistic;
+        assert_eq!(c.adjust(100.0, 50.0), 110.0);
+        c.style = Style::Pessimistic;
+        assert_eq!(c.adjust(100.0, 50.0), 90.0);
+        c.style = Style::Neutral;
+        assert_eq!(c.adjust(100.0, 50.0), 100.0);
+    }
+}

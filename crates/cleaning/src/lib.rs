@@ -1,0 +1,39 @@
+//! Entity-resolution case study (Section 8 of the APEx paper).
+//!
+//! The case study shows that real data-cleaning workflows — *blocking*
+//! (find a cheap disjunction of similarity predicates that covers most
+//! true matches) and *matching* (find a conjunction with high F1) — can
+//! be driven entirely through APEx's exploration queries, so the whole
+//! workflow is differentially private with respect to the labeled
+//! training pairs.
+//!
+//! Components:
+//!
+//! * [`sim`] — the similarity function library `S = {Edit, SmithWater,
+//!   Jaro, Cosine, Jaccard, Overlap, Diff}`;
+//! * [`transform`] — the transformation set `T = {2grams, 3grams,
+//!   SpaceTokenization}`;
+//! * [`predicate`] — similarity predicates `p ≡ sim(t(r₁.A), t(r₂.A)) > θ`;
+//! * [`derived`] — materializes predicate truth values as boolean columns
+//!   so the engine's structural predicate language can query them;
+//! * [`cleaner`] — the cleaner model of Table 3 (the parameter space of
+//!   plausible human cleaners);
+//! * [`strategies`] — the four exploration strategies BS1/BS2 (blocking
+//!   via WCQ / via ICQ+TCQ) and MS1/MS2 (matching), Figures 8 and 9;
+//! * [`metrics`] — recall, precision, F1 and blocking cost.
+
+pub mod cleaner;
+pub mod derived;
+pub mod metrics;
+pub mod predicate;
+pub mod sim;
+pub mod strategies;
+pub mod transform;
+
+pub use cleaner::{Cleaner, CleanerModel, Style};
+pub use derived::{materialize, DerivedError, MaterializedPairs};
+pub use metrics::{blocking_cost, f1_score, precision_recall, TaskQuality};
+pub use predicate::SimilarityPredicate;
+pub use sim::Similarity;
+pub use strategies::{run_strategy, StrategyKind, StrategyOutcome};
+pub use transform::Transformation;

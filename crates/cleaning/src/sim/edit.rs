@@ -1,0 +1,124 @@
+//! Character-edit similarities: Levenshtein and Smith–Waterman.
+
+/// The Levenshtein (edit) distance between two strings, in `O(|a|·|b|)`
+/// time and `O(min)` space.
+pub fn levenshtein_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // Keep the shorter string in the inner loop for less memory.
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur = vec![0usize; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// Normalized Levenshtein similarity: `1 − dist / max(|a|, |b|)`.
+/// Two empty strings are fully similar.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let m = la.max(lb);
+    if m == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein_distance(a, b) as f64 / m as f64
+}
+
+/// Normalized Smith–Waterman similarity: the best local-alignment score
+/// (match +2, mismatch −1, gap −1) divided by its maximum attainable
+/// value `2·min(|a|, |b|)`.
+pub fn smith_waterman_similarity(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    const MATCH: i64 = 2;
+    const MISMATCH: i64 = -1;
+    const GAP: i64 = -1;
+    let mut prev = vec![0i64; b.len() + 1];
+    let mut cur = vec![0i64; b.len() + 1];
+    let mut best = 0i64;
+    for &ca in &a {
+        for (j, &cb) in b.iter().enumerate() {
+            let diag = prev[j] + if ca == cb { MATCH } else { MISMATCH };
+            let up = prev[j + 1] + GAP;
+            let left = cur[j] + GAP;
+            cur[j + 1] = diag.max(up).max(left).max(0);
+            best = best.max(cur[j + 1]);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        cur[0] = 0;
+    }
+    let denom = (MATCH * a.len().min(b.len()) as i64) as f64;
+    best as f64 / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_known_distances() {
+        assert_eq!(levenshtein_distance("kitten", "sitting"), 3);
+        assert_eq!(levenshtein_distance("", "abc"), 3);
+        assert_eq!(levenshtein_distance("abc", ""), 3);
+        assert_eq!(levenshtein_distance("same", "same"), 0);
+        assert_eq!(levenshtein_distance("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn levenshtein_is_symmetric() {
+        assert_eq!(
+            levenshtein_distance("database", "databases"),
+            levenshtein_distance("databases", "database")
+        );
+    }
+
+    #[test]
+    fn levenshtein_similarity_bounds() {
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "abc"), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "xyz"), 0.0);
+        let s = levenshtein_similarity("query", "queries");
+        assert!(s > 0.5 && s < 1.0);
+    }
+
+    #[test]
+    fn smith_waterman_rewards_local_matches() {
+        // A shared substring inside otherwise different strings scores
+        // high locally even though global edit similarity is low.
+        let a = "aaaaaadatabase";
+        let b = "databasebbbbbbbbbb";
+        let sw = smith_waterman_similarity(a, b);
+        let lev = levenshtein_similarity(a, b);
+        assert!(sw > lev, "sw {sw} <= lev {lev}");
+        assert!(sw > 0.5, "sw {sw}");
+    }
+
+    #[test]
+    fn smith_waterman_bounds() {
+        assert_eq!(smith_waterman_similarity("", ""), 1.0);
+        assert_eq!(smith_waterman_similarity("a", ""), 0.0);
+        assert_eq!(smith_waterman_similarity("abc", "abc"), 1.0);
+        let s = smith_waterman_similarity("abc", "def");
+        assert!((0.0..=1.0).contains(&s));
+    }
+}

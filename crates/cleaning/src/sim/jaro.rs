@@ -1,0 +1,71 @@
+//! Jaro string similarity.
+
+/// The Jaro similarity of two strings: the classic
+/// `(m/|a| + m/|b| + (m−t)/m) / 3` with match window
+/// `⌊max(|a|,|b|)/2⌋ − 1` and `t` = half the transpositions.
+pub fn jaro_similarity(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches_a: Vec<char> = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                matches_a.push(ca);
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    // Matched characters of b, in b-order.
+    let matches_b: Vec<char> =
+        b.iter().zip(&b_used).filter(|(_, &u)| u).map(|(&c, _)| c).collect();
+    let transpositions =
+        matches_a.iter().zip(&matches_b).filter(|(x, y)| x != y).count() / 2;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_values() {
+        // Classic examples from the record-linkage literature.
+        let s = jaro_similarity("martha", "marhta");
+        assert!((s - 0.944_444).abs() < 1e-5, "{s}");
+        let s = jaro_similarity("dixon", "dicksonx");
+        assert!((s - 0.766_667).abs() < 1e-5, "{s}");
+        let s = jaro_similarity("jellyfish", "smellyfish");
+        assert!((s - 0.896_296).abs() < 1e-5, "{s}");
+    }
+
+    #[test]
+    fn bounds_and_degenerate_cases() {
+        assert_eq!(jaro_similarity("", ""), 1.0);
+        assert_eq!(jaro_similarity("a", ""), 0.0);
+        assert_eq!(jaro_similarity("abc", "abc"), 1.0);
+        assert_eq!(jaro_similarity("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = jaro_similarity("entity", "entry");
+        let b = jaro_similarity("entry", "entity");
+        assert!((a - b).abs() < 1e-12);
+    }
+}

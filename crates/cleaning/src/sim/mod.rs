@@ -1,0 +1,116 @@
+//! The similarity function library `S` (Section 8.1).
+//!
+//! All functions return values in `[0, 1]`, higher = more similar, so a
+//! single threshold semantics `sim > θ` works uniformly.
+
+mod edit;
+mod jaro;
+mod token;
+
+pub use edit::{levenshtein_distance, levenshtein_similarity, smith_waterman_similarity};
+pub use jaro::jaro_similarity;
+pub use token::{cosine_similarity, diff_similarity, jaccard_similarity, overlap_coefficient};
+
+/// A similarity function from the paper's set
+/// `S = {Edit, SmithWater, Jaro, Cosine, Jaccard, Overlap, Diff}`.
+///
+/// Character-based functions (`Edit`, `SmithWater`, `Jaro`) join the
+/// transformed tokens back with spaces before comparing; token-based
+/// functions (`Cosine`, `Jaccard`, `Overlap`, `Diff`) operate on the
+/// token multisets directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Similarity {
+    /// Normalized Levenshtein similarity.
+    Edit,
+    /// Normalized Smith–Waterman local-alignment similarity.
+    SmithWater,
+    /// Jaro similarity.
+    Jaro,
+    /// Cosine similarity over token counts.
+    Cosine,
+    /// Jaccard similarity over token sets.
+    Jaccard,
+    /// Overlap coefficient over token sets.
+    Overlap,
+    /// Symmetric-difference similarity over token sets.
+    Diff,
+}
+
+impl Similarity {
+    /// All similarity functions, in the paper's order.
+    pub const ALL: [Similarity; 7] = [
+        Similarity::Edit,
+        Similarity::SmithWater,
+        Similarity::Jaro,
+        Similarity::Cosine,
+        Similarity::Jaccard,
+        Similarity::Overlap,
+        Similarity::Diff,
+    ];
+
+    /// Evaluates the similarity of two token sequences.
+    pub fn eval(&self, a: &[String], b: &[String]) -> f64 {
+        match self {
+            Similarity::Edit => levenshtein_similarity(&a.join(" "), &b.join(" ")),
+            Similarity::SmithWater => smith_waterman_similarity(&a.join(" "), &b.join(" ")),
+            Similarity::Jaro => jaro_similarity(&a.join(" "), &b.join(" ")),
+            Similarity::Cosine => cosine_similarity(a, b),
+            Similarity::Jaccard => jaccard_similarity(a, b),
+            Similarity::Overlap => overlap_coefficient(a, b),
+            Similarity::Diff => diff_similarity(a, b),
+        }
+    }
+
+    /// Short name used in predicate display.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Similarity::Edit => "edit",
+            Similarity::SmithWater => "smith-waterman",
+            Similarity::Jaro => "jaro",
+            Similarity::Cosine => "cosine",
+            Similarity::Jaccard => "jaccard",
+            Similarity::Overlap => "overlap",
+            Similarity::Diff => "diff",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split(' ').map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn all_functions_are_bounded_and_reflexive() {
+        let a = toks("efficient query processing");
+        let b = toks("scalable graph mining systems");
+        for sim in Similarity::ALL {
+            let self_sim = sim.eval(&a, &a);
+            assert!((self_sim - 1.0).abs() < 1e-12, "{:?} self-sim {self_sim}", sim);
+            let cross = sim.eval(&a, &b);
+            assert!((0.0..=1.0).contains(&cross), "{:?} out of range: {cross}", sim);
+        }
+    }
+
+    #[test]
+    fn similar_strings_score_higher_than_dissimilar() {
+        let a = toks("efficient query processing");
+        let close = toks("eficient query processing");
+        let far = toks("unrelated words entirely different");
+        for sim in Similarity::ALL {
+            let sc = sim.eval(&a, &close);
+            let sf = sim.eval(&a, &far);
+            assert!(sc > sf, "{:?}: close {sc} <= far {sf}", sim);
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            Similarity::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), Similarity::ALL.len());
+    }
+}

@@ -1,0 +1,126 @@
+//! Token-set similarities: Jaccard, cosine, overlap, and symmetric
+//! difference.
+
+use std::collections::HashMap;
+
+fn counts(tokens: &[String]) -> HashMap<&str, usize> {
+    let mut m = HashMap::new();
+    for t in tokens {
+        *m.entry(t.as_str()).or_insert(0) += 1;
+    }
+    m
+}
+
+/// Jaccard similarity over token *sets*: `|A ∩ B| / |A ∪ B|`. Two empty
+/// token sets are fully similar.
+pub fn jaccard_similarity(a: &[String], b: &[String]) -> f64 {
+    let ca = counts(a);
+    let cb = counts(b);
+    if ca.is_empty() && cb.is_empty() {
+        return 1.0;
+    }
+    let inter = ca.keys().filter(|k| cb.contains_key(*k)).count() as f64;
+    let union = (ca.len() + cb.len()) as f64 - inter;
+    inter / union
+}
+
+/// Cosine similarity over token *count vectors*.
+pub fn cosine_similarity(a: &[String], b: &[String]) -> f64 {
+    let ca = counts(a);
+    let cb = counts(b);
+    if ca.is_empty() && cb.is_empty() {
+        return 1.0;
+    }
+    if ca.is_empty() || cb.is_empty() {
+        return 0.0;
+    }
+    let dot: f64 = ca
+        .iter()
+        .filter_map(|(k, &va)| cb.get(k).map(|&vb| (va * vb) as f64))
+        .sum();
+    let na: f64 = ca.values().map(|&v| (v * v) as f64).sum::<f64>().sqrt();
+    let nb: f64 = cb.values().map(|&v| (v * v) as f64).sum::<f64>().sqrt();
+    dot / (na * nb)
+}
+
+/// Overlap coefficient: `|A ∩ B| / min(|A|, |B|)` over token sets.
+pub fn overlap_coefficient(a: &[String], b: &[String]) -> f64 {
+    let ca = counts(a);
+    let cb = counts(b);
+    if ca.is_empty() && cb.is_empty() {
+        return 1.0;
+    }
+    if ca.is_empty() || cb.is_empty() {
+        return 0.0;
+    }
+    let inter = ca.keys().filter(|k| cb.contains_key(*k)).count() as f64;
+    inter / ca.len().min(cb.len()) as f64
+}
+
+/// Symmetric-difference similarity: `1 − |A Δ B| / (|A| + |B|)` over
+/// token sets — the "Diff" function of the paper's similarity set.
+pub fn diff_similarity(a: &[String], b: &[String]) -> f64 {
+    let ca = counts(a);
+    let cb = counts(b);
+    if ca.is_empty() && cb.is_empty() {
+        return 1.0;
+    }
+    let inter = ca.keys().filter(|k| cb.contains_key(*k)).count();
+    let sym_diff = ca.len() + cb.len() - 2 * inter;
+    1.0 - sym_diff as f64 / (ca.len() + cb.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        if s.is_empty() {
+            return Vec::new();
+        }
+        s.split(' ').map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn jaccard_known_values() {
+        assert_eq!(jaccard_similarity(&toks("a b c"), &toks("b c d")), 0.5);
+        assert_eq!(jaccard_similarity(&toks("a"), &toks("a")), 1.0);
+        assert_eq!(jaccard_similarity(&toks("a"), &toks("b")), 0.0);
+        assert_eq!(jaccard_similarity(&toks(""), &toks("")), 1.0);
+    }
+
+    #[test]
+    fn cosine_known_values() {
+        // Identical: 1. Disjoint: 0.
+        assert!((cosine_similarity(&toks("a b"), &toks("a b")) - 1.0).abs() < 1e-12);
+        assert_eq!(cosine_similarity(&toks("a b"), &toks("c d")), 0.0);
+        // Half overlap of unit vectors: 1/2.
+        let s = cosine_similarity(&toks("a b"), &toks("a c"));
+        assert!((s - 0.5).abs() < 1e-12);
+        assert_eq!(cosine_similarity(&toks(""), &toks("a")), 0.0);
+    }
+
+    #[test]
+    fn overlap_ignores_size_imbalance() {
+        // Small set fully contained in large set → 1.
+        assert_eq!(overlap_coefficient(&toks("a b"), &toks("a b c d e")), 1.0);
+        assert_eq!(overlap_coefficient(&toks("a"), &toks("b")), 0.0);
+    }
+
+    #[test]
+    fn diff_similarity_values() {
+        assert_eq!(diff_similarity(&toks("a b"), &toks("a b")), 1.0);
+        assert_eq!(diff_similarity(&toks("a"), &toks("b")), 0.0);
+        // |AΔB| = 2, |A|+|B| = 4 → 0.5.
+        assert_eq!(diff_similarity(&toks("a b"), &toks("a c")), 0.5);
+    }
+
+    #[test]
+    fn duplicates_affect_cosine_but_not_jaccard() {
+        let once = toks("a b");
+        let twice = toks("a a b");
+        assert_eq!(jaccard_similarity(&once, &twice), 1.0);
+        let c = cosine_similarity(&once, &twice);
+        assert!(c < 1.0 && c > 0.9);
+    }
+}

@@ -1,0 +1,87 @@
+//! String transformations `T` applied before similarity computation.
+
+/// A transformation of an attribute value into a token multiset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Transformation {
+    /// Character 2-grams of the lowercased string (spaces included).
+    TwoGrams,
+    /// Character 3-grams.
+    ThreeGrams,
+    /// Whitespace tokenization of the lowercased string.
+    SpaceTokenization,
+}
+
+impl Transformation {
+    /// All transformations, in the paper's order.
+    pub const ALL: [Transformation; 3] =
+        [Transformation::TwoGrams, Transformation::ThreeGrams, Transformation::SpaceTokenization];
+
+    /// Applies the transformation, producing tokens.
+    pub fn apply(&self, s: &str) -> Vec<String> {
+        let lower = s.to_lowercase();
+        match self {
+            Transformation::TwoGrams => char_ngrams(&lower, 2),
+            Transformation::ThreeGrams => char_ngrams(&lower, 3),
+            Transformation::SpaceTokenization => {
+                lower.split_whitespace().map(|t| t.to_string()).collect()
+            }
+        }
+    }
+
+    /// Short name used in predicate display.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Transformation::TwoGrams => "2grams",
+            Transformation::ThreeGrams => "3grams",
+            Transformation::SpaceTokenization => "tokens",
+        }
+    }
+}
+
+/// Character n-grams over the char sequence; strings shorter than `n`
+/// yield the string itself as a single token.
+fn char_ngrams(s: &str, n: usize) -> Vec<String> {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.len() < n {
+        if chars.is_empty() {
+            return Vec::new();
+        }
+        return vec![s.to_string()];
+    }
+    chars.windows(n).map(|w| w.iter().collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_grams() {
+        assert_eq!(Transformation::TwoGrams.apply("abc"), vec!["ab", "bc"]);
+    }
+
+    #[test]
+    fn three_grams() {
+        assert_eq!(Transformation::ThreeGrams.apply("abcd"), vec!["abc", "bcd"]);
+    }
+
+    #[test]
+    fn ngrams_lowercase_and_short_strings() {
+        assert_eq!(Transformation::ThreeGrams.apply("AB"), vec!["ab"]);
+        assert!(Transformation::TwoGrams.apply("").is_empty());
+    }
+
+    #[test]
+    fn space_tokenization() {
+        assert_eq!(
+            Transformation::SpaceTokenization.apply("Efficient  Query Processing"),
+            vec!["efficient", "query", "processing"]
+        );
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Transformation::TwoGrams.name(), "2grams");
+        assert_eq!(Transformation::ALL.len(), 3);
+    }
+}

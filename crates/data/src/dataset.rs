@@ -1,0 +1,150 @@
+//! Multiset table instances.
+
+use crate::{Predicate, Schema, SchemaError, Value};
+
+/// An instance `D` of a schema: a multiset of tuples.
+///
+/// This is the *sensitive* object in APEx — everything the analyst learns
+/// about it must flow through a differentially private mechanism. The type
+/// itself is a plain in-memory table; access control is the engine's job.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    schema: Schema,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset over `schema`.
+    pub fn empty(schema: Schema) -> Self {
+        Self { schema, rows: Vec::new() }
+    }
+
+    /// Creates a dataset from pre-built rows, validating each against the
+    /// schema.
+    pub fn new(schema: Schema, rows: Vec<Vec<Value>>) -> Result<Self, SchemaError> {
+        for row in &rows {
+            schema.validate_row(row)?;
+        }
+        Ok(Self { schema, rows })
+    }
+
+    /// The schema of the dataset.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples `|D|`.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the dataset holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Immutable access to the rows.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Appends a row after validating it.
+    pub fn push(&mut self, row: Vec<Value>) -> Result<(), SchemaError> {
+        self.schema.validate_row(&row)?;
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// The exact (non-private!) count of rows satisfying `pred`. Used
+    /// internally by mechanisms (through the histogram) and by tests that
+    /// compare noisy answers with ground truth; never exposed to analysts
+    /// by the engine.
+    pub fn count(&self, pred: &Predicate) -> Result<u64, SchemaError> {
+        let mut n = 0;
+        for row in &self.rows {
+            if pred.eval(&self.schema, row)? {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// A new dataset containing the first `n` rows (used by the case study
+    /// to vary `|D|`; Figure 7).
+    pub fn take(&self, n: usize) -> Dataset {
+        Dataset {
+            schema: self.schema.clone(),
+            rows: self.rows.iter().take(n).cloned().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Attribute, CmpOp, Domain};
+
+    fn demo() -> Dataset {
+        let schema = Schema::new(vec![
+            Attribute::new("age", Domain::IntRange { min: 0, max: 120 }),
+            Attribute::new("sex", Domain::Categorical(vec!["M".into(), "F".into()])),
+        ])
+        .unwrap();
+        Dataset::new(
+            schema,
+            vec![
+                vec![Value::Int(25), Value::from("M")],
+                vec![Value::Int(60), Value::from("F")],
+                vec![Value::Int(60), Value::from("F")], // multiset: duplicates allowed
+                vec![Value::Int(70), Value::from("M")],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn len_and_rows() {
+        let d = demo();
+        assert_eq!(d.len(), 4);
+        assert!(!d.is_empty());
+        assert_eq!(d.rows()[0][0], Value::Int(25));
+    }
+
+    #[test]
+    fn count_respects_duplicates() {
+        let d = demo();
+        let p = Predicate::cmp("age", CmpOp::Gt, 50_i64);
+        assert_eq!(d.count(&p).unwrap(), 3);
+        let p = Predicate::cmp("sex", CmpOp::Eq, "F");
+        assert_eq!(d.count(&p).unwrap(), 2);
+    }
+
+    #[test]
+    fn new_validates_rows() {
+        let schema = Schema::new(vec![Attribute::new(
+            "age",
+            Domain::IntRange { min: 0, max: 10 },
+        )])
+        .unwrap();
+        let err = Dataset::new(schema, vec![vec![Value::Int(99)]]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn push_validates() {
+        let mut d = demo();
+        assert!(d.push(vec![Value::Int(5), Value::from("M")]).is_ok());
+        assert!(d.push(vec![Value::Int(5)]).is_err());
+        assert_eq!(d.len(), 5);
+    }
+
+    #[test]
+    fn take_prefix() {
+        let d = demo();
+        let t = d.take(2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows()[1][0], Value::Int(60));
+        // Taking more than available returns everything.
+        assert_eq!(d.take(100).len(), 4);
+    }
+}

@@ -1,0 +1,29 @@
+//! Relational substrate for the APEx reproduction.
+//!
+//! APEx (Section 2) assumes a single-table relational schema
+//! `R(A₁, …, A_d)` with a public domain, and a sensitive instance `D` that
+//! is a multiset of tuples over that domain. This crate provides:
+//!
+//! * [`Value`] / [`DataType`] — the typed cell values,
+//! * [`Schema`] / [`Attribute`] / [`Domain`] — the public schema,
+//! * [`Dataset`] — a multiset instance of the schema,
+//! * [`Predicate`] — the boolean predicate language `φ: dom(R) → {0,1}`
+//!   that workloads are built from,
+//! * [`partition`] — the workload-driven domain partitioning
+//!   `T(W), T_W(D)` of Section 5 (workload matrix + histogram vector),
+//! * [`synth`] — seeded synthetic generators standing in for the paper's
+//!   Adult, NYTaxi and citations datasets (see DESIGN.md §3 for the
+//!   substitution rationale).
+
+pub mod dataset;
+pub mod partition;
+pub mod predicate;
+pub mod schema;
+pub mod synth;
+pub mod value;
+
+pub use dataset::Dataset;
+pub use partition::{DomainPartition, PartitionError};
+pub use predicate::{CmpOp, Predicate};
+pub use schema::{Attribute, Domain, Schema, SchemaError};
+pub use value::{DataType, Value};

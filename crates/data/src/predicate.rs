@@ -1,0 +1,299 @@
+//! The predicate language `φ: dom(R) → {0, 1}`.
+//!
+//! Workloads in APEx are sets of predicates; each predicate defines one bin
+//! (Section 3.1). Predicates are structural ASTs — comparisons, ranges,
+//! null tests, and boolean combinators — so that the partitioner in
+//! [`crate::partition`] can statically decompose them into elementary
+//! domain cells.
+
+use crate::{Schema, SchemaError, Value};
+
+/// Comparison operators on attribute values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl std::fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A boolean predicate over single tuples.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true (the whole domain — used for plain `COUNT(*)` bins).
+    True,
+    /// `attr op value`.
+    Cmp {
+        /// Attribute name.
+        attr: String,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right-hand constant.
+        value: Value,
+    },
+    /// `low <= attr < high` — the paper's bin form `Age ∈ [0, 50)`.
+    Range {
+        /// Attribute name.
+        attr: String,
+        /// Inclusive lower bound.
+        low: f64,
+        /// Exclusive upper bound.
+        high: f64,
+    },
+    /// `attr IS NULL`.
+    IsNull {
+        /// Attribute name.
+        attr: String,
+    },
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `attr op value` convenience constructor.
+    pub fn cmp(attr: impl Into<String>, op: CmpOp, value: impl Into<Value>) -> Self {
+        Predicate::Cmp { attr: attr.into(), op, value: value.into() }
+    }
+
+    /// `attr = value`.
+    pub fn eq(attr: impl Into<String>, value: impl Into<Value>) -> Self {
+        Self::cmp(attr, CmpOp::Eq, value)
+    }
+
+    /// `low <= attr < high`.
+    pub fn range(attr: impl Into<String>, low: f64, high: f64) -> Self {
+        Predicate::Range { attr: attr.into(), low, high }
+    }
+
+    /// `attr IS NULL`.
+    pub fn is_null(attr: impl Into<String>) -> Self {
+        Predicate::IsNull { attr: attr.into() }
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Predicate) -> Self {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: Predicate) -> Self {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `NOT self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// Evaluates the predicate on a row under SQL semantics: three-valued
+    /// logic internally, collapsed so that *unknown counts as false* at the
+    /// top (a tuple only enters a bin if the predicate is definitely true).
+    pub fn eval(&self, schema: &Schema, row: &[Value]) -> Result<bool, SchemaError> {
+        Ok(self.eval3(schema, row)? == Some(true))
+    }
+
+    /// Three-valued evaluation (`None` = unknown).
+    fn eval3(&self, schema: &Schema, row: &[Value]) -> Result<Option<bool>, SchemaError> {
+        match self {
+            Predicate::True => Ok(Some(true)),
+            Predicate::Cmp { attr, op, value } => {
+                let idx = schema.index_of(attr)?;
+                let cell = &row[idx];
+                if cell.is_null() {
+                    return Ok(None);
+                }
+                let ord = cell.partial_cmp_sql(value);
+                Ok(ord.map(|o| match op {
+                    CmpOp::Eq => o == std::cmp::Ordering::Equal,
+                    CmpOp::Ne => o != std::cmp::Ordering::Equal,
+                    CmpOp::Lt => o == std::cmp::Ordering::Less,
+                    CmpOp::Le => o != std::cmp::Ordering::Greater,
+                    CmpOp::Gt => o == std::cmp::Ordering::Greater,
+                    CmpOp::Ge => o != std::cmp::Ordering::Less,
+                }))
+            }
+            Predicate::Range { attr, low, high } => {
+                let idx = schema.index_of(attr)?;
+                match row[idx].as_f64() {
+                    Some(v) => Ok(Some(v >= *low && v < *high)),
+                    None => Ok(if row[idx].is_null() { None } else { Some(false) }),
+                }
+            }
+            Predicate::IsNull { attr } => {
+                let idx = schema.index_of(attr)?;
+                Ok(Some(row[idx].is_null()))
+            }
+            Predicate::And(a, b) => {
+                let (x, y) = (a.eval3(schema, row)?, b.eval3(schema, row)?);
+                Ok(match (x, y) {
+                    (Some(false), _) | (_, Some(false)) => Some(false),
+                    (Some(true), Some(true)) => Some(true),
+                    _ => None,
+                })
+            }
+            Predicate::Or(a, b) => {
+                let (x, y) = (a.eval3(schema, row)?, b.eval3(schema, row)?);
+                Ok(match (x, y) {
+                    (Some(true), _) | (_, Some(true)) => Some(true),
+                    (Some(false), Some(false)) => Some(false),
+                    _ => None,
+                })
+            }
+            Predicate::Not(a) => Ok(a.eval3(schema, row)?.map(|v| !v)),
+        }
+    }
+
+    /// Collects the names of all attributes the predicate references, in
+    /// first-mention order, without duplicates.
+    pub fn referenced_attrs(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_attrs(&mut out);
+        out
+    }
+
+    fn collect_attrs(&self, out: &mut Vec<String>) {
+        match self {
+            Predicate::True => {}
+            Predicate::Cmp { attr, .. }
+            | Predicate::Range { attr, .. }
+            | Predicate::IsNull { attr } => {
+                if !out.iter().any(|a| a == attr) {
+                    out.push(attr.clone());
+                }
+            }
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.collect_attrs(out);
+                b.collect_attrs(out);
+            }
+            Predicate::Not(a) => a.collect_attrs(out),
+        }
+    }
+}
+
+impl std::fmt::Display for Predicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Predicate::True => write!(f, "TRUE"),
+            Predicate::Cmp { attr, op, value } => write!(f, "{attr} {op} {value}"),
+            Predicate::Range { attr, low, high } => write!(f, "{attr} IN [{low}, {high})"),
+            Predicate::IsNull { attr } => write!(f, "{attr} IS NULL"),
+            Predicate::And(a, b) => write!(f, "({a} AND {b})"),
+            Predicate::Or(a, b) => write!(f, "({a} OR {b})"),
+            Predicate::Not(a) => write!(f, "NOT ({a})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Attribute, Domain};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("age", Domain::IntRange { min: 0, max: 120 }),
+            Attribute::new("sex", Domain::Categorical(vec!["M".into(), "F".into()])),
+            Attribute::new("gain", Domain::FloatRange { min: 0.0, max: 5000.0 }),
+        ])
+        .unwrap()
+    }
+
+    fn row(age: i64, sex: &str, gain: f64) -> Vec<Value> {
+        vec![Value::Int(age), Value::from(sex), Value::Float(gain)]
+    }
+
+    #[test]
+    fn comparison_predicates() {
+        let s = schema();
+        let p = Predicate::cmp("age", CmpOp::Gt, 50_i64);
+        assert!(p.eval(&s, &row(60, "M", 0.0)).unwrap());
+        assert!(!p.eval(&s, &row(50, "M", 0.0)).unwrap());
+        let p = Predicate::eq("sex", "F");
+        assert!(p.eval(&s, &row(30, "F", 0.0)).unwrap());
+        assert!(!p.eval(&s, &row(30, "M", 0.0)).unwrap());
+    }
+
+    #[test]
+    fn range_is_half_open() {
+        let s = schema();
+        let p = Predicate::range("gain", 0.0, 50.0);
+        assert!(p.eval(&s, &row(1, "M", 0.0)).unwrap());
+        assert!(p.eval(&s, &row(1, "M", 49.999)).unwrap());
+        assert!(!p.eval(&s, &row(1, "M", 50.0)).unwrap());
+    }
+
+    #[test]
+    fn null_handling_matches_sql() {
+        let s = schema();
+        let null_row = vec![Value::Null, Value::Null, Value::Null];
+        // age > 50 is unknown on NULL → bin excludes the row.
+        assert!(!Predicate::cmp("age", CmpOp::Gt, 50_i64).eval(&s, &null_row).unwrap());
+        // NOT (age > 50) is also unknown → still excluded (not "true").
+        assert!(!Predicate::cmp("age", CmpOp::Gt, 50_i64).not().eval(&s, &null_row).unwrap());
+        // IS NULL is definite.
+        assert!(Predicate::is_null("age").eval(&s, &null_row).unwrap());
+        // OR with a definite true short-circuits unknown.
+        let p = Predicate::cmp("age", CmpOp::Gt, 50_i64).or(Predicate::is_null("age"));
+        assert!(p.eval(&s, &null_row).unwrap());
+    }
+
+    #[test]
+    fn and_or_not_combinators() {
+        let s = schema();
+        let p = Predicate::cmp("age", CmpOp::Ge, 18_i64).and(Predicate::eq("sex", "M"));
+        assert!(p.eval(&s, &row(20, "M", 0.0)).unwrap());
+        assert!(!p.eval(&s, &row(20, "F", 0.0)).unwrap());
+        assert!(!p.eval(&s, &row(10, "M", 0.0)).unwrap());
+        let q = p.clone().not();
+        assert!(q.eval(&s, &row(10, "M", 0.0)).unwrap());
+    }
+
+    #[test]
+    fn unknown_attribute_errors() {
+        let s = schema();
+        let p = Predicate::eq("nope", 1_i64);
+        assert!(p.eval(&s, &row(1, "M", 0.0)).is_err());
+    }
+
+    #[test]
+    fn referenced_attrs_deduplicates() {
+        let p = Predicate::cmp("age", CmpOp::Gt, 10_i64)
+            .and(Predicate::eq("sex", "M"))
+            .or(Predicate::cmp("age", CmpOp::Lt, 5_i64));
+        assert_eq!(p.referenced_attrs(), vec!["age".to_string(), "sex".to_string()]);
+        assert!(Predicate::True.referenced_attrs().is_empty());
+    }
+
+    #[test]
+    fn display_round_trip_is_readable() {
+        let p = Predicate::range("gain", 0.0, 50.0).and(Predicate::eq("sex", "M"));
+        assert_eq!(format!("{p}"), "(gain IN [0, 50) AND sex = \"M\")");
+    }
+}

@@ -1,0 +1,239 @@
+//! Public schema: attributes and their domains.
+//!
+//! APEx assumes "the schema and the full domain of attributes are public"
+//! (Section 3); only the instance `D` is sensitive. Domains matter for the
+//! workload-driven partitioning in [`crate::partition`]: each attribute's
+//! domain bounds the elementary cells a workload can induce.
+
+use crate::{DataType, Value};
+
+/// The (public) domain of one attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Domain {
+    /// Integers in `[min, max]` inclusive.
+    IntRange {
+        /// Smallest value in the domain.
+        min: i64,
+        /// Largest value in the domain.
+        max: i64,
+    },
+    /// Floats in `[min, max)`.
+    FloatRange {
+        /// Inclusive lower bound.
+        min: f64,
+        /// Exclusive upper bound.
+        max: f64,
+    },
+    /// A finite set of categories.
+    Categorical(Vec<String>),
+    /// Free text (no enumeration; predicates on it are treated atomically).
+    Text,
+    /// Boolean domain.
+    Boolean,
+}
+
+impl Domain {
+    /// The data type values of this domain carry.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Domain::IntRange { .. } => DataType::Int,
+            Domain::FloatRange { .. } => DataType::Float,
+            Domain::Categorical(_) | Domain::Text => DataType::Str,
+            Domain::Boolean => DataType::Bool,
+        }
+    }
+
+    /// Whether `v` is a member of the domain. `Null` is considered a member
+    /// of every domain (missing values occur in the ER case study).
+    pub fn contains(&self, v: &Value) -> bool {
+        match (self, v) {
+            (_, Value::Null) => true,
+            (Domain::IntRange { min, max }, Value::Int(i)) => i >= min && i <= max,
+            (Domain::FloatRange { min, max }, Value::Float(f)) => f >= min && f < max,
+            (Domain::FloatRange { min, max }, Value::Int(i)) => {
+                (*i as f64) >= *min && (*i as f64) < *max
+            }
+            (Domain::Categorical(cats), Value::Str(s)) => cats.iter().any(|c| c == s),
+            (Domain::Text, Value::Str(_)) => true,
+            (Domain::Boolean, Value::Bool(_)) => true,
+            _ => false,
+        }
+    }
+}
+
+/// One attribute of the schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribute {
+    /// Attribute name, unique within the schema.
+    pub name: String,
+    /// Public domain of the attribute.
+    pub domain: Domain,
+}
+
+impl Attribute {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, domain: Domain) -> Self {
+        Self { name: name.into(), domain }
+    }
+}
+
+/// Errors raised by schema construction and lookups.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchemaError {
+    /// Two attributes share a name.
+    DuplicateAttribute(String),
+    /// A referenced attribute does not exist.
+    UnknownAttribute(String),
+    /// A row's width or a value's type does not match the schema.
+    RowMismatch(String),
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchemaError::DuplicateAttribute(n) => write!(f, "duplicate attribute {n:?}"),
+            SchemaError::UnknownAttribute(n) => write!(f, "unknown attribute {n:?}"),
+            SchemaError::RowMismatch(m) => write!(f, "row does not match schema: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// A single-table relational schema `R(A₁, …, A_d)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Builds a schema, rejecting duplicate attribute names.
+    pub fn new(attributes: Vec<Attribute>) -> Result<Self, SchemaError> {
+        for (i, a) in attributes.iter().enumerate() {
+            if attributes[..i].iter().any(|b| b.name == a.name) {
+                return Err(SchemaError::DuplicateAttribute(a.name.clone()));
+            }
+        }
+        Ok(Self { attributes })
+    }
+
+    /// All attributes, in declaration order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Index of the attribute called `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize, SchemaError> {
+        self.attributes
+            .iter()
+            .position(|a| a.name == name)
+            .ok_or_else(|| SchemaError::UnknownAttribute(name.to_string()))
+    }
+
+    /// The attribute called `name`.
+    pub fn attribute(&self, name: &str) -> Result<&Attribute, SchemaError> {
+        self.index_of(name).map(|i| &self.attributes[i])
+    }
+
+    /// Validates a row against the schema (arity + domain membership).
+    pub fn validate_row(&self, row: &[Value]) -> Result<(), SchemaError> {
+        if row.len() != self.arity() {
+            return Err(SchemaError::RowMismatch(format!(
+                "expected {} values, got {}",
+                self.arity(),
+                row.len()
+            )));
+        }
+        for (a, v) in self.attributes.iter().zip(row) {
+            if !a.domain.contains(v) {
+                return Err(SchemaError::RowMismatch(format!(
+                    "value {v} outside domain of {:?}",
+                    a.name
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("age", Domain::IntRange { min: 0, max: 120 }),
+            Attribute::new("state", Domain::Categorical(vec!["AL".into(), "WY".into()])),
+            Attribute::new("distance", Domain::FloatRange { min: 0.0, max: 100.0 }),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = Schema::new(vec![
+            Attribute::new("a", Domain::Boolean),
+            Attribute::new("a", Domain::Boolean),
+        ])
+        .unwrap_err();
+        assert_eq!(err, SchemaError::DuplicateAttribute("a".into()));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = demo_schema();
+        assert_eq!(s.index_of("state").unwrap(), 1);
+        assert!(matches!(
+            s.index_of("nope"),
+            Err(SchemaError::UnknownAttribute(_))
+        ));
+        assert_eq!(s.attribute("age").unwrap().name, "age");
+    }
+
+    #[test]
+    fn domain_membership() {
+        let d = Domain::IntRange { min: 0, max: 10 };
+        assert!(d.contains(&Value::Int(10)));
+        assert!(!d.contains(&Value::Int(11)));
+        assert!(d.contains(&Value::Null));
+        assert!(!d.contains(&Value::from("x")));
+
+        let f = Domain::FloatRange { min: 0.0, max: 1.0 };
+        assert!(f.contains(&Value::Float(0.0)));
+        assert!(!f.contains(&Value::Float(1.0)));
+        assert!(f.contains(&Value::Int(0)));
+
+        let c = Domain::Categorical(vec!["M".into(), "F".into()]);
+        assert!(c.contains(&Value::from("M")));
+        assert!(!c.contains(&Value::from("X")));
+    }
+
+    #[test]
+    fn row_validation() {
+        let s = demo_schema();
+        assert!(s
+            .validate_row(&[Value::Int(30), Value::from("AL"), Value::Float(5.0)])
+            .is_ok());
+        // Wrong arity.
+        assert!(s.validate_row(&[Value::Int(30)]).is_err());
+        // Out of domain.
+        assert!(s
+            .validate_row(&[Value::Int(300), Value::from("AL"), Value::Float(5.0)])
+            .is_err());
+    }
+
+    #[test]
+    fn domain_data_types() {
+        assert_eq!(Domain::Text.data_type(), DataType::Str);
+        assert_eq!(Domain::Boolean.data_type(), DataType::Bool);
+        assert_eq!(
+            Domain::IntRange { min: 0, max: 1 }.data_type(),
+            DataType::Int
+        );
+    }
+}

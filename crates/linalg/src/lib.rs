@@ -1,0 +1,77 @@
+//! Dense linear algebra substrate for the APEx reproduction.
+//!
+//! APEx represents counting-query workloads as matrices (`W`), answers them
+//! through *strategy* matrices (`A`), and reconstructs workload answers via
+//! the Moore–Penrose pseudoinverse (`W A⁺`, Section 5.2 of the paper). None
+//! of the allowed offline crates provide linear algebra, so this crate
+//! implements the small, numerically careful subset APEx needs:
+//!
+//! * a dense row-major [`Matrix`] with the usual arithmetic,
+//! * Householder [`qr_decompose`] decomposition,
+//! * least-squares solving and matrix inversion built on QR,
+//! * [`pinv`] — the Moore–Penrose pseudoinverse for full-rank matrices,
+//! * the norms used by the paper: the **L1 operator norm** (`‖·‖₁`, maximum
+//!   column absolute sum — the *sensitivity* of a workload), the Frobenius
+//!   norm, and the `ℓ∞` vector norm.
+//!
+//! Everything is `f64`; workloads in APEx are small (hundreds to a few
+//! thousands of rows), so a straightforward dense implementation is both
+//! simpler and faster than anything sparse at this scale.
+
+mod matrix;
+mod norms;
+mod pinv;
+mod qr;
+mod solve;
+
+pub use matrix::Matrix;
+pub use norms::{frobenius_norm, l1_operator_norm, linf_norm};
+pub use pinv::pinv;
+pub use qr::{qr_decompose, QrDecomposition};
+pub use solve::{invert, solve_least_squares, solve_upper_triangular};
+
+/// Errors surfaced by linear-algebra routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left operand.
+        lhs: (usize, usize),
+        /// Shape of the right operand.
+        rhs: (usize, usize),
+    },
+    /// The matrix is (numerically) rank deficient, so the requested
+    /// decomposition or inverse does not exist.
+    RankDeficient {
+        /// Index of the pivot that collapsed.
+        pivot: usize,
+        /// Magnitude of the collapsed pivot.
+        magnitude: f64,
+    },
+    /// An empty matrix was supplied where a non-empty one is required.
+    Empty,
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::RankDeficient { pivot, magnitude } => write!(
+                f,
+                "matrix is numerically rank deficient (pivot {pivot} has magnitude {magnitude:.3e})"
+            ),
+            LinalgError::Empty => write!(f, "operation requires a non-empty matrix"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

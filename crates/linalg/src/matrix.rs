@@ -1,0 +1,340 @@
+//! Dense row-major matrix type.
+
+use crate::{LinalgError, Result};
+
+/// A dense, row-major `f64` matrix.
+///
+/// This is deliberately a small, predictable type: storage is one contiguous
+/// `Vec<f64>`, `(i, j)` indexing is `i * cols + j`, and all arithmetic
+/// returns fresh matrices (workloads in APEx are small, so clarity beats
+/// in-place cleverness everywhere except the inner loops of QR).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix from a slice of rows.
+    ///
+    /// # Panics
+    /// Panics if the rows have unequal lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        if rows.is_empty() {
+            return Self::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), cols, "row {i} has length {}, expected {cols}", r.len());
+            data.extend_from_slice(r);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// An all-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Whether the matrix has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow of the underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// A single row as a slice.
+    ///
+    /// # Panics
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({} rows)", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// A single column, copied out.
+    ///
+    /// # Panics
+    /// Panics if `j >= cols`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "column index {j} out of bounds ({} cols)", self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix–matrix product `self * rhs`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // i-k-j loop order: streams through `rhs` rows contiguously.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = rhs.row(k);
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &r) in orow.iter_mut().zip(rrow) {
+                    *o += a * r;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self * x`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if self.cols != x.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec",
+                lhs: self.shape(),
+                rhs: (x.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = self.row(i);
+            *o = row.iter().zip(x).map(|(&a, &b)| a * b).sum();
+        }
+        Ok(out)
+    }
+
+    /// Element-wise sum `self + rhs`.
+    pub fn add(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "add",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
+        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+    }
+
+    /// Element-wise difference `self - rhs`.
+    pub fn sub(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "sub",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
+        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+    }
+
+    /// Scalar multiple `self * s`.
+    pub fn scale(&self, s: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|a| a * s).collect(),
+        }
+    }
+
+    /// Largest absolute element, or 0 for an empty matrix.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
+    }
+
+    /// Whether every element of `self - rhs` has magnitude below `tol`.
+    pub fn approx_eq(&self, rhs: &Matrix, tol: f64) -> bool {
+        self.shape() == rhs.shape()
+            && self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl std::fmt::Display for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let cells: Vec<String> = row.iter().map(|v| format!("{v:9.4}")).collect();
+            writeln!(f, "[ {} ]", cells.join(" "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_round_trips_indexing() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(0, 2)], 3.0);
+        assert_eq!(m[(1, 0)], 4.0);
+        assert_eq!(m[(1, 2)], 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_rejects_bad_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let i = Matrix::identity(2);
+        assert_eq!(m.matmul(&i).unwrap(), m);
+        assert_eq!(i.matmul(&m).unwrap(), m);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().shape(), (3, 2));
+        assert_eq!(m.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(a.matmul(&b), Err(LinalgError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn matvec_known_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 0.0, 2.0], vec![0.0, 3.0, 0.0]]);
+        let y = a.matvec(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(y, vec![7.0, 6.0]);
+    }
+
+    #[test]
+    fn matvec_rejects_wrong_length() {
+        let a = Matrix::zeros(2, 3);
+        assert!(a.matvec(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn add_sub_scale_roundtrip() {
+        let a = Matrix::from_rows(&[vec![1.0, -2.0], vec![0.5, 4.0]]);
+        let b = a.scale(2.0);
+        let sum = a.add(&a).unwrap();
+        assert_eq!(sum, b);
+        let diff = b.sub(&a).unwrap();
+        assert_eq!(diff, a);
+    }
+
+    #[test]
+    fn col_extraction() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        assert_eq!(m.col(1), vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn max_abs_and_approx_eq() {
+        let a = Matrix::from_rows(&[vec![1.0, -3.5], vec![2.0, 0.0]]);
+        assert_eq!(a.max_abs(), 3.5);
+        let b = a.scale(1.0 + 1e-12);
+        assert!(a.approx_eq(&b, 1e-9));
+        assert!(!a.approx_eq(&b, 1e-15));
+    }
+
+    #[test]
+    fn empty_matrix_is_empty() {
+        let m = Matrix::zeros(0, 0);
+        assert!(m.is_empty());
+        assert_eq!(m.max_abs(), 0.0);
+    }
+}

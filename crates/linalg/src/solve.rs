@@ -1,0 +1,132 @@
+//! Triangular solves, least squares, and inversion — all built on QR.
+
+use crate::{qr_decompose, LinalgError, Matrix, Result};
+
+/// Solves `R x = b` for upper-triangular `R` by back substitution.
+///
+/// # Errors
+/// * [`LinalgError::ShapeMismatch`] if `R` is not square or `b` has the
+///   wrong length.
+/// * [`LinalgError::RankDeficient`] if a diagonal entry is exactly zero.
+pub fn solve_upper_triangular(r: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let (m, n) = r.shape();
+    if m != n {
+        return Err(LinalgError::ShapeMismatch { op: "solve_upper_triangular", lhs: (m, n), rhs: (b.len(), 1) });
+    }
+    if b.len() != n {
+        return Err(LinalgError::ShapeMismatch { op: "solve_upper_triangular", lhs: (m, n), rhs: (b.len(), 1) });
+    }
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = b[i];
+        for j in (i + 1)..n {
+            s -= r[(i, j)] * x[j];
+        }
+        let d = r[(i, i)];
+        if d == 0.0 {
+            return Err(LinalgError::RankDeficient { pivot: i, magnitude: 0.0 });
+        }
+        x[i] = s / d;
+    }
+    Ok(x)
+}
+
+/// Solves the least-squares problem `min ‖A x − b‖₂` for a full-column-rank
+/// `A` via thin QR: `x = R⁻¹ Qᵀ b`.
+///
+/// # Errors
+/// Propagates QR errors (empty / wide / rank-deficient inputs) and shape
+/// mismatches between `A` and `b`.
+pub fn solve_least_squares(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    if a.rows() != b.len() {
+        return Err(LinalgError::ShapeMismatch { op: "solve_least_squares", lhs: a.shape(), rhs: (b.len(), 1) });
+    }
+    let qr = qr_decompose(a)?;
+    let qtb = qr.q.transpose().matvec(b)?;
+    solve_upper_triangular(&qr.r, &qtb)
+}
+
+/// Inverts a square, full-rank matrix via QR (`A⁻¹ = R⁻¹ Qᵀ`).
+///
+/// # Errors
+/// * [`LinalgError::ShapeMismatch`] if `a` is not square.
+/// * QR errors for empty or singular inputs.
+pub fn invert(a: &Matrix) -> Result<Matrix> {
+    let (m, n) = a.shape();
+    if m != n {
+        return Err(LinalgError::ShapeMismatch { op: "invert", lhs: (m, n), rhs: (m, n) });
+    }
+    let qr = qr_decompose(a)?;
+    let qt = qr.q.transpose();
+    let mut inv = Matrix::zeros(n, n);
+    // Solve R x = Qᵀ e_j column by column.
+    for j in 0..n {
+        let col = qt.col(j);
+        let x = solve_upper_triangular(&qr.r, &col)?;
+        for i in 0..n {
+            inv[(i, j)] = x[i];
+        }
+    }
+    Ok(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn back_substitution_known_system() {
+        let r = Matrix::from_rows(&[vec![2.0, 1.0], vec![0.0, 3.0]]);
+        let x = solve_upper_triangular(&r, &[5.0, 6.0]).unwrap();
+        assert!((x[1] - 2.0).abs() < 1e-12);
+        assert!((x[0] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn back_substitution_rejects_singular() {
+        let r = Matrix::from_rows(&[vec![1.0, 1.0], vec![0.0, 0.0]]);
+        assert!(matches!(
+            solve_upper_triangular(&r, &[1.0, 1.0]),
+            Err(LinalgError::RankDeficient { .. })
+        ));
+    }
+
+    #[test]
+    fn least_squares_exact_system() {
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, -1.0]]);
+        let x = solve_least_squares(&a, &[3.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-10);
+        assert!((x[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_overdetermined_projects() {
+        // Fit y = c to observations [1, 2, 3]; the LS answer is the mean.
+        let a = Matrix::from_rows(&[vec![1.0], vec![1.0], vec![1.0]]);
+        let x = solve_least_squares(&a, &[1.0, 2.0, 3.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn invert_times_original_is_identity() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 7.0, 1.0],
+            vec![2.0, 6.0, 0.0],
+            vec![1.0, 0.0, 3.0],
+        ]);
+        let inv = invert(&a).unwrap();
+        assert!(a.matmul(&inv).unwrap().approx_eq(&Matrix::identity(3), 1e-10));
+        assert!(inv.matmul(&a).unwrap().approx_eq(&Matrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn invert_rejects_non_square() {
+        assert!(invert(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn invert_rejects_singular() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(matches!(invert(&a), Err(LinalgError::RankDeficient { .. })));
+    }
+}

@@ -1,0 +1,167 @@
+//! The Laplace distribution, implemented from scratch.
+//!
+//! `rand_distr` is not in the allowed offline crate set, and the sampler
+//! is ten lines via inverse-CDF, so we own it — along with the CDF and
+//! quantile functions that the accuracy proofs (Appendix A.1) use.
+
+use rand::Rng;
+
+/// A zero-mean Laplace distribution with scale `b`:
+/// `p(x) = exp(−|x|/b) / (2b)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Laplace {
+    b: f64,
+}
+
+impl Laplace {
+    /// Creates a Laplace distribution with scale `b`.
+    ///
+    /// # Panics
+    /// Panics if `b` is not strictly positive and finite — a scale of zero
+    /// would make a mechanism silently non-private.
+    pub fn new(b: f64) -> Self {
+        assert!(b.is_finite() && b > 0.0, "Laplace scale must be positive and finite, got {b}");
+        Self { b }
+    }
+
+    /// The scale parameter `b`.
+    #[inline]
+    pub fn scale(&self) -> f64 {
+        self.b
+    }
+
+    /// Draws one sample via inverse-CDF: for `u ~ U(-1/2, 1/2)`,
+    /// `x = −b · sgn(u) · ln(1 − 2|u|)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Open interval avoids ln(0).
+        let u: f64 = rng.gen_range(-0.5..0.5);
+        let mag = -(1.0 - 2.0 * u.abs()).ln() * self.b;
+        if u < 0.0 {
+            -mag
+        } else {
+            mag
+        }
+    }
+
+    /// Draws `n` i.i.d. samples.
+    pub fn sample_vec<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// The CDF `P(X ≤ x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.5 * (x / self.b).exp()
+        } else {
+            1.0 - 0.5 * (-x / self.b).exp()
+        }
+    }
+
+    /// The survival function of the absolute value: `P(|X| > t)` for
+    /// `t ≥ 0`, which is `exp(−t/b)`. This is the quantity every accuracy
+    /// proof in Appendix A bounds.
+    pub fn abs_tail(&self, t: f64) -> f64 {
+        debug_assert!(t >= 0.0);
+        (-t / self.b).exp()
+    }
+
+    /// The quantile function (inverse CDF).
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "quantile needs p in [0,1], got {p}");
+        if p == 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        if p == 1.0 {
+            return f64::INFINITY;
+        }
+        if p < 0.5 {
+            self.b * (2.0 * p).ln()
+        } else {
+            -self.b * (2.0 * (1.0 - p)).ln()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    #[should_panic(expected = "Laplace scale must be positive")]
+    fn zero_scale_panics() {
+        let _ = Laplace::new(0.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_symmetric() {
+        let d = Laplace::new(2.0);
+        assert!((d.cdf(0.0) - 0.5).abs() < 1e-12);
+        assert!(d.cdf(-1.0) < d.cdf(0.0));
+        assert!(d.cdf(1.0) > d.cdf(0.0));
+        // Symmetry: F(-x) = 1 - F(x).
+        for x in [0.1, 1.0, 3.7] {
+            assert!((d.cdf(-x) - (1.0 - d.cdf(x))).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let d = Laplace::new(1.5);
+        for p in [0.01, 0.25, 0.5, 0.75, 0.99] {
+            let x = d.quantile(p);
+            assert!((d.cdf(x) - p).abs() < 1e-10, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn abs_tail_matches_cdf() {
+        let d = Laplace::new(0.7);
+        for t in [0.0, 0.5, 2.0] {
+            let via_cdf = d.cdf(-t) + (1.0 - d.cdf(t));
+            assert!((d.abs_tail(t) - via_cdf).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sample_moments_are_plausible() {
+        let d = Laplace::new(3.0);
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 200_000;
+        let xs = d.sample_vec(n, &mut rng);
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        // Var = 2b² = 18.
+        assert!((var - 18.0).abs() < 0.6, "var {var}");
+    }
+
+    #[test]
+    fn sample_tail_frequency_matches_theory() {
+        let d = Laplace::new(1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let t = 2.0;
+        let exceed = d.sample_vec(n, &mut rng).iter().filter(|x| x.abs() > t).count();
+        let expected = d.abs_tail(t); // e^-2 ≈ 0.1353
+        let frac = exceed as f64 / n as f64;
+        assert!((frac - expected).abs() < 0.01, "frac {frac} vs {expected}");
+    }
+
+    #[test]
+    fn empirical_ks_statistic_is_small() {
+        let d = Laplace::new(2.5);
+        let mut rng = StdRng::seed_from_u64(1234);
+        let n = 50_000;
+        let mut xs = d.sample_vec(n, &mut rng);
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut ks: f64 = 0.0;
+        for (i, x) in xs.iter().enumerate() {
+            let emp = (i + 1) as f64 / n as f64;
+            ks = ks.max((emp - d.cdf(*x)).abs());
+        }
+        // 99.9% KS critical value ≈ 1.95 / sqrt(n) ≈ 0.0087.
+        assert!(ks < 0.009, "KS statistic {ks}");
+    }
+}

@@ -1,0 +1,265 @@
+//! The baseline Laplace mechanism (Algorithm 2) for all three query types.
+
+use apex_data::Dataset;
+use apex_query::{AccuracySpec, QueryAnswer, QueryKind};
+use rand::rngs::StdRng;
+
+use crate::traits::top_k_indices;
+use crate::{Laplace, MechError, MechOutput, Mechanism, PreparedQuery, Translation, EPSILON_FLOOR};
+
+/// The vector-form Laplace mechanism `LM(W, x) = Wx + Lap(‖W‖₁/ε)^L`
+/// (Definition 5.1), specialized per query type exactly as Algorithm 2:
+///
+/// * **WCQ** — return the noisy counts;
+/// * **ICQ** — return bins whose *noisy* count exceeds `c` (a
+///   post-processing step, so privacy is unchanged);
+/// * **TCQ** — return the bins with the `k` largest noisy counts
+///   (post-processing again; contrast with [`crate::LaplaceTopKMechanism`]
+///   whose noise scale is `k/ε` instead of `‖W‖₁/ε`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LaplaceMechanism;
+
+impl LaplaceMechanism {
+    /// The noise scale `b` needed for `(α, β)`-accuracy on a workload of
+    /// `L` queries, per query type (Theorem 5.2 / Appendix A.1):
+    ///
+    /// * WCQ: `b = α / ln(1/(1 − (1−β)^{1/L}))` — two-sided per-bin tail
+    ///   `e^{−α/b}`, union-bounded exactly via `1 − (1−e^{−α/b})^L ≤ β`.
+    /// * ICQ: `b = α / (ln(1/(1 − (1−β)^{1/L})) − ln 2)` — the mislabeling
+    ///   events are one-sided, halving the per-bin tail.
+    /// * TCQ: `b = α / (2 ln(L/(2β)))` — Appendix A.1's union bound over
+    ///   the two `α/2` one-sided events.
+    fn required_epsilon(q: &PreparedQuery, acc: &AccuracySpec) -> Result<f64, MechError> {
+        let l = q.n_queries() as f64;
+        let alpha = acc.alpha();
+        let beta = acc.beta();
+        let sens = q.sensitivity();
+        let eps = match q.kind() {
+            QueryKind::Wcq => {
+                let per_bin = 1.0 - (1.0 - beta).powf(1.0 / l);
+                sens * (1.0 / per_bin).ln() / alpha
+            }
+            QueryKind::Icq { .. } => {
+                let per_bin = 1.0 - (1.0 - beta).powf(1.0 / l);
+                sens * ((1.0 / per_bin).ln() - std::f64::consts::LN_2) / alpha
+            }
+            QueryKind::Tcq { k } => {
+                if k > q.n_queries() {
+                    return Err(MechError::BadK { k, workload: q.n_queries() });
+                }
+                sens * 2.0 * (l / (2.0 * beta)).ln() / alpha
+            }
+        };
+        Ok(eps.max(EPSILON_FLOOR))
+    }
+}
+
+impl Mechanism for LaplaceMechanism {
+    fn name(&self) -> &'static str {
+        "LM"
+    }
+
+    fn supports(&self, _kind: QueryKind) -> bool {
+        true
+    }
+
+    fn translate(&self, q: &PreparedQuery, acc: &AccuracySpec) -> Result<Translation, MechError> {
+        Ok(Translation::exact(Self::required_epsilon(q, acc)?))
+    }
+
+    fn run(
+        &self,
+        q: &PreparedQuery,
+        acc: &AccuracySpec,
+        data: &Dataset,
+        rng: &mut StdRng,
+    ) -> Result<MechOutput, MechError> {
+        let eps = Self::required_epsilon(q, acc)?;
+        let b = q.sensitivity() / eps;
+        let true_counts = q.compiled().true_answer(data);
+        let noise = Laplace::new(b).sample_vec(true_counts.len(), rng);
+        let noisy: Vec<f64> = true_counts.iter().zip(&noise).map(|(t, n)| t + n).collect();
+
+        let answer = match q.kind() {
+            QueryKind::Wcq => QueryAnswer::Counts(noisy),
+            QueryKind::Icq { threshold } => QueryAnswer::Bins(
+                noisy
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v > threshold)
+                    .map(|(i, _)| i)
+                    .collect(),
+            ),
+            QueryKind::Tcq { k } => QueryAnswer::Bins(top_k_indices(&noisy, k)),
+        };
+        Ok(MechOutput { answer, epsilon: eps })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex_data::{Attribute, Dataset, Domain, Predicate, Schema, Value};
+    use apex_query::ExplorationQuery;
+    use rand::SeedableRng;
+
+    fn schema() -> Schema {
+        Schema::new(vec![Attribute::new("v", Domain::IntRange { min: 0, max: 99 })]).unwrap()
+    }
+
+    fn data() -> Dataset {
+        let mut d = Dataset::empty(schema());
+        // Counts per decade bin: bin0 = 50, bin1 = 30, bin2 = 10, rest ~0.
+        for _ in 0..50 {
+            d.push(vec![Value::Int(5)]).unwrap();
+        }
+        for _ in 0..30 {
+            d.push(vec![Value::Int(15)]).unwrap();
+        }
+        for _ in 0..10 {
+            d.push(vec![Value::Int(25)]).unwrap();
+        }
+        d
+    }
+
+    fn histogram(bins: usize) -> Vec<Predicate> {
+        (0..bins)
+            .map(|i| Predicate::range("v", (10 * i) as f64, (10 * (i + 1)) as f64))
+            .collect()
+    }
+
+    fn prepare(q: &ExplorationQuery) -> PreparedQuery {
+        PreparedQuery::prepare(&schema(), q).unwrap()
+    }
+
+    #[test]
+    fn wcq_translate_matches_closed_form() {
+        let q = prepare(&ExplorationQuery::wcq(histogram(10)));
+        let acc = AccuracySpec::new(10.0, 0.05).unwrap();
+        let t = LaplaceMechanism.translate(&q, &acc).unwrap();
+        let per_bin: f64 = 1.0 - 0.95_f64.powf(0.1);
+        let expect = (1.0 / per_bin).ln() / 10.0;
+        assert!((t.upper - expect).abs() < 1e-12);
+        assert_eq!(t.lower, t.upper);
+    }
+
+    #[test]
+    fn icq_translate_is_cheaper_than_wcq() {
+        let acc = AccuracySpec::new(10.0, 0.05).unwrap();
+        let wcq = prepare(&ExplorationQuery::wcq(histogram(10)));
+        let icq = prepare(&ExplorationQuery::icq(histogram(10), 20.0));
+        let ew = LaplaceMechanism.translate(&wcq, &acc).unwrap().upper;
+        let ei = LaplaceMechanism.translate(&icq, &acc).unwrap().upper;
+        assert!(ei < ew, "one-sided ICQ must cost less: {ei} vs {ew}");
+    }
+
+    #[test]
+    fn translate_scales_inversely_with_alpha() {
+        let q = prepare(&ExplorationQuery::wcq(histogram(10)));
+        let e1 = LaplaceMechanism
+            .translate(&q, &AccuracySpec::new(5.0, 0.05).unwrap())
+            .unwrap()
+            .upper;
+        let e2 = LaplaceMechanism
+            .translate(&q, &AccuracySpec::new(10.0, 0.05).unwrap())
+            .unwrap()
+            .upper;
+        assert!((e1 / e2 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn translate_scales_with_sensitivity() {
+        // Prefix workload has sensitivity L.
+        let prefix: Vec<Predicate> = (1..=10)
+            .map(|i| Predicate::range("v", 0.0, (10 * i) as f64))
+            .collect();
+        let acc = AccuracySpec::new(10.0, 0.05).unwrap();
+        let qh = prepare(&ExplorationQuery::wcq(histogram(10)));
+        let qp = prepare(&ExplorationQuery::wcq(prefix));
+        let eh = LaplaceMechanism.translate(&qh, &acc).unwrap().upper;
+        let ep = LaplaceMechanism.translate(&qp, &acc).unwrap().upper;
+        assert!((ep / eh - 10.0).abs() < 1e-9, "prefix costs L× more");
+    }
+
+    #[test]
+    fn wcq_run_meets_accuracy_bound_empirically() {
+        let q = prepare(&ExplorationQuery::wcq(histogram(10)));
+        let acc = AccuracySpec::new(15.0, 0.1).unwrap();
+        let d = data();
+        let truth = q.compiled().true_answer(&d);
+        let mut rng = StdRng::seed_from_u64(42);
+        let runs = 400;
+        let mut failures = 0;
+        for _ in 0..runs {
+            let out = LaplaceMechanism.run(&q, &acc, &d, &mut rng).unwrap();
+            let counts = out.answer.as_counts().unwrap();
+            let err = counts
+                .iter()
+                .zip(&truth)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0_f64, f64::max);
+            if err >= acc.alpha() {
+                failures += 1;
+            }
+        }
+        // β = 0.1; with 400 runs the failure rate should be well below 2β.
+        assert!(
+            (failures as f64) < 2.0 * acc.beta() * runs as f64 + 3.0,
+            "failures = {failures}"
+        );
+    }
+
+    #[test]
+    fn icq_run_labels_clear_bins_correctly() {
+        // Threshold 20 with α = 15: bin0 (50) must be included, bins with
+        // count 0 must be excluded; bin2 (10) is within [c−α, c+α] — free.
+        let q = prepare(&ExplorationQuery::icq(histogram(10), 20.0));
+        let acc = AccuracySpec::new(15.0, 0.05).unwrap();
+        let d = data();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let out = LaplaceMechanism.run(&q, &acc, &d, &mut rng).unwrap();
+            let bins = out.answer.as_bins().unwrap();
+            assert!(bins.contains(&0), "bin 0 (count 50 > c+α) missing");
+            for &b in bins {
+                assert!(b <= 2, "bin {b} (count 0 < c−α) wrongly included");
+            }
+        }
+    }
+
+    #[test]
+    fn tcq_run_returns_k_bins() {
+        let q = prepare(&ExplorationQuery::tcq(histogram(10), 2));
+        let acc = AccuracySpec::new(15.0, 0.05).unwrap();
+        let d = data();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let out = LaplaceMechanism.run(&q, &acc, &d, &mut rng).unwrap();
+            let bins = out.answer.as_bins().unwrap();
+            assert_eq!(bins.len(), 2);
+            // counts 50 and 30 vs everything ≤ 10 with α = 15: the top-2
+            // must be bins 0 and 1.
+            assert!(bins.contains(&0) && bins.contains(&1), "got {bins:?}");
+        }
+    }
+
+    #[test]
+    fn tcq_bad_k_rejected() {
+        let q = prepare(&ExplorationQuery::tcq(histogram(4), 9));
+        let acc = AccuracySpec::new(15.0, 0.05).unwrap();
+        assert!(matches!(
+            LaplaceMechanism.translate(&q, &acc),
+            Err(MechError::BadK { .. })
+        ));
+    }
+
+    #[test]
+    fn run_charges_exactly_the_translated_epsilon() {
+        let q = prepare(&ExplorationQuery::wcq(histogram(10)));
+        let acc = AccuracySpec::new(10.0, 0.05).unwrap();
+        let t = LaplaceMechanism.translate(&q, &acc).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = LaplaceMechanism.run(&q, &acc, &data(), &mut rng).unwrap();
+        assert_eq!(out.epsilon, t.upper);
+    }
+}

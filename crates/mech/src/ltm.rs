@@ -1,0 +1,184 @@
+//! The Laplace top-k mechanism for TCQ (Algorithm 5) — a generalized
+//! report-noisy-max.
+
+use apex_data::Dataset;
+use apex_query::{AccuracySpec, QueryAnswer, QueryKind};
+use rand::rngs::StdRng;
+
+use crate::traits::{top_k_indices, unsupported};
+use crate::{Laplace, MechError, MechOutput, Mechanism, PreparedQuery, Translation, EPSILON_FLOOR};
+
+/// The Laplace top-k mechanism: perturb all counts with `Lap(k/ε)` noise,
+/// release **only** the identities of the `k` largest (never the counts —
+/// the report-noisy-max privacy argument, Appendix A.4, covers identities
+/// only).
+///
+/// Its privacy cost `εᵘ = 2k·ln(L/(2β))/α` is independent of the workload
+/// sensitivity `‖W‖₁`, which is why it dominates the baseline LM whenever
+/// the workload has overlapping predicates (Table 2: QT2/QT4) but loses
+/// on sensitivity-1 workloads with small `k` … neither dominates, so APEx
+/// keeps both (Section 5.4).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LaplaceTopKMechanism;
+
+impl LaplaceTopKMechanism {
+    fn required_epsilon(q: &PreparedQuery, acc: &AccuracySpec) -> Result<f64, MechError> {
+        match q.kind() {
+            QueryKind::Tcq { k } => {
+                if k > q.n_queries() {
+                    return Err(MechError::BadK { k, workload: q.n_queries() });
+                }
+                let l = q.n_queries() as f64;
+                let eps = 2.0 * k as f64 * (l / (2.0 * acc.beta())).ln() / acc.alpha();
+                Ok(eps.max(EPSILON_FLOOR))
+            }
+            other => Err(unsupported("LTM", other)),
+        }
+    }
+}
+
+impl Mechanism for LaplaceTopKMechanism {
+    fn name(&self) -> &'static str {
+        "LTM"
+    }
+
+    fn supports(&self, kind: QueryKind) -> bool {
+        matches!(kind, QueryKind::Tcq { .. })
+    }
+
+    fn translate(&self, q: &PreparedQuery, acc: &AccuracySpec) -> Result<Translation, MechError> {
+        Ok(Translation::exact(Self::required_epsilon(q, acc)?))
+    }
+
+    fn run(
+        &self,
+        q: &PreparedQuery,
+        acc: &AccuracySpec,
+        data: &Dataset,
+        rng: &mut StdRng,
+    ) -> Result<MechOutput, MechError> {
+        let eps = Self::required_epsilon(q, acc)?;
+        let k = match q.kind() {
+            QueryKind::Tcq { k } => k,
+            other => return Err(unsupported("LTM", other)),
+        };
+        let b = k as f64 / eps;
+        let lap = Laplace::new(b);
+        let noisy: Vec<f64> =
+            q.compiled().true_answer(data).iter().map(|v| v + lap.sample(rng)).collect();
+        Ok(MechOutput { answer: QueryAnswer::Bins(top_k_indices(&noisy, k)), epsilon: eps })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex_data::{Attribute, Dataset, Domain, Predicate, Schema, Value};
+    use apex_query::ExplorationQuery;
+    use crate::LaplaceMechanism;
+    use rand::SeedableRng;
+
+    fn schema() -> Schema {
+        Schema::new(vec![Attribute::new("v", Domain::IntRange { min: 0, max: 19 })]).unwrap()
+    }
+
+    fn data() -> Dataset {
+        let mut d = Dataset::empty(schema());
+        // Bin i holds 50·(20−i) rows: clear separation between top bins.
+        for i in 0..20_i64 {
+            for _ in 0..(50 * (20 - i)) {
+                d.push(vec![Value::Int(i)]).unwrap();
+            }
+        }
+        d
+    }
+
+    fn tcq(l: usize, k: usize) -> ExplorationQuery {
+        ExplorationQuery::tcq((0..l).map(|i| Predicate::eq("v", i as i64)).collect(), k)
+    }
+
+    #[test]
+    fn translate_closed_form() {
+        let q = PreparedQuery::prepare(&schema(), &tcq(20, 5)).unwrap();
+        let acc = AccuracySpec::new(25.0, 0.0005).unwrap();
+        let t = LaplaceTopKMechanism.translate(&q, &acc).unwrap();
+        let expect = 2.0 * 5.0 * (20.0_f64 / 0.001).ln() / 25.0;
+        assert!((t.upper - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_is_linear_in_k_and_independent_of_sensitivity() {
+        let acc = AccuracySpec::new(25.0, 0.0005).unwrap();
+        let e1 = LaplaceTopKMechanism
+            .translate(&PreparedQuery::prepare(&schema(), &tcq(20, 1)).unwrap(), &acc)
+            .unwrap()
+            .upper;
+        let e5 = LaplaceTopKMechanism
+            .translate(&PreparedQuery::prepare(&schema(), &tcq(20, 5)).unwrap(), &acc)
+            .unwrap()
+            .upper;
+        assert!((e5 / e1 - 5.0).abs() < 1e-9);
+
+        // High-sensitivity workload: overlapping prefix bins. LTM cost
+        // must not change; LM cost must scale with ‖W‖₁.
+        let prefix = ExplorationQuery::tcq(
+            (1..=20).map(|i| Predicate::range("v", 0.0, i as f64)).collect(),
+            5,
+        );
+        let qp = PreparedQuery::prepare(&schema(), &prefix).unwrap();
+        assert_eq!(qp.sensitivity(), 20.0);
+        let e_ltm = LaplaceTopKMechanism.translate(&qp, &acc).unwrap().upper;
+        assert!((e_ltm - e5).abs() < 1e-9, "LTM ignores sensitivity");
+        let e_lm = LaplaceMechanism.translate(&qp, &acc).unwrap().upper;
+        assert!(e_lm > e_ltm, "LM pays sensitivity on prefix TCQ");
+    }
+
+    #[test]
+    fn lm_beats_ltm_for_small_k_low_sensitivity() {
+        // Table 2 (QT1/QT3): on sensitivity-1 workloads with k = 10, LM's
+        // 2·ln(L/2β)·‖W‖₁ beats LTM's 2k·ln(L/2β).
+        let acc = AccuracySpec::new(25.0, 0.0005).unwrap();
+        let q = PreparedQuery::prepare(&schema(), &tcq(20, 10)).unwrap();
+        let e_lm = LaplaceMechanism.translate(&q, &acc).unwrap().upper;
+        let e_ltm = LaplaceTopKMechanism.translate(&q, &acc).unwrap().upper;
+        assert!(e_lm < e_ltm);
+    }
+
+    #[test]
+    fn run_returns_correct_top_k_on_separated_data() {
+        let q = PreparedQuery::prepare(&schema(), &tcq(20, 3)).unwrap();
+        let acc = AccuracySpec::new(40.0, 0.0005).unwrap();
+        let d = data();
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..100 {
+            let out = LaplaceTopKMechanism.run(&q, &acc, &d, &mut rng).unwrap();
+            let bins = out.answer.as_bins().unwrap();
+            assert_eq!(bins.len(), 3);
+            // Separation (50/bin) ≥ ck ± α: the true top 3 must appear.
+            let set: std::collections::HashSet<_> = bins.iter().collect();
+            assert!(set.contains(&0) && set.contains(&1) && set.contains(&2), "{bins:?}");
+        }
+    }
+
+    #[test]
+    fn bad_k_rejected() {
+        let q = PreparedQuery::prepare(&schema(), &tcq(5, 6)).unwrap();
+        let acc = AccuracySpec::new(10.0, 0.05).unwrap();
+        assert!(matches!(
+            LaplaceTopKMechanism.translate(&q, &acc),
+            Err(MechError::BadK { .. })
+        ));
+    }
+
+    #[test]
+    fn non_tcq_rejected() {
+        let q = PreparedQuery::prepare(
+            &schema(),
+            &ExplorationQuery::wcq(vec![Predicate::eq("v", 0_i64)]),
+        )
+        .unwrap();
+        let acc = AccuracySpec::new(10.0, 0.05).unwrap();
+        assert!(!LaplaceTopKMechanism.supports(q.kind()));
+        assert!(LaplaceTopKMechanism.translate(&q, &acc).is_err());
+    }
+}

@@ -1,0 +1,288 @@
+//! The multi-poking mechanism for ICQ (Algorithm 4) — APEx's
+//! data-dependent translation.
+//!
+//! Intuition (Example 5.4): when bin counts are far from the iceberg
+//! threshold `c`, a much noisier (cheaper) answer suffices to decide the
+//! labels. MPM "pokes" up to `m` times with increasing privacy cost
+//! `ε_i = (i+1)·ε_max/m`; at each poke it checks which bins are already
+//! decidable given the current noise bound `α_i`, and stops as soon as all
+//! are. Crucially, successive pokes *refine* the same noise via the
+//! gradual-release kernel ([`crate::relax_laplace`]), so the total privacy
+//! loss at poke `i` is `ε_i` — not the sum.
+
+use apex_data::Dataset;
+use apex_query::{AccuracySpec, QueryAnswer, QueryKind};
+use rand::rngs::StdRng;
+
+use crate::traits::unsupported;
+use crate::{Laplace, MechError, MechOutput, Mechanism, PreparedQuery, Translation, EPSILON_FLOOR};
+
+/// Default number of pokes (the paper fixes `m = 10` in Algorithm 4).
+pub const DEFAULT_POKES: usize = 10;
+
+/// The multi-poking mechanism (ICQ only).
+#[derive(Debug, Clone, Copy)]
+pub struct MultiPokingMechanism {
+    m: usize,
+}
+
+impl Default for MultiPokingMechanism {
+    fn default() -> Self {
+        Self { m: DEFAULT_POKES }
+    }
+}
+
+impl MultiPokingMechanism {
+    /// A multi-poking mechanism with `m` pokes.
+    ///
+    /// # Panics
+    /// Panics if `m == 0`.
+    pub fn new(m: usize) -> Self {
+        assert!(m > 0, "multi-poking requires at least one poke");
+        Self { m }
+    }
+
+    /// The configured poke count `m`.
+    pub fn pokes(&self) -> usize {
+        self.m
+    }
+
+    /// `ε_max = ‖W‖₁ · ln(mL/(2β)) / α` (the `translate` of Algorithm 4).
+    fn eps_max(&self, q: &PreparedQuery, acc: &AccuracySpec) -> f64 {
+        let l = q.n_queries() as f64;
+        let m = self.m as f64;
+        (q.sensitivity() * (m * l / (2.0 * acc.beta())).ln() / acc.alpha()).max(EPSILON_FLOOR)
+    }
+}
+
+impl Mechanism for MultiPokingMechanism {
+    fn name(&self) -> &'static str {
+        "MPM"
+    }
+
+    fn supports(&self, kind: QueryKind) -> bool {
+        matches!(kind, QueryKind::Icq { .. })
+    }
+
+    fn translate(&self, q: &PreparedQuery, acc: &AccuracySpec) -> Result<Translation, MechError> {
+        match q.kind() {
+            QueryKind::Icq { .. } => {
+                let upper = self.eps_max(q, acc);
+                Ok(Translation { lower: upper / self.m as f64, upper })
+            }
+            other => Err(unsupported("MPM", other)),
+        }
+    }
+
+    fn run(
+        &self,
+        q: &PreparedQuery,
+        acc: &AccuracySpec,
+        data: &Dataset,
+        rng: &mut StdRng,
+    ) -> Result<MechOutput, MechError> {
+        let threshold = match q.kind() {
+            QueryKind::Icq { threshold } => threshold,
+            other => return Err(unsupported("MPM", other)),
+        };
+
+        let sens = q.sensitivity();
+        let l = q.n_queries();
+        let m = self.m;
+        let eps_max = self.eps_max(q, acc);
+        let alpha = acc.alpha();
+        let beta = acc.beta();
+
+        // True differences W x − c (computed once; pokes only change noise).
+        let diffs: Vec<f64> =
+            q.compiled().true_answer(data).iter().map(|v| v - threshold).collect();
+
+        // Poke 0 at ε₀ = ε_max / m.
+        let mut eps_i = eps_max / m as f64;
+        let lap0 = Laplace::new(sens / eps_i);
+        let mut noise: Vec<f64> = lap0.sample_vec(l, rng);
+
+        for _poke in 0..m.saturating_sub(1) {
+            // α_i = ‖W‖₁ · ln(mL/(2β)) / ε_i — the per-poke noise bound
+            // that holds simultaneously for all bins and pokes w.p. 1−β.
+            let alpha_i = sens * ((m * l) as f64 / (2.0 * beta)).ln() / eps_i;
+
+            // Decidable bins (Lines 8-9): noisy difference clears the
+            // current noise bound on the positive or negative side.
+            let mut all_decided = true;
+            let mut positive = Vec::new();
+            for (j, d) in diffs.iter().enumerate() {
+                let y = d + noise[j];
+                if (y - alpha_i) / alpha >= -1.0 {
+                    positive.push(j);
+                } else if (y + alpha_i) / alpha <= 1.0 {
+                    // decided negative
+                } else {
+                    all_decided = false;
+                    break;
+                }
+            }
+            if all_decided {
+                return Ok(MechOutput { answer: QueryAnswer::Bins(positive), epsilon: eps_i });
+            }
+
+            // Relax: refine every bin's noise to the next privacy level.
+            let eps_next = eps_i + eps_max / m as f64;
+            // Work in normalized units: noise = sens · η with η ~ Lap(1/ε).
+            for v in noise.iter_mut() {
+                let eta = *v / sens;
+                let eta2 = crate::relax_laplace(eta, eps_i, eps_next, rng);
+                *v = eta2 * sens;
+            }
+            eps_i = eps_next;
+        }
+
+        // Final poke (Line 20): answer by the sign of the noisy difference.
+        let positive: Vec<usize> = diffs
+            .iter()
+            .enumerate()
+            .filter(|(j, d)| *d + noise[*j] > 0.0)
+            .map(|(j, _)| j)
+            .collect();
+        Ok(MechOutput { answer: QueryAnswer::Bins(positive), epsilon: eps_max })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex_data::{Attribute, Dataset, Domain, Predicate, Schema, Value};
+    use apex_query::ExplorationQuery;
+    use crate::LaplaceMechanism;
+    use rand::SeedableRng;
+
+    fn schema() -> Schema {
+        Schema::new(vec![Attribute::new("v", Domain::IntRange { min: 0, max: 9 })]).unwrap()
+    }
+
+    /// Counts per value bin given explicitly.
+    fn data_with_counts(counts: &[usize]) -> Dataset {
+        let mut d = Dataset::empty(schema());
+        for (v, &n) in counts.iter().enumerate() {
+            for _ in 0..n {
+                d.push(vec![Value::Int(v as i64)]).unwrap();
+            }
+        }
+        d
+    }
+
+    fn icq(bins: usize, c: f64) -> ExplorationQuery {
+        ExplorationQuery::icq(
+            (0..bins).map(|i| Predicate::eq("v", i as i64)).collect(),
+            c,
+        )
+    }
+
+    #[test]
+    fn translate_bounds() {
+        let q = PreparedQuery::prepare(&schema(), &icq(10, 50.0)).unwrap();
+        let acc = AccuracySpec::new(10.0, 0.0005).unwrap();
+        let mpm = MultiPokingMechanism::default();
+        let t = mpm.translate(&q, &acc).unwrap();
+        let expect = (10.0_f64 * 10.0 / (2.0 * 0.0005)).ln() / 10.0;
+        assert!((t.upper - expect).abs() < 1e-12);
+        assert!((t.lower - expect / 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wcq_is_unsupported() {
+        let q = PreparedQuery::prepare(
+            &schema(),
+            &ExplorationQuery::wcq(vec![Predicate::eq("v", 0_i64)]),
+        )
+        .unwrap();
+        let acc = AccuracySpec::new(10.0, 0.05).unwrap();
+        assert!(matches!(
+            MultiPokingMechanism::default().translate(&q, &acc),
+            Err(MechError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn far_counts_stop_early_and_cost_less() {
+        // Counts 1000 or 0, threshold 500: every bin is miles from c, so
+        // the first poke should decide and the actual cost should be far
+        // below ε_max.
+        let d = data_with_counts(&[1000, 1000, 0, 0, 0]);
+        let q = PreparedQuery::prepare(&schema(), &icq(5, 500.0)).unwrap();
+        let acc = AccuracySpec::new(10.0, 0.0005).unwrap();
+        let mpm = MultiPokingMechanism::default();
+        let t = mpm.translate(&q, &acc).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let out = mpm.run(&q, &acc, &d, &mut rng).unwrap();
+        assert!(out.epsilon <= t.upper * 0.31, "ε {} vs εu {}", out.epsilon, t.upper);
+        assert_eq!(out.answer.as_bins().unwrap(), &[0, 1]);
+    }
+
+    #[test]
+    fn near_counts_cost_more_than_far_counts() {
+        let acc = AccuracySpec::new(10.0, 0.0005).unwrap();
+        let mpm = MultiPokingMechanism::default();
+        let mut rng = StdRng::seed_from_u64(9);
+
+        let far = data_with_counts(&[1000, 0, 0, 0, 0]);
+        let near = data_with_counts(&[505, 495, 502, 498, 500]);
+        let q = PreparedQuery::prepare(&schema(), &icq(5, 500.0)).unwrap();
+
+        let mut far_cost = 0.0;
+        let mut near_cost = 0.0;
+        for _ in 0..20 {
+            far_cost += mpm.run(&q, &acc, &far, &mut rng).unwrap().epsilon;
+            near_cost += mpm.run(&q, &acc, &near, &mut rng).unwrap().epsilon;
+        }
+        assert!(
+            near_cost > far_cost * 1.5,
+            "near-threshold data must poke more: {near_cost} vs {far_cost}"
+        );
+    }
+
+    #[test]
+    fn accuracy_holds_empirically() {
+        // Bins at c±3α must always be labeled correctly (β = 0.0005 means
+        // essentially never wrong across 200 runs).
+        let alpha = 10.0;
+        let d = data_with_counts(&[530, 470, 800, 200, 500]);
+        let q = PreparedQuery::prepare(&schema(), &icq(5, 500.0)).unwrap();
+        let acc = AccuracySpec::new(alpha, 0.0005).unwrap();
+        let mpm = MultiPokingMechanism::default();
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..200 {
+            let out = mpm.run(&q, &acc, &d, &mut rng).unwrap();
+            let bins = out.answer.as_bins().unwrap();
+            assert!(bins.contains(&0), "bin 0 (530 = c+3α) must be included");
+            assert!(bins.contains(&2), "bin 2 (800) must be included");
+            assert!(!bins.contains(&1), "bin 1 (470 = c−3α) must be excluded");
+            assert!(!bins.contains(&3), "bin 3 (200) must be excluded");
+            // Bin 4 (exactly 500 = c) may go either way.
+        }
+    }
+
+    #[test]
+    fn worst_case_cost_exceeds_plain_laplace() {
+        // Section 5.3.2: MPM's εᵘ is above the baseline LM's fixed cost —
+        // its value is the data-dependent *actual* loss.
+        let q = PreparedQuery::prepare(&schema(), &icq(10, 50.0)).unwrap();
+        let acc = AccuracySpec::new(10.0, 0.0005).unwrap();
+        let e_lm = LaplaceMechanism.translate(&q, &acc).unwrap().upper;
+        let t_mpm = MultiPokingMechanism::default().translate(&q, &acc).unwrap();
+        assert!(t_mpm.upper > e_lm);
+        assert!(t_mpm.lower < e_lm);
+    }
+
+    #[test]
+    fn single_poke_equals_worst_case() {
+        let d = data_with_counts(&[1000, 0, 0, 0, 0]);
+        let q = PreparedQuery::prepare(&schema(), &icq(5, 500.0)).unwrap();
+        let acc = AccuracySpec::new(10.0, 0.0005).unwrap();
+        let mpm = MultiPokingMechanism::new(1);
+        let mut rng = StdRng::seed_from_u64(12);
+        let out = mpm.run(&q, &acc, &d, &mut rng).unwrap();
+        let t = mpm.translate(&q, &acc).unwrap();
+        assert_eq!(out.epsilon, t.upper);
+    }
+}

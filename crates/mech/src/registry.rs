@@ -1,0 +1,55 @@
+//! The mechanism registry: which mechanisms apply to each query type
+//! (Algorithm 1, Line 4).
+
+use apex_query::QueryKind;
+
+use crate::{
+    LaplaceMechanism, LaplaceTopKMechanism, Mechanism, MultiPokingMechanism, StrategyMechanism,
+};
+
+/// Returns APEx's full mechanism suite for a query type, in the order the
+/// paper's Table 2 lists them:
+///
+/// * WCQ — `LM`, `SM` (H2)
+/// * ICQ — `LM`, `SM` (H2), `MPM`
+/// * TCQ — `LM`, `LTM`
+pub fn mechanisms_for(kind: QueryKind) -> Vec<Box<dyn Mechanism>> {
+    let mut out: Vec<Box<dyn Mechanism>> = vec![Box::new(LaplaceMechanism)];
+    match kind {
+        QueryKind::Wcq => out.push(Box::new(StrategyMechanism::h2())),
+        QueryKind::Icq { .. } => {
+            out.push(Box::new(StrategyMechanism::h2()));
+            out.push(Box::new(MultiPokingMechanism::default()));
+        }
+        QueryKind::Tcq { .. } => out.push(Box::new(LaplaceTopKMechanism)),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wcq_suite() {
+        let ms = mechanisms_for(QueryKind::Wcq);
+        let names: Vec<_> = ms.iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["LM", "SM"]);
+        assert!(ms.iter().all(|m| m.supports(QueryKind::Wcq)));
+    }
+
+    #[test]
+    fn icq_suite() {
+        let ms = mechanisms_for(QueryKind::Icq { threshold: 1.0 });
+        let names: Vec<_> = ms.iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["LM", "SM", "MPM"]);
+    }
+
+    #[test]
+    fn tcq_suite() {
+        let ms = mechanisms_for(QueryKind::Tcq { k: 3 });
+        let names: Vec<_> = ms.iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["LM", "LTM"]);
+        assert!(ms.iter().all(|m| m.supports(QueryKind::Tcq { k: 3 })));
+    }
+}

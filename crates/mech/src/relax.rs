@@ -1,0 +1,192 @@
+//! Gradual release of Laplace noise — the `RelaxPrivacy` subroutine of
+//! the multi-poking mechanism (Algorithm 4, Line 15).
+//!
+//! Koufogiannis, Han and Pappas ("Gradual release of sensitive data under
+//! differential privacy", [22] in the paper) show that a Laplace release
+//! can be *refined*: given a published noisy value at privacy level `ε₁`,
+//! one can publish a second, less noisy value at level `ε₂ > ε₁` whose
+//! **total** privacy loss is `ε₂` — not `ε₁ + ε₂` — by correlating the
+//! new noise with the old.
+//!
+//! The construction: if `v' ~ Lap(1/ε₂)` and `v = v' + w` with the
+//! increment `w` equal to `0` with probability `(ε₁/ε₂)²` and `~Lap(1/ε₁)`
+//! otherwise, then `v ~ Lap(1/ε₁)` exactly (check the characteristic
+//! functions: `ε₁²/(ε₁²+t²) = (ε₁/ε₂)² · ε₂²/(ε₂²+t²) + (1−(ε₁/ε₂)²) ·
+//! ε₂²/(ε₂²+t²) · ε₁²/(ε₁²+t²)` … rearranged). Refinement samples the
+//! *conditional* `v' | v`:
+//!
+//! * with probability `(ε₁/ε₂) · e^{−(ε₂−ε₁)|v|}` keep `v' = v`;
+//! * otherwise draw `v'` from the residual density
+//!   `g(v') ∝ e^{−ε₂|v'|} · e^{−ε₁|v−v'|}`, a three-piece exponential
+//!   sampled here in closed form.
+
+use rand::Rng;
+
+/// Refines a Laplace noise value from privacy level `eps_old` to the
+/// higher level `eps_new`, conditioned on the already-released value.
+///
+/// `noise` must be distributed `Lap(1/eps_old)` (in *normalized* units —
+/// divide by the query sensitivity before calling, multiply after). The
+/// return value is distributed `Lap(1/eps_new)` marginally, and the pair
+/// `(noise, result)` satisfies the gradual-release guarantee: publishing
+/// both costs only `eps_new`.
+///
+/// # Panics
+/// Panics if `eps_new <= eps_old` or either is non-positive — refinement
+/// only goes toward less noise.
+pub fn relax_laplace<R: Rng + ?Sized>(noise: f64, eps_old: f64, eps_new: f64, rng: &mut R) -> f64 {
+    assert!(
+        eps_old > 0.0 && eps_new > eps_old,
+        "relax_laplace requires 0 < eps_old < eps_new, got {eps_old} -> {eps_new}"
+    );
+    let v = noise;
+    let keep_prob = (eps_old / eps_new) * (-(eps_new - eps_old) * v.abs()).exp();
+    if rng.gen::<f64>() < keep_prob {
+        return v;
+    }
+    sample_residual(v, eps_old, eps_new, rng)
+}
+
+/// Samples from `g(v') ∝ e^{−ε₂|v'|} e^{−ε₁|v−v'|}` for `v' ≠ v`.
+///
+/// By symmetry assume `v ≥ 0` (negate on the way out otherwise). The
+/// density splits into three exponential pieces:
+///
+/// * `A = (−∞, 0)`:   `∝ e^{(ε₁+ε₂) v'}` with mass `e^{−ε₁ v}/(ε₁+ε₂)`
+/// * `B = [0, v]`:    `∝ e^{(ε₁−ε₂) v'}` with mass
+///   `e^{−ε₁ v}(1 − e^{(ε₁−ε₂) v})/(ε₂−ε₁)`
+/// * `C = (v, ∞)`:    `∝ e^{−(ε₁+ε₂) v'}` with mass `e^{−ε₂ v}/(ε₁+ε₂)`
+fn sample_residual<R: Rng + ?Sized>(v: f64, e1: f64, e2: f64, rng: &mut R) -> f64 {
+    let (v_abs, flip) = if v < 0.0 { (-v, true) } else { (v, false) };
+
+    let mass_a = (-e1 * v_abs).exp() / (e1 + e2);
+    let mass_b = if v_abs > 0.0 {
+        (-e1 * v_abs).exp() * (1.0 - ((e1 - e2) * v_abs).exp()) / (e2 - e1)
+    } else {
+        0.0
+    };
+    let mass_c = (-e2 * v_abs).exp() / (e1 + e2);
+    let total = mass_a + mass_b + mass_c;
+
+    let u: f64 = rng.gen_range(0.0..total);
+    let out = if u < mass_a {
+        // Region A: density ∝ e^{(e1+e2) t} on (−∞, 0); inverse CDF.
+        let w: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        w.ln() / (e1 + e2)
+    } else if u < mass_a + mass_b {
+        // Region B: density ∝ e^{−(e2−e1) t} on [0, v]; truncated
+        // exponential with rate (e2−e1).
+        let rate = e2 - e1;
+        let w: f64 = rng.gen();
+        // F(t) = (1 − e^{−rate·t}) / (1 − e^{−rate·v})
+        let denom = 1.0 - (-rate * v_abs).exp();
+        -((1.0 - w * denom).ln()) / rate
+    } else {
+        // Region C: density ∝ e^{−(e1+e2)(t−v)} on (v, ∞).
+        let w: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        v_abs - w.ln() / (e1 + e2)
+    };
+
+    if flip {
+        -out
+    } else {
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Laplace;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Kolmogorov–Smirnov distance between samples and Lap(1/eps).
+    fn ks_against_laplace(mut xs: Vec<f64>, eps: f64) -> f64 {
+        let d = Laplace::new(1.0 / eps);
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = xs.len() as f64;
+        let mut ks: f64 = 0.0;
+        for (i, x) in xs.iter().enumerate() {
+            let emp_hi = (i + 1) as f64 / n;
+            let emp_lo = i as f64 / n;
+            let f = d.cdf(*x);
+            ks = ks.max((emp_hi - f).abs()).max((f - emp_lo).abs());
+        }
+        ks
+    }
+
+    #[test]
+    fn relaxed_noise_has_the_target_marginal() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let (e1, e2) = (0.5, 2.0);
+        let src = Laplace::new(1.0 / e1);
+        let n = 60_000;
+        let relaxed: Vec<f64> =
+            (0..n).map(|_| relax_laplace(src.sample(&mut rng), e1, e2, &mut rng)).collect();
+        let ks = ks_against_laplace(relaxed, e2);
+        // 99.9% KS critical ≈ 1.95/sqrt(60000) ≈ 0.008.
+        assert!(ks < 0.009, "KS = {ks}");
+    }
+
+    #[test]
+    fn chained_relaxation_preserves_marginals() {
+        // ε: 0.2 → 0.6 → 1.8; the final samples must be Lap(1/1.8).
+        let mut rng = StdRng::seed_from_u64(5);
+        let eps = [0.2, 0.6, 1.8];
+        let src = Laplace::new(1.0 / eps[0]);
+        let n = 60_000;
+        let mut xs = src.sample_vec(n, &mut rng);
+        for w in eps.windows(2) {
+            xs = xs.into_iter().map(|x| relax_laplace(x, w[0], w[1], &mut rng)).collect();
+        }
+        let ks = ks_against_laplace(xs, eps[2]);
+        assert!(ks < 0.009, "KS = {ks}");
+    }
+
+    #[test]
+    fn relaxation_shrinks_noise_on_average() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let (e1, e2) = (0.1, 1.0);
+        let src = Laplace::new(1.0 / e1);
+        let n = 20_000;
+        let mut before = 0.0;
+        let mut after = 0.0;
+        for _ in 0..n {
+            let x = src.sample(&mut rng);
+            let y = relax_laplace(x, e1, e2, &mut rng);
+            before += x.abs();
+            after += y.abs();
+        }
+        assert!(after < before * 0.25, "mean |noise| {} -> {}", before / n as f64, after / n as f64);
+    }
+
+    #[test]
+    fn correlation_is_positive() {
+        // The refined noise must be correlated with the original — that is
+        // the whole point (independent redraws would compose additively).
+        let mut rng = StdRng::seed_from_u64(3);
+        let (e1, e2) = (1.0, 1.3);
+        let src = Laplace::new(1.0 / e1);
+        let n = 30_000;
+        let mut num = 0.0;
+        let mut da = 0.0;
+        let mut db = 0.0;
+        for _ in 0..n {
+            let x = src.sample(&mut rng);
+            let y = relax_laplace(x, e1, e2, &mut rng);
+            num += x * y;
+            da += x * x;
+            db += y * y;
+        }
+        let corr = num / (da.sqrt() * db.sqrt());
+        assert!(corr > 0.5, "corr = {corr}");
+    }
+
+    #[test]
+    #[should_panic(expected = "relax_laplace requires")]
+    fn rejects_non_increasing_epsilon() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = relax_laplace(0.0, 1.0, 0.5, &mut rng);
+    }
+}

@@ -1,0 +1,265 @@
+//! The strategy-based (matrix) mechanism — Algorithm 3 — for WCQ, and its
+//! ICQ adaptation via post-processing (Section 5.3.1).
+
+use apex_data::Dataset;
+use apex_linalg::{l1_operator_norm, pinv, Matrix};
+use apex_query::{AccuracySpec, QueryAnswer, QueryKind, Strategy};
+use rand::rngs::StdRng;
+
+use crate::mc::{McConfig, McTranslator};
+use crate::traits::unsupported;
+use crate::{Laplace, MechError, MechOutput, Mechanism, PreparedQuery, Translation};
+
+/// The strategy mechanism: answer a low-sensitivity strategy workload `A`
+/// with the Laplace mechanism and reconstruct the analyst's workload as
+/// `ω = (W A⁺)(A x + Lap(‖A‖₁/ε)^l)`.
+///
+/// `translate` has no closed form — the reconstruction error is a weighted
+/// sum of Laplace variables — so the accuracy-to-privacy translation runs
+/// the Monte-Carlo binary search of [`McTranslator`] (Algorithm 3's
+/// `translate`/`estimateBeta`).
+///
+/// For ICQ (Section 5.3.1) the same mechanism is used with the noisy
+/// counts thresholded locally; the one-sided accuracy requirement lets it
+/// run the WCQ translation at `β_wcq = 2β`.
+#[derive(Debug, Clone)]
+pub struct StrategyMechanism {
+    strategy: Strategy,
+    mc: McConfig,
+}
+
+impl StrategyMechanism {
+    /// A strategy mechanism with the paper's default `H2` hierarchy.
+    pub fn h2() -> Self {
+        Self::new(Strategy::H2, McConfig::default())
+    }
+
+    /// A strategy mechanism over an arbitrary strategy and MC settings.
+    pub fn new(strategy: Strategy, mc: McConfig) -> Self {
+        Self { strategy, mc }
+    }
+
+    /// The configured strategy.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Builds `A` and the reconstruction matrix `W A⁺` for a query.
+    fn build_matrices(&self, q: &PreparedQuery) -> Result<(Matrix, Matrix), MechError> {
+        let w = q.compiled().matrix();
+        let a = self.strategy.build(w.cols())?;
+        let a_pinv = pinv(&a)?;
+        let recon = w.matmul(&a_pinv)?;
+        Ok((a, recon))
+    }
+
+    /// The effective WCQ-level failure probability for a query kind:
+    /// ICQ's one-sided errors let the two-sided WCQ bound run at `2β`.
+    fn effective_beta(kind: QueryKind, beta: f64) -> Result<f64, MechError> {
+        match kind {
+            QueryKind::Wcq => Ok(beta),
+            // Cap at the valid range; β is < 1 by construction and in
+            // practice tiny (the paper uses 5e-4).
+            QueryKind::Icq { .. } => Ok((2.0 * beta).min(0.999)),
+            QueryKind::Tcq { .. } => Err(unsupported("SM", kind)),
+        }
+    }
+}
+
+impl Mechanism for StrategyMechanism {
+    fn name(&self) -> &'static str {
+        "SM"
+    }
+
+    fn supports(&self, kind: QueryKind) -> bool {
+        matches!(kind, QueryKind::Wcq | QueryKind::Icq { .. })
+    }
+
+    fn translate(&self, q: &PreparedQuery, acc: &AccuracySpec) -> Result<Translation, MechError> {
+        let beta = Self::effective_beta(q.kind(), acc.beta())?;
+        let (a, recon) = self.build_matrices(q)?;
+        let translator = McTranslator::new(&recon, &a, self.mc);
+        let eps = translator.translate(acc.alpha(), beta);
+        Ok(Translation::exact(eps))
+    }
+
+    fn run(
+        &self,
+        q: &PreparedQuery,
+        acc: &AccuracySpec,
+        data: &Dataset,
+        rng: &mut StdRng,
+    ) -> Result<MechOutput, MechError> {
+        let beta = Self::effective_beta(q.kind(), acc.beta())?;
+        let (a, recon) = self.build_matrices(q)?;
+        let translator = McTranslator::new(&recon, &a, self.mc);
+        let eps = translator.translate(acc.alpha(), beta);
+
+        // ŷ = A x + Lap(‖A‖₁/ε)^l ; ω = (W A⁺) ŷ.
+        let x = q.compiled().histogram(data);
+        let mut y = a.matvec(&x)?;
+        let b = l1_operator_norm(&a) / eps;
+        let lap = Laplace::new(b);
+        for v in y.iter_mut() {
+            *v += lap.sample(rng);
+        }
+        let omega = recon.matvec(&y)?;
+
+        let answer = match q.kind() {
+            QueryKind::Wcq => QueryAnswer::Counts(omega),
+            QueryKind::Icq { threshold } => QueryAnswer::Bins(
+                omega
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v > threshold)
+                    .map(|(i, _)| i)
+                    .collect(),
+            ),
+            QueryKind::Tcq { .. } => return Err(unsupported("SM", q.kind())),
+        };
+        Ok(MechOutput { answer, epsilon: eps })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex_data::{Attribute, Dataset, Domain, Predicate, Schema, Value};
+    use apex_query::ExplorationQuery;
+    use crate::LaplaceMechanism;
+    use rand::SeedableRng;
+
+    fn schema() -> Schema {
+        Schema::new(vec![Attribute::new("v", Domain::IntRange { min: 0, max: 63 })]).unwrap()
+    }
+
+    fn data() -> Dataset {
+        let mut d = Dataset::empty(schema());
+        for i in 0..64 {
+            for _ in 0..(64 - i) {
+                d.push(vec![Value::Int(i)]).unwrap();
+            }
+        }
+        d
+    }
+
+    fn prefix_query(l: usize) -> ExplorationQuery {
+        ExplorationQuery::wcq(
+            (1..=l).map(|i| Predicate::range("v", 0.0, (64 * i / l) as f64)).collect(),
+        )
+    }
+
+    fn small_mc() -> McConfig {
+        McConfig { samples: 2_000, ..Default::default() }
+    }
+
+    #[test]
+    fn sm_beats_lm_on_prefix_workloads() {
+        // The headline claim of Section 5.2: for high-sensitivity (prefix)
+        // workloads the H2 strategy costs far less than plain Laplace.
+        let q = PreparedQuery::prepare(&schema(), &prefix_query(32)).unwrap();
+        let acc = AccuracySpec::new(40.0, 0.05).unwrap();
+        let sm = StrategyMechanism::new(Strategy::H2, small_mc());
+        let e_sm = sm.translate(&q, &acc).unwrap().upper;
+        let e_lm = LaplaceMechanism.translate(&q, &acc).unwrap().upper;
+        assert!(
+            e_sm < e_lm / 2.0,
+            "H2 should be much cheaper on prefixes: SM {e_sm} vs LM {e_lm}"
+        );
+    }
+
+    #[test]
+    fn lm_beats_sm_on_disjoint_histograms() {
+        // Conversely (Table 2, QW1): sensitivity-1 histograms are cheapest
+        // via plain Laplace; H2 pays for answering the whole tree.
+        let hist: Vec<Predicate> =
+            (0..16).map(|i| Predicate::range("v", (4 * i) as f64, (4 * (i + 1)) as f64)).collect();
+        let q = PreparedQuery::prepare(&schema(), &ExplorationQuery::wcq(hist)).unwrap();
+        let acc = AccuracySpec::new(40.0, 0.05).unwrap();
+        let sm = StrategyMechanism::new(Strategy::H2, small_mc());
+        let e_sm = sm.translate(&q, &acc).unwrap().upper;
+        let e_lm = LaplaceMechanism.translate(&q, &acc).unwrap().upper;
+        assert!(e_lm < e_sm, "LM should win on histograms: LM {e_lm} vs SM {e_sm}");
+    }
+
+    #[test]
+    fn wcq_run_meets_accuracy_bound_empirically() {
+        let q = PreparedQuery::prepare(&schema(), &prefix_query(16)).unwrap();
+        let beta = 0.1;
+        let acc = AccuracySpec::new(80.0, beta).unwrap();
+        let d = data();
+        let truth = q.compiled().true_answer(&d);
+        let sm = StrategyMechanism::new(Strategy::H2, small_mc());
+        let mut rng = StdRng::seed_from_u64(11);
+        let runs = 120;
+        let mut failures = 0;
+        for _ in 0..runs {
+            let out = sm.run(&q, &acc, &d, &mut rng).unwrap();
+            let counts = out.answer.as_counts().unwrap();
+            let err = counts
+                .iter()
+                .zip(&truth)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0_f64, f64::max);
+            if err >= acc.alpha() {
+                failures += 1;
+            }
+        }
+        // The translator targets a failure probability just under β, so
+        // the empirical rate should hover near β — allow 2β plus noise.
+        let bound = (2.0 * beta * runs as f64 + 4.0) as usize;
+        assert!(failures <= bound, "failures = {failures} out of {runs} (bound {bound})");
+    }
+
+    #[test]
+    fn icq_translation_is_cheaper_than_wcq() {
+        let preds: Vec<Predicate> =
+            (1..=16).map(|i| Predicate::range("v", 0.0, (4 * i) as f64)).collect();
+        let acc = AccuracySpec::new(40.0, 0.01).unwrap();
+        let sm = StrategyMechanism::new(Strategy::H2, small_mc());
+        let wcq = PreparedQuery::prepare(&schema(), &ExplorationQuery::wcq(preds.clone())).unwrap();
+        let icq =
+            PreparedQuery::prepare(&schema(), &ExplorationQuery::icq(preds, 100.0)).unwrap();
+        let ew = sm.translate(&wcq, &acc).unwrap().upper;
+        let ei = sm.translate(&icq, &acc).unwrap().upper;
+        assert!(ei < ew, "ICQ runs at 2β: {ei} vs {ew}");
+    }
+
+    #[test]
+    fn icq_run_returns_bins() {
+        let preds: Vec<Predicate> =
+            (0..8).map(|i| Predicate::range("v", (8 * i) as f64, (8 * (i + 1)) as f64)).collect();
+        let q = PreparedQuery::prepare(&schema(), &ExplorationQuery::icq(preds, 250.0)).unwrap();
+        let acc = AccuracySpec::new(100.0, 0.05).unwrap();
+        let sm = StrategyMechanism::new(Strategy::H2, small_mc());
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = sm.run(&q, &acc, &data(), &mut rng).unwrap();
+        // Bin 0 holds counts 64+63+...+57 = 484 >> 250 + α.
+        assert!(out.answer.as_bins().unwrap().contains(&0));
+    }
+
+    #[test]
+    fn tcq_is_unsupported() {
+        let preds: Vec<Predicate> = (0..4).map(|i| Predicate::eq("v", i as i64)).collect();
+        let q = PreparedQuery::prepare(&schema(), &ExplorationQuery::tcq(preds, 2)).unwrap();
+        let acc = AccuracySpec::new(10.0, 0.05).unwrap();
+        let sm = StrategyMechanism::h2();
+        assert!(!sm.supports(q.kind()));
+        assert!(matches!(sm.translate(&q, &acc), Err(MechError::Unsupported { .. })));
+    }
+
+    #[test]
+    fn identity_strategy_approximates_lm_on_histograms() {
+        // With A = I the strategy mechanism *is* the Laplace mechanism up
+        // to the conservativeness of the MC translation.
+        let hist: Vec<Predicate> =
+            (0..8).map(|i| Predicate::range("v", (8 * i) as f64, (8 * (i + 1)) as f64)).collect();
+        let q = PreparedQuery::prepare(&schema(), &ExplorationQuery::wcq(hist)).unwrap();
+        let acc = AccuracySpec::new(30.0, 0.05).unwrap();
+        let sm = StrategyMechanism::new(Strategy::Identity, small_mc());
+        let e_sm = sm.translate(&q, &acc).unwrap().upper;
+        let e_lm = LaplaceMechanism.translate(&q, &acc).unwrap().upper;
+        let ratio = e_sm / e_lm;
+        assert!(ratio > 0.8 && ratio < 1.3, "ratio {ratio}");
+    }
+}

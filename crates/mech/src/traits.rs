@@ -1,0 +1,177 @@
+//! The `Mechanism` interface: `translate` and `run`.
+
+use apex_data::Dataset;
+use apex_linalg::LinalgError;
+use apex_query::{AccuracySpec, QueryAnswer, QueryKind, StrategyError};
+use rand::rngs::StdRng;
+
+use crate::PreparedQuery;
+
+/// The privacy-cost bounds a mechanism reports before running
+/// (`M.translate` in the paper). For data-independent mechanisms
+/// `lower == upper`; for ICQ-MPM the actual loss lands anywhere in the
+/// interval depending on the data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Translation {
+    /// Best-case privacy loss `εˡ`.
+    pub lower: f64,
+    /// Worst-case privacy loss `εᵘ`. Running the mechanism is always
+    /// `upper`-differentially private.
+    pub upper: f64,
+}
+
+impl Translation {
+    /// A data-independent translation (`εˡ = εᵘ = ε`).
+    pub fn exact(eps: f64) -> Self {
+        Self { lower: eps, upper: eps }
+    }
+}
+
+/// The result of running a mechanism.
+#[derive(Debug, Clone)]
+pub struct MechOutput {
+    /// The (noisy) answer `ω` returned to the analyst.
+    pub answer: QueryAnswer,
+    /// The actual privacy loss `ε` charged against the budget.
+    pub epsilon: f64,
+}
+
+/// Errors surfaced by mechanisms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MechError {
+    /// The mechanism does not apply to this query type (e.g. running the
+    /// top-k mechanism on a WCQ).
+    Unsupported {
+        /// Mechanism name.
+        mechanism: &'static str,
+        /// The query type that was requested.
+        kind: &'static str,
+    },
+    /// Strategy construction failed.
+    Strategy(StrategyError),
+    /// Linear algebra failed (rank-deficient strategy, shape bug).
+    Linalg(LinalgError),
+    /// A TCQ's `k` exceeds the workload size.
+    BadK {
+        /// Requested k.
+        k: usize,
+        /// Workload size.
+        workload: usize,
+    },
+}
+
+impl From<StrategyError> for MechError {
+    fn from(e: StrategyError) -> Self {
+        MechError::Strategy(e)
+    }
+}
+
+impl From<LinalgError> for MechError {
+    fn from(e: LinalgError) -> Self {
+        MechError::Linalg(e)
+    }
+}
+
+impl std::fmt::Display for MechError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MechError::Unsupported { mechanism, kind } => {
+                write!(f, "mechanism {mechanism} does not support {kind} queries")
+            }
+            MechError::Strategy(e) => write!(f, "strategy error: {e}"),
+            MechError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            MechError::BadK { k, workload } => {
+                write!(f, "top-k parameter {k} exceeds workload size {workload}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MechError {}
+
+/// A differentially private mechanism in APEx's suite.
+///
+/// Contract (Theorems 5.2–5.6): if `translate(q, acc)` returns
+/// `(εˡ, εᵘ)` then `run(q, acc, D)` satisfies `εᵘ`-differential privacy,
+/// reports an actual loss `ε ∈ [εˡ, εᵘ]`, and its answer meets the
+/// `(α, β)`-accuracy definition for `q`'s type on **every** dataset.
+pub trait Mechanism: Send + Sync {
+    /// Short name as used in the paper's Table 2 (e.g. `"LM"`, `"SM"`).
+    fn name(&self) -> &'static str;
+
+    /// Whether the mechanism applies to this query type.
+    fn supports(&self, kind: QueryKind) -> bool;
+
+    /// Accuracy-to-privacy translation.
+    ///
+    /// # Errors
+    /// Fails for unsupported query kinds or malformed parameters.
+    fn translate(&self, q: &PreparedQuery, acc: &AccuracySpec) -> Result<Translation, MechError>;
+
+    /// Executes the mechanism against the sensitive dataset.
+    ///
+    /// # Errors
+    /// Fails for unsupported query kinds or internal numeric errors.
+    fn run(
+        &self,
+        q: &PreparedQuery,
+        acc: &AccuracySpec,
+        data: &Dataset,
+        rng: &mut StdRng,
+    ) -> Result<MechOutput, MechError>;
+}
+
+/// Helper shared by mechanisms: the `Unsupported` error for a kind.
+pub(crate) fn unsupported(mechanism: &'static str, kind: QueryKind) -> MechError {
+    MechError::Unsupported {
+        mechanism,
+        kind: match kind {
+            QueryKind::Wcq => "WCQ",
+            QueryKind::Icq { .. } => "ICQ",
+            QueryKind::Tcq { .. } => "TCQ",
+        },
+    }
+}
+
+/// Helper shared by mechanisms: indices of the top-k values, ordered by
+/// decreasing value (ties broken by lower index).
+pub(crate) fn top_k_indices(values: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| {
+        values[b].partial_cmp(&values[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translation_exact() {
+        let t = Translation::exact(0.3);
+        assert_eq!(t.lower, 0.3);
+        assert_eq!(t.upper, 0.3);
+    }
+
+    #[test]
+    fn top_k_selects_largest() {
+        let v = [3.0, 9.0, 1.0, 7.0];
+        assert_eq!(top_k_indices(&v, 2), vec![1, 3]);
+        assert_eq!(top_k_indices(&v, 4), vec![1, 3, 0, 2]);
+        assert_eq!(top_k_indices(&v, 0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn top_k_breaks_ties_by_index() {
+        let v = [5.0, 5.0, 5.0];
+        assert_eq!(top_k_indices(&v, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = MechError::BadK { k: 10, workload: 3 };
+        assert!(format!("{e}").contains("exceeds workload size"));
+    }
+}

@@ -1,0 +1,350 @@
+//! Tokenizer for the APEx query syntax.
+
+/// A lexical token. Keywords are case-insensitive and normalized to their
+/// dedicated variants; everything else that looks like a word becomes an
+/// [`Token::Ident`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    // Keywords.
+    /// `BIN`
+    Bin,
+    /// `ON`
+    On,
+    /// `COUNT`
+    Count,
+    /// `WHERE`
+    Where,
+    /// `HAVING`
+    Having,
+    /// `ORDER`
+    Order,
+    /// `BY`
+    By,
+    /// `LIMIT`
+    Limit,
+    /// `DESC`
+    Desc,
+    /// `ERROR`
+    ErrorKw,
+    /// `CONFIDENCE`
+    Confidence,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `NOT`
+    Not,
+    /// `IS`
+    Is,
+    /// `NULL`
+    Null,
+    /// `IN`
+    In,
+    /// `TRUE`
+    True,
+    /// `FALSE`
+    False,
+
+    // Literals and identifiers.
+    /// Bare identifier or double-quoted attribute name.
+    Ident(String),
+    /// Numeric literal (always lexed as f64; integer-ness is contextual).
+    Number(f64),
+    /// Single-quoted string literal.
+    Str(String),
+
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A lexing failure with byte position context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Byte offset into the input where lexing failed.
+    pub position: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `input` into a vector of tokens.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '{' => {
+                out.push(Token::LBrace);
+                i += 1;
+            }
+            '}' => {
+                out.push(Token::RBrace);
+                i += 1;
+            }
+            '[' => {
+                out.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                out.push(Token::RBracket);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semicolon);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(LexError { position: i, message: "expected '=' after '!'".into() });
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    out.push(Token::Le);
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    out.push(Token::Ne);
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(LexError { position: i, message: "unterminated string".into() });
+                }
+                out.push(Token::Str(input[start..j].to_string()));
+                i = j + 1;
+            }
+            '"' => {
+                // Double-quoted attribute names, as the paper writes them
+                // ("capital gain").
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(LexError {
+                        position: i,
+                        message: "unterminated quoted identifier".into(),
+                    });
+                }
+                out.push(Token::Ident(input[start..j].to_string()));
+                i = j + 1;
+            }
+            _ if c.is_ascii_digit()
+                || (c == '-' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()))
+                || (c == '.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())) =>
+            {
+                let start = i;
+                i += 1; // consume sign / first digit / leading dot
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || ((bytes[i] == b'+' || bytes[i] == b'-')
+                            && matches!(bytes[i - 1], b'e' | b'E')))
+                {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let v: f64 = text.parse().map_err(|_| LexError {
+                    position: start,
+                    message: format!("invalid number {text:?}"),
+                })?;
+                out.push(Token::Number(v));
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                out.push(keyword_or_ident(word));
+            }
+            _ => {
+                return Err(LexError {
+                    position: i,
+                    message: format!("unexpected character {c:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn keyword_or_ident(word: &str) -> Token {
+    match word.to_ascii_uppercase().as_str() {
+        "BIN" => Token::Bin,
+        "ON" => Token::On,
+        "COUNT" => Token::Count,
+        "WHERE" => Token::Where,
+        "HAVING" => Token::Having,
+        "ORDER" => Token::Order,
+        "BY" => Token::By,
+        "LIMIT" => Token::Limit,
+        "DESC" => Token::Desc,
+        "ERROR" => Token::ErrorKw,
+        "CONFIDENCE" => Token::Confidence,
+        "AND" => Token::And,
+        "OR" => Token::Or,
+        "NOT" => Token::Not,
+        "IS" => Token::Is,
+        "NULL" => Token::Null,
+        "IN" => Token::In,
+        "TRUE" => Token::True,
+        "FALSE" => Token::False,
+        _ => Token::Ident(word.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(lex("bin On WHERE").unwrap(), vec![Token::Bin, Token::On, Token::Where]);
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            lex("= != <> < <= > >=").unwrap(),
+            vec![
+                Token::Eq,
+                Token::Ne,
+                Token::Ne,
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            lex("42 -7 3.5 1e-3 .25").unwrap(),
+            vec![
+                Token::Number(42.0),
+                Token::Number(-7.0),
+                Token::Number(3.5),
+                Token::Number(1e-3),
+                Token::Number(0.25)
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_quoted_idents() {
+        assert_eq!(
+            lex("'M' \"capital gain\"").unwrap(),
+            vec![Token::Str("M".into()), Token::Ident("capital gain".into())]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("'oops").is_err());
+        assert!(lex("\"oops").is_err());
+    }
+
+    #[test]
+    fn bad_character_errors() {
+        let err = lex("a # b").unwrap_err();
+        assert_eq!(err.position, 2);
+    }
+
+    #[test]
+    fn count_star_sequence() {
+        assert_eq!(
+            lex("COUNT(*)").unwrap(),
+            vec![Token::Count, Token::LParen, Token::Star, Token::RParen]
+        );
+    }
+}

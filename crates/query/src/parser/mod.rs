@@ -1,0 +1,18 @@
+//! Parser for the concrete APEx query syntax (Section 3):
+//!
+//! ```text
+//! BIN D ON COUNT(*) WHERE W = { <pred> [, <pred>]* }
+//!   [HAVING COUNT(*) > <number>]
+//!   [ORDER BY COUNT(*) [DESC] LIMIT <int>]
+//!   [ERROR <number> CONFIDENCE <number>] ;
+//! ```
+//!
+//! Predicates support comparisons (`= != < <= > >=`), half-open ranges
+//! (`attr IN [lo, hi)`), `attr IS [NOT] NULL`, `AND` / `OR` / `NOT`, and
+//! parentheses. String literals use single quotes.
+
+mod lexer;
+mod parse;
+
+pub use lexer::{LexError, Token};
+pub use parse::{parse_predicate, parse_query, ParseError, ParsedQuery};

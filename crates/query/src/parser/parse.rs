@@ -1,0 +1,449 @@
+//! Recursive-descent parser producing [`ExplorationQuery`] +
+//! [`AccuracySpec`] from the concrete syntax.
+
+use apex_data::{CmpOp, Predicate, Value};
+
+use super::lexer::{lex, LexError, Token};
+use crate::{AccuracyError, AccuracySpec, ExplorationQuery, QueryKind};
+
+/// A fully parsed query statement.
+#[derive(Debug, Clone)]
+pub struct ParsedQuery {
+    /// The exploration query (workload + kind).
+    pub query: ExplorationQuery,
+    /// The accuracy requirement, when the statement carries an
+    /// `ERROR … CONFIDENCE …` clause.
+    pub accuracy: Option<AccuracySpec>,
+}
+
+/// Parse failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// Tokenization failed.
+    Lex(LexError),
+    /// Unexpected token (with index into the token stream).
+    Unexpected {
+        /// Index of the offending token.
+        at: usize,
+        /// Description of what was found.
+        found: String,
+        /// Description of what the parser expected.
+        expected: &'static str,
+    },
+    /// Input ended too early.
+    UnexpectedEnd {
+        /// What the parser expected next.
+        expected: &'static str,
+    },
+    /// The accuracy clause carried invalid numbers.
+    Accuracy(AccuracyError),
+    /// `LIMIT k` with a non-positive or non-integral `k`.
+    BadLimit(f64),
+}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+impl From<AccuracyError> for ParseError {
+    fn from(e: AccuracyError) -> Self {
+        ParseError::Accuracy(e)
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "{e}"),
+            ParseError::Unexpected { at, found, expected } => {
+                write!(f, "unexpected token {found} at position {at}, expected {expected}")
+            }
+            ParseError::UnexpectedEnd { expected } => {
+                write!(f, "unexpected end of input, expected {expected}")
+            }
+            ParseError::Accuracy(e) => write!(f, "invalid accuracy clause: {e}"),
+            ParseError::BadLimit(k) => write!(f, "LIMIT must be a positive integer, got {k}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Token, expected: &'static str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if &t == want => Ok(()),
+            Some(t) => Err(ParseError::Unexpected {
+                at: self.pos - 1,
+                found: format!("{t:?}"),
+                expected,
+            }),
+            None => Err(ParseError::UnexpectedEnd { expected }),
+        }
+    }
+
+    fn expect_number(&mut self, expected: &'static str) -> Result<f64, ParseError> {
+        match self.next() {
+            Some(Token::Number(v)) => Ok(v),
+            Some(t) => Err(ParseError::Unexpected {
+                at: self.pos - 1,
+                found: format!("{t:?}"),
+                expected,
+            }),
+            None => Err(ParseError::UnexpectedEnd { expected }),
+        }
+    }
+
+    fn expect_ident(&mut self, expected: &'static str) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            Some(t) => Err(ParseError::Unexpected {
+                at: self.pos - 1,
+                found: format!("{t:?}"),
+                expected,
+            }),
+            None => Err(ParseError::UnexpectedEnd { expected }),
+        }
+    }
+
+    /// `COUNT ( * )`
+    fn expect_count_star(&mut self) -> Result<(), ParseError> {
+        self.expect(&Token::Count, "COUNT")?;
+        self.expect(&Token::LParen, "(")?;
+        self.expect(&Token::Star, "*")?;
+        self.expect(&Token::RParen, ")")
+    }
+
+    /// Full statement.
+    fn statement(&mut self) -> Result<ParsedQuery, ParseError> {
+        self.expect(&Token::Bin, "BIN")?;
+        // The table designator ("D" in the paper) is a bare identifier.
+        let _table = self.expect_ident("table name")?;
+        self.expect(&Token::On, "ON")?;
+        self.expect_count_star()?;
+        self.expect(&Token::Where, "WHERE")?;
+        // `W = { ... }` — the `W =` prefix is optional syntax sugar.
+        if matches!(self.peek(), Some(Token::Ident(w)) if w.eq_ignore_ascii_case("w")) {
+            self.next();
+            self.expect(&Token::Eq, "=")?;
+        }
+        self.expect(&Token::LBrace, "{")?;
+        let mut workload = vec![self.predicate()?];
+        while matches!(self.peek(), Some(Token::Comma)) {
+            self.next();
+            workload.push(self.predicate()?);
+        }
+        self.expect(&Token::RBrace, "}")?;
+
+        // Optional HAVING.
+        let mut kind = QueryKind::Wcq;
+        if matches!(self.peek(), Some(Token::Having)) {
+            self.next();
+            self.expect_count_star()?;
+            self.expect(&Token::Gt, ">")?;
+            let c = self.expect_number("threshold")?;
+            kind = QueryKind::Icq { threshold: c };
+        }
+
+        // Optional ORDER BY ... LIMIT.
+        if matches!(self.peek(), Some(Token::Order)) {
+            self.next();
+            self.expect(&Token::By, "BY")?;
+            self.expect_count_star()?;
+            if matches!(self.peek(), Some(Token::Desc)) {
+                self.next();
+            }
+            self.expect(&Token::Limit, "LIMIT")?;
+            let k = self.expect_number("limit")?;
+            if k < 1.0 || k.fract() != 0.0 {
+                return Err(ParseError::BadLimit(k));
+            }
+            kind = QueryKind::Tcq { k: k as usize };
+        }
+
+        // Optional ERROR α CONFIDENCE 1-β.
+        let accuracy = if matches!(self.peek(), Some(Token::ErrorKw)) {
+            self.next();
+            let alpha = self.expect_number("alpha")?;
+            self.expect(&Token::Confidence, "CONFIDENCE")?;
+            let conf = self.expect_number("confidence")?;
+            Some(AccuracySpec::new(alpha, 1.0 - conf)?)
+        } else {
+            None
+        };
+
+        // Optional trailing semicolon, then end of input.
+        if matches!(self.peek(), Some(Token::Semicolon)) {
+            self.next();
+        }
+        if let Some(t) = self.peek() {
+            return Err(ParseError::Unexpected {
+                at: self.pos,
+                found: format!("{t:?}"),
+                expected: "end of statement",
+            });
+        }
+
+        Ok(ParsedQuery { query: ExplorationQuery { workload, kind }, accuracy })
+    }
+
+    /// Predicate grammar (precedence: NOT > AND > OR).
+    fn predicate(&mut self) -> Result<Predicate, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Predicate, ParseError> {
+        let mut left = self.and_expr()?;
+        while matches!(self.peek(), Some(Token::Or)) {
+            self.next();
+            let right = self.and_expr()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Predicate, ParseError> {
+        let mut left = self.unary_expr()?;
+        while matches!(self.peek(), Some(Token::And)) {
+            self.next();
+            let right = self.unary_expr()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> Result<Predicate, ParseError> {
+        match self.peek() {
+            Some(Token::Not) => {
+                self.next();
+                Ok(self.unary_expr()?.not())
+            }
+            Some(Token::LParen) => {
+                self.next();
+                let inner = self.or_expr()?;
+                self.expect(&Token::RParen, ")")?;
+                Ok(inner)
+            }
+            Some(Token::True) => {
+                self.next();
+                Ok(Predicate::True)
+            }
+            _ => self.atom(),
+        }
+    }
+
+    /// `attr op literal | attr IN [lo, hi) | attr IS [NOT] NULL`
+    fn atom(&mut self) -> Result<Predicate, ParseError> {
+        let attr = self.expect_ident("attribute name")?;
+        match self.next() {
+            Some(Token::Eq) => Ok(Predicate::Cmp { attr, op: CmpOp::Eq, value: self.literal()? }),
+            Some(Token::Ne) => Ok(Predicate::Cmp { attr, op: CmpOp::Ne, value: self.literal()? }),
+            Some(Token::Lt) => Ok(Predicate::Cmp { attr, op: CmpOp::Lt, value: self.literal()? }),
+            Some(Token::Le) => Ok(Predicate::Cmp { attr, op: CmpOp::Le, value: self.literal()? }),
+            Some(Token::Gt) => Ok(Predicate::Cmp { attr, op: CmpOp::Gt, value: self.literal()? }),
+            Some(Token::Ge) => Ok(Predicate::Cmp { attr, op: CmpOp::Ge, value: self.literal()? }),
+            Some(Token::Is) => {
+                let negated = if matches!(self.peek(), Some(Token::Not)) {
+                    self.next();
+                    true
+                } else {
+                    false
+                };
+                self.expect(&Token::Null, "NULL")?;
+                let p = Predicate::is_null(attr);
+                Ok(if negated { p.not() } else { p })
+            }
+            Some(Token::In) => {
+                self.expect(&Token::LBracket, "[")?;
+                let lo = self.expect_number("range lower bound")?;
+                self.expect(&Token::Comma, ",")?;
+                let hi = self.expect_number("range upper bound")?;
+                self.expect(&Token::RParen, ")")?;
+                Ok(Predicate::range(attr, lo, hi))
+            }
+            Some(t) => Err(ParseError::Unexpected {
+                at: self.pos - 1,
+                found: format!("{t:?}"),
+                expected: "comparison operator, IS, or IN",
+            }),
+            None => Err(ParseError::UnexpectedEnd { expected: "comparison operator" }),
+        }
+    }
+
+    /// Number, string, or boolean literal. Integral numbers become
+    /// [`Value::Int`] so that integer-attribute comparisons stay exact.
+    fn literal(&mut self) -> Result<Value, ParseError> {
+        match self.next() {
+            Some(Token::Number(v)) => {
+                if v.fract() == 0.0 && v.abs() < 9.0e15 {
+                    Ok(Value::Int(v as i64))
+                } else {
+                    Ok(Value::Float(v))
+                }
+            }
+            Some(Token::Str(s)) => Ok(Value::Str(s)),
+            Some(Token::True) => Ok(Value::Bool(true)),
+            Some(Token::False) => Ok(Value::Bool(false)),
+            Some(t) => Err(ParseError::Unexpected {
+                at: self.pos - 1,
+                found: format!("{t:?}"),
+                expected: "literal",
+            }),
+            None => Err(ParseError::UnexpectedEnd { expected: "literal" }),
+        }
+    }
+}
+
+/// Parses a full query statement.
+pub fn parse_query(input: &str) -> Result<ParsedQuery, ParseError> {
+    let tokens = lex(input)?;
+    Parser { tokens, pos: 0 }.statement()
+}
+
+/// Parses a standalone predicate (useful for building workloads from
+/// strings in tests and examples).
+pub fn parse_predicate(input: &str) -> Result<Predicate, ParseError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let pred = p.predicate()?;
+    if let Some(t) = p.peek() {
+        return Err(ParseError::Unexpected {
+            at: p.pos,
+            found: format!("{t:?}"),
+            expected: "end of predicate",
+        });
+    }
+    Ok(pred)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_wcq() {
+        let q = parse_query(
+            "BIN D ON COUNT(*) WHERE W = { age > 50 AND state = 'AL', age > 50 AND state = 'WY' };",
+        )
+        .unwrap();
+        assert_eq!(q.query.kind, QueryKind::Wcq);
+        assert_eq!(q.query.len(), 2);
+        assert!(q.accuracy.is_none());
+    }
+
+    #[test]
+    fn parses_icq_with_accuracy() {
+        let q = parse_query(
+            "BIN D ON COUNT(*) WHERE W = { state = 'AL', state = 'WY' } \
+             HAVING COUNT(*) > 5000000 ERROR 100 CONFIDENCE 0.9995;",
+        )
+        .unwrap();
+        assert_eq!(q.query.kind, QueryKind::Icq { threshold: 5_000_000.0 });
+        let acc = q.accuracy.unwrap();
+        assert_eq!(acc.alpha(), 100.0);
+        assert!((acc.beta() - 0.0005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parses_tcq() {
+        let q = parse_query(
+            "BIN D ON COUNT(*) WHERE W = { age = 1, age = 2, age = 3 } \
+             ORDER BY COUNT(*) DESC LIMIT 2;",
+        )
+        .unwrap();
+        assert_eq!(q.query.kind, QueryKind::Tcq { k: 2 });
+    }
+
+    #[test]
+    fn parses_without_w_eq_prefix() {
+        let q = parse_query("BIN D ON COUNT(*) WHERE { x < 5 };").unwrap();
+        assert_eq!(q.query.len(), 1);
+    }
+
+    #[test]
+    fn parses_range_and_null_predicates() {
+        let p = parse_predicate("\"capital gain\" IN [0, 50) AND sex IS NOT NULL").unwrap();
+        let s = format!("{p}");
+        assert!(s.contains("capital gain IN [0, 50)"), "{s}");
+        assert!(s.contains("NOT (sex IS NULL)"), "{s}");
+    }
+
+    #[test]
+    fn precedence_not_and_or() {
+        // NOT a AND b OR c == ((NOT a) AND b) OR c
+        let p = parse_predicate("NOT x = 1 AND y = 2 OR z = 3").unwrap();
+        assert_eq!(format!("{p}"), "((NOT (x = 1) AND y = 2) OR z = 3)");
+    }
+
+    #[test]
+    fn parenthesized_grouping() {
+        let p = parse_predicate("x = 1 AND (y = 2 OR z = 3)").unwrap();
+        assert_eq!(format!("{p}"), "(x = 1 AND (y = 2 OR z = 3))");
+    }
+
+    #[test]
+    fn integral_literals_are_ints() {
+        let p = parse_predicate("x = 5").unwrap();
+        assert_eq!(p, Predicate::eq("x", 5_i64));
+        let p = parse_predicate("x = 5.5").unwrap();
+        assert_eq!(p, Predicate::eq("x", 5.5));
+        let p = parse_predicate("b = TRUE").unwrap();
+        assert_eq!(p, Predicate::eq("b", true));
+    }
+
+    #[test]
+    fn bad_limit_rejected() {
+        let r = parse_query("BIN D ON COUNT(*) WHERE { x = 1 } ORDER BY COUNT(*) LIMIT 0;");
+        assert!(matches!(r, Err(ParseError::BadLimit(_))));
+        let r = parse_query("BIN D ON COUNT(*) WHERE { x = 1 } ORDER BY COUNT(*) LIMIT 2.5;");
+        assert!(matches!(r, Err(ParseError::BadLimit(_))));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let r = parse_query("BIN D ON COUNT(*) WHERE { x = 1 }; banana");
+        assert!(matches!(r, Err(ParseError::Unexpected { .. })));
+    }
+
+    #[test]
+    fn invalid_confidence_rejected() {
+        let r = parse_query("BIN D ON COUNT(*) WHERE { x = 1 } ERROR 10 CONFIDENCE 1.5;");
+        assert!(matches!(r, Err(ParseError::Accuracy(_))));
+    }
+
+    #[test]
+    fn missing_pieces_reported() {
+        assert!(matches!(parse_query("BIN D ON"), Err(ParseError::UnexpectedEnd { .. })));
+        assert!(parse_query("SELECT * FROM t").is_err());
+    }
+
+    #[test]
+    fn paper_example_state_population() {
+        // From Section 3.1 of the paper (lightly adapted quoting).
+        let q = parse_query(
+            "BIN D ON COUNT(*) WHERE W = {state='AL', state='WY'} HAVING COUNT(*) > 5000000;",
+        )
+        .unwrap();
+        assert_eq!(q.query.kind, QueryKind::Icq { threshold: 5e6 });
+        assert_eq!(q.query.workload[0], Predicate::eq("state", "AL"));
+    }
+}

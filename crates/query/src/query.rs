@@ -1,0 +1,143 @@
+//! The three exploration query types (Section 3.1).
+
+use apex_data::Predicate;
+
+/// What the query does with the per-bin counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryKind {
+    /// Workload counting query: return all bin counts.
+    Wcq,
+    /// Iceberg counting query: return the ids of bins with count `> c`.
+    Icq {
+        /// The iceberg threshold `c`.
+        threshold: f64,
+    },
+    /// Top-k counting query: return the ids of the `k` largest bins.
+    Tcq {
+        /// How many bins to return.
+        k: usize,
+    },
+}
+
+impl QueryKind {
+    /// Short name as used in the paper ("WCQ"/"ICQ"/"TCQ").
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryKind::Wcq => "WCQ",
+            QueryKind::Icq { .. } => "ICQ",
+            QueryKind::Tcq { .. } => "TCQ",
+        }
+    }
+}
+
+/// An exploration query: a workload of predicates plus the query kind.
+///
+/// The aggregation function is `COUNT(*)` throughout, as in the paper's
+/// evaluation (other aggregates are discussed in its Appendix E).
+#[derive(Debug, Clone)]
+pub struct ExplorationQuery {
+    /// The predicate workload `W = {φ₁, …, φ_L}`. Each predicate defines
+    /// one bin; bins may overlap.
+    pub workload: Vec<Predicate>,
+    /// WCQ / ICQ / TCQ.
+    pub kind: QueryKind,
+}
+
+impl ExplorationQuery {
+    /// A workload counting query.
+    pub fn wcq(workload: Vec<Predicate>) -> Self {
+        Self { workload, kind: QueryKind::Wcq }
+    }
+
+    /// An iceberg counting query with threshold `c`.
+    pub fn icq(workload: Vec<Predicate>, threshold: f64) -> Self {
+        Self { workload, kind: QueryKind::Icq { threshold } }
+    }
+
+    /// A top-k counting query.
+    pub fn tcq(workload: Vec<Predicate>, k: usize) -> Self {
+        Self { workload, kind: QueryKind::Tcq { k } }
+    }
+
+    /// Workload size `L`.
+    pub fn len(&self) -> usize {
+        self.workload.len()
+    }
+
+    /// Whether the workload is empty (invalid for execution).
+    pub fn is_empty(&self) -> bool {
+        self.workload.is_empty()
+    }
+}
+
+/// The answer APEx returns for a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryAnswer {
+    /// Noisy bin counts, parallel to the workload (WCQ).
+    Counts(Vec<f64>),
+    /// Selected bin indices into the workload (ICQ / TCQ). Sorted
+    /// ascending for ICQ; ordered by decreasing noisy count for TCQ.
+    Bins(Vec<usize>),
+}
+
+impl QueryAnswer {
+    /// The counts, if this is a WCQ answer.
+    pub fn as_counts(&self) -> Option<&[f64]> {
+        match self {
+            QueryAnswer::Counts(c) => Some(c),
+            QueryAnswer::Bins(_) => None,
+        }
+    }
+
+    /// The selected bins, if this is an ICQ/TCQ answer.
+    pub fn as_bins(&self) -> Option<&[usize]> {
+        match self {
+            QueryAnswer::Bins(b) => Some(b),
+            QueryAnswer::Counts(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn preds(n: usize) -> Vec<Predicate> {
+        (0..n).map(|i| Predicate::range("x", i as f64, (i + 1) as f64)).collect()
+    }
+
+    #[test]
+    fn constructors_set_kind() {
+        assert_eq!(ExplorationQuery::wcq(preds(3)).kind, QueryKind::Wcq);
+        assert_eq!(
+            ExplorationQuery::icq(preds(3), 5.0).kind,
+            QueryKind::Icq { threshold: 5.0 }
+        );
+        assert_eq!(ExplorationQuery::tcq(preds(3), 2).kind, QueryKind::Tcq { k: 2 });
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(QueryKind::Wcq.name(), "WCQ");
+        assert_eq!(QueryKind::Icq { threshold: 1.0 }.name(), "ICQ");
+        assert_eq!(QueryKind::Tcq { k: 3 }.name(), "TCQ");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let q = ExplorationQuery::wcq(preds(4));
+        assert_eq!(q.len(), 4);
+        assert!(!q.is_empty());
+        assert!(ExplorationQuery::wcq(vec![]).is_empty());
+    }
+
+    #[test]
+    fn answer_accessors() {
+        let c = QueryAnswer::Counts(vec![1.0, 2.0]);
+        assert_eq!(c.as_counts(), Some(&[1.0, 2.0][..]));
+        assert_eq!(c.as_bins(), None);
+        let b = QueryAnswer::Bins(vec![0, 2]);
+        assert_eq!(b.as_bins(), Some(&[0, 2][..]));
+        assert_eq!(b.as_counts(), None);
+    }
+}

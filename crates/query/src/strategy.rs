@@ -1,0 +1,198 @@
+//! Strategy matrices for the matrix (strategy-based) mechanism.
+//!
+//! Section 5.2: instead of answering the workload `W` directly, APEx can
+//! answer a *strategy* `A` with low sensitivity `‖A‖₁` and reconstruct
+//! `W x ≈ (W A⁺)(A x + η)`. The paper uses the hierarchical `H₂` strategy
+//! of Hay et al. for all benchmark queries; we implement the general
+//! `H_b` family (branching factor `b`), the identity strategy, and the
+//! trivial "workload as strategy" fallback.
+
+use apex_linalg::Matrix;
+
+/// Errors raised while building a strategy matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StrategyError {
+    /// Strategies require at least one domain cell.
+    EmptyDomain,
+    /// Branching factor must be at least 2.
+    BadBranching(usize),
+}
+
+impl std::fmt::Display for StrategyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StrategyError::EmptyDomain => write!(f, "strategy requires a non-empty domain"),
+            StrategyError::BadBranching(b) => {
+                write!(f, "hierarchical branching factor must be >= 2, got {b}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StrategyError {}
+
+/// A strategy for answering a workload through the matrix mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Answer every domain cell directly (`A = I`). Optimal for disjoint
+    /// histogram workloads.
+    Identity,
+    /// The hierarchical strategy `H_b`: interval sums arranged in a
+    /// `b`-ary tree over the cells, leaves included. `H2` (the paper's
+    /// choice) is `Hierarchical { branching: 2 }`.
+    Hierarchical {
+        /// Tree fan-out (`b >= 2`).
+        branching: usize,
+    },
+}
+
+impl Strategy {
+    /// The paper's default `H2` strategy.
+    pub const H2: Strategy = Strategy::Hierarchical { branching: 2 };
+
+    /// Builds the strategy matrix over `n_cells` domain cells.
+    ///
+    /// The returned matrix always has full column rank (it contains every
+    /// singleton row), which the pseudoinverse in the mechanism requires.
+    ///
+    /// # Errors
+    /// * [`StrategyError::EmptyDomain`] when `n_cells == 0`.
+    /// * [`StrategyError::BadBranching`] when `branching < 2`.
+    pub fn build(&self, n_cells: usize) -> Result<Matrix, StrategyError> {
+        if n_cells == 0 {
+            return Err(StrategyError::EmptyDomain);
+        }
+        match self {
+            Strategy::Identity => Ok(Matrix::identity(n_cells)),
+            Strategy::Hierarchical { branching } => {
+                if *branching < 2 {
+                    return Err(StrategyError::BadBranching(*branching));
+                }
+                Ok(hierarchical(n_cells, *branching))
+            }
+        }
+    }
+
+    /// Human-readable name used by benchmark output.
+    pub fn name(&self) -> String {
+        match self {
+            Strategy::Identity => "identity".to_string(),
+            Strategy::Hierarchical { branching } => format!("H{branching}"),
+        }
+    }
+}
+
+/// Builds the `H_b` hierarchy over `n` cells: one row per tree node
+/// covering the node's interval `[lo, hi)`. Every singleton leaf appears
+/// as a row, so the matrix has full column rank.
+fn hierarchical(n: usize, b: usize) -> Matrix {
+    // Collect intervals breadth-first; skip the root when it would
+    // duplicate a single leaf (n == 1).
+    let mut intervals: Vec<(usize, usize)> = Vec::new();
+    let mut frontier = vec![(0usize, n)];
+    while let Some((lo, hi)) = frontier.pop() {
+        intervals.push((lo, hi));
+        let len = hi - lo;
+        if len <= 1 {
+            continue;
+        }
+        // Split [lo, hi) into b nearly equal children.
+        let base = len / b;
+        let extra = len % b;
+        let mut start = lo;
+        for i in 0..b {
+            let width = base + usize::from(i < extra);
+            if width == 0 {
+                continue;
+            }
+            frontier.push((start, start + width));
+            start += width;
+        }
+    }
+    // Deduplicate (n == 1 yields a single interval; nested equal spans
+    // cannot occur otherwise, but dedup is cheap insurance).
+    intervals.sort_unstable();
+    intervals.dedup();
+
+    let mut m = Matrix::zeros(intervals.len(), n);
+    for (r, &(lo, hi)) in intervals.iter().enumerate() {
+        for c in lo..hi {
+            m[(r, c)] = 1.0;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex_linalg::{l1_operator_norm, pinv};
+
+    #[test]
+    fn identity_strategy() {
+        let a = Strategy::Identity.build(5).unwrap();
+        assert_eq!(a, Matrix::identity(5));
+        assert_eq!(l1_operator_norm(&a), 1.0);
+    }
+
+    #[test]
+    fn h2_sensitivity_is_logarithmic() {
+        // For n a power of two, each cell appears in log2(n) + 1 nodes.
+        let a = Strategy::H2.build(8).unwrap();
+        assert_eq!(l1_operator_norm(&a), 4.0); // log2(8) + 1
+        let a = Strategy::H2.build(16).unwrap();
+        assert_eq!(l1_operator_norm(&a), 5.0);
+    }
+
+    #[test]
+    fn h2_contains_all_singletons() {
+        let a = Strategy::H2.build(6).unwrap();
+        for c in 0..6 {
+            let found = (0..a.rows()).any(|r| {
+                (0..6).all(|j| a[(r, j)] == if j == c { 1.0 } else { 0.0 })
+            });
+            assert!(found, "missing singleton for cell {c}");
+        }
+    }
+
+    #[test]
+    fn h2_has_full_column_rank() {
+        for n in [1usize, 2, 3, 5, 8, 13] {
+            let a = Strategy::H2.build(n).unwrap();
+            // pinv only succeeds on full-rank input.
+            let ap = pinv(&a).unwrap();
+            let papa = ap.matmul(&a).unwrap();
+            assert!(papa.approx_eq(&Matrix::identity(n), 1e-8), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn higher_branching_reduces_sensitivity_for_wide_domains() {
+        let h2 = Strategy::H2.build(64).unwrap();
+        let h8 = Strategy::Hierarchical { branching: 8 }.build(64).unwrap();
+        assert!(l1_operator_norm(&h8) < l1_operator_norm(&h2));
+    }
+
+    #[test]
+    fn single_cell_domain() {
+        let a = Strategy::H2.build(1).unwrap();
+        assert_eq!(a.shape(), (1, 1));
+        assert_eq!(a[(0, 0)], 1.0);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(Strategy::Identity.build(0), Err(StrategyError::EmptyDomain)));
+        assert!(matches!(
+            Strategy::Hierarchical { branching: 1 }.build(4),
+            Err(StrategyError::BadBranching(1))
+        ));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Strategy::Identity.name(), "identity");
+        assert_eq!(Strategy::H2.name(), "H2");
+        assert_eq!(Strategy::Hierarchical { branching: 4 }.name(), "H4");
+    }
+}

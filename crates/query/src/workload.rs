@@ -1,0 +1,156 @@
+//! Compiled workloads: the matrix form `W ← T(W), x ← T_W(D)`.
+
+use apex_data::{Dataset, DomainPartition, PartitionError, Predicate, Schema};
+use apex_linalg::{l1_operator_norm, Matrix};
+
+/// Errors raised when compiling a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// Domain partitioning failed.
+    Partition(PartitionError),
+}
+
+impl From<PartitionError> for WorkloadError {
+    fn from(e: PartitionError) -> Self {
+        WorkloadError::Partition(e)
+    }
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::Partition(e) => write!(f, "cannot compile workload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+/// A workload compiled against a schema: the minimal domain partition, the
+/// `L × |dom_W(R)|` 0/1 matrix `W`, and its sensitivity `‖W‖₁`.
+///
+/// Compilation is **data independent** — it sees only the public schema
+/// and the workload — so the matrix and the sensitivity can safely drive
+/// the accuracy-to-privacy translation before any data access.
+#[derive(Debug, Clone)]
+pub struct CompiledWorkload {
+    partition: DomainPartition,
+    matrix: Matrix,
+    sensitivity: f64,
+}
+
+impl CompiledWorkload {
+    /// Compiles `workload` against `schema`.
+    ///
+    /// # Errors
+    /// Propagates partitioning failures (unknown attributes, empty
+    /// workload, cell blow-up).
+    pub fn compile(schema: &Schema, workload: &[Predicate]) -> Result<Self, WorkloadError> {
+        let partition = DomainPartition::build(schema, workload)?;
+        let rows = partition.incidence_rows();
+        let matrix = Matrix::from_rows(&rows);
+        let sensitivity = l1_operator_norm(&matrix);
+        Ok(Self { partition, matrix, sensitivity })
+    }
+
+    /// The workload matrix `W` (`L × n_cells`).
+    pub fn matrix(&self) -> &Matrix {
+        &self.matrix
+    }
+
+    /// The domain partition backing the matrix.
+    pub fn partition(&self) -> &DomainPartition {
+        &self.partition
+    }
+
+    /// Workload size `L`.
+    pub fn n_queries(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    /// Number of domain cells `|dom_W(R)|`.
+    pub fn n_cells(&self) -> usize {
+        self.matrix.cols()
+    }
+
+    /// The sensitivity `‖W‖₁` of the workload (max column L1 norm).
+    pub fn sensitivity(&self) -> f64 {
+        self.sensitivity
+    }
+
+    /// The histogram `x = T_W(D)` of a dataset over the partition cells.
+    pub fn histogram(&self, data: &Dataset) -> Vec<f64> {
+        self.partition.histogram(data)
+    }
+
+    /// The exact (non-private) workload answer `W x`.
+    pub fn true_answer(&self, data: &Dataset) -> Vec<f64> {
+        let x = self.histogram(data);
+        self.matrix.matvec(&x).expect("histogram length matches matrix columns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex_data::{Attribute, CmpOp, Dataset, Domain, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![Attribute::new("v", Domain::IntRange { min: 0, max: 99 })]).unwrap()
+    }
+
+    fn data(values: &[i64]) -> Dataset {
+        let mut d = Dataset::empty(schema());
+        for &v in values {
+            d.push(vec![Value::Int(v)]).unwrap();
+        }
+        d
+    }
+
+    fn histogram_workload(bins: usize, width: i64) -> Vec<Predicate> {
+        (0..bins)
+            .map(|i| Predicate::range("v", (i as i64 * width) as f64, ((i as i64 + 1) * width) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn histogram_workload_has_sensitivity_one() {
+        let w = histogram_workload(10, 10);
+        let c = CompiledWorkload::compile(&schema(), &w).unwrap();
+        assert_eq!(c.sensitivity(), 1.0);
+        assert_eq!(c.n_queries(), 10);
+    }
+
+    #[test]
+    fn prefix_workload_has_sensitivity_l() {
+        let w: Vec<Predicate> =
+            (1..=8).map(|i| Predicate::cmp("v", CmpOp::Lt, i * 10)).collect();
+        let c = CompiledWorkload::compile(&schema(), &w).unwrap();
+        assert_eq!(c.sensitivity(), 8.0);
+    }
+
+    #[test]
+    fn true_answer_matches_direct_counts() {
+        let d = data(&[5, 15, 15, 25, 95]);
+        let w = histogram_workload(10, 10);
+        let c = CompiledWorkload::compile(&schema(), &w).unwrap();
+        let ans = c.true_answer(&d);
+        assert_eq!(ans[0], 1.0);
+        assert_eq!(ans[1], 2.0);
+        assert_eq!(ans[2], 1.0);
+        assert_eq!(ans[9], 1.0);
+        assert_eq!(ans.iter().sum::<f64>(), 5.0);
+    }
+
+    #[test]
+    fn histogram_sums_to_data_size() {
+        let d = data(&[1, 2, 3, 50, 99]);
+        let c = CompiledWorkload::compile(&schema(), &histogram_workload(5, 20)).unwrap();
+        assert_eq!(c.histogram(&d).iter().sum::<f64>(), 5.0);
+    }
+
+    #[test]
+    fn empty_workload_is_an_error() {
+        assert!(CompiledWorkload::compile(&schema(), &[]).is_err());
+    }
+}

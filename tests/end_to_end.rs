@@ -1,0 +1,136 @@
+//! End-to-end integration: parser → engine → mechanisms → transcript,
+//! across all three query types on the synthetic Adult data.
+
+use apex_core::{ApexEngine, EngineConfig, EngineResponse, Mode};
+use apex_data::synth::adult_dataset;
+use apex_data::Predicate;
+use apex_query::{parse_query, AccuracySpec, ExplorationQuery, QueryKind};
+
+fn engine(budget: f64, mode: Mode) -> ApexEngine {
+    ApexEngine::new(adult_dataset(8_000, 3), EngineConfig { budget, mode, seed: 17 })
+}
+
+#[test]
+fn parsed_statement_flows_through_the_engine() {
+    let mut e = engine(2.0, Mode::Optimistic);
+    let stmt = "BIN D ON COUNT(*) WHERE W = { capital_gain IN [0, 2500), \
+                capital_gain IN [2500, 5000) } ERROR 400 CONFIDENCE 0.9995;";
+    let parsed = parse_query(stmt).expect("parses");
+    assert_eq!(parsed.query.kind, QueryKind::Wcq);
+    let acc = parsed.accuracy.expect("accuracy clause present");
+    let r = e.submit(&parsed.query, &acc).expect("valid query");
+    let a = r.answered().expect("budget suffices");
+    let counts = a.answer.as_counts().expect("WCQ");
+    assert_eq!(counts.len(), 2);
+    // ~91% of 8000 have zero gain → bin 0 dominates even with noise.
+    assert!(counts[0] > counts[1]);
+}
+
+#[test]
+fn all_three_query_types_answer_and_compose() {
+    let mut e = engine(5.0, Mode::Optimistic);
+    let n = 8_000.0;
+    let acc = AccuracySpec::new(0.05 * n, 5e-4).unwrap();
+
+    let hist: Vec<Predicate> = (0..10)
+        .map(|i| Predicate::range("capital_gain", 500.0 * i as f64, 500.0 * (i + 1) as f64))
+        .collect();
+
+    let wcq = e.submit(&ExplorationQuery::wcq(hist.clone()), &acc).unwrap();
+    let icq = e.submit(&ExplorationQuery::icq(hist.clone(), 0.2 * n), &acc).unwrap();
+    let tcq = e.submit(&ExplorationQuery::tcq(hist, 3), &acc).unwrap();
+
+    assert!(wcq.answered().is_some());
+    let icq_bins = icq.answered().expect("icq answered").answer.as_bins().unwrap().to_vec();
+    // Only the zero-gain bin holds > 20% of people.
+    assert_eq!(icq_bins, vec![0]);
+    let tcq_bins = tcq.answered().expect("tcq answered").answer.as_bins().unwrap().to_vec();
+    assert_eq!(tcq_bins.len(), 3);
+    assert_eq!(tcq_bins[0], 0, "zero-gain bin is the clear max");
+
+    // Sequential composition: spend equals the sum of the three answers.
+    let total: f64 = e.transcript().entries().iter().map(|t| t.epsilon()).sum();
+    assert!((e.spent() - total).abs() < 1e-12);
+    assert!(e.transcript().is_valid(5.0));
+}
+
+#[test]
+fn adaptive_sequence_respects_budget_until_denial() {
+    let mut e = engine(0.3, Mode::Pessimistic);
+    let n = 8_000.0;
+    let acc = AccuracySpec::new(0.02 * n, 5e-4).unwrap();
+    let mut denied_seen = false;
+    // Adaptively narrow the range based on the previous noisy answer.
+    let mut lo = 0.0;
+    let mut hi = 5_000.0;
+    for _ in 0..40 {
+        let mid = (lo + hi) / 2.0;
+        let wl = vec![
+            Predicate::range("capital_gain", lo, mid),
+            Predicate::range("capital_gain", mid, hi),
+        ];
+        match e.submit(&ExplorationQuery::wcq(wl), &acc).unwrap() {
+            EngineResponse::Answered(a) => {
+                let c = a.answer.as_counts().unwrap();
+                if c[0] >= c[1] {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+                if hi - lo < 2.0 {
+                    lo = 0.0;
+                    hi = 5_000.0;
+                }
+            }
+            EngineResponse::Denied => {
+                denied_seen = true;
+                break;
+            }
+        }
+    }
+    assert!(denied_seen, "budget 0.3 cannot sustain 40 tight queries");
+    assert!(e.spent() <= 0.3 + 1e-9);
+    assert!(e.transcript().is_valid(0.3));
+}
+
+#[test]
+fn mode_changes_mechanism_choice_for_icq() {
+    let n = 8_000.0;
+    let acc = AccuracySpec::new(0.05 * n, 5e-4).unwrap();
+    let wl: Vec<Predicate> = (0..8)
+        .map(|i| Predicate::range("capital_gain", 625.0 * i as f64, 625.0 * (i + 1) as f64))
+        .collect();
+    // Threshold at 0.5·|D|: the zero-gain bin (~0.91·|D|) and the rest
+    // (~0.01·|D| each) are both far from it, so MPM decides after few
+    // pokes. (0.9·|D| would sit right on the big bin's count — the bad
+    // case for the optimist, exercised in the fig4c experiment instead.)
+    let q = ExplorationQuery::icq(wl, 0.5 * n);
+
+    let mut opt = engine(5.0, Mode::Optimistic);
+    let a_opt = opt.submit(&q, &acc).unwrap();
+    assert_eq!(a_opt.answered().unwrap().mechanism, "MPM");
+
+    let mut pes = engine(5.0, Mode::Pessimistic);
+    let a_pes = pes.submit(&q, &acc).unwrap();
+    assert_ne!(a_pes.answered().unwrap().mechanism, "MPM");
+
+    // On this easy threshold the optimist's actual spend is below the
+    // pessimist's (MPM stops at the first poke).
+    assert!(opt.spent() < pes.spent());
+}
+
+#[test]
+fn denial_leaves_budget_for_smaller_questions() {
+    let mut e = engine(0.02, Mode::Pessimistic);
+    let n = 8_000.0;
+    // Too tight: denied.
+    let tight = AccuracySpec::new(0.001 * n, 5e-4).unwrap();
+    let wl = vec![Predicate::range("capital_gain", 0.0, 2_500.0)];
+    assert!(e
+        .submit(&ExplorationQuery::wcq(wl.clone()), &tight)
+        .unwrap()
+        .is_denied());
+    // Loose: answered.
+    let loose = AccuracySpec::new(0.2 * n, 5e-4).unwrap();
+    assert!(!e.submit(&ExplorationQuery::wcq(wl), &loose).unwrap().is_denied());
+}

@@ -1,0 +1,141 @@
+//! Property-based tests (proptest) on the core invariants:
+//! pseudoinverse identities, workload sensitivity, partition
+//! correctness, translation monotonicity, and Laplace tails.
+
+use apex_data::{Attribute, Dataset, Domain, Predicate, Schema, Value};
+use apex_linalg::{l1_operator_norm, pinv, Matrix};
+use apex_mech::{Laplace, LaplaceMechanism, Mechanism, PreparedQuery};
+use apex_query::{AccuracySpec, ExplorationQuery, Strategy as HierStrategy};
+use proptest::prelude::*;
+
+fn schema(max: i64) -> Schema {
+    Schema::new(vec![Attribute::new("v", Domain::IntRange { min: 0, max })]).unwrap()
+}
+
+/// Strategy producing a random interval workload over [0, 64).
+fn interval_workload() -> impl proptest::strategy::Strategy<Value = Vec<Predicate>> {
+    proptest::collection::vec((0i64..64, 1i64..32), 1..12).prop_map(|spans| {
+        spans
+            .into_iter()
+            .map(|(lo, w)| Predicate::range("v", lo as f64, (lo + w).min(64) as f64))
+            .collect()
+    })
+}
+
+/// Strategy producing a random small dataset over [0, 64).
+fn dataset() -> impl proptest::strategy::Strategy<Value = Dataset> {
+    proptest::collection::vec(0i64..64, 0..300).prop_map(|vals| {
+        let mut d = Dataset::empty(schema(63));
+        for v in vals {
+            d.push(vec![Value::Int(v)]).unwrap();
+        }
+        d
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The compiled workload answer always equals direct counting —
+    /// for any interval workload and any dataset.
+    #[test]
+    fn partition_answers_match_direct_counts(wl in interval_workload(), d in dataset()) {
+        let q = PreparedQuery::prepare(&schema(63), &ExplorationQuery::wcq(wl.clone())).unwrap();
+        let ans = q.compiled().true_answer(&d);
+        for (i, pred) in wl.iter().enumerate() {
+            prop_assert_eq!(ans[i], d.count(pred).unwrap() as f64);
+        }
+    }
+
+    /// Sensitivity is the max, over single-tuple insertions, of the
+    /// answer-vector L1 change — by definition. Verify ‖W‖₁ dominates
+    /// the observed change for arbitrary inserted values.
+    #[test]
+    fn sensitivity_bounds_single_tuple_influence(
+        wl in interval_workload(),
+        d in dataset(),
+        extra in 0i64..64,
+    ) {
+        let q = PreparedQuery::prepare(&schema(63), &ExplorationQuery::wcq(wl)).unwrap();
+        let before = q.compiled().true_answer(&d);
+        let mut d2 = d.clone();
+        d2.push(vec![Value::Int(extra)]).unwrap();
+        let after = q.compiled().true_answer(&d2);
+        let l1_change: f64 = before.iter().zip(&after).map(|(a, b)| (b - a).abs()).sum();
+        prop_assert!(l1_change <= q.sensitivity() + 1e-9);
+    }
+
+    /// Moore–Penrose identities for every hierarchical strategy size.
+    #[test]
+    fn pinv_identities_for_strategies(n in 1usize..40, b in 2usize..5) {
+        let a = HierStrategy::Hierarchical { branching: b }.build(n).unwrap();
+        let ap = pinv(&a).unwrap();
+        let aapa = a.matmul(&ap).unwrap().matmul(&a).unwrap();
+        prop_assert!(aapa.approx_eq(&a, 1e-7));
+        let apaap = ap.matmul(&a).unwrap().matmul(&ap).unwrap();
+        prop_assert!(apaap.approx_eq(&ap, 1e-7));
+        // Full column rank ⇒ A⁺A = I.
+        prop_assert!(ap.matmul(&a).unwrap().approx_eq(&Matrix::identity(n), 1e-7));
+    }
+
+    /// H_b sensitivity equals the number of tree levels covering the
+    /// deepest cell: ≤ ceil(log_b n) + 1.
+    #[test]
+    fn hierarchical_sensitivity_is_logarithmic(n in 2usize..200, b in 2usize..5) {
+        let a = HierStrategy::Hierarchical { branching: b }.build(n).unwrap();
+        let sens = l1_operator_norm(&a);
+        let depth = (n as f64).log(b as f64).ceil() + 1.0;
+        prop_assert!(sens <= depth + 1.0, "sens {} vs depth bound {}", sens, depth);
+    }
+
+    /// LM translation is monotone: tighter α or β never costs less.
+    #[test]
+    fn lm_translation_monotone(
+        wl in interval_workload(),
+        a1 in 1.0f64..100.0,
+        factor in 1.01f64..4.0,
+        beta in 1e-4f64..0.2,
+    ) {
+        let q = PreparedQuery::prepare(&schema(63), &ExplorationQuery::wcq(wl)).unwrap();
+        let tight = AccuracySpec::new(a1, beta).unwrap();
+        let loose = AccuracySpec::new(a1 * factor, beta).unwrap();
+        let e_tight = LaplaceMechanism.translate(&q, &tight).unwrap().upper;
+        let e_loose = LaplaceMechanism.translate(&q, &loose).unwrap().upper;
+        prop_assert!(e_tight >= e_loose);
+
+        let looser_beta = AccuracySpec::new(a1, (beta * 2.0).min(0.5)).unwrap();
+        let e_lb = LaplaceMechanism.translate(&q, &looser_beta).unwrap().upper;
+        prop_assert!(e_lb <= e_tight + 1e-12);
+    }
+
+    /// Laplace quantile/CDF round-trip and tail bound, for any scale.
+    #[test]
+    fn laplace_quantile_cdf_roundtrip(b in 0.01f64..100.0, p in 0.001f64..0.999) {
+        let d = Laplace::new(b);
+        let x = d.quantile(p);
+        prop_assert!((d.cdf(x) - p).abs() < 1e-9);
+        // abs_tail is monotone decreasing.
+        prop_assert!(d.abs_tail(1.0) >= d.abs_tail(2.0));
+    }
+
+    /// The engine transcript stays valid for arbitrary budgets and query
+    /// sequences (a smaller randomized cousin of the dedicated
+    /// integration tests, exercised across many budgets).
+    #[test]
+    fn transcript_valid_for_random_budgets(budget in 0.01f64..2.0, seed in 0u64..50) {
+        use apex_core::{ApexEngine, EngineConfig, Mode};
+        let mut d = Dataset::empty(schema(15));
+        for i in 0..200 {
+            d.push(vec![Value::Int(i % 16)]).unwrap();
+        }
+        let mut engine = ApexEngine::new(d, EngineConfig { budget, mode: Mode::Optimistic, seed });
+        let acc = AccuracySpec::new(25.0, 1e-3).unwrap();
+        for i in 0..6 {
+            let wl: Vec<Predicate> =
+                (0..4).map(|j| Predicate::eq("v", ((i + j) % 16) as i64)).collect();
+            let _ = engine.submit(&ExplorationQuery::wcq(wl), &acc).unwrap();
+        }
+        prop_assert!(engine.spent() <= budget + 1e-9);
+        prop_assert!(engine.transcript().is_valid(budget));
+    }
+}
