@@ -1,0 +1,86 @@
+//! The engine-owned translator/pseudoinverse cache.
+//!
+//! The dominant cost of answering an exploration query through the
+//! strategy mechanism is *data-independent*: the `O(n³)` QR pseudoinverse
+//! of the strategy matrix and the Monte-Carlo simulation behind the
+//! accuracy-to-privacy translation depend only on the compiled workload's
+//! incidence structure, the strategy, and the Monte-Carlo configuration.
+//! The common APEx session pattern — an analyst iterating accuracy
+//! requirements or re-querying the same domain partition (e.g.
+//! `examples/histogram_explorer.rs`) — rebuilds identical artifacts on
+//! every `submit`, twice (once in the analyzer's `translate`, once in
+//! `run`).
+//!
+//! [`TranslatorCache`] memoizes those artifacts per engine. It is keyed by
+//! `(workload signature, strategy, sample count, seed, tolerance)` — see
+//! [`apex_mech::SmCacheKey`] — and stores [`apex_mech::SmArtifacts`]
+//! behind `Arc`s, so hits are pointer clones. Reuse is **exact**: the
+//! cached translator is the very value a rebuild would produce, so caching
+//! cannot change any admit/deny decision or any translated ε (the privacy
+//! proof of Theorem 6.2 is untouched).
+//!
+//! The storage type lives in `apex-mech` (the artifact types are defined
+//! there); this module owns the engine-facing handle, its statistics, and
+//! the wiring through mechanism selection ([`crate::choose_mechanism_cached`]).
+
+use std::sync::Arc;
+
+use apex_mech::{CacheStats, SmCache};
+
+/// A per-engine handle to the shared strategy-mechanism artifact cache.
+///
+/// Cloning the handle shares the underlying cache (it is an `Arc`), which
+/// is what [`crate::SharedEngine`] needs: all analysts of one engine warm
+/// the same cache.
+#[derive(Debug, Clone, Default)]
+pub struct TranslatorCache {
+    inner: Arc<SmCache>,
+}
+
+impl TranslatorCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The underlying storage, in the shape mechanism construction wants.
+    pub fn handle(&self) -> Arc<SmCache> {
+        self.inner.clone()
+    }
+
+    /// Hit/miss counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.stats()
+    }
+
+    /// Number of distinct `(workload, strategy, MC config)` entries.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Drops all cached artifacts (e.g. to bound memory in a long-running
+    /// service); counters are kept.
+    pub fn clear(&self) {
+        self.inner.clear()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_storage() {
+        let a = TranslatorCache::new();
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.handle(), &b.handle()));
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 0);
+        assert_eq!(a.stats(), CacheStats::default());
+    }
+}

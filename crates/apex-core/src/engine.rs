@@ -6,8 +6,9 @@ use apex_query::{AccuracySpec, ExplorationQuery, QueryAnswer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::cache::TranslatorCache;
 use crate::transcript::{QueryRecord, Transcript, TranscriptEntry};
-use crate::translator::choose_mechanism;
+use crate::translator::choose_mechanism_cached;
 use crate::EngineError;
 
 /// How APEx picks among mechanisms whose privacy loss is data dependent
@@ -38,7 +39,11 @@ pub struct EngineConfig {
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        Self { budget: 1.0, mode: Mode::default(), seed: 0xA9E5_0001 }
+        Self {
+            budget: 1.0,
+            mode: Mode::default(),
+            seed: 0xA9E5_0001,
+        }
     }
 }
 
@@ -91,6 +96,12 @@ pub struct ApexEngine {
     spent: f64,
     transcript: Transcript,
     rng: StdRng,
+    /// Memoizes data-independent strategy-mechanism artifacts
+    /// (pseudoinverse + Monte-Carlo translator) across submissions, so
+    /// repeated exploration over the same domain partition skips the
+    /// `O(n³)` QR and the MC resampling. Reuse is exact — caching cannot
+    /// change any decision.
+    cache: TranslatorCache,
 }
 
 impl ApexEngine {
@@ -113,7 +124,14 @@ impl ApexEngine {
             spent: 0.0,
             transcript: Transcript::new(),
             rng: StdRng::seed_from_u64(config.seed),
+            cache: TranslatorCache::new(),
         }
+    }
+
+    /// The engine's translator/pseudoinverse cache (inspect its stats to
+    /// observe warm-up behavior across a session).
+    pub fn translator_cache(&self) -> &TranslatorCache {
+        &self.cache
     }
 
     /// The owner-specified total budget `B`.
@@ -171,16 +189,25 @@ impl ApexEngine {
         // whose worst case fits, choose by mode. The decision depends
         // only on the query, the accuracy, and the remaining budget —
         // never the data (Case 3 of the Theorem 6.2 proof).
-        let choice = choose_mechanism(&prepared, accuracy, self.remaining(), self.mode)?;
+        let choice = choose_mechanism_cached(
+            &prepared,
+            accuracy,
+            self.remaining(),
+            self.mode,
+            Some(self.cache.handle()),
+        )?;
 
         let Some(choice) = choice else {
             // Line 16: 'Query Denied'; budget unchanged.
-            self.transcript.push(TranscriptEntry::Denied { query: record });
+            self.transcript
+                .push(TranscriptEntry::Denied { query: record });
             return Ok(EngineResponse::Denied);
         };
 
         // Line 11: run the mechanism.
-        let out = choice.mechanism.run(&prepared, accuracy, &self.data, &mut self.rng)?;
+        let out = choice
+            .mechanism
+            .run(&prepared, accuracy, &self.data, &mut self.rng)?;
         debug_assert!(
             out.epsilon <= choice.translation.upper * (1.0 + 1e-9),
             "mechanism reported a loss above its own worst case"
@@ -211,7 +238,11 @@ mod tests {
     use apex_data::{Attribute, Domain, Predicate, Schema, Value};
 
     fn schema() -> Schema {
-        Schema::new(vec![Attribute::new("v", Domain::IntRange { min: 0, max: 63 })]).unwrap()
+        Schema::new(vec![Attribute::new(
+            "v",
+            Domain::IntRange { min: 0, max: 63 },
+        )])
+        .unwrap()
     }
 
     fn data() -> Dataset {
@@ -235,7 +266,14 @@ mod tests {
     }
 
     fn engine(budget: f64) -> ApexEngine {
-        ApexEngine::new(data(), EngineConfig { budget, mode: Mode::Pessimistic, seed: 1 })
+        ApexEngine::new(
+            data(),
+            EngineConfig {
+                budget,
+                mode: Mode::Pessimistic,
+                seed: 1,
+            },
+        )
     }
 
     #[test]
@@ -306,8 +344,14 @@ mod tests {
             2000.0, // all bin counts are << 2000: trivially decidable
         );
         let acc = AccuracySpec::new(30.0, 0.0005).unwrap();
-        let mut e =
-            ApexEngine::new(data(), EngineConfig { budget: 10.0, mode: Mode::Optimistic, seed: 2 });
+        let mut e = ApexEngine::new(
+            data(),
+            EngineConfig {
+                budget: 10.0,
+                mode: Mode::Optimistic,
+                seed: 2,
+            },
+        );
         let r = e.submit(&icq, &acc).unwrap();
         let a = r.answered().unwrap();
         assert_eq!(a.mechanism, "MPM");
@@ -324,7 +368,8 @@ mod tests {
         let mut e = engine(1.0);
         let acc = AccuracySpec::new(50.0, 0.01).unwrap();
         e.submit(&histogram(4), &acc).unwrap();
-        e.submit(&histogram(4), &AccuracySpec::new(0.5, 0.0005).unwrap()).unwrap();
+        e.submit(&histogram(4), &AccuracySpec::new(0.5, 0.0005).unwrap())
+            .unwrap();
         let t = e.transcript();
         assert_eq!(t.len(), 2);
         assert!(!t.entries()[0].is_denied());
@@ -336,5 +381,66 @@ mod tests {
     #[should_panic(expected = "privacy budget must be positive")]
     fn zero_budget_panics() {
         let _ = engine(0.0);
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_translator_cache() {
+        let mut e = engine(100.0);
+        let acc = AccuracySpec::new(30.0, 0.01).unwrap();
+        // Prefix workload: SM is competitive, so its artifacts are built.
+        let prefix = ExplorationQuery::wcq(
+            (1..=16)
+                .map(|i| Predicate::range("v", 0.0, (4 * i) as f64))
+                .collect(),
+        );
+        for _ in 0..4 {
+            e.submit(&prefix, &acc).unwrap();
+        }
+        let stats = e.translator_cache().stats();
+        // One build for the workload signature, hits for every later
+        // translate/run touching it.
+        assert_eq!(stats.misses, 1, "stats: {stats:?}");
+        assert!(stats.hits >= 4, "stats: {stats:?}");
+        assert_eq!(e.translator_cache().len(), 1);
+
+        // A structurally different workload builds a second entry.
+        e.submit(&histogram(8), &acc).unwrap();
+        assert_eq!(e.translator_cache().len(), 2);
+    }
+
+    #[test]
+    fn cache_reuse_preserves_determinism_of_translation() {
+        // Same query sequence on two engines: identical epsilons, whether
+        // artifacts came fresh or from cache.
+        let acc = AccuracySpec::new(30.0, 0.01).unwrap();
+        let prefix = ExplorationQuery::wcq(
+            (1..=16)
+                .map(|i| Predicate::range("v", 0.0, (4 * i) as f64))
+                .collect(),
+        );
+        let run = |seed: u64| -> Vec<f64> {
+            let mut e = ApexEngine::new(
+                data(),
+                EngineConfig {
+                    budget: 100.0,
+                    mode: Mode::Pessimistic,
+                    seed,
+                },
+            );
+            (0..3)
+                .map(|_| {
+                    e.submit(&prefix, &acc)
+                        .unwrap()
+                        .answered()
+                        .unwrap()
+                        .epsilon_upper
+                })
+                .collect()
+        };
+        let a = run(1);
+        let b = run(2); // different noise seed; translation must not care
+        assert_eq!(a, b);
+        // Within one engine, the cached ε equals the first (fresh) ε.
+        assert!(a.windows(2).all(|w| w[0] == w[1]));
     }
 }

@@ -43,14 +43,16 @@
 //! assert!(engine.spent() <= 1.0);
 //! ```
 
+pub mod cache;
 pub mod engine;
 pub mod error;
 pub mod shared;
 pub mod transcript;
 pub mod translator;
 
+pub use cache::TranslatorCache;
 pub use engine::{Answered, ApexEngine, EngineConfig, EngineResponse, Mode};
 pub use error::EngineError;
 pub use shared::SharedEngine;
 pub use transcript::{QueryRecord, Transcript, TranscriptEntry};
-pub use translator::{choose_mechanism, MechanismChoice};
+pub use translator::{choose_mechanism, choose_mechanism_cached, MechanismChoice};

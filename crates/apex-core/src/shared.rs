@@ -22,7 +22,9 @@ pub struct SharedEngine {
 impl SharedEngine {
     /// Wraps an engine for shared use.
     pub fn new(engine: ApexEngine) -> Self {
-        Self { inner: Arc::new(Mutex::new(engine)) }
+        Self {
+            inner: Arc::new(Mutex::new(engine)),
+        }
     }
 
     /// Submits a query; the whole admit–run–charge sequence runs under
@@ -66,15 +68,25 @@ mod tests {
     use apex_data::{Attribute, Dataset, Domain, Predicate, Schema, Value};
 
     fn make_engine(budget: f64) -> ApexEngine {
-        let schema =
-            Schema::new(vec![Attribute::new("v", Domain::IntRange { min: 0, max: 9 })]).unwrap();
+        let schema = Schema::new(vec![Attribute::new(
+            "v",
+            Domain::IntRange { min: 0, max: 9 },
+        )])
+        .unwrap();
         let mut d = Dataset::empty(schema);
         for i in 0..10_i64 {
             for _ in 0..10 {
                 d.push(vec![Value::Int(i)]).unwrap();
             }
         }
-        ApexEngine::new(d, EngineConfig { budget, mode: Mode::Pessimistic, seed: 3 })
+        ApexEngine::new(
+            d,
+            EngineConfig {
+                budget,
+                mode: Mode::Pessimistic,
+                seed: 3,
+            },
+        )
     }
 
     fn query() -> ExplorationQuery {

@@ -117,7 +117,12 @@ impl Transcript {
         let tol = 1e-9 * budget.max(1.0);
         let mut spent = 0.0;
         for e in &self.entries {
-            if let TranscriptEntry::Answered { epsilon, epsilon_upper, .. } = e {
+            if let TranscriptEntry::Answered {
+                epsilon,
+                epsilon_upper,
+                ..
+            } = e
+            {
                 if spent + epsilon_upper > budget + tol {
                     return false;
                 }
@@ -136,7 +141,12 @@ mod tests {
     use super::*;
 
     fn record() -> QueryRecord {
-        QueryRecord { kind: "WCQ", workload_size: 4, alpha: 10.0, beta: 0.05 }
+        QueryRecord {
+            kind: "WCQ",
+            workload_size: 4,
+            alpha: 10.0,
+            beta: 0.05,
+        }
     }
 
     fn answered(eps: f64, upper: f64) -> TranscriptEntry {

@@ -1,7 +1,9 @@
 //! The accuracy translator: choose the admissible mechanism with least
 //! privacy loss (Algorithm 1, Lines 4–10).
 
-use apex_mech::{mechanisms_for, MechError, Mechanism, PreparedQuery, Translation};
+use std::sync::Arc;
+
+use apex_mech::{mechanisms_for_cached, MechError, Mechanism, PreparedQuery, SmCache, Translation};
 use apex_query::AccuracySpec;
 
 use crate::engine::Mode;
@@ -46,8 +48,27 @@ pub fn choose_mechanism(
     remaining_budget: f64,
     mode: Mode,
 ) -> Result<Option<MechanismChoice>, MechError> {
+    choose_mechanism_cached(q, acc, remaining_budget, mode, None)
+}
+
+/// [`choose_mechanism`] with the strategy mechanism wired to a shared
+/// artifact cache, so the analyzer's translation and the subsequent `run`
+/// reuse one pseudoinverse + Monte-Carlo translator per workload
+/// signature. The selection logic — and, because cached artifacts are
+/// exact, every selected mechanism and ε — is identical to the uncached
+/// path.
+///
+/// # Errors
+/// Same contract as [`choose_mechanism`].
+pub fn choose_mechanism_cached(
+    q: &PreparedQuery,
+    acc: &AccuracySpec,
+    remaining_budget: f64,
+    mode: Mode,
+    cache: Option<Arc<SmCache>>,
+) -> Result<Option<MechanismChoice>, MechError> {
     let mut best: Option<MechanismChoice> = None;
-    for mechanism in mechanisms_for(q.kind()) {
+    for mechanism in mechanisms_for_cached(q.kind(), cache) {
         if !mechanism.supports(q.kind()) {
             continue;
         }
@@ -74,7 +95,10 @@ pub fn choose_mechanism(
             }
         };
         if better {
-            best = Some(MechanismChoice { mechanism, translation });
+            best = Some(MechanismChoice {
+                mechanism,
+                translation,
+            });
         }
     }
     Ok(best)
@@ -87,7 +111,11 @@ mod tests {
     use apex_query::ExplorationQuery;
 
     fn schema() -> Schema {
-        Schema::new(vec![Attribute::new("v", Domain::IntRange { min: 0, max: 63 })]).unwrap()
+        Schema::new(vec![Attribute::new(
+            "v",
+            Domain::IntRange { min: 0, max: 63 },
+        )])
+        .unwrap()
     }
 
     fn prepare(q: &ExplorationQuery) -> PreparedQuery {
@@ -98,10 +126,14 @@ mod tests {
     fn histogram_wcq_prefers_lm() {
         // Sensitivity-1 histogram: LM beats SM(H2).
         let q = prepare(&ExplorationQuery::wcq(
-            (0..8).map(|i| Predicate::range("v", (8 * i) as f64, (8 * (i + 1)) as f64)).collect(),
+            (0..8)
+                .map(|i| Predicate::range("v", (8 * i) as f64, (8 * (i + 1)) as f64))
+                .collect(),
         ));
         let acc = AccuracySpec::new(20.0, 0.01).unwrap();
-        let c = choose_mechanism(&q, &acc, f64::INFINITY, Mode::Pessimistic).unwrap().unwrap();
+        let c = choose_mechanism(&q, &acc, f64::INFINITY, Mode::Pessimistic)
+            .unwrap()
+            .unwrap();
         assert_eq!(c.mechanism.name(), "LM");
     }
 
@@ -109,10 +141,14 @@ mod tests {
     fn prefix_wcq_prefers_sm() {
         // Sensitivity-L prefix workload: SM(H2) wins (Table 2, QW2).
         let q = prepare(&ExplorationQuery::wcq(
-            (1..=32).map(|i| Predicate::range("v", 0.0, (2 * i) as f64)).collect(),
+            (1..=32)
+                .map(|i| Predicate::range("v", 0.0, (2 * i) as f64))
+                .collect(),
         ));
         let acc = AccuracySpec::new(20.0, 0.01).unwrap();
-        let c = choose_mechanism(&q, &acc, f64::INFINITY, Mode::Pessimistic).unwrap().unwrap();
+        let c = choose_mechanism(&q, &acc, f64::INFINITY, Mode::Pessimistic)
+            .unwrap()
+            .unwrap();
         assert_eq!(c.mechanism.name(), "SM");
     }
 
@@ -120,21 +156,29 @@ mod tests {
     fn optimistic_mode_prefers_mpm_for_icq() {
         // MPM's εˡ = εᵘ/m is far below LM/SM; optimistic mode gambles.
         let q = prepare(&ExplorationQuery::icq(
-            (0..8).map(|i| Predicate::range("v", (8 * i) as f64, (8 * (i + 1)) as f64)).collect(),
+            (0..8)
+                .map(|i| Predicate::range("v", (8 * i) as f64, (8 * (i + 1)) as f64))
+                .collect(),
             100.0,
         ));
         let acc = AccuracySpec::new(20.0, 0.0005).unwrap();
-        let c = choose_mechanism(&q, &acc, f64::INFINITY, Mode::Optimistic).unwrap().unwrap();
+        let c = choose_mechanism(&q, &acc, f64::INFINITY, Mode::Optimistic)
+            .unwrap()
+            .unwrap();
         assert_eq!(c.mechanism.name(), "MPM");
         // Pessimistic mode refuses the gamble (MPM has the largest εᵘ).
-        let c = choose_mechanism(&q, &acc, f64::INFINITY, Mode::Pessimistic).unwrap().unwrap();
+        let c = choose_mechanism(&q, &acc, f64::INFINITY, Mode::Pessimistic)
+            .unwrap()
+            .unwrap();
         assert_ne!(c.mechanism.name(), "MPM");
     }
 
     #[test]
     fn budget_filters_out_expensive_mechanisms() {
         let q = prepare(&ExplorationQuery::wcq(
-            (0..8).map(|i| Predicate::range("v", (8 * i) as f64, (8 * (i + 1)) as f64)).collect(),
+            (0..8)
+                .map(|i| Predicate::range("v", (8 * i) as f64, (8 * (i + 1)) as f64))
+                .collect(),
         ));
         let acc = AccuracySpec::new(20.0, 0.01).unwrap();
         // With effectively no budget, nothing is admissible.
@@ -145,11 +189,17 @@ mod tests {
     #[test]
     fn selection_is_deterministic() {
         let q = prepare(&ExplorationQuery::wcq(
-            (1..=16).map(|i| Predicate::range("v", 0.0, (4 * i) as f64)).collect(),
+            (1..=16)
+                .map(|i| Predicate::range("v", 0.0, (4 * i) as f64))
+                .collect(),
         ));
         let acc = AccuracySpec::new(20.0, 0.01).unwrap();
-        let a = choose_mechanism(&q, &acc, 100.0, Mode::Pessimistic).unwrap().unwrap();
-        let b = choose_mechanism(&q, &acc, 100.0, Mode::Pessimistic).unwrap().unwrap();
+        let a = choose_mechanism(&q, &acc, 100.0, Mode::Pessimistic)
+            .unwrap()
+            .unwrap();
+        let b = choose_mechanism(&q, &acc, 100.0, Mode::Pessimistic)
+            .unwrap()
+            .unwrap();
         assert_eq!(a.mechanism.name(), b.mechanism.name());
         assert_eq!(a.translation, b.translation);
     }

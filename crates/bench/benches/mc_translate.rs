@@ -1,30 +1,145 @@
-//! Ablation benchmark: the strategy mechanism's Monte-Carlo
-//! accuracy-to-privacy translation (Algorithm 3) as a function of the
-//! simulation sample size `N` and the strategy branching factor.
+//! Benchmarks of the strategy mechanism's Monte-Carlo accuracy-to-privacy
+//! translation (Algorithm 3) and the sparse strategy algebra feeding it.
 //!
-//! DESIGN.md §6 calls out two tunables: `N` (the paper's 10,000) trades
-//! translation latency against the tightness of the confidence band, and
-//! the `H_b` branching factor trades tree depth (sensitivity) against
-//! reconstruction fan-in. This bench quantifies the latency side.
+//! Three questions, each a benchmark group:
+//!
+//! * `mc_translate_domain` — serial per-sample simulation vs the batched
+//!   blocked formulation, per domain size, plus the translate-only cost a
+//!   cache hit pays. This is the headline serial-vs-parallel evidence
+//!   (`docs/PERFORMANCE.md` records the numbers).
+//! * `strategy_sparse_vs_dense` — CSR vs dense construction and `A·x`
+//!   cost of the `H₂` strategy per domain size: the sparse-vs-dense
+//!   evidence.
+//! * `mc_translate_samples` / `mc_translate_branching` — the original
+//!   ablations over the sample count `N` and the branching factor `b`.
+//!
+//! Monte-Carlo sample counts shrink as the domain grows to keep one
+//! iteration tractable on one core; the serial/batched *ratio* is
+//! unaffected (both paths scale linearly in `N`), and the JSON output
+//! records `N` per config. Domain 4096 uses the identity strategy for the
+//! MC scaling row: H₂'s one-time `O(n³)` pseudoinverse takes on the order
+//! of an hour at that size on one core (the cost the translator cache
+//! exists to amortize), while the simulation itself — what this group
+//! measures — is strategy-independent in shape. The dense 4096² strategy
+//! materialization is likewise gated behind `APEX_BENCH_FULL=1` in the
+//! sparse-vs-dense group (128 MiB per iteration).
+//!
+//! Besides the textual report, the harness writes the medians to
+//! `BENCH_mc_translate.json` at the workspace root (override with
+//! `APEX_BENCH_JSON`) so the perf trajectory is machine-trackable
+//! across PRs.
 
-use apex_linalg::pinv;
+use apex_linalg::{pinv, Matrix};
 use apex_mech::mc::{McConfig, McTranslator};
 use apex_query::Strategy;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::io::Write as _;
 
-fn bench_mc(c: &mut Criterion) {
-    // Prefix workload over 64 cells answered through H2.
-    let n_cells = 64;
-    let mut w_rows = Vec::new();
-    for i in 1..=n_cells {
-        let mut row = vec![0.0; n_cells];
-        for cell in row.iter_mut().take(i) {
-            *cell = 1.0;
+/// Prefix workload over `n` cells, limited to `l_max` rows (row `i` sums
+/// the first `⌈(i+1)·n/L⌉` cells).
+fn prefix_workload(n: usize, l_max: usize) -> Matrix {
+    let l = n.min(l_max);
+    let mut w = Matrix::zeros(l, n);
+    for i in 0..l {
+        let hi = (i + 1) * n / l;
+        for c in 0..hi.max(1) {
+            w[(i, c)] = 1.0;
         }
-        w_rows.push(row);
     }
-    let w = apex_linalg::Matrix::from_rows(&w_rows);
+    w
+}
+
+/// Monte-Carlo sample count per domain size (kept tractable on one core;
+/// the serial/batched ratio does not depend on it).
+fn samples_for(n: usize) -> usize {
+    match n {
+        0..=64 => 10_000,
+        65..=1024 => 2_000,
+        _ => 300,
+    }
+}
+
+fn bench_domain_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mc_translate_domain");
+    g.sample_size(5);
+    for n in [64usize, 256, 1024, 4096] {
+        // Full prefix (CDF) workload — the paper's high-sensitivity
+        // benchmark shape, answered through H2. At 4096 the H2
+        // pseudoinverse alone is ~an hour of one-core QR, so that size
+        // runs the identity strategy (recon = W): the simulation work
+        // being measured has the same shape either way.
+        let w = prefix_workload(n, n);
+        let (sens, recon) = if n <= 1024 {
+            let a = Strategy::H2.build_csr(n).unwrap();
+            let a_pinv = pinv(&a.to_dense()).unwrap();
+            let w_csr = apex_linalg::CsrMatrix::from_dense(&w);
+            (a.l1_operator_norm(), w_csr.matmul(&a_pinv).unwrap())
+        } else {
+            (1.0, w)
+        };
+        let samples = samples_for(n);
+        let cfg = McConfig {
+            samples,
+            ..Default::default()
+        };
+
+        g.bench_with_input(BenchmarkId::new("serial", n), &n, |b, _| {
+            b.iter(|| black_box(McTranslator::new_serial(&recon, sens, cfg).translate(40.0, 5e-4)))
+        });
+        g.bench_with_input(BenchmarkId::new("batched", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(McTranslator::with_sensitivity(&recon, sens, cfg).translate(40.0, 5e-4))
+            })
+        });
+        // What a translator-cache hit pays: translation only, no rebuild.
+        let prepared = McTranslator::with_sensitivity(&recon, sens, cfg);
+        g.bench_with_input(BenchmarkId::new("cached", n), &n, |b, _| {
+            b.iter(|| black_box(prepared.translate(40.0, 5e-4)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sparse_vs_dense(c: &mut Criterion) {
+    let mut g = c.benchmark_group("strategy_sparse_vs_dense");
+    g.sample_size(10);
+    let full = std::env::var("APEX_BENCH_FULL").is_ok_and(|s| s == "1");
+    for n in [64usize, 256, 1024, 4096] {
+        g.bench_with_input(BenchmarkId::new("build_csr", n), &n, |b, &n| {
+            b.iter(|| black_box(Strategy::H2.build_csr(n).unwrap()))
+        });
+        let a_csr = Strategy::H2.build_csr(n).unwrap();
+        let x: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+        g.bench_with_input(BenchmarkId::new("matvec_csr", n), &n, |b, _| {
+            b.iter(|| black_box(a_csr.matvec(&x).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("l1_norm_csr", n), &n, |b, _| {
+            b.iter(|| black_box(a_csr.l1_operator_norm()))
+        });
+
+        // The dense side at 4096 costs 128 MiB per materialization and a
+        // multi-second column-major norm scan: only with APEX_BENCH_FULL=1.
+        if n <= 1024 || full {
+            g.bench_with_input(BenchmarkId::new("build_dense", n), &n, |b, &n| {
+                b.iter(|| black_box(Strategy::H2.build(n).unwrap()))
+            });
+            let a_dense = a_csr.to_dense();
+            g.bench_with_input(BenchmarkId::new("matvec_dense", n), &n, |b, _| {
+                b.iter(|| black_box(a_dense.matvec(&x).unwrap()))
+            });
+            g.bench_with_input(BenchmarkId::new("l1_norm_dense", n), &n, |b, _| {
+                b.iter(|| black_box(apex_linalg::l1_operator_norm(&a_dense)))
+            });
+        }
+    }
+    g.finish();
+}
+
+/// The original ablations: sample size and branching factor at n = 64.
+fn bench_mc(c: &mut Criterion) {
+    let n_cells = 64;
+    let w = prefix_workload(n_cells, n_cells);
 
     let mut g = c.benchmark_group("mc_translate_samples");
     g.sample_size(10);
@@ -33,7 +148,14 @@ fn bench_mc(c: &mut Criterion) {
         let recon = w.matmul(&pinv(&a).unwrap()).unwrap();
         g.bench_with_input(BenchmarkId::from_parameter(samples), &samples, |b, &n| {
             b.iter(|| {
-                let t = McTranslator::new(&recon, &a, McConfig { samples: n, ..Default::default() });
+                let t = McTranslator::new(
+                    &recon,
+                    &a,
+                    McConfig {
+                        samples: n,
+                        ..Default::default()
+                    },
+                );
                 black_box(t.translate(40.0, 5e-4))
             })
         });
@@ -45,19 +167,113 @@ fn bench_mc(c: &mut Criterion) {
     for branching in [2usize, 4, 8] {
         let a = Strategy::Hierarchical { branching }.build(n_cells).unwrap();
         let recon = w.matmul(&pinv(&a).unwrap()).unwrap();
-        g.bench_with_input(BenchmarkId::from_parameter(branching), &branching, |b, _| {
-            b.iter(|| {
-                let t = McTranslator::new(
-                    &recon,
-                    &a,
-                    McConfig { samples: 5_000, ..Default::default() },
-                );
-                black_box(t.translate(40.0, 5e-4))
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(branching),
+            &branching,
+            |b, _| {
+                b.iter(|| {
+                    let t = McTranslator::new(
+                        &recon,
+                        &a,
+                        McConfig {
+                            samples: 5_000,
+                            ..Default::default()
+                        },
+                    );
+                    black_box(t.translate(40.0, 5e-4))
+                })
+            },
+        );
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_mc);
-criterion_main!(benches);
+criterion_group!(
+    benches,
+    bench_domain_scaling,
+    bench_sparse_vs_dense,
+    bench_mc
+);
+
+use apex_bench::json_escape as esc;
+
+/// Writes every measurement as machine-readable JSON, plus the derived
+/// serial/batched speedups per domain size, so future PRs can track the
+/// perf trajectory (`BENCH_mc_translate.json` at the workspace root).
+fn write_json(c: &criterion::Criterion) -> std::io::Result<std::path::PathBuf> {
+    let path = match std::env::var("APEX_BENCH_JSON") {
+        Ok(p) => std::path::PathBuf::from(p),
+        Err(_) => std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_mc_translate.json"),
+    };
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"mc_translate\",\n  \"results\": [\n");
+    for (i, r) in c.results().iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let domain =
+            r.id.rsplit('/')
+                .next()
+                .and_then(|n| n.parse::<usize>().ok())
+                .filter(|_| r.group == "mc_translate_domain");
+        let extra = domain
+            .map(|n| {
+                format!(
+                    ", \"mc_samples\": {}, \"strategy\": \"{}\"",
+                    samples_for(n),
+                    if n <= 1024 { "H2" } else { "identity" }
+                )
+            })
+            .unwrap_or_default();
+        out.push_str(&format!(
+            "    {{\"group\": \"{}\", \"id\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}{}}}",
+            esc(&r.group),
+            esc(&r.id),
+            r.median_ns,
+            r.mean_ns,
+            r.min_ns,
+            r.samples,
+            r.iters_per_sample,
+            extra,
+        ));
+    }
+    out.push_str("\n  ],\n  \"derived\": {\n");
+    let median = |id: &str| -> Option<f64> {
+        c.results()
+            .iter()
+            .find(|r| r.group == "mc_translate_domain" && r.id == id)
+            .map(|r| r.median_ns)
+    };
+    let mut first = true;
+    for n in [64usize, 256, 1024, 4096] {
+        if let (Some(s), Some(b)) = (
+            median(&format!("serial/{n}")),
+            median(&format!("batched/{n}")),
+        ) {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "    \"speedup_serial_over_batched_n{n}\": {:.2}",
+                s / b
+            ));
+        }
+    }
+    out.push_str("\n  }\n}\n");
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(out.as_bytes())?;
+    Ok(path)
+}
+
+fn main() {
+    let mut c = criterion::Criterion::default();
+    benches(&mut c);
+    c.final_summary();
+    match write_json(&c) {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write BENCH_mc_translate.json: {e}"),
+    }
+}

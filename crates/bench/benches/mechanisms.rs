@@ -29,18 +29,23 @@ fn bench_mechanisms(c: &mut Criterion) {
 
     let wcq = PreparedQuery::prepare(data.schema(), &ExplorationQuery::wcq(hist.clone()))
         .expect("compiles");
-    let icq =
-        PreparedQuery::prepare(data.schema(), &ExplorationQuery::icq(hist.clone(), 0.1 * n))
-            .expect("compiles");
-    let tcq = PreparedQuery::prepare(data.schema(), &ExplorationQuery::tcq(hist, 10))
+    let icq = PreparedQuery::prepare(data.schema(), &ExplorationQuery::icq(hist.clone(), 0.1 * n))
         .expect("compiles");
+    let tcq =
+        PreparedQuery::prepare(data.schema(), &ExplorationQuery::tcq(hist, 10)).expect("compiles");
 
     let mut g = c.benchmark_group("translate");
     g.bench_function("LM/WCQ-100", |b| {
         b.iter(|| black_box(LaplaceMechanism.translate(&wcq, &acc).unwrap()))
     });
     g.bench_function("MPM/ICQ-100", |b| {
-        b.iter(|| black_box(MultiPokingMechanism::default().translate(&icq, &acc).unwrap()))
+        b.iter(|| {
+            black_box(
+                MultiPokingMechanism::default()
+                    .translate(&icq, &acc)
+                    .unwrap(),
+            )
+        })
     });
     g.bench_function("LTM/TCQ-100", |b| {
         b.iter(|| black_box(LaplaceTopKMechanism.translate(&tcq, &acc).unwrap()))
@@ -56,12 +61,20 @@ fn bench_mechanisms(c: &mut Criterion) {
     g.bench_function("MPM/ICQ-100", |b| {
         b.iter(|| {
             black_box(
-                MultiPokingMechanism::default().run(&icq, &acc, data, &mut rng).unwrap(),
+                MultiPokingMechanism::default()
+                    .run(&icq, &acc, data, &mut rng)
+                    .unwrap(),
             )
         })
     });
     g.bench_function("LTM/TCQ-100", |b| {
-        b.iter(|| black_box(LaplaceTopKMechanism.run(&tcq, &acc, data, &mut rng).unwrap()))
+        b.iter(|| {
+            black_box(
+                LaplaceTopKMechanism
+                    .run(&tcq, &acc, data, &mut rng)
+                    .unwrap(),
+            )
+        })
     });
     g.finish();
 }

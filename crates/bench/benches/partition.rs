@@ -20,17 +20,18 @@ fn bench_partition(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("histogram", l), &hist, |b, wl| {
             b.iter(|| black_box(DomainPartition::build(adult.schema(), wl).unwrap()))
         });
-        let prefix: Vec<Predicate> =
-            (1..=l).map(|i| Predicate::range("capital_gain", 0.0, width * i as f64)).collect();
+        let prefix: Vec<Predicate> = (1..=l)
+            .map(|i| Predicate::range("capital_gain", 0.0, width * i as f64))
+            .collect();
         g.bench_with_input(BenchmarkId::new("prefix", l), &prefix, |b, wl| {
             b.iter(|| black_box(DomainPartition::build(adult.schema(), wl).unwrap()))
         });
     }
     // Two-dimensional workload: 10 × 10 zone pairs.
     let zones: Vec<Predicate> = (1..=10_i64)
-        .flat_map(|pu| (1..=10_i64).map(move |d| {
-            Predicate::eq("puid", pu).and(Predicate::eq("doid", d))
-        }))
+        .flat_map(|pu| {
+            (1..=10_i64).map(move |d| Predicate::eq("puid", pu).and(Predicate::eq("doid", d)))
+        })
         .collect();
     g.bench_function("2d_zones_100", |b| {
         b.iter(|| black_box(DomainPartition::build(taxi.schema(), &zones).unwrap()))

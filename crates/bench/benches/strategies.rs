@@ -11,7 +11,10 @@ use rand::SeedableRng;
 use std::hint::black_box;
 
 fn bench_strategies(c: &mut Criterion) {
-    let pairs = citations_dataset(&CitationsConfig { n_pairs: 1_000, ..Default::default() });
+    let pairs = citations_dataset(&CitationsConfig {
+        n_pairs: 1_000,
+        ..Default::default()
+    });
     let mut rng = StdRng::seed_from_u64(1);
     let mut cleaner = CleanerModel::default().sample(&mut rng);
     // Modest grid so one run is a representative unit, not a marathon.
@@ -26,13 +29,14 @@ fn bench_strategies(c: &mut Criterion) {
     });
 
     let m = materialize_for_cleaner(&pairs, &cleaner).unwrap();
-    for kind in [StrategyKind::Bs1, StrategyKind::Bs2, StrategyKind::Ms1, StrategyKind::Ms2] {
+    for kind in [
+        StrategyKind::Bs1,
+        StrategyKind::Bs2,
+        StrategyKind::Ms1,
+        StrategyKind::Ms2,
+    ] {
         g.bench_function(format!("run_{}", kind.name()), |b| {
-            b.iter(|| {
-                black_box(
-                    run_strategy_on(kind, &m, &cleaner, 1.0, 80.0, 5e-4, 11).unwrap(),
-                )
-            })
+            b.iter(|| black_box(run_strategy_on(kind, &m, &cleaner, 1.0, 80.0, 5e-4, 11).unwrap()))
         });
     }
     g.finish();

@@ -9,8 +9,8 @@
 //! magnitude less than Adult at equal `α/|D|`.
 
 use apex_bench::{
-    benchmark_queries, empirical_error, parallel_map, parse_common_flags, write_records,
-    Datasets, ExperimentRecord,
+    benchmark_queries, empirical_error, parallel_map, parse_common_flags, write_records, Datasets,
+    ExperimentRecord,
 };
 use apex_core::{choose_mechanism, Mode};
 use apex_mech::PreparedQuery;
@@ -49,20 +49,18 @@ fn main() {
                 .expect("translation succeeds")
                 .expect("infinite budget admits something");
 
-            let results: Vec<(f64, f64)> = parallel_map(
-                (0..runs).collect::<Vec<usize>>(),
-                runs.min(8),
-                |run| {
-                    let mut rng =
-                        StdRng::seed_from_u64(0x0000_F162 ^ (run as u64) << 8 ^ hash(bq.name, ratio));
+            let results: Vec<(f64, f64)> =
+                parallel_map((0..runs).collect::<Vec<usize>>(), runs.min(8), |run| {
+                    let mut rng = StdRng::seed_from_u64(
+                        0x0000_F162 ^ (run as u64) << 8 ^ hash(bq.name, ratio),
+                    );
                     let out = choice
                         .mechanism
                         .run(&prepared, &acc, data, &mut rng)
                         .expect("mechanism runs");
                     let err = empirical_error(&prepared, &truth, &out.answer, n);
                     (out.epsilon, err)
-                },
-            );
+                });
 
             for (run, &(eps, err)) in results.iter().enumerate() {
                 let mut r = ExperimentRecord::new("fig2", bq.name);

@@ -27,11 +27,17 @@ fn main() {
     let ds = Datasets::generate(taxi_rows, 42);
     let queries = benchmark_queries(ds.adult.len(), ds.taxi.len());
 
-    println!("{:<5} {:>10} {:>6} {:>12} {:>10}", "query", "alpha/|D|", "mech", "eps_median", "f1_median");
+    println!(
+        "{:<5} {:>10} {:>6} {:>12} {:>10}",
+        "query", "alpha/|D|", "mech", "eps_median", "f1_median"
+    );
 
     let mut records = Vec::new();
     for name in ["QI4", "QT1"] {
-        let bq = queries.iter().find(|q| q.name == name).expect("query exists");
+        let bq = queries
+            .iter()
+            .find(|q| q.name == name)
+            .expect("query exists");
         let data = ds.get(bq.dataset);
         let n = data.len();
         let prepared = PreparedQuery::prepare(data.schema(), &bq.query).expect("query compiles");
@@ -48,8 +54,10 @@ fn main() {
                     let mut rng = StdRng::seed_from_u64(
                         0x0000_F163 ^ ((run as u64) << 16) ^ ratio.to_bits().rotate_left(7),
                     );
-                    let out =
-                        choice.mechanism.run(&prepared, &acc, data, &mut rng).expect("runs");
+                    let out = choice
+                        .mechanism
+                        .run(&prepared, &acc, data, &mut rng)
+                        .expect("runs");
                     (out.epsilon, f1_of_answer(&prepared, &truth, &out.answer))
                 });
 
@@ -66,8 +74,10 @@ fn main() {
                 records.push(r);
             }
             let med = |i: usize| {
-                let mut v: Vec<f64> =
-                    results.iter().map(|r| if i == 0 { r.0 } else { r.1 }).collect();
+                let mut v: Vec<f64> = results
+                    .iter()
+                    .map(|r| if i == 0 { r.0 } else { r.1 })
+                    .collect();
                 v.sort_by(|a, b| a.total_cmp(b));
                 v[v.len() / 2]
             };

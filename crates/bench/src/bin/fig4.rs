@@ -46,7 +46,10 @@ fn vary_workload_size() {
     let acc = AccuracySpec::new(alpha, BETA).expect("valid");
     let sm = StrategyMechanism::h2();
 
-    println!("{:>4} {:>14} {:>14} {:>14} {:>14}", "L", "LM,QW1", "LM,QW2", "SM,QW1", "SM,QW2");
+    println!(
+        "{:>4} {:>14} {:>14} {:>14} {:>14}",
+        "L", "LM,QW1", "LM,QW2", "SM,QW1", "SM,QW2"
+    );
     let mut records = Vec::new();
     for l in [100usize, 200, 300, 400, 500] {
         // QW1 template: L disjoint bins; QW2 template: L prefixes.
@@ -54,15 +57,19 @@ fn vary_workload_size() {
         let hist: Vec<Predicate> = (0..l)
             .map(|i| Predicate::range("capital_gain", width * i as f64, width * (i + 1) as f64))
             .collect();
-        let prefix: Vec<Predicate> =
-            (1..=l).map(|i| Predicate::range("capital_gain", 0.0, width * i as f64)).collect();
+        let prefix: Vec<Predicate> = (1..=l)
+            .map(|i| Predicate::range("capital_gain", 0.0, width * i as f64))
+            .collect();
 
         let mut row = vec![l as f64];
         for (subject, wl) in [("QW1", hist), ("QW2", prefix)] {
             let q = PreparedQuery::prepare(data.schema(), &ExplorationQuery::wcq(wl))
                 .expect("compiles");
             for (mech_name, eps) in [
-                ("LM", LaplaceMechanism.translate(&q, &acc).expect("ok").upper),
+                (
+                    "LM",
+                    LaplaceMechanism.translate(&q, &acc).expect("ok").upper,
+                ),
                 ("SM", sm.translate(&q, &acc).expect("ok").upper),
             ] {
                 row.push(eps);
@@ -97,9 +104,8 @@ fn vary_k(taxi_rows: usize) {
     // QT3 template: zone pairs (sensitivity 1); QT4: cumulative (high).
     let zone_pairs: Vec<Predicate> = (1..=10)
         .flat_map(|pu| {
-            (1..=10).map(move |d| {
-                Predicate::eq("puid", pu as i64).and(Predicate::eq("doid", d as i64))
-            })
+            (1..=10)
+                .map(move |d| Predicate::eq("puid", pu as i64).and(Predicate::eq("doid", d as i64)))
         })
         .collect();
     let cumulative: Vec<Predicate> = (0..50)
@@ -111,7 +117,10 @@ fn vary_k(taxi_rows: usize) {
         })
         .collect();
 
-    println!("{:>4} {:>14} {:>14} {:>14} {:>14}", "k", "LM,QT3", "LM,QT4", "LTM,QT3", "LTM,QT4");
+    println!(
+        "{:>4} {:>14} {:>14} {:>14} {:>14}",
+        "k", "LM,QT3", "LM,QT4", "LTM,QT3", "LTM,QT4"
+    );
     let mut records = Vec::new();
     for k in [10usize, 20, 30, 40, 50] {
         let mut cols = Vec::new();
@@ -119,8 +128,14 @@ fn vary_k(taxi_rows: usize) {
             let q = PreparedQuery::prepare(data.schema(), &ExplorationQuery::tcq(wl, k))
                 .expect("compiles");
             for (mech_name, eps) in [
-                ("LM", LaplaceMechanism.translate(&q, &acc).expect("ok").upper),
-                ("LTM", LaplaceTopKMechanism.translate(&q, &acc).expect("ok").upper),
+                (
+                    "LM",
+                    LaplaceMechanism.translate(&q, &acc).expect("ok").upper,
+                ),
+                (
+                    "LTM",
+                    LaplaceTopKMechanism.translate(&q, &acc).expect("ok").upper,
+                ),
             ] {
                 cols.push(eps);
                 let mut r = ExperimentRecord::new("fig4b", subject);
@@ -163,9 +178,14 @@ fn vary_threshold(runs: usize) {
         })
         .collect();
 
-    println!("{:>8} {:>14} {:>14} {:>14}", "c/|D|", "ICQ-LM", "ICQ-SM", "ICQ-MPM(med)");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14}",
+        "c/|D|", "ICQ-LM", "ICQ-SM", "ICQ-MPM(med)"
+    );
     let mut records = Vec::new();
-    for c_ratio in [0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.32, 0.4, 0.5, 0.6, 0.61, 0.7, 0.8, 1.0] {
+    for c_ratio in [
+        0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.32, 0.4, 0.5, 0.6, 0.61, 0.7, 0.8, 1.0,
+    ] {
         let q = PreparedQuery::prepare(
             data.schema(),
             &ExplorationQuery::icq(workload.clone(), c_ratio * n),
@@ -182,7 +202,10 @@ fn vary_threshold(runs: usize) {
             .collect();
         costs.sort_by(|a, b| a.total_cmp(b));
         let e_mpm = costs[costs.len() / 2];
-        println!("{:>8.2} {:>14.6} {:>14.6} {:>14.6}", c_ratio, e_lm, e_sm, e_mpm);
+        println!(
+            "{:>8.2} {:>14.6} {:>14.6} {:>14.6}",
+            c_ratio, e_lm, e_sm, e_mpm
+        );
         for (mech, eps) in [("ICQ-LM", e_lm), ("ICQ-SM", e_sm), ("ICQ-MPM", e_mpm)] {
             let mut r = ExperimentRecord::new("fig4c", "QI2");
             r.mechanism = mech.into();

@@ -19,11 +19,17 @@ fn main() {
         .iter()
         .map(|&b| ErConfig { budget: b, alpha })
         .collect();
-    let strategies =
-        [StrategyKind::Bs1, StrategyKind::Bs2, StrategyKind::Ms1, StrategyKind::Ms2];
+    let strategies = [
+        StrategyKind::Bs1,
+        StrategyKind::Bs2,
+        StrategyKind::Ms1,
+        StrategyKind::Ms2,
+    ];
 
     eprintln!("fig5: |D| = {n_pairs}, {runs} cleaner runs per point…");
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8);
     let records = run_er_sweep("fig5", n_pairs, &strategies, &configs, runs, threads);
     print_summary(&records, true);
     let path = write_records("fig5", &records).expect("write");

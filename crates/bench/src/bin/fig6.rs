@@ -17,13 +17,22 @@ fn main() {
 
     let configs: Vec<ErConfig> = [0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64]
         .iter()
-        .map(|&a| ErConfig { budget: 1.0, alpha: a * n_pairs as f64 })
+        .map(|&a| ErConfig {
+            budget: 1.0,
+            alpha: a * n_pairs as f64,
+        })
         .collect();
-    let strategies =
-        [StrategyKind::Bs1, StrategyKind::Bs2, StrategyKind::Ms1, StrategyKind::Ms2];
+    let strategies = [
+        StrategyKind::Bs1,
+        StrategyKind::Bs2,
+        StrategyKind::Ms1,
+        StrategyKind::Ms2,
+    ];
 
     eprintln!("fig6: |D| = {n_pairs}, {runs} cleaner runs per point…");
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8);
     let records = run_er_sweep("fig6", n_pairs, &strategies, &configs, runs, threads);
     print_summary(&records, false);
     let path = write_records("fig6", &records).expect("write");

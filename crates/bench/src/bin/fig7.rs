@@ -14,7 +14,9 @@ fn main() {
     let runs = runs.unwrap_or(if quick { 8 } else { 100 });
     let n_pairs = 1_000;
     let strategies = [StrategyKind::Bs1, StrategyKind::Bs2];
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8);
 
     eprintln!("fig7 (budget sweep): |D| = {n_pairs}, {runs} runs per point…");
     let alpha = 0.08 * n_pairs as f64;
@@ -28,7 +30,10 @@ fn main() {
     eprintln!("fig7 (alpha sweep): B = 1…");
     let configs: Vec<ErConfig> = [0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64]
         .iter()
-        .map(|&a| ErConfig { budget: 1.0, alpha: a * n_pairs as f64 })
+        .map(|&a| ErConfig {
+            budget: 1.0,
+            alpha: a * n_pairs as f64,
+        })
         .collect();
     let alpha_records = run_er_sweep("fig7-alpha", n_pairs, &strategies, &configs, runs, threads);
     print_summary(&alpha_records, false);

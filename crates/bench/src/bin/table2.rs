@@ -6,7 +6,9 @@
 //! (b) costs differ by orders of magnitude across mechanisms and
 //! queries, and the winner column matches APEx's choice.
 
-use apex_bench::{benchmark_queries, parse_common_flags, write_records, Datasets, ExperimentRecord};
+use apex_bench::{
+    benchmark_queries, parse_common_flags, write_records, Datasets, ExperimentRecord,
+};
 use apex_mech::{mechanisms_for, PreparedQuery};
 use apex_query::{AccuracySpec, QueryKind};
 use rand::rngs::StdRng;
@@ -66,10 +68,7 @@ fn main() {
                 let label = qualified_name(mech.name(), prepared.kind());
                 rows.push((label, actual, t.upper));
             }
-            let best = rows
-                .iter()
-                .map(|r| r.1)
-                .fold(f64::INFINITY, f64::min);
+            let best = rows.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
             for (name, actual, upper) in &rows {
                 println!(
                     "{:<5} {:>10.2} {:<10} {:>14.8} {:>14.8}  {}",
@@ -78,7 +77,11 @@ fn main() {
                     name,
                     actual,
                     upper,
-                    if (*actual - best).abs() < 1e-15 { "*" } else { "" }
+                    if (*actual - best).abs() < 1e-15 {
+                        "*"
+                    } else {
+                        ""
+                    }
                 );
                 let mut r = ExperimentRecord::new("table2", bq.name);
                 r.mechanism = name.clone();

@@ -29,7 +29,10 @@ pub fn run_er_sweep(
     runs: usize,
     threads: usize,
 ) -> Vec<ExperimentRecord> {
-    let pairs = citations_dataset(&CitationsConfig { n_pairs, ..Default::default() });
+    let pairs = citations_dataset(&CitationsConfig {
+        n_pairs,
+        ..Default::default()
+    });
     let model = CleanerModel::default();
 
     let outputs = parallel_map((0..runs).collect::<Vec<usize>>(), threads, |run| {
@@ -40,10 +43,8 @@ pub fn run_er_sweep(
         for &kind in strategies {
             for (ci, cfg) in configs.iter().enumerate() {
                 let seed = 0x5EED_0000 + (run as u64) * 100 + ci as u64;
-                let out = run_strategy_on(
-                    kind, &m, &cleaner, cfg.budget, cfg.alpha, 5e-4, seed,
-                )
-                .expect("strategy runs");
+                let out = run_strategy_on(kind, &m, &cleaner, cfg.budget, cfg.alpha, 5e-4, seed)
+                    .expect("strategy runs");
                 let (value, measure) = if kind.is_blocking() {
                     (out.quality.recall, "recall")
                 } else {
@@ -78,7 +79,12 @@ pub fn print_summary(records: &[ExperimentRecord], group_by_budget: bool) {
     );
     let mut groups: Vec<(String, f64)> = records
         .iter()
-        .map(|r| (r.subject.clone(), if group_by_budget { r.budget } else { r.alpha }))
+        .map(|r| {
+            (
+                r.subject.clone(),
+                if group_by_budget { r.budget } else { r.alpha },
+            )
+        })
         .collect();
     groups.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
     groups.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
@@ -86,8 +92,7 @@ pub fn print_summary(records: &[ExperimentRecord], group_by_budget: bool) {
         let mut vals: Vec<f64> = records
             .iter()
             .filter(|r| {
-                r.subject == subject
-                    && (if group_by_budget { r.budget } else { r.alpha } == key)
+                r.subject == subject && (if group_by_budget { r.budget } else { r.alpha } == key)
             })
             .map(|r| r.value)
             .collect();

@@ -13,9 +13,9 @@ use apex_query::{QueryAnswer, QueryKind};
 pub fn true_selection(kind: QueryKind, truth: &[f64]) -> Vec<usize> {
     match kind {
         QueryKind::Wcq => (0..truth.len()).collect(),
-        QueryKind::Icq { threshold } => (0..truth.len())
-            .filter(|&i| truth[i] > threshold)
-            .collect(),
+        QueryKind::Icq { threshold } => {
+            (0..truth.len()).filter(|&i| truth[i] > threshold).collect()
+        }
         QueryKind::Tcq { k } => {
             let mut idx: Vec<usize> = (0..truth.len()).collect();
             idx.sort_by(|&a, &b| truth[b].total_cmp(&truth[a]).then(a.cmp(&b)));
@@ -66,7 +66,9 @@ pub fn empirical_error(
             let ck = sorted.get(k.saturating_sub(1)).copied().unwrap_or(0.0);
             let inset: std::collections::HashSet<usize> = bins.iter().copied().collect();
             let true_top: std::collections::HashSet<usize> =
-                true_selection(QueryKind::Tcq { k }, truth).into_iter().collect();
+                true_selection(QueryKind::Tcq { k }, truth)
+                    .into_iter()
+                    .collect();
             let mut worst = 0.0_f64;
             for (i, &t) in truth.iter().enumerate() {
                 if inset.contains(&i) && t < ck {
@@ -95,8 +97,16 @@ pub fn f1_of_answer(q: &PreparedQuery, truth: &[f64], answer: &QueryAnswer) -> f
     if pred_set.is_empty() && truth_set.is_empty() {
         return 1.0;
     }
-    let precision = if pred_set.is_empty() { 0.0 } else { tp / pred_set.len() as f64 };
-    let recall = if truth_set.is_empty() { 0.0 } else { tp / truth_set.len() as f64 };
+    let precision = if pred_set.is_empty() {
+        0.0
+    } else {
+        tp / pred_set.len() as f64
+    };
+    let recall = if truth_set.is_empty() {
+        0.0
+    } else {
+        tp / truth_set.len() as f64
+    };
     if precision + recall == 0.0 {
         0.0
     } else {
@@ -111,8 +121,11 @@ mod tests {
     use apex_query::ExplorationQuery;
 
     fn prepared(kind_query: ExplorationQuery) -> PreparedQuery {
-        let schema =
-            Schema::new(vec![Attribute::new("v", Domain::IntRange { min: 0, max: 9 })]).unwrap();
+        let schema = Schema::new(vec![Attribute::new(
+            "v",
+            Domain::IntRange { min: 0, max: 9 },
+        )])
+        .unwrap();
         PreparedQuery::prepare(&schema, &kind_query).unwrap()
     }
 
@@ -174,7 +187,10 @@ mod tests {
     #[test]
     fn true_selection_per_kind() {
         let truth = [5.0, 50.0, 25.0];
-        assert_eq!(true_selection(QueryKind::Icq { threshold: 20.0 }, &truth), vec![1, 2]);
+        assert_eq!(
+            true_selection(QueryKind::Icq { threshold: 20.0 }, &truth),
+            vec![1, 2]
+        );
         assert_eq!(true_selection(QueryKind::Tcq { k: 2 }, &truth), vec![1, 2]);
         assert_eq!(true_selection(QueryKind::Wcq, &truth), vec![0, 1, 2]);
     }

@@ -158,12 +158,16 @@ fn gain_histogram() -> Vec<Predicate> {
 
 /// QW2/QI1: capital gain ∈ [0,50), [0,100), …, [0,5000) — prefixes.
 fn gain_prefix() -> Vec<Predicate> {
-    (1..=100).map(|i| Predicate::range("capital_gain", 0.0, 50.0 * i as f64)).collect()
+    (1..=100)
+        .map(|i| Predicate::range("capital_gain", 0.0, 50.0 * i as f64))
+        .collect()
 }
 
 /// QW3/QI3/QI4 template: 100 bins of width 0.1 over [0, 10).
 fn fine_histogram(attr: &str) -> Vec<Predicate> {
-    (0..100).map(|i| Predicate::range(attr, 0.1 * i as f64, 0.1 * (i + 1) as f64)).collect()
+    (0..100)
+        .map(|i| Predicate::range(attr, 0.1 * i as f64, 0.1 * (i + 1) as f64))
+        .collect()
 }
 
 /// QW4: (total amount decile) × (passenger count) — 10 × 10 disjoint bins.
@@ -207,7 +211,11 @@ fn adult_cumulative_multi() -> Vec<Predicate> {
     let mut v = Vec::with_capacity(100);
     for i in 0..50 {
         v.push(Predicate::cmp("age", CmpOp::Ge, 17 + (73 * i / 50) as i64));
-        v.push(Predicate::cmp("hours_per_week", CmpOp::Ge, 1 + 2 * i as i64));
+        v.push(Predicate::cmp(
+            "hours_per_week",
+            CmpOp::Ge,
+            1 + 2 * i as i64,
+        ));
     }
     v
 }
@@ -274,7 +282,11 @@ mod tests {
         for name in ["QT2", "QT4"] {
             let bq = queries.iter().find(|q| q.name == name).unwrap();
             let p = PreparedQuery::prepare(ds.get(bq.dataset).schema(), &bq.query).unwrap();
-            assert!(p.sensitivity() >= 50.0, "{name} sensitivity {}", p.sensitivity());
+            assert!(
+                p.sensitivity() >= 50.0,
+                "{name} sensitivity {}",
+                p.sensitivity()
+            );
         }
     }
 }

@@ -1,13 +1,18 @@
 //! Shared experiment plumbing: records, JSON output, parallel sweeps.
+//!
+//! The build environment has no registry access, so records are serialized
+//! with a small hand-rolled JSON emitter (the schema is flat — strings and
+//! numbers only) and the parallel sweep uses `std::thread::scope` instead of
+//! an external thread pool.
 
 use std::io::Write as _;
 use std::path::Path;
-
-use serde::Serialize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// One measured data point, serialized as a JSON line so downstream
 /// plotting is trivial.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentRecord {
     /// Experiment id ("fig2", "table2", …).
     pub experiment: String,
@@ -50,6 +55,75 @@ impl ExperimentRecord {
             run: 0,
         }
     }
+
+    /// The record as one JSON object (field order fixed, for diffability).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push('{');
+        json_str(&mut s, "experiment", &self.experiment);
+        s.push(',');
+        json_str(&mut s, "subject", &self.subject);
+        s.push(',');
+        json_str(&mut s, "mechanism", &self.mechanism);
+        s.push(',');
+        json_num(&mut s, "alpha", self.alpha);
+        s.push(',');
+        json_num(&mut s, "beta", self.beta);
+        s.push(',');
+        json_num(&mut s, "budget", self.budget);
+        s.push(',');
+        json_num(&mut s, "epsilon_upper", self.epsilon_upper);
+        s.push(',');
+        json_num(&mut s, "epsilon", self.epsilon);
+        s.push(',');
+        json_num(&mut s, "value", self.value);
+        s.push(',');
+        json_str(&mut s, "measure", &self.measure);
+        s.push(',');
+        s.push_str(&format!("\"run\":{}", self.run));
+        s.push('}');
+        s
+    }
+}
+
+/// Escapes a string for embedding inside a JSON string literal (quotes,
+/// backslashes and control characters). Shared by every hand-rolled JSON
+/// emitter in the workspace — there is deliberately exactly one of these.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Appends `"key":"escaped value"`.
+fn json_str(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":\"");
+    out.push_str(&json_escape(value));
+    out.push('"');
+}
+
+/// Appends `"key":number` (JSON has no NaN/Inf — they serialize as `null`).
+fn json_num(out: &mut String, key: &str, value: f64) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    if value.is_finite() {
+        out.push_str(&format!("{value}"));
+    } else {
+        out.push_str("null");
+    }
 }
 
 /// Writes records as JSON lines under `experiments/<name>.jsonl`
@@ -63,14 +137,13 @@ pub fn write_records(name: &str, records: &[ExperimentRecord]) -> std::io::Resul
     let path = dir.join(format!("{name}.jsonl"));
     let mut f = std::fs::File::create(&path)?;
     for r in records {
-        let line = serde_json::to_string(r).expect("records serialize");
-        writeln!(f, "{line}")?;
+        writeln!(f, "{}", r.to_json())?;
     }
     Ok(path.display().to_string())
 }
 
-/// Maps `f` over `items` across `threads` worker threads (crossbeam
-/// scoped threads; no async runtime needed), preserving input order.
+/// Maps `f` over `items` across `threads` worker threads (std scoped
+/// threads; no async runtime needed), preserving input order.
 pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
     T: Send,
@@ -81,26 +154,38 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let threads = threads.max(1).min(n);
-    let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
-    let queue = crossbeam::queue::SegQueue::new();
-    for item in work {
-        queue.push(item);
-    }
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let slots_mutex = std::sync::Mutex::new(&mut slots);
-    crossbeam::scope(|s| {
+    let threads = threads.clamp(1, n);
+    // Work items behind a mutex-free claim counter; each worker claims the
+    // next unprocessed index. Items are moved out via Option so `T` needs
+    // neither Clone nor Default.
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| {
-                while let Some((i, item)) = queue.pop() {
-                    let r = f(item);
-                    slots_mutex.lock().expect("no poisoning")[i] = Some(r);
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
                 }
+                let item = work[i]
+                    .lock()
+                    .expect("no poisoning")
+                    .take()
+                    .expect("each index claimed once");
+                let r = f(item);
+                *slots[i].lock().expect("no poisoning") = Some(r);
             });
         }
-    })
-    .expect("worker threads do not panic");
-    slots.into_iter().map(|s| s.expect("every slot filled")).collect()
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("no poisoning")
+                .expect("every slot filled")
+        })
+        .collect()
 }
 
 /// Parses a `--quick` flag and an optional `--runs N` / `--taxi N` pair
@@ -138,15 +223,29 @@ mod tests {
         let mut r = ExperimentRecord::new("fig2", "QW1");
         r.mechanism = "LM".into();
         r.epsilon = 0.5;
-        let s = serde_json::to_string(&r).unwrap();
+        let s = r.to_json();
         assert!(s.contains("\"experiment\":\"fig2\""));
         assert!(s.contains("\"mechanism\":\"LM\""));
+        assert!(s.contains("\"epsilon\":0.5"));
+        // Non-finite numbers become null (JSON has no NaN).
+        assert!(s.contains("\"budget\":null"));
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let mut r = ExperimentRecord::new("e", "quote\"back\\slash\nnl");
+        r.measure = "tab\there".into();
+        let s = r.to_json();
+        assert!(s.contains("quote\\\"back\\\\slash\\nnl"));
+        assert!(s.contains("tab\\there"));
     }
 
     #[test]
     fn flags_parse() {
-        let args: Vec<String> =
-            ["x", "--quick", "--runs", "5", "--taxi", "1000"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["x", "--quick", "--runs", "5", "--taxi", "1000"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let (q, r, t) = parse_common_flags(&args);
         assert!(q);
         assert_eq!(r, Some(5));

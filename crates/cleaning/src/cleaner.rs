@@ -209,7 +209,10 @@ mod tests {
         let c = sample(3);
         let attrs = vec!["title".to_string(), "authors".to_string()];
         let preds = c.candidate_predicates(&attrs);
-        assert_eq!(preds.len(), 2 * c.transforms.len() * c.sims.len() * c.n_thetas);
+        assert_eq!(
+            preds.len(),
+            2 * c.transforms.len() * c.sims.len() * c.n_thetas
+        );
         // All thresholds are inside the configured range.
         for p in &preds {
             assert!(p.theta >= c.theta_lo - 1e-9 && p.theta <= c.theta_hi + 1e-9);

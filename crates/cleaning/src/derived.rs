@@ -81,8 +81,10 @@ pub fn materialize(
     predicates: &[SimilarityPredicate],
 ) -> Result<MaterializedPairs, DerivedError> {
     // Resolve all source columns up front.
-    let label_idx =
-        pairs.schema().index_of("label").map_err(|_| DerivedError::MissingLabel)?;
+    let label_idx = pairs
+        .schema()
+        .index_of("label")
+        .map_err(|_| DerivedError::MissingLabel)?;
     let mut null_sources = Vec::with_capacity(null_attrs.len());
     for attr in null_attrs {
         let ia = pairs
@@ -106,7 +108,10 @@ pub fn materialize(
 
     let mut attrs: Vec<Attribute> = Vec::with_capacity(null_attrs.len() + predicates.len() + 1);
     for attr in null_attrs {
-        attrs.push(Attribute::new(MaterializedPairs::null_column(attr), Domain::Boolean));
+        attrs.push(Attribute::new(
+            MaterializedPairs::null_column(attr),
+            Domain::Boolean,
+        ));
     }
     for p in predicates {
         attrs.push(Attribute::new(p.column_name(), Domain::Boolean));
@@ -146,7 +151,10 @@ mod tests {
     use apex_data::Predicate;
 
     fn pairs() -> Dataset {
-        citations_dataset(&CitationsConfig { n_pairs: 300, ..Default::default() })
+        citations_dataset(&CitationsConfig {
+            n_pairs: 300,
+            ..Default::default()
+        })
     }
 
     fn preds() -> Vec<SimilarityPredicate> {
@@ -181,20 +189,27 @@ mod tests {
             .table
             .count(&Predicate::eq(col.as_str(), true).and(Predicate::eq("label", true)))
             .unwrap() as f64;
-        let matches =
-            m.table.count(&Predicate::eq("label", true)).unwrap() as f64;
+        let matches = m.table.count(&Predicate::eq("label", true)).unwrap() as f64;
         let and_non = m
             .table
             .count(&Predicate::eq(col.as_str(), true).and(Predicate::eq("label", false)))
             .unwrap() as f64;
         let nons = m.table.count(&Predicate::eq("label", false)).unwrap() as f64;
-        assert!(and_match / matches > 0.5, "recall on matches {}", and_match / matches);
+        assert!(
+            and_match / matches > 0.5,
+            "recall on matches {}",
+            and_match / matches
+        );
         assert!(and_non / nons < 0.1, "false-fire rate {}", and_non / nons);
     }
 
     #[test]
     fn null_indicators_count_nulls() {
-        let cfg = CitationsConfig { n_pairs: 500, null_rate: 0.1, ..Default::default() };
+        let cfg = CitationsConfig {
+            n_pairs: 500,
+            null_rate: 0.1,
+            ..Default::default()
+        };
         let d = citations_dataset(&cfg);
         let m = materialize(&d, &["title".into()], &[]).unwrap();
         let n = m.table.count(&Predicate::eq("null_title", true)).unwrap();

@@ -52,7 +52,11 @@ fn predictions(m: &MaterializedPairs, selected: &[usize], conjunction: bool) -> 
 
 fn labels(table: &Dataset) -> Vec<bool> {
     let il = table.schema().index_of("label").expect("label column");
-    table.rows().iter().map(|r| r[il] == Value::Bool(true)).collect()
+    table
+        .rows()
+        .iter()
+        .map(|r| r[il] == Value::Bool(true))
+        .collect()
 }
 
 /// Precision and recall of the formula `∨/∧ selected` against the labels.
@@ -76,7 +80,11 @@ pub fn precision_recall(
     }
     let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
     let recall = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };
-    TaskQuality { precision, recall, f1: f1_score(precision, recall) }
+    TaskQuality {
+        precision,
+        recall,
+        f1: f1_score(precision, recall),
+    }
 }
 
 /// Harmonic mean of precision and recall (0 when both are 0).
@@ -92,7 +100,10 @@ pub fn f1_score(precision: f64, recall: f64) -> f64 {
 /// cuts blocking formulas off at a hardware-motivated limit, 550 for
 /// `|D| = 4000`).
 pub fn blocking_cost(m: &MaterializedPairs, selected: &[usize]) -> usize {
-    predictions(m, selected, false).iter().filter(|&&p| p).count()
+    predictions(m, selected, false)
+        .iter()
+        .filter(|&&p| p)
+        .count()
 }
 
 #[cfg(test)]
@@ -102,7 +113,10 @@ mod tests {
     use apex_data::synth::{citations_dataset, CitationsConfig};
 
     fn materialized() -> MaterializedPairs {
-        let pairs = citations_dataset(&CitationsConfig { n_pairs: 400, ..Default::default() });
+        let pairs = citations_dataset(&CitationsConfig {
+            n_pairs: 400,
+            ..Default::default()
+        });
         let preds = vec![
             // Good predicate: title Jaccard.
             SimilarityPredicate::new(
@@ -138,7 +152,11 @@ mod tests {
     fn indiscriminate_predicate_has_low_precision() {
         let m = materialized();
         let q = precision_recall(&m, &[1], true);
-        assert!(q.recall > 0.6, "fires on nearly everything: recall {}", q.recall);
+        assert!(
+            q.recall > 0.6,
+            "fires on nearly everything: recall {}",
+            q.recall
+        );
         assert!(q.precision < 0.5, "precision {}", q.precision);
     }
 

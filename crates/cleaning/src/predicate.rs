@@ -27,7 +27,12 @@ impl SimilarityPredicate {
         sim: Similarity,
         theta: f64,
     ) -> Self {
-        Self { attr: attr.into(), transform, sim, theta }
+        Self {
+            attr: attr.into(),
+            transform,
+            sim,
+            theta,
+        }
     }
 
     /// Stable column name for the materialized truth value of this
@@ -101,7 +106,11 @@ mod tests {
 
     #[test]
     fn eval_on_identical_titles_is_true_at_moderate_threshold() {
-        let cfg = CitationsConfig { n_pairs: 50, null_rate: 0.0, ..Default::default() };
+        let cfg = CitationsConfig {
+            n_pairs: 50,
+            null_rate: 0.0,
+            ..Default::default()
+        };
         let d = citations_dataset(&cfg);
         let p = SimilarityPredicate::new(
             "title",
@@ -124,14 +133,14 @@ mod tests {
 
     #[test]
     fn null_side_is_false() {
-        let cfg = CitationsConfig { n_pairs: 400, null_rate: 0.5, ..Default::default() };
+        let cfg = CitationsConfig {
+            n_pairs: 400,
+            null_rate: 0.5,
+            ..Default::default()
+        };
         let d = citations_dataset(&cfg);
-        let p = SimilarityPredicate::new(
-            "title",
-            Transformation::TwoGrams,
-            Similarity::Cosine,
-            0.0,
-        );
+        let p =
+            SimilarityPredicate::new("title", Transformation::TwoGrams, Similarity::Cosine, 0.0);
         let ia = d.schema().index_of("title_a").unwrap();
         for row in d.rows() {
             if row[ia].is_null() {
@@ -142,18 +151,10 @@ mod tests {
 
     #[test]
     fn column_names_are_distinct_and_stable() {
-        let p1 = SimilarityPredicate::new(
-            "title",
-            Transformation::TwoGrams,
-            Similarity::Jaccard,
-            0.5,
-        );
-        let p2 = SimilarityPredicate::new(
-            "title",
-            Transformation::TwoGrams,
-            Similarity::Jaccard,
-            0.6,
-        );
+        let p1 =
+            SimilarityPredicate::new("title", Transformation::TwoGrams, Similarity::Jaccard, 0.5);
+        let p2 =
+            SimilarityPredicate::new("title", Transformation::TwoGrams, Similarity::Jaccard, 0.6);
         assert_ne!(p1.column_name(), p2.column_name());
         assert_eq!(p1.column_name(), p1.clone().column_name());
         assert_eq!(p1.column_name(), "p_title_2grams_jaccard_0_500");

@@ -12,7 +12,11 @@ pub fn levenshtein_distance(a: &str, b: &str) -> usize {
         return a.len();
     }
     // Keep the shorter string in the inner loop for less memory.
-    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    let (short, long) = if a.len() <= b.len() {
+        (&a, &b)
+    } else {
+        (&b, &a)
+    };
     let mut prev: Vec<usize> = (0..=short.len()).collect();
     let mut cur = vec![0usize; short.len() + 1];
     for (i, &lc) in long.iter().enumerate() {

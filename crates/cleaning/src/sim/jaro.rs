@@ -31,10 +31,18 @@ pub fn jaro_similarity(a: &str, b: &str) -> f64 {
         return 0.0;
     }
     // Matched characters of b, in b-order.
-    let matches_b: Vec<char> =
-        b.iter().zip(&b_used).filter(|(_, &u)| u).map(|(&c, _)| c).collect();
-    let transpositions =
-        matches_a.iter().zip(&matches_b).filter(|(x, y)| x != y).count() / 2;
+    let matches_b: Vec<char> = b
+        .iter()
+        .zip(&b_used)
+        .filter(|(_, &u)| u)
+        .map(|(&c, _)| c)
+        .collect();
+    let transpositions = matches_a
+        .iter()
+        .zip(&matches_b)
+        .filter(|(x, y)| x != y)
+        .count()
+        / 2;
     let m = m as f64;
     (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
 }

@@ -89,9 +89,17 @@ mod tests {
         let b = toks("scalable graph mining systems");
         for sim in Similarity::ALL {
             let self_sim = sim.eval(&a, &a);
-            assert!((self_sim - 1.0).abs() < 1e-12, "{:?} self-sim {self_sim}", sim);
+            assert!(
+                (self_sim - 1.0).abs() < 1e-12,
+                "{:?} self-sim {self_sim}",
+                sim
+            );
             let cross = sim.eval(&a, &b);
-            assert!((0.0..=1.0).contains(&cross), "{:?} out of range: {cross}", sim);
+            assert!(
+                (0.0..=1.0).contains(&cross),
+                "{:?} out of range: {cross}",
+                sim
+            );
         }
     }
 

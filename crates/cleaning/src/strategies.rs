@@ -164,7 +164,11 @@ pub fn run_strategy_on(
 
     let mut engine = ApexEngine::new(
         m.table.clone(),
-        EngineConfig { budget, mode: Mode::Optimistic, seed },
+        EngineConfig {
+            budget,
+            mode: Mode::Optimistic,
+            seed,
+        },
     );
     let acc = AccuracySpec::new(alpha, beta).expect("alpha/beta validated upstream");
     let mut session = Session {
@@ -188,7 +192,9 @@ pub fn run_strategy_on(
                     let mut idx: Vec<usize> = (0..all_attrs.len()).collect();
                     idx.sort_by(|&i, &j| counts[i].total_cmp(&counts[j]));
                     idx.truncate(cleaner.n_attrs);
-                    idx.into_iter().map(|i| all_attrs[i].clone()).collect::<Vec<_>>()
+                    idx.into_iter()
+                        .map(|i| all_attrs[i].clone())
+                        .collect::<Vec<_>>()
                 }
                 None => return Ok(session.finish(m, kind, cleaner, &[])),
             }
@@ -272,8 +278,7 @@ pub fn run_strategy_on(
                     let ok = if kind.is_blocking() {
                         got_m > min_match_frac * rem_matches
                             && got_n < max_nonmatch_frac * rem_non
-                            && cost_estimate + got_m + got_n
-                                < cleaner.cost_cutoff as f64
+                            && cost_estimate + got_m + got_n < cleaner.cost_cutoff as f64
                     } else {
                         // Matching: kept counts; prune fractions derived.
                         got_m > (1.0 - cleaner.max_match_prune) * rem_matches
@@ -308,8 +313,8 @@ pub fn run_strategy_on(
                             false,
                         )
                     };
-                    let Some(a1) = session
-                        .submit(&ExplorationQuery::icq(vec![wl_match], c_match.max(1.0)))?
+                    let Some(a1) =
+                        session.submit(&ExplorationQuery::icq(vec![wl_match], c_match.max(1.0)))?
                     else {
                         break 'outer;
                     };
@@ -317,8 +322,8 @@ pub fn run_strategy_on(
                     if in_match != want_in_match {
                         false
                     } else {
-                        let Some(a2) = session
-                            .submit(&ExplorationQuery::icq(vec![wl_non], c_non.max(1.0)))?
+                        let Some(a2) =
+                            session.submit(&ExplorationQuery::icq(vec![wl_non], c_non.max(1.0)))?
                         else {
                             break 'outer;
                         };
@@ -432,7 +437,10 @@ mod tests {
     use apex_data::synth::{citations_dataset, CitationsConfig};
 
     fn pairs(n: usize) -> Dataset {
-        citations_dataset(&CitationsConfig { n_pairs: n, ..Default::default() })
+        citations_dataset(&CitationsConfig {
+            n_pairs: n,
+            ..Default::default()
+        })
     }
 
     fn cleaner(seed: u64) -> Cleaner {
@@ -449,8 +457,7 @@ mod tests {
     fn bs1_with_generous_budget_achieves_decent_recall() {
         let d = pairs(800);
         let c = cleaner(5);
-        let out =
-            run_strategy(StrategyKind::Bs1, &d, &c, 4.0, 0.08 * 800.0, 0.0005, 42).unwrap();
+        let out = run_strategy(StrategyKind::Bs1, &d, &c, 4.0, 0.08 * 800.0, 0.0005, 42).unwrap();
         assert!(out.queries_answered >= 2);
         assert!(out.spent <= 4.0 + 1e-9);
         // Some cleaners are bad; this seeded one should find something.
@@ -466,8 +473,7 @@ mod tests {
     fn tiny_budget_stops_exploration_early() {
         let d = pairs(400);
         let c = cleaner(7);
-        let out =
-            run_strategy(StrategyKind::Bs1, &d, &c, 1e-4, 0.08 * 400.0, 0.0005, 1).unwrap();
+        let out = run_strategy(StrategyKind::Bs1, &d, &c, 1e-4, 0.08 * 400.0, 0.0005, 1).unwrap();
         assert_eq!(out.queries_answered, 0);
         assert_eq!(out.queries_denied, 1);
         assert_eq!(out.quality.recall, 0.0);
@@ -482,10 +488,8 @@ mod tests {
         let d = pairs(600);
         let c = cleaner(11);
         let alpha = 0.08 * 600.0;
-        let b1 =
-            run_strategy(StrategyKind::Bs1, &d, &c, 50.0, alpha, 0.0005, 3).unwrap();
-        let b2 =
-            run_strategy(StrategyKind::Bs2, &d, &c, 50.0, alpha, 0.0005, 3).unwrap();
+        let b1 = run_strategy(StrategyKind::Bs1, &d, &c, 50.0, alpha, 0.0005, 3).unwrap();
+        let b2 = run_strategy(StrategyKind::Bs2, &d, &c, 50.0, alpha, 0.0005, 3).unwrap();
         let per1 = b1.spent / b1.queries_answered.max(1) as f64;
         let per2 = b2.spent / b2.queries_answered.max(1) as f64;
         assert!(per2 < per1, "ICQ-based per-query cost {per2} vs WCQ {per1}");
@@ -495,13 +499,16 @@ mod tests {
     fn ms1_produces_a_conjunction_with_nontrivial_precision() {
         let d = pairs(800);
         let c = cleaner(13);
-        let out =
-            run_strategy(StrategyKind::Ms1, &d, &c, 4.0, 0.08 * 800.0, 0.0005, 21).unwrap();
+        let out = run_strategy(StrategyKind::Ms1, &d, &c, 4.0, 0.08 * 800.0, 0.0005, 21).unwrap();
         if !out.selected.is_empty() {
             // Meaningful lift over the ~10% base match rate (individual
             // sampled cleaners vary widely; the figure-level experiments
             // aggregate 100 of them).
-            assert!(out.quality.precision > 0.2, "precision {}", out.quality.precision);
+            assert!(
+                out.quality.precision > 0.2,
+                "precision {}",
+                out.quality.precision
+            );
         }
         assert!(out.spent <= 4.0 + 1e-9);
     }

@@ -13,8 +13,11 @@ pub enum Transformation {
 
 impl Transformation {
     /// All transformations, in the paper's order.
-    pub const ALL: [Transformation; 3] =
-        [Transformation::TwoGrams, Transformation::ThreeGrams, Transformation::SpaceTokenization];
+    pub const ALL: [Transformation; 3] = [
+        Transformation::TwoGrams,
+        Transformation::ThreeGrams,
+        Transformation::SpaceTokenization,
+    ];
 
     /// Applies the transformation, producing tokens.
     pub fn apply(&self, s: &str) -> Vec<String> {

@@ -16,7 +16,10 @@ pub struct Dataset {
 impl Dataset {
     /// Creates an empty dataset over `schema`.
     pub fn empty(schema: Schema) -> Self {
-        Self { schema, rows: Vec::new() }
+        Self {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Creates a dataset from pre-built rows, validating each against the

@@ -44,7 +44,10 @@ impl std::fmt::Display for PartitionError {
         match self {
             PartitionError::Schema(e) => write!(f, "schema error: {e}"),
             PartitionError::TooManyCells { cells } => {
-                write!(f, "workload induces {cells} elementary cells (over the limit)")
+                write!(
+                    f,
+                    "workload induces {cells} elementary cells (over the limit)"
+                )
             }
             PartitionError::EmptyWorkload => write!(f, "workload has no predicates"),
         }
@@ -60,10 +63,7 @@ enum AttrSegments {
     /// the domain into `[min, c₁), [c₁, c₂), …, [c_k, end)`, plus one NULL
     /// segment at index `cuts.len() + 1`. Segment `i < cuts.len()+1` starts
     /// at `starts[i]`.
-    Numeric {
-        starts: Vec<f64>,
-        is_int: bool,
-    },
+    Numeric { starts: Vec<f64>, is_int: bool },
     /// Categorical/text attribute: one segment per mentioned value, one
     /// "other" segment, one NULL segment (last).
     Categorical {
@@ -81,9 +81,10 @@ impl AttrSegments {
     fn len(&self) -> usize {
         match self {
             AttrSegments::Numeric { starts, .. } => starts.len() + 1, // + NULL
-            AttrSegments::Categorical { mentioned, other_rep } => {
-                mentioned.len() + usize::from(other_rep.is_some()) + 1
-            }
+            AttrSegments::Categorical {
+                mentioned,
+                other_rep,
+            } => mentioned.len() + usize::from(other_rep.is_some()) + 1,
             AttrSegments::Boolean => 3,
         }
     }
@@ -100,7 +101,10 @@ impl AttrSegments {
                     Value::Float(starts[i])
                 }
             }
-            AttrSegments::Categorical { mentioned, other_rep } => {
+            AttrSegments::Categorical {
+                mentioned,
+                other_rep,
+            } => {
                 if i < mentioned.len() {
                     Value::Str(mentioned[i].clone())
                 } else if i == mentioned.len() && other_rep.is_some() {
@@ -132,7 +136,10 @@ impl AttrSegments {
                     }
                 }
             },
-            AttrSegments::Categorical { mentioned, other_rep } => match v {
+            AttrSegments::Categorical {
+                mentioned,
+                other_rep,
+            } => match v {
                 Value::Str(s) => mentioned
                     .iter()
                     .position(|m| m == s)
@@ -398,11 +405,15 @@ fn build_segments(domain: &Domain, c: AttrConditions) -> AttrSegments {
         Domain::IntRange { min, max } => {
             let lo = *min as f64;
             let hi = *max as f64 + 1.0; // exclusive end over the integers
-            AttrSegments::Numeric { starts: numeric_starts(lo, hi, c.cuts), is_int: true }
+            AttrSegments::Numeric {
+                starts: numeric_starts(lo, hi, c.cuts),
+                is_int: true,
+            }
         }
-        Domain::FloatRange { min, max } => {
-            AttrSegments::Numeric { starts: numeric_starts(*min, *max, c.cuts), is_int: false }
-        }
+        Domain::FloatRange { min, max } => AttrSegments::Numeric {
+            starts: numeric_starts(*min, *max, c.cuts),
+            is_int: false,
+        },
         Domain::Categorical(cats) => {
             let mut mentioned: Vec<String> =
                 c.strings.into_iter().filter(|s| cats.contains(s)).collect();
@@ -410,7 +421,10 @@ fn build_segments(domain: &Domain, c: AttrConditions) -> AttrSegments {
             mentioned.dedup();
             // "other" exists only if some category is unmentioned.
             let other_rep = cats.iter().find(|c| !mentioned.contains(c)).cloned();
-            AttrSegments::Categorical { mentioned, other_rep }
+            AttrSegments::Categorical {
+                mentioned,
+                other_rep,
+            }
         }
         Domain::Text => {
             let mut mentioned = c.strings;
@@ -422,7 +436,10 @@ fn build_segments(domain: &Domain, c: AttrConditions) -> AttrSegments {
             while mentioned.contains(&other) {
                 other.push('_');
             }
-            AttrSegments::Categorical { mentioned, other_rep: Some(other) }
+            AttrSegments::Categorical {
+                mentioned,
+                other_rep: Some(other),
+            }
         }
         Domain::Boolean => AttrSegments::Boolean,
     }
@@ -464,7 +481,13 @@ mod tests {
         Schema::new(vec![
             Attribute::new("age", Domain::IntRange { min: 0, max: 99 }),
             Attribute::new("sex", Domain::Categorical(vec!["M".into(), "F".into()])),
-            Attribute::new("gain", Domain::FloatRange { min: 0.0, max: 5000.0 }),
+            Attribute::new(
+                "gain",
+                Domain::FloatRange {
+                    min: 0.0,
+                    max: 5000.0,
+                },
+            ),
         ])
         .unwrap()
     }
@@ -479,7 +502,8 @@ mod tests {
             (5, "M", 0.0),
         ];
         for (a, s, g) in rows {
-            d.push(vec![Value::Int(a), Value::from(s), Value::Float(g)]).unwrap();
+            d.push(vec![Value::Int(a), Value::from(s), Value::Float(g)])
+                .unwrap();
         }
         d
     }
@@ -579,7 +603,10 @@ mod tests {
     fn le_and_lt_on_floats_are_distinguished() {
         let s = Schema::new(vec![Attribute::new(
             "x",
-            Domain::FloatRange { min: 0.0, max: 10.0 },
+            Domain::FloatRange {
+                min: 0.0,
+                max: 10.0,
+            },
         )])
         .unwrap();
         let mut d = Dataset::empty(s.clone());

@@ -78,7 +78,11 @@ pub enum Predicate {
 impl Predicate {
     /// `attr op value` convenience constructor.
     pub fn cmp(attr: impl Into<String>, op: CmpOp, value: impl Into<Value>) -> Self {
-        Predicate::Cmp { attr: attr.into(), op, value: value.into() }
+        Predicate::Cmp {
+            attr: attr.into(),
+            op,
+            value: value.into(),
+        }
     }
 
     /// `attr = value`.
@@ -88,7 +92,11 @@ impl Predicate {
 
     /// `low <= attr < high`.
     pub fn range(attr: impl Into<String>, low: f64, high: f64) -> Self {
-        Predicate::Range { attr: attr.into(), low, high }
+        Predicate::Range {
+            attr: attr.into(),
+            low,
+            high,
+        }
     }
 
     /// `attr IS NULL`.
@@ -143,7 +151,11 @@ impl Predicate {
                 let idx = schema.index_of(attr)?;
                 match row[idx].as_f64() {
                     Some(v) => Ok(Some(v >= *low && v < *high)),
-                    None => Ok(if row[idx].is_null() { None } else { Some(false) }),
+                    None => Ok(if row[idx].is_null() {
+                        None
+                    } else {
+                        Some(false)
+                    }),
                 }
             }
             Predicate::IsNull { attr } => {
@@ -220,7 +232,13 @@ mod tests {
         Schema::new(vec![
             Attribute::new("age", Domain::IntRange { min: 0, max: 120 }),
             Attribute::new("sex", Domain::Categorical(vec!["M".into(), "F".into()])),
-            Attribute::new("gain", Domain::FloatRange { min: 0.0, max: 5000.0 }),
+            Attribute::new(
+                "gain",
+                Domain::FloatRange {
+                    min: 0.0,
+                    max: 5000.0,
+                },
+            ),
         ])
         .unwrap()
     }
@@ -254,9 +272,14 @@ mod tests {
         let s = schema();
         let null_row = vec![Value::Null, Value::Null, Value::Null];
         // age > 50 is unknown on NULL → bin excludes the row.
-        assert!(!Predicate::cmp("age", CmpOp::Gt, 50_i64).eval(&s, &null_row).unwrap());
+        assert!(!Predicate::cmp("age", CmpOp::Gt, 50_i64)
+            .eval(&s, &null_row)
+            .unwrap());
         // NOT (age > 50) is also unknown → still excluded (not "true").
-        assert!(!Predicate::cmp("age", CmpOp::Gt, 50_i64).not().eval(&s, &null_row).unwrap());
+        assert!(!Predicate::cmp("age", CmpOp::Gt, 50_i64)
+            .not()
+            .eval(&s, &null_row)
+            .unwrap());
         // IS NULL is definite.
         assert!(Predicate::is_null("age").eval(&s, &null_row).unwrap());
         // OR with a definite true short-circuits unknown.
@@ -287,7 +310,10 @@ mod tests {
         let p = Predicate::cmp("age", CmpOp::Gt, 10_i64)
             .and(Predicate::eq("sex", "M"))
             .or(Predicate::cmp("age", CmpOp::Lt, 5_i64));
-        assert_eq!(p.referenced_attrs(), vec!["age".to_string(), "sex".to_string()]);
+        assert_eq!(
+            p.referenced_attrs(),
+            vec!["age".to_string(), "sex".to_string()]
+        );
         assert!(Predicate::True.referenced_attrs().is_empty());
     }
 

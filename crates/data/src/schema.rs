@@ -73,7 +73,10 @@ pub struct Attribute {
 impl Attribute {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, domain: Domain) -> Self {
-        Self { name: name.into(), domain }
+        Self {
+            name: name.into(),
+            domain,
+        }
     }
 }
 
@@ -169,7 +172,13 @@ mod tests {
         Schema::new(vec![
             Attribute::new("age", Domain::IntRange { min: 0, max: 120 }),
             Attribute::new("state", Domain::Categorical(vec!["AL".into(), "WY".into()])),
-            Attribute::new("distance", Domain::FloatRange { min: 0.0, max: 100.0 }),
+            Attribute::new(
+                "distance",
+                Domain::FloatRange {
+                    min: 0.0,
+                    max: 100.0,
+                },
+            ),
         ])
         .unwrap()
     }

@@ -42,18 +42,34 @@ pub fn adult_schema() -> Schema {
         Attribute::new(
             "marital_status",
             Domain::Categorical(
-                ["married", "never-married", "divorced", "separated", "widowed"]
-                    .iter()
-                    .map(|s| s.to_string())
-                    .collect(),
+                [
+                    "married",
+                    "never-married",
+                    "divorced",
+                    "separated",
+                    "widowed",
+                ]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
             ),
         ),
         Attribute::new(
             "occupation",
             Domain::Categorical(
                 [
-                    "tech", "craft", "exec", "admin", "sales", "service", "machine-op",
-                    "transport", "handlers", "farming", "protective", "armed-forces",
+                    "tech",
+                    "craft",
+                    "exec",
+                    "admin",
+                    "sales",
+                    "service",
+                    "machine-op",
+                    "transport",
+                    "handlers",
+                    "farming",
+                    "protective",
+                    "armed-forces",
                 ]
                 .iter()
                 .map(|s| s.to_string())
@@ -94,8 +110,18 @@ pub fn adult_dataset(n: usize, seed: u64) -> Dataset {
         .copied()
         .collect::<Vec<_>>();
     let occupations = [
-        "tech", "craft", "exec", "admin", "sales", "service", "machine-op", "transport",
-        "handlers", "farming", "protective", "armed-forces",
+        "tech",
+        "craft",
+        "exec",
+        "admin",
+        "sales",
+        "service",
+        "machine-op",
+        "transport",
+        "handlers",
+        "farming",
+        "protective",
+        "armed-forces",
     ];
 
     let mut rows = Vec::with_capacity(n);
@@ -105,12 +131,12 @@ pub fn adult_dataset(n: usize, seed: u64) -> Dataset {
         let age = (37.0 + 13.0 * z).round().clamp(17.0, 90.0) as i64;
 
         let workclass = workclasses[rng.gen_range(0..workclasses.len())];
-        let education = (10.0 + 2.6 * standard_normal(&mut rng)).round().clamp(1.0, 16.0) as i64;
+        let education = (10.0 + 2.6 * standard_normal(&mut rng))
+            .round()
+            .clamp(1.0, 16.0) as i64;
         let marital = maritals[rng.gen_range(0..maritals.len())];
         // Occupation mildly skewed toward the first few categories.
-        let occ_idx = (occupations.len() as f64
-            * rng.gen::<f64>().powf(1.35))
-        .floor() as usize;
+        let occ_idx = (occupations.len() as f64 * rng.gen::<f64>().powf(1.35)).floor() as usize;
         let occupation = occupations[occ_idx.min(occupations.len() - 1)];
         let sex = if rng.gen::<f64>() < 0.669 { "M" } else { "F" };
 
@@ -122,7 +148,9 @@ pub fn adult_dataset(n: usize, seed: u64) -> Dataset {
             (u.powf(0.45) * 4999.0).round().clamp(1.0, 4999.0) as i64
         };
 
-        let hours = (40.0 + 12.0 * standard_normal(&mut rng)).round().clamp(1.0, 99.0) as i64;
+        let hours = (40.0 + 12.0 * standard_normal(&mut rng))
+            .round()
+            .clamp(1.0, 99.0) as i64;
         let label = rng.gen::<f64>() < 0.24;
 
         rows.push(vec![

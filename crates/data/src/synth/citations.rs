@@ -33,7 +33,13 @@ impl Default for CitationsConfig {
         // ~10% true matches: labeled-pair benchmarks are match-sparse, and
         // the paper's blocking-cost cutoff (550 admitted pairs of 4000)
         // only makes sense when the match population fits under it.
-        Self { n_pairs: 4_000, match_fraction: 0.10, null_rate: 0.03, noise: 0.25, seed: 13 }
+        Self {
+            n_pairs: 4_000,
+            match_fraction: 0.10,
+            null_rate: 0.03,
+            noise: 0.25,
+            seed: 13,
+        }
     }
 }
 
@@ -47,29 +53,70 @@ pub fn citations_schema() -> Schema {
         Attribute::new("authors_b", Domain::Text),
         Attribute::new("venue_a", Domain::Text),
         Attribute::new("venue_b", Domain::Text),
-        Attribute::new("year_a", Domain::IntRange { min: 1970, max: 2019 }),
-        Attribute::new("year_b", Domain::IntRange { min: 1970, max: 2019 }),
+        Attribute::new(
+            "year_a",
+            Domain::IntRange {
+                min: 1970,
+                max: 2019,
+            },
+        ),
+        Attribute::new(
+            "year_b",
+            Domain::IntRange {
+                min: 1970,
+                max: 2019,
+            },
+        ),
         Attribute::new("label", Domain::Boolean),
     ])
     .expect("citations schema is well-formed")
 }
 
 const TITLE_WORDS: &[&str] = &[
-    "efficient", "scalable", "adaptive", "distributed", "parallel", "private", "robust",
-    "incremental", "approximate", "optimal", "query", "processing", "join", "indexing",
-    "learning", "mining", "streams", "graphs", "databases", "systems", "transactions",
-    "storage", "networks", "integration", "cleaning", "entity", "resolution", "privacy",
-    "differential", "sampling", "estimation", "optimization", "clustering", "classification",
+    "efficient",
+    "scalable",
+    "adaptive",
+    "distributed",
+    "parallel",
+    "private",
+    "robust",
+    "incremental",
+    "approximate",
+    "optimal",
+    "query",
+    "processing",
+    "join",
+    "indexing",
+    "learning",
+    "mining",
+    "streams",
+    "graphs",
+    "databases",
+    "systems",
+    "transactions",
+    "storage",
+    "networks",
+    "integration",
+    "cleaning",
+    "entity",
+    "resolution",
+    "privacy",
+    "differential",
+    "sampling",
+    "estimation",
+    "optimization",
+    "clustering",
+    "classification",
 ];
 
 const FIRST_NAMES: &[&str] = &[
-    "alice", "bob", "carol", "david", "erin", "frank", "grace", "henry", "irene", "jack",
-    "karen", "liam", "mona", "nathan", "olga", "peter", "quinn", "rachel", "sam", "tina",
+    "alice", "bob", "carol", "david", "erin", "frank", "grace", "henry", "irene", "jack", "karen",
+    "liam", "mona", "nathan", "olga", "peter", "quinn", "rachel", "sam", "tina",
 ];
 
 const LAST_NAMES: &[&str] = &[
-    "smith", "johnson", "lee", "chen", "garcia", "mueller", "ivanov", "tanaka", "kumar",
-    "nguyen", "brown", "davis", "wilson", "moore", "taylor", "anderson", "thomas", "haas",
+    "smith", "johnson", "lee", "chen", "garcia", "mueller", "ivanov", "tanaka", "kumar", "nguyen",
+    "brown", "davis", "wilson", "moore", "taylor", "anderson", "thomas", "haas",
 ];
 
 const VENUES: &[(&str, &str)] = &[
@@ -78,7 +125,10 @@ const VENUES: &[(&str, &str)] = &[
     ("icde conference", "icde"),
     ("kdd conference", "kdd"),
     ("acm transactions on database systems", "tods"),
-    ("ieee transactions on knowledge and data engineering", "tkde"),
+    (
+        "ieee transactions on knowledge and data engineering",
+        "tkde",
+    ),
     ("edbt conference", "edbt"),
     ("cidr conference", "cidr"),
 ];
@@ -175,7 +225,11 @@ pub fn citations_dataset(cfg: &CitationsConfig) -> Dataset {
             } else {
                 a.venue_full.clone()
             };
-            b_year = if rng.gen::<f64>() < 0.1 { a.year + 1 } else { a.year };
+            b_year = if rng.gen::<f64>() < 0.1 {
+                a.year + 1
+            } else {
+                a.year
+            };
         } else {
             // A different publication from the pool.
             let mut other = pool[rng.gen_range(0..pool.len())].clone();
@@ -210,7 +264,10 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let cfg = CitationsConfig { n_pairs: 200, ..Default::default() };
+        let cfg = CitationsConfig {
+            n_pairs: 200,
+            ..Default::default()
+        };
         let a = citations_dataset(&cfg);
         let b = citations_dataset(&cfg);
         assert_eq!(a.rows(), b.rows());
@@ -218,7 +275,11 @@ mod tests {
 
     #[test]
     fn match_fraction_is_respected() {
-        let cfg = CitationsConfig { n_pairs: 4_000, match_fraction: 0.25, ..Default::default() };
+        let cfg = CitationsConfig {
+            n_pairs: 4_000,
+            match_fraction: 0.25,
+            ..Default::default()
+        };
         let d = citations_dataset(&cfg);
         let matches = d.count(&Predicate::eq("label", true)).unwrap() as f64;
         let frac = matches / d.len() as f64;
@@ -227,8 +288,11 @@ mod tests {
 
     #[test]
     fn nulls_appear_at_roughly_the_configured_rate() {
-        let cfg =
-            CitationsConfig { n_pairs: 3_000, null_rate: 0.05, ..Default::default() };
+        let cfg = CitationsConfig {
+            n_pairs: 3_000,
+            null_rate: 0.05,
+            ..Default::default()
+        };
         let d = citations_dataset(&cfg);
         let nulls = d.count(&Predicate::is_null("title_a")).unwrap() as f64;
         let frac = nulls / d.len() as f64;
@@ -237,7 +301,11 @@ mod tests {
 
     #[test]
     fn matching_pairs_share_most_title_tokens() {
-        let cfg = CitationsConfig { n_pairs: 500, null_rate: 0.0, ..Default::default() };
+        let cfg = CitationsConfig {
+            n_pairs: 500,
+            null_rate: 0.0,
+            ..Default::default()
+        };
         let d = citations_dataset(&cfg);
         let (ia, ib, il) = (
             d.schema().index_of("title_a").unwrap(),
@@ -261,7 +329,10 @@ mod tests {
 
     #[test]
     fn rows_conform_to_schema() {
-        let cfg = CitationsConfig { n_pairs: 300, ..Default::default() };
+        let cfg = CitationsConfig {
+            n_pairs: 300,
+            ..Default::default()
+        };
         let d = citations_dataset(&cfg);
         for row in d.rows() {
             d.schema().validate_row(row).unwrap();

@@ -19,9 +19,27 @@ use crate::{Attribute, Dataset, Domain, Schema, Value};
 /// The schema of the synthetic NYTaxi dataset.
 pub fn nytaxi_schema() -> Schema {
     Schema::new(vec![
-        Attribute::new("trip_distance", Domain::FloatRange { min: 0.0, max: 100.0 }),
-        Attribute::new("fare_amount", Domain::FloatRange { min: 0.0, max: 500.0 }),
-        Attribute::new("total_amount", Domain::FloatRange { min: 0.0, max: 600.0 }),
+        Attribute::new(
+            "trip_distance",
+            Domain::FloatRange {
+                min: 0.0,
+                max: 100.0,
+            },
+        ),
+        Attribute::new(
+            "fare_amount",
+            Domain::FloatRange {
+                min: 0.0,
+                max: 500.0,
+            },
+        ),
+        Attribute::new(
+            "total_amount",
+            Domain::FloatRange {
+                min: 0.0,
+                max: 600.0,
+            },
+        ),
         Attribute::new("passenger_count", Domain::IntRange { min: 1, max: 10 }),
         Attribute::new("puid", Domain::IntRange { min: 1, max: 60 }),
         Attribute::new("doid", Domain::IntRange { min: 1, max: 60 }),
@@ -44,7 +62,11 @@ pub fn nytaxi_dataset(n: usize, seed: u64) -> Dataset {
         // Fare grows roughly linearly with distance plus meter drop.
         let fare = (2.5 + 2.8 * dist + rng.gen::<f64>() * 2.0).min(499.0);
         // Total adds tip & taxes.
-        let tip_rate = if rng.gen::<f64>() < 0.6 { rng.gen::<f64>() * 0.3 } else { 0.0 };
+        let tip_rate = if rng.gen::<f64>() < 0.6 {
+            rng.gen::<f64>() * 0.3
+        } else {
+            0.0
+        };
         let total = (fare * (1.0 + tip_rate) + 0.8).min(599.0);
 
         let passenger = passenger_count(&mut rng);
@@ -52,7 +74,11 @@ pub fn nytaxi_dataset(n: usize, seed: u64) -> Dataset {
         let doid = skewed_zone(&mut rng);
         let day = rng.gen_range(1..=31);
         let hour = peaked_hour(&mut rng);
-        let payment = if rng.gen::<f64>() < 0.7 { 1 } else { rng.gen_range(2..=4) };
+        let payment = if rng.gen::<f64>() < 0.7 {
+            1
+        } else {
+            rng.gen_range(2..=4)
+        };
 
         rows.push(vec![
             Value::Float(dist),
@@ -136,7 +162,9 @@ mod tests {
     #[test]
     fn trips_are_short_skewed() {
         let d = nytaxi_dataset(5_000, 5);
-        let short = d.count(&Predicate::range("trip_distance", 0.0, 3.0)).unwrap();
+        let short = d
+            .count(&Predicate::range("trip_distance", 0.0, 3.0))
+            .unwrap();
         let frac = short as f64 / d.len() as f64;
         assert!(frac > 0.6, "short-trip fraction {frac}");
     }
@@ -154,7 +182,9 @@ mod tests {
         let d = nytaxi_dataset(5_000, 9);
         // The power-law profile concentrates pickups on low zone ids: the
         // bottom third should hold well over a third of pickups.
-        let hot = d.count(&Predicate::cmp("puid", crate::CmpOp::Le, 20_i64)).unwrap();
+        let hot = d
+            .count(&Predicate::cmp("puid", crate::CmpOp::Le, 20_i64))
+            .unwrap();
         let frac = hot as f64 / d.len() as f64;
         assert!(frac > 0.45, "hot-zone fraction {frac}");
     }

@@ -1,4 +1,4 @@
-//! Dense linear algebra substrate for the APEx reproduction.
+//! Dense + sparse linear algebra substrate for the APEx reproduction.
 //!
 //! APEx represents counting-query workloads as matrices (`W`), answers them
 //! through *strategy* matrices (`A`), and reconstructs workload answers via
@@ -7,6 +7,13 @@
 //! implements the small, numerically careful subset APEx needs:
 //!
 //! * a dense row-major [`Matrix`] with the usual arithmetic,
+//! * a compressed-sparse-row [`CsrMatrix`] for the 0/1 incidence structures
+//!   (workloads, hierarchical strategies) whose products should scale with
+//!   *nonzeros*, not *cells* — see the [`sparse`] module docs for when each
+//!   representation wins,
+//! * [`matmul_batched`] — a blocked, optionally thread-parallel dense
+//!   product (feature `par`) whose results are bit-identical to serial
+//!   per-column `matvec`, used to batch the Monte-Carlo translation,
 //! * Householder [`qr_decompose`] decomposition,
 //! * least-squares solving and matrix inversion built on QR,
 //! * [`pinv`] — the Moore–Penrose pseudoinverse for full-rank matrices,
@@ -14,21 +21,29 @@
 //!   column absolute sum — the *sensitivity* of a workload), the Frobenius
 //!   norm, and the `ℓ∞` vector norm.
 //!
-//! Everything is `f64`; workloads in APEx are small (hundreds to a few
-//! thousands of rows), so a straightforward dense implementation is both
-//! simpler and faster than anything sparse at this scale.
+//! Everything is `f64`. Dense stays the right choice for anything derived
+//! from a pseudoinverse (those matrices are numerically dense); sparse wins
+//! for the incidence structures, whose density drops as `O(log n / n)` for
+//! hierarchical strategies.
 
 mod matrix;
 mod norms;
+pub mod par;
 mod pinv;
 mod qr;
 mod solve;
+pub mod sparse;
 
 pub use matrix::Matrix;
 pub use norms::{frobenius_norm, l1_operator_norm, linf_norm};
+pub use par::{
+    matmul_batched, matmul_batched_bt, matmul_batched_bt_with_threads, matmul_batched_with_threads,
+    max_threads,
+};
 pub use pinv::pinv;
 pub use qr::{qr_decompose, QrDecomposition};
 pub use solve::{invert, solve_least_squares, solve_upper_triangular};
+pub use sparse::{CsrBuilder, CsrMatrix};
 
 /// Errors surfaced by linear-algebra routines.
 #[derive(Debug, Clone, PartialEq)]

@@ -41,15 +41,28 @@ impl Matrix {
         let cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for (i, r) in rows.iter().enumerate() {
-            assert_eq!(r.len(), cols, "row {i} has length {}, expected {cols}", r.len());
+            assert_eq!(
+                r.len(),
+                cols,
+                "row {i} has length {}, expected {cols}",
+                r.len()
+            );
             data.extend_from_slice(r);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// An all-zeros matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// The `n × n` identity matrix.
@@ -95,8 +108,31 @@ impl Matrix {
     /// Panics if `i >= rows`.
     #[inline]
     pub fn row(&self, i: usize) -> &[f64] {
-        assert!(i < self.rows, "row index {i} out of bounds ({} rows)", self.rows);
+        assert!(
+            i < self.rows,
+            "row index {i} out of bounds ({} rows)",
+            self.rows
+        );
         &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// A single row as a mutable slice.
+    ///
+    /// # Panics
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(
+            i < self.rows,
+            "row index {i} out of bounds ({} rows)",
+            self.rows
+        );
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable borrow of the underlying row-major buffer.
+    pub(crate) fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
     }
 
     /// A single column, copied out.
@@ -104,7 +140,11 @@ impl Matrix {
     /// # Panics
     /// Panics if `j >= cols`.
     pub fn col(&self, j: usize) -> Vec<f64> {
-        assert!(j < self.cols, "column index {j} out of bounds ({} cols)", self.cols);
+        assert!(
+            j < self.cols,
+            "column index {j} out of bounds ({} cols)",
+            self.cols
+        );
         (0..self.rows).map(|i| self[(i, j)]).collect()
     }
 
@@ -172,8 +212,17 @@ impl Matrix {
                 rhs: rhs.shape(),
             });
         }
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
-        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Element-wise difference `self - rhs`.
@@ -185,8 +234,17 @@ impl Matrix {
                 rhs: rhs.shape(),
             });
         }
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
-        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Scalar multiple `self * s`.
@@ -290,7 +348,10 @@ mod tests {
     fn matmul_shape_mismatch_errors() {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
-        assert!(matches!(a.matmul(&b), Err(LinalgError::ShapeMismatch { .. })));
+        assert!(matches!(
+            a.matmul(&b),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

@@ -82,7 +82,10 @@ mod tests {
     fn pinv_of_square_invertible_is_inverse() {
         let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
         let ap = pinv(&a).unwrap();
-        assert!(a.matmul(&ap).unwrap().approx_eq(&Matrix::identity(2), 1e-10));
+        assert!(a
+            .matmul(&ap)
+            .unwrap()
+            .approx_eq(&Matrix::identity(2), 1e-10));
         check_mp_identities(&a, &ap, 1e-10);
     }
 
@@ -93,7 +96,10 @@ mod tests {
         assert_eq!(ap.shape(), (2, 3));
         check_mp_identities(&a, &ap, 1e-10);
         // A+ A = I for full column rank.
-        assert!(ap.matmul(&a).unwrap().approx_eq(&Matrix::identity(2), 1e-10));
+        assert!(ap
+            .matmul(&a)
+            .unwrap()
+            .approx_eq(&Matrix::identity(2), 1e-10));
     }
 
     #[test]
@@ -103,7 +109,10 @@ mod tests {
         assert_eq!(ap.shape(), (3, 2));
         check_mp_identities(&a, &ap, 1e-10);
         // A A+ = I for full row rank.
-        assert!(a.matmul(&ap).unwrap().approx_eq(&Matrix::identity(2), 1e-10));
+        assert!(a
+            .matmul(&ap)
+            .unwrap()
+            .approx_eq(&Matrix::identity(2), 1e-10));
     }
 
     #[test]
@@ -134,7 +143,10 @@ mod tests {
 
     #[test]
     fn pinv_rejects_empty() {
-        assert!(matches!(pinv(&Matrix::zeros(0, 3)), Err(LinalgError::Empty)));
+        assert!(matches!(
+            pinv(&Matrix::zeros(0, 3)),
+            Err(LinalgError::Empty)
+        ));
     }
 
     #[test]

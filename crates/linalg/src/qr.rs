@@ -36,7 +36,11 @@ pub fn qr_decompose(a: &Matrix) -> Result<QrDecomposition> {
         return Err(LinalgError::Empty);
     }
     if m < n {
-        return Err(LinalgError::ShapeMismatch { op: "qr (requires m >= n)", lhs: (m, n), rhs: (m, n) });
+        return Err(LinalgError::ShapeMismatch {
+            op: "qr (requires m >= n)",
+            lhs: (m, n),
+            rhs: (m, n),
+        });
     }
 
     // Work on a full copy of A; accumulate the reflections into an m×m
@@ -57,7 +61,10 @@ pub fn qr_decompose(a: &Matrix) -> Result<QrDecomposition> {
         }
         let norm = norm2.sqrt();
         if norm <= tol {
-            return Err(LinalgError::RankDeficient { pivot: k, magnitude: norm });
+            return Err(LinalgError::RankDeficient {
+                pivot: k,
+                magnitude: norm,
+            });
         }
         let alpha = if r[(k, k)] >= 0.0 { -norm } else { norm };
         let mut v: Vec<f64> = (k..m).map(|i| r[(i, k)]).collect();
@@ -92,7 +99,10 @@ pub fn qr_decompose(a: &Matrix) -> Result<QrDecomposition> {
     for k in 0..n {
         let p = r[(k, k)].abs();
         if p <= tol {
-            return Err(LinalgError::RankDeficient { pivot: k, magnitude: p });
+            return Err(LinalgError::RankDeficient {
+                pivot: k,
+                magnitude: p,
+            });
         }
     }
 
@@ -194,18 +204,27 @@ mod tests {
             vec![0.0, 1.0, 1.0],
             vec![1.0, 1.0, 2.0],
         ]);
-        assert!(matches!(qr_decompose(&a), Err(LinalgError::RankDeficient { .. })));
+        assert!(matches!(
+            qr_decompose(&a),
+            Err(LinalgError::RankDeficient { .. })
+        ));
     }
 
     #[test]
     fn qr_rejects_wide_matrix() {
         let a = Matrix::zeros(2, 3);
-        assert!(matches!(qr_decompose(&a), Err(LinalgError::ShapeMismatch { .. })));
+        assert!(matches!(
+            qr_decompose(&a),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]
     fn qr_rejects_empty() {
-        assert!(matches!(qr_decompose(&Matrix::zeros(0, 0)), Err(LinalgError::Empty)));
+        assert!(matches!(
+            qr_decompose(&Matrix::zeros(0, 0)),
+            Err(LinalgError::Empty)
+        ));
     }
 
     #[test]

@@ -11,10 +11,18 @@ use crate::{qr_decompose, LinalgError, Matrix, Result};
 pub fn solve_upper_triangular(r: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
     let (m, n) = r.shape();
     if m != n {
-        return Err(LinalgError::ShapeMismatch { op: "solve_upper_triangular", lhs: (m, n), rhs: (b.len(), 1) });
+        return Err(LinalgError::ShapeMismatch {
+            op: "solve_upper_triangular",
+            lhs: (m, n),
+            rhs: (b.len(), 1),
+        });
     }
     if b.len() != n {
-        return Err(LinalgError::ShapeMismatch { op: "solve_upper_triangular", lhs: (m, n), rhs: (b.len(), 1) });
+        return Err(LinalgError::ShapeMismatch {
+            op: "solve_upper_triangular",
+            lhs: (m, n),
+            rhs: (b.len(), 1),
+        });
     }
     let mut x = vec![0.0; n];
     for i in (0..n).rev() {
@@ -24,7 +32,10 @@ pub fn solve_upper_triangular(r: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
         }
         let d = r[(i, i)];
         if d == 0.0 {
-            return Err(LinalgError::RankDeficient { pivot: i, magnitude: 0.0 });
+            return Err(LinalgError::RankDeficient {
+                pivot: i,
+                magnitude: 0.0,
+            });
         }
         x[i] = s / d;
     }
@@ -39,7 +50,11 @@ pub fn solve_upper_triangular(r: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
 /// mismatches between `A` and `b`.
 pub fn solve_least_squares(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
     if a.rows() != b.len() {
-        return Err(LinalgError::ShapeMismatch { op: "solve_least_squares", lhs: a.shape(), rhs: (b.len(), 1) });
+        return Err(LinalgError::ShapeMismatch {
+            op: "solve_least_squares",
+            lhs: a.shape(),
+            rhs: (b.len(), 1),
+        });
     }
     let qr = qr_decompose(a)?;
     let qtb = qr.q.transpose().matvec(b)?;
@@ -54,7 +69,11 @@ pub fn solve_least_squares(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
 pub fn invert(a: &Matrix) -> Result<Matrix> {
     let (m, n) = a.shape();
     if m != n {
-        return Err(LinalgError::ShapeMismatch { op: "invert", lhs: (m, n), rhs: (m, n) });
+        return Err(LinalgError::ShapeMismatch {
+            op: "invert",
+            lhs: (m, n),
+            rhs: (m, n),
+        });
     }
     let qr = qr_decompose(a)?;
     let qt = qr.q.transpose();
@@ -115,8 +134,14 @@ mod tests {
             vec![1.0, 0.0, 3.0],
         ]);
         let inv = invert(&a).unwrap();
-        assert!(a.matmul(&inv).unwrap().approx_eq(&Matrix::identity(3), 1e-10));
-        assert!(inv.matmul(&a).unwrap().approx_eq(&Matrix::identity(3), 1e-10));
+        assert!(a
+            .matmul(&inv)
+            .unwrap()
+            .approx_eq(&Matrix::identity(3), 1e-10));
+        assert!(inv
+            .matmul(&a)
+            .unwrap()
+            .approx_eq(&Matrix::identity(3), 1e-10));
     }
 
     #[test]

@@ -1,0 +1,509 @@
+//! Compressed-sparse-row matrices.
+//!
+//! Workload matrices `W` and hierarchical strategy matrices `H_b` in APEx
+//! are 0/1 and overwhelmingly sparse at realistic domain sizes: a histogram
+//! workload has exactly one nonzero per row, and `H_b` over `n` cells has
+//! `O(n log n)` nonzeros in an `O(n) × n` matrix (>95% zeros for `n ≥ 64`).
+//! Storing them densely makes every product scale with *cells* instead of
+//! *nonzeros*.
+//!
+//! # When each representation wins
+//!
+//! * **[`CsrMatrix`]** — 0/1 incidence structures (workloads, strategies):
+//!   `matvec` and `matmul` cost `O(nnz)` / `O(nnz · k)` instead of
+//!   `O(rows · cols)` / `O(rows · cols · k)`. At a 1024-cell domain the H₂
+//!   strategy is ~99.5% sparse, so sparse products are ~200× less work.
+//! * **[`Matrix`]** (dense) — anything built from a pseudoinverse: `A⁺` and
+//!   the reconstruction `W A⁺` are numerically dense (nearly every entry is
+//!   nonzero), so CSR would only add indirection. The Monte-Carlo
+//!   translation keeps `W A⁺` dense and batches its products instead (see
+//!   [`crate::matmul_batched`]).
+//!
+//! Conversions are **numerically lossless**: `Matrix → CsrMatrix → Matrix`
+//! reproduces every nonzero value bit-for-bit; exact zeros are dropped and
+//! restored as `+0.0` (so a stored `-0.0` normalizes — the one value the
+//! round trip does not preserve at the bit level).
+
+use crate::{LinalgError, Matrix, Result};
+
+/// A compressed-sparse-row `f64` matrix.
+///
+/// Storage is the classic three-array CSR layout: row `i`'s entries live at
+/// positions `indptr[i]..indptr[i+1]` of `indices` (column ids, strictly
+/// ascending within a row) and `values` (the nonzero values).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// An all-zero sparse matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            indptr: vec![0; rows + 1],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            rows: n,
+            cols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Converts a dense matrix, dropping exact zeros.
+    pub fn from_dense(m: &Matrix) -> Self {
+        let (rows, cols) = m.shape();
+        let mut b = CsrBuilder::new(cols);
+        for i in 0..rows {
+            b.push_row(
+                m.row(i)
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v != 0.0)
+                    .map(|(j, &v)| (j, v)),
+            );
+        }
+        b.finish()
+    }
+
+    /// Builds a 0/1 incidence matrix from per-row sorted support lists
+    /// (`support[i]` = ascending column ids where row `i` is 1).
+    ///
+    /// # Panics
+    /// Panics if a support list is unsorted, has duplicates, or references a
+    /// column `>= cols`.
+    pub fn from_row_support(cols: usize, support: &[Vec<usize>]) -> Self {
+        let mut b = CsrBuilder::new(cols);
+        for row in support {
+            b.push_row(row.iter().map(|&c| (c, 1.0)));
+        }
+        b.finish()
+    }
+
+    /// Materializes the dense equivalent.
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored (nonzero) entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of cells that are stored, in `[0, 1]` (0 for empty shapes).
+    pub fn density(&self) -> f64 {
+        let cells = self.rows * self.cols;
+        if cells == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / cells as f64
+        }
+    }
+
+    /// Row `i` as parallel `(column ids, values)` slices.
+    ///
+    /// # Panics
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        assert!(
+            i < self.rows,
+            "row index {i} out of bounds ({} rows)",
+            self.rows
+        );
+        let (lo, hi) = (self.indptr[i], self.indptr[i + 1]);
+        (&self.indices[lo..hi], &self.values[lo..hi])
+    }
+
+    /// The entry at `(i, j)` (0.0 when not stored).
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(
+            j < self.cols,
+            "column index {j} out of bounds ({} cols)",
+            self.cols
+        );
+        let (cols, vals) = self.row(i);
+        match cols.binary_search(&j) {
+            Ok(k) => vals[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sparse matrix–vector product `self * x`, `O(nnz)`.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] when `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "csr matvec",
+                lhs: self.shape(),
+                rhs: (x.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        for (i, o) in out.iter_mut().enumerate() {
+            let (cols, vals) = self.row(i);
+            *o = cols.iter().zip(vals).map(|(&j, &v)| v * x[j]).sum();
+        }
+        Ok(out)
+    }
+
+    /// Sparse × dense product `self * rhs`, returning a dense matrix in
+    /// `O(nnz(self) · rhs.cols())`.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] when `self.cols != rhs.rows`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "csr matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let n = rhs.cols();
+        let mut out = Matrix::zeros(self.rows, n);
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            let orow = out.row_mut(i);
+            for (&k, &a) in cols.iter().zip(vals) {
+                let rrow = rhs.row(k);
+                for (o, &r) in orow.iter_mut().zip(rrow) {
+                    *o += a * r;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The transpose, `O(nnz + rows + cols)` by counting sort.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &j in &self.indices {
+            counts[j + 1] += 1;
+        }
+        for j in 0..self.cols {
+            counts[j + 1] += counts[j];
+        }
+        let indptr = counts.clone();
+        let mut indices = vec![0usize; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        let mut cursor = counts;
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                let p = cursor[j];
+                indices[p] = i;
+                values[p] = v;
+                cursor[j] += 1;
+            }
+        }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// The L1 operator norm `‖·‖₁` (maximum column absolute sum) — the
+    /// sensitivity of a 0/1 workload/strategy matrix — in `O(nnz)`.
+    pub fn l1_operator_norm(&self) -> f64 {
+        let mut col_sums = vec![0.0_f64; self.cols];
+        for (&j, &v) in self.indices.iter().zip(&self.values) {
+            col_sums[j] += v.abs();
+        }
+        col_sums.into_iter().fold(0.0, f64::max)
+    }
+
+    /// The Frobenius norm `sqrt(Σ v²)` in `O(nnz)`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// A stable 64-bit structural signature: FNV-1a over shape, row
+    /// pointers, column ids and value bits. Equal matrices always produce
+    /// equal signatures; the converse holds only up to 64-bit hash
+    /// collisions (FNV-1a is not collision-resistant against adversarial
+    /// input), so cache lookups keyed by this signature must verify the
+    /// hit against the actual structure — see the verify-on-hit check in
+    /// `apex-mech`'s strategy-mechanism cache.
+    pub fn signature(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(self.rows as u64);
+        eat(self.cols as u64);
+        for &p in &self.indptr {
+            eat(p as u64);
+        }
+        for (&j, &v) in self.indices.iter().zip(&self.values) {
+            eat(j as u64);
+            eat(v.to_bits());
+        }
+        h
+    }
+}
+
+/// Incremental row-by-row CSR constructor.
+#[derive(Debug)]
+pub struct CsrBuilder {
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrBuilder {
+    /// A builder for matrices with `cols` columns and no rows yet.
+    pub fn new(cols: usize) -> Self {
+        Self {
+            cols,
+            indptr: vec![0],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Appends one row given `(column, value)` pairs in strictly ascending
+    /// column order. Zero values are dropped.
+    ///
+    /// # Panics
+    /// Panics on out-of-range or non-ascending columns.
+    pub fn push_row(&mut self, entries: impl IntoIterator<Item = (usize, f64)>) {
+        let mut last: Option<usize> = None;
+        for (j, v) in entries {
+            assert!(
+                j < self.cols,
+                "column {j} out of bounds ({} cols)",
+                self.cols
+            );
+            assert!(
+                last.is_none_or(|l| l < j),
+                "columns must be strictly ascending within a row"
+            );
+            last = Some(j);
+            if v != 0.0 {
+                self.indices.push(j);
+                self.values.push(v);
+            }
+        }
+        self.indptr.push(self.indices.len());
+    }
+
+    /// Appends one 0/1 row that is a contiguous run of ones on `lo..hi`
+    /// (the shape of every hierarchical-strategy row) without intermediate
+    /// allocation.
+    ///
+    /// # Panics
+    /// Panics if `hi > cols` or `lo > hi`.
+    pub fn push_interval_row(&mut self, lo: usize, hi: usize) {
+        assert!(
+            lo <= hi && hi <= self.cols,
+            "bad interval [{lo}, {hi}) for {} cols",
+            self.cols
+        );
+        self.indices.extend(lo..hi);
+        self.values.extend(std::iter::repeat_n(1.0, hi - lo));
+        self.indptr.push(self.indices.len());
+    }
+
+    /// Number of rows pushed so far.
+    pub fn rows(&self) -> usize {
+        self.indptr.len() - 1
+    }
+
+    /// Finalizes the matrix.
+    pub fn finish(self) -> CsrMatrix {
+        CsrMatrix {
+            rows: self.indptr.len() - 1,
+            cols: self.cols,
+            indptr: self.indptr,
+            indices: self.indices,
+            values: self.values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_dense() -> Matrix {
+        Matrix::from_rows(&[
+            vec![1.0, 0.0, 2.0, 0.0],
+            vec![0.0, 0.0, 0.0, 0.0],
+            vec![0.0, -3.0, 0.0, 0.5],
+        ])
+    }
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let d = example_dense();
+        let s = CsrMatrix::from_dense(&d);
+        assert_eq!(s.nnz(), 4);
+        assert_eq!(s.to_dense(), d);
+    }
+
+    #[test]
+    fn get_and_row_access() {
+        let s = CsrMatrix::from_dense(&example_dense());
+        assert_eq!(s.get(0, 0), 1.0);
+        assert_eq!(s.get(0, 1), 0.0);
+        assert_eq!(s.get(2, 3), 0.5);
+        let (cols, vals) = s.row(2);
+        assert_eq!(cols, &[1, 3]);
+        assert_eq!(vals, &[-3.0, 0.5]);
+        let (cols, _) = s.row(1);
+        assert!(cols.is_empty());
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let d = example_dense();
+        let s = CsrMatrix::from_dense(&d);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(s.matvec(&x).unwrap(), d.matvec(&x).unwrap());
+        assert!(s.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn matmul_matches_dense() {
+        let d = example_dense();
+        let s = CsrMatrix::from_dense(&d);
+        let rhs = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![0.5, -1.0],
+            vec![3.0, 0.0],
+            vec![0.0, 1.0],
+        ]);
+        assert_eq!(s.matmul(&rhs).unwrap(), d.matmul(&rhs).unwrap());
+        assert!(s.matmul(&Matrix::zeros(3, 2)).is_err());
+    }
+
+    #[test]
+    fn transpose_matches_dense() {
+        let d = example_dense();
+        let s = CsrMatrix::from_dense(&d);
+        assert_eq!(s.transpose().to_dense(), d.transpose());
+        assert_eq!(s.transpose().transpose(), s);
+    }
+
+    #[test]
+    fn l1_and_frobenius_match_dense() {
+        let d = example_dense();
+        let s = CsrMatrix::from_dense(&d);
+        assert_eq!(s.l1_operator_norm(), crate::l1_operator_norm(&d));
+        assert!((s.frobenius_norm() - crate::frobenius_norm(&d)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn identity_and_zeros() {
+        let i = CsrMatrix::identity(4);
+        assert_eq!(i.to_dense(), Matrix::identity(4));
+        assert_eq!(i.l1_operator_norm(), 1.0);
+        let z = CsrMatrix::zeros(2, 3);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.matvec(&[1.0, 1.0, 1.0]).unwrap(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn builder_interval_rows() {
+        let mut b = CsrBuilder::new(5);
+        b.push_interval_row(0, 5);
+        b.push_interval_row(2, 4);
+        b.push_interval_row(3, 3); // empty interval = zero row
+        let m = b.finish();
+        assert_eq!(m.shape(), (3, 5));
+        assert_eq!(m.get(0, 4), 1.0);
+        assert_eq!(m.get(1, 1), 0.0);
+        assert_eq!(m.get(1, 2), 1.0);
+        assert_eq!(m.row(2).0.len(), 0);
+    }
+
+    #[test]
+    fn from_row_support() {
+        let m = CsrMatrix::from_row_support(4, &[vec![0, 2], vec![], vec![3]]);
+        assert_eq!(
+            m.to_dense(),
+            Matrix::from_rows(&[
+                vec![1.0, 0.0, 1.0, 0.0],
+                vec![0.0, 0.0, 0.0, 0.0],
+                vec![0.0, 0.0, 0.0, 1.0],
+            ])
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn builder_rejects_unsorted() {
+        let mut b = CsrBuilder::new(4);
+        b.push_row([(2, 1.0), (1, 1.0)]);
+    }
+
+    #[test]
+    fn density_and_signature() {
+        let d = example_dense();
+        let s = CsrMatrix::from_dense(&d);
+        assert!((s.density() - 4.0 / 12.0).abs() < 1e-15);
+        let s2 = CsrMatrix::from_dense(&d);
+        assert_eq!(s.signature(), s2.signature());
+        let other = CsrMatrix::from_dense(&d.scale(2.0));
+        assert_ne!(s.signature(), other.signature());
+        // Same values, different shape must differ.
+        assert_ne!(
+            CsrMatrix::zeros(2, 3).signature(),
+            CsrMatrix::zeros(3, 2).signature()
+        );
+    }
+}

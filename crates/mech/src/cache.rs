@@ -1,0 +1,203 @@
+//! Shared cache of strategy-mechanism artifacts (pseudoinverse +
+//! Monte-Carlo translator).
+//!
+//! Building the strategy mechanism's state for a query is the most
+//! expensive step in the whole engine: the Moore–Penrose pseudoinverse is
+//! `O(n³)` in the domain size and the Monte-Carlo translation simulates
+//! thousands of reconstruction errors. Both depend **only** on the
+//! workload's compiled incidence structure (not the data, not `α`/`β`),
+//! so the common APEx session pattern — many exploration queries over the
+//! same domain partition — recomputes identical artifacts over and over.
+//!
+//! [`SmCache`] memoizes them behind an [`Arc`], keyed by the workload's
+//! structural [`signature`](apex_query::CompiledWorkload::signature), the
+//! strategy, and the full Monte-Carlo configuration. The cached translator
+//! is reused byte-for-byte, so caching cannot change any engine decision —
+//! it only removes the rebuild (determinism of the analyzer is preserved
+//! trivially: the cached value *is* the value that would be rebuilt).
+//!
+//! The engine-facing ownership lives in `apex-core` (`ApexEngine` holds
+//! one cache per engine and threads it through mechanism selection); this
+//! module only provides the storage, because the artifact types are
+//! defined here.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use apex_query::Strategy;
+
+use crate::sm::SmArtifacts;
+use crate::MechError;
+
+/// Cache key: everything the artifacts depend on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SmCacheKey {
+    /// Structural signature of the compiled workload (shape + sparsity
+    /// pattern + values — effectively the partition signature).
+    pub workload_signature: u64,
+    /// The strategy the mechanism answers through.
+    pub strategy: Strategy,
+    /// Monte-Carlo sample count `N`.
+    pub samples: usize,
+    /// Monte-Carlo RNG seed.
+    pub seed: u64,
+    /// Bit pattern of the binary-search tolerance (f64 is not `Hash`).
+    pub tolerance_bits: u64,
+}
+
+/// Running hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to build.
+    pub misses: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<SmCacheKey, Arc<SmArtifacts>>,
+    stats: CacheStats,
+}
+
+/// A thread-safe memo table for [`SmArtifacts`].
+#[derive(Debug, Default)]
+pub struct SmCache {
+    inner: Mutex<Inner>,
+}
+
+impl SmCache {
+    /// An empty cache behind an [`Arc`] (the shape every holder wants).
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Returns the cached artifacts for `key`, building them with `build`
+    /// on a miss. The build runs outside the lock, so a slow build never
+    /// blocks hits on other keys; concurrent misses on the same key may
+    /// build twice, which is harmless (both builds are deterministic and
+    /// identical — last insert wins).
+    ///
+    /// # Errors
+    /// Propagates the builder's error without caching it.
+    pub fn get_or_build(
+        &self,
+        key: SmCacheKey,
+        build: impl FnOnce() -> Result<SmArtifacts, MechError>,
+    ) -> Result<Arc<SmArtifacts>, MechError> {
+        if let Some(hit) = {
+            let mut inner = self.inner.lock().expect("no poisoning");
+            let hit = inner.map.get(&key).cloned();
+            if hit.is_some() {
+                inner.stats.hits += 1;
+            }
+            hit
+        } {
+            return Ok(hit);
+        }
+        let built = Arc::new(build()?);
+        let mut inner = self.inner.lock().expect("no poisoning");
+        inner.stats.misses += 1;
+        inner.map.insert(key, built.clone());
+        Ok(built)
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().expect("no poisoning").stats
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("no poisoning").map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached entry (counters are kept).
+    pub fn clear(&self) {
+        self.inner.lock().expect("no poisoning").map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mc::{McConfig, McTranslator};
+    use apex_linalg::{CsrMatrix, Matrix};
+
+    fn key(sig: u64) -> SmCacheKey {
+        SmCacheKey {
+            workload_signature: sig,
+            strategy: Strategy::H2,
+            samples: 10,
+            seed: 1,
+            tolerance_bits: 1e-3_f64.to_bits(),
+        }
+    }
+
+    fn artifacts() -> SmArtifacts {
+        let i = Matrix::identity(2);
+        SmArtifacts {
+            workload: CsrMatrix::identity(2),
+            strategy: CsrMatrix::identity(2),
+            strat_sensitivity: 1.0,
+            recon: i.clone(),
+            translator: McTranslator::with_sensitivity(
+                &i,
+                1.0,
+                McConfig {
+                    samples: 10,
+                    ..Default::default()
+                },
+            ),
+        }
+    }
+
+    #[test]
+    fn hit_returns_same_arc() {
+        let cache = SmCache::new();
+        let a = cache.get_or_build(key(7), || Ok(artifacts())).unwrap();
+        let b = cache
+            .get_or_build(key(7), || panic!("must not rebuild"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_build_separately() {
+        let cache = SmCache::new();
+        cache.get_or_build(key(1), || Ok(artifacts())).unwrap();
+        cache.get_or_build(key(2), || Ok(artifacts())).unwrap();
+        let mut k = key(1);
+        k.samples = 11;
+        cache.get_or_build(k, || Ok(artifacts())).unwrap();
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = SmCache::new();
+        let err = cache.get_or_build(key(9), || Err(MechError::BadK { k: 1, workload: 0 }));
+        assert!(err.is_err());
+        assert_eq!(cache.len(), 0);
+        // A later successful build for the same key works.
+        cache.get_or_build(key(9), || Ok(artifacts())).unwrap();
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties_the_map() {
+        let cache = SmCache::new();
+        cache.get_or_build(key(3), || Ok(artifacts())).unwrap();
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

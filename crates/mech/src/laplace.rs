@@ -20,7 +20,10 @@ impl Laplace {
     /// Panics if `b` is not strictly positive and finite — a scale of zero
     /// would make a mechanism silently non-private.
     pub fn new(b: f64) -> Self {
-        assert!(b.is_finite() && b > 0.0, "Laplace scale must be positive and finite, got {b}");
+        assert!(
+            b.is_finite() && b > 0.0,
+            "Laplace scale must be positive and finite, got {b}"
+        );
         Self { b }
     }
 
@@ -67,7 +70,10 @@ impl Laplace {
 
     /// The quantile function (inverse CDF).
     pub fn quantile(&self, p: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&p), "quantile needs p in [0,1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "quantile needs p in [0,1], got {p}"
+        );
         if p == 0.0 {
             return f64::NEG_INFINITY;
         }
@@ -143,7 +149,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let n = 100_000;
         let t = 2.0;
-        let exceed = d.sample_vec(n, &mut rng).iter().filter(|x| x.abs() > t).count();
+        let exceed = d
+            .sample_vec(n, &mut rng)
+            .iter()
+            .filter(|x| x.abs() > t)
+            .count();
         let expected = d.abs_tail(t); // e^-2 ≈ 0.1353
         let frac = exceed as f64 / n as f64;
         assert!((frac - expected).abs() < 0.01, "frac {frac} vs {expected}");

@@ -21,6 +21,7 @@
 //! the Monte-Carlo accuracy-to-privacy translator [`mc`] used by the
 //! strategy mechanism.
 
+pub mod cache;
 pub mod laplace;
 pub mod lm;
 pub mod ltm;
@@ -32,14 +33,15 @@ pub mod relax;
 pub mod sm;
 pub mod traits;
 
+pub use cache::{CacheStats, SmCache, SmCacheKey};
 pub use laplace::Laplace;
 pub use lm::LaplaceMechanism;
 pub use ltm::LaplaceTopKMechanism;
 pub use mpm::MultiPokingMechanism;
 pub use prepared::PreparedQuery;
-pub use registry::mechanisms_for;
+pub use registry::{mechanisms_for, mechanisms_for_cached};
 pub use relax::relax_laplace;
-pub use sm::StrategyMechanism;
+pub use sm::{SmArtifacts, StrategyMechanism};
 pub use traits::{MechError, MechOutput, Mechanism, Translation};
 
 /// Numerical floor for translated privacy costs: extremely loose accuracy

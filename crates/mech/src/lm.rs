@@ -45,7 +45,10 @@ impl LaplaceMechanism {
             }
             QueryKind::Tcq { k } => {
                 if k > q.n_queries() {
-                    return Err(MechError::BadK { k, workload: q.n_queries() });
+                    return Err(MechError::BadK {
+                        k,
+                        workload: q.n_queries(),
+                    });
                 }
                 sens * 2.0 * (l / (2.0 * beta)).ln() / alpha
             }
@@ -92,7 +95,10 @@ impl Mechanism for LaplaceMechanism {
             ),
             QueryKind::Tcq { k } => QueryAnswer::Bins(top_k_indices(&noisy, k)),
         };
-        Ok(MechOutput { answer, epsilon: eps })
+        Ok(MechOutput {
+            answer,
+            epsilon: eps,
+        })
     }
 }
 
@@ -104,7 +110,11 @@ mod tests {
     use rand::SeedableRng;
 
     fn schema() -> Schema {
-        Schema::new(vec![Attribute::new("v", Domain::IntRange { min: 0, max: 99 })]).unwrap()
+        Schema::new(vec![Attribute::new(
+            "v",
+            Domain::IntRange { min: 0, max: 99 },
+        )])
+        .unwrap()
     }
 
     fn data() -> Dataset {

@@ -26,7 +26,10 @@ impl LaplaceTopKMechanism {
         match q.kind() {
             QueryKind::Tcq { k } => {
                 if k > q.n_queries() {
-                    return Err(MechError::BadK { k, workload: q.n_queries() });
+                    return Err(MechError::BadK {
+                        k,
+                        workload: q.n_queries(),
+                    });
                 }
                 let l = q.n_queries() as f64;
                 let eps = 2.0 * k as f64 * (l / (2.0 * acc.beta())).ln() / acc.alpha();
@@ -64,22 +67,33 @@ impl Mechanism for LaplaceTopKMechanism {
         };
         let b = k as f64 / eps;
         let lap = Laplace::new(b);
-        let noisy: Vec<f64> =
-            q.compiled().true_answer(data).iter().map(|v| v + lap.sample(rng)).collect();
-        Ok(MechOutput { answer: QueryAnswer::Bins(top_k_indices(&noisy, k)), epsilon: eps })
+        let noisy: Vec<f64> = q
+            .compiled()
+            .true_answer(data)
+            .iter()
+            .map(|v| v + lap.sample(rng))
+            .collect();
+        Ok(MechOutput {
+            answer: QueryAnswer::Bins(top_k_indices(&noisy, k)),
+            epsilon: eps,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::LaplaceMechanism;
     use apex_data::{Attribute, Dataset, Domain, Predicate, Schema, Value};
     use apex_query::ExplorationQuery;
-    use crate::LaplaceMechanism;
     use rand::SeedableRng;
 
     fn schema() -> Schema {
-        Schema::new(vec![Attribute::new("v", Domain::IntRange { min: 0, max: 19 })]).unwrap()
+        Schema::new(vec![Attribute::new(
+            "v",
+            Domain::IntRange { min: 0, max: 19 },
+        )])
+        .unwrap()
     }
 
     fn data() -> Dataset {
@@ -110,11 +124,17 @@ mod tests {
     fn cost_is_linear_in_k_and_independent_of_sensitivity() {
         let acc = AccuracySpec::new(25.0, 0.0005).unwrap();
         let e1 = LaplaceTopKMechanism
-            .translate(&PreparedQuery::prepare(&schema(), &tcq(20, 1)).unwrap(), &acc)
+            .translate(
+                &PreparedQuery::prepare(&schema(), &tcq(20, 1)).unwrap(),
+                &acc,
+            )
             .unwrap()
             .upper;
         let e5 = LaplaceTopKMechanism
-            .translate(&PreparedQuery::prepare(&schema(), &tcq(20, 5)).unwrap(), &acc)
+            .translate(
+                &PreparedQuery::prepare(&schema(), &tcq(20, 5)).unwrap(),
+                &acc,
+            )
             .unwrap()
             .upper;
         assert!((e5 / e1 - 5.0).abs() < 1e-9);
@@ -122,7 +142,9 @@ mod tests {
         // High-sensitivity workload: overlapping prefix bins. LTM cost
         // must not change; LM cost must scale with ‖W‖₁.
         let prefix = ExplorationQuery::tcq(
-            (1..=20).map(|i| Predicate::range("v", 0.0, i as f64)).collect(),
+            (1..=20)
+                .map(|i| Predicate::range("v", 0.0, i as f64))
+                .collect(),
             5,
         );
         let qp = PreparedQuery::prepare(&schema(), &prefix).unwrap();
@@ -156,7 +178,10 @@ mod tests {
             assert_eq!(bins.len(), 3);
             // Separation (50/bin) ≥ ck ± α: the true top 3 must appear.
             let set: std::collections::HashSet<_> = bins.iter().collect();
-            assert!(set.contains(&0) && set.contains(&1) && set.contains(&2), "{bins:?}");
+            assert!(
+                set.contains(&0) && set.contains(&1) && set.contains(&2),
+                "{bins:?}"
+            );
         }
     }
 

@@ -15,12 +15,46 @@
 //! estimator at each candidate is identical to the paper's; sharing the
 //! sample only removes simulation noise *between* candidates (making the
 //! search strictly better behaved).
+//!
+//! # The batched fast path
+//!
+//! Simulating the `N` unit-scale errors one noise vector at a time makes
+//! each output element a strict left-to-right dot product — a loop-carried
+//! floating-point dependency the compiler must execute serially. The fast
+//! path instead samples noise vectors in column blocks `E ∈ ℝ^{l × B}` and
+//! computes `(W A⁺) · E` with [`apex_linalg::matmul_batched`], whose kernel
+//! keeps the per-element accumulation order identical (ascending `k`) but
+//! iterates independent output columns innermost — vectorizable, cache
+//! blocked, and thread-parallel across output rows under `apex-linalg`'s
+//! `par` feature.
+//!
+//! Determinism is load-bearing (the privacy analyzer's deny decision must
+//! be a pure function of its inputs), so each sample index draws from its
+//! **own seeded RNG stream** derived from `(cfg.seed, index)`. Blocking and
+//! thread count therefore cannot reorder sampling, and the batched path is
+//! **bit-identical** to the serial reference path
+//! ([`McTranslator::new_serial`]) — pinned down by property tests.
+//!
+//! Compatibility note: per-sample streams are a deliberate break from the
+//! earlier formulation, which drew all `N` noise vectors sequentially from
+//! one `StdRng::seed_from_u64(cfg.seed)` stream. A given `(seed, inputs)`
+//! pair therefore translates to a (statistically equivalent but)
+//! numerically different ε than pre-rewrite code would have produced. The
+//! determinism guarantee is *within* a build — same inputs, same ε, any
+//! thread count — not across this revision boundary; nothing persisted
+//! (budgets, transcripts) encodes pre-rewrite ε values, so no stored state
+//! can go stale.
 
-use apex_linalg::{frobenius_norm, l1_operator_norm, Matrix};
+use apex_linalg::{frobenius_norm, l1_operator_norm, matmul_batched_bt, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::Laplace;
+
+/// Samples per noise block in the batched path: large enough to amortize
+/// the kernel setup, small enough that a block (`l × 512` doubles) stays
+/// in cache for realistic strategy sizes.
+const SAMPLE_BLOCK: usize = 512;
 
 /// z-score for the (1 − p/2) normal quantile used in the confidence band.
 fn z_score(p: f64) -> f64 {
@@ -92,7 +126,11 @@ pub struct McConfig {
 
 impl Default for McConfig {
     fn default() -> Self {
-        Self { samples: 10_000, tolerance: 1e-3, seed: 0x4150_4578 /* "APEx" */ }
+        Self {
+            samples: 10_000,
+            tolerance: 1e-3,
+            seed: 0x4150_4578, /* "APEx" */
+        }
     }
 }
 
@@ -110,30 +148,65 @@ pub struct McTranslator {
     cfg: McConfig,
 }
 
+/// The per-sample RNG stream: SplitMix64-style mixing of `(seed, index)`
+/// so every sample owns an independent, reorder-proof stream.
+fn sample_stream(seed: u64, index: u64) -> StdRng {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
 impl McTranslator {
     /// Prepares the translator by simulating `cfg.samples` unit-scale
-    /// reconstruction errors for `recon = W A⁺`.
+    /// reconstruction errors for `recon = W A⁺` via the batched fast path.
+    ///
+    /// `strategy` is consulted only for its sensitivity `‖A‖₁`; use
+    /// [`McTranslator::with_sensitivity`] when the strategy is held in CSR
+    /// form and the norm is already known.
     pub fn new(recon: &Matrix, strategy: &Matrix, cfg: McConfig) -> Self {
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let unit = Laplace::new(1.0);
-        let l = recon.cols();
-        let mut unit_errors: Vec<f64> = (0..cfg.samples)
-            .map(|_| {
-                let eta = unit.sample_vec(l, &mut rng);
-                recon
-                    .matvec(&eta)
-                    .expect("noise length matches recon columns")
-                    .iter()
-                    .fold(0.0_f64, |m, v| m.max(v.abs()))
-            })
-            .collect();
-        unit_errors.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Self::with_sensitivity(recon, l1_operator_norm(strategy), cfg)
+    }
+
+    /// [`McTranslator::new`] with a precomputed strategy sensitivity
+    /// `‖A‖₁` — the batched (default) construction path.
+    pub fn with_sensitivity(recon: &Matrix, strat_sensitivity: f64, cfg: McConfig) -> Self {
+        let unit_errors = unit_errors_batched(recon, cfg.samples, cfg.seed);
+        Self::from_unit_errors(recon, strat_sensitivity, cfg, unit_errors)
+    }
+
+    /// The serial reference construction: one noise vector and one dense
+    /// `matvec` per sample. Kept (and exported) because the batched path's
+    /// correctness claim is "bit-identical to this" — property tests and
+    /// the `mc_translate` benchmark compare the two directly.
+    pub fn new_serial(recon: &Matrix, strat_sensitivity: f64, cfg: McConfig) -> Self {
+        let unit_errors = unit_errors_serial(recon, cfg.samples, cfg.seed);
+        Self::from_unit_errors(recon, strat_sensitivity, cfg, unit_errors)
+    }
+
+    fn from_unit_errors(
+        recon: &Matrix,
+        strat_sensitivity: f64,
+        cfg: McConfig,
+        mut unit_errors: Vec<f64>,
+    ) -> Self {
+        // total_cmp: NaN-safe (a NaN in the samples must not panic the
+        // analyzer; it sorts to the top and behaves as an always-failing
+        // sample, which is the conservative direction).
+        unit_errors.sort_by(f64::total_cmp);
         Self {
-            strat_sensitivity: l1_operator_norm(strategy),
+            strat_sensitivity,
             recon_frobenius: frobenius_norm(recon),
             unit_errors,
             cfg,
         }
+    }
+
+    /// The sorted unit-scale error maxima backing the estimator (ascending;
+    /// exposed so determinism tests can compare construction paths
+    /// byte-for-byte).
+    pub fn unit_errors(&self) -> &[f64] {
+        &self.unit_errors
     }
 
     /// Algorithm 3's `estimateBeta`: whether privacy cost `eps` meets the
@@ -142,10 +215,19 @@ impl McTranslator {
     /// The empirical failure rate is `βₑ = #{mᵢ·b > α}/N` with
     /// `b = ‖A‖₁/ε`; the test passes when `βₑ + δβ + p/2 < β` with
     /// `δβ = z_{1−p/2} √(βₑ(1−βₑ)/N)` and `p = β/100`.
+    ///
+    /// With an empty sample set there is no evidence at all, so the test
+    /// conservatively fails for every `eps` (`translate` then returns the
+    /// Chebyshev upper bound unchanged).
     pub fn estimate_beta_ok(&self, eps: f64, alpha: f64, beta: f64) -> bool {
+        if self.unit_errors.is_empty() {
+            return false;
+        }
         let b = self.strat_sensitivity / eps;
         let threshold = alpha / b;
-        // Errors are sorted ascending: failures are those > threshold.
+        // Errors are sorted ascending (total order, NaN last): failures are
+        // those > threshold, so `partition_point(≤ threshold)` finds the
+        // first failure even when NaNs are present.
         let first_fail = self.unit_errors.partition_point(|&m| m <= threshold);
         let nf = self.unit_errors.len() - first_fail;
         let n = self.unit_errors.len() as f64;
@@ -159,7 +241,12 @@ impl McTranslator {
     /// achieves `(α, β)` accuracy, found by binary search below the
     /// Chebyshev bound `ε ≤ ‖A‖₁·‖W A⁺‖_F / (α·√(β/2))` (Theorem A.1).
     pub fn translate(&self, alpha: f64, beta: f64) -> f64 {
-        let mut hi = self.strat_sensitivity * self.recon_frobenius / (alpha * (beta / 2.0).sqrt());
+        let hi = self.strat_sensitivity * self.recon_frobenius / (alpha * (beta / 2.0).sqrt());
+        if self.unit_errors.is_empty() {
+            // No simulation evidence: return the closed-form bound.
+            return hi;
+        }
+        let mut hi = hi;
         let mut lo = 0.0_f64;
         debug_assert!(self.estimate_beta_ok(hi, alpha, beta) || hi == 0.0);
         // Invariant: hi always satisfies the accuracy test; lo never does.
@@ -173,6 +260,63 @@ impl McTranslator {
         }
         hi
     }
+}
+
+/// The serial reference simulation: per sample, draw `l` unit-Laplace
+/// variables from the sample's own stream and reduce `‖recon · η‖∞` with a
+/// dense `matvec`. `O(N · L · l)` with a strictly serial inner reduction.
+pub fn unit_errors_serial(recon: &Matrix, samples: usize, seed: u64) -> Vec<f64> {
+    let unit = Laplace::new(1.0);
+    let l = recon.cols();
+    (0..samples)
+        .map(|i| {
+            let mut rng = sample_stream(seed, i as u64);
+            let eta = unit.sample_vec(l, &mut rng);
+            recon
+                .matvec(&eta)
+                .expect("noise length matches recon columns")
+                .iter()
+                .fold(0.0_f64, |m, v| m.max(v.abs()))
+        })
+        .collect()
+}
+
+/// The batched simulation: noise vectors are drawn per sample stream into
+/// `l × B` column blocks and reduced through the blocked (and, with
+/// `apex-linalg`'s `par` feature, thread-parallel) dense product. Same
+/// floating-point operation sequence per output element as
+/// [`unit_errors_serial`] — the results are bit-identical.
+pub fn unit_errors_batched(recon: &Matrix, samples: usize, seed: u64) -> Vec<f64> {
+    let unit = Laplace::new(1.0);
+    let l = recon.cols();
+    let rows = recon.rows();
+    let mut errors = vec![0.0_f64; samples];
+    let mut start = 0;
+    while start < samples {
+        let bs = SAMPLE_BLOCK.min(samples - start);
+        // Row j of the (transposed-storage) block is sample `start + j`'s
+        // noise vector — generated as one contiguous write.
+        let mut e_t = Matrix::zeros(bs, l);
+        for j in 0..bs {
+            let mut rng = sample_stream(seed, (start + j) as u64);
+            for v in e_t.row_mut(j) {
+                *v = unit.sample(&mut rng);
+            }
+        }
+        // r[i][j] = Σ_k recon[i][k] · η_{start+j}[k], k ascending — the
+        // same operation sequence as the serial matvec.
+        let r = matmul_batched_bt(recon, &e_t).expect("block shape matches recon columns");
+        // Streaming ℓ∞ reduction: per column j the max-fold still runs
+        // over i ascending, exactly like the serial path's fold.
+        let maxs = &mut errors[start..start + bs];
+        for i in 0..rows {
+            for (mx, v) in maxs.iter_mut().zip(r.row(i)) {
+                *mx = mx.max(v.abs());
+            }
+        }
+        start += bs;
+    }
+    errors
 }
 
 #[cfg(test)]
@@ -195,17 +339,34 @@ mod tests {
     #[test]
     fn translate_matches_scalar_laplace_closed_form() {
         let i1 = Matrix::identity(1);
-        let t = McTranslator::new(&i1, &i1, McConfig { samples: 40_000, ..Default::default() });
+        let t = McTranslator::new(
+            &i1,
+            &i1,
+            McConfig {
+                samples: 40_000,
+                ..Default::default()
+            },
+        );
         let (alpha, beta) = (10.0, 0.05);
         let eps = t.translate(alpha, beta);
         let exact = (1.0 / beta).ln() / alpha;
-        assert!(eps >= exact * 0.95 && eps <= exact * 1.35, "eps {eps} vs exact {exact}");
+        assert!(
+            eps >= exact * 0.95 && eps <= exact * 1.35,
+            "eps {eps} vs exact {exact}"
+        );
     }
 
     #[test]
     fn translate_is_monotone_in_alpha() {
         let i = Matrix::identity(4);
-        let t = McTranslator::new(&i, &i, McConfig { samples: 5_000, ..Default::default() });
+        let t = McTranslator::new(
+            &i,
+            &i,
+            McConfig {
+                samples: 5_000,
+                ..Default::default()
+            },
+        );
         let e1 = t.translate(5.0, 0.05);
         let e2 = t.translate(10.0, 0.05);
         let e3 = t.translate(20.0, 0.05);
@@ -217,7 +378,14 @@ mod tests {
     #[test]
     fn translate_is_monotone_in_beta() {
         let i = Matrix::identity(4);
-        let t = McTranslator::new(&i, &i, McConfig { samples: 5_000, ..Default::default() });
+        let t = McTranslator::new(
+            &i,
+            &i,
+            McConfig {
+                samples: 5_000,
+                ..Default::default()
+            },
+        );
         let tight = t.translate(10.0, 0.01);
         let loose = t.translate(10.0, 0.2);
         assert!(tight > loose);
@@ -226,7 +394,14 @@ mod tests {
     #[test]
     fn estimate_beta_ok_is_monotone_in_eps() {
         let i = Matrix::identity(3);
-        let t = McTranslator::new(&i, &i, McConfig { samples: 5_000, ..Default::default() });
+        let t = McTranslator::new(
+            &i,
+            &i,
+            McConfig {
+                samples: 5_000,
+                ..Default::default()
+            },
+        );
         let eps_star = t.translate(10.0, 0.05);
         assert!(t.estimate_beta_ok(eps_star * 2.0, 10.0, 0.05));
         assert!(!t.estimate_beta_ok(eps_star * 0.5, 10.0, 0.05));
@@ -238,5 +413,78 @@ mod tests {
         let a = McTranslator::new(&i, &i, McConfig::default()).translate(5.0, 0.1);
         let b = McTranslator::new(&i, &i, McConfig::default()).translate(5.0, 0.1);
         assert_eq!(a, b);
+    }
+
+    /// A dense pseudo-random reconstruction matrix for parity tests.
+    fn dense_recon(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::from_vec(
+            rows,
+            cols,
+            (0..rows * cols)
+                .map(|_| rand::Rng::gen::<f64>(&mut rng) - 0.5)
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn batched_is_bit_identical_to_serial() {
+        // Shapes straddling the block size, including non-multiples.
+        for (rows, cols, n) in [(3, 7, 10), (17, 33, 700), (5, 64, 1025)] {
+            let recon = dense_recon(rows, cols, 7 + rows as u64);
+            let serial = unit_errors_serial(&recon, n, 0xA5A5);
+            let batched = unit_errors_batched(&recon, n, 0xA5A5);
+            assert_eq!(serial.len(), batched.len());
+            for (i, (s, b)) in serial.iter().zip(&batched).enumerate() {
+                assert_eq!(
+                    s.to_bits(),
+                    b.to_bits(),
+                    "sample {i} differs ({rows}x{cols}, N={n})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn serial_and_batched_translators_agree_exactly() {
+        let recon = dense_recon(6, 11, 3);
+        let cfg = McConfig {
+            samples: 2_000,
+            ..Default::default()
+        };
+        let a = McTranslator::with_sensitivity(&recon, 4.0, cfg);
+        let b = McTranslator::new_serial(&recon, 4.0, cfg);
+        assert_eq!(a.unit_errors(), b.unit_errors());
+        assert_eq!(a.translate(20.0, 0.05), b.translate(20.0, 0.05));
+    }
+
+    #[test]
+    fn empty_sample_set_is_conservative() {
+        let i1 = Matrix::identity(1);
+        let t = McTranslator::new(
+            &i1,
+            &i1,
+            McConfig {
+                samples: 0,
+                ..Default::default()
+            },
+        );
+        assert!(t.unit_errors().is_empty());
+        // No evidence: every candidate fails the test...
+        assert!(!t.estimate_beta_ok(1e6, 10.0, 0.05));
+        // ...and translate falls back to the closed-form Chebyshev bound.
+        let (alpha, beta) = (10.0, 0.05);
+        let chebyshev = 1.0 * 1.0 / (alpha * (beta / 2.0_f64).sqrt());
+        assert_eq!(t.translate(alpha, beta), chebyshev);
+    }
+
+    #[test]
+    fn per_sample_streams_are_independent_of_order() {
+        // Stream derivation depends only on (seed, index): sampling a
+        // prefix yields a prefix.
+        let recon = dense_recon(4, 9, 11);
+        let all = unit_errors_serial(&recon, 50, 99);
+        let prefix = unit_errors_serial(&recon, 20, 99);
+        assert_eq!(&all[..20], &prefix[..]);
     }
 }

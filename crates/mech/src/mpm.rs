@@ -68,7 +68,10 @@ impl Mechanism for MultiPokingMechanism {
         match q.kind() {
             QueryKind::Icq { .. } => {
                 let upper = self.eps_max(q, acc);
-                Ok(Translation { lower: upper / self.m as f64, upper })
+                Ok(Translation {
+                    lower: upper / self.m as f64,
+                    upper,
+                })
             }
             other => Err(unsupported("MPM", other)),
         }
@@ -94,8 +97,12 @@ impl Mechanism for MultiPokingMechanism {
         let beta = acc.beta();
 
         // True differences W x − c (computed once; pokes only change noise).
-        let diffs: Vec<f64> =
-            q.compiled().true_answer(data).iter().map(|v| v - threshold).collect();
+        let diffs: Vec<f64> = q
+            .compiled()
+            .true_answer(data)
+            .iter()
+            .map(|v| v - threshold)
+            .collect();
 
         // Poke 0 at ε₀ = ε_max / m.
         let mut eps_i = eps_max / m as f64;
@@ -123,7 +130,10 @@ impl Mechanism for MultiPokingMechanism {
                 }
             }
             if all_decided {
-                return Ok(MechOutput { answer: QueryAnswer::Bins(positive), epsilon: eps_i });
+                return Ok(MechOutput {
+                    answer: QueryAnswer::Bins(positive),
+                    epsilon: eps_i,
+                });
             }
 
             // Relax: refine every bin's noise to the next privacy level.
@@ -144,20 +154,27 @@ impl Mechanism for MultiPokingMechanism {
             .filter(|(j, d)| *d + noise[*j] > 0.0)
             .map(|(j, _)| j)
             .collect();
-        Ok(MechOutput { answer: QueryAnswer::Bins(positive), epsilon: eps_max })
+        Ok(MechOutput {
+            answer: QueryAnswer::Bins(positive),
+            epsilon: eps_max,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::LaplaceMechanism;
     use apex_data::{Attribute, Dataset, Domain, Predicate, Schema, Value};
     use apex_query::ExplorationQuery;
-    use crate::LaplaceMechanism;
     use rand::SeedableRng;
 
     fn schema() -> Schema {
-        Schema::new(vec![Attribute::new("v", Domain::IntRange { min: 0, max: 9 })]).unwrap()
+        Schema::new(vec![Attribute::new(
+            "v",
+            Domain::IntRange { min: 0, max: 9 },
+        )])
+        .unwrap()
     }
 
     /// Counts per value bin given explicitly.
@@ -172,10 +189,7 @@ mod tests {
     }
 
     fn icq(bins: usize, c: f64) -> ExplorationQuery {
-        ExplorationQuery::icq(
-            (0..bins).map(|i| Predicate::eq("v", i as i64)).collect(),
-            c,
-        )
+        ExplorationQuery::icq((0..bins).map(|i| Predicate::eq("v", i as i64)).collect(), c)
     }
 
     #[test]
@@ -215,7 +229,12 @@ mod tests {
         let t = mpm.translate(&q, &acc).unwrap();
         let mut rng = StdRng::seed_from_u64(8);
         let out = mpm.run(&q, &acc, &d, &mut rng).unwrap();
-        assert!(out.epsilon <= t.upper * 0.31, "ε {} vs εu {}", out.epsilon, t.upper);
+        assert!(
+            out.epsilon <= t.upper * 0.31,
+            "ε {} vs εu {}",
+            out.epsilon,
+            t.upper
+        );
         assert_eq!(out.answer.as_bins().unwrap(), &[0, 1]);
     }
 

@@ -22,7 +22,10 @@ impl PreparedQuery {
     /// empty workloads, domain blow-up).
     pub fn prepare(schema: &Schema, query: &ExplorationQuery) -> Result<Self, WorkloadError> {
         let compiled = CompiledWorkload::compile(schema, &query.workload)?;
-        Ok(Self { compiled, kind: query.kind })
+        Ok(Self {
+            compiled,
+            kind: query.kind,
+        })
     }
 
     /// The compiled workload (matrix + partition + sensitivity).
@@ -52,13 +55,19 @@ mod tests {
     use apex_data::{Attribute, Domain, Predicate};
 
     fn schema() -> Schema {
-        Schema::new(vec![Attribute::new("v", Domain::IntRange { min: 0, max: 9 })]).unwrap()
+        Schema::new(vec![Attribute::new(
+            "v",
+            Domain::IntRange { min: 0, max: 9 },
+        )])
+        .unwrap()
     }
 
     #[test]
     fn prepare_histogram_query() {
         let q = ExplorationQuery::wcq(
-            (0..5).map(|i| Predicate::range("v", (2 * i) as f64, (2 * i + 2) as f64)).collect(),
+            (0..5)
+                .map(|i| Predicate::range("v", (2 * i) as f64, (2 * i + 2) as f64))
+                .collect(),
         );
         let p = PreparedQuery::prepare(&schema(), &q).unwrap();
         assert_eq!(p.n_queries(), 5);

@@ -1,8 +1,12 @@
 //! The mechanism registry: which mechanisms apply to each query type
 //! (Algorithm 1, Line 4).
 
+use std::sync::Arc;
+
 use apex_query::QueryKind;
 
+use crate::cache::SmCache;
+use crate::mc::McConfig;
 use crate::{
     LaplaceMechanism, LaplaceTopKMechanism, Mechanism, MultiPokingMechanism, StrategyMechanism,
 };
@@ -14,11 +18,33 @@ use crate::{
 /// * ICQ — `LM`, `SM` (H2), `MPM`
 /// * TCQ — `LM`, `LTM`
 pub fn mechanisms_for(kind: QueryKind) -> Vec<Box<dyn Mechanism>> {
+    mechanisms_for_cached(kind, None)
+}
+
+/// [`mechanisms_for`], with the strategy mechanism wired to a shared
+/// artifact cache (pseudoinverse + Monte-Carlo translator) when one is
+/// provided. The engine in `apex-core` passes its per-engine cache here so
+/// repeated queries over the same domain partition skip the `O(n³)` QR and
+/// the MC resampling.
+pub fn mechanisms_for_cached(
+    kind: QueryKind,
+    cache: Option<Arc<SmCache>>,
+) -> Vec<Box<dyn Mechanism>> {
+    let sm = || -> Box<dyn Mechanism> {
+        match &cache {
+            Some(c) => Box::new(StrategyMechanism::with_cache(
+                apex_query::Strategy::H2,
+                McConfig::default(),
+                c.clone(),
+            )),
+            None => Box::new(StrategyMechanism::h2()),
+        }
+    };
     let mut out: Vec<Box<dyn Mechanism>> = vec![Box::new(LaplaceMechanism)];
     match kind {
-        QueryKind::Wcq => out.push(Box::new(StrategyMechanism::h2())),
+        QueryKind::Wcq => out.push(sm()),
         QueryKind::Icq { .. } => {
-            out.push(Box::new(StrategyMechanism::h2()));
+            out.push(sm());
             out.push(Box::new(MultiPokingMechanism::default()));
         }
         QueryKind::Tcq { .. } => out.push(Box::new(LaplaceTopKMechanism)),
@@ -43,6 +69,23 @@ mod tests {
         let ms = mechanisms_for(QueryKind::Icq { threshold: 1.0 });
         let names: Vec<_> = ms.iter().map(|m| m.name()).collect();
         assert_eq!(names, vec!["LM", "SM", "MPM"]);
+    }
+
+    #[test]
+    fn cached_suite_matches_uncached() {
+        let cache = SmCache::new();
+        for kind in [
+            QueryKind::Wcq,
+            QueryKind::Icq { threshold: 1.0 },
+            QueryKind::Tcq { k: 2 },
+        ] {
+            let plain: Vec<_> = mechanisms_for(kind).iter().map(|m| m.name()).collect();
+            let cached: Vec<_> = mechanisms_for_cached(kind, Some(cache.clone()))
+                .iter()
+                .map(|m| m.name())
+                .collect();
+            assert_eq!(plain, cached);
+        }
     }
 
     #[test]

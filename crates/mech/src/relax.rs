@@ -122,8 +122,9 @@ mod tests {
         let (e1, e2) = (0.5, 2.0);
         let src = Laplace::new(1.0 / e1);
         let n = 60_000;
-        let relaxed: Vec<f64> =
-            (0..n).map(|_| relax_laplace(src.sample(&mut rng), e1, e2, &mut rng)).collect();
+        let relaxed: Vec<f64> = (0..n)
+            .map(|_| relax_laplace(src.sample(&mut rng), e1, e2, &mut rng))
+            .collect();
         let ks = ks_against_laplace(relaxed, e2);
         // 99.9% KS critical ≈ 1.95/sqrt(60000) ≈ 0.008.
         assert!(ks < 0.009, "KS = {ks}");
@@ -138,7 +139,10 @@ mod tests {
         let n = 60_000;
         let mut xs = src.sample_vec(n, &mut rng);
         for w in eps.windows(2) {
-            xs = xs.into_iter().map(|x| relax_laplace(x, w[0], w[1], &mut rng)).collect();
+            xs = xs
+                .into_iter()
+                .map(|x| relax_laplace(x, w[0], w[1], &mut rng))
+                .collect();
         }
         let ks = ks_against_laplace(xs, eps[2]);
         assert!(ks < 0.009, "KS = {ks}");
@@ -158,7 +162,12 @@ mod tests {
             before += x.abs();
             after += y.abs();
         }
-        assert!(after < before * 0.25, "mean |noise| {} -> {}", before / n as f64, after / n as f64);
+        assert!(
+            after < before * 0.25,
+            "mean |noise| {} -> {}",
+            before / n as f64,
+            after / n as f64
+        );
     }
 
     #[test]

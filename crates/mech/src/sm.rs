@@ -1,14 +1,43 @@
 //! The strategy-based (matrix) mechanism — Algorithm 3 — for WCQ, and its
 //! ICQ adaptation via post-processing (Section 5.3.1).
 
+use std::sync::Arc;
+
 use apex_data::Dataset;
-use apex_linalg::{l1_operator_norm, pinv, Matrix};
+use apex_linalg::{pinv, CsrMatrix, Matrix};
 use apex_query::{AccuracySpec, QueryAnswer, QueryKind, Strategy};
 use rand::rngs::StdRng;
 
+use crate::cache::{SmCache, SmCacheKey};
 use crate::mc::{McConfig, McTranslator};
 use crate::traits::unsupported;
 use crate::{Laplace, MechError, MechOutput, Mechanism, PreparedQuery, Translation};
+
+/// Everything the strategy mechanism derives from a query's incidence
+/// structure: the CSR strategy matrix, its sensitivity, the dense
+/// reconstruction `W A⁺`, and the prepared Monte-Carlo translator.
+///
+/// Data-independent (only the compiled workload and the strategy go in),
+/// so it is safe to reuse across queries and analysts — see
+/// [`SmCache`].
+#[derive(Debug)]
+pub struct SmArtifacts {
+    /// The compiled workload incidence `W` these artifacts were built
+    /// from. Kept so cache hits can be verified against the querying
+    /// workload's actual structure — the cache key carries only a 64-bit
+    /// signature, and a hash collision must never hand one workload
+    /// another workload's reconstruction.
+    pub workload: CsrMatrix,
+    /// The strategy matrix `A` in sparse form.
+    pub strategy: CsrMatrix,
+    /// `‖A‖₁`.
+    pub strat_sensitivity: f64,
+    /// The dense reconstruction matrix `W A⁺` (numerically dense — the
+    /// one matrix worth keeping dense, see `apex_linalg::sparse`).
+    pub recon: Matrix,
+    /// The Monte-Carlo translator prepared for `recon`.
+    pub translator: McTranslator,
+}
 
 /// The strategy mechanism: answer a low-sensitivity strategy workload `A`
 /// with the Laplace mechanism and reconstruct the analyst's workload as
@@ -22,10 +51,18 @@ use crate::{Laplace, MechError, MechOutput, Mechanism, PreparedQuery, Translatio
 /// For ICQ (Section 5.3.1) the same mechanism is used with the noisy
 /// counts thresholded locally; the one-sided accuracy requirement lets it
 /// run the WCQ translation at `β_wcq = 2β`.
+///
+/// Matrix handling: `W` stays in CSR (products scale with nonzeros), `A`
+/// is built directly in CSR, and only the pseudoinverse-derived
+/// reconstruction is dense. When constructed
+/// [`with_cache`](StrategyMechanism::with_cache), the `O(n³)`
+/// pseudoinverse and the Monte-Carlo simulation are memoized per
+/// workload-signature.
 #[derive(Debug, Clone)]
 pub struct StrategyMechanism {
     strategy: Strategy,
     mc: McConfig,
+    cache: Option<Arc<SmCache>>,
 }
 
 impl StrategyMechanism {
@@ -36,7 +73,21 @@ impl StrategyMechanism {
 
     /// A strategy mechanism over an arbitrary strategy and MC settings.
     pub fn new(strategy: Strategy, mc: McConfig) -> Self {
-        Self { strategy, mc }
+        Self {
+            strategy,
+            mc,
+            cache: None,
+        }
+    }
+
+    /// Like [`StrategyMechanism::new`], but artifacts (pseudoinverse + MC
+    /// translator) are looked up in / inserted into `cache`.
+    pub fn with_cache(strategy: Strategy, mc: McConfig, cache: Arc<SmCache>) -> Self {
+        Self {
+            strategy,
+            mc,
+            cache: Some(cache),
+        }
     }
 
     /// The configured strategy.
@@ -44,13 +95,48 @@ impl StrategyMechanism {
         self.strategy
     }
 
-    /// Builds `A` and the reconstruction matrix `W A⁺` for a query.
-    fn build_matrices(&self, q: &PreparedQuery) -> Result<(Matrix, Matrix), MechError> {
-        let w = q.compiled().matrix();
-        let a = self.strategy.build(w.cols())?;
-        let a_pinv = pinv(&a)?;
+    /// Builds (or fetches) the derived artifacts for a query.
+    fn artifacts(&self, q: &PreparedQuery) -> Result<Arc<SmArtifacts>, MechError> {
+        match &self.cache {
+            None => Ok(Arc::new(self.build_artifacts(q)?)),
+            Some(cache) => {
+                let key = SmCacheKey {
+                    workload_signature: q.compiled().signature(),
+                    strategy: self.strategy,
+                    samples: self.mc.samples,
+                    seed: self.mc.seed,
+                    tolerance_bits: self.mc.tolerance.to_bits(),
+                };
+                let art = cache.get_or_build(key, || self.build_artifacts(q))?;
+                // Verify the hit: the key is a 64-bit hash, and analyst
+                // workloads are adversarial input in a DP engine. On a
+                // signature collision, fall back to an uncached build
+                // rather than answer with another workload's matrices.
+                if art.workload == *q.compiled().csr() {
+                    Ok(art)
+                } else {
+                    Ok(Arc::new(self.build_artifacts(q)?))
+                }
+            }
+        }
+    }
+
+    /// Builds `A` (CSR), `A⁺` (dense, QR-based), the reconstruction
+    /// `W A⁺` (sparse × dense product), and the MC translator.
+    fn build_artifacts(&self, q: &PreparedQuery) -> Result<SmArtifacts, MechError> {
+        let w = q.compiled().csr();
+        let a = self.strategy.build_csr(w.cols())?;
+        let a_pinv = pinv(&a.to_dense())?;
         let recon = w.matmul(&a_pinv)?;
-        Ok((a, recon))
+        let strat_sensitivity = a.l1_operator_norm();
+        let translator = McTranslator::with_sensitivity(&recon, strat_sensitivity, self.mc);
+        Ok(SmArtifacts {
+            workload: w.clone(),
+            strategy: a,
+            strat_sensitivity,
+            recon,
+            translator,
+        })
     }
 
     /// The effective WCQ-level failure probability for a query kind:
@@ -77,9 +163,8 @@ impl Mechanism for StrategyMechanism {
 
     fn translate(&self, q: &PreparedQuery, acc: &AccuracySpec) -> Result<Translation, MechError> {
         let beta = Self::effective_beta(q.kind(), acc.beta())?;
-        let (a, recon) = self.build_matrices(q)?;
-        let translator = McTranslator::new(&recon, &a, self.mc);
-        let eps = translator.translate(acc.alpha(), beta);
+        let art = self.artifacts(q)?;
+        let eps = art.translator.translate(acc.alpha(), beta);
         Ok(Translation::exact(eps))
     }
 
@@ -91,19 +176,18 @@ impl Mechanism for StrategyMechanism {
         rng: &mut StdRng,
     ) -> Result<MechOutput, MechError> {
         let beta = Self::effective_beta(q.kind(), acc.beta())?;
-        let (a, recon) = self.build_matrices(q)?;
-        let translator = McTranslator::new(&recon, &a, self.mc);
-        let eps = translator.translate(acc.alpha(), beta);
+        let art = self.artifacts(q)?;
+        let eps = art.translator.translate(acc.alpha(), beta);
 
         // ŷ = A x + Lap(‖A‖₁/ε)^l ; ω = (W A⁺) ŷ.
         let x = q.compiled().histogram(data);
-        let mut y = a.matvec(&x)?;
-        let b = l1_operator_norm(&a) / eps;
+        let mut y = art.strategy.matvec(&x)?;
+        let b = art.strat_sensitivity / eps;
         let lap = Laplace::new(b);
         for v in y.iter_mut() {
             *v += lap.sample(rng);
         }
-        let omega = recon.matvec(&y)?;
+        let omega = art.recon.matvec(&y)?;
 
         let answer = match q.kind() {
             QueryKind::Wcq => QueryAnswer::Counts(omega),
@@ -117,20 +201,27 @@ impl Mechanism for StrategyMechanism {
             ),
             QueryKind::Tcq { .. } => return Err(unsupported("SM", q.kind())),
         };
-        Ok(MechOutput { answer, epsilon: eps })
+        Ok(MechOutput {
+            answer,
+            epsilon: eps,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::LaplaceMechanism;
     use apex_data::{Attribute, Dataset, Domain, Predicate, Schema, Value};
     use apex_query::ExplorationQuery;
-    use crate::LaplaceMechanism;
     use rand::SeedableRng;
 
     fn schema() -> Schema {
-        Schema::new(vec![Attribute::new("v", Domain::IntRange { min: 0, max: 63 })]).unwrap()
+        Schema::new(vec![Attribute::new(
+            "v",
+            Domain::IntRange { min: 0, max: 63 },
+        )])
+        .unwrap()
     }
 
     fn data() -> Dataset {
@@ -145,12 +236,17 @@ mod tests {
 
     fn prefix_query(l: usize) -> ExplorationQuery {
         ExplorationQuery::wcq(
-            (1..=l).map(|i| Predicate::range("v", 0.0, (64 * i / l) as f64)).collect(),
+            (1..=l)
+                .map(|i| Predicate::range("v", 0.0, (64 * i / l) as f64))
+                .collect(),
         )
     }
 
     fn small_mc() -> McConfig {
-        McConfig { samples: 2_000, ..Default::default() }
+        McConfig {
+            samples: 2_000,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -172,14 +268,18 @@ mod tests {
     fn lm_beats_sm_on_disjoint_histograms() {
         // Conversely (Table 2, QW1): sensitivity-1 histograms are cheapest
         // via plain Laplace; H2 pays for answering the whole tree.
-        let hist: Vec<Predicate> =
-            (0..16).map(|i| Predicate::range("v", (4 * i) as f64, (4 * (i + 1)) as f64)).collect();
+        let hist: Vec<Predicate> = (0..16)
+            .map(|i| Predicate::range("v", (4 * i) as f64, (4 * (i + 1)) as f64))
+            .collect();
         let q = PreparedQuery::prepare(&schema(), &ExplorationQuery::wcq(hist)).unwrap();
         let acc = AccuracySpec::new(40.0, 0.05).unwrap();
         let sm = StrategyMechanism::new(Strategy::H2, small_mc());
         let e_sm = sm.translate(&q, &acc).unwrap().upper;
         let e_lm = LaplaceMechanism.translate(&q, &acc).unwrap().upper;
-        assert!(e_lm < e_sm, "LM should win on histograms: LM {e_lm} vs SM {e_sm}");
+        assert!(
+            e_lm < e_sm,
+            "LM should win on histograms: LM {e_lm} vs SM {e_sm}"
+        );
     }
 
     #[test]
@@ -208,18 +308,21 @@ mod tests {
         // The translator targets a failure probability just under β, so
         // the empirical rate should hover near β — allow 2β plus noise.
         let bound = (2.0 * beta * runs as f64 + 4.0) as usize;
-        assert!(failures <= bound, "failures = {failures} out of {runs} (bound {bound})");
+        assert!(
+            failures <= bound,
+            "failures = {failures} out of {runs} (bound {bound})"
+        );
     }
 
     #[test]
     fn icq_translation_is_cheaper_than_wcq() {
-        let preds: Vec<Predicate> =
-            (1..=16).map(|i| Predicate::range("v", 0.0, (4 * i) as f64)).collect();
+        let preds: Vec<Predicate> = (1..=16)
+            .map(|i| Predicate::range("v", 0.0, (4 * i) as f64))
+            .collect();
         let acc = AccuracySpec::new(40.0, 0.01).unwrap();
         let sm = StrategyMechanism::new(Strategy::H2, small_mc());
         let wcq = PreparedQuery::prepare(&schema(), &ExplorationQuery::wcq(preds.clone())).unwrap();
-        let icq =
-            PreparedQuery::prepare(&schema(), &ExplorationQuery::icq(preds, 100.0)).unwrap();
+        let icq = PreparedQuery::prepare(&schema(), &ExplorationQuery::icq(preds, 100.0)).unwrap();
         let ew = sm.translate(&wcq, &acc).unwrap().upper;
         let ei = sm.translate(&icq, &acc).unwrap().upper;
         assert!(ei < ew, "ICQ runs at 2β: {ei} vs {ew}");
@@ -227,8 +330,9 @@ mod tests {
 
     #[test]
     fn icq_run_returns_bins() {
-        let preds: Vec<Predicate> =
-            (0..8).map(|i| Predicate::range("v", (8 * i) as f64, (8 * (i + 1)) as f64)).collect();
+        let preds: Vec<Predicate> = (0..8)
+            .map(|i| Predicate::range("v", (8 * i) as f64, (8 * (i + 1)) as f64))
+            .collect();
         let q = PreparedQuery::prepare(&schema(), &ExplorationQuery::icq(preds, 250.0)).unwrap();
         let acc = AccuracySpec::new(100.0, 0.05).unwrap();
         let sm = StrategyMechanism::new(Strategy::H2, small_mc());
@@ -245,15 +349,117 @@ mod tests {
         let acc = AccuracySpec::new(10.0, 0.05).unwrap();
         let sm = StrategyMechanism::h2();
         assert!(!sm.supports(q.kind()));
-        assert!(matches!(sm.translate(&q, &acc), Err(MechError::Unsupported { .. })));
+        assert!(matches!(
+            sm.translate(&q, &acc),
+            Err(MechError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn cached_and_uncached_translations_are_identical() {
+        // Caching must be invisible to the analyzer: same ε bit-for-bit.
+        let q = PreparedQuery::prepare(&schema(), &prefix_query(16)).unwrap();
+        let acc = AccuracySpec::new(40.0, 0.05).unwrap();
+        let plain = StrategyMechanism::new(Strategy::H2, small_mc());
+        let cache = crate::cache::SmCache::new();
+        let cached = StrategyMechanism::with_cache(Strategy::H2, small_mc(), cache.clone());
+        let e_plain = plain.translate(&q, &acc).unwrap();
+        let e_cached_miss = cached.translate(&q, &acc).unwrap();
+        let e_cached_hit = cached.translate(&q, &acc).unwrap();
+        assert_eq!(e_plain, e_cached_miss);
+        assert_eq!(e_plain, e_cached_hit);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn cache_distinguishes_workloads_and_strategies() {
+        let cache = crate::cache::SmCache::new();
+        let acc = AccuracySpec::new(40.0, 0.05).unwrap();
+        let q16 = PreparedQuery::prepare(&schema(), &prefix_query(16)).unwrap();
+        let q8 = PreparedQuery::prepare(&schema(), &prefix_query(8)).unwrap();
+        let h2 = StrategyMechanism::with_cache(Strategy::H2, small_mc(), cache.clone());
+        let h4 = StrategyMechanism::with_cache(
+            Strategy::Hierarchical { branching: 4 },
+            small_mc(),
+            cache.clone(),
+        );
+        h2.translate(&q16, &acc).unwrap();
+        h2.translate(&q8, &acc).unwrap();
+        h4.translate(&q16, &acc).unwrap();
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn signature_collision_is_detected_and_bypassed() {
+        // Simulate a 64-bit signature collision by planting one workload's
+        // artifacts under another workload's cache key: the mechanism must
+        // notice the structural mismatch and rebuild instead of answering
+        // with the wrong reconstruction.
+        let acc = AccuracySpec::new(40.0, 0.05).unwrap();
+        let q8 = PreparedQuery::prepare(&schema(), &prefix_query(8)).unwrap();
+        let q16 = PreparedQuery::prepare(&schema(), &prefix_query(16)).unwrap();
+        let cache = crate::cache::SmCache::new();
+        let sm = StrategyMechanism::with_cache(Strategy::H2, small_mc(), cache.clone());
+
+        // Build q8's artifacts, then plant them under q16's key.
+        let q8_art = sm.artifacts(&q8).unwrap();
+        let poisoned_key = crate::cache::SmCacheKey {
+            workload_signature: q16.compiled().signature(),
+            strategy: Strategy::H2,
+            samples: small_mc().samples,
+            seed: small_mc().seed,
+            tolerance_bits: small_mc().tolerance.to_bits(),
+        };
+        cache
+            .get_or_build(poisoned_key, || {
+                Ok(SmArtifacts {
+                    workload: q8_art.workload.clone(),
+                    strategy: q8_art.strategy.clone(),
+                    strat_sensitivity: q8_art.strat_sensitivity,
+                    recon: q8_art.recon.clone(),
+                    translator: McTranslator::with_sensitivity(
+                        &q8_art.recon,
+                        q8_art.strat_sensitivity,
+                        small_mc(),
+                    ),
+                })
+            })
+            .unwrap();
+
+        // The "collided" entry must not leak into q16's translation.
+        let via_cache = sm.translate(&q16, &acc).unwrap();
+        let fresh = StrategyMechanism::new(Strategy::H2, small_mc())
+            .translate(&q16, &acc)
+            .unwrap();
+        assert_eq!(via_cache, fresh);
+    }
+
+    #[test]
+    fn cached_run_reuses_artifacts_and_stays_accurate() {
+        let q = PreparedQuery::prepare(&schema(), &prefix_query(8)).unwrap();
+        let acc = AccuracySpec::new(80.0, 0.1).unwrap();
+        let d = data();
+        let cache = crate::cache::SmCache::new();
+        let sm = StrategyMechanism::with_cache(Strategy::H2, small_mc(), cache.clone());
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..5 {
+            let out = sm.run(&q, &acc, &d, &mut rng).unwrap();
+            assert!(out.epsilon > 0.0);
+        }
+        // One build, nine hits (translate + run per call after the first).
+        assert_eq!(cache.stats().misses, 1);
+        assert!(cache.stats().hits >= 4);
     }
 
     #[test]
     fn identity_strategy_approximates_lm_on_histograms() {
         // With A = I the strategy mechanism *is* the Laplace mechanism up
         // to the conservativeness of the MC translation.
-        let hist: Vec<Predicate> =
-            (0..8).map(|i| Predicate::range("v", (8 * i) as f64, (8 * (i + 1)) as f64)).collect();
+        let hist: Vec<Predicate> = (0..8)
+            .map(|i| Predicate::range("v", (8 * i) as f64, (8 * (i + 1)) as f64))
+            .collect();
         let q = PreparedQuery::prepare(&schema(), &ExplorationQuery::wcq(hist)).unwrap();
         let acc = AccuracySpec::new(30.0, 0.05).unwrap();
         let sm = StrategyMechanism::new(Strategy::Identity, small_mc());

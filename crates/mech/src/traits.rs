@@ -23,7 +23,10 @@ pub struct Translation {
 impl Translation {
     /// A data-independent translation (`εˡ = εᵘ = ε`).
     pub fn exact(eps: f64) -> Self {
-        Self { lower: eps, upper: eps }
+        Self {
+            lower: eps,
+            upper: eps,
+        }
     }
 }
 
@@ -138,7 +141,10 @@ pub(crate) fn unsupported(mechanism: &'static str, kind: QueryKind) -> MechError
 pub(crate) fn top_k_indices(values: &[f64], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..values.len()).collect();
     idx.sort_by(|&a, &b| {
-        values[b].partial_cmp(&values[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        values[b]
+            .partial_cmp(&values[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
     });
     idx.truncate(k);
     idx

@@ -93,20 +93,38 @@ mod tests {
 
     #[test]
     fn invalid_alpha_rejected() {
-        assert!(matches!(AccuracySpec::new(0.0, 0.1), Err(AccuracyError::InvalidAlpha(_))));
-        assert!(matches!(AccuracySpec::new(-1.0, 0.1), Err(AccuracyError::InvalidAlpha(_))));
+        assert!(matches!(
+            AccuracySpec::new(0.0, 0.1),
+            Err(AccuracyError::InvalidAlpha(_))
+        ));
+        assert!(matches!(
+            AccuracySpec::new(-1.0, 0.1),
+            Err(AccuracyError::InvalidAlpha(_))
+        ));
         assert!(matches!(
             AccuracySpec::new(f64::INFINITY, 0.1),
             Err(AccuracyError::InvalidAlpha(_))
         ));
-        assert!(matches!(AccuracySpec::new(f64::NAN, 0.1), Err(AccuracyError::InvalidAlpha(_))));
+        assert!(matches!(
+            AccuracySpec::new(f64::NAN, 0.1),
+            Err(AccuracyError::InvalidAlpha(_))
+        ));
     }
 
     #[test]
     fn invalid_beta_rejected() {
-        assert!(matches!(AccuracySpec::new(1.0, 0.0), Err(AccuracyError::InvalidBeta(_))));
-        assert!(matches!(AccuracySpec::new(1.0, 1.0), Err(AccuracyError::InvalidBeta(_))));
-        assert!(matches!(AccuracySpec::new(1.0, -0.2), Err(AccuracyError::InvalidBeta(_))));
+        assert!(matches!(
+            AccuracySpec::new(1.0, 0.0),
+            Err(AccuracyError::InvalidBeta(_))
+        ));
+        assert!(matches!(
+            AccuracySpec::new(1.0, 1.0),
+            Err(AccuracyError::InvalidBeta(_))
+        ));
+        assert!(matches!(
+            AccuracySpec::new(1.0, -0.2),
+            Err(AccuracyError::InvalidBeta(_))
+        ));
     }
 
     #[test]

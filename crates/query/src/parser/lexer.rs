@@ -157,7 +157,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                     out.push(Token::Ne);
                     i += 2;
                 } else {
-                    return Err(LexError { position: i, message: "expected '=' after '!'".into() });
+                    return Err(LexError {
+                        position: i,
+                        message: "expected '=' after '!'".into(),
+                    });
                 }
             }
             '<' => match bytes.get(i + 1) {
@@ -190,7 +193,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                     j += 1;
                 }
                 if j >= bytes.len() {
-                    return Err(LexError { position: i, message: "unterminated string".into() });
+                    return Err(LexError {
+                        position: i,
+                        message: "unterminated string".into(),
+                    });
                 }
                 out.push(Token::Str(input[start..j].to_string()));
                 i = j + 1;
@@ -287,7 +293,10 @@ mod tests {
 
     #[test]
     fn keywords_are_case_insensitive() {
-        assert_eq!(lex("bin On WHERE").unwrap(), vec![Token::Bin, Token::On, Token::Where]);
+        assert_eq!(
+            lex("bin On WHERE").unwrap(),
+            vec![Token::Bin, Token::On, Token::Where]
+        );
     }
 
     #[test]

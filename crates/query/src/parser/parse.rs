@@ -57,8 +57,15 @@ impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ParseError::Lex(e) => write!(f, "{e}"),
-            ParseError::Unexpected { at, found, expected } => {
-                write!(f, "unexpected token {found} at position {at}, expected {expected}")
+            ParseError::Unexpected {
+                at,
+                found,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "unexpected token {found} at position {at}, expected {expected}"
+                )
             }
             ParseError::UnexpectedEnd { expected } => {
                 write!(f, "unexpected end of input, expected {expected}")
@@ -203,7 +210,10 @@ impl Parser {
             });
         }
 
-        Ok(ParsedQuery { query: ExplorationQuery { workload, kind }, accuracy })
+        Ok(ParsedQuery {
+            query: ExplorationQuery { workload, kind },
+            accuracy,
+        })
     }
 
     /// Predicate grammar (precedence: NOT > AND > OR).
@@ -255,12 +265,36 @@ impl Parser {
     fn atom(&mut self) -> Result<Predicate, ParseError> {
         let attr = self.expect_ident("attribute name")?;
         match self.next() {
-            Some(Token::Eq) => Ok(Predicate::Cmp { attr, op: CmpOp::Eq, value: self.literal()? }),
-            Some(Token::Ne) => Ok(Predicate::Cmp { attr, op: CmpOp::Ne, value: self.literal()? }),
-            Some(Token::Lt) => Ok(Predicate::Cmp { attr, op: CmpOp::Lt, value: self.literal()? }),
-            Some(Token::Le) => Ok(Predicate::Cmp { attr, op: CmpOp::Le, value: self.literal()? }),
-            Some(Token::Gt) => Ok(Predicate::Cmp { attr, op: CmpOp::Gt, value: self.literal()? }),
-            Some(Token::Ge) => Ok(Predicate::Cmp { attr, op: CmpOp::Ge, value: self.literal()? }),
+            Some(Token::Eq) => Ok(Predicate::Cmp {
+                attr,
+                op: CmpOp::Eq,
+                value: self.literal()?,
+            }),
+            Some(Token::Ne) => Ok(Predicate::Cmp {
+                attr,
+                op: CmpOp::Ne,
+                value: self.literal()?,
+            }),
+            Some(Token::Lt) => Ok(Predicate::Cmp {
+                attr,
+                op: CmpOp::Lt,
+                value: self.literal()?,
+            }),
+            Some(Token::Le) => Ok(Predicate::Cmp {
+                attr,
+                op: CmpOp::Le,
+                value: self.literal()?,
+            }),
+            Some(Token::Gt) => Ok(Predicate::Cmp {
+                attr,
+                op: CmpOp::Gt,
+                value: self.literal()?,
+            }),
+            Some(Token::Ge) => Ok(Predicate::Cmp {
+                attr,
+                op: CmpOp::Ge,
+                value: self.literal()?,
+            }),
             Some(Token::Is) => {
                 let negated = if matches!(self.peek(), Some(Token::Not)) {
                     self.next();
@@ -285,7 +319,9 @@ impl Parser {
                 found: format!("{t:?}"),
                 expected: "comparison operator, IS, or IN",
             }),
-            None => Err(ParseError::UnexpectedEnd { expected: "comparison operator" }),
+            None => Err(ParseError::UnexpectedEnd {
+                expected: "comparison operator",
+            }),
         }
     }
 
@@ -308,7 +344,9 @@ impl Parser {
                 found: format!("{t:?}"),
                 expected: "literal",
             }),
-            None => Err(ParseError::UnexpectedEnd { expected: "literal" }),
+            None => Err(ParseError::UnexpectedEnd {
+                expected: "literal",
+            }),
         }
     }
 }
@@ -357,7 +395,12 @@ mod tests {
              HAVING COUNT(*) > 5000000 ERROR 100 CONFIDENCE 0.9995;",
         )
         .unwrap();
-        assert_eq!(q.query.kind, QueryKind::Icq { threshold: 5_000_000.0 });
+        assert_eq!(
+            q.query.kind,
+            QueryKind::Icq {
+                threshold: 5_000_000.0
+            }
+        );
         let acc = q.accuracy.unwrap();
         assert_eq!(acc.alpha(), 100.0);
         assert!((acc.beta() - 0.0005).abs() < 1e-12);
@@ -432,7 +475,10 @@ mod tests {
 
     #[test]
     fn missing_pieces_reported() {
-        assert!(matches!(parse_query("BIN D ON"), Err(ParseError::UnexpectedEnd { .. })));
+        assert!(matches!(
+            parse_query("BIN D ON"),
+            Err(ParseError::UnexpectedEnd { .. })
+        ));
         assert!(parse_query("SELECT * FROM t").is_err());
     }
 

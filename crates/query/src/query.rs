@@ -46,17 +46,26 @@ pub struct ExplorationQuery {
 impl ExplorationQuery {
     /// A workload counting query.
     pub fn wcq(workload: Vec<Predicate>) -> Self {
-        Self { workload, kind: QueryKind::Wcq }
+        Self {
+            workload,
+            kind: QueryKind::Wcq,
+        }
     }
 
     /// An iceberg counting query with threshold `c`.
     pub fn icq(workload: Vec<Predicate>, threshold: f64) -> Self {
-        Self { workload, kind: QueryKind::Icq { threshold } }
+        Self {
+            workload,
+            kind: QueryKind::Icq { threshold },
+        }
     }
 
     /// A top-k counting query.
     pub fn tcq(workload: Vec<Predicate>, k: usize) -> Self {
-        Self { workload, kind: QueryKind::Tcq { k } }
+        Self {
+            workload,
+            kind: QueryKind::Tcq { k },
+        }
     }
 
     /// Workload size `L`.
@@ -103,7 +112,9 @@ mod tests {
     use super::*;
 
     fn preds(n: usize) -> Vec<Predicate> {
-        (0..n).map(|i| Predicate::range("x", i as f64, (i + 1) as f64)).collect()
+        (0..n)
+            .map(|i| Predicate::range("x", i as f64, (i + 1) as f64))
+            .collect()
     }
 
     #[test]
@@ -113,7 +124,10 @@ mod tests {
             ExplorationQuery::icq(preds(3), 5.0).kind,
             QueryKind::Icq { threshold: 5.0 }
         );
-        assert_eq!(ExplorationQuery::tcq(preds(3), 2).kind, QueryKind::Tcq { k: 2 });
+        assert_eq!(
+            ExplorationQuery::tcq(preds(3), 2).kind,
+            QueryKind::Tcq { k: 2 }
+        );
     }
 
     #[test]

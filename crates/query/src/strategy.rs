@@ -7,7 +7,7 @@
 //! `H_b` family (branching factor `b`), the identity strategy, and the
 //! trivial "workload as strategy" fallback.
 
-use apex_linalg::Matrix;
+use apex_linalg::{CsrBuilder, CsrMatrix, Matrix};
 
 /// Errors raised while building a strategy matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,7 +32,7 @@ impl std::fmt::Display for StrategyError {
 impl std::error::Error for StrategyError {}
 
 /// A strategy for answering a workload through the matrix mechanism.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Strategy {
     /// Answer every domain cell directly (`A = I`). Optimal for disjoint
     /// histogram workloads.
@@ -50,7 +50,25 @@ impl Strategy {
     /// The paper's default `H2` strategy.
     pub const H2: Strategy = Strategy::Hierarchical { branching: 2 };
 
-    /// Builds the strategy matrix over `n_cells` domain cells.
+    /// Builds the strategy matrix over `n_cells` domain cells, densely.
+    ///
+    /// Thin wrapper over [`Strategy::build_csr`] — the hierarchical family
+    /// is constructed sparsely and only materialized on request. Prefer the
+    /// CSR form in mechanism code; the dense form exists for numerical
+    /// routines (QR/pseudoinverse) and tests.
+    ///
+    /// # Errors
+    /// * [`StrategyError::EmptyDomain`] when `n_cells == 0`.
+    /// * [`StrategyError::BadBranching`] when `branching < 2`.
+    pub fn build(&self, n_cells: usize) -> Result<Matrix, StrategyError> {
+        Ok(self.build_csr(n_cells)?.to_dense())
+    }
+
+    /// Builds the strategy matrix over `n_cells` domain cells in CSR form,
+    /// without ever materializing the dense tree: every row of `H_b` is a
+    /// contiguous run of ones over the node's interval, so the sparse
+    /// construction is `O(total interval length)` = `O(n log_b n)` instead
+    /// of the dense `O(n²/  (b−1))` cells.
     ///
     /// The returned matrix always has full column rank (it contains every
     /// singleton row), which the pseudoinverse in the mechanism requires.
@@ -58,12 +76,12 @@ impl Strategy {
     /// # Errors
     /// * [`StrategyError::EmptyDomain`] when `n_cells == 0`.
     /// * [`StrategyError::BadBranching`] when `branching < 2`.
-    pub fn build(&self, n_cells: usize) -> Result<Matrix, StrategyError> {
+    pub fn build_csr(&self, n_cells: usize) -> Result<CsrMatrix, StrategyError> {
         if n_cells == 0 {
             return Err(StrategyError::EmptyDomain);
         }
         match self {
-            Strategy::Identity => Ok(Matrix::identity(n_cells)),
+            Strategy::Identity => Ok(CsrMatrix::identity(n_cells)),
             Strategy::Hierarchical { branching } => {
                 if *branching < 2 {
                     return Err(StrategyError::BadBranching(*branching));
@@ -83,9 +101,10 @@ impl Strategy {
 }
 
 /// Builds the `H_b` hierarchy over `n` cells: one row per tree node
-/// covering the node's interval `[lo, hi)`. Every singleton leaf appears
-/// as a row, so the matrix has full column rank.
-fn hierarchical(n: usize, b: usize) -> Matrix {
+/// covering the node's interval `[lo, hi)`, emitted directly in CSR.
+/// Every singleton leaf appears as a row, so the matrix has full column
+/// rank.
+fn hierarchical(n: usize, b: usize) -> CsrMatrix {
     // Collect intervals breadth-first; skip the root when it would
     // duplicate a single leaf (n == 1).
     let mut intervals: Vec<(usize, usize)> = Vec::new();
@@ -114,13 +133,11 @@ fn hierarchical(n: usize, b: usize) -> Matrix {
     intervals.sort_unstable();
     intervals.dedup();
 
-    let mut m = Matrix::zeros(intervals.len(), n);
-    for (r, &(lo, hi)) in intervals.iter().enumerate() {
-        for c in lo..hi {
-            m[(r, c)] = 1.0;
-        }
+    let mut m = CsrBuilder::new(n);
+    for &(lo, hi) in &intervals {
+        m.push_interval_row(lo, hi);
     }
-    m
+    m.finish()
 }
 
 #[cfg(test)]
@@ -148,9 +165,8 @@ mod tests {
     fn h2_contains_all_singletons() {
         let a = Strategy::H2.build(6).unwrap();
         for c in 0..6 {
-            let found = (0..a.rows()).any(|r| {
-                (0..6).all(|j| a[(r, j)] == if j == c { 1.0 } else { 0.0 })
-            });
+            let found =
+                (0..a.rows()).any(|r| (0..6).all(|j| a[(r, j)] == if j == c { 1.0 } else { 0.0 }));
             assert!(found, "missing singleton for cell {c}");
         }
     }
@@ -181,8 +197,42 @@ mod tests {
     }
 
     #[test]
+    fn csr_and_dense_forms_agree() {
+        for n in [1usize, 2, 7, 16, 33] {
+            for strat in [
+                Strategy::Identity,
+                Strategy::H2,
+                Strategy::Hierarchical { branching: 4 },
+            ] {
+                let sparse = strat.build_csr(n).unwrap();
+                let dense = strat.build(n).unwrap();
+                assert_eq!(sparse.to_dense(), dense, "{} over {n}", strat.name());
+                assert_eq!(
+                    sparse.l1_operator_norm(),
+                    apex_linalg::l1_operator_norm(&dense)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn h2_is_sparse_at_scale() {
+        // Density of H_b over n cells is Θ(log n / n): storing it densely
+        // wastes >95% of the cells from n = 64 on.
+        let a = Strategy::H2.build_csr(256).unwrap();
+        assert!(a.density() < 0.04, "density {}", a.density());
+        assert_eq!(
+            a.nnz(),
+            (0..a.rows()).map(|i| a.row(i).0.len()).sum::<usize>()
+        );
+    }
+
+    #[test]
     fn errors() {
-        assert!(matches!(Strategy::Identity.build(0), Err(StrategyError::EmptyDomain)));
+        assert!(matches!(
+            Strategy::Identity.build(0),
+            Err(StrategyError::EmptyDomain)
+        ));
         assert!(matches!(
             Strategy::Hierarchical { branching: 1 }.build(4),
             Err(StrategyError::BadBranching(1))

@@ -1,7 +1,16 @@
 //! Compiled workloads: the matrix form `W ← T(W), x ← T_W(D)`.
+//!
+//! The incidence structure is stored **sparsely** (CSR): a workload row is
+//! 1 exactly on the partition cells its predicate covers, so a histogram
+//! workload has one nonzero per row and even heavily overlapping workloads
+//! stay far below 50% density. All products (`true_answer`, sensitivity)
+//! run over nonzeros; the dense form is materialized lazily and only for
+//! callers that genuinely need it (QR-based numerics).
+
+use std::sync::OnceLock;
 
 use apex_data::{Dataset, DomainPartition, PartitionError, Predicate, Schema};
-use apex_linalg::{l1_operator_norm, Matrix};
+use apex_linalg::{CsrBuilder, CsrMatrix, Matrix};
 
 /// Errors raised when compiling a workload.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,8 +44,14 @@ impl std::error::Error for WorkloadError {}
 #[derive(Debug, Clone)]
 pub struct CompiledWorkload {
     partition: DomainPartition,
-    matrix: Matrix,
+    /// The `L × n_cells` 0/1 incidence structure, sparse.
+    csr: CsrMatrix,
+    /// Dense materialization, built on first request only.
+    dense: OnceLock<Matrix>,
     sensitivity: f64,
+    /// Structural signature of the compiled incidence (cache key for
+    /// derived artifacts such as pseudoinverses and MC translators).
+    signature: u64,
 }
 
 impl CompiledWorkload {
@@ -47,15 +62,33 @@ impl CompiledWorkload {
     /// workload, cell blow-up).
     pub fn compile(schema: &Schema, workload: &[Predicate]) -> Result<Self, WorkloadError> {
         let partition = DomainPartition::build(schema, workload)?;
-        let rows = partition.incidence_rows();
-        let matrix = Matrix::from_rows(&rows);
-        let sensitivity = l1_operator_norm(&matrix);
-        Ok(Self { partition, matrix, sensitivity })
+        let mut b = CsrBuilder::new(partition.n_cells());
+        for i in 0..partition.n_predicates() {
+            b.push_row(partition.cells_of(i).iter().map(|&c| (c, 1.0)));
+        }
+        let csr = b.finish();
+        let sensitivity = csr.l1_operator_norm();
+        let signature = csr.signature();
+        Ok(Self {
+            partition,
+            csr,
+            dense: OnceLock::new(),
+            sensitivity,
+            signature,
+        })
     }
 
-    /// The workload matrix `W` (`L × n_cells`).
+    /// The workload incidence `W` in sparse (CSR) form — the primary
+    /// representation.
+    pub fn csr(&self) -> &CsrMatrix {
+        &self.csr
+    }
+
+    /// The workload matrix `W` (`L × n_cells`), materialized densely on
+    /// first call and cached. Prefer [`CompiledWorkload::csr`] in
+    /// mechanism code; this exists for QR-based numerics and tests.
     pub fn matrix(&self) -> &Matrix {
-        &self.matrix
+        self.dense.get_or_init(|| self.csr.to_dense())
     }
 
     /// The domain partition backing the matrix.
@@ -65,12 +98,12 @@ impl CompiledWorkload {
 
     /// Workload size `L`.
     pub fn n_queries(&self) -> usize {
-        self.matrix.rows()
+        self.csr.rows()
     }
 
     /// Number of domain cells `|dom_W(R)|`.
     pub fn n_cells(&self) -> usize {
-        self.matrix.cols()
+        self.csr.cols()
     }
 
     /// The sensitivity `‖W‖₁` of the workload (max column L1 norm).
@@ -78,15 +111,26 @@ impl CompiledWorkload {
         self.sensitivity
     }
 
+    /// A stable 64-bit signature of the compiled incidence structure
+    /// (shape + sparsity pattern + values). Repeated compilations of the
+    /// same workload over the same schema produce the same signature, so
+    /// it keys caches of expensive derived artifacts.
+    pub fn signature(&self) -> u64 {
+        self.signature
+    }
+
     /// The histogram `x = T_W(D)` of a dataset over the partition cells.
     pub fn histogram(&self, data: &Dataset) -> Vec<f64> {
         self.partition.histogram(data)
     }
 
-    /// The exact (non-private) workload answer `W x`.
+    /// The exact (non-private) workload answer `W x`, computed over the
+    /// sparse incidence in `O(nnz)`.
     pub fn true_answer(&self, data: &Dataset) -> Vec<f64> {
         let x = self.histogram(data);
-        self.matrix.matvec(&x).expect("histogram length matches matrix columns")
+        self.csr
+            .matvec(&x)
+            .expect("histogram length matches matrix columns")
     }
 }
 
@@ -96,7 +140,11 @@ mod tests {
     use apex_data::{Attribute, CmpOp, Dataset, Domain, Value};
 
     fn schema() -> Schema {
-        Schema::new(vec![Attribute::new("v", Domain::IntRange { min: 0, max: 99 })]).unwrap()
+        Schema::new(vec![Attribute::new(
+            "v",
+            Domain::IntRange { min: 0, max: 99 },
+        )])
+        .unwrap()
     }
 
     fn data(values: &[i64]) -> Dataset {
@@ -109,7 +157,13 @@ mod tests {
 
     fn histogram_workload(bins: usize, width: i64) -> Vec<Predicate> {
         (0..bins)
-            .map(|i| Predicate::range("v", (i as i64 * width) as f64, ((i as i64 + 1) * width) as f64))
+            .map(|i| {
+                Predicate::range(
+                    "v",
+                    (i as i64 * width) as f64,
+                    ((i as i64 + 1) * width) as f64,
+                )
+            })
             .collect()
     }
 
@@ -123,8 +177,9 @@ mod tests {
 
     #[test]
     fn prefix_workload_has_sensitivity_l() {
-        let w: Vec<Predicate> =
-            (1..=8).map(|i| Predicate::cmp("v", CmpOp::Lt, i * 10)).collect();
+        let w: Vec<Predicate> = (1..=8)
+            .map(|i| Predicate::cmp("v", CmpOp::Lt, i * 10))
+            .collect();
         let c = CompiledWorkload::compile(&schema(), &w).unwrap();
         assert_eq!(c.sensitivity(), 8.0);
     }
@@ -152,5 +207,24 @@ mod tests {
     #[test]
     fn empty_workload_is_an_error() {
         assert!(CompiledWorkload::compile(&schema(), &[]).is_err());
+    }
+
+    #[test]
+    fn sparse_and_dense_forms_agree() {
+        let w = histogram_workload(10, 10);
+        let c = CompiledWorkload::compile(&schema(), &w).unwrap();
+        assert_eq!(c.csr().to_dense(), *c.matrix());
+        // A 10-bin histogram over an 11-cell partition: 1 nonzero per row.
+        assert_eq!(c.csr().nnz(), 10);
+    }
+
+    #[test]
+    fn signature_is_stable_and_discriminating() {
+        let w = histogram_workload(10, 10);
+        let a = CompiledWorkload::compile(&schema(), &w).unwrap();
+        let b = CompiledWorkload::compile(&schema(), &w).unwrap();
+        assert_eq!(a.signature(), b.signature());
+        let other = CompiledWorkload::compile(&schema(), &histogram_workload(5, 20)).unwrap();
+        assert_ne!(a.signature(), other.signature());
     }
 }

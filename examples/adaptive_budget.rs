@@ -19,18 +19,38 @@ use apex_query::{AccuracySpec, ExplorationQuery};
 fn run(mode: Mode) -> (usize, f64) {
     let data = adult_dataset(32_561, 7);
     let n = data.len() as f64;
-    let mut engine = ApexEngine::new(data, EngineConfig { budget: 0.5, mode, seed: 31 });
+    let mut engine = ApexEngine::new(
+        data,
+        EngineConfig {
+            budget: 0.5,
+            mode,
+            seed: 31,
+        },
+    );
     let acc = AccuracySpec::new(0.02 * n, 5e-4).expect("valid");
 
     // A sequence of iceberg queries over occupation groups at thresholds
     // increasingly close to real counts — late queries get expensive for
     // the optimist.
-    let occupations =
-        ["tech", "craft", "exec", "admin", "sales", "service", "machine-op", "transport"];
+    let occupations = [
+        "tech",
+        "craft",
+        "exec",
+        "admin",
+        "sales",
+        "service",
+        "machine-op",
+        "transport",
+    ];
     let mut answered = 0;
-    for (i, frac) in [0.5, 0.3, 0.2, 0.15, 0.12, 0.1, 0.08, 0.05].iter().enumerate() {
-        let workload: Vec<Predicate> =
-            occupations.iter().map(|o| Predicate::eq("occupation", *o)).collect();
+    for (i, frac) in [0.5, 0.3, 0.2, 0.15, 0.12, 0.1, 0.08, 0.05]
+        .iter()
+        .enumerate()
+    {
+        let workload: Vec<Predicate> = occupations
+            .iter()
+            .map(|o| Predicate::eq("occupation", *o))
+            .collect();
         let q = ExplorationQuery::icq(workload, frac * n);
         match engine.submit(&q, &acc).expect("well-formed") {
             EngineResponse::Answered(a) => {
@@ -45,7 +65,10 @@ fn run(mode: Mode) -> (usize, f64) {
                 );
             }
             EngineResponse::Denied => {
-                println!("  [{mode:?}] q{i}: denied — remaining budget {:.4}", engine.remaining());
+                println!(
+                    "  [{mode:?}] q{i}: denied — remaining budget {:.4}",
+                    engine.remaining()
+                );
             }
         }
     }
@@ -61,6 +84,8 @@ fn main() {
     println!("\nsummary under budget B = 0.5:");
     println!("  pessimistic: {ans_p} answered, {spent_p:.4} spent");
     println!("  optimistic:  {ans_o} answered, {spent_o:.4} spent");
-    println!("(the paper runs its evaluation in optimistic mode; Section 7.3 \
-              shows a case where optimism backfires when c sits near true counts)");
+    println!(
+        "(the paper runs its evaluation in optimistic mode; Section 7.3 \
+              shows a case where optimism backfires when c sits near true counts)"
+    );
 }

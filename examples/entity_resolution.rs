@@ -18,7 +18,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let pairs = citations_dataset(&CitationsConfig { n_pairs: 2_000, ..Default::default() });
+    let pairs = citations_dataset(&CitationsConfig {
+        n_pairs: 2_000,
+        ..Default::default()
+    });
     let mut rng = StdRng::seed_from_u64(2024);
     let cleaner = CleanerModel::default().sample(&mut rng);
 
@@ -35,14 +38,18 @@ fn main() {
     // reuse it (the derivation is a per-tuple map, so DP over the derived
     // table is DP over the pairs).
     let m = materialize_for_cleaner(&pairs, &cleaner).expect("materializes");
-    println!("materialized {} candidate predicates over {} pairs\n", m.predicates.len(), pairs.len());
+    println!(
+        "materialized {} candidate predicates over {} pairs\n",
+        m.predicates.len(),
+        pairs.len()
+    );
 
     let budget = 2.0;
     let alpha = 0.08 * pairs.len() as f64;
 
     for kind in [StrategyKind::Bs2, StrategyKind::Ms2] {
-        let out = run_strategy_on(kind, &m, &cleaner, budget, alpha, 5e-4, 77)
-            .expect("strategy runs");
+        let out =
+            run_strategy_on(kind, &m, &cleaner, budget, alpha, 5e-4, 77).expect("strategy runs");
         println!("{} (budget {budget}, α = {alpha}):", kind.name());
         println!(
             "  queries answered: {}   denied: {}   privacy spent: {:.4}",

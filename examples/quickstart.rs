@@ -17,8 +17,14 @@ fn main() {
     // The data owner loads the sensitive table and sets the budget B.
     let data = adult_dataset(32_561, 7);
     let n = data.len() as f64;
-    let mut engine =
-        ApexEngine::new(data, EngineConfig { budget: 1.0, mode: Mode::Optimistic, seed: 42 });
+    let mut engine = ApexEngine::new(
+        data,
+        EngineConfig {
+            budget: 1.0,
+            mode: Mode::Optimistic,
+            seed: 42,
+        },
+    );
 
     // The analyst asks for a histogram of capital gain with a guaranteed
     // max error of 0.5% of the table size, 99.95% of the time.
@@ -31,9 +37,15 @@ fn main() {
     let parsed = parse_query(&stmt).expect("statement parses");
     let accuracy = parsed.accuracy.expect("statement has an accuracy clause");
 
-    match engine.submit(&parsed.query, &accuracy).expect("query is well-formed") {
+    match engine
+        .submit(&parsed.query, &accuracy)
+        .expect("query is well-formed")
+    {
         EngineResponse::Answered(a) => {
-            println!("mechanism: {}   privacy spent: ε = {:.5}", a.mechanism, a.epsilon);
+            println!(
+                "mechanism: {}   privacy spent: ε = {:.5}",
+                a.mechanism, a.epsilon
+            );
             for (i, c) in a.answer.as_counts().expect("WCQ").iter().enumerate() {
                 println!("  gain in [{}k, {}k): ~{:.0} people", i, i + 1, c.max(0.0));
             }

@@ -14,7 +14,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn schema() -> Schema {
-    Schema::new(vec![Attribute::new("v", Domain::IntRange { min: 0, max: 31 })]).unwrap()
+    Schema::new(vec![Attribute::new(
+        "v",
+        Domain::IntRange { min: 0, max: 31 },
+    )])
+    .unwrap()
 }
 
 /// Bin counts 320, 310, …, 10 across 32 value bins.
@@ -33,7 +37,9 @@ fn value_bins() -> Vec<Predicate> {
 }
 
 fn prefix_bins() -> Vec<Predicate> {
-    (1..=32).map(|i| Predicate::range("v", 0.0, i as f64)).collect()
+    (1..=32)
+        .map(|i| Predicate::range("v", 0.0, i as f64))
+        .collect()
 }
 
 const ALPHA: f64 = 60.0;
@@ -69,7 +75,10 @@ fn lm_wcq_accuracy_holds() {
     let d = staircase();
     let q = PreparedQuery::prepare(&schema(), &ExplorationQuery::wcq(value_bins())).unwrap();
     let failures = count_wcq_failures(&LaplaceMechanism, &q, &d);
-    assert!(failures <= failure_allowance(), "{failures} failures in {RUNS} runs");
+    assert!(
+        failures <= failure_allowance(),
+        "{failures} failures in {RUNS} runs"
+    );
 }
 
 #[test]
@@ -77,14 +86,16 @@ fn sm_wcq_accuracy_holds_on_prefixes() {
     let d = staircase();
     let q = PreparedQuery::prepare(&schema(), &ExplorationQuery::wcq(prefix_bins())).unwrap();
     let failures = count_wcq_failures(&StrategyMechanism::h2(), &q, &d);
-    assert!(failures <= failure_allowance(), "{failures} failures in {RUNS} runs");
+    assert!(
+        failures <= failure_allowance(),
+        "{failures} failures in {RUNS} runs"
+    );
 }
 
 /// ICQ contract: bins with count > c+α always in, bins < c−α always out.
 fn count_icq_failures(mech: &dyn Mechanism, c: f64) -> usize {
     let d = staircase();
-    let q =
-        PreparedQuery::prepare(&schema(), &ExplorationQuery::icq(value_bins(), c)).unwrap();
+    let q = PreparedQuery::prepare(&schema(), &ExplorationQuery::icq(value_bins(), c)).unwrap();
     let acc = AccuracySpec::new(ALPHA, BETA).unwrap();
     let truth = q.compiled().true_answer(&d);
     let mut rng = StdRng::seed_from_u64(0x1C9);
@@ -121,8 +132,7 @@ fn mpm_icq_accuracy_holds() {
 /// TCQ contract relative to ck (Definition 3.3).
 fn count_tcq_failures(mech: &dyn Mechanism, k: usize) -> usize {
     let d = staircase();
-    let q =
-        PreparedQuery::prepare(&schema(), &ExplorationQuery::tcq(value_bins(), k)).unwrap();
+    let q = PreparedQuery::prepare(&schema(), &ExplorationQuery::tcq(value_bins(), k)).unwrap();
     let acc = AccuracySpec::new(ALPHA, BETA).unwrap();
     let truth = q.compiled().true_answer(&d);
     let mut sorted = truth.clone();
@@ -173,10 +183,12 @@ fn accuracy_contract_is_uniform_over_datasets() {
     ];
     for (si, make) in shapes.iter().enumerate() {
         let d = make();
-        let q =
-            PreparedQuery::prepare(&schema(), &ExplorationQuery::wcq(value_bins())).unwrap();
+        let q = PreparedQuery::prepare(&schema(), &ExplorationQuery::wcq(value_bins())).unwrap();
         let failures = count_wcq_failures(&LaplaceMechanism, &q, &d);
-        assert!(failures <= failure_allowance(), "shape {si}: {failures} failures");
+        assert!(
+            failures <= failure_allowance(),
+            "shape {si}: {failures} failures"
+        );
     }
 }
 

@@ -7,7 +7,14 @@ use apex_data::Predicate;
 use apex_query::{parse_query, AccuracySpec, ExplorationQuery, QueryKind};
 
 fn engine(budget: f64, mode: Mode) -> ApexEngine {
-    ApexEngine::new(adult_dataset(8_000, 3), EngineConfig { budget, mode, seed: 17 })
+    ApexEngine::new(
+        adult_dataset(8_000, 3),
+        EngineConfig {
+            budget,
+            mode,
+            seed: 17,
+        },
+    )
 }
 
 #[test]
@@ -36,15 +43,31 @@ fn all_three_query_types_answer_and_compose() {
         .map(|i| Predicate::range("capital_gain", 500.0 * i as f64, 500.0 * (i + 1) as f64))
         .collect();
 
-    let wcq = e.submit(&ExplorationQuery::wcq(hist.clone()), &acc).unwrap();
-    let icq = e.submit(&ExplorationQuery::icq(hist.clone(), 0.2 * n), &acc).unwrap();
+    let wcq = e
+        .submit(&ExplorationQuery::wcq(hist.clone()), &acc)
+        .unwrap();
+    let icq = e
+        .submit(&ExplorationQuery::icq(hist.clone(), 0.2 * n), &acc)
+        .unwrap();
     let tcq = e.submit(&ExplorationQuery::tcq(hist, 3), &acc).unwrap();
 
     assert!(wcq.answered().is_some());
-    let icq_bins = icq.answered().expect("icq answered").answer.as_bins().unwrap().to_vec();
+    let icq_bins = icq
+        .answered()
+        .expect("icq answered")
+        .answer
+        .as_bins()
+        .unwrap()
+        .to_vec();
     // Only the zero-gain bin holds > 20% of people.
     assert_eq!(icq_bins, vec![0]);
-    let tcq_bins = tcq.answered().expect("tcq answered").answer.as_bins().unwrap().to_vec();
+    let tcq_bins = tcq
+        .answered()
+        .expect("tcq answered")
+        .answer
+        .as_bins()
+        .unwrap()
+        .to_vec();
     assert_eq!(tcq_bins.len(), 3);
     assert_eq!(tcq_bins[0], 0, "zero-gain bin is the clear max");
 
@@ -132,5 +155,8 @@ fn denial_leaves_budget_for_smaller_questions() {
         .is_denied());
     // Loose: answered.
     let loose = AccuracySpec::new(0.2 * n, 5e-4).unwrap();
-    assert!(!e.submit(&ExplorationQuery::wcq(wl), &loose).unwrap().is_denied());
+    assert!(!e
+        .submit(&ExplorationQuery::wcq(wl), &loose)
+        .unwrap()
+        .is_denied());
 }

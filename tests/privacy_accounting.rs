@@ -8,7 +8,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn schema() -> Schema {
-    Schema::new(vec![Attribute::new("v", Domain::IntRange { min: 0, max: 15 })]).unwrap()
+    Schema::new(vec![Attribute::new(
+        "v",
+        Domain::IntRange { min: 0, max: 15 },
+    )])
+    .unwrap()
 }
 
 fn data(seed: u64) -> Dataset {
@@ -72,12 +76,20 @@ fn every_answered_entry_fit_in_the_worst_case() {
     let engine = adversarial_session(1.0, 3, Mode::Optimistic);
     let mut running = 0.0;
     for e in engine.transcript().entries() {
-        if let apex_core::TranscriptEntry::Answered { epsilon, epsilon_upper, .. } = e {
+        if let apex_core::TranscriptEntry::Answered {
+            epsilon,
+            epsilon_upper,
+            ..
+        } = e
+        {
             assert!(
                 running + epsilon_upper <= 1.0 + 1e-9,
                 "analyzer admitted a mechanism that could overshoot"
             );
-            assert!(*epsilon <= epsilon_upper + 1e-12, "actual loss above worst case");
+            assert!(
+                *epsilon <= epsilon_upper + 1e-12,
+                "actual loss above worst case"
+            );
             running += epsilon;
         }
     }
@@ -86,7 +98,12 @@ fn every_answered_entry_fit_in_the_worst_case() {
 #[test]
 fn spent_equals_sum_of_actual_losses() {
     let engine = adversarial_session(0.7, 5, Mode::Optimistic);
-    let total: f64 = engine.transcript().entries().iter().map(|e| e.epsilon()).sum();
+    let total: f64 = engine
+        .transcript()
+        .entries()
+        .iter()
+        .map(|e| e.epsilon())
+        .sum();
     assert!((engine.spent() - total).abs() < 1e-12);
 }
 
@@ -118,13 +135,20 @@ fn denials_are_data_independent() {
     let dense = data(99);
 
     let run = |d: Dataset| -> Vec<bool> {
-        let mut engine =
-            ApexEngine::new(d, EngineConfig { budget: 0.05, mode: Mode::Pessimistic, seed: 1 });
+        let mut engine = ApexEngine::new(
+            d,
+            EngineConfig {
+                budget: 0.05,
+                mode: Mode::Pessimistic,
+                seed: 1,
+            },
+        );
         let acc = AccuracySpec::new(20.0, 1e-3).unwrap();
         (0..20)
             .map(|i| {
-                let wl: Vec<Predicate> =
-                    (0..4).map(|j| Predicate::eq("v", (4 * (i % 2) + j) as i64)).collect();
+                let wl: Vec<Predicate> = (0..4)
+                    .map(|j| Predicate::eq("v", (4 * (i % 2) + j) as i64))
+                    .collect();
                 engine
                     .submit(&ExplorationQuery::wcq(wl), &acc)
                     .unwrap()

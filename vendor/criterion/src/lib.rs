@@ -1,0 +1,342 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness: the build environment has no registry access, so this
+//! crate implements the subset the APEx benches use — `Criterion`,
+//! `benchmark_group` / `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Compared to upstream it keeps the measurement loop simple: warm up,
+//! calibrate the per-sample iteration count so a sample takes a minimum wall
+//! time, collect `sample_size` samples, and report min/median/mean ns per
+//! iteration. Every result is retained on the [`Criterion`] value
+//! (see [`Criterion::results`]) so benches can post-process measurements —
+//! e.g. emit machine-readable JSON for performance tracking.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding `value` (re-export of the std
+/// hint, which is what upstream criterion uses on recent toolchains).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `"{name}/{parameter}"`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter as id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a benchmark id, so `bench_function` accepts both
+/// strings and [`BenchmarkId`]s (upstream's `IntoBenchmarkId`).
+pub trait IntoBenchmarkId {
+    /// The id string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Group name (empty for ungrouped benches).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Fastest observed sample, ns per iteration.
+    pub min_ns: f64,
+    /// Median sample, ns per iteration.
+    pub median_ns: f64,
+    /// Mean over samples, ns per iteration.
+    pub mean_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+impl BenchResult {
+    /// Full name `group/id` (or just `id` when ungrouped).
+    pub fn full_name(&self) -> String {
+        if self.group.is_empty() {
+            self.id.clone()
+        } else {
+            format!("{}/{}", self.group, self.id)
+        }
+    }
+}
+
+/// Runs the timing loop for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    min_sample_time: Duration,
+    /// ns-per-iteration samples collected by the last `iter` call.
+    samples_ns: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, min_sample_time: Duration) -> Self {
+        Self {
+            sample_size,
+            min_sample_time,
+            samples_ns: Vec::new(),
+            iters_per_sample: 1,
+        }
+    }
+
+    /// Measures `routine`: calibrates an iteration count so one sample meets
+    /// the minimum sample time, then records `sample_size` samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up + calibration: run once, scale the iteration count until a
+        // sample takes at least `min_sample_time`.
+        let mut iters: u64 = 1;
+        let target = self.min_sample_time;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= target || iters >= 1 << 30 {
+                break;
+            }
+            let grow = if elapsed.as_nanos() == 0 {
+                16
+            } else {
+                ((target.as_nanos() / elapsed.as_nanos()) + 1).min(16) as u64
+            };
+            iters = iters.saturating_mul(grow.max(2));
+        }
+
+        self.iters_per_sample = iters;
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+            self.samples_ns.push(ns);
+        }
+    }
+
+    fn result(&self, group: &str, id: &str) -> BenchResult {
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let median_ns = if n == 0 {
+            f64::NAN
+        } else if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+        };
+        BenchResult {
+            group: group.to_string(),
+            id: id.to_string(),
+            min_ns: sorted.first().copied().unwrap_or(f64::NAN),
+            median_ns,
+            mean_ns: sorted.iter().sum::<f64>() / n.max(1) as f64,
+            samples: n,
+            iters_per_sample: self.iters_per_sample,
+        }
+    }
+}
+
+/// The benchmark harness: collects results and prints a summary line per
+/// benchmark as it finishes.
+#[derive(Debug)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+    default_sample_size: usize,
+    min_sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            results: Vec::new(),
+            default_sample_size: 15,
+            min_sample_time: Duration::from_millis(20),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            criterion: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into_id();
+        let mut b = Bencher::new(self.default_sample_size, self.min_sample_time);
+        f(&mut b);
+        self.record(b.result("", &id));
+        self
+    }
+
+    fn record(&mut self, r: BenchResult) {
+        println!(
+            "bench {:<48} median {:>14} ns/iter  (min {:.0} ns, {} samples x {} iters)",
+            r.full_name(),
+            format!("{:.1}", r.median_ns),
+            r.min_ns,
+            r.samples,
+            r.iters_per_sample,
+        );
+        self.results.push(r);
+    }
+
+    /// All results measured so far, in execution order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Prints the closing summary (called by `criterion_main!`).
+    pub fn final_summary(&self) {
+        println!("\n{} benchmarks measured", self.results.len());
+    }
+}
+
+/// A group of related benchmarks sharing a sample-size setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into_id();
+        let mut b = Bencher::new(self.sample_size, self.criterion.min_sample_time);
+        f(&mut b);
+        let r = b.result(&self.name, &id);
+        self.criterion.record(r);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into_id();
+        let mut b = Bencher::new(self.sample_size, self.criterion.min_sample_time);
+        f(&mut b, input);
+        let r = b.result(&self.name, &id);
+        self.criterion.record(r);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; groups have no teardown).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a single runner function, mirroring
+/// upstream `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` for a set of groups, mirroring upstream
+/// `criterion_main!`. Requires `harness = false` on the `[[bench]]` target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("noop", |b| b.iter(|| 1 + 1));
+            g.bench_with_input(BenchmarkId::new("param", 7), &7, |b, &x| b.iter(|| x * 2));
+            g.finish();
+        }
+        assert_eq!(c.results().len(), 2);
+        let r = &c.results()[0];
+        assert_eq!(r.full_name(), "g/noop");
+        assert!(r.median_ns.is_finite() && r.median_ns >= 0.0);
+        assert_eq!(r.samples, 3);
+        assert_eq!(c.results()[1].full_name(), "g/param/7");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("a", 3).into_id(), "a/3");
+        assert_eq!(BenchmarkId::from_parameter(64).into_id(), "64");
+    }
+}
