@@ -1,23 +1,36 @@
-//! The engine-owned translator/pseudoinverse cache.
+//! The translator/strategy-operator cache: engine-owned by default,
+//! shareable across engines for multi-tenant deployments.
 //!
 //! The dominant cost of answering an exploration query through the
-//! strategy mechanism is *data-independent*: the `O(n³)` QR pseudoinverse
-//! of the strategy matrix and the Monte-Carlo simulation behind the
-//! accuracy-to-privacy translation depend only on the compiled workload's
-//! incidence structure, the strategy, and the Monte-Carlo configuration.
-//! The common APEx session pattern — an analyst iterating accuracy
-//! requirements or re-querying the same domain partition (e.g.
+//! strategy mechanism is *data-independent*: building the strategy
+//! operator and the Monte-Carlo simulation behind the accuracy-to-privacy
+//! translation depend only on the compiled workload's incidence structure,
+//! the strategy, and the Monte-Carlo configuration. The common APEx
+//! session pattern — an analyst iterating accuracy requirements or
+//! re-querying the same domain partition (e.g.
 //! `examples/histogram_explorer.rs`) — rebuilds identical artifacts on
 //! every `submit`, twice (once in the analyzer's `translate`, once in
 //! `run`).
 //!
-//! [`TranslatorCache`] memoizes those artifacts per engine. It is keyed by
+//! [`TranslatorCache`] memoizes those artifacts. It is keyed by
 //! `(workload signature, strategy, sample count, seed, tolerance)` — see
 //! [`apex_mech::SmCacheKey`] — and stores [`apex_mech::SmArtifacts`]
 //! behind `Arc`s, so hits are pointer clones. Reuse is **exact**: the
 //! cached translator is the very value a rebuild would produce, so caching
 //! cannot change any admit/deny decision or any translated ε (the privacy
 //! proof of Theorem 6.2 is untouched).
+//!
+//! Two properties make the cache fit multi-tenant deployments (the
+//! ROADMAP open item):
+//!
+//! * **capacity-bounded** — LRU eviction with a configurable entry cap
+//!   ([`TranslatorCache::with_capacity`]), so unbounded distinct workloads
+//!   cannot grow it without limit; evictions are visible in
+//!   [`CacheStats::evictions`];
+//! * **shareable** — cloning a handle shares the storage (`Arc`), and
+//!   [`crate::ApexEngine::with_translator_cache`] lets many engines (one
+//!   per tenant dataset) warm one cache, which is sound because the
+//!   artifacts are data-independent.
 //!
 //! The storage type lives in `apex-mech` (the artifact types are defined
 //! there); this module owns the engine-facing handle, its statistics, and
@@ -27,20 +40,36 @@ use std::sync::Arc;
 
 use apex_mech::{CacheStats, SmCache};
 
-/// A per-engine handle to the shared strategy-mechanism artifact cache.
+/// A cloneable handle to a strategy-mechanism artifact cache.
 ///
 /// Cloning the handle shares the underlying cache (it is an `Arc`), which
-/// is what [`crate::SharedEngine`] needs: all analysts of one engine warm
-/// the same cache.
+/// is what [`crate::SharedEngine`] needs — all analysts of one engine warm
+/// the same cache — and what multi-tenant deployments need: pass one
+/// handle to several engines via
+/// [`crate::ApexEngine::with_translator_cache`].
 #[derive(Debug, Clone, Default)]
 pub struct TranslatorCache {
     inner: Arc<SmCache>,
 }
 
 impl TranslatorCache {
-    /// An empty cache.
+    /// An empty cache with the default capacity
+    /// ([`SmCache::DEFAULT_CAPACITY`] entries).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache bounded to `capacity` entries (clamped to ≥ 1),
+    /// evicting least-recently-used artifacts beyond the cap.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            inner: SmCache::with_capacity(capacity),
+        }
+    }
+
+    /// The configured entry cap.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity()
     }
 
     /// The underlying storage, in the shape mechanism construction wants.
@@ -82,5 +111,17 @@ mod tests {
         assert!(a.is_empty());
         assert_eq!(a.len(), 0);
         assert_eq!(a.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn capacity_is_configurable() {
+        let c = TranslatorCache::with_capacity(7);
+        assert_eq!(c.capacity(), 7);
+        assert_eq!(c.clone().capacity(), 7);
+        // Default is the storage-layer default.
+        assert_eq!(
+            TranslatorCache::new().capacity(),
+            apex_mech::SmCache::DEFAULT_CAPACITY
+        );
     }
 }

@@ -112,6 +112,25 @@ impl ApexEngine {
     /// can never answer anything is a configuration bug worth failing
     /// loudly on).
     pub fn new(data: Dataset, config: EngineConfig) -> Self {
+        Self::with_translator_cache(data, config, TranslatorCache::new())
+    }
+
+    /// Creates an engine over `data` that shares `cache` with other
+    /// holders of the handle — the multi-tenant shape: several engines
+    /// (one per tenant dataset) reuse one bounded pool of prepared
+    /// translators. Sound because cached artifacts are data-independent
+    /// (they derive from public workload structure only), so sharing them
+    /// across datasets leaks nothing and changes no decision.
+    ///
+    /// # Panics
+    /// Panics if the budget is not positive and finite (an engine that
+    /// can never answer anything is a configuration bug worth failing
+    /// loudly on).
+    pub fn with_translator_cache(
+        data: Dataset,
+        config: EngineConfig,
+        cache: TranslatorCache,
+    ) -> Self {
         assert!(
             config.budget.is_finite() && config.budget > 0.0,
             "privacy budget must be positive and finite, got {}",
@@ -124,7 +143,7 @@ impl ApexEngine {
             spent: 0.0,
             transcript: Transcript::new(),
             rng: StdRng::seed_from_u64(config.seed),
-            cache: TranslatorCache::new(),
+            cache,
         }
     }
 
@@ -406,6 +425,46 @@ mod tests {
         // A structurally different workload builds a second entry.
         e.submit(&histogram(8), &acc).unwrap();
         assert_eq!(e.translator_cache().len(), 2);
+    }
+
+    #[test]
+    fn engines_can_share_one_translator_cache() {
+        // Two engines over different datasets share one cache: the second
+        // engine's identical workload structure is a pure hit. Artifacts
+        // are data-independent, so sharing is sound across tenants.
+        let cache = TranslatorCache::with_capacity(16);
+        let acc = AccuracySpec::new(30.0, 0.01).unwrap();
+        let prefix = ExplorationQuery::wcq(
+            (1..=16)
+                .map(|i| Predicate::range("v", 0.0, (4 * i) as f64))
+                .collect(),
+        );
+        let config = EngineConfig {
+            budget: 100.0,
+            mode: Mode::Pessimistic,
+            seed: 1,
+        };
+        let mut e1 = ApexEngine::with_translator_cache(data(), config, cache.clone());
+        let mut e2 = ApexEngine::with_translator_cache(
+            {
+                let mut d = Dataset::empty(schema());
+                d.push(vec![Value::Int(5)]).unwrap();
+                d
+            },
+            config,
+            cache.clone(),
+        );
+        let a = e1.submit(&prefix, &acc).unwrap();
+        let misses_after_first = cache.stats().misses;
+        let b = e2.submit(&prefix, &acc).unwrap();
+        // Same structure: no new build for the second tenant, and the
+        // worst-case translation (data-independent) is identical.
+        assert_eq!(cache.stats().misses, misses_after_first);
+        assert!(cache.stats().hits > 0);
+        assert_eq!(
+            a.answered().unwrap().epsilon_upper,
+            b.answered().unwrap().epsilon_upper
+        );
     }
 
     #[test]

@@ -55,4 +55,6 @@ pub use engine::{Answered, ApexEngine, EngineConfig, EngineResponse, Mode};
 pub use error::EngineError;
 pub use shared::SharedEngine;
 pub use transcript::{QueryRecord, Transcript, TranscriptEntry};
-pub use translator::{choose_mechanism, choose_mechanism_cached, MechanismChoice};
+pub use translator::{
+    choose_mechanism, choose_mechanism_cached, MechanismChoice, PreparedTranslator,
+};

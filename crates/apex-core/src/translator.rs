@@ -1,12 +1,108 @@
 //! The accuracy translator: choose the admissible mechanism with least
-//! privacy loss (Algorithm 1, Lines 4–10).
+//! privacy loss (Algorithm 1, Lines 4–10), and the standalone
+//! [`PreparedTranslator`] for callers that manage strategy translation
+//! directly (benchmarks, multi-tenant services).
 
 use std::sync::Arc;
 
-use apex_mech::{mechanisms_for_cached, MechError, Mechanism, PreparedQuery, SmCache, Translation};
-use apex_query::AccuracySpec;
+use apex_mech::mc::McConfig;
+use apex_mech::{
+    mechanisms_for_cached, MechError, Mechanism, PreparedQuery, SmArtifacts, SmCache, Translation,
+};
+use apex_query::{AccuracySpec, CompiledWorkload, Strategy};
 
+use crate::cache::TranslatorCache;
 use crate::engine::Mode;
+
+/// A workload's accuracy-to-privacy translator, prepared once and reused:
+/// the strategy operator, its Monte-Carlo simulation, and the
+/// reconstruction path.
+///
+/// Since the operator refactor, preparation is `O(n log n)` — the
+/// strategy's normal equations are solved recursively instead of through
+/// a dense `O(n³)` pseudoinverse — and the prepared state is `O(n log n)`
+/// small, so translators are cheap to build per workload and cheap to
+/// share across engines through a bounded [`TranslatorCache`].
+/// Reconstruction computes `ω = W A⁺ ŷ` as
+/// `apply_transpose` + `solve_normal` + one sparse workload product; no
+/// dense `W A⁺` is ever stored.
+///
+/// Everything here is data-independent: a `PreparedTranslator` can be
+/// built before any data access and reused across tenant datasets.
+#[derive(Debug, Clone)]
+pub struct PreparedTranslator {
+    artifacts: Arc<SmArtifacts>,
+}
+
+impl PreparedTranslator {
+    /// Prepares the translator for `workload` answered through
+    /// `strategy`, consulting (and warming) `cache` when given. Cache
+    /// hits are verified against the workload's actual structure, so a
+    /// 64-bit signature collision can never hand out another workload's
+    /// translator.
+    ///
+    /// # Errors
+    /// Propagates strategy-construction failures (empty domain, bad
+    /// branching).
+    pub fn prepare(
+        workload: &CompiledWorkload,
+        strategy: Strategy,
+        mc: McConfig,
+        cache: Option<&TranslatorCache>,
+    ) -> Result<Self, MechError> {
+        let artifacts = match cache {
+            None => Arc::new(SmArtifacts::build(workload.csr(), strategy, mc)?),
+            Some(cache) => SmArtifacts::get_or_build_cached(
+                &cache.handle(),
+                workload.csr(),
+                workload.signature(),
+                strategy,
+                mc,
+            )?,
+        };
+        Ok(Self { artifacts })
+    }
+
+    /// The minimal `ε` meeting `(α, β)` accuracy for the WCQ form of the
+    /// workload (Algorithm 3's `translate`).
+    pub fn translate(&self, alpha: f64, beta: f64) -> f64 {
+        self.artifacts.translator.translate(alpha, beta)
+    }
+
+    /// The strategy's true answer `A x` on a histogram `x` (noise is the
+    /// caller's job — mechanisms own the RNG).
+    ///
+    /// # Errors
+    /// Shape mismatches surface as [`MechError::Linalg`].
+    pub fn strategy_answer(&self, x: &[f64]) -> Result<Vec<f64>, MechError> {
+        self.artifacts.strategy_answer(x)
+    }
+
+    /// Reconstructs workload answers `ω = W A⁺ ŷ` from noisy strategy
+    /// answers, via `solve_normal` + `apply_transpose`.
+    ///
+    /// # Errors
+    /// Shape mismatches surface as [`MechError::Linalg`].
+    pub fn reconstruct(&self, y_hat: &[f64]) -> Result<Vec<f64>, MechError> {
+        self.artifacts.reconstruct(y_hat)
+    }
+
+    /// The strategy sensitivity `‖A‖₁` (the Laplace scale is
+    /// `‖A‖₁ / ε`).
+    pub fn strategy_sensitivity(&self) -> f64 {
+        self.artifacts.strat_sensitivity
+    }
+
+    /// Number of strategy rows `m` — the noise dimension.
+    pub fn strategy_rows(&self) -> usize {
+        self.artifacts.strategy_rows()
+    }
+
+    /// The underlying shared artifacts (for interop with `apex-mech`).
+    pub fn artifacts(&self) -> &Arc<SmArtifacts> {
+        &self.artifacts
+    }
+}
 
 /// A mechanism admitted by the privacy analyzer, with its translation.
 pub struct MechanismChoice {
@@ -184,6 +280,56 @@ mod tests {
         // With effectively no budget, nothing is admissible.
         let c = choose_mechanism(&q, &acc, 1e-6, Mode::Pessimistic).unwrap();
         assert!(c.is_none());
+    }
+
+    #[test]
+    fn prepared_translator_reconstructs_exact_answers_without_noise() {
+        // With zero noise, ω = W A⁺ A x = W x exactly (up to solver
+        // tolerance): the reconstruction identity of Section 5.2, computed
+        // via solve_normal + apply_transpose.
+        let q = prepare(&ExplorationQuery::wcq(
+            (1..=16)
+                .map(|i| Predicate::range("v", 0.0, (4 * i) as f64))
+                .collect(),
+        ));
+        let mc = apex_mech::mc::McConfig {
+            samples: 500,
+            ..Default::default()
+        };
+        let t = PreparedTranslator::prepare(q.compiled(), Strategy::H2, mc, None).unwrap();
+        let n = q.compiled().n_cells();
+        let x: Vec<f64> = (0..n).map(|i| (i % 11) as f64).collect();
+        let y = t.strategy_answer(&x).unwrap();
+        assert_eq!(y.len(), t.strategy_rows());
+        let omega = t.reconstruct(&y).unwrap();
+        let wx = q.compiled().csr().matvec(&x).unwrap();
+        for (a, b) in omega.iter().zip(&wx) {
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+        assert!(t.strategy_sensitivity() >= 1.0);
+        assert!(t.translate(20.0, 0.01) > 0.0);
+    }
+
+    #[test]
+    fn prepared_translator_uses_the_cache() {
+        let q = prepare(&ExplorationQuery::wcq(
+            (1..=8)
+                .map(|i| Predicate::range("v", 0.0, (8 * i) as f64))
+                .collect(),
+        ));
+        let mc = apex_mech::mc::McConfig {
+            samples: 200,
+            ..Default::default()
+        };
+        let cache = TranslatorCache::with_capacity(4);
+        let a = PreparedTranslator::prepare(q.compiled(), Strategy::H2, mc, Some(&cache)).unwrap();
+        let b = PreparedTranslator::prepare(q.compiled(), Strategy::H2, mc, Some(&cache)).unwrap();
+        assert!(Arc::ptr_eq(a.artifacts(), b.artifacts()));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // Cached and fresh translations are identical (reuse is exact).
+        let fresh = PreparedTranslator::prepare(q.compiled(), Strategy::H2, mc, None).unwrap();
+        assert_eq!(a.translate(10.0, 0.05), fresh.translate(10.0, 0.05));
     }
 
     #[test]

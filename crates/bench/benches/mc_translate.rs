@@ -1,7 +1,7 @@
 //! Benchmarks of the strategy mechanism's Monte-Carlo accuracy-to-privacy
 //! translation (Algorithm 3) and the sparse strategy algebra feeding it.
 //!
-//! Three questions, each a benchmark group:
+//! Four questions, each a benchmark group:
 //!
 //! * `mc_translate_domain` — serial per-sample simulation vs the batched
 //!   blocked formulation, per domain size, plus the translate-only cost a
@@ -24,17 +24,35 @@
 //! materialization is likewise gated behind `APEX_BENCH_FULL=1` in the
 //! sparse-vs-dense group (128 MiB per iteration).
 //!
+//! * `translator_prepare` — end-to-end translator preparation (strategy
+//!   operator + Monte-Carlo simulation) through the matrix-free
+//!   `SmArtifacts::build` path vs the dense `O(n³)`-pseudoinverse
+//!   reference, per domain size up to 16384 — domains the dense path
+//!   cannot reach (its 4096 prepare is ~an hour of one-core QR; the
+//!   dense rows stop at 256, 1024 behind `APEX_BENCH_FULL=1`).
+//!
 //! Besides the textual report, the harness writes the medians to
 //! `BENCH_mc_translate.json` at the workspace root (override with
 //! `APEX_BENCH_JSON`) so the perf trajectory is machine-trackable
 //! across PRs.
+//!
+//! Pass `--quick` (the CI smoke mode) to restrict every group to small
+//! domains and skip the ablations; quick runs only write JSON when
+//! `APEX_BENCH_JSON` is set, so a smoke pass can never clobber the
+//! committed full-run medians.
 
-use apex_linalg::{pinv, Matrix};
+use apex_linalg::{pinv, CsrBuilder, CsrMatrix, Matrix};
 use apex_mech::mc::{McConfig, McTranslator};
+use apex_mech::SmArtifacts;
 use apex_query::Strategy;
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::io::Write as _;
+
+/// `--quick`: the CI smoke configuration (small domains, no ablations).
+fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
 
 /// Prefix workload over `n` cells, limited to `l_max` rows (row `i` sums
 /// the first `⌈(i+1)·n/L⌉` cells).
@@ -60,10 +78,64 @@ fn samples_for(n: usize) -> usize {
     }
 }
 
+/// The paper's workload size: 100 predicates. Prepare-time rows use a
+/// 100-row prefix (CDF) workload so the measured cost is dominated by the
+/// strategy machinery, not by an `O(n²)` workload incidence.
+const PREPARE_WORKLOAD_ROWS: usize = 100;
+
+/// 100-row prefix workload over `n` cells, directly in CSR.
+fn prefix_workload_csr(n: usize) -> CsrMatrix {
+    let l = n.min(PREPARE_WORKLOAD_ROWS);
+    let mut b = CsrBuilder::new(n);
+    for i in 0..l {
+        b.push_interval_row(0, ((i + 1) * n / l).max(1));
+    }
+    b.finish()
+}
+
+/// End-to-end translator prepare: operator path at every domain size, the
+/// dense `O(n³)` pseudoinverse baseline only where it is still feasible.
+fn bench_translator_prepare(c: &mut Criterion) {
+    let mut g = c.benchmark_group("translator_prepare");
+    g.sample_size(if quick() { 3 } else { 5 });
+    let full = std::env::var("APEX_BENCH_FULL").is_ok_and(|s| s == "1");
+    let domains: &[usize] = if quick() {
+        &[64, 256]
+    } else {
+        &[64, 256, 1024, 4096, 16384]
+    };
+    for &n in domains {
+        let w = prefix_workload_csr(n);
+        let cfg = McConfig {
+            samples: samples_for(n),
+            ..Default::default()
+        };
+        g.bench_with_input(BenchmarkId::new("hier", n), &n, |b, _| {
+            b.iter(|| black_box(SmArtifacts::build(&w, Strategy::H2, cfg).unwrap()))
+        });
+        // The dense baseline's QR pseudoinverse is O(n³): ~seconds at
+        // 1024 (gated), ~an hour at 4096 (never run) — which is the
+        // point of the comparison.
+        if n <= 256 || (n <= 1024 && full) {
+            g.bench_with_input(BenchmarkId::new("dense", n), &n, |b, _| {
+                b.iter(|| {
+                    black_box(SmArtifacts::build_dense_reference(&w, Strategy::H2, cfg).unwrap())
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
 fn bench_domain_scaling(c: &mut Criterion) {
     let mut g = c.benchmark_group("mc_translate_domain");
     g.sample_size(5);
-    for n in [64usize, 256, 1024, 4096] {
+    let domains: &[usize] = if quick() {
+        &[64, 256]
+    } else {
+        &[64, 256, 1024, 4096]
+    };
+    for &n in domains {
         // Full prefix (CDF) workload — the paper's high-sensitivity
         // benchmark shape, answered through H2. At 4096 the H2
         // pseudoinverse alone is ~an hour of one-core QR, so that size
@@ -105,7 +177,12 @@ fn bench_sparse_vs_dense(c: &mut Criterion) {
     let mut g = c.benchmark_group("strategy_sparse_vs_dense");
     g.sample_size(10);
     let full = std::env::var("APEX_BENCH_FULL").is_ok_and(|s| s == "1");
-    for n in [64usize, 256, 1024, 4096] {
+    let domains: &[usize] = if quick() {
+        &[64, 256]
+    } else {
+        &[64, 256, 1024, 4096]
+    };
+    for &n in domains {
         g.bench_with_input(BenchmarkId::new("build_csr", n), &n, |b, &n| {
             b.iter(|| black_box(Strategy::H2.build_csr(n).unwrap()))
         });
@@ -137,7 +214,12 @@ fn bench_sparse_vs_dense(c: &mut Criterion) {
 }
 
 /// The original ablations: sample size and branching factor at n = 64.
+/// Skipped in `--quick` mode (they vary `N` and `b`, not the domain — no
+/// smoke value).
 fn bench_mc(c: &mut Criterion) {
+    if quick() {
+        return;
+    }
     let n_cells = 64;
     let w = prefix_workload(n_cells, n_cells);
 
@@ -190,6 +272,7 @@ fn bench_mc(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_translator_prepare,
     bench_domain_scaling,
     bench_sparse_vs_dense,
     bench_mc
@@ -217,13 +300,17 @@ fn write_json(c: &criterion::Criterion) -> std::io::Result<std::path::PathBuf> {
             r.id.rsplit('/')
                 .next()
                 .and_then(|n| n.parse::<usize>().ok())
-                .filter(|_| r.group == "mc_translate_domain");
+                .filter(|_| r.group == "mc_translate_domain" || r.group == "translator_prepare");
         let extra = domain
             .map(|n| {
                 format!(
                     ", \"mc_samples\": {}, \"strategy\": \"{}\"",
                     samples_for(n),
-                    if n <= 1024 { "H2" } else { "identity" }
+                    if r.group == "translator_prepare" || n <= 1024 {
+                        "H2"
+                    } else {
+                        "identity"
+                    }
                 )
             })
             .unwrap_or_default();
@@ -240,26 +327,48 @@ fn write_json(c: &criterion::Criterion) -> std::io::Result<std::path::PathBuf> {
         ));
     }
     out.push_str("\n  ],\n  \"derived\": {\n");
-    let median = |id: &str| -> Option<f64> {
+    let median = |group: &str, id: &str| -> Option<f64> {
         c.results()
             .iter()
-            .find(|r| r.group == "mc_translate_domain" && r.id == id)
+            .find(|r| r.group == group && r.id == id)
             .map(|r| r.median_ns)
     };
     let mut first = true;
+    let mut emit = |out: &mut String, key: String, value: String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!("    \"{key}\": {value}"));
+    };
     for n in [64usize, 256, 1024, 4096] {
         if let (Some(s), Some(b)) = (
-            median(&format!("serial/{n}")),
-            median(&format!("batched/{n}")),
+            median("mc_translate_domain", &format!("serial/{n}")),
+            median("mc_translate_domain", &format!("batched/{n}")),
         ) {
-            if !first {
-                out.push_str(",\n");
-            }
-            first = false;
-            out.push_str(&format!(
-                "    \"speedup_serial_over_batched_n{n}\": {:.2}",
-                s / b
-            ));
+            emit(
+                &mut out,
+                format!("speedup_serial_over_batched_n{n}"),
+                format!("{:.2}", s / b),
+            );
+        }
+    }
+    // Operator-backed translator prepare medians (ms), the acceptance
+    // numbers for the hierarchical-solve refactor.
+    for n in [64usize, 256, 1024, 4096, 16384] {
+        if let Some(h) = median("translator_prepare", &format!("hier/{n}")) {
+            emit(
+                &mut out,
+                format!("prepare_hier_ms_n{n}"),
+                format!("{:.3}", h / 1e6),
+            );
+        }
+        if let Some(d) = median("translator_prepare", &format!("dense/{n}")) {
+            emit(
+                &mut out,
+                format!("prepare_dense_ms_n{n}"),
+                format!("{:.3}", d / 1e6),
+            );
         }
     }
     out.push_str("\n  }\n}\n");
@@ -272,6 +381,15 @@ fn main() {
     let mut c = criterion::Criterion::default();
     benches(&mut c);
     c.final_summary();
+    // A quick (smoke) pass measures a subset; rewriting the committed
+    // full-run medians with it would silently rot the file. Only write
+    // when the caller explicitly redirects the output.
+    if quick() && std::env::var("APEX_BENCH_JSON").is_err() {
+        println!(
+            "quick mode: BENCH_mc_translate.json left untouched (set APEX_BENCH_JSON to write)"
+        );
+        return;
+    }
     match write_json(&c) {
         Ok(p) => println!("wrote {}", p.display()),
         Err(e) => eprintln!("could not write BENCH_mc_translate.json: {e}"),

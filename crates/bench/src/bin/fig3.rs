@@ -5,11 +5,10 @@
 //! the `(α, β)` requirement tracks familiar set-quality measures.
 
 use apex_bench::{
-    benchmark_queries, f1_of_answer, parallel_map, parse_common_flags, write_records, Datasets,
-    ExperimentRecord,
+    benchmark_queries, f1_of_answer, parallel_map, parse_common_flags, write_records, BenchError,
+    Datasets, ExperimentRecord,
 };
 use apex_core::{choose_mechanism, Mode};
-use apex_mech::PreparedQuery;
 use apex_query::AccuracySpec;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -17,7 +16,7 @@ use rand::SeedableRng;
 const BETA: f64 = 5e-4;
 const ALPHAS: [f64; 7] = [0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64];
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let args: Vec<String> = std::env::args().collect();
     let (quick, runs, taxi) = parse_common_flags(&args);
     let runs = runs.unwrap_or(if quick { 3 } else { 10 });
@@ -40,7 +39,7 @@ fn main() {
             .expect("query exists");
         let data = ds.get(bq.dataset);
         let n = data.len();
-        let prepared = PreparedQuery::prepare(data.schema(), &bq.query).expect("query compiles");
+        let prepared = bq.prepare(data.schema())?;
         let truth = prepared.compiled().true_answer(data);
 
         for ratio in ALPHAS {
@@ -92,6 +91,7 @@ fn main() {
         }
     }
 
-    let path = write_records("fig3", &records).expect("write experiments/fig3.jsonl");
+    let path = write_records("fig3", &records)?;
     eprintln!("wrote {path}");
+    Ok(())
 }

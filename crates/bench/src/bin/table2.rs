@@ -7,9 +7,9 @@
 //! queries, and the winner column matches APEx's choice.
 
 use apex_bench::{
-    benchmark_queries, parse_common_flags, write_records, Datasets, ExperimentRecord,
+    benchmark_queries, parse_common_flags, write_records, BenchError, Datasets, ExperimentRecord,
 };
-use apex_mech::{mechanisms_for, PreparedQuery};
+use apex_mech::mechanisms_for;
 use apex_query::{AccuracySpec, QueryKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -17,7 +17,7 @@ use rand::SeedableRng;
 const BETA: f64 = 5e-4;
 const ALPHAS: [f64; 2] = [0.02, 0.08];
 
-fn main() {
+fn main() -> Result<(), BenchError> {
     let args: Vec<String> = std::env::args().collect();
     let (quick, runs, taxi) = parse_common_flags(&args);
     let runs = runs.unwrap_or(if quick { 3 } else { 10 });
@@ -36,7 +36,7 @@ fn main() {
     for bq in &queries {
         let data = ds.get(bq.dataset);
         let n = data.len();
-        let prepared = PreparedQuery::prepare(data.schema(), &bq.query).expect("compiles");
+        let prepared = bq.prepare(data.schema())?;
 
         for ratio in ALPHAS {
             let acc = AccuracySpec::new(ratio * n as f64, BETA).expect("valid");
@@ -95,8 +95,9 @@ fn main() {
         }
     }
 
-    let path = write_records("table2", &records).expect("write experiments/table2.jsonl");
+    let path = write_records("table2", &records)?;
     eprintln!("wrote {path}");
+    Ok(())
 }
 
 /// Table 2 row labels ("WCQ-LM", "ICQ-MPM", …).

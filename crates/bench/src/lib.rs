@@ -32,4 +32,6 @@ pub mod runner;
 pub use er::{print_summary, run_er_sweep, ErConfig};
 pub use metrics::{empirical_error, f1_of_answer, true_selection};
 pub use queries::{benchmark_queries, BenchQuery, DatasetId, Datasets};
-pub use runner::{json_escape, parallel_map, parse_common_flags, write_records, ExperimentRecord};
+pub use runner::{
+    json_escape, parallel_map, parse_common_flags, write_records, BenchError, ExperimentRecord,
+};

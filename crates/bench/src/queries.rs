@@ -23,7 +23,10 @@
 
 use apex_data::synth::{adult_dataset, nytaxi_dataset, ADULT_SIZE};
 use apex_data::{CmpOp, Dataset, Predicate};
+use apex_mech::PreparedQuery;
 use apex_query::ExplorationQuery;
+
+use crate::runner::BenchError;
 
 /// Which dataset a benchmark query runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +74,21 @@ pub struct BenchQuery {
     /// The query itself. ICQ thresholds are expressed relative to `|D|`
     /// and filled in by [`benchmark_queries`].
     pub query: ExplorationQuery,
+}
+
+impl BenchQuery {
+    /// Compiles the query against `schema`, annotating failures with the
+    /// query's paper name so a bench run reports *which* of the 12 broke
+    /// instead of panicking.
+    ///
+    /// # Errors
+    /// [`BenchError::Prepare`] wrapping the workload-compilation failure.
+    pub fn prepare(&self, schema: &apex_data::Schema) -> Result<PreparedQuery, BenchError> {
+        PreparedQuery::prepare(schema, &self.query).map_err(|source| BenchError::Prepare {
+            query: self.name.to_string(),
+            source,
+        })
+    }
 }
 
 /// Builds all 12 queries of Table 1. ICQ thresholds are `0.1·|D|` as in
@@ -244,17 +262,29 @@ fn taxi_cumulative_multi() -> Vec<Predicate> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use apex_mech::PreparedQuery;
 
     #[test]
-    fn all_twelve_queries_compile_against_their_schemas() {
+    fn all_twelve_queries_compile_against_their_schemas() -> Result<(), BenchError> {
         let ds = Datasets::generate(2_000, 3);
         for bq in benchmark_queries(ds.adult.len(), ds.taxi.len()) {
-            let schema = ds.get(bq.dataset).schema();
-            let p = PreparedQuery::prepare(schema, &bq.query)
-                .unwrap_or_else(|e| panic!("{} failed to prepare: {e}", bq.name));
+            // Result propagation, not panic: a failure surfaces as
+            // `BenchError::Prepare` naming the broken query.
+            let p = bq.prepare(ds.get(bq.dataset).schema())?;
             assert_eq!(p.n_queries(), 100, "{} should have 100 predicates", bq.name);
         }
+        Ok(())
+    }
+
+    #[test]
+    fn prepare_error_names_the_query() {
+        // An empty schema cannot host any benchmark query; the error must
+        // carry the query's name for diagnosis.
+        let ds = Datasets::generate(500, 3);
+        let queries = benchmark_queries(ds.adult.len(), ds.taxi.len());
+        let wrong_schema = ds.taxi.schema(); // QW1 is an Adult query
+        let err = queries[0].prepare(wrong_schema).unwrap_err();
+        assert!(matches!(&err, BenchError::Prepare { query, .. } if query == "QW1"));
+        assert!(format!("{err}").contains("QW1"));
     }
 
     #[test]

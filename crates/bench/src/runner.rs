@@ -10,6 +10,51 @@ use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use apex_query::WorkloadError;
+
+/// Errors surfaced by the benchmark harness. Benchmark binaries return
+/// these from `main` instead of panicking, so a misconfigured query (or a
+/// full disk) reports *which* step failed and exits nonzero — propagation,
+/// not `panic!`, is the contract for the prepare path.
+#[derive(Debug)]
+pub enum BenchError {
+    /// A benchmark query failed to compile against its dataset's schema.
+    Prepare {
+        /// Paper name of the query ("QW1" … "QT4").
+        query: String,
+        /// The underlying compilation failure.
+        source: WorkloadError,
+    },
+    /// Writing experiment records failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for BenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchError::Prepare { query, source } => {
+                write!(f, "benchmark query {query} failed to prepare: {source}")
+            }
+            BenchError::Io(e) => write!(f, "benchmark i/o failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchError::Prepare { source, .. } => Some(source),
+            BenchError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for BenchError {
+    fn from(e: std::io::Error) -> Self {
+        BenchError::Io(e)
+    }
+}
+
 /// One measured data point, serialized as a JSON line so downstream
 /// plotting is trivial.
 #[derive(Debug, Clone)]

@@ -14,6 +14,12 @@
 //! * [`matmul_batched`] — a blocked, optionally thread-parallel dense
 //!   product (feature `par`) whose results are bit-identical to serial
 //!   per-column `matvec`, used to batch the Monte-Carlo translation,
+//! * the [`StrategyOperator`] abstraction — matrix-free `apply` /
+//!   `apply_transpose` / `solve_normal` actions of a strategy matrix —
+//!   with the `O(n)`-per-solve [`HierarchicalOperator`] (recursive
+//!   Sherman–Morrison over the `H_b` interval tree, see [`hier_solve`]),
+//!   the trivial [`IdentityOperator`], and the dense [`DenseOperator`]
+//!   reference that wraps [`pinv`],
 //! * Householder [`qr_decompose`] decomposition,
 //! * least-squares solving and matrix inversion built on QR,
 //! * [`pinv`] — the Moore–Penrose pseudoinverse for full-rank matrices,
@@ -26,16 +32,20 @@
 //! for the incidence structures, whose density drops as `O(log n / n)` for
 //! hierarchical strategies.
 
+pub mod hier_solve;
 mod matrix;
 mod norms;
+pub mod operator;
 pub mod par;
 mod pinv;
 mod qr;
 mod solve;
 pub mod sparse;
 
+pub use hier_solve::HierarchicalOperator;
 pub use matrix::Matrix;
 pub use norms::{frobenius_norm, l1_operator_norm, linf_norm};
+pub use operator::{DenseOperator, IdentityOperator, SharedOperator, StrategyOperator};
 pub use par::{
     matmul_batched, matmul_batched_bt, matmul_batched_bt_with_threads, matmul_batched_with_threads,
     max_threads,

@@ -1,0 +1,286 @@
+//! Matrix-free strategy operators.
+//!
+//! The strategy mechanism never needs the strategy matrix `A` — or its
+//! pseudoinverse — as an array of numbers. Every quantity it consumes is
+//! the *action* of `A` on a vector:
+//!
+//! * `ŷ = A x + η` — one [`StrategyOperator::apply`];
+//! * `A⁺ ŷ = (AᵀA)⁻¹ Aᵀ ŷ` — one [`StrategyOperator::apply_transpose`]
+//!   followed by one [`StrategyOperator::solve_normal`] (for full column
+//!   rank, which every APEx strategy has);
+//! * the sensitivity `‖A‖₁` — a scalar the operator knows structurally.
+//!
+//! Expressing strategies as operators replaces the `O(n³)` dense QR
+//! pseudoinverse — the dominant prepare-time cost at large domains — with
+//! structure-exploiting solves: the hierarchical family solves its normal
+//! equations in `O(n)` per right-hand side
+//! (see [`crate::hier_solve::HierarchicalOperator`]), and the identity is
+//! free. The dense path survives as [`DenseOperator`], the
+//! reference/fallback implementation for property tests and benchmarks:
+//! it materializes `A⁺` once via [`crate::pinv`] and implements the same
+//! trait, so agreement between the two is a one-line property test.
+
+use std::sync::Arc;
+
+use crate::{pinv, LinalgError, Matrix, Result};
+
+/// The action of a full-column-rank strategy matrix `A ∈ ℝ^{m × n}`,
+/// `m ≥ n`, without committing to a representation.
+///
+/// Implementations must be consistent: `apply_transpose` must be the exact
+/// adjoint of `apply`, and `solve_normal` must solve `(AᵀA) x = b` for the
+/// same `A`. The provided [`StrategyOperator::pinv_apply`] then computes
+/// `A⁺ y` for any `y`, which is all the matrix mechanism needs to
+/// reconstruct workload answers as `W (A⁺ ŷ)`.
+pub trait StrategyOperator: std::fmt::Debug + Send + Sync {
+    /// `(rows, cols)` of the underlying `A` — rows are strategy queries,
+    /// cols are domain cells.
+    fn shape(&self) -> (usize, usize);
+
+    /// `A x` — the strategy's answer vector on a histogram `x`.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] when `x.len() != cols`.
+    fn apply(&self, x: &[f64]) -> Result<Vec<f64>>;
+
+    /// `Aᵀ y`.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] when `y.len() != rows`.
+    fn apply_transpose(&self, y: &[f64]) -> Result<Vec<f64>>;
+
+    /// Solves the normal equations `(AᵀA) x = b`.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] when `b.len() != cols`.
+    fn solve_normal(&self, b: &[f64]) -> Result<Vec<f64>>;
+
+    /// The L1 operator norm `‖A‖₁` (maximum column absolute sum) — the
+    /// strategy's sensitivity.
+    fn l1_operator_norm(&self) -> f64;
+
+    /// Number of strategy rows `m`.
+    fn rows(&self) -> usize {
+        self.shape().0
+    }
+
+    /// Number of domain cells `n`.
+    fn cols(&self) -> usize {
+        self.shape().1
+    }
+
+    /// `A⁺ y = (AᵀA)⁻¹ Aᵀ y` — the pseudoinverse action for full column
+    /// rank, composed from the two primitives.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] when `y.len() != rows`.
+    fn pinv_apply(&self, y: &[f64]) -> Result<Vec<f64>> {
+        self.solve_normal(&self.apply_transpose(y)?)
+    }
+}
+
+/// Shared handle to a strategy operator — the shape caches and mechanism
+/// state want (operators are immutable once built).
+pub type SharedOperator = Arc<dyn StrategyOperator>;
+
+fn check_len(len: usize, expect: usize, op: &'static str) -> Result<()> {
+    if len != expect {
+        return Err(LinalgError::ShapeMismatch {
+            op,
+            lhs: (expect, 1),
+            rhs: (len, 1),
+        });
+    }
+    Ok(())
+}
+
+/// The identity strategy `A = I_n`: every operation is a copy.
+#[derive(Debug, Clone)]
+pub struct IdentityOperator {
+    n: usize,
+}
+
+impl IdentityOperator {
+    /// The identity over `n` domain cells.
+    pub fn new(n: usize) -> Self {
+        Self { n }
+    }
+}
+
+impl StrategyOperator for IdentityOperator {
+    fn shape(&self) -> (usize, usize) {
+        (self.n, self.n)
+    }
+
+    fn apply(&self, x: &[f64]) -> Result<Vec<f64>> {
+        check_len(x.len(), self.n, "identity apply")?;
+        Ok(x.to_vec())
+    }
+
+    fn apply_transpose(&self, y: &[f64]) -> Result<Vec<f64>> {
+        check_len(y.len(), self.n, "identity apply_transpose")?;
+        Ok(y.to_vec())
+    }
+
+    fn solve_normal(&self, b: &[f64]) -> Result<Vec<f64>> {
+        check_len(b.len(), self.n, "identity solve_normal")?;
+        Ok(b.to_vec())
+    }
+
+    fn l1_operator_norm(&self) -> f64 {
+        1.0
+    }
+}
+
+/// The dense reference operator: materializes `A` and its QR-based
+/// pseudoinverse `A⁺` up front.
+///
+/// This is the `O(n³)`-prepare path the structured operators replace. It
+/// stays because (a) property tests pin the structured solves against it,
+/// (b) benchmarks need the baseline, and (c) it accepts *any* full-rank
+/// matrix, so ad-hoc strategies without structure still work.
+#[derive(Debug, Clone)]
+pub struct DenseOperator {
+    a: Matrix,
+    /// `A⁺` (`n × m`), from QR.
+    a_pinv: Matrix,
+    /// `A⁺ᵀ` (`m × n`), kept so `solve_normal` is two row-major matvecs.
+    a_pinv_t: Matrix,
+    l1_norm: f64,
+}
+
+impl DenseOperator {
+    /// Builds the operator from a full-column-rank dense `A`, paying one
+    /// `O(m n²)` QR pseudoinverse.
+    ///
+    /// # Errors
+    /// * [`LinalgError::Empty`] for an empty matrix.
+    /// * [`LinalgError::RankDeficient`] when `A` lacks full rank.
+    pub fn new(a: Matrix) -> Result<Self> {
+        let a_pinv = pinv(&a)?;
+        let a_pinv_t = a_pinv.transpose();
+        let l1_norm = crate::l1_operator_norm(&a);
+        Ok(Self {
+            a,
+            a_pinv,
+            a_pinv_t,
+            l1_norm,
+        })
+    }
+
+    /// The materialized pseudoinverse `A⁺` (`n × m`).
+    pub fn pinv_matrix(&self) -> &Matrix {
+        &self.a_pinv
+    }
+}
+
+impl StrategyOperator for DenseOperator {
+    fn shape(&self) -> (usize, usize) {
+        self.a.shape()
+    }
+
+    fn apply(&self, x: &[f64]) -> Result<Vec<f64>> {
+        self.a.matvec(x)
+    }
+
+    fn apply_transpose(&self, y: &[f64]) -> Result<Vec<f64>> {
+        check_len(y.len(), self.a.rows(), "dense apply_transpose")?;
+        // Aᵀy without materializing Aᵀ: accumulate rows of A scaled by yᵢ.
+        let mut out = vec![0.0; self.a.cols()];
+        for (i, &w) in y.iter().enumerate() {
+            if w == 0.0 {
+                continue;
+            }
+            for (o, &v) in out.iter_mut().zip(self.a.row(i)) {
+                *o += w * v;
+            }
+        }
+        Ok(out)
+    }
+
+    fn solve_normal(&self, b: &[f64]) -> Result<Vec<f64>> {
+        // (AᵀA)⁻¹ = A⁺ A⁺ᵀ for full column rank.
+        self.a_pinv.matvec(&self.a_pinv_t.matvec(b)?)
+    }
+
+    fn l1_operator_norm(&self) -> f64 {
+        self.l1_norm
+    }
+
+    fn pinv_apply(&self, y: &[f64]) -> Result<Vec<f64>> {
+        // One matvec against the materialized A⁺ — more accurate than the
+        // default solve_normal ∘ apply_transpose composition.
+        self.a_pinv.matvec(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_operator_is_a_no_op() {
+        let op = IdentityOperator::new(3);
+        assert_eq!(op.shape(), (3, 3));
+        assert_eq!(op.rows(), 3);
+        assert_eq!(op.cols(), 3);
+        assert_eq!(op.l1_operator_norm(), 1.0);
+        let x = [1.0, -2.0, 0.5];
+        assert_eq!(op.apply(&x).unwrap(), x.to_vec());
+        assert_eq!(op.apply_transpose(&x).unwrap(), x.to_vec());
+        assert_eq!(op.solve_normal(&x).unwrap(), x.to_vec());
+        assert_eq!(op.pinv_apply(&x).unwrap(), x.to_vec());
+        assert!(op.apply(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn dense_operator_matches_pinv() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![1.0, -1.0],
+        ]);
+        let op = DenseOperator::new(a.clone()).unwrap();
+        assert_eq!(op.shape(), (4, 2));
+
+        let y = [1.0, 2.0, -1.0, 0.5];
+        let expect = pinv(&a).unwrap().matvec(&y).unwrap();
+        let got = op.pinv_apply(&y).unwrap();
+        let composed = op.solve_normal(&op.apply_transpose(&y).unwrap()).unwrap();
+        for i in 0..2 {
+            assert!((got[i] - expect[i]).abs() < 1e-12);
+            assert!((composed[i] - expect[i]).abs() < 1e-10);
+        }
+
+        // apply / apply_transpose against the dense forms.
+        let x = [3.0, -1.0];
+        assert_eq!(op.apply(&x).unwrap(), a.matvec(&x).unwrap());
+        let att = a.transpose().matvec(&y).unwrap();
+        let aot = op.apply_transpose(&y).unwrap();
+        for i in 0..2 {
+            assert!((att[i] - aot[i]).abs() < 1e-12);
+        }
+        assert_eq!(op.l1_operator_norm(), crate::l1_operator_norm(&a));
+    }
+
+    #[test]
+    fn dense_operator_rejects_rank_deficient() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]);
+        assert!(DenseOperator::new(a).is_err());
+    }
+
+    #[test]
+    fn solve_normal_solves_the_normal_equations() {
+        let a = Matrix::from_rows(&[vec![2.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]);
+        let op = DenseOperator::new(a.clone()).unwrap();
+        let b = [1.0, 4.0];
+        let x = op.solve_normal(&b).unwrap();
+        // Check AᵀA x = b.
+        let ata = a.transpose().matmul(&a).unwrap();
+        let back = ata.matvec(&x).unwrap();
+        for i in 0..2 {
+            assert!((back[i] - b[i]).abs() < 1e-10, "{back:?}");
+        }
+    }
+}

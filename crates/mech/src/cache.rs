@@ -1,13 +1,14 @@
-//! Shared cache of strategy-mechanism artifacts (pseudoinverse +
-//! Monte-Carlo translator).
+//! Shared, capacity-bounded cache of strategy-mechanism artifacts
+//! (strategy operator + Monte-Carlo translator).
 //!
-//! Building the strategy mechanism's state for a query is the most
-//! expensive step in the whole engine: the Moore–Penrose pseudoinverse is
-//! `O(n³)` in the domain size and the Monte-Carlo translation simulates
-//! thousands of reconstruction errors. Both depend **only** on the
-//! workload's compiled incidence structure (not the data, not `α`/`β`),
-//! so the common APEx session pattern — many exploration queries over the
-//! same domain partition — recomputes identical artifacts over and over.
+//! Building the strategy mechanism's state for a query used to be the most
+//! expensive step in the whole engine — an `O(n³)` pseudoinverse. The
+//! operator refactor cut the build to `O(n log n)`, but the Monte-Carlo
+//! simulation still costs thousands of solves, and both depend **only** on
+//! the workload's compiled incidence structure (not the data, not
+//! `α`/`β`), so the common APEx session pattern — many exploration queries
+//! over the same domain partition — would recompute identical artifacts
+//! over and over.
 //!
 //! [`SmCache`] memoizes them behind an [`Arc`], keyed by the workload's
 //! structural [`signature`](apex_query::CompiledWorkload::signature), the
@@ -16,10 +17,18 @@
 //! it only removes the rebuild (determinism of the analyzer is preserved
 //! trivially: the cached value *is* the value that would be rebuilt).
 //!
-//! The engine-facing ownership lives in `apex-core` (`ApexEngine` holds
-//! one cache per engine and threads it through mechanism selection); this
-//! module only provides the storage, because the artifact types are
-//! defined here.
+//! The cache is **capacity-bounded** (least-recently-used eviction,
+//! default [`SmCache::DEFAULT_CAPACITY`] entries) so a multi-tenant
+//! deployment can share one cache across engines without unbounded memory
+//! growth: operator-backed artifacts are small (`O(n log n)`), but
+//! adversarial analysts could still submit unboundedly many distinct
+//! workloads. Evictions only ever cost a rebuild, never correctness —
+//! [`CacheStats::evictions`] counts them.
+//!
+//! The engine-facing ownership lives in `apex-core` (`ApexEngine` holds a
+//! cache handle and threads it through mechanism selection; handles can be
+//! shared across engines); this module only provides the storage, because
+//! the artifact types are defined here.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -45,38 +54,104 @@ pub struct SmCacheKey {
     pub tolerance_bits: u64,
 }
 
-/// Running hit/miss counters.
+/// Running hit/miss/eviction counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
     /// Lookups that had to build.
     pub misses: u64,
+    /// Entries evicted to keep the cache within its capacity.
+    pub evictions: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    value: Arc<SmArtifacts>,
+    /// Logical access time (monotone tick), for LRU eviction.
+    last_used: u64,
 }
 
 #[derive(Debug, Default)]
 struct Inner {
-    map: HashMap<SmCacheKey, Arc<SmArtifacts>>,
+    map: HashMap<SmCacheKey, Entry>,
     stats: CacheStats,
+    tick: u64,
 }
 
-/// A thread-safe memo table for [`SmArtifacts`].
-#[derive(Debug, Default)]
+impl Inner {
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Evicts least-recently-used entries until at most `capacity` remain.
+    fn enforce_capacity(&mut self, capacity: usize) {
+        while self.map.len() > capacity {
+            let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            self.map.remove(&victim);
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+/// A thread-safe, LRU-bounded memo table for [`SmArtifacts`].
+#[derive(Debug)]
 pub struct SmCache {
     inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl Default for SmCache {
+    fn default() -> Self {
+        Self {
+            inner: Mutex::new(Inner::default()),
+            capacity: Self::DEFAULT_CAPACITY,
+        }
+    }
 }
 
 impl SmCache {
-    /// An empty cache behind an [`Arc`] (the shape every holder wants).
+    /// Default entry cap: generous for single-engine sessions (an analyst
+    /// rarely touches more than a handful of domain partitions) while
+    /// bounding a shared multi-tenant cache to a few hundred `O(n log n)`
+    /// artifact bundles.
+    pub const DEFAULT_CAPACITY: usize = 128;
+
+    /// An empty cache behind an [`Arc`] (the shape every holder wants),
+    /// with the default capacity.
     pub fn new() -> Arc<Self> {
         Arc::new(Self::default())
+    }
+
+    /// An empty cache bounded to `capacity` entries (clamped to ≥ 1 — a
+    /// zero-capacity cache would silently disable memoization, which is
+    /// never what a caller configuring a cache wants).
+    pub fn with_capacity(capacity: usize) -> Arc<Self> {
+        Arc::new(Self {
+            inner: Mutex::new(Inner::default()),
+            capacity: capacity.max(1),
+        })
+    }
+
+    /// The configured entry cap.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Returns the cached artifacts for `key`, building them with `build`
     /// on a miss. The build runs outside the lock, so a slow build never
     /// blocks hits on other keys; concurrent misses on the same key may
     /// build twice, which is harmless (both builds are deterministic and
-    /// identical — last insert wins).
+    /// identical — last insert wins). Inserting beyond capacity evicts the
+    /// least-recently-used entries.
     ///
     /// # Errors
     /// Propagates the builder's error without caching it.
@@ -87,7 +162,11 @@ impl SmCache {
     ) -> Result<Arc<SmArtifacts>, MechError> {
         if let Some(hit) = {
             let mut inner = self.inner.lock().expect("no poisoning");
-            let hit = inner.map.get(&key).cloned();
+            let tick = inner.touch();
+            let hit = inner.map.get_mut(&key).map(|e| {
+                e.last_used = tick;
+                e.value.clone()
+            });
             if hit.is_some() {
                 inner.stats.hits += 1;
             }
@@ -98,11 +177,19 @@ impl SmCache {
         let built = Arc::new(build()?);
         let mut inner = self.inner.lock().expect("no poisoning");
         inner.stats.misses += 1;
-        inner.map.insert(key, built.clone());
+        let tick = inner.touch();
+        inner.map.insert(
+            key,
+            Entry {
+                value: built.clone(),
+                last_used: tick,
+            },
+        );
+        inner.enforce_capacity(self.capacity);
         Ok(built)
     }
 
-    /// Current hit/miss counters.
+    /// Current hit/miss/eviction counters.
     pub fn stats(&self) -> CacheStats {
         self.inner.lock().expect("no poisoning").stats
     }
@@ -117,7 +204,8 @@ impl SmCache {
         self.len() == 0
     }
 
-    /// Drops every cached entry (counters are kept).
+    /// Drops every cached entry (counters are kept; clearing is not an
+    /// eviction).
     pub fn clear(&self) {
         self.inner.lock().expect("no poisoning").map.clear();
     }
@@ -126,8 +214,8 @@ impl SmCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::mc::{McConfig, McTranslator};
-    use apex_linalg::{CsrMatrix, Matrix};
+    use crate::mc::McConfig;
+    use apex_linalg::CsrMatrix;
 
     fn key(sig: u64) -> SmCacheKey {
         SmCacheKey {
@@ -140,21 +228,15 @@ mod tests {
     }
 
     fn artifacts() -> SmArtifacts {
-        let i = Matrix::identity(2);
-        SmArtifacts {
-            workload: CsrMatrix::identity(2),
-            strategy: CsrMatrix::identity(2),
-            strat_sensitivity: 1.0,
-            recon: i.clone(),
-            translator: McTranslator::with_sensitivity(
-                &i,
-                1.0,
-                McConfig {
-                    samples: 10,
-                    ..Default::default()
-                },
-            ),
-        }
+        SmArtifacts::build(
+            &CsrMatrix::identity(2),
+            Strategy::H2,
+            McConfig {
+                samples: 10,
+                ..Default::default()
+            },
+        )
+        .unwrap()
     }
 
     #[test]
@@ -165,7 +247,14 @@ mod tests {
             .get_or_build(key(7), || panic!("must not rebuild"))
             .unwrap();
         assert!(Arc::ptr_eq(&a, &b));
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
         assert_eq!(cache.len(), 1);
     }
 
@@ -199,5 +288,61 @@ mod tests {
         assert!(!cache.is_empty());
         cache.clear();
         assert!(cache.is_empty());
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_least_recently_used() {
+        let cache = SmCache::with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        cache.get_or_build(key(1), || Ok(artifacts())).unwrap();
+        cache.get_or_build(key(2), || Ok(artifacts())).unwrap();
+        // Touch key 1 so key 2 becomes the LRU victim.
+        cache.get_or_build(key(1), || panic!("cached")).unwrap();
+        cache.get_or_build(key(3), || Ok(artifacts())).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        // Key 1 survived (recently used), key 2 was evicted.
+        cache.get_or_build(key(1), || panic!("cached")).unwrap();
+        let mut rebuilt = false;
+        cache
+            .get_or_build(key(2), || {
+                rebuilt = true;
+                Ok(artifacts())
+            })
+            .unwrap();
+        assert!(rebuilt, "LRU entry must have been evicted");
+        // Inserting key 2 evicted the new LRU (key 3).
+        assert_eq!(cache.stats().evictions, 2);
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let cache = SmCache::with_capacity(0);
+        assert_eq!(cache.capacity(), 1);
+        cache.get_or_build(key(1), || Ok(artifacts())).unwrap();
+        cache.get_or_build(key(2), || Ok(artifacts())).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let cache = SmCache::with_capacity(8);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let cache = cache.clone();
+                s.spawn(move || {
+                    for i in 0..6 {
+                        cache
+                            .get_or_build(key(i % 3 + t % 2), || Ok(artifacts()))
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 24);
+        assert!(cache.len() <= 4);
     }
 }

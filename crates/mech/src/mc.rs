@@ -45,7 +45,9 @@
 //! (budgets, transcripts) encodes pre-rewrite ε values, so no stored state
 //! can go stale.
 
-use apex_linalg::{frobenius_norm, l1_operator_norm, matmul_batched_bt, Matrix};
+use apex_linalg::{
+    frobenius_norm, l1_operator_norm, matmul_batched_bt, CsrMatrix, Matrix, StrategyOperator,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -169,10 +171,46 @@ impl McTranslator {
     }
 
     /// [`McTranslator::new`] with a precomputed strategy sensitivity
-    /// `‖A‖₁` — the batched (default) construction path.
+    /// `‖A‖₁` — the batched dense construction path (the reference the
+    /// operator path is tested against, and the right choice when a dense
+    /// `W A⁺` already exists).
     pub fn with_sensitivity(recon: &Matrix, strat_sensitivity: f64, cfg: McConfig) -> Self {
         let unit_errors = unit_errors_batched(recon, cfg.samples, cfg.seed);
         Self::from_unit_errors(recon, strat_sensitivity, cfg, unit_errors)
+    }
+
+    /// The matrix-free construction: simulates the reconstruction errors
+    /// `‖W A⁺ η‖∞` through a [`StrategyOperator`] — `A⁺η` is one
+    /// `apply_transpose` + one `solve_normal`, never a dense `W A⁺`.
+    ///
+    /// The Chebyshev bound's `‖W A⁺‖_F` is computed without
+    /// materialization either, via the trace identity
+    /// `‖W A⁺‖_F² = tr(W (AᵀA)⁻¹ Wᵀ) = Σ_i wᵢᵀ (AᵀA)⁻¹ wᵢ` — one
+    /// `solve_normal` per workload row.
+    ///
+    /// Noise is drawn from the same per-sample streams as the dense
+    /// paths, so the simulated errors differ from
+    /// [`McTranslator::with_sensitivity`] only by floating-point
+    /// summation order (≈1e-9 relative — property-tested), not by
+    /// distribution.
+    ///
+    /// # Panics
+    /// Panics if `workload.cols() != op.cols()` (caller bug: the workload
+    /// and strategy must share a domain).
+    pub fn with_operator(
+        workload: &CsrMatrix,
+        op: &dyn StrategyOperator,
+        strat_sensitivity: f64,
+        cfg: McConfig,
+    ) -> Self {
+        assert_eq!(
+            workload.cols(),
+            op.cols(),
+            "workload and strategy operator must share the domain"
+        );
+        let unit_errors = unit_errors_operator(workload, op, cfg.samples, cfg.seed);
+        let recon_frobenius = recon_frobenius_via_operator(workload, op);
+        Self::from_parts(strat_sensitivity, recon_frobenius, cfg, unit_errors)
     }
 
     /// The serial reference construction: one noise vector and one dense
@@ -188,6 +226,15 @@ impl McTranslator {
         recon: &Matrix,
         strat_sensitivity: f64,
         cfg: McConfig,
+        unit_errors: Vec<f64>,
+    ) -> Self {
+        Self::from_parts(strat_sensitivity, frobenius_norm(recon), cfg, unit_errors)
+    }
+
+    fn from_parts(
+        strat_sensitivity: f64,
+        recon_frobenius: f64,
+        cfg: McConfig,
         mut unit_errors: Vec<f64>,
     ) -> Self {
         // total_cmp: NaN-safe (a NaN in the samples must not panic the
@@ -196,7 +243,7 @@ impl McTranslator {
         unit_errors.sort_by(f64::total_cmp);
         Self {
             strat_sensitivity,
-            recon_frobenius: frobenius_norm(recon),
+            recon_frobenius,
             unit_errors,
             cfg,
         }
@@ -317,6 +364,88 @@ pub fn unit_errors_batched(recon: &Matrix, samples: usize, seed: u64) -> Vec<f64
         start += bs;
     }
     errors
+}
+
+/// The matrix-free simulation: per sample, draw `m` unit-Laplace
+/// variables (`m` = strategy rows, the same per-sample streams as the
+/// dense paths), push them through `A⁺ = solve_normal ∘ apply_transpose`,
+/// apply the sparse workload, and reduce `‖·‖∞`. Per sample
+/// `O(nnz(W) + solve cost)` — `O(nnz(W) + n)` for the hierarchical
+/// family, with no `L × m` dense product anywhere.
+///
+/// Samples split across [`apex_linalg::max_threads`] scoped threads:
+/// each sample owns its RNG stream and its output slot, so the result is
+/// **identical for every thread count** (pinned by a property test —
+/// parallelism must never change a privacy decision).
+pub fn unit_errors_operator(
+    workload: &CsrMatrix,
+    op: &dyn StrategyOperator,
+    samples: usize,
+    seed: u64,
+) -> Vec<f64> {
+    unit_errors_operator_with_threads(workload, op, samples, seed, apex_linalg::max_threads())
+}
+
+/// [`unit_errors_operator`] with an explicit thread count (clamped to
+/// ≥ 1). The result does not depend on `threads` — only wall-clock does.
+pub fn unit_errors_operator_with_threads(
+    workload: &CsrMatrix,
+    op: &dyn StrategyOperator,
+    samples: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<f64> {
+    let mut errors = vec![0.0_f64; samples];
+    if samples == 0 {
+        return errors;
+    }
+    let m = op.rows();
+    let chunk = samples.div_ceil(threads.clamp(1, samples));
+    std::thread::scope(|s| {
+        for (t, slice) in errors.chunks_mut(chunk).enumerate() {
+            s.spawn(move || {
+                let unit = Laplace::new(1.0);
+                for (j, e) in slice.iter_mut().enumerate() {
+                    let mut rng = sample_stream(seed, (t * chunk + j) as u64);
+                    let eta = unit.sample_vec(m, &mut rng);
+                    let recon_eta = op
+                        .pinv_apply(&eta)
+                        .expect("noise length matches operator rows");
+                    *e = workload
+                        .matvec(&recon_eta)
+                        .expect("workload and operator share the domain")
+                        .iter()
+                        .fold(0.0_f64, |mx, v| mx.max(v.abs()));
+                }
+            });
+        }
+    });
+    errors
+}
+
+/// `‖W A⁺‖_F` without materializing `W A⁺`, via
+/// `‖W A⁺‖_F² = tr(W (AᵀA)⁻¹ Wᵀ) = Σ_i wᵢᵀ (AᵀA)⁻¹ wᵢ` — one normal
+/// solve per workload row (`O(L · n)` total for the hierarchical family).
+pub fn recon_frobenius_via_operator(workload: &CsrMatrix, op: &dyn StrategyOperator) -> f64 {
+    let n = workload.cols();
+    let mut w_dense = vec![0.0_f64; n];
+    let mut total = 0.0_f64;
+    for i in 0..workload.rows() {
+        let (cols, vals) = workload.row(i);
+        for (&j, &v) in cols.iter().zip(vals) {
+            w_dense[j] = v;
+        }
+        let z = op
+            .solve_normal(&w_dense)
+            .expect("workload and operator share the domain");
+        // wᵢᵀ z over the sparse support only.
+        total += cols.iter().zip(vals).map(|(&j, &v)| v * z[j]).sum::<f64>();
+        for &j in cols {
+            w_dense[j] = 0.0;
+        }
+    }
+    // M⁻¹ is SPD, so each summand is ≥ 0 up to rounding.
+    total.max(0.0).sqrt()
 }
 
 #[cfg(test)]
@@ -476,6 +605,99 @@ mod tests {
         let (alpha, beta) = (10.0, 0.05);
         let chebyshev = 1.0 * 1.0 / (alpha * (beta / 2.0_f64).sqrt());
         assert_eq!(t.translate(alpha, beta), chebyshev);
+    }
+
+    /// Build the dense `W A⁺` alongside the operator to compare paths.
+    fn prefix_workload_csr(n: usize) -> CsrMatrix {
+        let mut b = apex_linalg::CsrBuilder::new(n);
+        for i in 0..n {
+            b.push_interval_row(0, i + 1);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn operator_translator_agrees_with_dense_translator() {
+        use apex_query::Strategy;
+        for n in [5usize, 16, 33] {
+            let w = prefix_workload_csr(n);
+            let op = Strategy::H2.operator(n).unwrap();
+            let a_dense = Strategy::H2.build(n).unwrap();
+            let recon = w.matmul(&apex_linalg::pinv(&a_dense).unwrap()).unwrap();
+            let sens = op.l1_operator_norm();
+            let cfg = McConfig {
+                samples: 1_500,
+                ..Default::default()
+            };
+            let t_op = McTranslator::with_operator(&w, op.as_ref(), sens, cfg);
+            let t_dense = McTranslator::with_sensitivity(&recon, sens, cfg);
+
+            // Same noise, same distribution; only FP summation order
+            // differs, so the per-sample errors match tightly...
+            assert_eq!(t_op.unit_errors().len(), t_dense.unit_errors().len());
+            for (a, b) in t_op.unit_errors().iter().zip(t_dense.unit_errors()) {
+                assert!(
+                    (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+                    "n={n}: {a} vs {b}"
+                );
+            }
+            // ...and the translations land within the search tolerance.
+            let (alpha, beta) = (10.0, 0.05);
+            let e_op = t_op.translate(alpha, beta);
+            let e_dense = t_dense.translate(alpha, beta);
+            assert!(
+                (e_op - e_dense).abs() <= 2.0 * cfg.tolerance * e_dense,
+                "n={n}: {e_op} vs {e_dense}"
+            );
+        }
+    }
+
+    #[test]
+    fn operator_frobenius_matches_dense_frobenius() {
+        use apex_query::Strategy;
+        for n in [4usize, 9, 20] {
+            let w = prefix_workload_csr(n);
+            let op = Strategy::H2.operator(n).unwrap();
+            let a_dense = Strategy::H2.build(n).unwrap();
+            let recon = w.matmul(&apex_linalg::pinv(&a_dense).unwrap()).unwrap();
+            let f_op = recon_frobenius_via_operator(&w, op.as_ref());
+            let f_dense = frobenius_norm(&recon);
+            assert!(
+                (f_op - f_dense).abs() <= 1e-9 * f_dense,
+                "n={n}: {f_op} vs {f_dense}"
+            );
+        }
+    }
+
+    #[test]
+    fn operator_unit_errors_are_thread_count_invariant() {
+        use apex_query::Strategy;
+        for (n, samples) in [(7usize, 1usize), (16, 37), (33, 260)] {
+            let w = prefix_workload_csr(n);
+            let op = Strategy::H2.operator(n).unwrap();
+            let one = unit_errors_operator_with_threads(&w, op.as_ref(), samples, 0xBEE, 1);
+            for threads in [2usize, 3, 8, 64] {
+                let t = unit_errors_operator_with_threads(&w, op.as_ref(), samples, 0xBEE, threads);
+                assert_eq!(one, t, "n={n} N={samples} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_operator_translator_matches_identity_recon() {
+        use apex_linalg::IdentityOperator;
+        let n = 6;
+        let w = CsrMatrix::identity(n);
+        let op = IdentityOperator::new(n);
+        let cfg = McConfig {
+            samples: 2_000,
+            ..Default::default()
+        };
+        let t_op = McTranslator::with_operator(&w, &op, 1.0, cfg);
+        let t_dense = McTranslator::with_sensitivity(&Matrix::identity(n), 1.0, cfg);
+        // With W = A = I both paths compute |η_j| maxima — identically.
+        assert_eq!(t_op.unit_errors(), t_dense.unit_errors());
+        assert_eq!(t_op.translate(8.0, 0.05), t_dense.translate(8.0, 0.05));
     }
 
     #[test]

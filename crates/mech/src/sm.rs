@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use apex_data::Dataset;
-use apex_linalg::{pinv, CsrMatrix, Matrix};
+use apex_linalg::{pinv, CsrMatrix, Matrix, SharedOperator};
 use apex_query::{AccuracySpec, QueryAnswer, QueryKind, Strategy};
 use rand::rngs::StdRng;
 
@@ -13,9 +13,29 @@ use crate::mc::{McConfig, McTranslator};
 use crate::traits::unsupported;
 use crate::{Laplace, MechError, MechOutput, Mechanism, PreparedQuery, Translation};
 
+/// How the artifacts answer the strategy and reconstruct workload
+/// answers.
+#[derive(Debug)]
+pub enum ReconBackend {
+    /// The matrix-free default: `ŷ = op.apply(x)` and
+    /// `ω = W · op.pinv_apply(ŷ)` (one `apply_transpose` + one
+    /// `solve_normal`). No `O(n³)` pseudoinverse, no dense `W A⁺`.
+    Operator(SharedOperator),
+    /// The dense reference: `A` in CSR plus the materialized `W A⁺`,
+    /// exactly the pre-operator pipeline. Kept for property tests and
+    /// benchmarks (see
+    /// [`StrategyMechanism::new_dense_reference`]).
+    Dense {
+        /// The strategy matrix `A` in sparse form.
+        strategy: CsrMatrix,
+        /// The dense reconstruction matrix `W A⁺`.
+        recon: Matrix,
+    },
+}
+
 /// Everything the strategy mechanism derives from a query's incidence
-/// structure: the CSR strategy matrix, its sensitivity, the dense
-/// reconstruction `W A⁺`, and the prepared Monte-Carlo translator.
+/// structure: the strategy's action (operator or dense reference), its
+/// sensitivity, and the prepared Monte-Carlo translator.
 ///
 /// Data-independent (only the compiled workload and the strategy go in),
 /// so it is safe to reuse across queries and analysts — see
@@ -28,15 +48,130 @@ pub struct SmArtifacts {
     /// signature, and a hash collision must never hand one workload
     /// another workload's reconstruction.
     pub workload: CsrMatrix,
-    /// The strategy matrix `A` in sparse form.
-    pub strategy: CsrMatrix,
     /// `‖A‖₁`.
     pub strat_sensitivity: f64,
-    /// The dense reconstruction matrix `W A⁺` (numerically dense — the
-    /// one matrix worth keeping dense, see `apex_linalg::sparse`).
-    pub recon: Matrix,
-    /// The Monte-Carlo translator prepared for `recon`.
+    /// The Monte-Carlo translator prepared for `W A⁺`.
     pub translator: McTranslator,
+    /// Strategy answering + reconstruction backend.
+    pub backend: ReconBackend,
+}
+
+impl SmArtifacts {
+    /// Builds operator-backed artifacts for `workload` answered through
+    /// `strategy` — the default, `O(n log n)`-prepare path.
+    ///
+    /// # Errors
+    /// Propagates strategy-construction failures (empty domain, bad
+    /// branching).
+    pub fn build(
+        workload: &CsrMatrix,
+        strategy: Strategy,
+        mc: McConfig,
+    ) -> Result<Self, MechError> {
+        let op = strategy.operator(workload.cols())?;
+        let strat_sensitivity = op.l1_operator_norm();
+        let translator = McTranslator::with_operator(workload, op.as_ref(), strat_sensitivity, mc);
+        Ok(SmArtifacts {
+            workload: workload.clone(),
+            strat_sensitivity,
+            translator,
+            backend: ReconBackend::Operator(op),
+        })
+    }
+
+    /// Builds the dense reference artifacts: `A` in CSR, `A⁺` via the
+    /// `O(n³)` QR pseudoinverse, the materialized `W A⁺`, and the batched
+    /// dense Monte-Carlo simulation — byte-for-byte the pre-operator
+    /// pipeline, kept for tests and benchmarks.
+    ///
+    /// # Errors
+    /// Propagates strategy-construction and pseudoinverse failures.
+    pub fn build_dense_reference(
+        workload: &CsrMatrix,
+        strategy: Strategy,
+        mc: McConfig,
+    ) -> Result<Self, MechError> {
+        let a = strategy.build_csr(workload.cols())?;
+        let a_pinv = pinv(&a.to_dense())?;
+        let recon = workload.matmul(&a_pinv)?;
+        let strat_sensitivity = a.l1_operator_norm();
+        let translator = McTranslator::with_sensitivity(&recon, strat_sensitivity, mc);
+        Ok(SmArtifacts {
+            workload: workload.clone(),
+            strat_sensitivity,
+            translator,
+            backend: ReconBackend::Dense { strategy: a, recon },
+        })
+    }
+
+    /// Operator-backed artifacts through a cache, with the
+    /// verify-on-hit collision check — the one shared implementation of
+    /// this security-relevant pattern (used by [`StrategyMechanism`] and
+    /// by `apex-core`'s `PreparedTranslator`).
+    ///
+    /// `signature` must be the workload's structural signature
+    /// (`CsrMatrix::signature`; pass the precomputed
+    /// `CompiledWorkload::signature` to avoid an `O(nnz)` rehash). It is
+    /// a 64-bit hash and analyst workloads are adversarial input in a DP
+    /// engine, so a hit is verified against the actual structure: on a
+    /// collision the artifacts are rebuilt uncached rather than answering
+    /// with another workload's reconstruction.
+    ///
+    /// # Errors
+    /// Propagates build failures.
+    pub fn get_or_build_cached(
+        cache: &SmCache,
+        workload: &CsrMatrix,
+        signature: u64,
+        strategy: Strategy,
+        mc: McConfig,
+    ) -> Result<Arc<Self>, MechError> {
+        let key = SmCacheKey {
+            workload_signature: signature,
+            strategy,
+            samples: mc.samples,
+            seed: mc.seed,
+            tolerance_bits: mc.tolerance.to_bits(),
+        };
+        let art = cache.get_or_build(key, || Self::build(workload, strategy, mc))?;
+        if art.workload == *workload {
+            Ok(art)
+        } else {
+            Ok(Arc::new(Self::build(workload, strategy, mc)?))
+        }
+    }
+
+    /// The strategy's answer `A x` on a histogram.
+    ///
+    /// # Errors
+    /// Shape mismatches surface as [`MechError::Linalg`].
+    pub fn strategy_answer(&self, x: &[f64]) -> Result<Vec<f64>, MechError> {
+        match &self.backend {
+            ReconBackend::Operator(op) => Ok(op.apply(x)?),
+            ReconBackend::Dense { strategy, .. } => Ok(strategy.matvec(x)?),
+        }
+    }
+
+    /// Reconstructs workload answers `ω = (W A⁺) ŷ` from noisy strategy
+    /// answers — via `solve_normal` + `apply_transpose` on the operator
+    /// path, via the materialized dense product on the reference path.
+    ///
+    /// # Errors
+    /// Shape mismatches surface as [`MechError::Linalg`].
+    pub fn reconstruct(&self, y_hat: &[f64]) -> Result<Vec<f64>, MechError> {
+        match &self.backend {
+            ReconBackend::Operator(op) => Ok(self.workload.matvec(&op.pinv_apply(y_hat)?)?),
+            ReconBackend::Dense { recon, .. } => Ok(recon.matvec(y_hat)?),
+        }
+    }
+
+    /// Number of strategy rows `m` (the noise dimension).
+    pub fn strategy_rows(&self) -> usize {
+        match &self.backend {
+            ReconBackend::Operator(op) => op.rows(),
+            ReconBackend::Dense { strategy, .. } => strategy.rows(),
+        }
+    }
 }
 
 /// The strategy mechanism: answer a low-sensitivity strategy workload `A`
@@ -52,17 +187,22 @@ pub struct SmArtifacts {
 /// counts thresholded locally; the one-sided accuracy requirement lets it
 /// run the WCQ translation at `β_wcq = 2β`.
 ///
-/// Matrix handling: `W` stays in CSR (products scale with nonzeros), `A`
-/// is built directly in CSR, and only the pseudoinverse-derived
-/// reconstruction is dense. When constructed
-/// [`with_cache`](StrategyMechanism::with_cache), the `O(n³)`
-/// pseudoinverse and the Monte-Carlo simulation are memoized per
-/// workload-signature.
+/// Matrix handling: `W` stays in CSR (products scale with nonzeros), and
+/// the strategy is a matrix-free [`apex_linalg::StrategyOperator`] — the
+/// `O(n³)` pseudoinverse of the old pipeline is replaced by structured
+/// normal-equation solves (`O(n)` per right-hand side for `H_b`), so no
+/// dense `A⁺` or `W A⁺` is ever materialized. When constructed
+/// [`with_cache`](StrategyMechanism::with_cache), the operator-backed
+/// artifacts (operator + Monte-Carlo translator) are memoized per
+/// workload-signature. The dense pipeline survives behind
+/// [`new_dense_reference`](StrategyMechanism::new_dense_reference) for
+/// tests and benchmarks.
 #[derive(Debug, Clone)]
 pub struct StrategyMechanism {
     strategy: Strategy,
     mc: McConfig,
     cache: Option<Arc<SmCache>>,
+    dense_reference: bool,
 }
 
 impl StrategyMechanism {
@@ -77,16 +217,33 @@ impl StrategyMechanism {
             strategy,
             mc,
             cache: None,
+            dense_reference: false,
         }
     }
 
-    /// Like [`StrategyMechanism::new`], but artifacts (pseudoinverse + MC
+    /// Like [`StrategyMechanism::new`], but artifacts (operator + MC
     /// translator) are looked up in / inserted into `cache`.
     pub fn with_cache(strategy: Strategy, mc: McConfig, cache: Arc<SmCache>) -> Self {
         Self {
             strategy,
             mc,
             cache: Some(cache),
+            dense_reference: false,
+        }
+    }
+
+    /// The dense reference pipeline (`O(n³)` QR pseudoinverse +
+    /// materialized `W A⁺` + batched dense Monte-Carlo) — byte-for-byte
+    /// the pre-operator behavior. For tests and benchmarks only; it is
+    /// deliberately uncached so reference runs can never pollute an
+    /// operator-backed cache (the two paths differ in low-order
+    /// floating-point bits).
+    pub fn new_dense_reference(strategy: Strategy, mc: McConfig) -> Self {
+        Self {
+            strategy,
+            mc,
+            cache: None,
+            dense_reference: true,
         }
     }
 
@@ -99,44 +256,27 @@ impl StrategyMechanism {
     fn artifacts(&self, q: &PreparedQuery) -> Result<Arc<SmArtifacts>, MechError> {
         match &self.cache {
             None => Ok(Arc::new(self.build_artifacts(q)?)),
-            Some(cache) => {
-                let key = SmCacheKey {
-                    workload_signature: q.compiled().signature(),
-                    strategy: self.strategy,
-                    samples: self.mc.samples,
-                    seed: self.mc.seed,
-                    tolerance_bits: self.mc.tolerance.to_bits(),
-                };
-                let art = cache.get_or_build(key, || self.build_artifacts(q))?;
-                // Verify the hit: the key is a 64-bit hash, and analyst
-                // workloads are adversarial input in a DP engine. On a
-                // signature collision, fall back to an uncached build
-                // rather than answer with another workload's matrices.
-                if art.workload == *q.compiled().csr() {
-                    Ok(art)
-                } else {
-                    Ok(Arc::new(self.build_artifacts(q)?))
-                }
-            }
+            // Cached construction is always the operator path
+            // (`new_dense_reference` never carries a cache).
+            Some(cache) => SmArtifacts::get_or_build_cached(
+                cache,
+                q.compiled().csr(),
+                q.compiled().signature(),
+                self.strategy,
+                self.mc,
+            ),
         }
     }
 
-    /// Builds `A` (CSR), `A⁺` (dense, QR-based), the reconstruction
-    /// `W A⁺` (sparse × dense product), and the MC translator.
+    /// Builds the artifacts for a query: operator-backed by default, the
+    /// dense reference pipeline when so constructed.
     fn build_artifacts(&self, q: &PreparedQuery) -> Result<SmArtifacts, MechError> {
         let w = q.compiled().csr();
-        let a = self.strategy.build_csr(w.cols())?;
-        let a_pinv = pinv(&a.to_dense())?;
-        let recon = w.matmul(&a_pinv)?;
-        let strat_sensitivity = a.l1_operator_norm();
-        let translator = McTranslator::with_sensitivity(&recon, strat_sensitivity, self.mc);
-        Ok(SmArtifacts {
-            workload: w.clone(),
-            strategy: a,
-            strat_sensitivity,
-            recon,
-            translator,
-        })
+        if self.dense_reference {
+            SmArtifacts::build_dense_reference(w, self.strategy, self.mc)
+        } else {
+            SmArtifacts::build(w, self.strategy, self.mc)
+        }
     }
 
     /// The effective WCQ-level failure probability for a query kind:
@@ -179,15 +319,17 @@ impl Mechanism for StrategyMechanism {
         let art = self.artifacts(q)?;
         let eps = art.translator.translate(acc.alpha(), beta);
 
-        // ŷ = A x + Lap(‖A‖₁/ε)^l ; ω = (W A⁺) ŷ.
+        // ŷ = A x + Lap(‖A‖₁/ε)^m ; ω = (W A⁺) ŷ — on the operator path
+        // the reconstruction is solve_normal ∘ apply_transpose, never a
+        // stored dense W A⁺.
         let x = q.compiled().histogram(data);
-        let mut y = art.strategy.matvec(&x)?;
+        let mut y = art.strategy_answer(&x)?;
         let b = art.strat_sensitivity / eps;
         let lap = Laplace::new(b);
         for v in y.iter_mut() {
             *v += lap.sample(rng);
         }
-        let omega = art.recon.matvec(&y)?;
+        let omega = art.reconstruct(&y)?;
 
         let answer = match q.kind() {
             QueryKind::Wcq => QueryAnswer::Counts(omega),
@@ -404,7 +546,6 @@ mod tests {
         let sm = StrategyMechanism::with_cache(Strategy::H2, small_mc(), cache.clone());
 
         // Build q8's artifacts, then plant them under q16's key.
-        let q8_art = sm.artifacts(&q8).unwrap();
         let poisoned_key = crate::cache::SmCacheKey {
             workload_signature: q16.compiled().signature(),
             strategy: Strategy::H2,
@@ -414,17 +555,7 @@ mod tests {
         };
         cache
             .get_or_build(poisoned_key, || {
-                Ok(SmArtifacts {
-                    workload: q8_art.workload.clone(),
-                    strategy: q8_art.strategy.clone(),
-                    strat_sensitivity: q8_art.strat_sensitivity,
-                    recon: q8_art.recon.clone(),
-                    translator: McTranslator::with_sensitivity(
-                        &q8_art.recon,
-                        q8_art.strat_sensitivity,
-                        small_mc(),
-                    ),
-                })
+                SmArtifacts::build(q8.compiled().csr(), Strategy::H2, small_mc())
             })
             .unwrap();
 
@@ -451,6 +582,36 @@ mod tests {
         // One build, nine hits (translate + run per call after the first).
         assert_eq!(cache.stats().misses, 1);
         assert!(cache.stats().hits >= 4);
+    }
+
+    #[test]
+    fn dense_reference_and_operator_paths_agree() {
+        // The operator path replaces the dense pinv; its translations and
+        // answers must match the reference up to floating-point summation
+        // order (the two simulate the same noise streams).
+        let q = PreparedQuery::prepare(&schema(), &prefix_query(16)).unwrap();
+        let acc = AccuracySpec::new(40.0, 0.05).unwrap();
+        let op_path = StrategyMechanism::new(Strategy::H2, small_mc());
+        let dense_path = StrategyMechanism::new_dense_reference(Strategy::H2, small_mc());
+        let e_op = op_path.translate(&q, &acc).unwrap().upper;
+        let e_dense = dense_path.translate(&q, &acc).unwrap().upper;
+        assert!(
+            (e_op - e_dense).abs() <= 3.0 * small_mc().tolerance * e_dense,
+            "operator ε {e_op} vs dense ε {e_dense}"
+        );
+
+        // Reconstruction on a fixed noisy strategy answer agrees tightly.
+        let art_op = op_path.artifacts(&q).unwrap();
+        let art_dense = dense_path.artifacts(&q).unwrap();
+        assert_eq!(art_op.strategy_rows(), art_dense.strategy_rows());
+        let y: Vec<f64> = (0..art_op.strategy_rows())
+            .map(|i| (i as f64) * 0.7 - 3.0)
+            .collect();
+        let w_op = art_op.reconstruct(&y).unwrap();
+        let w_dense = art_dense.reconstruct(&y).unwrap();
+        for (a, b) in w_op.iter().zip(&w_dense) {
+            assert!((a - b).abs() <= 1e-8 * b.abs().max(1.0), "{a} vs {b}");
+        }
     }
 
     #[test]

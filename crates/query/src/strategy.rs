@@ -7,7 +7,11 @@
 //! `H_b` family (branching factor `b`), the identity strategy, and the
 //! trivial "workload as strategy" fallback.
 
-use apex_linalg::{CsrBuilder, CsrMatrix, Matrix};
+use std::sync::Arc;
+
+use apex_linalg::{
+    CsrBuilder, CsrMatrix, HierarchicalOperator, IdentityOperator, Matrix, SharedOperator,
+};
 
 /// Errors raised while building a strategy matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,6 +91,38 @@ impl Strategy {
                     return Err(StrategyError::BadBranching(*branching));
                 }
                 Ok(hierarchical(n_cells, *branching))
+            }
+        }
+    }
+
+    /// Hands out the strategy as a matrix-free [`SharedOperator`] — the
+    /// primary representation for mechanism code since the operator
+    /// refactor. `apply` answers the strategy, `apply_transpose` +
+    /// `solve_normal` compose into the pseudoinverse action `A⁺ŷ`, so the
+    /// `O(n³)` dense pseudoinverse is never materialized: the hierarchical
+    /// family solves its normal equations in `O(n)` per right-hand side.
+    ///
+    /// The operator's rows are in the exact order of
+    /// [`Strategy::build_csr`], and `apply`/`apply_transpose` match the
+    /// CSR matvecs bit for bit (property-tested).
+    ///
+    /// # Errors
+    /// * [`StrategyError::EmptyDomain`] when `n_cells == 0`.
+    /// * [`StrategyError::BadBranching`] when `branching < 2`.
+    pub fn operator(&self, n_cells: usize) -> Result<SharedOperator, StrategyError> {
+        if n_cells == 0 {
+            return Err(StrategyError::EmptyDomain);
+        }
+        match self {
+            Strategy::Identity => Ok(Arc::new(IdentityOperator::new(n_cells))),
+            Strategy::Hierarchical { branching } => {
+                if *branching < 2 {
+                    return Err(StrategyError::BadBranching(*branching));
+                }
+                Ok(Arc::new(
+                    HierarchicalOperator::new(n_cells, *branching)
+                        .expect("non-empty domain checked above"),
+                ))
             }
         }
     }
@@ -225,6 +261,58 @@ mod tests {
             a.nnz(),
             (0..a.rows()).map(|i| a.row(i).0.len()).sum::<usize>()
         );
+    }
+
+    #[test]
+    fn operator_agrees_with_csr_bit_for_bit() {
+        for n in [1usize, 2, 6, 17, 33] {
+            for strat in [
+                Strategy::Identity,
+                Strategy::H2,
+                Strategy::Hierarchical { branching: 3 },
+            ] {
+                let csr = strat.build_csr(n).unwrap();
+                let op = strat.operator(n).unwrap();
+                assert_eq!(op.shape(), csr.shape(), "{} over {n}", strat.name());
+                assert_eq!(op.l1_operator_norm(), csr.l1_operator_norm());
+
+                let x: Vec<f64> = (0..n).map(|i| (i as f64) * 0.37 - 1.0).collect();
+                assert_eq!(op.apply(&x).unwrap(), csr.matvec(&x).unwrap());
+
+                let y: Vec<f64> = (0..csr.rows()).map(|i| ((i % 9) as f64) - 4.0).collect();
+                assert_eq!(
+                    op.apply_transpose(&y).unwrap(),
+                    csr.transpose().matvec(&y).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn operator_pinv_apply_matches_dense_pinv() {
+        for n in [3usize, 8, 13] {
+            let op = Strategy::H2.operator(n).unwrap();
+            let dense = Strategy::H2.build(n).unwrap();
+            let ap = pinv(&dense).unwrap();
+            let y: Vec<f64> = (0..op.rows()).map(|i| (i as f64).cos()).collect();
+            let via_op = op.pinv_apply(&y).unwrap();
+            let via_dense = ap.matvec(&y).unwrap();
+            for (a, b) in via_op.iter().zip(&via_dense) {
+                assert!((a - b).abs() < 1e-10, "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn operator_errors_match_builder_errors() {
+        assert!(matches!(
+            Strategy::Identity.operator(0),
+            Err(StrategyError::EmptyDomain)
+        ));
+        assert!(matches!(
+            Strategy::Hierarchical { branching: 1 }.operator(4),
+            Err(StrategyError::BadBranching(1))
+        ));
     }
 
     #[test]
