@@ -72,14 +72,34 @@ impl TranslatorCache {
         self.inner.capacity()
     }
 
+    /// A new *scope* onto the same cache: storage, capacity bound, and
+    /// global counters are shared, while the hit/miss/eviction counters
+    /// reported by [`TranslatorCache::local_stats`] on the new handle
+    /// start at zero. A multi-tenant service hands each tenant engine its
+    /// own scope of one shared cache, so per-tenant counters can be
+    /// reported next to the global aggregate ([`TranslatorCache::stats`]).
+    pub fn scoped(&self) -> Self {
+        Self {
+            inner: self.inner.scoped(),
+        }
+    }
+
     /// The underlying storage, in the shape mechanism construction wants.
     pub fn handle(&self) -> Arc<SmCache> {
         self.inner.clone()
     }
 
-    /// Hit/miss counters since construction.
+    /// Hit/miss/eviction counters, aggregated over every scope of this
+    /// cache's storage.
     pub fn stats(&self) -> CacheStats {
         self.inner.stats()
+    }
+
+    /// The counters attributable to lookups made through *this* handle
+    /// (and its clones — cloning shares the scope; [`TranslatorCache::scoped`]
+    /// starts a fresh one).
+    pub fn local_stats(&self) -> CacheStats {
+        self.inner.local_stats()
     }
 
     /// Number of distinct `(workload, strategy, MC config)` entries.

@@ -196,6 +196,26 @@ impl ApexEngine {
         query: &ExplorationQuery,
         accuracy: &AccuracySpec,
     ) -> Result<EngineResponse, EngineError> {
+        self.submit_capped(query, accuracy, f64::INFINITY)
+    }
+
+    /// [`ApexEngine::submit`] with an additional admission cap: the
+    /// mechanism's worst-case loss must fit under
+    /// `min(remaining budget, cap)` or the query is denied. This is how a
+    /// session holding only a *slice* of the owner's budget submits — the
+    /// engine-wide budget `B` still bounds the joint spend of every
+    /// session, and the cap additionally bounds this submission.
+    /// `submit` is exactly `submit_capped(…, ∞)`, so an uncapped caller
+    /// pays nothing; a denial (by either bound) still charges nothing.
+    ///
+    /// # Errors
+    /// Same contract as [`ApexEngine::submit`].
+    pub fn submit_capped(
+        &mut self,
+        query: &ExplorationQuery,
+        accuracy: &AccuracySpec,
+        cap: f64,
+    ) -> Result<EngineResponse, EngineError> {
         let prepared = PreparedQuery::prepare(self.data.schema(), query)?;
         let record = QueryRecord {
             kind: prepared.kind().name(),
@@ -211,7 +231,7 @@ impl ApexEngine {
         let choice = choose_mechanism_cached(
             &prepared,
             accuracy,
-            self.remaining(),
+            self.remaining().min(cap),
             self.mode,
             Some(self.cache.handle()),
         )?;

@@ -53,7 +53,7 @@ pub mod translator;
 pub use cache::TranslatorCache;
 pub use engine::{Answered, ApexEngine, EngineConfig, EngineResponse, Mode};
 pub use error::EngineError;
-pub use shared::SharedEngine;
+pub use shared::{EngineSession, SharedEngine};
 pub use transcript::{QueryRecord, Transcript, TranscriptEntry};
 pub use translator::{
     choose_mechanism, choose_mechanism_cached, MechanismChoice, PreparedTranslator,

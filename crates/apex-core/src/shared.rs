@@ -8,6 +8,7 @@
 
 use std::sync::Arc;
 
+use apex_mech::CacheStats;
 use apex_query::{AccuracySpec, ExplorationQuery};
 use parking_lot::Mutex;
 
@@ -58,6 +59,97 @@ impl SharedEngine {
     /// Runs `f` with the locked engine (e.g. to inspect the transcript).
     pub fn with_engine<T>(&self, f: impl FnOnce(&ApexEngine) -> T) -> T {
         f(&self.inner.lock())
+    }
+
+    /// Hit/miss/eviction counters of the engine's translator cache,
+    /// aggregated over every scope of the underlying storage (see
+    /// [`crate::TranslatorCache::stats`]).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.lock().translator_cache().stats()
+    }
+
+    /// The translator-cache counters attributable to *this engine's*
+    /// lookups (its scope of a possibly shared cache — see
+    /// [`crate::TranslatorCache::local_stats`]).
+    pub fn local_cache_stats(&self) -> CacheStats {
+        self.inner.lock().translator_cache().local_stats()
+    }
+
+    /// Opens an analyst **session** holding a slice of the budget: the
+    /// session may spend at most `allowance`, and all sessions jointly may
+    /// spend at most the engine's `B` (slices may oversubscribe `B`; the
+    /// engine-wide bound always wins). Admission checks both bounds
+    /// atomically — the whole admit–run–charge sequence runs under the
+    /// engine lock with the session lock held, so concurrent submissions
+    /// through any mix of sessions can overshoot neither their slices nor
+    /// `B`.
+    ///
+    /// `allowance` is clamped to `≥ 0`; a zero-allowance session is valid
+    /// and denies everything (useful for read-only budget observers).
+    pub fn session(&self, allowance: f64) -> EngineSession {
+        EngineSession {
+            engine: self.clone(),
+            allowance: allowance.max(0.0),
+            spent: Arc::new(Mutex::new(0.0)),
+        }
+    }
+}
+
+/// One analyst's budget-sliced view of a [`SharedEngine`] — what a
+/// multi-tenant service hands out per `POST /v1/sessions`.
+///
+/// Cloning shares the slice (clones draw from the same allowance), which
+/// lets one session be served from several worker threads. Lock order is
+/// session → engine, taken in [`EngineSession::submit`] only, so sessions
+/// cannot deadlock against each other or the engine.
+#[derive(Debug, Clone)]
+pub struct EngineSession {
+    engine: SharedEngine,
+    allowance: f64,
+    spent: Arc<Mutex<f64>>,
+}
+
+impl EngineSession {
+    /// Submits a query, admitting it only if its worst-case loss fits
+    /// under both the session's remaining allowance and the engine's
+    /// remaining budget. Denial (by either bound) charges nothing.
+    ///
+    /// # Errors
+    /// Same contract as [`ApexEngine::submit`].
+    pub fn submit(
+        &self,
+        query: &ExplorationQuery,
+        accuracy: &AccuracySpec,
+    ) -> Result<EngineResponse, EngineError> {
+        let mut spent = self.spent.lock();
+        let mut engine = self.engine.inner.lock();
+        let cap = (self.allowance - *spent).max(0.0);
+        let response = engine.submit_capped(query, accuracy, cap)?;
+        if let EngineResponse::Answered(a) = &response {
+            *spent += a.epsilon;
+        }
+        Ok(response)
+    }
+
+    /// The slice of the budget this session was opened with.
+    pub fn allowance(&self) -> f64 {
+        self.allowance
+    }
+
+    /// Actual privacy loss charged to this session so far.
+    pub fn spent(&self) -> f64 {
+        *self.spent.lock()
+    }
+
+    /// Remaining session allowance (the engine-wide budget may be the
+    /// tighter bound — see [`EngineSession::engine`]).
+    pub fn remaining(&self) -> f64 {
+        (self.allowance - *self.spent.lock()).max(0.0)
+    }
+
+    /// The shared engine this session draws from.
+    pub fn engine(&self) -> &SharedEngine {
+        &self.engine
     }
 }
 
@@ -113,6 +205,70 @@ mod tests {
             assert!(e.transcript().is_valid(0.5));
             assert_eq!(e.transcript().len(), 80);
         });
+    }
+
+    #[test]
+    fn sessions_respect_their_slice_and_the_engine_budget() {
+        let shared = SharedEngine::new(make_engine(1.0));
+        let acc = AccuracySpec::new(20.0, 0.01).unwrap();
+        // A tight slice: the session denies long before the engine would.
+        let small = shared.session(1e-6);
+        assert!(small.submit(&query(), &acc).unwrap().is_denied());
+        assert_eq!(small.spent(), 0.0);
+        assert_eq!(shared.spent(), 0.0);
+
+        // A generous slice spends through to the engine bound.
+        let big = shared.session(10.0);
+        let mut answered = 0;
+        for _ in 0..40 {
+            if !big.submit(&query(), &acc).unwrap().is_denied() {
+                answered += 1;
+            }
+        }
+        assert!(answered > 0);
+        assert!(big.spent() <= big.allowance() + 1e-9);
+        assert!(shared.spent() <= 1.0 + 1e-9, "spent {}", shared.spent());
+        assert!((big.spent() - shared.spent()).abs() < 1e-12);
+        assert!((big.remaining() - (10.0 - big.spent())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_sessions_never_jointly_overshoot() {
+        let shared = SharedEngine::new(make_engine(0.4));
+        let acc = AccuracySpec::new(20.0, 0.01).unwrap();
+        // Slices oversubscribe B on purpose: 8 × 0.2 = 1.6 > 0.4. The
+        // engine-wide bound must still hold.
+        let sessions: Vec<EngineSession> = (0..8).map(|_| shared.session(0.2)).collect();
+        std::thread::scope(|s| {
+            for sess in &sessions {
+                let q = query();
+                s.spawn(move || {
+                    for _ in 0..6 {
+                        let _ = sess.submit(&q, &acc).unwrap();
+                    }
+                });
+            }
+        });
+        let total: f64 = sessions.iter().map(|s| s.spent()).sum();
+        assert!(shared.spent() <= 0.4 + 1e-9, "spent {}", shared.spent());
+        assert!((total - shared.spent()).abs() < 1e-9);
+        for sess in &sessions {
+            assert!(sess.spent() <= sess.allowance() + 1e-9);
+        }
+        shared.with_engine(|e| assert!(e.transcript().is_valid(0.4)));
+    }
+
+    #[test]
+    fn cache_stats_are_visible_through_the_handle() {
+        let shared = SharedEngine::new(make_engine(10.0));
+        let acc = AccuracySpec::new(20.0, 0.01).unwrap();
+        shared.submit(&query(), &acc).unwrap();
+        shared.submit(&query(), &acc).unwrap();
+        let stats = shared.cache_stats();
+        assert!(stats.misses >= 1);
+        assert!(stats.hits >= 1);
+        // This engine owns its cache, so its scope saw every lookup.
+        assert_eq!(shared.local_cache_stats(), stats);
     }
 
     #[test]

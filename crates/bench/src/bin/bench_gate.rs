@@ -1,0 +1,227 @@
+//! `bench_gate` — the CI bench-regression gate.
+//!
+//! The `--quick` smoke run of `cargo bench --bench mc_translate` writes
+//! its (non-representative) medians to a scratch JSON. This checker
+//! compares that scratch file's **shape** — group names and measured
+//! domain points — against the committed full-run `BENCH_mc_translate.json`
+//! and fails when they drift apart, which is exactly how benches rot
+//! silently: a group stops being measured but the stale committed numbers
+//! keep telling a good story.
+//!
+//! Rules (shape only — medians are machine-dependent and not compared):
+//!
+//! 1. every committed group must appear in the smoke run, except the
+//!    ablation groups `--quick` deliberately skips;
+//! 2. the smoke run must not contain groups the committed file has never
+//!    recorded (a new group belongs in a regenerated committed file);
+//! 3. within a shared group, every domain point the smoke run measured
+//!    must exist in the committed file (quick runs a *subset* of the full
+//!    domains, never new ones);
+//! 4. no shared group may be empty in the smoke run.
+//!
+//! Usage: `bench_gate <committed.json> <smoke.json>`; exits non-zero with
+//! one line per violation.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::process::ExitCode;
+
+use apex_serve::json::{self, Json};
+
+/// Groups `--quick` skips by design (ablations over `N` and `b` with no
+/// meaningful smoke-sized configuration).
+const QUICK_SKIPPED: &[&str] = &["mc_translate_samples", "mc_translate_branching"];
+
+/// group → set of ids, and group → set of trailing numeric domain points.
+type Shape = BTreeMap<String, (BTreeSet<String>, BTreeSet<usize>)>;
+
+fn load_shape(path: &str) -> Result<Shape, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let results = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: no \"results\" array"))?;
+    let mut shape = Shape::new();
+    for r in results {
+        let group = r
+            .get("group")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: result without \"group\""))?;
+        let id = r
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: result without \"id\""))?;
+        let entry = shape.entry(group.to_string()).or_default();
+        entry.0.insert(id.to_string());
+        if let Some(domain) = id.rsplit('/').next().and_then(|n| n.parse::<usize>().ok()) {
+            entry.1.insert(domain);
+        }
+    }
+    Ok(shape)
+}
+
+fn run(committed_path: &str, smoke_path: &str) -> Result<Vec<String>, String> {
+    let committed = load_shape(committed_path)?;
+    let smoke = load_shape(smoke_path)?;
+    let mut violations = Vec::new();
+
+    for (group, (_, committed_domains)) in &committed {
+        if QUICK_SKIPPED.contains(&group.as_str()) {
+            continue;
+        }
+        let Some((smoke_ids, smoke_domains)) = smoke.get(group) else {
+            violations.push(format!(
+                "group \"{group}\" is in {committed_path} but the smoke run no longer measures it"
+            ));
+            continue;
+        };
+        if smoke_ids.is_empty() {
+            violations.push(format!("group \"{group}\" is empty in the smoke run"));
+        }
+        for d in smoke_domains {
+            if !committed_domains.contains(d) {
+                violations.push(format!(
+                    "group \"{group}\" measured domain {d} which {committed_path} has never \
+                     recorded — regenerate the committed file (cargo bench --bench mc_translate)"
+                ));
+            }
+        }
+    }
+    for group in smoke.keys() {
+        if !committed.contains_key(group) {
+            violations.push(format!(
+                "smoke run measured new group \"{group}\" missing from {committed_path} — \
+                 regenerate the committed file (cargo bench --bench mc_translate)"
+            ));
+        }
+    }
+    Ok(violations)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [committed, smoke] = args.as_slice() else {
+        eprintln!("usage: bench_gate <committed.json> <smoke.json>");
+        return ExitCode::from(2);
+    };
+    match run(committed, smoke) {
+        Ok(violations) if violations.is_empty() => {
+            println!("bench_gate: OK — smoke run shape matches {committed}");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                eprintln!("bench_gate: FAIL: {v}");
+            }
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench_gate: ERROR: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_tmp(name: &str, body: &str) -> String {
+        let path = std::env::temp_dir().join(format!("bench_gate_test_{name}.json"));
+        std::fs::write(&path, body).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn doc(entries: &[(&str, &str)]) -> String {
+        let rows: Vec<String> = entries
+            .iter()
+            .map(|(g, i)| {
+                format!("{{\"group\": \"{g}\", \"id\": \"{i}\", \"median_ns\": 1.0, \"mean_ns\": 1.0, \"min_ns\": 1.0, \"samples\": 1, \"iters_per_sample\": 1}}")
+            })
+            .collect();
+        format!(
+            "{{\"bench\": \"mc_translate\", \"results\": [{}]}}",
+            rows.join(",")
+        )
+    }
+
+    #[test]
+    fn matching_shapes_pass() {
+        let committed = write_tmp(
+            "c1",
+            &doc(&[
+                ("translator_prepare", "hier/64"),
+                ("translator_prepare", "hier/4096"),
+                ("mc_translate_samples", "samples/1000"),
+            ]),
+        );
+        let smoke = write_tmp("s1", &doc(&[("translator_prepare", "hier/64")]));
+        assert_eq!(run(&committed, &smoke).unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn disappeared_group_fails() {
+        let committed = write_tmp(
+            "c2",
+            &doc(&[
+                ("translator_prepare", "hier/64"),
+                ("mc_translate_domain", "serial/64"),
+            ]),
+        );
+        let smoke = write_tmp("s2", &doc(&[("translator_prepare", "hier/64")]));
+        let v = run(&committed, &smoke).unwrap();
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("mc_translate_domain"), "{v:?}");
+    }
+
+    #[test]
+    fn quick_skipped_ablations_are_allowed_to_be_absent() {
+        let committed = write_tmp(
+            "c3",
+            &doc(&[
+                ("translator_prepare", "hier/64"),
+                ("mc_translate_samples", "samples/1000"),
+                ("mc_translate_branching", "b/2"),
+            ]),
+        );
+        let smoke = write_tmp("s3", &doc(&[("translator_prepare", "hier/64")]));
+        assert_eq!(run(&committed, &smoke).unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn unknown_domains_and_new_groups_fail() {
+        let committed = write_tmp("c4", &doc(&[("translator_prepare", "hier/64")]));
+        let smoke = write_tmp(
+            "s4",
+            &doc(&[
+                ("translator_prepare", "hier/128"),
+                ("brand_new_group", "x/64"),
+            ]),
+        );
+        let v = run(&committed, &smoke).unwrap();
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().any(|m| m.contains("domain 128")));
+        assert!(v.iter().any(|m| m.contains("brand_new_group")));
+    }
+
+    #[test]
+    fn the_committed_file_matches_a_real_quick_shape() {
+        // The real committed file at the workspace root must accept the
+        // shape a --quick run produces today (groups at domains 64/256).
+        let committed = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mc_translate.json");
+        let smoke = write_tmp(
+            "s5",
+            &doc(&[
+                ("translator_prepare", "hier/64"),
+                ("translator_prepare", "dense/64"),
+                ("translator_prepare", "hier/256"),
+                ("mc_translate_domain", "serial/64"),
+                ("mc_translate_domain", "batched/64"),
+                ("mc_translate_domain", "cached/64"),
+                ("strategy_sparse_vs_dense", "build_csr/64"),
+                ("strategy_sparse_vs_dense", "matvec_csr/256"),
+            ]),
+        );
+        assert_eq!(run(committed, &smoke).unwrap(), Vec::<String>::new());
+    }
+}

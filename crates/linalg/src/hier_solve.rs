@@ -42,7 +42,7 @@
 //! matvec, so operator and CSR paths agree bit for bit — property-tested
 //! in `tests/properties.rs`.
 
-use crate::operator::StrategyOperator;
+use crate::operator::{OpScratch, StrategyOperator};
 use crate::{LinalgError, Result};
 
 /// One node of the interval tree, in BFS order (children contiguous).
@@ -176,6 +176,62 @@ impl HierarchicalOperator {
     pub fn branching(&self) -> usize {
         self.branching
     }
+
+    /// The two sweeps of the Sherman–Morrison solve, writing into
+    /// caller-owned buffers. Every entry that is ever read is written
+    /// first (`sx` fully in the bottom-up sweep; `coeff` for internal
+    /// nodes only, which are the only ones read; `acc` for every non-root
+    /// node by its parent, with the root seeded explicitly; `x` once per
+    /// leaf, and every cell is exactly one leaf), so dirty buffers produce
+    /// bit-identical results to fresh ones.
+    fn solve_sweeps(
+        &self,
+        b: &[f64],
+        sx: &mut [f64],
+        coeff: &mut [f64],
+        acc: &mut [f64],
+        x: &mut [f64],
+    ) {
+        let nodes = &self.nodes;
+        let m = nodes.len();
+
+        // Bottom-up: per node, the entry sum of its subtree solution
+        // `Σ (M_v⁻¹ b_v)` (`sx`) and the Sherman–Morrison coefficient
+        // `c_v = (uᵀD⁻¹b) / (1 + γ_v)`.
+        for v in (0..m).rev() {
+            let node = &nodes[v];
+            if node.child_count == 0 {
+                sx[v] = b[node.lo];
+            } else {
+                let (cs, cc) = (node.child_start, node.child_count);
+                let alpha: f64 = sx[cs..cs + cc].iter().sum();
+                let c = alpha / (1.0 + node.gamma);
+                coeff[v] = c;
+                sx[v] = alpha - c * node.gamma;
+            }
+        }
+
+        // Top-down: accumulate the telescoped correction coefficient
+        // `A_child = (A_v + c_v) · f_child`, `f = 1/(1+γ)` for internal
+        // children and 1 for leaves; at a leaf, x = b − A.
+        acc[0] = 0.0;
+        for v in 0..m {
+            let node = &nodes[v];
+            if node.child_count == 0 {
+                x[node.lo] = b[node.lo] - acc[v];
+            } else {
+                let down = acc[v] + coeff[v];
+                let (cs, cc) = (node.child_start, node.child_count);
+                for c in cs..cs + cc {
+                    acc[c] = if nodes[c].child_count == 0 {
+                        down
+                    } else {
+                        down / (1.0 + nodes[c].gamma)
+                    };
+                }
+            }
+        }
+    }
 }
 
 impl StrategyOperator for HierarchicalOperator {
@@ -228,53 +284,78 @@ impl StrategyOperator for HierarchicalOperator {
                 rhs: (b.len(), 1),
             });
         }
-        let nodes = &self.nodes;
-        let m = nodes.len();
-
-        // Bottom-up: per node, the entry sum of its subtree solution
-        // `Σ (M_v⁻¹ b_v)` (`sx`) and the Sherman–Morrison coefficient
-        // `c_v = (uᵀD⁻¹b) / (1 + γ_v)`.
+        let m = self.nodes.len();
         let mut sx = vec![0.0f64; m];
         let mut coeff = vec![0.0f64; m];
-        for v in (0..m).rev() {
-            let node = &nodes[v];
-            if node.child_count == 0 {
-                sx[v] = b[node.lo];
-            } else {
-                let (cs, cc) = (node.child_start, node.child_count);
-                let alpha: f64 = sx[cs..cs + cc].iter().sum();
-                let c = alpha / (1.0 + node.gamma);
-                coeff[v] = c;
-                sx[v] = alpha - c * node.gamma;
-            }
-        }
-
-        // Top-down: accumulate the telescoped correction coefficient
-        // `A_child = (A_v + c_v) · f_child`, `f = 1/(1+γ)` for internal
-        // children and 1 for leaves; at a leaf, x = b − A.
         let mut acc = vec![0.0f64; m];
         let mut x = vec![0.0f64; self.n];
-        for v in 0..m {
-            let node = &nodes[v];
-            if node.child_count == 0 {
-                x[node.lo] = b[node.lo] - acc[v];
-            } else {
-                let down = acc[v] + coeff[v];
-                let (cs, cc) = (node.child_start, node.child_count);
-                for c in cs..cs + cc {
-                    acc[c] = if nodes[c].child_count == 0 {
-                        down
-                    } else {
-                        down / (1.0 + nodes[c].gamma)
-                    };
-                }
-            }
-        }
+        self.solve_sweeps(b, &mut sx, &mut coeff, &mut acc, &mut x);
         Ok(x)
     }
 
     fn l1_operator_norm(&self) -> f64 {
         self.l1_norm
+    }
+
+    fn apply_transpose_into(&self, y: &[f64], out: &mut Vec<f64>) -> Result<()> {
+        if y.len() != self.rows.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "hier apply_transpose",
+                lhs: (self.n, self.rows.len()),
+                rhs: (y.len(), 1),
+            });
+        }
+        // Zero + scatter, exactly like the allocating path.
+        out.clear();
+        out.resize(self.n, 0.0);
+        for (&(lo, hi), &w) in self.rows.iter().zip(y) {
+            for o in &mut out[lo..hi] {
+                *o += w;
+            }
+        }
+        Ok(())
+    }
+
+    fn solve_normal_into(
+        &self,
+        b: &[f64],
+        out: &mut Vec<f64>,
+        scratch: &mut OpScratch,
+    ) -> Result<()> {
+        if b.len() != self.n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "hier solve_normal",
+                lhs: (self.n, self.n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let m = self.nodes.len();
+        scratch.sweep_a.resize(m, 0.0);
+        scratch.sweep_b.resize(m, 0.0);
+        scratch.sweep_c.resize(m, 0.0);
+        out.resize(self.n, 0.0);
+        self.solve_sweeps(
+            b,
+            &mut scratch.sweep_a,
+            &mut scratch.sweep_b,
+            &mut scratch.sweep_c,
+            out,
+        );
+        Ok(())
+    }
+
+    fn pinv_apply_into(
+        &self,
+        y: &[f64],
+        out: &mut Vec<f64>,
+        scratch: &mut OpScratch,
+    ) -> Result<()> {
+        let mut t = scratch.take_transpose();
+        let r = self
+            .apply_transpose_into(y, &mut t)
+            .and_then(|()| self.solve_normal_into(&t, out, scratch));
+        scratch.put_transpose(t);
+        r
     }
 }
 
@@ -394,6 +475,45 @@ mod tests {
         assert!(op.apply(&[1.0]).is_err());
         assert!(op.apply_transpose(&[1.0]).is_err());
         assert!(op.solve_normal(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn into_paths_are_bit_identical_even_with_dirty_scratch() {
+        // The _into entry points must reproduce the allocating paths bit
+        // for bit, regardless of what a reused scratch carries from a
+        // previous (differently-sized) call.
+        let mut scratch = OpScratch::new();
+        let mut out = vec![f64::NAN; 3];
+        for (n, b) in [(17usize, 3usize), (4, 2), (33, 2), (9, 5), (1, 2)] {
+            let op = HierarchicalOperator::new(n, b).unwrap();
+            let y: Vec<f64> = (0..op.rows())
+                .map(|i| ((i * 5 % 11) as f64) - 4.0)
+                .collect();
+            let fresh = op.pinv_apply(&y).unwrap();
+            op.pinv_apply_into(&y, &mut out, &mut scratch).unwrap();
+            assert_eq!(out, fresh, "pinv n={n} b={b}");
+
+            let rhs: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+            let fresh = op.solve_normal(&rhs).unwrap();
+            op.solve_normal_into(&rhs, &mut out, &mut scratch).unwrap();
+            assert_eq!(out, fresh, "solve n={n} b={b}");
+
+            let fresh = op.apply_transpose(&y).unwrap();
+            op.apply_transpose_into(&y, &mut out).unwrap();
+            assert_eq!(out, fresh, "transpose n={n} b={b}");
+        }
+    }
+
+    #[test]
+    fn into_paths_check_shapes() {
+        let op = HierarchicalOperator::new(4, 2).unwrap();
+        let mut out = Vec::new();
+        let mut scratch = OpScratch::new();
+        assert!(op.apply_transpose_into(&[1.0], &mut out).is_err());
+        assert!(op
+            .solve_normal_into(&[1.0], &mut out, &mut scratch)
+            .is_err());
+        assert!(op.pinv_apply_into(&[1.0], &mut out, &mut scratch).is_err());
     }
 
     #[test]

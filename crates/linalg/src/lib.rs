@@ -45,7 +45,7 @@ pub mod sparse;
 pub use hier_solve::HierarchicalOperator;
 pub use matrix::Matrix;
 pub use norms::{frobenius_norm, l1_operator_norm, linf_norm};
-pub use operator::{DenseOperator, IdentityOperator, SharedOperator, StrategyOperator};
+pub use operator::{DenseOperator, IdentityOperator, OpScratch, SharedOperator, StrategyOperator};
 pub use par::{
     matmul_batched, matmul_batched_bt, matmul_batched_bt_with_threads, matmul_batched_with_threads,
     max_threads,

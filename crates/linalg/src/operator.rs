@@ -77,11 +77,105 @@ pub trait StrategyOperator: std::fmt::Debug + Send + Sync {
     fn pinv_apply(&self, y: &[f64]) -> Result<Vec<f64>> {
         self.solve_normal(&self.apply_transpose(y)?)
     }
+
+    /// [`StrategyOperator::apply_transpose`] writing into a caller-owned
+    /// buffer. The default delegates to the allocating method (so every
+    /// implementation is automatically correct); structured operators
+    /// override it to reuse `out`. `out` is resized and fully overwritten.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] when `y.len() != rows`.
+    fn apply_transpose_into(&self, y: &[f64], out: &mut Vec<f64>) -> Result<()> {
+        *out = self.apply_transpose(y)?;
+        Ok(())
+    }
+
+    /// [`StrategyOperator::solve_normal`] writing into a caller-owned
+    /// buffer, with `scratch` available for the solver's intermediates.
+    /// The default delegates to the allocating method; structured
+    /// operators override it to make the solve allocation-free. Results
+    /// are bit-identical to `solve_normal` regardless of scratch contents.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] when `b.len() != cols`.
+    fn solve_normal_into(
+        &self,
+        b: &[f64],
+        out: &mut Vec<f64>,
+        _scratch: &mut OpScratch,
+    ) -> Result<()> {
+        *out = self.solve_normal(b)?;
+        Ok(())
+    }
+
+    /// [`StrategyOperator::pinv_apply`] writing into a caller-owned
+    /// buffer — the per-sample hot call of the Monte-Carlo prepare. The
+    /// default delegates to `pinv_apply` (preserving each implementation's
+    /// exact numerics, e.g. the dense operator's direct `A⁺` matvec);
+    /// structured operators override it to chain the `_into` primitives
+    /// through `scratch` with zero allocations in steady state.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] when `y.len() != rows`.
+    fn pinv_apply_into(
+        &self,
+        y: &[f64],
+        out: &mut Vec<f64>,
+        _scratch: &mut OpScratch,
+    ) -> Result<()> {
+        *out = self.pinv_apply(y)?;
+        Ok(())
+    }
 }
 
 /// Shared handle to a strategy operator — the shape caches and mechanism
 /// state want (operators are immutable once built).
 pub type SharedOperator = Arc<dyn StrategyOperator>;
+
+/// Reusable scratch space for the `_into` entry points of
+/// [`StrategyOperator`].
+///
+/// The operator-path Monte-Carlo prepare performs one `pinv_apply` per
+/// sample; with fresh allocations that is five vectors per sample (the
+/// `Aᵀy` intermediate plus the four sweep buffers of the hierarchical
+/// solve). Holding one `OpScratch` per worker thread and calling
+/// [`StrategyOperator::pinv_apply_into`] makes the steady-state loop
+/// allocation-free: buffers grow to the operator's dimensions once and are
+/// fully overwritten on every call, so results are bit-identical to the
+/// allocating paths.
+///
+/// The buffers carry no values between calls — a dirty scratch is as good
+/// as a fresh one (property-tested).
+#[derive(Debug, Clone, Default)]
+pub struct OpScratch {
+    /// Node-sized sweep buffer (hierarchical solve: subtree sums `sx`).
+    pub(crate) sweep_a: Vec<f64>,
+    /// Node-sized sweep buffer (Sherman–Morrison coefficients).
+    pub(crate) sweep_b: Vec<f64>,
+    /// Node-sized sweep buffer (top-down accumulated corrections).
+    pub(crate) sweep_c: Vec<f64>,
+    /// Domain-sized intermediate (`Aᵀ y` inside `pinv_apply_into`).
+    transpose: Vec<f64>,
+}
+
+impl OpScratch {
+    /// A fresh (empty) scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes the `Aᵀy` buffer out of the scratch so an implementation can
+    /// use it while still passing `&mut self` to `solve_normal_into`
+    /// (returned via [`OpScratch::put_transpose`]).
+    pub fn take_transpose(&mut self) -> Vec<f64> {
+        std::mem::take(&mut self.transpose)
+    }
+
+    /// Returns the buffer taken by [`OpScratch::take_transpose`].
+    pub fn put_transpose(&mut self, buf: Vec<f64>) {
+        self.transpose = buf;
+    }
+}
 
 fn check_len(len: usize, expect: usize, op: &'static str) -> Result<()> {
     if len != expect {
@@ -268,6 +362,33 @@ mod tests {
     fn dense_operator_rejects_rank_deficient() {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]);
         assert!(DenseOperator::new(a).is_err());
+    }
+
+    #[test]
+    fn default_into_paths_match_allocating_paths() {
+        // Identity and dense operators keep the default `_into` impls,
+        // which must preserve each operator's exact numerics (notably the
+        // dense operator's direct `A⁺` matvec inside `pinv_apply`).
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]);
+        let dense = DenseOperator::new(a).unwrap();
+        let ident = IdentityOperator::new(3);
+        let mut scratch = OpScratch::new();
+        let mut out = Vec::new();
+
+        let y3 = [1.0, -2.0, 0.5];
+        dense.pinv_apply_into(&y3, &mut out, &mut scratch).unwrap();
+        assert_eq!(out, dense.pinv_apply(&y3).unwrap());
+        dense.apply_transpose_into(&y3, &mut out).unwrap();
+        assert_eq!(out, dense.apply_transpose(&y3).unwrap());
+        let b2 = [0.25, -4.0];
+        dense
+            .solve_normal_into(&b2, &mut out, &mut scratch)
+            .unwrap();
+        assert_eq!(out, dense.solve_normal(&b2).unwrap());
+
+        ident.pinv_apply_into(&y3, &mut out, &mut scratch).unwrap();
+        assert_eq!(out, y3.to_vec());
+        assert!(ident.pinv_apply_into(&b2, &mut out, &mut scratch).is_err());
     }
 
     #[test]

@@ -184,11 +184,39 @@ impl CsrMatrix {
             });
         }
         let mut out = vec![0.0; self.rows];
+        self.matvec_fill(x, &mut out);
+        Ok(out)
+    }
+
+    /// [`CsrMatrix::matvec`] writing into a caller-owned buffer — the
+    /// allocation-free entry point for hot loops that perform one product
+    /// per Monte-Carlo sample. `out` is resized to `rows` and fully
+    /// overwritten; the arithmetic (and hence the result, bit for bit) is
+    /// identical to [`CsrMatrix::matvec`].
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] when `x.len() != cols`.
+    pub fn matvec_into(&self, x: &[f64], out: &mut Vec<f64>) -> Result<()> {
+        if x.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "csr matvec",
+                lhs: self.shape(),
+                rhs: (x.len(), 1),
+            });
+        }
+        out.resize(self.rows, 0.0);
+        self.matvec_fill(x, out);
+        Ok(())
+    }
+
+    /// Shared kernel of [`CsrMatrix::matvec`] / [`CsrMatrix::matvec_into`]:
+    /// every output element is overwritten with the row dot product, `k`
+    /// ascending.
+    fn matvec_fill(&self, x: &[f64], out: &mut [f64]) {
         for (i, o) in out.iter_mut().enumerate() {
             let (cols, vals) = self.row(i);
             *o = cols.iter().zip(vals).map(|(&j, &v)| v * x[j]).sum();
         }
-        Ok(out)
     }
 
     /// Sparse × dense product `self * rhs`, returning a dense matrix in
@@ -415,6 +443,22 @@ mod tests {
         let x = [1.0, 2.0, 3.0, 4.0];
         assert_eq!(s.matvec(&x).unwrap(), d.matvec(&x).unwrap());
         assert!(s.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn matvec_into_matches_matvec_and_reuses_buffers() {
+        let d = example_dense();
+        let s = CsrMatrix::from_dense(&d);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        // A dirty, wrongly-sized buffer must be resized and overwritten.
+        let mut out = vec![f64::NAN; 7];
+        s.matvec_into(&x, &mut out).unwrap();
+        assert_eq!(out, s.matvec(&x).unwrap());
+        // Reuse without reallocation (same length on the second call).
+        let ptr = out.as_ptr();
+        s.matvec_into(&x, &mut out).unwrap();
+        assert_eq!(ptr, out.as_ptr());
+        assert!(s.matvec_into(&[1.0], &mut out).is_err());
     }
 
     #[test]

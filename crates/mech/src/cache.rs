@@ -72,21 +72,26 @@ struct Entry {
     last_used: u64,
 }
 
+/// The storage every scope of one cache shares: the entry map plus the
+/// *global* counters aggregated over all scopes.
 #[derive(Debug, Default)]
-struct Inner {
+struct Store {
     map: HashMap<SmCacheKey, Entry>,
     stats: CacheStats,
     tick: u64,
 }
 
-impl Inner {
+impl Store {
     fn touch(&mut self) -> u64 {
         self.tick += 1;
         self.tick
     }
 
-    /// Evicts least-recently-used entries until at most `capacity` remain.
-    fn enforce_capacity(&mut self, capacity: usize) {
+    /// Evicts least-recently-used entries until at most `capacity` remain;
+    /// returns how many were evicted (counted by the caller into both the
+    /// global and the acting scope's counters).
+    fn enforce_capacity(&mut self, capacity: usize) -> u64 {
+        let mut evicted = 0;
         while self.map.len() > capacity {
             let Some(victim) = self
                 .map
@@ -97,23 +102,38 @@ impl Inner {
                 break;
             };
             self.map.remove(&victim);
-            self.stats.evictions += 1;
+            evicted += 1;
         }
+        self.stats.evictions += evicted;
+        evicted
     }
 }
 
 /// A thread-safe, LRU-bounded memo table for [`SmArtifacts`].
+///
+/// An `SmCache` value is a **scope** onto shared storage: cloning the
+/// `Arc` handle shares both storage and counters, while
+/// [`SmCache::scoped`] creates a new handle that shares the storage (and
+/// its capacity bound) but owns fresh hit/miss/eviction counters. A
+/// multi-tenant deployment gives each tenant engine its own scope of one
+/// shared cache, so `/stats`-style endpoints can report per-tenant
+/// counters ([`SmCache::local_stats`]) next to the global aggregate
+/// ([`SmCache::stats`]).
 #[derive(Debug)]
 pub struct SmCache {
-    inner: Mutex<Inner>,
+    store: Arc<Mutex<Store>>,
     capacity: usize,
+    /// This scope's counters (for the root scope of a cache these track
+    /// exactly the lookups made through it, not other scopes').
+    local: Mutex<CacheStats>,
 }
 
 impl Default for SmCache {
     fn default() -> Self {
         Self {
-            inner: Mutex::new(Inner::default()),
+            store: Arc::new(Mutex::new(Store::default())),
             capacity: Self::DEFAULT_CAPACITY,
+            local: Mutex::new(CacheStats::default()),
         }
     }
 }
@@ -136,8 +156,21 @@ impl SmCache {
     /// never what a caller configuring a cache wants).
     pub fn with_capacity(capacity: usize) -> Arc<Self> {
         Arc::new(Self {
-            inner: Mutex::new(Inner::default()),
+            store: Arc::new(Mutex::new(Store::default())),
             capacity: capacity.max(1),
+            local: Mutex::new(CacheStats::default()),
+        })
+    }
+
+    /// A new scope onto the same storage: entries, capacity bound, and
+    /// global counters are shared; hit/miss/eviction counters local to the
+    /// new handle start at zero. This is how a multi-tenant service gives
+    /// each tenant its own attribution window over one shared cache.
+    pub fn scoped(&self) -> Arc<Self> {
+        Arc::new(Self {
+            store: self.store.clone(),
+            capacity: self.capacity,
+            local: Mutex::new(CacheStats::default()),
         })
     }
 
@@ -161,42 +194,56 @@ impl SmCache {
         build: impl FnOnce() -> Result<SmArtifacts, MechError>,
     ) -> Result<Arc<SmArtifacts>, MechError> {
         if let Some(hit) = {
-            let mut inner = self.inner.lock().expect("no poisoning");
-            let tick = inner.touch();
-            let hit = inner.map.get_mut(&key).map(|e| {
+            let mut store = self.store.lock().expect("no poisoning");
+            let tick = store.touch();
+            let hit = store.map.get_mut(&key).map(|e| {
                 e.last_used = tick;
                 e.value.clone()
             });
             if hit.is_some() {
-                inner.stats.hits += 1;
+                store.stats.hits += 1;
             }
             hit
         } {
+            self.local.lock().expect("no poisoning").hits += 1;
             return Ok(hit);
         }
         let built = Arc::new(build()?);
-        let mut inner = self.inner.lock().expect("no poisoning");
-        inner.stats.misses += 1;
-        let tick = inner.touch();
-        inner.map.insert(
-            key,
-            Entry {
-                value: built.clone(),
-                last_used: tick,
-            },
-        );
-        inner.enforce_capacity(self.capacity);
+        let evicted = {
+            let mut store = self.store.lock().expect("no poisoning");
+            store.stats.misses += 1;
+            let tick = store.touch();
+            store.map.insert(
+                key,
+                Entry {
+                    value: built.clone(),
+                    last_used: tick,
+                },
+            );
+            store.enforce_capacity(self.capacity)
+        };
+        let mut local = self.local.lock().expect("no poisoning");
+        local.misses += 1;
+        local.evictions += evicted;
         Ok(built)
     }
 
-    /// Current hit/miss/eviction counters.
+    /// Current hit/miss/eviction counters, aggregated over every scope of
+    /// this cache's storage.
     pub fn stats(&self) -> CacheStats {
-        self.inner.lock().expect("no poisoning").stats
+        self.store.lock().expect("no poisoning").stats
+    }
+
+    /// The counters attributable to lookups made through *this* handle
+    /// (see [`SmCache::scoped`]); evictions count against the scope whose
+    /// insert triggered them.
+    pub fn local_stats(&self) -> CacheStats {
+        *self.local.lock().expect("no poisoning")
     }
 
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("no poisoning").map.len()
+        self.store.lock().expect("no poisoning").map.len()
     }
 
     /// Whether the cache is empty.
@@ -207,7 +254,7 @@ impl SmCache {
     /// Drops every cached entry (counters are kept; clearing is not an
     /// eviction).
     pub fn clear(&self) {
-        self.inner.lock().expect("no poisoning").map.clear();
+        self.store.lock().expect("no poisoning").map.clear();
     }
 }
 
@@ -237,6 +284,38 @@ mod tests {
             },
         )
         .unwrap()
+    }
+
+    #[test]
+    fn scopes_share_storage_but_own_their_counters() {
+        let root = SmCache::with_capacity(2);
+        let scope = root.scoped();
+        // Build through the root, hit through the scope: one shared entry.
+        let a = root.get_or_build(key(1), || Ok(artifacts())).unwrap();
+        let b = scope
+            .get_or_build(key(1), || panic!("must not rebuild across scopes"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(root.len(), 1);
+        assert_eq!(scope.len(), 1);
+        // Global counters aggregate both scopes; local counters split.
+        let global = CacheStats {
+            hits: 1,
+            misses: 1,
+            evictions: 0,
+        };
+        assert_eq!(root.stats(), global);
+        assert_eq!(scope.stats(), global);
+        assert_eq!(root.local_stats().misses, 1);
+        assert_eq!(root.local_stats().hits, 0);
+        assert_eq!(scope.local_stats().hits, 1);
+        assert_eq!(scope.local_stats().misses, 0);
+        // Evictions count against the scope whose insert triggered them.
+        scope.get_or_build(key(2), || Ok(artifacts())).unwrap();
+        scope.get_or_build(key(3), || Ok(artifacts())).unwrap();
+        assert_eq!(scope.local_stats().evictions, 1);
+        assert_eq!(root.local_stats().evictions, 0);
+        assert_eq!(root.stats().evictions, 1);
     }
 
     #[test]

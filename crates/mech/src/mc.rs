@@ -46,7 +46,8 @@
 //! can go stale.
 
 use apex_linalg::{
-    frobenius_norm, l1_operator_norm, matmul_batched_bt, CsrMatrix, Matrix, StrategyOperator,
+    frobenius_norm, l1_operator_norm, matmul_batched_bt, CsrMatrix, Matrix, OpScratch,
+    StrategyOperator,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -404,18 +405,30 @@ pub fn unit_errors_operator_with_threads(
     std::thread::scope(|s| {
         for (t, slice) in errors.chunks_mut(chunk).enumerate() {
             s.spawn(move || {
+                // Per-thread scratch: the noise vector, the pinv output,
+                // the workload product, and the solver's sweep buffers are
+                // allocated once and reused for every sample, so the
+                // steady-state loop is allocation-free (the ROADMAP
+                // small-domain item: at n ≤ 64 the per-sample allocations
+                // dominated the solve itself). Buffers are fully
+                // overwritten per sample — results stay bit-identical to
+                // the allocating path for any thread count.
                 let unit = Laplace::new(1.0);
+                let mut eta = vec![0.0_f64; m];
+                let mut recon_eta: Vec<f64> = Vec::new();
+                let mut w_eta: Vec<f64> = Vec::new();
+                let mut scratch = OpScratch::new();
                 for (j, e) in slice.iter_mut().enumerate() {
                     let mut rng = sample_stream(seed, (t * chunk + j) as u64);
-                    let eta = unit.sample_vec(m, &mut rng);
-                    let recon_eta = op
-                        .pinv_apply(&eta)
+                    for v in eta.iter_mut() {
+                        *v = unit.sample(&mut rng);
+                    }
+                    op.pinv_apply_into(&eta, &mut recon_eta, &mut scratch)
                         .expect("noise length matches operator rows");
-                    *e = workload
-                        .matvec(&recon_eta)
-                        .expect("workload and operator share the domain")
-                        .iter()
-                        .fold(0.0_f64, |mx, v| mx.max(v.abs()));
+                    workload
+                        .matvec_into(&recon_eta, &mut w_eta)
+                        .expect("workload and operator share the domain");
+                    *e = w_eta.iter().fold(0.0_f64, |mx, v| mx.max(v.abs()));
                 }
             });
         }
@@ -429,14 +442,15 @@ pub fn unit_errors_operator_with_threads(
 pub fn recon_frobenius_via_operator(workload: &CsrMatrix, op: &dyn StrategyOperator) -> f64 {
     let n = workload.cols();
     let mut w_dense = vec![0.0_f64; n];
+    let mut z: Vec<f64> = Vec::new();
+    let mut scratch = OpScratch::new();
     let mut total = 0.0_f64;
     for i in 0..workload.rows() {
         let (cols, vals) = workload.row(i);
         for (&j, &v) in cols.iter().zip(vals) {
             w_dense[j] = v;
         }
-        let z = op
-            .solve_normal(&w_dense)
+        op.solve_normal_into(&w_dense, &mut z, &mut scratch)
             .expect("workload and operator share the domain");
         // wᵢᵀ z over the sparse support only.
         total += cols.iter().zip(vals).map(|(&j, &v)| v * z[j]).sum::<f64>();
@@ -666,6 +680,29 @@ mod tests {
                 (f_op - f_dense).abs() <= 1e-9 * f_dense,
                 "n={n}: {f_op} vs {f_dense}"
             );
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_allocating_reference() {
+        // The operator path reuses per-thread scratch buffers; re-derive
+        // every sample with fresh allocations and demand bitwise equality.
+        use apex_query::Strategy;
+        for (n, samples) in [(5usize, 40usize), (33, 130), (64, 700)] {
+            let w = prefix_workload_csr(n);
+            let op = Strategy::H2.operator(n).unwrap();
+            let got = unit_errors_operator(&w, op.as_ref(), samples, 0xC0FFEE);
+            let unit = Laplace::new(1.0);
+            for (i, g) in got.iter().enumerate() {
+                let mut rng = sample_stream(0xC0FFEE, i as u64);
+                let eta = unit.sample_vec(op.rows(), &mut rng);
+                let reference = w
+                    .matvec(&op.pinv_apply(&eta).unwrap())
+                    .unwrap()
+                    .iter()
+                    .fold(0.0_f64, |mx, v| mx.max(v.abs()));
+                assert_eq!(g.to_bits(), reference.to_bits(), "n={n} sample {i}");
+            }
         }
     }
 

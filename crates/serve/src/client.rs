@@ -1,0 +1,48 @@
+//! A tiny blocking HTTP/1.1 client for the self-test, integration tests,
+//! and examples — one request per connection, JSON in and out.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::json::{self, Json};
+
+/// Fires one request and parses the JSON response body.
+///
+/// # Errors
+/// A human-readable message on connect/IO failures, non-HTTP responses,
+/// or non-JSON bodies.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, Json), String> {
+    let mut stream =
+        TcpStream::connect_timeout(&addr, Duration::from_secs(10)).map_err(|e| e.to_string())?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| e.to_string())?;
+    let body = body.unwrap_or("");
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nHost: apex\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(raw.as_bytes())
+        .map_err(|e| e.to_string())?;
+
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).map_err(|e| e.to_string())?;
+    let text = String::from_utf8(buf).map_err(|e| e.to_string())?;
+    let (head, payload) = text
+        .split_once("\r\n\r\n")
+        .ok_or("response without header/body separator")?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or("response without a status code")?;
+    let value = json::parse(payload).map_err(|e| format!("non-JSON body: {e}"))?;
+    Ok((status, value))
+}

@@ -1,0 +1,46 @@
+//! `apex-serve` — a multi-tenant HTTP/1.1 JSON query service over shared
+//! APEx engines.
+//!
+//! The ROADMAP's multi-tenant north star needs a front end: analysts
+//! open **sessions** against registered datasets, each session holding a
+//! slice of that dataset's privacy budget, and submit exploration
+//! queries in the paper's concrete syntax. The service is std-only — a
+//! hand-rolled HTTP server over `std::net` with a fixed thread pool
+//! ([`http`]), a zero-dependency JSON module ([`json`]), and no async
+//! runtime — consistent with the repo's offline vendored-shim policy.
+//!
+//! Layering:
+//!
+//! * [`json`] — JSON values, parsing, rendering;
+//! * [`http`] — the socket layer: request parsing, thread pool, graceful
+//!   shutdown;
+//! * [`wire`] — bodies ↔ engine types ([`apex_query::ExplorationQuery`],
+//!   [`apex_core::EngineResponse`], …);
+//! * [`state`] — tenants (one [`apex_core::SharedEngine`] per dataset,
+//!   one shared translator cache with per-tenant stat scopes) and live
+//!   sessions (budget slices);
+//! * [`router`] — endpoint dispatch and status-code mapping (a *denied*
+//!   query is 409, not an error);
+//! * [`selftest`] — the end-to-end gate CI runs (`--self-test`): a
+//!   scripted concurrent workload over real sockets asserting budget
+//!   conservation, protocol discipline, and cross-session cache sharing;
+//! * [`client`] — the small blocking client the self-test and examples
+//!   drive the server with.
+//!
+//! Budget semantics under concurrency are documented in
+//! `docs/SERVICE.md`; the one-line summary: admission checks the
+//! session's slice **and** the engine's remaining `B` atomically under
+//! the engine lock, so no interleaving of sessions can overshoot either.
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod router;
+pub mod selftest;
+pub mod state;
+pub mod wire;
+
+pub use http::{serve, Request, Response, ServerHandle};
+pub use json::Json;
+pub use selftest::{run as run_self_test, SelfTestConfig, SelfTestReport};
+pub use state::{ServerState, ServerStateBuilder};

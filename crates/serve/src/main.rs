@@ -1,0 +1,161 @@
+//! The `apex-serve` binary.
+//!
+//! Serve mode hosts the bundled synthetic datasets ("adult", "taxi")
+//! behind the HTTP API; `--self-test` instead runs the scripted
+//! concurrent workload on an ephemeral port and exits non-zero on any
+//! violated invariant (the CI `service-smoke` gate).
+//!
+//! ```text
+//! apex-serve [--addr 127.0.0.1:8787] [--threads N] [--cache-cap N]
+//!            [--budget B] [--rows N]
+//! apex-serve --self-test [--threads N] [--sessions N] [--submits N]
+//!            [--rows N] [--cache-cap N]
+//! ```
+
+use std::sync::Arc;
+
+use apex_core::{EngineConfig, Mode};
+use apex_data::synth::{adult_dataset, nytaxi_dataset};
+use apex_serve::{router, selftest, ServerState};
+
+struct Args {
+    addr: String,
+    threads: usize,
+    cache_cap: usize,
+    budget: f64,
+    rows: usize,
+    self_test: bool,
+    sessions: usize,
+    submits: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: apex-serve [--addr HOST:PORT] [--threads N] [--cache-cap N] [--budget B] \
+         [--rows N] [--self-test [--sessions N] [--submits N]]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let default_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(16);
+    let mut args = Args {
+        addr: "127.0.0.1:8787".to_string(),
+        threads: default_threads,
+        cache_cap: 128,
+        budget: 1.0,
+        rows: 10_000,
+        self_test: false,
+        sessions: 8,
+        submits: 6,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = take("--addr"),
+            "--threads" => args.threads = parse_num(&take("--threads"), "--threads"),
+            "--cache-cap" => args.cache_cap = parse_num(&take("--cache-cap"), "--cache-cap"),
+            "--rows" => args.rows = parse_num(&take("--rows"), "--rows"),
+            "--sessions" => args.sessions = parse_num(&take("--sessions"), "--sessions"),
+            "--submits" => args.submits = parse_num(&take("--submits"), "--submits"),
+            "--budget" => {
+                args.budget = take("--budget").parse().unwrap_or_else(|_| {
+                    eprintln!("--budget must be a number");
+                    usage()
+                })
+            }
+            "--self-test" => args.self_test = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn parse_num(s: &str, flag: &str) -> usize {
+    match s.parse::<usize>() {
+        Ok(n) if n > 0 => n,
+        _ => {
+            eprintln!("{flag} must be a positive integer");
+            usage()
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+
+    if args.self_test {
+        let cfg = selftest::SelfTestConfig {
+            server_threads: args.threads,
+            sessions: args.sessions,
+            submits: args.submits,
+            rows: args.rows.min(5_000),
+            cache_cap: args.cache_cap,
+        };
+        println!(
+            "self-test: {} server threads, {} sessions x {} submits, {} rows/dataset",
+            cfg.server_threads, cfg.sessions, cfg.submits, cfg.rows
+        );
+        match selftest::run(cfg) {
+            Ok(report) => {
+                println!(
+                    "self-test PASS: answered={} denied={} cache hits={} misses={}",
+                    report.answered, report.denied, report.cache_hits, report.cache_misses
+                );
+                for (name, spent, budget) in &report.budgets {
+                    println!("  {name}: spent {spent:.4} of B = {budget}");
+                }
+            }
+            Err(e) => {
+                eprintln!("self-test FAIL: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let config = |seed: u64| EngineConfig {
+        budget: args.budget,
+        mode: Mode::Optimistic,
+        seed,
+    };
+    let state = Arc::new(
+        ServerState::builder(args.cache_cap)
+            .dataset("adult", adult_dataset(args.rows, 7), config(0xA9E5_1001))
+            .dataset("taxi", nytaxi_dataset(args.rows, 9), config(0xA9E5_1002))
+            .build(),
+    );
+    let handler_state = state.clone();
+    let handle = match apex_serve::serve(args.addr.as_str(), args.threads, move |req| {
+        router::route(&handler_state, req)
+    }) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("could not bind {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "apex-serve listening on http://{} ({} workers, cache cap {}, B = {} per dataset; \
+         POST /v1/admin/shutdown to stop)",
+        handle.addr(),
+        args.threads,
+        args.cache_cap,
+        args.budget
+    );
+    handle.join();
+    println!("apex-serve: shut down cleanly");
+}

@@ -1,0 +1,360 @@
+//! Endpoint dispatch: path + method → handler.
+//!
+//! | Endpoint                          | Meaning                                  |
+//! |-----------------------------------|------------------------------------------|
+//! | `GET  /healthz`                   | liveness                                 |
+//! | `POST /v1/sessions`               | open a session (dataset + budget slice)  |
+//! | `POST /v1/sessions/{id}/query`    | submit a query (200 answered, 409 denied)|
+//! | `GET  /v1/sessions/{id}/budget`   | session + engine budget state            |
+//! | `GET  /v1/stats`                  | cache counters (global + per dataset)    |
+//! | `POST /v1/admin/shutdown`         | begin graceful shutdown                  |
+//!
+//! Status mapping: malformed bodies and engine-rejected queries (unknown
+//! attributes, empty workloads) are 400; unknown datasets/sessions 404;
+//! a **denied** query is 409 — denial is part of the privacy protocol,
+//! not a server fault, so it gets its own signal distinct from 4xx
+//! client errors and 2xx answers.
+
+use std::sync::Arc;
+
+use apex_core::EngineResponse;
+
+use crate::http::{Request, Response};
+use crate::json::Json;
+use crate::state::ServerState;
+use crate::wire;
+
+/// Routes one request. Pure: all side effects go through `state`.
+pub fn route(state: &Arc<ServerState>, req: &Request) -> Response {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match segments.as_slice() {
+        ["healthz"] => method(req, "GET", || healthz(state)),
+        ["v1", "sessions"] => method(req, "POST", || create_session(state, req)),
+        ["v1", "sessions", id, "query"] => {
+            with_session_id(id, |id| method(req, "POST", || submit(state, id, req)))
+        }
+        ["v1", "sessions", id, "budget"] => {
+            with_session_id(id, |id| method(req, "GET", || budget(state, id)))
+        }
+        ["v1", "stats"] => method(req, "GET", || stats(state)),
+        ["v1", "admin", "shutdown"] => method(req, "POST", shutdown),
+        _ => Response::json(404, wire::error_json("no such endpoint")),
+    }
+}
+
+fn method(req: &Request, want: &str, handler: impl FnOnce() -> Response) -> Response {
+    if req.method == want {
+        handler()
+    } else {
+        Response::json(405, wire::error_json(&format!("use {want}")))
+    }
+}
+
+fn with_session_id(raw: &str, f: impl FnOnce(u64) -> Response) -> Response {
+    match raw.parse::<u64>() {
+        Ok(id) => f(id),
+        Err(_) => Response::json(400, wire::error_json("session id must be an integer")),
+    }
+}
+
+fn parse_body(req: &Request) -> Result<Json, Response> {
+    let text = req
+        .body_str()
+        .ok_or_else(|| Response::json(400, wire::error_json("body must be UTF-8 JSON")))?;
+    crate::json::parse(text).map_err(|e| Response::json(400, wire::error_json(&e.to_string())))
+}
+
+fn healthz(state: &ServerState) -> Response {
+    let body = Json::obj(vec![
+        ("status", Json::from("ok")),
+        ("datasets", Json::from(state.tenants().len())),
+        ("sessions", Json::from(state.session_count())),
+    ]);
+    Response::json(200, body.render())
+}
+
+fn create_session(state: &ServerState, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let create = match wire::parse_create_session(&body) {
+        Ok(c) => c,
+        Err(msg) => return Response::json(400, wire::error_json(&msg)),
+    };
+    let Some(id) = state.create_session(&create.dataset, create.budget) else {
+        return Response::json(
+            404,
+            wire::error_json(&format!("no dataset named \"{}\"", create.dataset)),
+        );
+    };
+    let body = Json::obj(vec![
+        ("session", Json::from(id)),
+        ("dataset", Json::from(create.dataset)),
+        ("allowance", Json::Num(create.budget)),
+    ]);
+    Response::json(201, body.render())
+}
+
+fn submit(state: &ServerState, id: u64, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let (query, accuracy) = match wire::parse_query_request(&body) {
+        Ok(qa) => qa,
+        Err(msg) => return Response::json(400, wire::error_json(&msg)),
+    };
+    // Clone the slice handle out so the session map stays unlocked while
+    // the mechanism runs (submissions can be slow; lookups must not be).
+    let Some(session) = state.with_session(id, |s| s.session.clone()) else {
+        return Response::json(404, wire::error_json("no such session"));
+    };
+    match session.submit(&query, &accuracy) {
+        Ok(resp) => {
+            let status = match resp {
+                EngineResponse::Answered(_) => 200,
+                EngineResponse::Denied => 409,
+            };
+            Response::json(status, wire::engine_response_json(&resp).render())
+        }
+        Err(e) => Response::json(400, wire::error_json(&e.to_string())),
+    }
+}
+
+fn budget(state: &ServerState, id: u64) -> Response {
+    let Some((dataset, session)) =
+        state.with_session(id, |s| (s.dataset.clone(), s.session.clone()))
+    else {
+        return Response::json(404, wire::error_json("no such session"));
+    };
+    let engine = session.engine();
+    let body = wire::budget_json(
+        id,
+        &dataset,
+        session.allowance(),
+        session.spent(),
+        engine.budget(),
+        engine.spent(),
+    );
+    Response::json(200, body.render())
+}
+
+fn stats(state: &ServerState) -> Response {
+    let mut datasets = Vec::new();
+    for (name, tenant) in state.tenants() {
+        datasets.push((
+            name.clone(),
+            Json::obj(vec![
+                ("cache", wire::cache_stats_json(tenant.cache.local_stats())),
+                (
+                    "budget",
+                    Json::obj(vec![
+                        ("budget", Json::Num(tenant.engine.budget())),
+                        ("spent", Json::Num(tenant.engine.spent())),
+                        ("remaining", Json::Num(tenant.engine.remaining())),
+                    ]),
+                ),
+                ("sessions", Json::from(state.session_count_for(name))),
+            ]),
+        ));
+    }
+    let body = Json::obj(vec![
+        ("sessions", Json::from(state.session_count())),
+        (
+            "cache",
+            Json::obj(vec![
+                ("capacity", Json::from(state.cache().capacity())),
+                ("entries", Json::from(state.cache().len())),
+                ("global", wire::cache_stats_json(state.cache().stats())),
+            ]),
+        ),
+        ("datasets", Json::Obj(datasets)),
+    ]);
+    Response::json(200, body.render())
+}
+
+fn shutdown() -> Response {
+    let mut resp = Response::json(
+        202,
+        Json::obj(vec![("status", Json::from("shutting down"))]).render(),
+    );
+    resp.shutdown = true;
+    resp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex_core::EngineConfig;
+    use apex_data::{Attribute, Dataset, Domain, Schema, Value};
+
+    fn state() -> Arc<ServerState> {
+        let schema = Schema::new(vec![Attribute::new(
+            "v",
+            Domain::IntRange { min: 0, max: 7 },
+        )])
+        .unwrap();
+        let mut d = Dataset::empty(schema);
+        for i in 0..8_i64 {
+            for _ in 0..4 {
+                d.push(vec![Value::Int(i)]).unwrap();
+            }
+        }
+        Arc::new(
+            ServerState::builder(16)
+                .dataset("demo", d, EngineConfig::default())
+                .build(),
+        )
+    }
+
+    fn req(method: &str, path: &str, body: &str) -> Request {
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    #[test]
+    fn full_session_lifecycle_over_the_router() {
+        let s = state();
+        let r = route(&s, &req("GET", "/healthz", ""));
+        assert_eq!(r.status, 200);
+
+        let r = route(
+            &s,
+            &req("POST", "/v1/sessions", r#"{"dataset":"demo","budget":0.8}"#),
+        );
+        assert_eq!(r.status, 201, "{}", r.body);
+        let id = crate::json::parse(&r.body)
+            .unwrap()
+            .get("session")
+            .and_then(Json::as_u64)
+            .unwrap();
+
+        let q = r#"{"query":"BIN demo ON COUNT(*) WHERE W = { v IN [0, 4), v IN [4, 8) } ERROR 8 CONFIDENCE 0.95;"}"#;
+        let r = route(&s, &req("POST", &format!("/v1/sessions/{id}/query"), q));
+        assert_eq!(r.status, 200, "{}", r.body);
+        let parsed = crate::json::parse(&r.body).unwrap();
+        assert_eq!(
+            parsed.get("status").and_then(Json::as_str),
+            Some("answered")
+        );
+        assert_eq!(
+            parsed
+                .get("answer")
+                .and_then(|a| a.get("counts"))
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(2)
+        );
+
+        let r = route(&s, &req("GET", &format!("/v1/sessions/{id}/budget"), ""));
+        assert_eq!(r.status, 200);
+        let parsed = crate::json::parse(&r.body).unwrap();
+        let spent = parsed.get("spent").and_then(Json::as_f64).unwrap();
+        assert!(spent > 0.0);
+
+        let r = route(&s, &req("GET", "/v1/stats", ""));
+        assert_eq!(r.status, 200);
+        let parsed = crate::json::parse(&r.body).unwrap();
+        assert!(
+            parsed
+                .get("cache")
+                .and_then(|c| c.get("global"))
+                .and_then(|g| g.get("misses"))
+                .and_then(Json::as_u64)
+                .unwrap()
+                > 0
+        );
+    }
+
+    #[test]
+    fn denial_maps_to_409() {
+        let s = state();
+        let r = route(
+            &s,
+            &req(
+                "POST",
+                "/v1/sessions",
+                r#"{"dataset":"demo","budget":0.000001}"#,
+            ),
+        );
+        let id = crate::json::parse(&r.body)
+            .unwrap()
+            .get("session")
+            .and_then(Json::as_u64)
+            .unwrap();
+        let q =
+            r#"{"query":"BIN demo ON COUNT(*) WHERE { v IN [0, 8) } ERROR 4 CONFIDENCE 0.99;"}"#;
+        let r = route(&s, &req("POST", &format!("/v1/sessions/{id}/query"), q));
+        assert_eq!(r.status, 409, "{}", r.body);
+        assert!(r.body.contains("denied"));
+    }
+
+    #[test]
+    fn error_paths_get_the_right_codes() {
+        let s = state();
+        // Unknown endpoint / wrong method.
+        assert_eq!(route(&s, &req("GET", "/nope", "")).status, 404);
+        assert_eq!(route(&s, &req("DELETE", "/v1/sessions", "")).status, 405);
+        // Bad JSON, bad dataset, bad session ids.
+        assert_eq!(route(&s, &req("POST", "/v1/sessions", "{")).status, 400);
+        assert_eq!(
+            route(
+                &s,
+                &req("POST", "/v1/sessions", r#"{"dataset":"x","budget":1}"#)
+            )
+            .status,
+            404
+        );
+        assert_eq!(
+            route(&s, &req("GET", "/v1/sessions/abc/budget", "")).status,
+            400
+        );
+        assert_eq!(
+            route(&s, &req("GET", "/v1/sessions/999/budget", "")).status,
+            404
+        );
+        // A syntactically broken query.
+        let id = {
+            let r = route(
+                &s,
+                &req("POST", "/v1/sessions", r#"{"dataset":"demo","budget":1}"#),
+            );
+            crate::json::parse(&r.body)
+                .unwrap()
+                .get("session")
+                .and_then(Json::as_u64)
+                .unwrap()
+        };
+        let r = route(
+            &s,
+            &req(
+                "POST",
+                &format!("/v1/sessions/{id}/query"),
+                r#"{"query":"SELECT nope"}"#,
+            ),
+        );
+        assert_eq!(r.status, 400, "{}", r.body);
+        // A well-formed query over an unknown attribute is 400, not 500.
+        let r = route(
+            &s,
+            &req(
+                "POST",
+                &format!("/v1/sessions/{id}/query"),
+                r#"{"query":"BIN d ON COUNT(*) WHERE { nope IN [0, 1) } ERROR 4 CONFIDENCE 0.99;"}"#,
+            ),
+        );
+        assert_eq!(r.status, 400, "{}", r.body);
+    }
+
+    #[test]
+    fn shutdown_endpoint_flags_the_response() {
+        let s = state();
+        let r = route(&s, &req("POST", "/v1/admin/shutdown", ""));
+        assert_eq!(r.status, 202);
+        assert!(r.shutdown);
+    }
+}

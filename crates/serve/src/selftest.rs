@@ -1,0 +1,334 @@
+//! `apex-serve --self-test`: spin up on an ephemeral port, fire a
+//! scripted concurrent workload through real sockets, and assert the
+//! service's invariants — the end-to-end gate CI runs.
+//!
+//! The posture follows HISTEX (PAPERS.md): drive concurrent histories
+//! against a live server and check the isolation-level contract on the
+//! observed outcomes. Here the contract is APEx's admit-then-charge
+//! semantics under concurrency:
+//!
+//! 1. **budget conservation** — per dataset, the engine's spent loss
+//!    never exceeds `B`, no session exceeds its slice, and the engine's
+//!    ledger equals the sum of the ε values clients saw on the wire;
+//! 2. **protocol discipline** — every response is 2xx or 409 (denial);
+//!    anything else fails the test;
+//! 3. **shared warm-up** — sessions submit structurally identical
+//!    workloads, so the shared translator cache must report cross-session
+//!    hits (> 0) in `/v1/stats`.
+//!
+//! Sessions *oversubscribe* on purpose: each holds a slice of `B` large
+//! enough that the slices jointly exceed `B`, so both the per-session and
+//! the engine-wide admission bound are exercised.
+
+use std::sync::Arc;
+
+use apex_core::{EngineConfig, Mode};
+use apex_data::synth::{adult_dataset, nytaxi_dataset};
+
+use crate::client;
+use crate::json::Json;
+use crate::router;
+use crate::state::ServerState;
+
+/// Self-test knobs (`--threads/--sessions/--submits/--rows/--cache-cap`).
+#[derive(Debug, Clone, Copy)]
+pub struct SelfTestConfig {
+    /// Server worker threads.
+    pub server_threads: usize,
+    /// Concurrent analyst sessions (client threads).
+    pub sessions: usize,
+    /// Query submissions per session.
+    pub submits: usize,
+    /// Rows per synthetic dataset.
+    pub rows: usize,
+    /// Shared translator-cache capacity.
+    pub cache_cap: usize,
+}
+
+impl Default for SelfTestConfig {
+    fn default() -> Self {
+        Self {
+            server_threads: 4,
+            sessions: 8,
+            submits: 6,
+            rows: 2_000,
+            cache_cap: 64,
+        }
+    }
+}
+
+/// What the scripted workload observed.
+#[derive(Debug, Clone, Default)]
+pub struct SelfTestReport {
+    /// Answered submissions (HTTP 200).
+    pub answered: u64,
+    /// Denied submissions (HTTP 409).
+    pub denied: u64,
+    /// Shared-cache hits across all scopes at the end.
+    pub cache_hits: u64,
+    /// Shared-cache misses across all scopes at the end.
+    pub cache_misses: u64,
+    /// Per-dataset `(name, spent, budget)` at the end.
+    pub budgets: Vec<(String, f64, f64)>,
+}
+
+/// Per-dataset budget for the scripted workload.
+const BUDGET: f64 = 0.6;
+
+fn query_for(dataset: &str, submit: usize) -> String {
+    // Two structurally distinct workloads per dataset (so the cache holds
+    // several entries), identical across sessions (so sessions share
+    // warm-up). Alternating per submit also re-hits each entry.
+    match (dataset, submit % 2) {
+        ("adult", 0) => "BIN adult ON COUNT(*) WHERE W = { age IN [17, 40), age IN [40, 60), \
+                         age IN [60, 91) } ERROR 30 CONFIDENCE 0.99;"
+            .to_string(),
+        ("adult", _) => "BIN adult ON COUNT(*) WHERE W = { education_num IN [1, 9), \
+                         education_num IN [9, 17) } ERROR 30 CONFIDENCE 0.99;"
+            .to_string(),
+        (_, 0) => "BIN taxi ON COUNT(*) WHERE W = { passenger_count IN [1, 3), \
+                   passenger_count IN [3, 11) } ERROR 30 CONFIDENCE 0.99;"
+            .to_string(),
+        _ => "BIN taxi ON COUNT(*) WHERE W = { pickup_hour IN [0, 8), pickup_hour IN [8, 16), \
+              pickup_hour IN [16, 24) } ERROR 30 CONFIDENCE 0.99;"
+            .to_string(),
+    }
+}
+
+/// Runs the whole self-test: build → serve → hammer → verify → shut down.
+///
+/// # Errors
+/// A human-readable description of the first violated invariant.
+pub fn run(cfg: SelfTestConfig) -> Result<SelfTestReport, String> {
+    let state = Arc::new(
+        ServerState::builder(cfg.cache_cap)
+            .dataset(
+                "adult",
+                adult_dataset(cfg.rows, 7),
+                EngineConfig {
+                    budget: BUDGET,
+                    mode: Mode::Pessimistic,
+                    seed: 0x5E1F_0001,
+                },
+            )
+            .dataset(
+                "taxi",
+                nytaxi_dataset(cfg.rows, 9),
+                EngineConfig {
+                    budget: BUDGET,
+                    mode: Mode::Pessimistic,
+                    seed: 0x5E1F_0002,
+                },
+            )
+            .build(),
+    );
+    let handler_state = state.clone();
+    let handle = crate::http::serve("127.0.0.1:0", cfg.server_threads, move |req| {
+        router::route(&handler_state, req)
+    })
+    .map_err(|e| format!("bind failed: {e}"))?;
+    let addr = handle.addr();
+
+    // Oversubscribed slices: sessions÷2 per dataset, each slice is half
+    // the budget, so 3+ sessions per dataset jointly exceed B.
+    let slice = BUDGET / 2.0;
+    let mut observed: Vec<Result<(u64, u64, f64, String), String>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for i in 0..cfg.sessions {
+            handles.push(scope.spawn(move || client_script(addr, i, slice, cfg.submits)));
+        }
+        for h in handles {
+            observed.push(h.join().unwrap_or_else(|_| Err("client panicked".into())));
+        }
+    });
+
+    let mut report = SelfTestReport::default();
+    let mut spent_by_client: std::collections::HashMap<String, f64> = Default::default();
+    for r in observed {
+        let (answered, denied, epsilon_sum, dataset) = r?;
+        report.answered += answered;
+        report.denied += denied;
+        *spent_by_client.entry(dataset).or_default() += epsilon_sum;
+    }
+    if report.answered == 0 {
+        return Err("no query was ever answered — the workload exercised nothing".into());
+    }
+    if report.denied == 0 {
+        return Err(
+            "no query was ever denied — oversubscription failed to stress admission".into(),
+        );
+    }
+
+    // Server-side verification through the public API.
+    let (status, stats) = client::request(addr, "GET", "/v1/stats", None)?;
+    if status != 200 {
+        return Err(format!("GET /v1/stats returned {status}"));
+    }
+    let global = stats
+        .get("cache")
+        .and_then(|c| c.get("global"))
+        .ok_or("stats missing cache.global")?;
+    report.cache_hits = global.get("hits").and_then(Json::as_u64).unwrap_or(0);
+    report.cache_misses = global.get("misses").and_then(Json::as_u64).unwrap_or(0);
+    if report.cache_hits == 0 {
+        return Err("shared translator cache saw no hits across sessions".into());
+    }
+
+    for name in ["adult", "taxi"] {
+        let d = stats
+            .get("datasets")
+            .and_then(|d| d.get(name))
+            .ok_or_else(|| format!("stats missing dataset {name}"))?;
+        let spent = d
+            .get("budget")
+            .and_then(|b| b.get("spent"))
+            .and_then(Json::as_f64)
+            .ok_or("stats missing budget.spent")?;
+        let budget = d
+            .get("budget")
+            .and_then(|b| b.get("budget"))
+            .and_then(Json::as_f64)
+            .ok_or("stats missing budget.budget")?;
+        if spent > budget + 1e-9 {
+            return Err(format!(
+                "BUDGET OVERSHOOT on {name}: spent {spent} > budget {budget}"
+            ));
+        }
+        // The engine's ledger must equal what clients saw on the wire.
+        let client_sum = spent_by_client.get(name).copied().unwrap_or(0.0);
+        if (client_sum - spent).abs() > 1e-6 {
+            return Err(format!(
+                "ledger mismatch on {name}: clients observed {client_sum}, engine charged {spent}"
+            ));
+        }
+        // Per-dataset scopes must account for every global counter.
+        let scope_hits = d
+            .get("cache")
+            .and_then(|c| c.get("hits"))
+            .and_then(Json::as_u64)
+            .ok_or("stats missing per-dataset cache.hits")?;
+        if scope_hits > report.cache_hits {
+            return Err(format!(
+                "scope accounting broken: {name} hits {scope_hits} > global {}",
+                report.cache_hits
+            ));
+        }
+        report.budgets.push((name.to_string(), spent, budget));
+    }
+
+    // Graceful shutdown through the API; join must then return.
+    let (status, _) = client::request(addr, "POST", "/v1/admin/shutdown", Some("{}"))?;
+    if status != 202 {
+        return Err(format!("shutdown returned {status}"));
+    }
+    handle.join();
+    Ok(report)
+}
+
+/// One analyst: open a session, submit `submits` queries, watch budgets.
+/// Returns `(answered, denied, Σε, dataset)`.
+fn client_script(
+    addr: std::net::SocketAddr,
+    index: usize,
+    slice: f64,
+    submits: usize,
+) -> Result<(u64, u64, f64, String), String> {
+    let dataset = if index % 2 == 0 { "adult" } else { "taxi" };
+    let body = format!("{{\"dataset\":\"{dataset}\",\"budget\":{slice}}}");
+    let (status, created) = client::request(addr, "POST", "/v1/sessions", Some(&body))?;
+    if status != 201 {
+        return Err(format!("session creation returned {status}: {created:?}"));
+    }
+    let id = created
+        .get("session")
+        .and_then(Json::as_u64)
+        .ok_or("session id missing")?;
+
+    let (mut answered, mut denied, mut epsilon_sum) = (0u64, 0u64, 0.0f64);
+    for submit in 0..submits {
+        let body = format!(
+            "{{\"query\":{}}}",
+            Json::from(query_for(dataset, submit)).render()
+        );
+        let (status, resp) = client::request(
+            addr,
+            "POST",
+            &format!("/v1/sessions/{id}/query"),
+            Some(&body),
+        )?;
+        match status {
+            200 => {
+                answered += 1;
+                epsilon_sum += resp
+                    .get("epsilon")
+                    .and_then(Json::as_f64)
+                    .ok_or("answered response missing epsilon")?;
+            }
+            409 => denied += 1,
+            other => {
+                return Err(format!(
+                    "PROTOCOL VIOLATION: submit returned {other}: {resp:?}"
+                ))
+            }
+        }
+
+        // Interleave budget reads: the slice must never be overdrawn
+        // mid-flight, whatever the other sessions are doing.
+        let (status, budget) =
+            client::request(addr, "GET", &format!("/v1/sessions/{id}/budget"), None)?;
+        if status != 200 {
+            return Err(format!("budget read returned {status}"));
+        }
+        let spent = budget
+            .get("spent")
+            .and_then(Json::as_f64)
+            .ok_or("budget response missing spent")?;
+        let allowance = budget
+            .get("allowance")
+            .and_then(Json::as_f64)
+            .ok_or("budget response missing allowance")?;
+        if spent > allowance + 1e-9 {
+            return Err(format!(
+                "SLICE OVERSHOOT: session {id} spent {spent} > allowance {allowance}"
+            ));
+        }
+        let engine = budget
+            .get("engine")
+            .ok_or("budget response missing engine")?;
+        let engine_spent = engine.get("spent").and_then(Json::as_f64).unwrap_or(0.0);
+        let engine_budget = engine
+            .get("budget")
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::INFINITY);
+        if engine_spent > engine_budget + 1e-9 {
+            return Err(format!(
+                "BUDGET OVERSHOOT mid-flight on {dataset}: {engine_spent} > {engine_budget}"
+            ));
+        }
+    }
+    Ok((answered, denied, epsilon_sum, dataset.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_test_passes_with_a_small_workload() {
+        let report = run(SelfTestConfig {
+            server_threads: 2,
+            sessions: 4,
+            submits: 4,
+            rows: 400,
+            cache_cap: 16,
+        })
+        .expect("self-test must pass");
+        assert!(report.answered > 0);
+        assert!(report.denied > 0);
+        assert!(report.cache_hits > 0);
+        for (name, spent, budget) in &report.budgets {
+            assert!(spent <= &(budget + 1e-9), "{name}: {spent} > {budget}");
+        }
+    }
+}

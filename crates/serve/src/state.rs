@@ -1,0 +1,210 @@
+//! Server-side registry: tenant datasets, their shared engines, the one
+//! shared translator cache, and the live analyst sessions.
+//!
+//! One [`ServerState`] owns everything a request handler needs. Each
+//! tenant dataset gets its own [`SharedEngine`] (its own privacy budget
+//! `B`, transcript, and noise stream); all engines share **one**
+//! LRU-bounded [`TranslatorCache`] through per-tenant *scopes*
+//! ([`TranslatorCache::scoped`]), so `/v1/stats` can attribute hits and
+//! misses per dataset while the storage — and the warm-up — is global.
+//! Sharing is sound because cached artifacts are data-independent (see
+//! `apex_core::cache`).
+//!
+//! Sessions are budget slices ([`apex_core::EngineSession`]): a session
+//! may spend at most its allowance, and all sessions of a tenant jointly
+//! at most that tenant's `B`, no matter how requests interleave across
+//! worker threads.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+use apex_core::{ApexEngine, EngineConfig, EngineSession, SharedEngine, TranslatorCache};
+use apex_data::Dataset;
+
+/// One tenant dataset: its engine plus its scope of the shared cache.
+#[derive(Debug)]
+pub struct Tenant {
+    /// Thread-safe engine over the tenant's dataset.
+    pub engine: SharedEngine,
+    /// This tenant's scope of the shared translator cache (for
+    /// per-dataset stats; storage is shared with every other tenant).
+    pub cache: TranslatorCache,
+}
+
+/// One live analyst session.
+#[derive(Debug)]
+pub struct SessionEntry {
+    /// Name of the dataset the session is bound to.
+    pub dataset: String,
+    /// The budget-sliced engine view the session submits through.
+    pub session: EngineSession,
+}
+
+/// Everything the request handlers share.
+#[derive(Debug)]
+pub struct ServerState {
+    tenants: Vec<(String, Tenant)>,
+    cache: TranslatorCache,
+    sessions: RwLock<HashMap<u64, SessionEntry>>,
+    next_session: AtomicU64,
+}
+
+impl ServerState {
+    /// Starts building a state whose tenants share one translator cache
+    /// bounded to `cache_cap` entries.
+    pub fn builder(cache_cap: usize) -> ServerStateBuilder {
+        ServerStateBuilder {
+            cache: TranslatorCache::with_capacity(cache_cap),
+            tenants: Vec::new(),
+        }
+    }
+
+    /// The tenant registered under `name`.
+    pub fn tenant(&self, name: &str) -> Option<&Tenant> {
+        self.tenants.iter().find(|(n, _)| n == name).map(|(_, t)| t)
+    }
+
+    /// All tenants, in registration order.
+    pub fn tenants(&self) -> &[(String, Tenant)] {
+        &self.tenants
+    }
+
+    /// The shared cache's root handle (global stats, capacity, size).
+    pub fn cache(&self) -> &TranslatorCache {
+        &self.cache
+    }
+
+    /// Opens a session on `dataset` with the given allowance; returns the
+    /// session id, or `None` when the dataset does not exist.
+    pub fn create_session(&self, dataset: &str, allowance: f64) -> Option<u64> {
+        let tenant = self.tenant(dataset)?;
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+        let entry = SessionEntry {
+            dataset: dataset.to_string(),
+            session: tenant.engine.session(allowance),
+        };
+        self.sessions
+            .write()
+            .expect("no poisoning")
+            .insert(id, entry);
+        Some(id)
+    }
+
+    /// Runs `f` with the session, or returns `None` for unknown ids.
+    pub fn with_session<T>(&self, id: u64, f: impl FnOnce(&SessionEntry) -> T) -> Option<T> {
+        self.sessions.read().expect("no poisoning").get(&id).map(f)
+    }
+
+    /// Number of live sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.read().expect("no poisoning").len()
+    }
+
+    /// Number of live sessions bound to `dataset`.
+    pub fn session_count_for(&self, dataset: &str) -> usize {
+        self.sessions
+            .read()
+            .expect("no poisoning")
+            .values()
+            .filter(|s| s.dataset == dataset)
+            .count()
+    }
+}
+
+/// Builder for [`ServerState`] — register tenants, then [`ServerStateBuilder::build`].
+#[derive(Debug)]
+pub struct ServerStateBuilder {
+    cache: TranslatorCache,
+    tenants: Vec<(String, Tenant)>,
+}
+
+impl ServerStateBuilder {
+    /// Registers `data` as tenant `name`: a fresh engine with its own
+    /// budget/mode/seed from `config`, drawing on the shared cache
+    /// through its own stats scope. Re-registering a name replaces the
+    /// previous tenant.
+    pub fn dataset(mut self, name: &str, data: Dataset, config: EngineConfig) -> Self {
+        let scope = self.cache.scoped();
+        let engine = SharedEngine::new(ApexEngine::with_translator_cache(
+            data,
+            config,
+            scope.clone(),
+        ));
+        let tenant = Tenant {
+            engine,
+            cache: scope,
+        };
+        self.tenants.retain(|(n, _)| n != name);
+        self.tenants.push((name.to_string(), tenant));
+        self
+    }
+
+    /// Finishes the registry.
+    pub fn build(self) -> ServerState {
+        ServerState {
+            tenants: self.tenants,
+            cache: self.cache,
+            sessions: RwLock::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex_data::{Attribute, Domain, Schema, Value};
+
+    fn tiny_dataset() -> Dataset {
+        let schema = Schema::new(vec![Attribute::new(
+            "v",
+            Domain::IntRange { min: 0, max: 7 },
+        )])
+        .unwrap();
+        let mut d = Dataset::empty(schema);
+        for i in 0..8_i64 {
+            d.push(vec![Value::Int(i)]).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn tenants_share_one_cache_with_per_tenant_scopes() {
+        let state = ServerState::builder(32)
+            .dataset("a", tiny_dataset(), EngineConfig::default())
+            .dataset("b", tiny_dataset(), EngineConfig::default())
+            .build();
+        assert_eq!(state.tenants().len(), 2);
+        let q = apex_query::ExplorationQuery::wcq(
+            (0..8)
+                .map(|i| apex_data::Predicate::eq("v", i as i64))
+                .collect(),
+        );
+        let acc = apex_query::AccuracySpec::new(5.0, 0.01).unwrap();
+        state.tenant("a").unwrap().engine.submit(&q, &acc).unwrap();
+        state.tenant("b").unwrap().engine.submit(&q, &acc).unwrap();
+        // Tenant b's identical structure is warmed by tenant a: global
+        // stats see both scopes, b's own scope shows hits but no build.
+        let global = state.cache().stats();
+        assert!(global.hits > 0 && global.misses > 0);
+        let b_local = state.tenant("b").unwrap().cache.local_stats();
+        assert_eq!(b_local.misses, 0, "{b_local:?}");
+        assert!(b_local.hits > 0);
+    }
+
+    #[test]
+    fn sessions_register_and_resolve() {
+        let state = ServerState::builder(8)
+            .dataset("a", tiny_dataset(), EngineConfig::default())
+            .build();
+        assert_eq!(state.create_session("nope", 0.5), None);
+        let id = state.create_session("a", 0.5).unwrap();
+        assert_eq!(state.session_count(), 1);
+        assert_eq!(state.session_count_for("a"), 1);
+        assert_eq!(state.session_count_for("b"), 0);
+        let allowance = state.with_session(id, |s| s.session.allowance()).unwrap();
+        assert_eq!(allowance, 0.5);
+        assert!(state.with_session(id + 1, |_| ()).is_none());
+    }
+}

@@ -1,0 +1,250 @@
+//! Wire types: how API bodies map to and from engine types.
+//!
+//! Queries travel as the paper's **concrete syntax** (the repo already
+//! owns a parser for it — `apex_query::parser`), wrapped in a small JSON
+//! envelope:
+//!
+//! ```json
+//! {"query": "BIN adult ON COUNT(*) WHERE W = { age IN [17, 40) } ERROR 150 CONFIDENCE 0.99;"}
+//! ```
+//!
+//! The `ERROR … CONFIDENCE …` clause may be replaced (or overridden) by
+//! explicit `"alpha"` / `"beta"` fields. Responses serialize
+//! [`EngineResponse`] — a denial is not an error, it is a first-class
+//! response (HTTP 409 at the transport layer).
+
+use apex_core::{Answered, EngineResponse};
+use apex_query::parser::parse_query;
+use apex_query::{AccuracySpec, ExplorationQuery, QueryAnswer};
+
+use crate::json::Json;
+
+/// A decoded `POST /v1/sessions` body.
+#[derive(Debug, Clone)]
+pub struct CreateSession {
+    /// Name of the registered dataset to bind to.
+    pub dataset: String,
+    /// The session's budget slice.
+    pub budget: f64,
+}
+
+/// Decodes a session-creation body.
+///
+/// # Errors
+/// A human-readable message naming the offending field.
+pub fn parse_create_session(body: &Json) -> Result<CreateSession, String> {
+    let dataset = body
+        .get("dataset")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"dataset\"")?
+        .to_string();
+    let budget = body
+        .get("budget")
+        .and_then(Json::as_f64)
+        .ok_or("missing numeric field \"budget\"")?;
+    if !(budget.is_finite() && budget > 0.0) {
+        return Err(format!(
+            "\"budget\" must be positive and finite, got {budget}"
+        ));
+    }
+    Ok(CreateSession { dataset, budget })
+}
+
+/// Decodes a query-submission body into the engine's input types.
+///
+/// # Errors
+/// A human-readable message: missing fields, syntax errors from the
+/// query parser, or an invalid/missing accuracy requirement.
+pub fn parse_query_request(body: &Json) -> Result<(ExplorationQuery, AccuracySpec), String> {
+    let text = body
+        .get("query")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"query\"")?;
+    let parsed = parse_query(text).map_err(|e| format!("query syntax: {e}"))?;
+
+    let alpha = body.get("alpha").and_then(Json::as_f64);
+    let beta = body.get("beta").and_then(Json::as_f64);
+    let accuracy = match (alpha, beta, parsed.accuracy) {
+        // Explicit fields override the statement's clause wholesale.
+        (Some(a), Some(b), _) => AccuracySpec::new(a, b).map_err(|e| e.to_string())?,
+        (Some(a), None, Some(acc)) => acc.with_alpha(a).map_err(|e| e.to_string())?,
+        (None, Some(b), Some(acc)) => {
+            AccuracySpec::new(acc.alpha(), b).map_err(|e| e.to_string())?
+        }
+        (None, None, Some(acc)) => acc,
+        _ => {
+            return Err(
+                "no accuracy requirement: give an ERROR … CONFIDENCE … clause or \
+                 \"alpha\"/\"beta\" fields"
+                    .to_string(),
+            )
+        }
+    };
+    Ok((parsed.query, accuracy))
+}
+
+fn answer_json(answer: &QueryAnswer) -> Json {
+    match answer {
+        QueryAnswer::Counts(counts) => Json::obj(vec![(
+            "counts",
+            Json::Arr(counts.iter().map(|&c| Json::Num(c)).collect()),
+        )]),
+        QueryAnswer::Bins(bins) => Json::obj(vec![(
+            "bins",
+            Json::Arr(bins.iter().map(|&b| Json::from(b)).collect()),
+        )]),
+    }
+}
+
+fn answered_json(a: &Answered) -> Json {
+    Json::obj(vec![
+        ("status", Json::from("answered")),
+        ("mechanism", Json::from(a.mechanism)),
+        ("epsilon", Json::Num(a.epsilon)),
+        ("epsilon_upper", Json::Num(a.epsilon_upper)),
+        ("answer", answer_json(&a.answer)),
+    ])
+}
+
+/// Serializes an [`EngineResponse`]; the caller picks the status code
+/// (200 for answered, 409 for denied).
+pub fn engine_response_json(resp: &EngineResponse) -> Json {
+    match resp {
+        EngineResponse::Answered(a) => answered_json(a),
+        EngineResponse::Denied => Json::obj(vec![
+            ("status", Json::from("denied")),
+            (
+                "reason",
+                Json::from("no mechanism fits the remaining budget"),
+            ),
+        ]),
+    }
+}
+
+/// The `GET /v1/sessions/{id}/budget` body: the session's slice next to
+/// the engine-wide (tenant) budget state.
+pub fn budget_json(
+    id: u64,
+    dataset: &str,
+    allowance: f64,
+    spent: f64,
+    engine_budget: f64,
+    engine_spent: f64,
+) -> Json {
+    Json::obj(vec![
+        ("session", Json::from(id)),
+        ("dataset", Json::from(dataset)),
+        ("allowance", Json::Num(allowance)),
+        ("spent", Json::Num(spent)),
+        ("remaining", Json::Num((allowance - spent).max(0.0))),
+        (
+            "engine",
+            Json::obj(vec![
+                ("budget", Json::Num(engine_budget)),
+                ("spent", Json::Num(engine_spent)),
+                (
+                    "remaining",
+                    Json::Num((engine_budget - engine_spent).max(0.0)),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// Renders cache counters.
+pub fn cache_stats_json(stats: apex_mech::CacheStats) -> Json {
+    Json::obj(vec![
+        ("hits", Json::from(stats.hits)),
+        ("misses", Json::from(stats.misses)),
+        ("evictions", Json::from(stats.evictions)),
+    ])
+}
+
+/// A uniform error body.
+pub fn error_json(msg: &str) -> String {
+    Json::obj(vec![("error", Json::from(msg))]).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn create_session_bodies_are_validated() {
+        let ok = json::parse(r#"{"dataset":"adult","budget":0.5}"#).unwrap();
+        let c = parse_create_session(&ok).unwrap();
+        assert_eq!(c.dataset, "adult");
+        assert_eq!(c.budget, 0.5);
+        for bad in [
+            r#"{"budget":0.5}"#,
+            r#"{"dataset":"adult"}"#,
+            r#"{"dataset":"adult","budget":-1}"#,
+            r#"{"dataset":"adult","budget":"x"}"#,
+        ] {
+            assert!(parse_create_session(&json::parse(bad).unwrap()).is_err());
+        }
+    }
+
+    #[test]
+    fn query_bodies_parse_the_concrete_syntax() {
+        let body = json::parse(
+            r#"{"query":"BIN d ON COUNT(*) WHERE W = { v IN [0, 4), v IN [4, 8) } ERROR 10 CONFIDENCE 0.95;"}"#,
+        )
+        .unwrap();
+        let (q, acc) = parse_query_request(&body).unwrap();
+        assert_eq!(q.len(), 2);
+        assert!((acc.alpha() - 10.0).abs() < 1e-12);
+        assert!((acc.beta() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explicit_accuracy_fields_override_the_clause() {
+        let body = json::parse(
+            r#"{"query":"BIN d ON COUNT(*) WHERE { v IN [0, 4) } ERROR 10 CONFIDENCE 0.95;","alpha":20,"beta":0.01}"#,
+        )
+        .unwrap();
+        let (_, acc) = parse_query_request(&body).unwrap();
+        assert_eq!(acc.alpha(), 20.0);
+        assert_eq!(acc.beta(), 0.01);
+        // Alpha-only override keeps the clause's beta.
+        let body = json::parse(
+            r#"{"query":"BIN d ON COUNT(*) WHERE { v IN [0, 4) } ERROR 10 CONFIDENCE 0.95;","alpha":20}"#,
+        )
+        .unwrap();
+        let (_, acc) = parse_query_request(&body).unwrap();
+        assert_eq!(acc.alpha(), 20.0);
+        assert!((acc.beta() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_accuracy_is_an_error() {
+        let body = json::parse(r#"{"query":"BIN d ON COUNT(*) WHERE { v IN [0, 4) };"}"#).unwrap();
+        assert!(parse_query_request(&body).is_err());
+        let body = json::parse(r#"{}"#).unwrap();
+        assert!(parse_query_request(&body).is_err());
+    }
+
+    #[test]
+    fn responses_serialize_both_variants() {
+        let denied = engine_response_json(&EngineResponse::Denied).render();
+        assert!(denied.contains("\"denied\""));
+        let answered = engine_response_json(&EngineResponse::Answered(Answered {
+            answer: QueryAnswer::Counts(vec![1.5, 2.0]),
+            epsilon: 0.25,
+            epsilon_upper: 0.5,
+            mechanism: "SM",
+        }))
+        .render();
+        assert!(answered.contains("\"counts\":[1.5,2]"), "{answered}");
+        assert!(answered.contains("\"mechanism\":\"SM\""));
+        let bins = engine_response_json(&EngineResponse::Answered(Answered {
+            answer: QueryAnswer::Bins(vec![0, 3]),
+            epsilon: 0.1,
+            epsilon_upper: 0.1,
+            mechanism: "LTM",
+        }))
+        .render();
+        assert!(bins.contains("\"bins\":[0,3]"), "{bins}");
+    }
+}

@@ -1,0 +1,162 @@
+//! Service-layer integration tests: the multi-tenant invariants under
+//! real concurrency, both at the library seam (`SharedEngine` +
+//! `EngineSession` hammered from 8 threads) and end to end through the
+//! HTTP server loop (the `--self-test` plumbing on an ephemeral port).
+
+use apex_core::{ApexEngine, EngineConfig, EngineSession, Mode, SharedEngine, TranslatorCache};
+use apex_data::{Attribute, Dataset, Domain, Predicate, Schema, Value};
+use apex_query::{AccuracySpec, ExplorationQuery};
+
+fn dataset(n_values: i64, rows_per_value: usize) -> Dataset {
+    let schema = Schema::new(vec![Attribute::new(
+        "v",
+        Domain::IntRange {
+            min: 0,
+            max: n_values - 1,
+        },
+    )])
+    .unwrap();
+    let mut d = Dataset::empty(schema);
+    for i in 0..n_values {
+        for _ in 0..rows_per_value {
+            d.push(vec![Value::Int(i)]).unwrap();
+        }
+    }
+    d
+}
+
+fn histogram(n_values: i64, bins: usize) -> ExplorationQuery {
+    ExplorationQuery::wcq(
+        (0..bins)
+            .map(|i| {
+                Predicate::range(
+                    "v",
+                    (n_values as usize * i / bins) as f64,
+                    (n_values as usize * (i + 1) / bins) as f64,
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Eight threads, each with its own session slice, all slamming one
+/// engine: joint spend must never exceed `B`, each session must stay
+/// within its slice, and the ledger must balance exactly.
+#[test]
+fn eight_threads_never_overshoot_budget_or_slices() {
+    const B: f64 = 0.5;
+    let engine = SharedEngine::new(ApexEngine::new(
+        dataset(16, 8),
+        EngineConfig {
+            budget: B,
+            mode: Mode::Pessimistic,
+            seed: 11,
+        },
+    ));
+    // Slices oversubscribe B threefold, so both admission bounds bite.
+    let sessions: Vec<EngineSession> = (0..8).map(|_| engine.session(B * 3.0 / 8.0)).collect();
+    let acc = AccuracySpec::new(60.0, 0.01).unwrap();
+    std::thread::scope(|s| {
+        for sess in &sessions {
+            s.spawn(|| {
+                let q = histogram(16, 8);
+                for _ in 0..12 {
+                    // Interleave submissions with budget reads; a read
+                    // must never observe an overshoot mid-flight.
+                    let _ = sess.submit(&q, &acc).unwrap();
+                    assert!(sess.spent() <= sess.allowance() + 1e-9);
+                    assert!(sess.engine().spent() <= B + 1e-9);
+                }
+            });
+        }
+    });
+    let joint: f64 = sessions.iter().map(EngineSession::spent).sum();
+    assert!(engine.spent() <= B + 1e-9, "spent {}", engine.spent());
+    assert!((joint - engine.spent()).abs() < 1e-9, "ledger must balance");
+    assert!(joint > 0.0, "the workload must actually answer something");
+    engine.with_engine(|e| assert!(e.transcript().is_valid(B)));
+}
+
+/// Concurrent cache warms across engines sharing one `TranslatorCache`:
+/// every thread must see the same (data-independent) worst-case ε for
+/// the same workload — a cache hit must verify as identical to a fresh
+/// build — and the counters must account for every lookup.
+#[test]
+fn concurrent_cache_warms_are_verify_on_hit_consistent() {
+    let cache = TranslatorCache::with_capacity(32);
+    let engines: Vec<SharedEngine> = (0..8)
+        .map(|i| {
+            SharedEngine::new(ApexEngine::with_translator_cache(
+                dataset(32, 4),
+                EngineConfig {
+                    budget: 50.0,
+                    mode: Mode::Pessimistic,
+                    seed: 100 + i,
+                },
+                cache.scoped(),
+            ))
+        })
+        .collect();
+    let acc = AccuracySpec::new(25.0, 0.01).unwrap();
+    let uppers: Vec<f64> = std::thread::scope(|s| {
+        let handles: Vec<_> = engines
+            .iter()
+            .map(|e| {
+                s.spawn(move || {
+                    let q = histogram(32, 16);
+                    let r = e.submit(&q, &acc).unwrap();
+                    r.answered().expect("budget is ample").epsilon_upper
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    // All eight saw the very same translation, whether they built the
+    // artifacts or hit a concurrent warm.
+    for w in uppers.windows(2) {
+        assert_eq!(w[0], w[1], "cache hit diverged from fresh build");
+    }
+    let stats = cache.stats();
+    assert!(stats.hits + stats.misses >= 8, "{stats:?}");
+    assert!(stats.misses >= 1, "{stats:?}");
+    // A fresh engine re-running the workload from cache agrees too.
+    let mut fresh = ApexEngine::with_translator_cache(
+        dataset(32, 4),
+        EngineConfig {
+            budget: 50.0,
+            mode: Mode::Pessimistic,
+            seed: 999,
+        },
+        cache.scoped(),
+    );
+    let r = fresh.submit(&histogram(32, 16), &acc).unwrap();
+    assert_eq!(r.answered().unwrap().epsilon_upper, uppers[0]);
+    // The warm entry definitely existed by now, so the fresh engine's
+    // translation must have been a hit (concurrent first submits may all
+    // race to build — hits only become guaranteed once a warm settles).
+    assert!(cache.stats().hits >= 1, "{:?}", cache.stats());
+}
+
+/// The server loop end to end, via the same plumbing `--self-test`
+/// drives in CI: concurrent sessions over real sockets, budget
+/// conservation, protocol discipline, cross-session cache hits.
+#[test]
+fn http_self_test_passes() {
+    let report = apex_serve::run_self_test(apex_serve::SelfTestConfig {
+        server_threads: 4,
+        sessions: 8,
+        submits: 5,
+        rows: 500,
+        cache_cap: 32,
+    })
+    .expect("self-test invariants must hold");
+    assert!(report.answered > 0);
+    assert!(report.denied > 0, "oversubscription must force denials");
+    assert!(report.cache_hits > 0, "sessions must share warm artifacts");
+    for (name, spent, budget) in &report.budgets {
+        assert!(
+            spent <= &(budget + 1e-9),
+            "{name} overshot: {spent} > {budget}"
+        );
+    }
+}
