@@ -60,6 +60,24 @@ pub struct Answered {
     pub mechanism: &'static str,
 }
 
+/// A point-in-time export of the engine's budget ledger — what a
+/// persistence layer snapshots and what recovery re-imposes via
+/// [`ApexEngine::import_ledger`]. Deliberately *not* the transcript:
+/// noisy answers already left the building, only the accounting must
+/// survive a restart (forgetting spent budget is the one failure a DP
+/// engine can never afford).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LedgerExport {
+    /// The owner's total budget `B`.
+    pub budget: f64,
+    /// Actual privacy loss spent so far.
+    pub spent: f64,
+    /// Answered interactions recorded in the transcript.
+    pub answered: usize,
+    /// Denied interactions recorded in the transcript.
+    pub denied: usize,
+}
+
 /// The engine's response to a submission.
 #[derive(Debug, Clone)]
 pub enum EngineResponse {
@@ -182,6 +200,44 @@ impl ApexEngine {
     /// assumes schema and domains are public).
     pub fn schema(&self) -> &apex_data::Schema {
         self.data.schema()
+    }
+
+    /// Exports the budget ledger for persistence (see [`LedgerExport`]).
+    pub fn export_ledger(&self) -> LedgerExport {
+        LedgerExport {
+            budget: self.budget,
+            spent: self.spent,
+            answered: self.transcript.answered(),
+            denied: self.transcript.denied(),
+        }
+    }
+
+    /// Re-imposes a persisted spend on a **fresh** engine — the recovery
+    /// half of [`ApexEngine::export_ledger`]. The restored loss counts
+    /// against `B` exactly as if it had been charged live; the transcript
+    /// stays empty (pre-restart answers are not re-materialized — the
+    /// ledger, not the history, is what privacy accounting must never
+    /// forget).
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidLedgerImport`] when the engine has already
+    /// answered or charged anything, or when `spent` is not in
+    /// `[0, B]` (within a 1e-9·B float tolerance; a store claiming more
+    /// spend than `B` is corrupt and must not be clamped into validity).
+    pub fn import_ledger(&mut self, spent: f64) -> Result<(), EngineError> {
+        let err = EngineError::InvalidLedgerImport {
+            spent,
+            budget: self.budget,
+        };
+        if self.spent != 0.0 || !self.transcript.is_empty() {
+            return Err(err);
+        }
+        let tol = 1e-9 * self.budget.max(1.0);
+        if !spent.is_finite() || spent < 0.0 || spent > self.budget + tol {
+            return Err(err);
+        }
+        self.spent = spent.min(self.budget);
+        Ok(())
     }
 
     /// Submits one query with its accuracy requirement — one iteration of
@@ -445,6 +501,46 @@ mod tests {
         // A structurally different workload builds a second entry.
         e.submit(&histogram(8), &acc).unwrap();
         assert_eq!(e.translator_cache().len(), 2);
+    }
+
+    #[test]
+    fn ledger_round_trips_through_export_and_import() {
+        let mut e = engine(1.0);
+        let acc = AccuracySpec::new(30.0, 0.01).unwrap();
+        e.submit(&histogram(8), &acc).unwrap();
+        let exported = e.export_ledger();
+        assert_eq!(exported.budget, 1.0);
+        assert_eq!(exported.spent, e.spent());
+        assert_eq!(exported.answered, 1);
+
+        // A fresh engine picks the ledger up and keeps enforcing B from
+        // where the old one stopped.
+        let mut fresh = engine(1.0);
+        fresh.import_ledger(exported.spent).unwrap();
+        assert_eq!(fresh.spent(), exported.spent);
+        assert!((fresh.remaining() - (1.0 - exported.spent)).abs() < 1e-12);
+        // Denial logic sees the restored spend: an impossible ask denies.
+        let r = fresh
+            .submit(&histogram(8), &AccuracySpec::new(0.5, 0.0005).unwrap())
+            .unwrap();
+        assert!(r.is_denied());
+    }
+
+    #[test]
+    fn ledger_import_rejects_invalid_or_used_targets() {
+        // More spend than B is corruption, not something to clamp.
+        assert!(engine(1.0).import_ledger(1.5).is_err());
+        assert!(engine(1.0).import_ledger(-0.1).is_err());
+        assert!(engine(1.0).import_ledger(f64::NAN).is_err());
+        // An engine with history refuses (import is recovery-only).
+        let mut used = engine(1.0);
+        used.submit(&histogram(8), &AccuracySpec::new(30.0, 0.01).unwrap())
+            .unwrap();
+        assert!(used.import_ledger(0.1).is_err());
+        // Exactly B (e.g. a fully exhausted tenant) is fine.
+        let mut full = engine(1.0);
+        full.import_ledger(1.0).unwrap();
+        assert_eq!(full.remaining(), 0.0);
     }
 
     #[test]

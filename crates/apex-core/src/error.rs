@@ -19,6 +19,21 @@ pub enum EngineError {
     /// No mechanism in the registry supports the query type at all
     /// (distinct from denial: this is a configuration bug).
     NoApplicableMechanism,
+    /// The session was closed (expired or administratively ended); the
+    /// caller should surface this as "gone", not as a denial — a denial
+    /// is a live session's budget verdict, this session no longer exists.
+    SessionClosed,
+    /// A persisted ledger could not be re-imposed on a fresh engine:
+    /// either the engine already has history, or the recovered spend is
+    /// not a valid loss under this budget. Recovering *more* spend than
+    /// `B` is evidence of a corrupted store, and silently clamping it
+    /// would forge budget headroom — so it is an error, never a clamp.
+    InvalidLedgerImport {
+        /// The spend the caller tried to restore.
+        spent: f64,
+        /// The engine's budget `B`.
+        budget: f64,
+    },
 }
 
 impl From<WorkloadError> for EngineError {
@@ -43,6 +58,15 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::NoApplicableMechanism => {
                 write!(f, "no registered mechanism supports this query type")
+            }
+            EngineError::SessionClosed => {
+                write!(f, "session is closed (expired or administratively ended)")
+            }
+            EngineError::InvalidLedgerImport { spent, budget } => {
+                write!(
+                    f,
+                    "cannot restore a spent ledger of {spent} onto an engine with budget {budget}"
+                )
             }
         }
     }

@@ -87,12 +87,46 @@ impl SharedEngine {
     /// `allowance` is clamped to `≥ 0`; a zero-allowance session is valid
     /// and denies everything (useful for read-only budget observers).
     pub fn session(&self, allowance: f64) -> EngineSession {
+        self.session_with_spent(allowance, 0.0)
+    }
+
+    /// Re-opens a session restored from persistence: same slice semantics
+    /// as [`SharedEngine::session`], but with `spent` already charged to
+    /// it (the WAL replayed its pre-restart debits). `spent` is clamped
+    /// to `[0, allowance]` — the engine-wide restored spend is validated
+    /// separately by [`ApexEngine::import_ledger`], a slice is only a cap.
+    pub fn session_with_spent(&self, allowance: f64, spent: f64) -> EngineSession {
+        let allowance = allowance.max(0.0);
         EngineSession {
             engine: self.clone(),
-            allowance: allowance.max(0.0),
-            spent: Arc::new(Mutex::new(0.0)),
+            allowance,
+            slice: Arc::new(Mutex::new(Slice {
+                spent: spent.clamp(0.0, allowance),
+                closed: false,
+            })),
         }
     }
+
+    /// Re-imposes a persisted spend on this engine — see
+    /// [`ApexEngine::import_ledger`].
+    ///
+    /// # Errors
+    /// Same contract as [`ApexEngine::import_ledger`].
+    pub fn import_ledger(&self, spent: f64) -> Result<(), EngineError> {
+        self.inner.lock().import_ledger(spent)
+    }
+
+    /// Exports the budget ledger — see [`ApexEngine::export_ledger`].
+    pub fn export_ledger(&self) -> crate::engine::LedgerExport {
+        self.inner.lock().export_ledger()
+    }
+}
+
+/// The mutable half of a session: its charged loss and lifecycle state.
+#[derive(Debug)]
+struct Slice {
+    spent: f64,
+    closed: bool,
 }
 
 /// One analyst's budget-sliced view of a [`SharedEngine`] — what a
@@ -106,7 +140,7 @@ impl SharedEngine {
 pub struct EngineSession {
     engine: SharedEngine,
     allowance: f64,
-    spent: Arc<Mutex<f64>>,
+    slice: Arc<Mutex<Slice>>,
 }
 
 impl EngineSession {
@@ -115,20 +149,45 @@ impl EngineSession {
     /// remaining budget. Denial (by either bound) charges nothing.
     ///
     /// # Errors
-    /// Same contract as [`ApexEngine::submit`].
+    /// Same contract as [`ApexEngine::submit`], plus
+    /// [`EngineError::SessionClosed`] once the session was closed — a
+    /// closed session is *gone*, not merely out of budget.
     pub fn submit(
         &self,
         query: &ExplorationQuery,
         accuracy: &AccuracySpec,
     ) -> Result<EngineResponse, EngineError> {
-        let mut spent = self.spent.lock();
+        let mut slice = self.slice.lock();
+        if slice.closed {
+            return Err(EngineError::SessionClosed);
+        }
         let mut engine = self.engine.inner.lock();
-        let cap = (self.allowance - *spent).max(0.0);
+        let cap = (self.allowance - slice.spent).max(0.0);
         let response = engine.submit_capped(query, accuracy, cap)?;
         if let EngineResponse::Answered(a) = &response {
-            *spent += a.epsilon;
+            slice.spent += a.epsilon;
         }
         Ok(response)
+    }
+
+    /// Closes the session (TTL expiry or an admin ending it): further
+    /// submissions fail with [`EngineError::SessionClosed`], and the
+    /// **unspent remainder of the slice is returned exactly once** —
+    /// `Some(allowance − spent)` on the first call, `None` ever after,
+    /// however many reapers and admins race. The caller hands that
+    /// remainder back to whatever granted the slice.
+    pub fn close(&self) -> Option<f64> {
+        let mut slice = self.slice.lock();
+        if slice.closed {
+            return None;
+        }
+        slice.closed = true;
+        Some((self.allowance - slice.spent).max(0.0))
+    }
+
+    /// Whether the session has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.slice.lock().closed
     }
 
     /// The slice of the budget this session was opened with.
@@ -138,13 +197,13 @@ impl EngineSession {
 
     /// Actual privacy loss charged to this session so far.
     pub fn spent(&self) -> f64 {
-        *self.spent.lock()
+        self.slice.lock().spent
     }
 
     /// Remaining session allowance (the engine-wide budget may be the
     /// tighter bound — see [`EngineSession::engine`]).
     pub fn remaining(&self) -> f64 {
-        (self.allowance - *self.spent.lock()).max(0.0)
+        (self.allowance - self.slice.lock().spent).max(0.0)
     }
 
     /// The shared engine this session draws from.
@@ -256,6 +315,48 @@ mod tests {
             assert!(sess.spent() <= sess.allowance() + 1e-9);
         }
         shared.with_engine(|e| assert!(e.transcript().is_valid(0.4)));
+    }
+
+    #[test]
+    fn close_releases_the_unspent_slice_exactly_once() {
+        let shared = SharedEngine::new(make_engine(1.0));
+        let acc = AccuracySpec::new(20.0, 0.01).unwrap();
+        let sess = shared.session(0.5);
+        sess.submit(&query(), &acc).unwrap();
+        let spent = sess.spent();
+        assert!(spent > 0.0);
+
+        // Many racing closers: exactly one wins the remainder.
+        let releases: Vec<Option<f64>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8).map(|_| s.spawn(|| sess.close())).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let won: Vec<f64> = releases.into_iter().flatten().collect();
+        assert_eq!(won.len(), 1, "close must release exactly once");
+        assert!((won[0] - (0.5 - spent)).abs() < 1e-12);
+
+        // The corpse denies with SessionClosed, not a budget denial.
+        assert!(sess.is_closed());
+        assert!(matches!(
+            sess.submit(&query(), &acc),
+            Err(EngineError::SessionClosed)
+        ));
+        // The engine itself is unaffected and still serves new sessions.
+        assert!(shared.session(0.3).submit(&query(), &acc).is_ok());
+    }
+
+    #[test]
+    fn restored_sessions_resume_mid_slice() {
+        let shared = SharedEngine::new(make_engine(1.0));
+        shared.import_ledger(0.25).unwrap();
+        assert_eq!(shared.spent(), 0.25);
+        let sess = shared.session_with_spent(0.3, 0.25);
+        assert_eq!(sess.spent(), 0.25);
+        assert!((sess.remaining() - 0.05).abs() < 1e-12);
+        // Spend beyond the allowance clamps (the slice is only a cap).
+        let over = shared.session_with_spent(0.3, 0.9);
+        assert_eq!(over.spent(), 0.3);
+        assert_eq!(over.remaining(), 0.0);
     }
 
     #[test]

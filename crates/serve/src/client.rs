@@ -18,14 +18,32 @@ pub fn request(
     path: &str,
     body: Option<&str>,
 ) -> Result<(u16, Json), String> {
+    request_with_token(addr, method, path, body, None)
+}
+
+/// [`request`] with an optional bearer token (`Authorization: Bearer …`)
+/// for the admin plane.
+///
+/// # Errors
+/// Same contract as [`request`].
+pub fn request_with_token(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    token: Option<&str>,
+) -> Result<(u16, Json), String> {
     let mut stream =
         TcpStream::connect_timeout(&addr, Duration::from_secs(10)).map_err(|e| e.to_string())?;
     stream
         .set_read_timeout(Some(Duration::from_secs(30)))
         .map_err(|e| e.to_string())?;
     let body = body.unwrap_or("");
+    let auth = token
+        .map(|t| format!("Authorization: Bearer {t}\r\n"))
+        .unwrap_or_default();
     let raw = format!(
-        "{method} {path} HTTP/1.1\r\nHost: apex\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: apex\r\n{auth}Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
     stream

@@ -1,0 +1,100 @@
+//! Injectable time for session TTLs.
+//!
+//! The reaper's contract ("a session idle longer than the TTL expires,
+//! and its unspent slice is released exactly once") is only testable if
+//! tests control the clock — real-sleep TTL tests are either slow or
+//! flaky. So the server state takes a [`Clock`] trait object:
+//! [`SystemClock`] in production, [`ManualClock`] (an atomic counter the
+//! test advances) everywhere determinism matters.
+//!
+//! Millisecond ticks on a `u64` are plenty: TTLs are seconds-to-hours,
+//! and 2⁶⁴ ms is ~584 million years of uptime.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic millisecond clock the server reads idle times from.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Milliseconds since an arbitrary (per-clock) origin. Must never
+    /// decrease.
+    fn now_millis(&self) -> u64;
+}
+
+/// The production clock: monotonic milliseconds since construction
+/// (`Instant`-backed, so wall-clock jumps cannot expire sessions).
+#[derive(Debug)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose origin is now.
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_millis(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A hand-cranked clock for deterministic TTL tests: time only moves
+/// when the test calls [`ManualClock::advance`]. Clones share the same
+/// underlying counter.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    millis: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// A clock stopped at 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Moves time forward by `millis`.
+    pub fn advance(&self, millis: u64) {
+        self.millis.fetch_add(millis, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_millis(&self) -> u64 {
+        self.millis.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_only_moves_when_told() {
+        let c = ManualClock::new();
+        let shared: Arc<dyn Clock> = Arc::new(c.clone());
+        assert_eq!(shared.now_millis(), 0);
+        c.advance(250);
+        assert_eq!(shared.now_millis(), 250);
+        c.advance(1);
+        assert_eq!(shared.now_millis(), 251);
+    }
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let c = SystemClock::new();
+        let a = c.now_millis();
+        let b = c.now_millis();
+        assert!(b >= a);
+    }
+}

@@ -46,21 +46,41 @@ const QUEUE_CAP: usize = 1024;
 /// connection flood) — without it the acceptor would busy-spin.
 const ACCEPT_ERROR_BACKOFF: Duration = Duration::from_millis(50);
 
-/// A parsed request: method, path, and raw body.
+/// A parsed request: method, path, headers, and raw body.
 #[derive(Debug, Clone)]
 pub struct Request {
     /// Uppercase method ("GET", "POST", …).
     pub method: String,
     /// Request path, query string stripped.
     pub path: String,
+    /// Header `(name, value)` pairs, names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
     /// Raw body bytes (empty when the request carried none).
     pub body: Vec<u8>,
 }
 
 impl Request {
+    /// A header-less request (tests and in-process routing).
+    pub fn new(method: &str, path: &str, body: &str) -> Self {
+        Self {
+            method: method.to_string(),
+            path: path.to_string(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
     /// The body as UTF-8 text (`None` when it is not valid UTF-8).
     pub fn body_str(&self) -> Option<&str> {
         std::str::from_utf8(&self.body).ok()
+    }
+
+    /// The first header named `name` (ASCII case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -93,10 +113,12 @@ fn status_text(code: u16) -> &'static str {
         201 => "Created",
         202 => "Accepted",
         400 => "Bad Request",
+        401 => "Unauthorized",
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
         409 => "Conflict",
+        410 => "Gone",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
         501 => "Not Implemented",
@@ -128,8 +150,10 @@ fn read_request(
     }
     let path = target.split('?').next().unwrap_or("").to_string();
 
-    // Headers: only Content-Length matters to this API.
+    // Headers: Content-Length frames the body; the rest (notably
+    // Authorization) is kept for the router.
     let mut content_length = 0usize;
+    let mut headers = Vec::new();
     for header_count in 0.. {
         if header_count > MAX_HEADERS {
             return Ok(Err(400));
@@ -142,16 +166,19 @@ fn read_request(
             break;
         }
         if let Some((name, value)) = trimmed.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                match value.trim().parse::<usize>() {
+            let name = name.trim();
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                match value.parse::<usize>() {
                     Ok(n) if n <= MAX_BODY => content_length = n,
                     Ok(_) => return Ok(Err(413)),
                     Err(_) => return Ok(Err(400)),
                 }
-            } else if name.trim().eq_ignore_ascii_case("transfer-encoding") {
+            } else if name.eq_ignore_ascii_case("transfer-encoding") {
                 // Chunked bodies are not part of this API's contract.
                 return Ok(Err(501));
             }
+            headers.push((name.to_ascii_lowercase(), value.to_string()));
         } else {
             return Ok(Err(400));
         }
@@ -173,7 +200,12 @@ fn read_request(
         }
         body.extend_from_slice(&chunk[..n]);
     }
-    Ok(Ok(Request { method, path, body }))
+    Ok(Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    }))
 }
 
 /// Reads one CRLF- (or LF-) terminated line, bounded by [`MAX_LINE`] and
@@ -405,6 +437,28 @@ mod tests {
             out.ends_with("{\"method\":\"POST\",\"path\":\"/x\",\"len\":5}"),
             "{out}"
         );
+    }
+
+    #[test]
+    fn headers_reach_the_handler_case_insensitively() {
+        let handle = serve("127.0.0.1:0", 1, |req: &Request| {
+            Response::json(
+                200,
+                format!(
+                    "{{\"auth\":\"{}\"}}",
+                    req.header("Authorization").unwrap_or("-")
+                ),
+            )
+        })
+        .unwrap();
+        let mut s = TcpStream::connect(handle.addr()).unwrap();
+        s.write_all(b"GET / HTTP/1.1\r\nAUTHORIZATION:  Bearer tok \r\n\r\n")
+            .unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.ends_with("{\"auth\":\"Bearer tok\"}"), "{out}");
+        handle.stop();
+        handle.join();
     }
 
     #[test]

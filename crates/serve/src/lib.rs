@@ -16,14 +16,26 @@
 //!   shutdown;
 //! * [`wire`] — bodies ↔ engine types ([`apex_query::ExplorationQuery`],
 //!   [`apex_core::EngineResponse`], …);
+//! * [`wal`] — the write-ahead log: length-prefixed, checksummed records
+//!   for every budget-mutating event, appended + fsynced before the
+//!   client is acked;
+//! * [`snapshot`] — periodic compaction of the ledger + session table,
+//!   and the state-directory layout recovery reads;
+//! * [`clock`] — injectable time, so session-TTL behavior is
+//!   deterministic under test;
 //! * [`state`] — tenants (one [`apex_core::SharedEngine`] per dataset,
-//!   one shared translator cache with per-tenant stat scopes) and live
-//!   sessions (budget slices);
+//!   one shared translator cache with per-tenant stat scopes), live
+//!   sessions (budget slices with idle TTLs), WAL-over-snapshot
+//!   recovery, and the TTL reaper;
 //! * [`router`] — endpoint dispatch and status-code mapping (a *denied*
-//!   query is 409, not an error);
+//!   query is 409, an *expired* session is 410, the admin plane checks a
+//!   bearer token);
 //! * [`selftest`] — the end-to-end gate CI runs (`--self-test`): a
 //!   scripted concurrent workload over real sockets asserting budget
-//!   conservation, protocol discipline, and cross-session cache sharing;
+//!   conservation, protocol discipline, cross-session cache sharing, and
+//!   (new) restart recovery — the run is persisted, restarted
+//!   in-process, and the recovered ledger re-verified against what the
+//!   wire acked;
 //! * [`client`] — the small blocking client the self-test and examples
 //!   drive the server with.
 //!
@@ -31,16 +43,46 @@
 //! `docs/SERVICE.md`; the one-line summary: admission checks the
 //! session's slice **and** the engine's remaining `B` atomically under
 //! the engine lock, so no interleaving of sessions can overshoot either.
+//! Persistence semantics are there too; *that* one-line summary: every
+//! ack is preceded by a durable WAL record, so a kill-and-restart can
+//! only ever leave the recovered ledger **at or above** the sum of acked
+//! responses — never below (spent budget is the one thing the engine
+//! must never forget).
 
 pub mod client;
+pub mod clock;
 pub mod http;
 pub mod json;
 pub mod router;
 pub mod selftest;
+pub mod snapshot;
 pub mod state;
+pub mod wal;
 pub mod wire;
 
+pub use clock::{Clock, ManualClock, SystemClock};
 pub use http::{serve, Request, Response, ServerHandle};
 pub use json::Json;
 pub use selftest::{run as run_self_test, SelfTestConfig, SelfTestReport};
-pub use state::{ServerState, ServerStateBuilder};
+pub use state::{
+    start_reaper, PersistOptions, ReaperHandle, RecoverError, RecoveryReport, ServerState,
+    ServerStateBuilder, SessionStatus, SubmitOutcome,
+};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use std::path::PathBuf;
+
+    /// A unique scratch directory for one test (pid + thread id keep
+    /// parallel test runs apart); any stale leftover is removed first,
+    /// creation is left to the test (some exercise creation itself).
+    pub(crate) fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "apex-serve-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+}

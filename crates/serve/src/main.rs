@@ -3,19 +3,28 @@
 //! Serve mode hosts the bundled synthetic datasets ("adult", "taxi")
 //! behind the HTTP API; `--self-test` instead runs the scripted
 //! concurrent workload on an ephemeral port and exits non-zero on any
-//! violated invariant (the CI `service-smoke` gate).
+//! violated invariant (the CI `service-smoke` gate). With `--state-dir`
+//! the budget ledger is durable: recovery replays WAL-over-snapshot on
+//! startup (refusing a checksum-corrupt tail unless
+//! `--force-truncate-wal` consents to cutting it at the last valid
+//! record), and the self-test additionally restarts in-process from the
+//! same directory to verify recovered-ledger-equals-wire equality.
 //!
 //! ```text
 //! apex-serve [--addr 127.0.0.1:8787] [--threads N] [--cache-cap N]
-//!            [--budget B] [--rows N]
+//!            [--budget B] [--rows N] [--state-dir DIR]
+//!            [--snapshot-every N] [--ttl-secs N] [--admin-token TOK]
+//!            [--force-truncate-wal]
 //! apex-serve --self-test [--threads N] [--sessions N] [--submits N]
-//!            [--rows N] [--cache-cap N]
+//!            [--rows N] [--cache-cap N] [--state-dir DIR]
 //! ```
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use apex_core::{EngineConfig, Mode};
 use apex_data::synth::{adult_dataset, nytaxi_dataset};
+use apex_serve::state::{start_reaper, PersistOptions};
 use apex_serve::{router, selftest, ServerState};
 
 struct Args {
@@ -27,12 +36,19 @@ struct Args {
     self_test: bool,
     sessions: usize,
     submits: usize,
+    state_dir: Option<String>,
+    snapshot_every: u64,
+    ttl_secs: Option<u64>,
+    admin_token: Option<String>,
+    force_truncate_wal: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: apex-serve [--addr HOST:PORT] [--threads N] [--cache-cap N] [--budget B] \
-         [--rows N] [--self-test [--sessions N] [--submits N]]"
+         [--rows N] [--state-dir DIR] [--snapshot-every N] [--ttl-secs N] \
+         [--admin-token TOKEN] [--force-truncate-wal] \
+         [--self-test [--sessions N] [--submits N]]"
     );
     std::process::exit(2)
 }
@@ -51,6 +67,11 @@ fn parse_args() -> Args {
         self_test: false,
         sessions: 8,
         submits: 6,
+        state_dir: None,
+        snapshot_every: 1024,
+        ttl_secs: None,
+        admin_token: None,
+        force_truncate_wal: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -67,6 +88,16 @@ fn parse_args() -> Args {
             "--rows" => args.rows = parse_num(&take("--rows"), "--rows"),
             "--sessions" => args.sessions = parse_num(&take("--sessions"), "--sessions"),
             "--submits" => args.submits = parse_num(&take("--submits"), "--submits"),
+            "--state-dir" => args.state_dir = Some(take("--state-dir")),
+            "--snapshot-every" => {
+                args.snapshot_every =
+                    parse_num(&take("--snapshot-every"), "--snapshot-every") as u64
+            }
+            "--ttl-secs" => {
+                args.ttl_secs = Some(parse_num(&take("--ttl-secs"), "--ttl-secs") as u64)
+            }
+            "--admin-token" => args.admin_token = Some(take("--admin-token")),
+            "--force-truncate-wal" => args.force_truncate_wal = true,
             "--budget" => {
                 args.budget = take("--budget").parse().unwrap_or_else(|_| {
                     eprintln!("--budget must be a number");
@@ -104,20 +135,40 @@ fn main() {
             submits: args.submits,
             rows: args.rows.min(5_000),
             cache_cap: args.cache_cap,
+            state_dir: args.state_dir.clone().map(Into::into),
         };
         println!(
-            "self-test: {} server threads, {} sessions x {} submits, {} rows/dataset",
-            cfg.server_threads, cfg.sessions, cfg.submits, cfg.rows
+            "self-test: {} server threads, {} sessions x {} submits, {} rows/dataset{}",
+            cfg.server_threads,
+            cfg.sessions,
+            cfg.submits,
+            cfg.rows,
+            cfg.state_dir
+                .as_deref()
+                .map(|d| format!(", state dir {}", d.display()))
+                .unwrap_or_default()
         );
         match selftest::run(cfg) {
             Ok(report) => {
                 println!(
-                    "self-test PASS: answered={} denied={} cache hits={} misses={}",
-                    report.answered, report.denied, report.cache_hits, report.cache_misses
+                    "self-test PASS{}: answered={} denied={} cache hits={} misses={}",
+                    if report.recovered_baseline {
+                        " (recovered run)"
+                    } else {
+                        ""
+                    },
+                    report.answered,
+                    report.denied,
+                    report.cache_hits,
+                    report.cache_misses
                 );
                 for (name, spent, budget) in &report.budgets {
                     println!("  {name}: spent {spent:.4} of B = {budget}");
                 }
+                println!(
+                    "  restart recovery: {} wal records replayed, ledgers re-verified",
+                    report.recovery_replayed
+                );
             }
             Err(e) => {
                 eprintln!("self-test FAIL: {e}");
@@ -132,12 +183,54 @@ fn main() {
         mode: Mode::Optimistic,
         seed,
     };
-    let state = Arc::new(
-        ServerState::builder(args.cache_cap)
-            .dataset("adult", adult_dataset(args.rows, 7), config(0xA9E5_1001))
-            .dataset("taxi", nytaxi_dataset(args.rows, 9), config(0xA9E5_1002))
-            .build(),
-    );
+    let mut builder = ServerState::builder(args.cache_cap)
+        .dataset("adult", adult_dataset(args.rows, 7), config(0xA9E5_1001))
+        .dataset("taxi", nytaxi_dataset(args.rows, 9), config(0xA9E5_1002));
+    if let Some(secs) = args.ttl_secs {
+        builder = builder.session_ttl(Duration::from_secs(secs));
+    }
+    if let Some(token) = &args.admin_token {
+        builder = builder.admin_token(token);
+    }
+    let state = match &args.state_dir {
+        Some(dir) => {
+            let opts = PersistOptions {
+                snapshot_every: args.snapshot_every,
+                truncate_corrupt: args.force_truncate_wal,
+                ..PersistOptions::new(dir)
+            };
+            match builder.build_recovered(opts) {
+                Ok((state, report)) => {
+                    println!(
+                        "recovered from {dir}: {} wal records replayed over the snapshot, \
+                         {} live sessions restored{}",
+                        report.replayed,
+                        report.sessions,
+                        report
+                            .truncated
+                            .map(|n| format!(", damaged tail truncated to {n} bytes"))
+                            .unwrap_or_default()
+                    );
+                    for (name, spent) in &report.tenants {
+                        println!("  {name}: resuming with spent = {spent:.6}");
+                    }
+                    Arc::new(state)
+                }
+                Err(e) => {
+                    eprintln!("refusing to start: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => Arc::new(builder.build()),
+    };
+
+    let reaper = args.ttl_secs.map(|secs| {
+        // Sweep a few times per TTL so expiry lag stays small.
+        let interval = Duration::from_millis((secs.saturating_mul(1000) / 4).clamp(250, 30_000));
+        start_reaper(state.clone(), interval)
+    });
+
     let handler_state = state.clone();
     let handle = match apex_serve::serve(args.addr.as_str(), args.threads, move |req| {
         router::route(&handler_state, req)
@@ -149,13 +242,29 @@ fn main() {
         }
     };
     println!(
-        "apex-serve listening on http://{} ({} workers, cache cap {}, B = {} per dataset; \
+        "apex-serve listening on http://{} ({} workers, cache cap {}, B = {} per dataset{}{}; \
          POST /v1/admin/shutdown to stop)",
         handle.addr(),
         args.threads,
         args.cache_cap,
-        args.budget
+        args.budget,
+        args.state_dir
+            .as_deref()
+            .map(|d| format!(", durable in {d}"))
+            .unwrap_or_default(),
+        args.ttl_secs
+            .map(|t| format!(", session TTL {t}s"))
+            .unwrap_or_default()
     );
     handle.join();
+    if let Some(reaper) = reaper {
+        reaper.stop();
+    }
+    // A clean shutdown compacts, so the next start replays nothing.
+    if args.state_dir.is_some() {
+        if let Err(e) = state.compact() {
+            eprintln!("final compaction failed (next start will replay the WAL): {e}");
+        }
+    }
     println!("apex-serve: shut down cleanly");
 }

@@ -1,19 +1,27 @@
 //! Endpoint dispatch: path + method → handler.
 //!
-//! | Endpoint                          | Meaning                                  |
-//! |-----------------------------------|------------------------------------------|
-//! | `GET  /healthz`                   | liveness                                 |
-//! | `POST /v1/sessions`               | open a session (dataset + budget slice)  |
-//! | `POST /v1/sessions/{id}/query`    | submit a query (200 answered, 409 denied)|
-//! | `GET  /v1/sessions/{id}/budget`   | session + engine budget state            |
-//! | `GET  /v1/stats`                  | cache counters (global + per dataset)    |
-//! | `POST /v1/admin/shutdown`         | begin graceful shutdown                  |
+//! | Endpoint                              | Meaning                                  |
+//! |---------------------------------------|------------------------------------------|
+//! | `GET  /healthz`                       | liveness                                 |
+//! | `POST /v1/sessions`                   | open a session (dataset + budget slice)  |
+//! | `POST /v1/sessions/{id}/query`        | submit a query (200 answered, 409 denied)|
+//! | `GET  /v1/sessions/{id}/budget`       | session + engine budget state            |
+//! | `GET  /v1/stats`                      | cache counters (global + per dataset)    |
+//! | `GET  /v1/admin/sessions`             | admin: list live sessions                |
+//! | `POST /v1/admin/sessions/{id}/expire` | admin: force-expire a session            |
+//! | `POST /v1/admin/shutdown`             | admin: begin graceful shutdown           |
 //!
 //! Status mapping: malformed bodies and engine-rejected queries (unknown
 //! attributes, empty workloads) are 400; unknown datasets/sessions 404;
-//! a **denied** query is 409 — denial is part of the privacy protocol,
-//! not a server fault, so it gets its own signal distinct from 4xx
-//! client errors and 2xx answers.
+//! an **expired** session is 410 (it once lived — distinct from 404); a
+//! **denied** query is 409 — denial is part of the privacy protocol, not
+//! a server fault, so it gets its own signal distinct from 4xx client
+//! errors and 2xx answers. A failed write-ahead append is 500: the
+//! charge is never acked without its log record.
+//!
+//! The admin plane (`/v1/admin/*`) checks `Authorization: Bearer <token>`
+//! when the state carries an admin token (`--admin-token`); without one
+//! it is open (development mode — see `docs/SERVICE.md`).
 
 use std::sync::Arc;
 
@@ -21,7 +29,7 @@ use apex_core::EngineResponse;
 
 use crate::http::{Request, Response};
 use crate::json::Json;
-use crate::state::ServerState;
+use crate::state::{ServerState, SessionStatus, SubmitError, SubmitOutcome};
 use crate::wire;
 
 /// Routes one request. Pure: all side effects go through `state`.
@@ -37,9 +45,53 @@ pub fn route(state: &Arc<ServerState>, req: &Request) -> Response {
             with_session_id(id, |id| method(req, "GET", || budget(state, id)))
         }
         ["v1", "stats"] => method(req, "GET", || stats(state)),
-        ["v1", "admin", "shutdown"] => method(req, "POST", shutdown),
+        ["v1", "admin", rest @ ..] => match admin_auth(state, req) {
+            Ok(()) => admin(state, req, rest),
+            Err(resp) => resp,
+        },
         _ => Response::json(404, wire::error_json("no such endpoint")),
     }
+}
+
+/// Admin sub-router (auth already checked).
+fn admin(state: &Arc<ServerState>, req: &Request, segments: &[&str]) -> Response {
+    match segments {
+        ["shutdown"] => method(req, "POST", shutdown),
+        ["sessions"] => method(req, "GET", || admin_sessions(state)),
+        ["sessions", id, "expire"] => {
+            with_session_id(id, |id| method(req, "POST", || admin_expire(state, id)))
+        }
+        _ => Response::json(404, wire::error_json("no such admin endpoint")),
+    }
+}
+
+/// Checks the bearer token when one is configured. Constant-time
+/// comparison: the verdict leaks nothing about how much of the token
+/// matched.
+fn admin_auth(state: &ServerState, req: &Request) -> Result<(), Response> {
+    let Some(expected) = state.admin_token() else {
+        return Ok(());
+    };
+    let presented = req
+        .header("authorization")
+        .and_then(|v| v.strip_prefix("Bearer "))
+        .map(str::trim)
+        .unwrap_or("");
+    if constant_time_eq(presented.as_bytes(), expected.as_bytes()) {
+        Ok(())
+    } else {
+        Err(Response::json(
+            401,
+            wire::error_json("admin endpoints require Authorization: Bearer <token>"),
+        ))
+    }
+}
+
+fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    a.iter().zip(b).fold(0u8, |acc, (x, y)| acc | (x ^ y)) == 0
 }
 
 fn method(req: &Request, want: &str, handler: impl FnOnce() -> Response) -> Response {
@@ -82,11 +134,15 @@ fn create_session(state: &ServerState, req: &Request) -> Response {
         Ok(c) => c,
         Err(msg) => return Response::json(400, wire::error_json(&msg)),
     };
-    let Some(id) = state.create_session(&create.dataset, create.budget) else {
-        return Response::json(
-            404,
-            wire::error_json(&format!("no dataset named \"{}\"", create.dataset)),
-        );
+    let id = match state.create_session(&create.dataset, create.budget) {
+        Ok(Some(id)) => id,
+        Ok(None) => {
+            return Response::json(
+                404,
+                wire::error_json(&format!("no dataset named \"{}\"", create.dataset)),
+            )
+        }
+        Err(e) => return wal_failed(&e),
     };
     let body = Json::obj(vec![
         ("session", Json::from(id)),
@@ -94,6 +150,19 @@ fn create_session(state: &ServerState, req: &Request) -> Response {
         ("allowance", Json::Num(create.budget)),
     ]);
     Response::json(201, body.render())
+}
+
+fn gone() -> Response {
+    Response::json(410, wire::error_json("session expired"))
+}
+
+/// The one 500 a durable deployment can produce: the write-ahead append
+/// failed, so the mutation was not acked (see `state::SubmitError`).
+fn wal_failed(e: &std::io::Error) -> Response {
+    Response::json(
+        500,
+        wire::error_json(&format!("write-ahead log append failed: {e}")),
+    )
 }
 
 fn submit(state: &ServerState, id: u64, req: &Request) -> Response {
@@ -105,20 +174,23 @@ fn submit(state: &ServerState, id: u64, req: &Request) -> Response {
         Ok(qa) => qa,
         Err(msg) => return Response::json(400, wire::error_json(&msg)),
     };
-    // Clone the slice handle out so the session map stays unlocked while
-    // the mechanism runs (submissions can be slow; lookups must not be).
-    let Some(session) = state.with_session(id, |s| s.session.clone()) else {
-        return Response::json(404, wire::error_json("no such session"));
-    };
-    match session.submit(&query, &accuracy) {
-        Ok(resp) => {
+    // The state layer resolves the session without holding the map lock
+    // during the (possibly slow) mechanism run, and WAL-logs the outcome
+    // before returning — this response is the ack.
+    match state.submit(id, &query, &accuracy) {
+        Ok(SubmitOutcome::Response(resp)) => {
             let status = match resp {
                 EngineResponse::Answered(_) => 200,
                 EngineResponse::Denied => 409,
             };
             Response::json(status, wire::engine_response_json(&resp).render())
         }
-        Err(e) => Response::json(400, wire::error_json(&e.to_string())),
+        Ok(SubmitOutcome::Gone) => gone(),
+        Ok(SubmitOutcome::NoSuchSession) => {
+            Response::json(404, wire::error_json("no such session"))
+        }
+        Err(SubmitError::Engine(e)) => Response::json(400, wire::error_json(&e.to_string())),
+        Err(SubmitError::Wal(e)) => wal_failed(&e),
     }
 }
 
@@ -126,7 +198,10 @@ fn budget(state: &ServerState, id: u64) -> Response {
     let Some((dataset, session)) =
         state.with_session(id, |s| (s.dataset.clone(), s.session.clone()))
     else {
-        return Response::json(404, wire::error_json("no such session"));
+        return match state.session_status(id) {
+            SessionStatus::Expired => gone(),
+            _ => Response::json(404, wire::error_json("no such session")),
+        };
     };
     let engine = session.engine();
     let body = wire::budget_json(
@@ -143,6 +218,7 @@ fn budget(state: &ServerState, id: u64) -> Response {
 fn stats(state: &ServerState) -> Response {
     let mut datasets = Vec::new();
     for (name, tenant) in state.tenants() {
+        let ledger = tenant.engine.export_ledger();
         datasets.push((
             name.clone(),
             Json::obj(vec![
@@ -150,9 +226,17 @@ fn stats(state: &ServerState) -> Response {
                 (
                     "budget",
                     Json::obj(vec![
-                        ("budget", Json::Num(tenant.engine.budget())),
-                        ("spent", Json::Num(tenant.engine.spent())),
+                        ("budget", Json::Num(ledger.budget)),
+                        ("spent", Json::Num(ledger.spent)),
                         ("remaining", Json::Num(tenant.engine.remaining())),
+                        ("reclaimed", Json::Num(tenant.reclaimed())),
+                    ]),
+                ),
+                (
+                    "transcript",
+                    Json::obj(vec![
+                        ("answered", Json::from(ledger.answered)),
+                        ("denied", Json::from(ledger.denied)),
                     ]),
                 ),
                 ("sessions", Json::from(state.session_count_for(name))),
@@ -161,6 +245,7 @@ fn stats(state: &ServerState) -> Response {
     }
     let body = Json::obj(vec![
         ("sessions", Json::from(state.session_count())),
+        ("expired", Json::from(state.expired_count())),
         (
             "cache",
             Json::obj(vec![
@@ -172,6 +257,41 @@ fn stats(state: &ServerState) -> Response {
         ("datasets", Json::Obj(datasets)),
     ]);
     Response::json(200, body.render())
+}
+
+fn admin_sessions(state: &ServerState) -> Response {
+    let sessions = state
+        .list_sessions()
+        .into_iter()
+        .map(wire::session_info_json)
+        .collect();
+    let body = Json::obj(vec![
+        ("sessions", Json::Arr(sessions)),
+        ("expired", Json::from(state.expired_count())),
+        (
+            "ttl_millis",
+            state.ttl_millis().map(Json::from).unwrap_or(Json::Null),
+        ),
+    ]);
+    Response::json(200, body.render())
+}
+
+fn admin_expire(state: &ServerState, id: u64) -> Response {
+    match state.expire_session(id) {
+        Ok(Some(released)) => Response::json(
+            200,
+            Json::obj(vec![
+                ("session", Json::from(id)),
+                ("released", Json::Num(released)),
+            ])
+            .render(),
+        ),
+        Ok(None) => match state.session_status(id) {
+            SessionStatus::Expired => gone(),
+            _ => Response::json(404, wire::error_json("no such session")),
+        },
+        Err(e) => wal_failed(&e),
+    }
 }
 
 fn shutdown() -> Response {
@@ -186,10 +306,12 @@ fn shutdown() -> Response {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::ManualClock;
     use apex_core::EngineConfig;
     use apex_data::{Attribute, Dataset, Domain, Schema, Value};
+    use std::time::Duration;
 
-    fn state() -> Arc<ServerState> {
+    fn demo_dataset() -> Dataset {
         let schema = Schema::new(vec![Attribute::new(
             "v",
             Domain::IntRange { min: 0, max: 7 },
@@ -201,19 +323,36 @@ mod tests {
                 d.push(vec![Value::Int(i)]).unwrap();
             }
         }
+        d
+    }
+
+    fn state() -> Arc<ServerState> {
         Arc::new(
             ServerState::builder(16)
-                .dataset("demo", d, EngineConfig::default())
+                .dataset("demo", demo_dataset(), EngineConfig::default())
                 .build(),
         )
     }
 
     fn req(method: &str, path: &str, body: &str) -> Request {
-        Request {
-            method: method.to_string(),
-            path: path.to_string(),
-            body: body.as_bytes().to_vec(),
-        }
+        Request::new(method, path, body)
+    }
+
+    fn req_auth(method: &str, path: &str, body: &str, token: &str) -> Request {
+        let mut r = Request::new(method, path, body);
+        r.headers
+            .push(("authorization".into(), format!("Bearer {token}")));
+        r
+    }
+
+    fn open_session(s: &Arc<ServerState>, body: &str) -> u64 {
+        let r = route(s, &req("POST", "/v1/sessions", body));
+        assert_eq!(r.status, 201, "{}", r.body);
+        crate::json::parse(&r.body)
+            .unwrap()
+            .get("session")
+            .and_then(Json::as_u64)
+            .unwrap()
     }
 
     #[test]
@@ -222,16 +361,7 @@ mod tests {
         let r = route(&s, &req("GET", "/healthz", ""));
         assert_eq!(r.status, 200);
 
-        let r = route(
-            &s,
-            &req("POST", "/v1/sessions", r#"{"dataset":"demo","budget":0.8}"#),
-        );
-        assert_eq!(r.status, 201, "{}", r.body);
-        let id = crate::json::parse(&r.body)
-            .unwrap()
-            .get("session")
-            .and_then(Json::as_u64)
-            .unwrap();
+        let id = open_session(&s, r#"{"dataset":"demo","budget":0.8}"#);
 
         let q = r#"{"query":"BIN demo ON COUNT(*) WHERE W = { v IN [0, 4), v IN [4, 8) } ERROR 8 CONFIDENCE 0.95;"}"#;
         let r = route(&s, &req("POST", &format!("/v1/sessions/{id}/query"), q));
@@ -273,19 +403,7 @@ mod tests {
     #[test]
     fn denial_maps_to_409() {
         let s = state();
-        let r = route(
-            &s,
-            &req(
-                "POST",
-                "/v1/sessions",
-                r#"{"dataset":"demo","budget":0.000001}"#,
-            ),
-        );
-        let id = crate::json::parse(&r.body)
-            .unwrap()
-            .get("session")
-            .and_then(Json::as_u64)
-            .unwrap();
+        let id = open_session(&s, r#"{"dataset":"demo","budget":0.000001}"#);
         let q =
             r#"{"query":"BIN demo ON COUNT(*) WHERE { v IN [0, 8) } ERROR 4 CONFIDENCE 0.99;"}"#;
         let r = route(&s, &req("POST", &format!("/v1/sessions/{id}/query"), q));
@@ -318,17 +436,7 @@ mod tests {
             404
         );
         // A syntactically broken query.
-        let id = {
-            let r = route(
-                &s,
-                &req("POST", "/v1/sessions", r#"{"dataset":"demo","budget":1}"#),
-            );
-            crate::json::parse(&r.body)
-                .unwrap()
-                .get("session")
-                .and_then(Json::as_u64)
-                .unwrap()
-        };
+        let id = open_session(&s, r#"{"dataset":"demo","budget":1}"#);
         let r = route(
             &s,
             &req(
@@ -348,6 +456,110 @@ mod tests {
             ),
         );
         assert_eq!(r.status, 400, "{}", r.body);
+    }
+
+    #[test]
+    fn expired_sessions_answer_410_not_404() {
+        let clock = ManualClock::new();
+        let s = Arc::new(
+            ServerState::builder(16)
+                .dataset("demo", demo_dataset(), EngineConfig::default())
+                .clock(Arc::new(clock.clone()))
+                .session_ttl(Duration::from_millis(10))
+                .build(),
+        );
+        let id = open_session(&s, r#"{"dataset":"demo","budget":0.5}"#);
+        clock.advance(11);
+        s.reap_expired().unwrap();
+
+        let q =
+            r#"{"query":"BIN demo ON COUNT(*) WHERE { v IN [0, 8) } ERROR 8 CONFIDENCE 0.95;"}"#;
+        let r = route(&s, &req("POST", &format!("/v1/sessions/{id}/query"), q));
+        assert_eq!(r.status, 410, "{}", r.body);
+        let r = route(&s, &req("GET", &format!("/v1/sessions/{id}/budget"), ""));
+        assert_eq!(r.status, 410, "{}", r.body);
+        // A never-issued id still 404s.
+        let r = route(&s, &req("GET", "/v1/sessions/12345/budget", ""));
+        assert_eq!(r.status, 404);
+        // Stats surface the tombstone and the reclaimed slice.
+        let r = route(&s, &req("GET", "/v1/stats", ""));
+        let parsed = crate::json::parse(&r.body).unwrap();
+        assert_eq!(parsed.get("expired").and_then(Json::as_u64), Some(1));
+        let reclaimed = parsed
+            .get("datasets")
+            .and_then(|d| d.get("demo"))
+            .and_then(|d| d.get("budget"))
+            .and_then(|b| b.get("reclaimed"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!((reclaimed - 0.5).abs() < 1e-12, "nothing was spent");
+    }
+
+    #[test]
+    fn admin_plane_requires_the_bearer_token() {
+        let s = Arc::new(
+            ServerState::builder(16)
+                .dataset("demo", demo_dataset(), EngineConfig::default())
+                .admin_token("s3cret")
+                .build(),
+        );
+        let id = open_session(&s, r#"{"dataset":"demo","budget":0.5}"#);
+
+        // No token / wrong token: 401 on every admin endpoint.
+        for (method_, path) in [
+            ("GET", "/v1/admin/sessions".to_string()),
+            ("POST", format!("/v1/admin/sessions/{id}/expire")),
+            ("POST", "/v1/admin/shutdown".to_string()),
+        ] {
+            assert_eq!(route(&s, &req(method_, &path, "")).status, 401);
+            assert_eq!(
+                route(&s, &req_auth(method_, &path, "", "wrong")).status,
+                401
+            );
+        }
+        // Non-admin endpoints are untouched by the token requirement.
+        assert_eq!(route(&s, &req("GET", "/healthz", "")).status, 200);
+
+        // With the token: list shows the session, expire releases it.
+        let r = route(&s, &req_auth("GET", "/v1/admin/sessions", "", "s3cret"));
+        assert_eq!(r.status, 200, "{}", r.body);
+        let parsed = crate::json::parse(&r.body).unwrap();
+        let listed = parsed.get("sessions").and_then(Json::as_arr).unwrap();
+        assert_eq!(listed.len(), 1);
+        assert_eq!(listed[0].get("session").and_then(Json::as_u64), Some(id));
+
+        let r = route(
+            &s,
+            &req_auth(
+                "POST",
+                &format!("/v1/admin/sessions/{id}/expire"),
+                "",
+                "s3cret",
+            ),
+        );
+        assert_eq!(r.status, 200, "{}", r.body);
+        let released = crate::json::parse(&r.body)
+            .unwrap()
+            .get("released")
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert_eq!(released, 0.5);
+        // Re-expiring is 410; a never-issued id is 404.
+        let r = route(
+            &s,
+            &req_auth(
+                "POST",
+                &format!("/v1/admin/sessions/{id}/expire"),
+                "",
+                "s3cret",
+            ),
+        );
+        assert_eq!(r.status, 410);
+        let r = route(
+            &s,
+            &req_auth("POST", "/v1/admin/sessions/777/expire", "", "s3cret"),
+        );
+        assert_eq!(r.status, 404);
     }
 
     #[test]

@@ -14,12 +14,21 @@
 //!    anything else fails the test;
 //! 3. **shared warm-up** — sessions submit structurally identical
 //!    workloads, so the shared translator cache must report cross-session
-//!    hits (> 0) in `/v1/stats`.
+//!    hits (> 0) in `/v1/stats`;
+//! 4. **durability** — the whole run is write-ahead logged to a state
+//!    directory; after shutdown the state is **restarted in-process**
+//!    and the recovered ledger must equal, per dataset, what the clients
+//!    were acked on the wire. When the caller supplies a state dir that
+//!    already has history (CI runs the gate twice against one
+//!    directory), the run starts from the *recovered* baseline and the
+//!    equality check covers baseline + new traffic — any divergence
+//!    between what was persisted and what was acked fails the gate.
 //!
 //! Sessions *oversubscribe* on purpose: each holds a slice of `B` large
 //! enough that the slices jointly exceed `B`, so both the per-session and
 //! the engine-wide admission bound are exercised.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use apex_core::{EngineConfig, Mode};
@@ -28,10 +37,11 @@ use apex_data::synth::{adult_dataset, nytaxi_dataset};
 use crate::client;
 use crate::json::Json;
 use crate::router;
-use crate::state::ServerState;
+use crate::state::{PersistOptions, RecoverError, ServerState, ServerStateBuilder};
 
-/// Self-test knobs (`--threads/--sessions/--submits/--rows/--cache-cap`).
-#[derive(Debug, Clone, Copy)]
+/// Self-test knobs (`--threads/--sessions/--submits/--rows/--cache-cap/
+/// --state-dir`).
+#[derive(Debug, Clone)]
 pub struct SelfTestConfig {
     /// Server worker threads.
     pub server_threads: usize,
@@ -43,6 +53,10 @@ pub struct SelfTestConfig {
     pub rows: usize,
     /// Shared translator-cache capacity.
     pub cache_cap: usize,
+    /// State directory for the durability leg; `None` uses (and cleans
+    /// up) a fresh temp dir. Passing a dir that already holds state runs
+    /// the gate in *recovered* mode on top of it.
+    pub state_dir: Option<PathBuf>,
 }
 
 impl Default for SelfTestConfig {
@@ -53,6 +67,7 @@ impl Default for SelfTestConfig {
             submits: 6,
             rows: 2_000,
             cache_cap: 64,
+            state_dir: None,
         }
     }
 }
@@ -70,6 +85,11 @@ pub struct SelfTestReport {
     pub cache_misses: u64,
     /// Per-dataset `(name, spent, budget)` at the end.
     pub budgets: Vec<(String, f64, f64)>,
+    /// Whether the run started from a non-empty recovered ledger (the
+    /// second CI pass against one state dir).
+    pub recovered_baseline: bool,
+    /// WAL records the post-shutdown restart replayed.
+    pub recovery_replayed: usize,
 }
 
 /// Per-dataset budget for the scripted workload.
@@ -95,33 +115,72 @@ fn query_for(dataset: &str, submit: usize) -> String {
     }
 }
 
-/// Runs the whole self-test: build → serve → hammer → verify → shut down.
+fn build_state(cfg: &SelfTestConfig) -> ServerStateBuilder {
+    ServerState::builder(cfg.cache_cap)
+        .dataset(
+            "adult",
+            adult_dataset(cfg.rows, 7),
+            EngineConfig {
+                budget: BUDGET,
+                mode: Mode::Pessimistic,
+                seed: 0x5E1F_0001,
+            },
+        )
+        .dataset(
+            "taxi",
+            nytaxi_dataset(cfg.rows, 9),
+            EngineConfig {
+                budget: BUDGET,
+                mode: Mode::Pessimistic,
+                seed: 0x5E1F_0002,
+            },
+        )
+}
+
+fn recover(cfg: &SelfTestConfig, dir: &PathBuf) -> Result<(ServerState, usize), String> {
+    build_state(cfg)
+        .build_recovered(PersistOptions::new(dir))
+        .map(|(state, report)| (state, report.replayed))
+        .map_err(|e: RecoverError| format!("recovery failed: {e}"))
+}
+
+/// Runs the whole self-test: recover → serve → hammer → verify → shut
+/// down → **restart from disk** → re-verify ledger-vs-wire equality.
 ///
 /// # Errors
 /// A human-readable description of the first violated invariant.
 pub fn run(cfg: SelfTestConfig) -> Result<SelfTestReport, String> {
-    let state = Arc::new(
-        ServerState::builder(cfg.cache_cap)
-            .dataset(
-                "adult",
-                adult_dataset(cfg.rows, 7),
-                EngineConfig {
-                    budget: BUDGET,
-                    mode: Mode::Pessimistic,
-                    seed: 0x5E1F_0001,
-                },
-            )
-            .dataset(
-                "taxi",
-                nytaxi_dataset(cfg.rows, 9),
-                EngineConfig {
-                    budget: BUDGET,
-                    mode: Mode::Pessimistic,
-                    seed: 0x5E1F_0002,
-                },
-            )
-            .build(),
-    );
+    // The state dir: caller-supplied (CI reruns against it) or a fresh
+    // temp dir this run owns and removes.
+    let (dir, owned_dir) = match &cfg.state_dir {
+        Some(dir) => (dir.clone(), false),
+        None => {
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0);
+            let dir =
+                std::env::temp_dir().join(format!("apex-selftest-{}-{nanos}", std::process::id()));
+            (dir, true)
+        }
+    };
+    let result = run_in_dir(&cfg, &dir);
+    if owned_dir {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    result
+}
+
+fn run_in_dir(cfg: &SelfTestConfig, dir: &PathBuf) -> Result<SelfTestReport, String> {
+    let (state, _) = recover(cfg, dir)?;
+    let baseline: Vec<(String, f64)> = state
+        .tenants()
+        .iter()
+        .map(|(name, t)| (name.clone(), t.engine.spent()))
+        .collect();
+    let recovered_baseline = baseline.iter().any(|(_, s)| *s > 0.0);
+
+    let state = Arc::new(state);
     let handler_state = state.clone();
     let handle = crate::http::serve("127.0.0.1:0", cfg.server_threads, move |req| {
         router::route(&handler_state, req)
@@ -143,7 +202,10 @@ pub fn run(cfg: SelfTestConfig) -> Result<SelfTestReport, String> {
         }
     });
 
-    let mut report = SelfTestReport::default();
+    let mut report = SelfTestReport {
+        recovered_baseline,
+        ..SelfTestReport::default()
+    };
     let mut spent_by_client: std::collections::HashMap<String, f64> = Default::default();
     for r in observed {
         let (answered, denied, epsilon_sum, dataset) = r?;
@@ -151,7 +213,9 @@ pub fn run(cfg: SelfTestConfig) -> Result<SelfTestReport, String> {
         report.denied += denied;
         *spent_by_client.entry(dataset).or_default() += epsilon_sum;
     }
-    if report.answered == 0 {
+    // A run on a fresh ledger must exercise both admission outcomes; a
+    // recovered run starts near-exhausted, so only denials are certain.
+    if report.answered == 0 && !recovered_baseline {
         return Err("no query was ever answered — the workload exercised nothing".into());
     }
     if report.denied == 0 {
@@ -171,7 +235,7 @@ pub fn run(cfg: SelfTestConfig) -> Result<SelfTestReport, String> {
         .ok_or("stats missing cache.global")?;
     report.cache_hits = global.get("hits").and_then(Json::as_u64).unwrap_or(0);
     report.cache_misses = global.get("misses").and_then(Json::as_u64).unwrap_or(0);
-    if report.cache_hits == 0 {
+    if report.cache_hits == 0 && !recovered_baseline {
         return Err("shared translator cache saw no hits across sessions".into());
     }
 
@@ -195,11 +259,18 @@ pub fn run(cfg: SelfTestConfig) -> Result<SelfTestReport, String> {
                 "BUDGET OVERSHOOT on {name}: spent {spent} > budget {budget}"
             ));
         }
-        // The engine's ledger must equal what clients saw on the wire.
+        // The engine's ledger must equal the recovered baseline plus
+        // what clients saw on the wire this run.
+        let base = baseline
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| *s)
+            .unwrap_or(0.0);
         let client_sum = spent_by_client.get(name).copied().unwrap_or(0.0);
-        if (client_sum - spent).abs() > 1e-6 {
+        if (base + client_sum - spent).abs() > 1e-6 {
             return Err(format!(
-                "ledger mismatch on {name}: clients observed {client_sum}, engine charged {spent}"
+                "ledger mismatch on {name}: recovered baseline {base} + client-observed \
+                 {client_sum} ≠ engine ledger {spent}"
             ));
         }
         // Per-dataset scopes must account for every global counter.
@@ -223,6 +294,33 @@ pub fn run(cfg: SelfTestConfig) -> Result<SelfTestReport, String> {
         return Err(format!("shutdown returned {status}"));
     }
     handle.join();
+    drop(state);
+
+    // The durability leg: restart from disk (replaying this run's WAL)
+    // and re-verify that the recovered ledger equals what the wire saw.
+    let (restarted, replayed) = recover(cfg, dir)?;
+    report.recovery_replayed = replayed;
+    for (name, spent, _) in &report.budgets {
+        let recovered = restarted
+            .tenant(name)
+            .ok_or_else(|| format!("restart lost dataset {name}"))?
+            .engine
+            .spent();
+        if (recovered - spent).abs() > 1e-9 {
+            return Err(format!(
+                "RECOVERY DIVERGENCE on {name}: ledger was {spent} before shutdown, \
+                 {recovered} after restart"
+            ));
+        }
+    }
+    let live = cfg.sessions;
+    if restarted.session_count() < live {
+        return Err(format!(
+            "restart lost sessions: {} live before shutdown, {} after",
+            live,
+            restarted.session_count()
+        ));
+    }
     Ok(report)
 }
 
@@ -322,13 +420,50 @@ mod tests {
             submits: 4,
             rows: 400,
             cache_cap: 16,
+            state_dir: None,
         })
         .expect("self-test must pass");
         assert!(report.answered > 0);
-        assert!(report.denied > 0);
-        assert!(report.cache_hits > 0);
+        assert!(report.denied > 0, "oversubscription must force denials");
+        assert!(report.cache_hits > 0, "sessions must share warm artifacts");
+        assert!(!report.recovered_baseline, "a temp dir starts fresh");
+        assert!(
+            report.recovery_replayed > 0,
+            "the restart leg must replay this run's WAL"
+        );
         for (name, spent, budget) in &report.budgets {
             assert!(spent <= &(budget + 1e-9), "{name}: {spent} > {budget}");
         }
+    }
+
+    #[test]
+    fn self_test_reruns_against_the_same_state_dir() {
+        // The CI shape: two passes over one directory — the second runs
+        // in recovered mode and re-verifies the combined ledger.
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0);
+        let dir = std::env::temp_dir().join(format!(
+            "apex-selftest-rerun-{}-{nanos}",
+            std::process::id()
+        ));
+        let cfg = || SelfTestConfig {
+            server_threads: 2,
+            sessions: 4,
+            submits: 3,
+            rows: 300,
+            cache_cap: 16,
+            state_dir: Some(dir.clone()),
+        };
+        let first = run(cfg()).expect("fresh pass must hold");
+        assert!(!first.recovered_baseline);
+        let second = run(cfg()).expect("recovered pass must hold");
+        assert!(second.recovered_baseline, "second pass starts from disk");
+        // The combined ledger kept growing monotonically (or stayed put).
+        for ((name, s1, _), (_, s2, _)) in first.budgets.iter().zip(&second.budgets) {
+            assert!(s2 + 1e-9 >= *s1, "{name} ledger shrank across restarts");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,5 +1,6 @@
 //! Server-side registry: tenant datasets, their shared engines, the one
-//! shared translator cache, and the live analyst sessions.
+//! shared translator cache, live analyst sessions — and the durability
+//! layer that makes the budget ledger survive restarts.
 //!
 //! One [`ServerState`] owns everything a request handler needs. Each
 //! tenant dataset gets its own [`SharedEngine`] (its own privacy budget
@@ -14,13 +15,47 @@
 //! may spend at most its allowance, and all sessions of a tenant jointly
 //! at most that tenant's `B`, no matter how requests interleave across
 //! worker threads.
+//!
+//! ## Durability
+//!
+//! With persistence configured ([`ServerStateBuilder::build_recovered`]),
+//! every budget-mutating event — session open, budget debit, denial,
+//! session close — is appended to the WAL ([`crate::wal`]) **before the
+//! client is acked**, and the WAL is periodically compacted into a
+//! snapshot ([`crate::snapshot`]). Recovery replays WAL-over-snapshot:
+//! a restart re-imposes spent budget on fresh engines
+//! ([`SharedEngine::import_ledger`]) and re-opens live sessions
+//! mid-slice. The *ledger gate* (an outermost `RwLock`) makes each
+//! charge-then-append pair atomic with respect to compaction, so a
+//! snapshot can never split an event between itself and the next WAL
+//! generation (which would double-count on replay).
+//!
+//! ## TTLs
+//!
+//! Sessions carry a last-activity tick from an injectable [`Clock`];
+//! [`ServerState::reap_expired`] (driven by [`start_reaper`] in
+//! production, or called directly in tests) closes sessions idle past
+//! the TTL. Closing releases the **unspent remainder of the slice
+//! exactly once** back to the tenant's grant pool (visible as
+//! `reclaimed` in `/v1/stats`), and the session id keeps answering `410
+//! Gone` — distinct from 404 — for the rest of the server's life.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
 
-use apex_core::{ApexEngine, EngineConfig, EngineSession, SharedEngine, TranslatorCache};
+use apex_core::{
+    ApexEngine, EngineConfig, EngineError, EngineResponse, EngineSession, SharedEngine,
+    TranslatorCache,
+};
 use apex_data::Dataset;
+use apex_query::{AccuracySpec, ExplorationQuery};
+
+use crate::clock::{Clock, SystemClock};
+use crate::snapshot::{self, SessionImage, Snapshot, TenantLedger};
+use crate::wal::{self, WalRecord, WalTail, WalWriter};
 
 /// One tenant dataset: its engine plus its scope of the shared cache.
 #[derive(Debug)]
@@ -30,6 +65,16 @@ pub struct Tenant {
     /// This tenant's scope of the shared translator cache (for
     /// per-dataset stats; storage is shared with every other tenant).
     pub cache: TranslatorCache,
+    /// Unspent allowance released by closed/expired sessions — each
+    /// slice's remainder counted exactly once.
+    reclaimed: Mutex<f64>,
+}
+
+impl Tenant {
+    /// Total unspent allowance returned by closed/expired sessions.
+    pub fn reclaimed(&self) -> f64 {
+        *self.reclaimed.lock().expect("no poisoning")
+    }
 }
 
 /// One live analyst session.
@@ -39,6 +84,319 @@ pub struct SessionEntry {
     pub dataset: String,
     /// The budget-sliced engine view the session submits through.
     pub session: EngineSession,
+    /// Clock tick of the last submission (TTL idleness is measured from
+    /// here; budget probes deliberately do not keep a session alive).
+    last_active: AtomicU64,
+}
+
+/// Why a session id did not resolve to a live session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStatus {
+    /// The session is live.
+    Live,
+    /// The session existed and was closed (TTL or admin): `410 Gone`.
+    Expired,
+    /// The id was never issued: `404`.
+    Unknown,
+}
+
+/// What a submission through [`ServerState::submit`] produced.
+#[derive(Debug)]
+pub enum SubmitOutcome {
+    /// The engine responded (answered or denied).
+    Response(EngineResponse),
+    /// The session was closed (possibly racing the reaper): `410`.
+    Gone,
+    /// No such session was ever issued: `404`.
+    NoSuchSession,
+}
+
+/// A submission failure.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The engine rejected the query (malformed workload, …): `400`.
+    Engine(EngineError),
+    /// The write-ahead append failed — the charge is *not* acked (it
+    /// will be folded into the next snapshot, never lost): `500`.
+    Wal(std::io::Error),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Engine(e) => write!(f, "{e}"),
+            SubmitError::Wal(e) => write!(f, "write-ahead log append failed: {e}"),
+        }
+    }
+}
+
+/// Admin-plane view of one session.
+#[derive(Debug, Clone)]
+pub struct SessionInfo {
+    /// Session id.
+    pub id: u64,
+    /// Bound dataset.
+    pub dataset: String,
+    /// Budget slice.
+    pub allowance: f64,
+    /// Loss charged so far.
+    pub spent: f64,
+    /// Milliseconds since the last submission.
+    pub idle_millis: u64,
+}
+
+/// Durability configuration for [`ServerStateBuilder::build_recovered`].
+#[derive(Debug, Clone)]
+pub struct PersistOptions {
+    /// State directory (created if missing): `snapshot.bin` +
+    /// `wal-<GEN>.log`.
+    pub dir: PathBuf,
+    /// Compact (snapshot + WAL rotation) after this many appended
+    /// records.
+    pub snapshot_every: u64,
+    /// fsync every append before acking (production truth; tests may
+    /// trade durability for speed).
+    pub sync: bool,
+    /// Consent to truncate a **corrupt** (checksum-failing, not merely
+    /// torn) WAL tail at the last valid record instead of refusing to
+    /// start. Torn tails — the normal crash artifact — are always
+    /// truncated and replayed up to the last valid record.
+    pub truncate_corrupt: bool,
+}
+
+impl PersistOptions {
+    /// Defaults: compact every 1024 records, fsync on, refuse corrupt
+    /// tails.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            snapshot_every: 1024,
+            sync: true,
+            truncate_corrupt: false,
+        }
+    }
+}
+
+/// Why recovery refused to bring the state up.
+#[derive(Debug)]
+pub enum RecoverError {
+    /// Filesystem trouble.
+    Io(std::io::Error),
+    /// The snapshot is damaged — nothing to truncate back to.
+    CorruptSnapshot(String),
+    /// A WAL *before the newest generation* is damaged: real corruption,
+    /// never a torn write (only the newest WAL can be mid-append).
+    CorruptWalMidLog {
+        /// The damaged generation.
+        gen: u64,
+    },
+    /// The newest WAL's tail fails its checksum (bit rot, not a torn
+    /// write) and `truncate_corrupt` consent was not given.
+    CorruptWalTail {
+        /// The damaged generation.
+        gen: u64,
+        /// Offset of the last valid record — what truncation would keep.
+        valid_len: u64,
+    },
+    /// Another live process holds the state directory. Two writers on
+    /// one WAL would interleave torn frames and jointly overspend `B`.
+    DirLocked {
+        /// The contested directory.
+        dir: PathBuf,
+        /// Pid recorded in the lock file, when readable.
+        holder: Option<u32>,
+    },
+    /// The store references a tenant the builder did not register.
+    UnknownTenant(String),
+    /// A WAL record references a session the store never opened.
+    UnknownSession(u64),
+    /// Replayed spend does not fit the tenant's budget — the store
+    /// cannot be trusted.
+    LedgerOverflow {
+        /// The offending tenant.
+        tenant: String,
+        /// The error from [`SharedEngine::import_ledger`].
+        source: EngineError,
+    },
+}
+
+impl From<std::io::Error> for RecoverError {
+    fn from(e: std::io::Error) -> Self {
+        RecoverError::Io(e)
+    }
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::Io(e) => write!(f, "state dir I/O: {e}"),
+            RecoverError::CorruptSnapshot(msg) => write!(f, "{msg}"),
+            RecoverError::CorruptWalMidLog { gen } => {
+                write!(f, "WAL generation {gen} is corrupt before the newest tail")
+            }
+            RecoverError::CorruptWalTail { gen, valid_len } => write!(
+                f,
+                "WAL generation {gen} has a corrupt (checksum-failing) tail; refusing to start — \
+                 re-run with corrupt-tail truncation consent to cut it at byte {valid_len}"
+            ),
+            RecoverError::DirLocked { dir, holder } => write!(
+                f,
+                "state dir {} is held by another live server{}; two writers on one WAL \
+                 would jointly overspend B — stop the other instance first",
+                dir.display(),
+                holder
+                    .map(|pid| format!(" (pid {pid})"))
+                    .unwrap_or_default()
+            ),
+            RecoverError::UnknownTenant(name) => write!(
+                f,
+                "persisted state references dataset \"{name}\" which is not registered"
+            ),
+            RecoverError::UnknownSession(id) => {
+                write!(f, "WAL references session {id} which was never opened")
+            }
+            RecoverError::LedgerOverflow { tenant, source } => {
+                write!(f, "recovered ledger for \"{tenant}\" is invalid: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+/// What recovery did, for the operator's log line.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// WAL records replayed over the snapshot.
+    pub replayed: usize,
+    /// `Some(bytes_kept)` when a damaged tail was truncated.
+    pub truncated: Option<u64>,
+    /// Live sessions restored.
+    pub sessions: usize,
+    /// Recovered `(tenant, spent)` pairs.
+    pub tenants: Vec<(String, f64)>,
+}
+
+#[derive(Debug)]
+struct PersistInner {
+    writer: WalWriter,
+    gen: u64,
+    records_since_snapshot: u64,
+}
+
+/// Exclusive ownership of a state directory: a `lock` file created with
+/// `O_EXCL` holding this process's pid. Two servers appending to one WAL
+/// would interleave torn frames, prune each other's generations, and
+/// jointly spend `2B` — so the second opener must refuse. A lock left by
+/// a *dead* pid (hard crash — exactly the case recovery exists for) is
+/// detected via `/proc/<pid>` and stolen; where liveness cannot be
+/// checked, the conservative answer is to refuse and tell the operator.
+#[derive(Debug)]
+struct DirLock {
+    path: PathBuf,
+}
+
+impl DirLock {
+    fn acquire(dir: &std::path::Path) -> Result<Self, RecoverError> {
+        let path = dir.join("lock");
+        for _ in 0..3 {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    use std::io::Write as _;
+                    let _ = write!(f, "{}", std::process::id());
+                    drop(f);
+                    // Settle, then verify. A racing starter acting on a
+                    // *stale* observation may briefly rename our fresh
+                    // lock aside; the content check below makes it
+                    // restore (never destroy) a live lock, and this
+                    // re-read catches the residual window. Any
+                    // ambiguity resolves fail-closed: a contender that
+                    // finds its own pid under someone else's tenure
+                    // refuses rather than double-owning.
+                    std::thread::sleep(Duration::from_millis(20));
+                    match std::fs::read_to_string(&path) {
+                        Ok(s) if s.trim() == std::process::id().to_string() => {
+                            return Ok(Self { path });
+                        }
+                        _ => continue, // lost a steal race; re-contend
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let holder = std::fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok());
+                    let stale = match holder {
+                        // Our own pid: another ServerState in THIS
+                        // process holds the dir — the most direct
+                        // two-writers hazard there is. Refuse.
+                        Some(pid) if pid == std::process::id() => false,
+                        Some(pid) if std::path::Path::new("/proc").is_dir() => {
+                            !std::path::Path::new(&format!("/proc/{pid}")).exists()
+                        }
+                        // Unparseable pid: a damaged lock from a dead
+                        // writer (the write is a single tiny buffer).
+                        None => true,
+                        // Liveness unknowable on this platform: refuse.
+                        Some(_) => false,
+                    };
+                    if !stale {
+                        return Err(RecoverError::DirLocked {
+                            dir: dir.to_path_buf(),
+                            holder,
+                        });
+                    }
+                    // Steal by atomic rename into a name private to this
+                    // process, then verify the moved file is the stale
+                    // lock we actually observed before destroying it. A
+                    // racing winner may already have replaced the stale
+                    // lock with its own — renaming blindly and deleting
+                    // would kill a live lock; instead such a mis-steal
+                    // is detected by content and restored.
+                    let aside = dir.join(format!("lock.stale.{}", std::process::id()));
+                    if std::fs::rename(&path, &aside).is_ok() {
+                        let moved = std::fs::read_to_string(&aside)
+                            .ok()
+                            .and_then(|s| s.trim().parse::<u32>().ok());
+                        if moved == holder {
+                            let _ = std::fs::remove_file(&aside);
+                        } else {
+                            // Not the corpse we renamed for: put the
+                            // live lock back and fall through to
+                            // re-contend (its holder wins next round).
+                            let _ = std::fs::rename(&aside, &path);
+                        }
+                    }
+                    // Re-contend; a live winner's pid shows next round.
+                }
+                Err(e) => return Err(RecoverError::Io(e)),
+            }
+        }
+        Err(RecoverError::DirLocked {
+            dir: dir.to_path_buf(),
+            holder: None,
+        })
+    }
+}
+
+impl Drop for DirLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[derive(Debug)]
+struct Persist {
+    dir: PathBuf,
+    snapshot_every: u64,
+    sync: bool,
+    /// Held for the lifetime of the state; dropping it releases the
+    /// directory.
+    _lock: DirLock,
+    inner: Mutex<PersistInner>,
 }
 
 /// Everything the request handlers share.
@@ -47,7 +405,21 @@ pub struct ServerState {
     tenants: Vec<(String, Tenant)>,
     cache: TranslatorCache,
     sessions: RwLock<HashMap<u64, SessionEntry>>,
+    /// Ids are handed out sequentially from here, which doubles as the
+    /// tombstone predicate: any id `≥ 1` below this watermark that is
+    /// not in the live map once existed and is now gone (`410`, not
+    /// `404`) — no per-session tombstone storage, bounded for the life
+    /// of the deployment, and it survives restarts because the
+    /// watermark is persisted.
     next_session: AtomicU64,
+    clock: Arc<dyn Clock>,
+    ttl_millis: Option<u64>,
+    admin_token: Option<String>,
+    persist: Option<Persist>,
+    /// The ledger gate: shared by every charge-then-append pair,
+    /// exclusive during compaction — a snapshot can never observe a
+    /// charge whose WAL record would land in the next generation.
+    ledger_gate: RwLock<()>,
 }
 
 impl ServerState {
@@ -57,6 +429,9 @@ impl ServerState {
         ServerStateBuilder {
             cache: TranslatorCache::with_capacity(cache_cap),
             tenants: Vec::new(),
+            clock: Arc::new(SystemClock::new()),
+            ttl: None,
+            admin_token: None,
         }
     }
 
@@ -75,20 +450,135 @@ impl ServerState {
         &self.cache
     }
 
-    /// Opens a session on `dataset` with the given allowance; returns the
-    /// session id, or `None` when the dataset does not exist.
-    pub fn create_session(&self, dataset: &str, allowance: f64) -> Option<u64> {
-        let tenant = self.tenant(dataset)?;
+    /// The session TTL in milliseconds, when one is configured.
+    pub fn ttl_millis(&self) -> Option<u64> {
+        self.ttl_millis
+    }
+
+    /// The configured admin bearer token, when one is set.
+    pub fn admin_token(&self) -> Option<&str> {
+        self.admin_token.as_deref()
+    }
+
+    /// The clock sessions age against.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Opens a session on `dataset` with the given allowance; returns
+    /// the session id, `Ok(None)` when the dataset does not exist. With
+    /// persistence, the open is WAL-logged before the id is returned.
+    ///
+    /// # Errors
+    /// The WAL append failing — the session is rolled back, nothing was
+    /// acked.
+    pub fn create_session(
+        &self,
+        dataset: &str,
+        allowance: f64,
+    ) -> Result<Option<u64>, std::io::Error> {
+        let Some(tenant) = self.tenant(dataset) else {
+            return Ok(None);
+        };
+        let _gate = self.ledger_gate.read().expect("no poisoning");
         let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+        // Log BEFORE the session becomes visible in the live map: ids
+        // are sequential, so a client guessing the next id could
+        // otherwise race a Debit append ahead of the Open append (both
+        // only hold the shared gate) and leave a WAL recovery must
+        // refuse. Until the insert below, submits against `id` get 404
+        // — nothing can reference the session before its Open record is
+        // durable. A failed append allocates an id that never opens;
+        // that is fine (status-wise it reads as a long-gone session).
+        self.log(WalRecord::Open {
+            session: id,
+            dataset: dataset.to_string(),
+            allowance,
+        })?;
         let entry = SessionEntry {
             dataset: dataset.to_string(),
             session: tenant.engine.session(allowance),
+            last_active: AtomicU64::new(self.clock.now_millis()),
         };
         self.sessions
             .write()
             .expect("no poisoning")
             .insert(id, entry);
-        Some(id)
+        drop(_gate);
+        self.maybe_compact();
+        Ok(Some(id))
+    }
+
+    /// Submits a query through session `id`: resolves the session,
+    /// refreshes its activity tick, runs the engine, and (with
+    /// persistence) WAL-logs the outcome **before returning** — the
+    /// router must not ack an unlogged charge.
+    ///
+    /// # Errors
+    /// [`SubmitError::Engine`] for malformed queries,
+    /// [`SubmitError::Wal`] when the write-ahead append failed.
+    pub fn submit(
+        &self,
+        id: u64,
+        query: &ExplorationQuery,
+        accuracy: &AccuracySpec,
+    ) -> Result<SubmitOutcome, SubmitError> {
+        let session = {
+            let sessions = self.sessions.read().expect("no poisoning");
+            match sessions.get(&id) {
+                Some(entry) => {
+                    entry
+                        .last_active
+                        .store(self.clock.now_millis(), Ordering::Relaxed);
+                    entry.session.clone()
+                }
+                None => {
+                    drop(sessions);
+                    return Ok(match self.session_status(id) {
+                        SessionStatus::Expired => SubmitOutcome::Gone,
+                        _ => SubmitOutcome::NoSuchSession,
+                    });
+                }
+            }
+        };
+        // Charge and append under the shared side of the ledger gate, so
+        // compaction (exclusive side) cannot snapshot the charge while
+        // pushing its WAL record into the next generation.
+        let _gate = self.ledger_gate.read().expect("no poisoning");
+        let response = match session.submit(query, accuracy) {
+            Ok(r) => r,
+            Err(EngineError::SessionClosed) => return Ok(SubmitOutcome::Gone),
+            Err(e) => return Err(SubmitError::Engine(e)),
+        };
+        let record = match &response {
+            EngineResponse::Answered(a) => WalRecord::Debit {
+                session: id,
+                epsilon: a.epsilon,
+            },
+            EngineResponse::Denied => WalRecord::Deny { session: id },
+        };
+        self.log(record).map_err(SubmitError::Wal)?;
+        drop(_gate);
+        self.maybe_compact();
+        Ok(SubmitOutcome::Response(response))
+    }
+
+    /// Whether `id` is live, expired (gone), or never issued.
+    pub fn session_status(&self, id: u64) -> SessionStatus {
+        if self
+            .sessions
+            .read()
+            .expect("no poisoning")
+            .contains_key(&id)
+        {
+            SessionStatus::Live
+        } else if id >= 1 && id < self.next_session.load(Ordering::Relaxed) {
+            // Allocation is sequential, so every id below the watermark
+            // was issued once; not live means it is gone.
+            SessionStatus::Expired
+        } else {
+            SessionStatus::Unknown
+        }
     }
 
     /// Runs `f` with the session, or returns `None` for unknown ids.
@@ -110,13 +600,207 @@ impl ServerState {
             .filter(|s| s.dataset == dataset)
             .count()
     }
+
+    /// Number of sessions that once existed and are now gone (issued
+    /// ids minus live ones — derived, not stored).
+    pub fn expired_count(&self) -> usize {
+        let issued = self.next_session.load(Ordering::Relaxed).saturating_sub(1) as usize;
+        issued.saturating_sub(self.session_count())
+    }
+
+    /// Admin-plane listing of live sessions, ascending by id.
+    pub fn list_sessions(&self) -> Vec<SessionInfo> {
+        let now = self.clock.now_millis();
+        let mut out: Vec<SessionInfo> = self
+            .sessions
+            .read()
+            .expect("no poisoning")
+            .iter()
+            .map(|(&id, e)| SessionInfo {
+                id,
+                dataset: e.dataset.clone(),
+                allowance: e.session.allowance(),
+                spent: e.session.spent(),
+                idle_millis: now.saturating_sub(e.last_active.load(Ordering::Relaxed)),
+            })
+            .collect();
+        out.sort_by_key(|s| s.id);
+        out
+    }
+
+    /// Closes session `id` (admin or reaper): removes it from the live
+    /// table (which makes it `410` — see [`ServerState::session_status`]),
+    /// releases the unspent remainder of its slice **exactly once** into
+    /// the tenant's reclaimed pool, and WAL-logs the close. `Ok(None)`
+    /// when the session is not live (unknown or already expired).
+    ///
+    /// # Errors
+    /// The WAL append failing (the close itself already happened; it
+    /// will be folded into the next snapshot).
+    pub fn expire_session(&self, id: u64) -> Result<Option<f64>, std::io::Error> {
+        let _gate = self.ledger_gate.read().expect("no poisoning");
+        let entry = {
+            let mut sessions = self.sessions.write().expect("no poisoning");
+            let Some(entry) = sessions.remove(&id) else {
+                return Ok(None);
+            };
+            entry
+        };
+        // Exactly-once by construction: only the thread that removed the
+        // entry reaches this close, and close() itself is idempotent.
+        let released = entry.session.close().unwrap_or(0.0);
+        if let Some(tenant) = self.tenant(&entry.dataset) {
+            *tenant.reclaimed.lock().expect("no poisoning") += released;
+        }
+        self.log(WalRecord::Close {
+            session: id,
+            released,
+        })?;
+        drop(_gate);
+        self.maybe_compact();
+        Ok(Some(released))
+    }
+
+    /// Expires every session idle past the TTL (no-op without one).
+    /// Returns the `(id, released)` pairs.
+    ///
+    /// # Errors
+    /// The first WAL append failure (later sessions stay live for the
+    /// next sweep).
+    pub fn reap_expired(&self) -> Result<Vec<(u64, f64)>, std::io::Error> {
+        let Some(ttl) = self.ttl_millis else {
+            return Ok(Vec::new());
+        };
+        let now = self.clock.now_millis();
+        let idle: Vec<u64> = self
+            .sessions
+            .read()
+            .expect("no poisoning")
+            .iter()
+            .filter(|(_, e)| now.saturating_sub(e.last_active.load(Ordering::Relaxed)) > ttl)
+            .map(|(&id, _)| id)
+            .collect();
+        let mut reaped = Vec::new();
+        for id in idle {
+            if let Some(released) = self.expire_session(id)? {
+                reaped.push((id, released));
+            }
+        }
+        Ok(reaped)
+    }
+
+    /// Appends one WAL record (no-op without persistence). Denials get
+    /// the relaxed (ordered, not fsynced) append: they charge nothing,
+    /// so a deny-heavy workload — the steady state of an exhausted
+    /// tenant — must not pay a durability fsync per 409.
+    fn log(&self, record: WalRecord) -> Result<(), std::io::Error> {
+        let Some(p) = &self.persist else {
+            return Ok(());
+        };
+        let mut inner = p.inner.lock().expect("no poisoning");
+        match record {
+            WalRecord::Deny { .. } => inner.writer.append_relaxed(&record)?,
+            _ => inner.writer.append(&record)?,
+        }
+        inner.records_since_snapshot += 1;
+        Ok(())
+    }
+
+    /// Compacts when the WAL has grown past the configured threshold.
+    fn maybe_compact(&self) {
+        let Some(p) = &self.persist else { return };
+        let due = {
+            let inner = p.inner.lock().expect("no poisoning");
+            inner.records_since_snapshot >= p.snapshot_every
+        };
+        if due {
+            // A failed compaction is not fatal: the WAL keeps growing
+            // and the next threshold crossing retries.
+            let _ = self.compact();
+        }
+    }
+
+    /// Folds the current ledger + session table into a snapshot and
+    /// rotates to a fresh WAL generation. Runs under the exclusive side
+    /// of the ledger gate — no charge can straddle the cut.
+    ///
+    /// # Errors
+    /// Snapshot write or WAL rotation I/O failures.
+    pub fn compact(&self) -> Result<(), std::io::Error> {
+        let Some(p) = &self.persist else {
+            return Ok(());
+        };
+        let _gate = self.ledger_gate.write().expect("no poisoning");
+        let mut inner = p.inner.lock().expect("no poisoning");
+        // Open the next generation BEFORE committing the snapshot that
+        // covers the current one. The snapshot rename is the commit
+        // point: once it claims `covered_gen = G`, no acked record may
+        // ever land in `wal-G.log` again — so the `G+1` writer must
+        // already be in hand. Failing here leaves the old snapshot + old
+        // writer fully intact (a stray empty `wal-(G+1).log` is harmless:
+        // recovery replays it as empty). The reverse order would, on a
+        // failed open, keep appending acked debits to a generation the
+        // just-committed snapshot tells recovery to ignore.
+        let new_gen = inner.gen + 1;
+        let new_path = snapshot::wal_path(&p.dir, new_gen);
+        let writer = WalWriter::open(&new_path, p.sync)?;
+        let image = self.snapshot_image(inner.gen);
+        if let Err(e) = snapshot::write_snapshot(&p.dir, &image) {
+            // Nothing was appended to the new generation yet; remove the
+            // stray so the directory stays exactly as before the attempt
+            // (recovery also tolerates trailing empty generations).
+            drop(writer);
+            let _ = std::fs::remove_file(&new_path);
+            return Err(e);
+        }
+        inner.writer = writer;
+        inner.gen = new_gen;
+        inner.records_since_snapshot = 0;
+        drop(inner);
+        drop(_gate);
+        snapshot::prune_wals(&p.dir, new_gen - 1);
+        Ok(())
+    }
+
+    /// The current state as a snapshot covering WAL generations
+    /// `≤ covered_gen`.
+    fn snapshot_image(&self, covered_gen: u64) -> Snapshot {
+        let sessions = self.sessions.read().expect("no poisoning");
+        Snapshot {
+            covered_gen,
+            next_session: self.next_session.load(Ordering::Relaxed),
+            tenants: self
+                .tenants
+                .iter()
+                .map(|(name, t)| TenantLedger {
+                    name: name.clone(),
+                    spent: t.engine.export_ledger().spent,
+                    reclaimed: t.reclaimed(),
+                })
+                .collect(),
+            sessions: sessions
+                .iter()
+                .map(|(&id, e)| SessionImage {
+                    id,
+                    dataset: e.dataset.clone(),
+                    allowance: e.session.allowance(),
+                    spent: e.session.spent(),
+                })
+                .collect(),
+        }
+    }
 }
 
-/// Builder for [`ServerState`] — register tenants, then [`ServerStateBuilder::build`].
+/// Builder for [`ServerState`] — register tenants, then
+/// [`ServerStateBuilder::build`] (in-memory) or
+/// [`ServerStateBuilder::build_recovered`] (durable).
 #[derive(Debug)]
 pub struct ServerStateBuilder {
     cache: TranslatorCache,
     tenants: Vec<(String, Tenant)>,
+    clock: Arc<dyn Clock>,
+    ttl: Option<Duration>,
+    admin_token: Option<String>,
 }
 
 impl ServerStateBuilder {
@@ -134,27 +818,317 @@ impl ServerStateBuilder {
         let tenant = Tenant {
             engine,
             cache: scope,
+            reclaimed: Mutex::new(0.0),
         };
         self.tenants.retain(|(n, _)| n != name);
         self.tenants.push((name.to_string(), tenant));
         self
     }
 
-    /// Finishes the registry.
+    /// Injects the clock sessions age against (tests use
+    /// [`crate::clock::ManualClock`]).
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Sets the idle TTL after which the reaper expires sessions.
+    pub fn session_ttl(mut self, ttl: Duration) -> Self {
+        self.ttl = Some(ttl);
+        self
+    }
+
+    /// Requires `Authorization: Bearer <token>` on every `/v1/admin/*`
+    /// endpoint.
+    pub fn admin_token(mut self, token: &str) -> Self {
+        self.admin_token = Some(token.to_string());
+        self
+    }
+
+    /// Finishes an **in-memory** registry (no persistence).
     pub fn build(self) -> ServerState {
         ServerState {
             tenants: self.tenants,
             cache: self.cache,
             sessions: RwLock::new(HashMap::new()),
             next_session: AtomicU64::new(1),
+            clock: self.clock,
+            ttl_millis: self
+                .ttl
+                .map(|t| u64::try_from(t.as_millis()).unwrap_or(u64::MAX)),
+            admin_token: self.admin_token,
+            persist: None,
+            ledger_gate: RwLock::new(()),
         }
+    }
+
+    /// Finishes a **durable** registry: recovers WAL-over-snapshot from
+    /// `opts.dir` (creating it when empty), re-imposes spent budget on
+    /// every engine, re-opens live sessions mid-slice, then compacts so
+    /// the directory starts the new run from a fresh snapshot + empty
+    /// WAL generation.
+    ///
+    /// # Errors
+    /// See [`RecoverError`] — notably, a checksum-corrupt WAL tail
+    /// refuses to start without `opts.truncate_corrupt`, and recovered
+    /// spend beyond any tenant's `B` always refuses (a store that
+    /// over-spends is corrupt; clamping would forge budget headroom).
+    pub fn build_recovered(
+        self,
+        opts: PersistOptions,
+    ) -> Result<(ServerState, RecoveryReport), RecoverError> {
+        std::fs::create_dir_all(&opts.dir)?;
+        // Claim the directory first: recovery itself mutates it
+        // (truncation, compaction), so even the read side needs the
+        // exclusivity. Released on drop — including every error return
+        // below, so a refused recovery can be retried.
+        let lock = DirLock::acquire(&opts.dir)?;
+        let mut report = RecoveryReport::default();
+
+        // 1. The snapshot (damage here is always fatal).
+        let snap = snapshot::read_snapshot(&opts.dir)
+            .map_err(|e| {
+                if e.kind() == std::io::ErrorKind::InvalidData {
+                    RecoverError::CorruptSnapshot(e.to_string())
+                } else {
+                    RecoverError::Io(e)
+                }
+            })?
+            .unwrap_or_default();
+
+        // 2. WAL generations beyond the snapshot's coverage. Tail
+        // damage is only a *crash artifact* in the generation that was
+        // actively written — the last one holding anything. Generations
+        // after it that are completely empty (magic only) are strays
+        // from a rotation that failed between opening the next file and
+        // committing its snapshot; they must not promote earlier tail
+        // damage into an unrecoverable "mid-log" refusal.
+        let gens: Vec<u64> = snapshot::list_wal_gens(&opts.dir)?
+            .into_iter()
+            .filter(|&g| g > snap.covered_gen)
+            .collect();
+        let mut read: Vec<(u64, Vec<WalRecord>, WalTail)> = Vec::with_capacity(gens.len());
+        for &gen in &gens {
+            let (recs, tail) = wal::read_wal(&snapshot::wal_path(&opts.dir, gen))?;
+            read.push((gen, recs, tail));
+        }
+        let last_active = read
+            .iter()
+            .rposition(|(_, recs, tail)| !recs.is_empty() || *tail != WalTail::Clean);
+        let mut records = Vec::new();
+        for (i, (gen, recs, tail)) in read.into_iter().enumerate() {
+            let newest = Some(i) == last_active;
+            let path = snapshot::wal_path(&opts.dir, gen);
+            match tail {
+                WalTail::Clean => {}
+                _ if !newest => return Err(RecoverError::CorruptWalMidLog { gen }),
+                WalTail::Torn { valid_len } => {
+                    // The expected crash artifact: cut it, keep going.
+                    wal::truncate_wal(&path, valid_len)?;
+                    report.truncated = Some(valid_len);
+                }
+                WalTail::Corrupt { valid_len } => {
+                    if !opts.truncate_corrupt {
+                        return Err(RecoverError::CorruptWalTail { gen, valid_len });
+                    }
+                    wal::truncate_wal(&path, valid_len)?;
+                    report.truncated = Some(valid_len);
+                }
+            }
+            records.extend(recs);
+        }
+        report.replayed = records.len();
+
+        // 3. Fold WAL over snapshot into a consistent image.
+        let registered: HashSet<&str> = self.tenants.iter().map(|(n, _)| n.as_str()).collect();
+        let mut tenant_spent: HashMap<String, f64> = HashMap::new();
+        let mut tenant_reclaimed: HashMap<String, f64> = HashMap::new();
+        for t in &snap.tenants {
+            if !registered.contains(t.name.as_str()) {
+                return Err(RecoverError::UnknownTenant(t.name.clone()));
+            }
+            tenant_spent.insert(t.name.clone(), t.spent);
+            tenant_reclaimed.insert(t.name.clone(), t.reclaimed);
+        }
+        let mut live: HashMap<u64, SessionImage> = HashMap::new();
+        let mut dataset_of: HashMap<u64, String> = HashMap::new();
+        for s in &snap.sessions {
+            if !registered.contains(s.dataset.as_str()) {
+                return Err(RecoverError::UnknownTenant(s.dataset.clone()));
+            }
+            dataset_of.insert(s.id, s.dataset.clone());
+            live.insert(s.id, s.clone());
+        }
+        let mut next_session = snap.next_session.max(1);
+
+        for record in records {
+            match record {
+                WalRecord::Open {
+                    session,
+                    dataset,
+                    allowance,
+                } => {
+                    if !registered.contains(dataset.as_str()) {
+                        return Err(RecoverError::UnknownTenant(dataset));
+                    }
+                    dataset_of.insert(session, dataset.clone());
+                    live.insert(
+                        session,
+                        SessionImage {
+                            id: session,
+                            dataset,
+                            allowance,
+                            spent: 0.0,
+                        },
+                    );
+                    next_session = next_session.max(session + 1);
+                }
+                WalRecord::Debit { session, epsilon } => {
+                    // The debit may be ordered after the session's close
+                    // (two racing appenders inside one generation); the
+                    // tenant attribution still holds via `dataset_of`.
+                    let Some(dataset) = dataset_of.get(&session) else {
+                        return Err(RecoverError::UnknownSession(session));
+                    };
+                    *tenant_spent.entry(dataset.clone()).or_insert(0.0) += epsilon;
+                    if let Some(img) = live.get_mut(&session) {
+                        img.spent += epsilon;
+                    }
+                }
+                WalRecord::Deny { session } => {
+                    if !dataset_of.contains_key(&session) {
+                        return Err(RecoverError::UnknownSession(session));
+                    }
+                }
+                WalRecord::Close { session, released } => {
+                    let Some(dataset) = dataset_of.get(&session) else {
+                        return Err(RecoverError::UnknownSession(session));
+                    };
+                    live.remove(&session);
+                    *tenant_reclaimed.entry(dataset.clone()).or_insert(0.0) += released;
+                }
+            }
+        }
+
+        // 4. Re-impose the ledgers on the fresh engines.
+        for (name, tenant) in &self.tenants {
+            let spent = tenant_spent.get(name).copied().unwrap_or(0.0);
+            tenant
+                .engine
+                .import_ledger(spent)
+                .map_err(|source| RecoverError::LedgerOverflow {
+                    tenant: name.clone(),
+                    source,
+                })?;
+            *tenant.reclaimed.lock().expect("no poisoning") =
+                tenant_reclaimed.get(name).copied().unwrap_or(0.0);
+            report.tenants.push((name.clone(), spent));
+        }
+
+        // 5. Re-open live sessions mid-slice, activity reset to now.
+        let now = self.clock.now_millis();
+        let mut sessions = HashMap::with_capacity(live.len());
+        for (id, img) in live {
+            let tenant = self
+                .tenants
+                .iter()
+                .find(|(n, _)| *n == img.dataset)
+                .map(|(_, t)| t)
+                .expect("validated above");
+            sessions.insert(
+                id,
+                SessionEntry {
+                    dataset: img.dataset,
+                    session: tenant.engine.session_with_spent(img.allowance, img.spent),
+                    last_active: AtomicU64::new(now),
+                },
+            );
+        }
+        report.sessions = sessions.len();
+
+        // 6. Open the next WAL generation and assemble the state.
+        let all_gens = snapshot::list_wal_gens(&opts.dir)?;
+        let new_gen = all_gens
+            .last()
+            .copied()
+            .unwrap_or(snap.covered_gen)
+            .max(snap.covered_gen)
+            + 1;
+        let writer = WalWriter::open(&snapshot::wal_path(&opts.dir, new_gen), opts.sync)?;
+        let state = ServerState {
+            tenants: self.tenants,
+            cache: self.cache,
+            sessions: RwLock::new(sessions),
+            next_session: AtomicU64::new(next_session),
+            clock: self.clock,
+            ttl_millis: self
+                .ttl
+                .map(|t| u64::try_from(t.as_millis()).unwrap_or(u64::MAX)),
+            admin_token: self.admin_token,
+            persist: Some(Persist {
+                dir: opts.dir,
+                snapshot_every: opts.snapshot_every.max(1),
+                sync: opts.sync,
+                _lock: lock,
+                inner: Mutex::new(PersistInner {
+                    writer,
+                    gen: new_gen,
+                    records_since_snapshot: 0,
+                }),
+            }),
+            ledger_gate: RwLock::new(()),
+        };
+        // 7. Fold everything just replayed into a fresh snapshot, so the
+        // next crash replays from here, not from the beginning of time.
+        state.compact()?;
+        Ok((state, report))
+    }
+}
+
+/// Handle for the background TTL reaper thread.
+#[derive(Debug)]
+pub struct ReaperHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ReaperHandle {
+    /// Asks the reaper to exit and waits for it.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            t.thread().unpark();
+            let _ = t.join();
+        }
+    }
+}
+
+/// Spawns the TTL reaper: every `interval` it expires sessions idle past
+/// the state's TTL. Useless (but harmless) without a configured TTL.
+pub fn start_reaper(state: Arc<ServerState>, interval: Duration) -> ReaperHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = stop.clone();
+    let thread = std::thread::spawn(move || loop {
+        std::thread::park_timeout(interval);
+        if flag.load(Ordering::SeqCst) {
+            return;
+        }
+        // I/O trouble is retried next tick; sessions stay live until
+        // their close is durably logged.
+        let _ = state.reap_expired();
+    });
+    ReaperHandle {
+        stop,
+        thread: Some(thread),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use apex_data::{Attribute, Domain, Schema, Value};
+    use crate::clock::ManualClock;
+    use apex_data::{Attribute, Domain, Predicate, Schema, Value};
+    use apex_query::ExplorationQuery;
 
     fn tiny_dataset() -> Dataset {
         let schema = Schema::new(vec![Attribute::new(
@@ -168,6 +1142,12 @@ mod tests {
         }
         d
     }
+
+    fn histogram() -> ExplorationQuery {
+        ExplorationQuery::wcq((0..8).map(|i| Predicate::eq("v", i as i64)).collect())
+    }
+
+    use crate::testutil::temp_dir;
 
     #[test]
     fn tenants_share_one_cache_with_per_tenant_scopes() {
@@ -198,13 +1178,367 @@ mod tests {
         let state = ServerState::builder(8)
             .dataset("a", tiny_dataset(), EngineConfig::default())
             .build();
-        assert_eq!(state.create_session("nope", 0.5), None);
-        let id = state.create_session("a", 0.5).unwrap();
+        assert_eq!(state.create_session("nope", 0.5).unwrap(), None);
+        let id = state.create_session("a", 0.5).unwrap().unwrap();
         assert_eq!(state.session_count(), 1);
         assert_eq!(state.session_count_for("a"), 1);
         assert_eq!(state.session_count_for("b"), 0);
         let allowance = state.with_session(id, |s| s.session.allowance()).unwrap();
         assert_eq!(allowance, 0.5);
         assert!(state.with_session(id + 1, |_| ()).is_none());
+        assert_eq!(state.session_status(id), SessionStatus::Live);
+        assert_eq!(state.session_status(id + 1), SessionStatus::Unknown);
+    }
+
+    #[test]
+    fn expiry_tombstones_and_reclaims_exactly_once() {
+        let clock = ManualClock::new();
+        let state = ServerState::builder(8)
+            .dataset("a", tiny_dataset(), EngineConfig::default())
+            .clock(Arc::new(clock.clone()))
+            .session_ttl(Duration::from_millis(100))
+            .build();
+        let id = state.create_session("a", 0.5).unwrap().unwrap();
+        let acc = AccuracySpec::new(25.0, 0.05).unwrap();
+        match state.submit(id, &histogram(), &acc).unwrap() {
+            SubmitOutcome::Response(r) => assert!(!r.is_denied()),
+            other => panic!("expected an answer, got {other:?}"),
+        }
+        let spent = state.with_session(id, |s| s.session.spent()).unwrap();
+        assert!(spent > 0.0);
+
+        // Not yet idle long enough: the reaper leaves it alone.
+        clock.advance(100);
+        assert!(state.reap_expired().unwrap().is_empty());
+        // One more tick pushes it past the TTL.
+        clock.advance(1);
+        let reaped = state.reap_expired().unwrap();
+        assert_eq!(reaped.len(), 1);
+        assert_eq!(reaped[0].0, id);
+        assert!((reaped[0].1 - (0.5 - spent)).abs() < 1e-12);
+        assert_eq!(state.session_status(id), SessionStatus::Expired);
+        assert_eq!(state.session_count(), 0);
+        assert_eq!(state.expired_count(), 1);
+        let reclaimed = state.tenant("a").unwrap().reclaimed();
+        assert!((reclaimed - (0.5 - spent)).abs() < 1e-12);
+
+        // Second reap and a direct re-expire both release nothing more.
+        assert!(state.reap_expired().unwrap().is_empty());
+        assert_eq!(state.expire_session(id).unwrap(), None);
+        assert_eq!(state.tenant("a").unwrap().reclaimed(), reclaimed);
+        // Submitting to the corpse reports Gone, not NoSuchSession.
+        assert!(matches!(
+            state.submit(id, &histogram(), &acc).unwrap(),
+            SubmitOutcome::Gone
+        ));
+    }
+
+    #[test]
+    fn submissions_refresh_the_idle_clock() {
+        let clock = ManualClock::new();
+        let state = ServerState::builder(8)
+            .dataset("a", tiny_dataset(), EngineConfig::default())
+            .clock(Arc::new(clock.clone()))
+            .session_ttl(Duration::from_millis(50))
+            .build();
+        let id = state.create_session("a", 0.5).unwrap().unwrap();
+        let acc = AccuracySpec::new(25.0, 0.05).unwrap();
+        for _ in 0..4 {
+            clock.advance(40); // would expire without the refresh below
+            let _ = state.submit(id, &histogram(), &acc).unwrap();
+            assert!(state.reap_expired().unwrap().is_empty());
+        }
+        clock.advance(51);
+        assert_eq!(state.reap_expired().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn state_recovers_wal_over_snapshot_across_restarts() {
+        let dir = temp_dir("recover");
+        let acc = AccuracySpec::new(25.0, 0.05).unwrap();
+        let builder =
+            || ServerState::builder(8).dataset("a", tiny_dataset(), EngineConfig::default());
+
+        let (spent_before, id) = {
+            let (state, report) = builder()
+                .build_recovered(PersistOptions {
+                    sync: false,
+                    ..PersistOptions::new(&dir)
+                })
+                .unwrap();
+            assert_eq!(report.replayed, 0);
+            let id = state.create_session("a", 0.5).unwrap().unwrap();
+            for _ in 0..3 {
+                state.submit(id, &histogram(), &acc).unwrap();
+            }
+            (state.tenant("a").unwrap().engine.spent(), id)
+            // Dropped without compaction: recovery must come from the WAL.
+        };
+        assert!(spent_before > 0.0);
+
+        let (state, report) = builder()
+            .build_recovered(PersistOptions {
+                sync: false,
+                ..PersistOptions::new(&dir)
+            })
+            .unwrap();
+        assert_eq!(report.replayed, 4, "open + three submissions");
+        assert_eq!(report.sessions, 1);
+        let spent_after = state.tenant("a").unwrap().engine.spent();
+        assert!((spent_after - spent_before).abs() < 1e-9);
+        // The restored session resumes mid-slice with its old spend.
+        let session_spent = state.with_session(id, |s| s.session.spent()).unwrap();
+        assert!((session_spent - spent_before).abs() < 1e-9);
+        // Fresh ids never collide with recovered ones.
+        let new_id = state.create_session("a", 0.1).unwrap().unwrap();
+        assert!(new_id > id);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_folds_the_wal_and_recovery_agrees() {
+        let dir = temp_dir("compact");
+        let acc = AccuracySpec::new(25.0, 0.05).unwrap();
+        let mk = || ServerState::builder(8).dataset("a", tiny_dataset(), EngineConfig::default());
+        let opts = || PersistOptions {
+            sync: false,
+            snapshot_every: 3, // compact aggressively
+            ..PersistOptions::new(&dir)
+        };
+
+        let spent_before = {
+            let (state, _) = mk().build_recovered(opts()).unwrap();
+            let id = state.create_session("a", 0.9).unwrap().unwrap();
+            for _ in 0..8 {
+                state.submit(id, &histogram(), &acc).unwrap();
+            }
+            state.expire_session(id).unwrap().unwrap();
+            state.tenant("a").unwrap().engine.spent()
+        };
+        // Several compactions ran; only recent generations remain.
+        let gens = snapshot::list_wal_gens(&dir).unwrap();
+        assert!(
+            gens.len() <= 2,
+            "pruning must bound the WAL chain: {gens:?}"
+        );
+
+        let (state, _) = mk().build_recovered(opts()).unwrap();
+        assert!((state.tenant("a").unwrap().engine.spent() - spent_before).abs() < 1e-9);
+        assert_eq!(state.session_count(), 0);
+        assert_eq!(state.expired_count(), 1, "tombstones survive restarts");
+        assert!(state.tenant("a").unwrap().reclaimed() > 0.0);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn state_dir_refuses_a_second_live_writer() {
+        let dir = temp_dir("lock");
+        let mk = || ServerState::builder(8).dataset("a", tiny_dataset(), EngineConfig::default());
+        let opts = || PersistOptions {
+            sync: false,
+            ..PersistOptions::new(&dir)
+        };
+        let (state, _) = mk().build_recovered(opts()).unwrap();
+        // A second writer on the same dir (same process is the most
+        // direct double-writer hazard) must refuse while the first
+        // lives.
+        match mk().build_recovered(opts()) {
+            Err(RecoverError::DirLocked { holder, .. }) => {
+                assert_eq!(holder, Some(std::process::id()));
+            }
+            other => panic!("second writer must refuse, got {other:?}"),
+        }
+        drop(state);
+        // Released on drop: recovery proceeds again…
+        let (state, _) = mk().build_recovered(opts()).unwrap();
+        drop(state);
+        // …and a stale lock from a dead writer is stolen, because a
+        // hard crash is exactly the case recovery exists for.
+        std::fs::write(dir.join("lock"), "999999999").unwrap();
+        let _ = mk()
+            .build_recovered(opts())
+            .expect("stale lock must be stolen");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_rotation_never_strands_acked_records() {
+        // Regression: compaction must open the next WAL generation
+        // BEFORE committing the snapshot that covers the current one.
+        // With the reverse order, a failed open after a committed
+        // snapshot would leave later acked appends in a generation
+        // recovery is told to ignore — silently refilling B.
+        let dir = temp_dir("rotfail");
+        let acc = AccuracySpec::new(25.0, 0.05).unwrap();
+        let mk = || ServerState::builder(8).dataset("a", tiny_dataset(), EngineConfig::default());
+        let opts = || PersistOptions {
+            sync: false,
+            ..PersistOptions::new(&dir)
+        };
+        let (spent_live, blocked_gen) = {
+            let (state, _) = mk().build_recovered(opts()).unwrap();
+            let cur = *snapshot::list_wal_gens(&dir).unwrap().last().unwrap();
+            // Plant a directory where the next generation would go, so
+            // rotation's WalWriter::open must fail.
+            std::fs::create_dir(snapshot::wal_path(&dir, cur + 1)).unwrap();
+            let id = state.create_session("a", 0.9).unwrap().unwrap();
+            state.submit(id, &histogram(), &acc).unwrap();
+            assert!(state.compact().is_err(), "blocked rotation must error");
+            // Appends after the failed compaction are still acked…
+            state.submit(id, &histogram(), &acc).unwrap();
+            (state.tenant("a").unwrap().engine.spent(), cur + 1)
+        };
+        assert!(spent_live > 0.0);
+        // …and must all be recoverable once the blockage clears.
+        std::fs::remove_dir(snapshot::wal_path(&dir, blocked_gen)).unwrap();
+        let (state, _) = mk().build_recovered(opts()).unwrap();
+        let recovered = state.tenant("a").unwrap().engine.spent();
+        assert!(
+            (recovered - spent_live).abs() < 1e-9,
+            "acked records stranded by a failed rotation: {recovered} vs {spent_live}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_behind_a_stray_empty_generation_still_recovers() {
+        // Regression: a rotation that failed after opening wal-(G+1)
+        // but before committing its snapshot leaves an empty stray
+        // generation. A later crash mid-append into G must still read
+        // as a truncatable torn tail, not an unrecoverable "mid-log"
+        // corruption (G is the last generation holding anything).
+        let dir = temp_dir("stray");
+        let acc = AccuracySpec::new(25.0, 0.05).unwrap();
+        let mk = || ServerState::builder(8).dataset("a", tiny_dataset(), EngineConfig::default());
+        let opts = || PersistOptions {
+            sync: false,
+            ..PersistOptions::new(&dir)
+        };
+        let spent_live = {
+            let (state, _) = mk().build_recovered(opts()).unwrap();
+            let id = state.create_session("a", 0.9).unwrap().unwrap();
+            state.submit(id, &histogram(), &acc).unwrap();
+            state.tenant("a").unwrap().engine.spent()
+        };
+        let gen = *snapshot::list_wal_gens(&dir).unwrap().last().unwrap();
+        // The stray: a magic-only next generation.
+        std::fs::write(snapshot::wal_path(&dir, gen + 1), wal::WAL_MAGIC).unwrap();
+        // The crash artifact: half a frame on the active generation.
+        let path = snapshot::wal_path(&dir, gen);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[9, 0, 0]);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (state, report) = mk().build_recovered(opts()).unwrap();
+        assert!(report.truncated.is_some(), "the torn tail was cut");
+        assert!(
+            (state.tenant("a").unwrap().engine.spent() - spent_live).abs() < 1e-9,
+            "every acked record behind the stray must replay"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_refuses_corruption_but_truncates_torn_tails() {
+        let dir = temp_dir("tails");
+        let acc = AccuracySpec::new(25.0, 0.05).unwrap();
+        let mk = || ServerState::builder(8).dataset("a", tiny_dataset(), EngineConfig::default());
+        let opts = || PersistOptions {
+            sync: false,
+            ..PersistOptions::new(&dir)
+        };
+        {
+            let (state, _) = mk().build_recovered(opts()).unwrap();
+            let id = state.create_session("a", 0.5).unwrap().unwrap();
+            state.submit(id, &histogram(), &acc).unwrap();
+        }
+        let gen = *snapshot::list_wal_gens(&dir).unwrap().last().unwrap();
+        let path = snapshot::wal_path(&dir, gen);
+
+        // Torn tail (half a record): recovered silently, with a report.
+        let clean = std::fs::read(&path).unwrap();
+        let mut torn = clean.clone();
+        torn.extend_from_slice(&clean[8..15]);
+        std::fs::write(&path, &torn).unwrap();
+        let (state, report) = mk().build_recovered(opts()).unwrap();
+        assert_eq!(report.truncated, Some(clean.len() as u64));
+        let spent = state.tenant("a").unwrap().engine.spent();
+        drop(state);
+
+        // Corrupt tail (bit flip in the last record): refused by
+        // default…
+        let gen = *snapshot::list_wal_gens(&dir).unwrap().last().unwrap();
+        let path = snapshot::wal_path(&dir, gen);
+        {
+            let (state, _) = mk().build_recovered(opts()).unwrap();
+            let id = state.create_session("a", 0.1).unwrap().unwrap();
+            let _ = state.submit(id, &histogram(), &acc);
+            drop(state);
+            let _ = path; // the new generation is the one to damage
+        }
+        let gen = *snapshot::list_wal_gens(&dir).unwrap().last().unwrap();
+        let path = snapshot::wal_path(&dir, gen);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        match mk().build_recovered(opts()) {
+            Err(RecoverError::CorruptWalTail { .. }) => {}
+            other => panic!("corrupt tail must refuse by default, got {other:?}"),
+        }
+        // …and truncated at the last valid record with explicit consent.
+        let (state, report) = mk()
+            .build_recovered(PersistOptions {
+                truncate_corrupt: true,
+                ..opts()
+            })
+            .unwrap();
+        assert!(report.truncated.is_some());
+        // The damaged record was dropped, never partially replayed: the
+        // engine's ledger still matches a valid prefix (≤ the pre-damage
+        // spend, and exactly the spend of the surviving records).
+        assert!(state.tenant("a").unwrap().engine.spent() <= spent + 1e-9);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_refuses_overspent_and_unknown_state() {
+        let dir = temp_dir("refuse");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A hand-written snapshot claiming more spend than B = 1.
+        let snap = Snapshot {
+            covered_gen: 0,
+            next_session: 5,
+            tenants: vec![TenantLedger {
+                name: "a".into(),
+                spent: 42.0,
+                reclaimed: 0.0,
+            }],
+            sessions: vec![],
+        };
+        snapshot::write_snapshot(&dir, &snap).unwrap();
+        let mk = || ServerState::builder(8).dataset("a", tiny_dataset(), EngineConfig::default());
+        match mk().build_recovered(PersistOptions::new(&dir)) {
+            Err(RecoverError::LedgerOverflow { tenant, .. }) => assert_eq!(tenant, "a"),
+            other => panic!("overspent store must refuse, got {other:?}"),
+        }
+        // A snapshot naming an unregistered tenant refuses too.
+        let snap = Snapshot {
+            tenants: vec![TenantLedger {
+                name: "ghost".into(),
+                spent: 0.1,
+                reclaimed: 0.0,
+            }],
+            ..Default::default()
+        };
+        snapshot::write_snapshot(&dir, &snap).unwrap();
+        match mk().build_recovered(PersistOptions::new(&dir)) {
+            Err(RecoverError::UnknownTenant(name)) => assert_eq!(name, "ghost"),
+            other => panic!("unknown tenant must refuse, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -151,6 +151,17 @@ pub fn budget_json(
     ])
 }
 
+/// Renders one admin-plane session row (`GET /v1/admin/sessions`).
+pub fn session_info_json(info: crate::state::SessionInfo) -> Json {
+    Json::obj(vec![
+        ("session", Json::from(info.id)),
+        ("dataset", Json::from(info.dataset)),
+        ("allowance", Json::Num(info.allowance)),
+        ("spent", Json::Num(info.spent)),
+        ("idle_millis", Json::from(info.idle_millis)),
+    ])
+}
+
 /// Renders cache counters.
 pub fn cache_stats_json(stats: apex_mech::CacheStats) -> Json {
     Json::obj(vec![

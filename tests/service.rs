@@ -1,11 +1,21 @@
 //! Service-layer integration tests: the multi-tenant invariants under
 //! real concurrency, both at the library seam (`SharedEngine` +
 //! `EngineSession` hammered from 8 threads) and end to end through the
-//! HTTP server loop (the `--self-test` plumbing on an ephemeral port).
+//! HTTP server loop (the `--self-test` plumbing on an ephemeral port) —
+//! plus the durability contract: kill the server mid-workload, restart
+//! from disk, and the recovered ledger must equal the sum of responses
+//! the clients were actually acked (HISTEX-style history checking
+//! against the ledger invariant).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
 
 use apex_core::{ApexEngine, EngineConfig, EngineSession, Mode, SharedEngine, TranslatorCache};
 use apex_data::{Attribute, Dataset, Domain, Predicate, Schema, Value};
 use apex_query::{AccuracySpec, ExplorationQuery};
+use apex_serve::state::{start_reaper, PersistOptions, SubmitOutcome};
+use apex_serve::{Json, ManualClock, ServerState};
 
 fn dataset(n_values: i64, rows_per_value: usize) -> Dataset {
     let schema = Schema::new(vec![Attribute::new(
@@ -148,15 +158,372 @@ fn http_self_test_passes() {
         submits: 5,
         rows: 500,
         cache_cap: 32,
+        state_dir: None,
     })
     .expect("self-test invariants must hold");
     assert!(report.answered > 0);
     assert!(report.denied > 0, "oversubscription must force denials");
     assert!(report.cache_hits > 0, "sessions must share warm artifacts");
+    assert!(
+        report.recovery_replayed > 0,
+        "the self-test must exercise restart recovery"
+    );
     for (name, spent, budget) in &report.budgets {
         assert!(
             spent <= &(budget + 1e-9),
             "{name} overshot: {spent} > {budget}"
         );
     }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    std::env::temp_dir().join(format!("apex-it-{tag}-{}-{nanos}", std::process::id()))
+}
+
+fn service_dataset() -> Dataset {
+    dataset(16, 8)
+}
+
+fn try_durable_state(
+    dir: &PathBuf,
+    budget: f64,
+    truncate_corrupt: bool,
+) -> Result<(ServerState, apex_serve::RecoveryReport), apex_serve::RecoverError> {
+    ServerState::builder(16)
+        .dataset(
+            "demo",
+            service_dataset(),
+            EngineConfig {
+                budget,
+                mode: Mode::Pessimistic,
+                seed: 77,
+            },
+        )
+        .build_recovered(PersistOptions {
+            sync: false, // tests trade per-record fsync for speed
+            truncate_corrupt,
+            ..PersistOptions::new(dir)
+        })
+}
+
+fn durable_state(dir: &PathBuf, budget: f64) -> (ServerState, apex_serve::RecoveryReport) {
+    try_durable_state(dir, budget, false).expect("recovery must succeed")
+}
+
+/// The acceptance-criterion test: a concurrent workload over real
+/// sockets, the server hard-dropped mid-flight (no graceful admin
+/// shutdown, no final compaction, a torn half-record left on the WAL
+/// tail exactly as a crash mid-append would), restarted from disk — and
+/// the recovered spent budget equals the Σε of the responses clients
+/// were **acked**, never less.
+#[test]
+fn crash_recovery_preserves_every_acked_debit() {
+    const B: f64 = 0.5;
+    let dir = temp_dir("crash");
+    let acked: Vec<f64> = {
+        let (state, _) = durable_state(&dir, B);
+        let state = Arc::new(state);
+        let handler = state.clone();
+        let handle = apex_serve::serve("127.0.0.1:0", 4, move |req| {
+            apex_serve::router::route(&handler, req)
+        })
+        .unwrap();
+        let addr = handle.addr();
+
+        // Six concurrent analysts, oversubscribed slices, real sockets.
+        let sums = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..6)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let body = format!("{{\"dataset\":\"demo\",\"budget\":{}}}", B / 2.0);
+                        let (status, created) =
+                            apex_serve::client::request(addr, "POST", "/v1/sessions", Some(&body))
+                                .unwrap();
+                        assert_eq!(status, 201);
+                        let id = created.get("session").and_then(Json::as_u64).unwrap();
+                        let mut acked_sum = 0.0;
+                        for _ in 0..6 {
+                            let q = "{\"query\":\"BIN demo ON COUNT(*) WHERE W = \
+                                     { v IN [0, 8), v IN [8, 16) } ERROR 40 CONFIDENCE 0.95;\"}";
+                            let (status, resp) = apex_serve::client::request(
+                                addr,
+                                "POST",
+                                &format!("/v1/sessions/{id}/query"),
+                                Some(q),
+                            )
+                            .unwrap();
+                            match status {
+                                // Only what was ACKED counts: the ε in a
+                                // 200 response the client actually read.
+                                200 => {
+                                    acked_sum += resp.get("epsilon").and_then(Json::as_f64).unwrap()
+                                }
+                                409 => {}
+                                other => panic!("protocol violation: {other}"),
+                            }
+                        }
+                        acked_sum
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<f64>>()
+        });
+
+        // Hard drop: stop accepting and tear the server down with NO
+        // graceful flush or compaction…
+        handle.stop();
+        handle.join();
+        sums
+        // …and `state` is dropped here without any shutdown hook.
+    };
+    let acked_sum: f64 = acked.iter().sum();
+    assert!(acked_sum > 0.0, "the workload must answer something");
+
+    // Simulate the torn tail a mid-append crash leaves behind.
+    let gens = apex_serve::snapshot::list_wal_gens(&dir).unwrap();
+    let wal = apex_serve::snapshot::wal_path(&dir, *gens.last().unwrap());
+    let mut bytes = std::fs::read(&wal).unwrap();
+    bytes.extend_from_slice(&[0x02, 0x00, 0x00]); // half a frame header
+    std::fs::write(&wal, &bytes).unwrap();
+
+    // Restart from disk: the torn tail is truncated, every acked debit
+    // replays, and the ledger matches the acked sum exactly (never
+    // less — losing an acked charge would silently refill B).
+    let (recovered, report) = durable_state(&dir, B);
+    assert!(report.truncated.is_some(), "the torn tail must be detected");
+    let spent = recovered.tenant("demo").unwrap().engine.spent();
+    assert!(
+        spent >= acked_sum - 1e-9,
+        "recovered ledger {spent} lost acked budget {acked_sum}"
+    );
+    assert!(
+        (spent - acked_sum).abs() < 1e-9,
+        "recovered ledger {spent} must equal the acked sum {acked_sum}"
+    );
+    assert!(spent <= B + 1e-9, "recovery must never refill past B");
+    // The restored sessions resume mid-slice: their joint spend balances
+    // the engine ledger.
+    let joint: f64 = (1..=6)
+        .filter_map(|id| recovered.with_session(id, |s| s.session.spent()))
+        .sum();
+    assert!(
+        (joint - spent).abs() < 1e-9,
+        "restored slices {joint} must balance the ledger {spent}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A checksum-corrupt tail (bit rot, not a torn write) refuses recovery
+/// by default and, with explicit consent, truncates at the last valid
+/// record — the damaged record is dropped, never partially replayed.
+#[test]
+fn corrupt_wal_tail_refuses_then_truncates_with_consent() {
+    const B: f64 = 0.5;
+    let dir = temp_dir("corrupt");
+    let spent_live = {
+        let (state, _) = durable_state(&dir, B);
+        let id = state.create_session("demo", 0.4).unwrap().unwrap();
+        let q = histogram(16, 2);
+        let acc = AccuracySpec::new(40.0, 0.05).unwrap();
+        for _ in 0..3 {
+            match state.submit(id, &q, &acc).unwrap() {
+                SubmitOutcome::Response(_) => {}
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+        state.tenant("demo").unwrap().engine.spent()
+    };
+    assert!(spent_live > 0.0);
+
+    // Flip one bit inside the final WAL record.
+    let gens = apex_serve::snapshot::list_wal_gens(&dir).unwrap();
+    let wal = apex_serve::snapshot::wal_path(&dir, *gens.last().unwrap());
+    let mut bytes = std::fs::read(&wal).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x10;
+    std::fs::write(&wal, &bytes).unwrap();
+
+    // Default policy: refuse to start.
+    let refused = try_durable_state(&dir, B, false);
+    assert!(
+        matches!(
+            refused,
+            Err(apex_serve::RecoverError::CorruptWalTail { .. })
+        ),
+        "corrupt tails must refuse by default"
+    );
+
+    // With consent: truncate at the last valid record. The damaged final
+    // debit is dropped (truncated, not replayed), so the ledger is a
+    // strict prefix of the live run — less than the live spend, and
+    // consistent with the surviving records.
+    let (recovered, report) = try_durable_state(&dir, B, true).unwrap();
+    assert!(report.truncated.is_some());
+    let spent = recovered.tenant("demo").unwrap().engine.spent();
+    assert!(
+        spent < spent_live - 1e-12,
+        "the damaged record must not have been replayed"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// TTL semantics with the injectable clock: an expired session's queries
+/// get 410 at the router, its unspent slice is reclaimed exactly once,
+/// and the tombstone distinguishes 410 from 404.
+#[test]
+fn ttl_expiry_is_exactly_once_and_visible_as_410() {
+    let clock = ManualClock::new();
+    let state = Arc::new(
+        ServerState::builder(16)
+            .dataset(
+                "demo",
+                service_dataset(),
+                EngineConfig {
+                    budget: 2.0,
+                    mode: Mode::Pessimistic,
+                    seed: 5,
+                },
+            )
+            .clock(Arc::new(clock.clone()))
+            .session_ttl(Duration::from_millis(100))
+            .build(),
+    );
+    let id = state.create_session("demo", 0.5).unwrap().unwrap();
+    let q = histogram(16, 4);
+    let acc = AccuracySpec::new(40.0, 0.05).unwrap();
+    match state.submit(id, &q, &acc).unwrap() {
+        SubmitOutcome::Response(r) => assert!(!r.is_denied()),
+        other => panic!("unexpected: {other:?}"),
+    }
+    let spent = state.with_session(id, |s| s.session.spent()).unwrap();
+
+    clock.advance(101);
+    let reaped = state.reap_expired().unwrap();
+    assert_eq!(reaped.len(), 1);
+    assert!((reaped[0].1 - (0.5 - spent)).abs() < 1e-12);
+    // Exactly once: the tenant pool saw one release, and repeats add 0.
+    let reclaimed = state.tenant("demo").unwrap().reclaimed();
+    assert!((reclaimed - (0.5 - spent)).abs() < 1e-12);
+    assert!(state.reap_expired().unwrap().is_empty());
+    assert_eq!(state.expire_session(id).unwrap(), None);
+    assert_eq!(state.tenant("demo").unwrap().reclaimed(), reclaimed);
+
+    // Router-visible: queries to the corpse are 410 Gone, unknown ids
+    // stay 404.
+    let q_body = "{\"query\":\"BIN demo ON COUNT(*) WHERE { v IN [0, 16) } \
+                  ERROR 40 CONFIDENCE 0.95;\"}";
+    let resp = apex_serve::router::route(
+        &state,
+        &apex_serve::Request::new("POST", &format!("/v1/sessions/{id}/query"), q_body),
+    );
+    assert_eq!(resp.status, 410, "{}", resp.body);
+    let resp = apex_serve::router::route(
+        &state,
+        &apex_serve::Request::new("POST", "/v1/sessions/999/query", q_body),
+    );
+    assert_eq!(resp.status, 404, "{}", resp.body);
+}
+
+/// The 8-thread hammer with the reaper running: sessions churn (expire
+/// mid-flight, new ones open), time is cranked by hand, and the engine
+/// must still never overshoot `B` while every released slice is released
+/// exactly once.
+#[test]
+fn hammer_with_reaper_never_overshoots_budget() {
+    const B: f64 = 0.5;
+    let clock = ManualClock::new();
+    let state = Arc::new(
+        ServerState::builder(16)
+            .dataset(
+                "demo",
+                service_dataset(),
+                EngineConfig {
+                    budget: B,
+                    mode: Mode::Pessimistic,
+                    seed: 21,
+                },
+            )
+            .clock(Arc::new(clock.clone()))
+            .session_ttl(Duration::from_millis(3))
+            .build(),
+    );
+    let reaper = start_reaper(state.clone(), Duration::from_millis(1));
+
+    let acc = AccuracySpec::new(60.0, 0.05).unwrap();
+    std::thread::scope(|scope| {
+        for t in 0..8 {
+            let state = state.clone();
+            let clock = clock.clone();
+            scope.spawn(move || {
+                let q = histogram(16, 8);
+                let mut id = None;
+                for i in 0..12 {
+                    // Every worker cranks the clock, so TTLs keep firing
+                    // mid-hammer (8 workers × 12 ticks ≫ the 3 ms TTL);
+                    // worker-side reaps make expiry deterministic even
+                    // if the real-time reaper thread lags.
+                    clock.advance(1);
+                    let _ = state.reap_expired();
+                    let sid = match id {
+                        Some(sid) => sid,
+                        None => {
+                            let sid = state
+                                .create_session("demo", B * 3.0 / 8.0)
+                                .unwrap()
+                                .expect("dataset exists");
+                            id = Some(sid);
+                            sid
+                        }
+                    };
+                    match state.submit(sid, &q, &acc).unwrap() {
+                        SubmitOutcome::Response(_) => {}
+                        // Expired under us: open a fresh session and
+                        // keep hammering.
+                        SubmitOutcome::Gone => id = None,
+                        SubmitOutcome::NoSuchSession => {
+                            panic!("thread {t} iteration {i}: issued id vanished")
+                        }
+                    }
+                    // Mid-flight: never over B, whatever the reaper does.
+                    let spent = state.tenant("demo").unwrap().engine.spent();
+                    assert!(spent <= B + 1e-9, "OVERSHOOT mid-flight: {spent}");
+                }
+            });
+        }
+    });
+    // Quiesce: everything still live goes idle past the TTL.
+    clock.advance(10);
+    state.reap_expired().unwrap();
+    reaper.stop();
+
+    let tenant = state.tenant("demo").unwrap();
+    let spent = tenant.engine.spent();
+    assert!(spent <= B + 1e-9, "spent {spent} > B {B}");
+    assert!(spent > 0.0, "the hammer must answer something");
+    assert!(state.expired_count() > 0, "sessions must have expired");
+    assert_eq!(state.session_count(), 0, "everything idles out in the end");
+    // Exactly-once release accounting: granted allowance splits exactly
+    // into spent + reclaimed (every closed slice returned its remainder
+    // once — a double release would push reclaimed past this identity).
+    let granted = state.expired_count() as f64 * (B * 3.0 / 8.0);
+    assert!(
+        (tenant.reclaimed() + spent - granted).abs() < 1e-9,
+        "granted {granted} must equal spent {spent} + reclaimed {} exactly",
+        tenant.reclaimed()
+    );
+    tenant.engine.with_engine(|e| {
+        assert!(
+            e.transcript().is_valid(B),
+            "transcript validity under churn"
+        )
+    });
 }
