@@ -1,10 +1,29 @@
-//! The APEx engine loop (Algorithm 1).
+//! The APEx engine loop (Algorithm 1), split into a data-independent
+//! **evaluate** phase and an atomic **commit** phase.
+//!
+//! `submit` used to be one monolithic admit–run–charge sequence, which
+//! forced every concurrent caller (and everything serialized behind the
+//! ledger, like WAL compaction in `apex-serve`) to wait out the slowest
+//! mechanism run. The two-phase shape is the optimistic
+//! speculate-then-commit execution model (cf. the HTM survey in
+//! PAPERS.md): [`ApexEngine::evaluate`] prepares the query, chooses the
+//! mechanism, and runs it **without touching the budget**, yielding a
+//! [`PendingCharge`]; [`ApexEngine::commit`] re-validates the worst-case
+//! loss against the *then-current* ledger and either charges the actual
+//! loss atomically or denies and discards the speculative result,
+//! charging nothing. The admission decision stays a function of the
+//! query, the accuracy, and the remaining budget only — never the data —
+//! exactly as Case 3 of the Theorem 6.2 proof requires; re-checking it
+//! at the commit point preserves the discipline under concurrency.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use apex_data::Dataset;
-use apex_mech::PreparedQuery;
+use apex_mech::{PreparedQuery, SmCache};
 use apex_query::{AccuracySpec, ExplorationQuery, QueryAnswer};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 
 use crate::cache::TranslatorCache;
 use crate::transcript::{QueryRecord, Transcript, TranscriptEntry};
@@ -78,6 +97,164 @@ pub struct LedgerExport {
     pub denied: usize,
 }
 
+/// The speculative half of a two-phase submission: everything
+/// [`ApexEngine::evaluate`] computed **without touching the ledger** —
+/// the chosen mechanism's output and the worst-case loss the analyzer
+/// translated for it. A `PendingCharge` holds no budget: until
+/// [`ApexEngine::commit`] re-validates it against the then-current
+/// ledger it is a result that may still be denied and discarded.
+/// Dropping it charges nothing and leaves no transcript trace.
+#[derive(Debug)]
+pub struct PendingCharge {
+    /// Identity of the engine whose [`EvalContext`] produced this
+    /// pending charge. Commit refuses a pending evaluated elsewhere
+    /// ([`EngineError::ForeignPendingCharge`]): the answer was computed
+    /// over *that* engine's data, so charging any other ledger would
+    /// leak one tenant's data while debiting another's budget.
+    engine_id: u64,
+    record: QueryRecord,
+    outcome: Option<PendingAnswer>,
+}
+
+impl PendingCharge {
+    /// The worst-case loss commit will re-check, or `None` when
+    /// evaluation already denied (no mechanism fit the budget observed
+    /// at evaluate time; commit records the denial).
+    pub fn epsilon_upper(&self) -> Option<f64> {
+        self.outcome.as_ref().map(|p| p.epsilon_upper)
+    }
+
+    /// The actual loss commit would charge, or `None` for
+    /// evaluate-denials.
+    pub fn epsilon(&self) -> Option<f64> {
+        self.outcome.as_ref().map(|p| p.epsilon)
+    }
+}
+
+#[derive(Debug)]
+struct PendingAnswer {
+    answer: QueryAnswer,
+    epsilon: f64,
+    epsilon_upper: f64,
+    mechanism: &'static str,
+}
+
+/// Why a commit charged nothing and discarded the pending result.
+/// (A *denial* is not an error — a commit that loses the budget race
+/// returns [`EngineResponse::Denied`], not this.)
+#[derive(Debug)]
+pub enum CommitError<E> {
+    /// An engine fault: the session was closed underneath the pending
+    /// charge ([`EngineError::SessionClosed`]) or the mechanism reported
+    /// more loss than it declared
+    /// ([`EngineError::LossAboveWorstCase`]).
+    Engine(EngineError),
+    /// The caller's durability hook refused (e.g. a write-ahead append
+    /// failed). The decision was rolled back before any ledger or
+    /// transcript mutation — nothing needs refunding.
+    Log(E),
+}
+
+/// A self-contained snapshot of everything the data-independent
+/// *evaluate* phase needs, extracted from an engine in `O(1)` (see
+/// [`ApexEngine::evaluation_context`]). It owns an `Arc` of the dataset,
+/// a forked noise-RNG stream, and a handle to the shared translator
+/// cache, so the (possibly slow) translation and mechanism run proceed
+/// with **no engine lock held** — the seam `SharedEngine` and
+/// `EngineSession` build their lock-free evaluate on.
+#[derive(Debug)]
+pub struct EvalContext {
+    engine_id: u64,
+    data: Arc<Dataset>,
+    cache: Option<Arc<SmCache>>,
+    mode: Mode,
+    remaining: f64,
+    rng: StdRng,
+}
+
+impl EvalContext {
+    /// The engine's remaining budget at the instant the context was
+    /// extracted (the bound the evaluate-phase admission filter uses;
+    /// commit re-checks against the live ledger).
+    pub fn remaining(&self) -> f64 {
+        self.remaining
+    }
+
+    /// Runs the evaluate phase: prepare the query, translate every
+    /// applicable mechanism, keep those whose worst case fits under
+    /// `min(remaining-at-extraction, cap)`, choose by mode, and run the
+    /// winner. **No budget is charged** — the caller must [`commit`]
+    /// (or drop) the returned [`PendingCharge`].
+    ///
+    /// [`commit`]: ApexEngine::commit
+    ///
+    /// # Errors
+    /// Malformed queries, mechanism faults, and a mechanism reporting a
+    /// loss above its declared worst case
+    /// ([`EngineError::LossAboveWorstCase`]). A query no mechanism fits
+    /// is **not** an error: the pending charge carries the denial.
+    pub fn evaluate(
+        mut self,
+        query: &ExplorationQuery,
+        accuracy: &AccuracySpec,
+        cap: f64,
+    ) -> Result<PendingCharge, EngineError> {
+        let prepared = PreparedQuery::prepare(self.data.schema(), query)?;
+        let record = QueryRecord {
+            kind: prepared.kind().name(),
+            workload_size: prepared.n_queries(),
+            alpha: accuracy.alpha(),
+            beta: accuracy.beta(),
+        };
+
+        // Lines 4–10: translate all applicable mechanisms, keep those
+        // whose worst case fits, choose by mode. The decision depends
+        // only on the query, the accuracy, and the remaining budget —
+        // never the data (Case 3 of the Theorem 6.2 proof).
+        let choice = choose_mechanism_cached(
+            &prepared,
+            accuracy,
+            self.remaining.min(cap),
+            self.mode,
+            self.cache.clone(),
+        )?;
+
+        let Some(choice) = choice else {
+            // Line 16: nothing fits — commit will record the denial.
+            return Ok(PendingCharge {
+                engine_id: self.engine_id,
+                record,
+                outcome: None,
+            });
+        };
+
+        // Line 11: run the mechanism (speculatively — the charge waits
+        // for commit).
+        let out = choice
+            .mechanism
+            .run(&prepared, accuracy, &self.data, &mut self.rng)?;
+        if out.epsilon.is_nan() || out.epsilon > choice.translation.upper * (1.0 + 1e-9) {
+            // Hard check (was a debug_assert, which vanishes in release
+            // builds): a mechanism overshooting its declared worst case
+            // would silently breach the admission bound. Refuse.
+            return Err(EngineError::LossAboveWorstCase {
+                epsilon: out.epsilon,
+                upper: choice.translation.upper,
+            });
+        }
+        Ok(PendingCharge {
+            engine_id: self.engine_id,
+            record,
+            outcome: Some(PendingAnswer {
+                answer: out.answer,
+                epsilon: out.epsilon,
+                epsilon_upper: choice.translation.upper,
+                mechanism: choice.mechanism.name(),
+            }),
+        })
+    }
+}
+
 /// The engine's response to a submission.
 #[derive(Debug, Clone)]
 pub enum EngineResponse {
@@ -106,9 +283,18 @@ impl EngineResponse {
 
 /// The APEx privacy engine: owns the sensitive dataset, enforces the
 /// privacy budget, and answers adaptively chosen queries.
+/// Source of process-unique engine identities (see
+/// [`PendingCharge::engine_id`]).
+static NEXT_ENGINE_ID: AtomicU64 = AtomicU64::new(1);
+
 #[derive(Debug)]
 pub struct ApexEngine {
-    data: Dataset,
+    /// Process-unique identity, stamped into every [`PendingCharge`]
+    /// this engine evaluates so commits cannot cross engines.
+    id: u64,
+    /// `Arc` so [`ApexEngine::evaluation_context`] can hand the dataset
+    /// to a lock-free evaluate phase without cloning the rows.
+    data: Arc<Dataset>,
     budget: f64,
     mode: Mode,
     spent: f64,
@@ -155,7 +341,8 @@ impl ApexEngine {
             config.budget
         );
         Self {
-            data,
+            id: NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed),
+            data: Arc::new(data),
             budget: config.budget,
             mode: config.mode,
             spent: 0.0,
@@ -264,6 +451,11 @@ impl ApexEngine {
     /// `submit` is exactly `submit_capped(…, ∞)`, so an uncapped caller
     /// pays nothing; a denial (by either bound) still charges nothing.
     ///
+    /// Implemented as [`ApexEngine::evaluate`] followed by
+    /// [`ApexEngine::commit_capped`], so every submission — including
+    /// this single-threaded convenience path — exercises the two-phase
+    /// protocol.
+    ///
     /// # Errors
     /// Same contract as [`ApexEngine::submit`].
     pub fn submit_capped(
@@ -272,58 +464,149 @@ impl ApexEngine {
         accuracy: &AccuracySpec,
         cap: f64,
     ) -> Result<EngineResponse, EngineError> {
-        let prepared = PreparedQuery::prepare(self.data.schema(), query)?;
-        let record = QueryRecord {
-            kind: prepared.kind().name(),
-            workload_size: prepared.n_queries(),
-            alpha: accuracy.alpha(),
-            beta: accuracy.beta(),
-        };
+        let pending = self.evaluate(query, accuracy, cap)?;
+        self.commit_capped(pending, cap)
+    }
 
-        // Lines 4–10: translate all applicable mechanisms, keep those
-        // whose worst case fits, choose by mode. The decision depends
-        // only on the query, the accuracy, and the remaining budget —
-        // never the data (Case 3 of the Theorem 6.2 proof).
-        let choice = choose_mechanism_cached(
-            &prepared,
-            accuracy,
-            self.remaining().min(cap),
-            self.mode,
-            Some(self.cache.handle()),
-        )?;
+    /// Extracts the [`EvalContext`] a lock-free evaluate phase runs
+    /// against: an `Arc` of the dataset, the translator-cache handle,
+    /// the mode, the remaining budget, and a **forked** noise-RNG stream
+    /// (seeded from the engine RNG, so concurrent evaluates draw
+    /// independent noise and the engine stream stays race-free). `O(1)`
+    /// — callers holding a lock on the engine should extract and release
+    /// before evaluating.
+    pub fn evaluation_context(&mut self) -> EvalContext {
+        EvalContext {
+            engine_id: self.id,
+            data: self.data.clone(),
+            cache: Some(self.cache.handle()),
+            mode: self.mode,
+            remaining: self.remaining(),
+            rng: StdRng::seed_from_u64(self.rng.next_u64()),
+        }
+    }
 
-        let Some(choice) = choice else {
-            // Line 16: 'Query Denied'; budget unchanged.
+    /// The evaluate phase of a two-phase submission: prepares the query,
+    /// chooses the mechanism under `min(remaining, cap)`, and runs it —
+    /// **no budget mutation, no transcript entry**. Pair with
+    /// [`ApexEngine::commit_capped`].
+    ///
+    /// # Errors
+    /// Same contract as [`EvalContext::evaluate`].
+    pub fn evaluate(
+        &mut self,
+        query: &ExplorationQuery,
+        accuracy: &AccuracySpec,
+        cap: f64,
+    ) -> Result<PendingCharge, EngineError> {
+        self.evaluation_context().evaluate(query, accuracy, cap)
+    }
+
+    /// [`ApexEngine::commit_capped`] with an infinite cap.
+    ///
+    /// # Errors
+    /// Same contract as [`ApexEngine::commit_capped`].
+    pub fn commit(&mut self, pending: PendingCharge) -> Result<EngineResponse, EngineError> {
+        self.commit_capped(pending, f64::INFINITY)
+    }
+
+    /// The commit phase: atomically re-checks that the pending worst
+    /// case still fits under `min(remaining, cap)` against the
+    /// **current** ledger, then charges the actual loss and pushes the
+    /// transcript entry. A failed re-check — the ledger moved between
+    /// evaluate and commit — denies, discards the speculative result,
+    /// and charges nothing.
+    ///
+    /// # Errors
+    /// [`EngineError::LossAboveWorstCase`] when the pending charge
+    /// reports more loss than its declared worst case (nothing is
+    /// charged).
+    pub fn commit_capped(
+        &mut self,
+        pending: PendingCharge,
+        cap: f64,
+    ) -> Result<EngineResponse, EngineError> {
+        self.commit_capped_with::<std::convert::Infallible>(pending, cap, |_| Ok(()))
+            .map_err(|e| match e {
+                CommitError::Engine(e) => e,
+                CommitError::Log(never) => match never {},
+            })
+    }
+
+    /// [`ApexEngine::commit_capped`] with a durability hook: `log` runs
+    /// after the commit decision is made but **before** any ledger or
+    /// transcript mutation. If it fails, the commit is abandoned with
+    /// nothing charged — this is how a persistence layer makes a charge
+    /// durable-or-nothing (append the WAL record in `log`; a failed
+    /// append leaves memory and disk agreeing that nothing happened).
+    ///
+    /// # Errors
+    /// [`CommitError::Engine`] for engine faults, [`CommitError::Log`]
+    /// when the hook refused. Either way nothing was charged.
+    pub fn commit_capped_with<E>(
+        &mut self,
+        pending: PendingCharge,
+        cap: f64,
+        log: impl FnOnce(&EngineResponse) -> Result<(), E>,
+    ) -> Result<EngineResponse, CommitError<E>> {
+        let PendingCharge {
+            engine_id,
+            record,
+            outcome,
+        } = pending;
+        if engine_id != self.id {
+            // The speculative answer was computed over another engine's
+            // data; charging this ledger for it would both mis-account
+            // that engine's loss and leak its data through this
+            // transcript. Refuse — nothing is charged anywhere.
+            return Err(CommitError::Engine(EngineError::ForeignPendingCharge));
+        }
+        let Some(p) = outcome else {
+            // Evaluate already denied; record it (Line 16).
+            let response = EngineResponse::Denied;
+            log(&response).map_err(CommitError::Log)?;
             self.transcript
                 .push(TranscriptEntry::Denied { query: record });
-            return Ok(EngineResponse::Denied);
+            return Ok(response);
         };
-
-        // Line 11: run the mechanism.
-        let out = choice
-            .mechanism
-            .run(&prepared, accuracy, &self.data, &mut self.rng)?;
-        debug_assert!(
-            out.epsilon <= choice.translation.upper * (1.0 + 1e-9),
-            "mechanism reported a loss above its own worst case"
-        );
-
-        // Line 12: charge the *actual* loss.
-        self.spent += out.epsilon;
+        if p.epsilon.is_nan() || p.epsilon > p.epsilon_upper * (1.0 + 1e-9) {
+            // Evaluate refuses this at construction; re-checked here so
+            // the charge point itself can never admit an overshooting
+            // loss (NaN included), whatever handed it the pending.
+            return Err(CommitError::Engine(EngineError::LossAboveWorstCase {
+                epsilon: p.epsilon,
+                upper: p.epsilon_upper,
+            }));
+        }
+        // The commit-point re-validation: the admission predicate —
+        // worst case within min(remaining, cap), a function of the
+        // query, accuracy, and *current* ledger only, never the data —
+        // must still hold. Losing the race denies and discards.
+        if p.epsilon_upper > self.remaining().min(cap) {
+            let response = EngineResponse::Denied;
+            log(&response).map_err(CommitError::Log)?;
+            self.transcript
+                .push(TranscriptEntry::Denied { query: record });
+            return Ok(response);
+        }
         let answered = Answered {
-            answer: out.answer.clone(),
-            epsilon: out.epsilon,
-            epsilon_upper: choice.translation.upper,
-            mechanism: choice.mechanism.name(),
+            answer: p.answer.clone(),
+            epsilon: p.epsilon,
+            epsilon_upper: p.epsilon_upper,
+            mechanism: p.mechanism,
         };
+        let response = EngineResponse::Answered(answered);
+        log(&response).map_err(CommitError::Log)?;
+        // Line 12: charge the *actual* loss — the commit point.
+        self.spent += p.epsilon;
         self.transcript.push(TranscriptEntry::Answered {
             query: record,
-            mechanism: answered.mechanism,
-            epsilon: answered.epsilon,
-            epsilon_upper: answered.epsilon_upper,
-            answer: out.answer,
+            mechanism: p.mechanism,
+            epsilon: p.epsilon,
+            epsilon_upper: p.epsilon_upper,
+            answer: p.answer,
         });
-        Ok(EngineResponse::Answered(answered))
+        Ok(response)
     }
 }
 
@@ -501,6 +784,134 @@ mod tests {
         // A structurally different workload builds a second entry.
         e.submit(&histogram(8), &acc).unwrap();
         assert_eq!(e.translator_cache().len(), 2);
+    }
+
+    #[test]
+    fn evaluate_charges_nothing_until_commit() {
+        let mut e = engine(10.0);
+        let acc = AccuracySpec::new(30.0, 0.01).unwrap();
+        let pending = e.evaluate(&histogram(8), &acc, f64::INFINITY).unwrap();
+        assert!(pending.epsilon_upper().is_some(), "ample budget admits");
+        assert_eq!(e.spent(), 0.0, "evaluation must not touch the ledger");
+        assert_eq!(e.transcript().len(), 0);
+        let r = e.commit(pending).unwrap();
+        let a = r.answered().expect("still fits at commit");
+        assert!((e.spent() - a.epsilon).abs() < 1e-12);
+        assert_eq!(e.transcript().answered(), 1);
+    }
+
+    #[test]
+    fn dropping_a_pending_charge_charges_nothing() {
+        let mut e = engine(10.0);
+        let acc = AccuracySpec::new(30.0, 0.01).unwrap();
+        let pending = e.evaluate(&histogram(8), &acc, f64::INFINITY).unwrap();
+        drop(pending);
+        assert_eq!(e.spent(), 0.0);
+        assert!(e.transcript().is_empty(), "no trace without a commit");
+        // The engine is unaffected: a later submit behaves normally.
+        assert!(!e.submit(&histogram(8), &acc).unwrap().is_denied());
+    }
+
+    #[test]
+    fn commit_rechecks_against_the_current_ledger() {
+        let acc = AccuracySpec::new(30.0, 0.01).unwrap();
+        // Learn the (deterministic) worst case of this query…
+        let upper = engine(100.0)
+            .evaluate(&histogram(8), &acc, f64::INFINITY)
+            .unwrap()
+            .epsilon_upper()
+            .unwrap();
+        // …then size the budget to fit exactly one of them.
+        let mut e = engine(upper * 1.5);
+        let p1 = e.evaluate(&histogram(8), &acc, f64::INFINITY).unwrap();
+        let p2 = e.evaluate(&histogram(8), &acc, f64::INFINITY).unwrap();
+        assert!(p1.epsilon_upper().is_some());
+        assert!(
+            p2.epsilon_upper().is_some(),
+            "both fit against the untouched ledger"
+        );
+        assert!(!e.commit(p1).unwrap().is_denied());
+        // The ledger moved between p2's evaluate and its commit: the
+        // re-check must deny and discard, charging nothing further.
+        let spent_after_first = e.spent();
+        assert!(e.commit(p2).unwrap().is_denied());
+        assert_eq!(e.spent(), spent_after_first);
+        assert_eq!(e.transcript().answered(), 1);
+        assert_eq!(e.transcript().denied(), 1);
+        assert!(e.transcript().is_valid(upper * 1.5));
+    }
+
+    #[test]
+    fn commit_refuses_a_loss_above_the_declared_worst_case() {
+        // The hard check that replaced the old (release-invisible)
+        // debug_assert: a mechanism reporting more loss than it declared
+        // must be refused at the charge point, spending nothing.
+        let record = || QueryRecord {
+            kind: "WCQ",
+            workload_size: 1,
+            alpha: 1.0,
+            beta: 0.1,
+        };
+        let mut e = engine(10.0);
+        let engine_id = e.id;
+        let rogue = |epsilon: f64| PendingCharge {
+            engine_id,
+            record: record(),
+            outcome: Some(PendingAnswer {
+                answer: QueryAnswer::Counts(vec![0.0]),
+                epsilon,
+                epsilon_upper: 0.1,
+                mechanism: "LM",
+            }),
+        };
+        match e.commit(rogue(0.5)) {
+            Err(EngineError::LossAboveWorstCase { epsilon, upper }) => {
+                assert_eq!(epsilon, 0.5);
+                assert_eq!(upper, 0.1);
+            }
+            other => panic!("overshoot must refuse, got {other:?}"),
+        }
+        // NaN is an overshoot too (the comparison is NaN-hostile).
+        assert!(matches!(
+            e.commit(rogue(f64::NAN)),
+            Err(EngineError::LossAboveWorstCase { .. })
+        ));
+        assert_eq!(e.spent(), 0.0, "a refused charge spends nothing");
+        assert!(e.transcript().is_empty());
+    }
+
+    #[test]
+    fn commit_refuses_a_pending_from_another_engine() {
+        // The pending's answer was computed over engine A's data;
+        // committing it on engine B would charge B's ledger for A's
+        // data release. Provenance is stamped at evaluate time and
+        // checked at the commit point.
+        let acc = AccuracySpec::new(30.0, 0.01).unwrap();
+        let mut a = engine(10.0);
+        let mut b = engine(10.0);
+        let pending = a.evaluate(&histogram(8), &acc, f64::INFINITY).unwrap();
+        assert!(matches!(
+            b.commit(pending),
+            Err(EngineError::ForeignPendingCharge)
+        ));
+        assert_eq!(b.spent(), 0.0);
+        assert!(b.transcript().is_empty());
+        assert_eq!(
+            a.spent(),
+            0.0,
+            "the foreign commit charged nothing anywhere"
+        );
+    }
+
+    #[test]
+    fn evaluate_denial_commits_to_a_denied_response() {
+        let mut e = engine(1e-6);
+        let acc = AccuracySpec::new(30.0, 0.01).unwrap();
+        let pending = e.evaluate(&histogram(8), &acc, f64::INFINITY).unwrap();
+        assert!(pending.epsilon_upper().is_none(), "nothing fits");
+        assert!(e.commit(pending).unwrap().is_denied());
+        assert_eq!(e.spent(), 0.0);
+        assert_eq!(e.transcript().denied(), 1);
     }
 
     #[test]

@@ -23,6 +23,25 @@ pub enum EngineError {
     /// caller should surface this as "gone", not as a denial — a denial
     /// is a live session's budget verdict, this session no longer exists.
     SessionClosed,
+    /// A mechanism reported an actual privacy loss above the worst case
+    /// it declared at translation time. The analyzer admitted the query
+    /// on that worst case (Theorem 6.2 admits by `εᵘ`), so charging the
+    /// overshoot would breach the admission bound — the charge is
+    /// refused and **nothing is spent**. This is an internal mechanism
+    /// fault, never an analyst error, and callers should surface it as
+    /// a server-side failure.
+    LossAboveWorstCase {
+        /// The loss the mechanism reported after running.
+        epsilon: f64,
+        /// The worst case it declared at translation time.
+        upper: f64,
+    },
+    /// A pending charge was evaluated on a **different engine** than
+    /// the one asked to commit it. The speculative answer was computed
+    /// over that engine's data, so charging any other ledger would
+    /// debit one tenant's budget for another tenant's data release —
+    /// the commit is refused and nothing is charged anywhere.
+    ForeignPendingCharge,
     /// A persisted ledger could not be re-imposed on a fresh engine:
     /// either the engine already has history, or the recovered spend is
     /// not a valid loss under this budget. Recovering *more* spend than
@@ -61,6 +80,19 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::SessionClosed => {
                 write!(f, "session is closed (expired or administratively ended)")
+            }
+            EngineError::LossAboveWorstCase { epsilon, upper } => {
+                write!(
+                    f,
+                    "mechanism reported a loss of {epsilon} above its declared worst case \
+                     {upper}; the charge was refused"
+                )
+            }
+            EngineError::ForeignPendingCharge => {
+                write!(
+                    f,
+                    "pending charge was evaluated on a different engine; refusing to commit it here"
+                )
             }
             EngineError::InvalidLedgerImport { spent, budget } => {
                 write!(

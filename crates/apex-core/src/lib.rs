@@ -51,7 +51,10 @@ pub mod transcript;
 pub mod translator;
 
 pub use cache::TranslatorCache;
-pub use engine::{Answered, ApexEngine, EngineConfig, EngineResponse, LedgerExport, Mode};
+pub use engine::{
+    Answered, ApexEngine, CommitError, EngineConfig, EngineResponse, EvalContext, LedgerExport,
+    Mode, PendingCharge,
+};
 pub use error::EngineError;
 pub use shared::{EngineSession, SharedEngine};
 pub use transcript::{QueryRecord, Transcript, TranscriptEntry};

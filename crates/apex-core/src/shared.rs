@@ -3,8 +3,15 @@
 //! The privacy budget is a *shared* resource: when several analyst
 //! sessions explore the same dataset, their combined loss must stay under
 //! `B` (sequential composition holds regardless of interleaving). This
-//! wrapper serializes submissions through a [`parking_lot::Mutex`], so
-//! the admit-then-charge sequence in [`ApexEngine::submit`] is atomic.
+//! wrapper guards the ledger with a [`parking_lot::Mutex`], but the lock
+//! no longer spans mechanism runs: submissions are two-phase
+//! ([`SharedEngine::evaluate`] runs lock-free against an
+//! [`crate::EvalContext`] extracted under a brief lock;
+//! [`SharedEngine::commit`] takes the lock only to re-validate the worst
+//! case against the current ledger and charge). Concurrent analysts
+//! still cannot jointly overshoot `B` — a commit that loses the budget
+//! race is denied and charges nothing — while slow translations and
+//! mechanism runs proceed in parallel.
 
 use std::sync::Arc;
 
@@ -12,6 +19,7 @@ use apex_mech::CacheStats;
 use apex_query::{AccuracySpec, ExplorationQuery};
 use parking_lot::Mutex;
 
+use crate::engine::{CommitError, EvalContext, PendingCharge};
 use crate::{ApexEngine, EngineError, EngineResponse};
 
 /// A cloneable, thread-safe handle to one [`ApexEngine`].
@@ -28,8 +36,11 @@ impl SharedEngine {
         }
     }
 
-    /// Submits a query; the whole admit–run–charge sequence runs under
-    /// the lock, so concurrent analysts cannot jointly overshoot `B`.
+    /// Submits a query: a lock-free [`SharedEngine::evaluate`] followed
+    /// by an atomic [`SharedEngine::commit`]. The commit re-checks the
+    /// worst case against the then-current ledger, so concurrent
+    /// analysts cannot jointly overshoot `B` — the loser of a budget
+    /// race is denied at the commit point and charged nothing.
     ///
     /// # Errors
     /// Same contract as [`ApexEngine::submit`].
@@ -38,7 +49,34 @@ impl SharedEngine {
         query: &ExplorationQuery,
         accuracy: &AccuracySpec,
     ) -> Result<EngineResponse, EngineError> {
-        self.inner.lock().submit(query, accuracy)
+        let pending = self.evaluate(query, accuracy)?;
+        self.commit(pending)
+    }
+
+    /// The evaluate phase, lock-free: the engine lock is held only for
+    /// the `O(1)` [`ApexEngine::evaluation_context`] extraction; the
+    /// translation and mechanism run proceed unlocked, so any number of
+    /// analysts (and the ledger itself) stay unblocked behind a slow
+    /// query. No budget is charged.
+    ///
+    /// # Errors
+    /// Same contract as [`crate::EvalContext::evaluate`].
+    pub fn evaluate(
+        &self,
+        query: &ExplorationQuery,
+        accuracy: &AccuracySpec,
+    ) -> Result<PendingCharge, EngineError> {
+        let ctx: EvalContext = self.inner.lock().evaluation_context();
+        ctx.evaluate(query, accuracy, f64::INFINITY)
+    }
+
+    /// The commit phase, atomic under the engine lock — see
+    /// [`ApexEngine::commit`].
+    ///
+    /// # Errors
+    /// Same contract as [`ApexEngine::commit`].
+    pub fn commit(&self, pending: PendingCharge) -> Result<EngineResponse, EngineError> {
+        self.inner.lock().commit(pending)
     }
 
     /// Actual privacy loss spent so far.
@@ -147,6 +185,9 @@ impl EngineSession {
     /// Submits a query, admitting it only if its worst-case loss fits
     /// under both the session's remaining allowance and the engine's
     /// remaining budget. Denial (by either bound) charges nothing.
+    /// Implemented as [`EngineSession::evaluate`] +
+    /// [`EngineSession::commit`]: the mechanism runs with no lock held,
+    /// and both bounds are re-validated atomically at the commit point.
     ///
     /// # Errors
     /// Same contract as [`ApexEngine::submit`], plus
@@ -157,13 +198,75 @@ impl EngineSession {
         query: &ExplorationQuery,
         accuracy: &AccuracySpec,
     ) -> Result<EngineResponse, EngineError> {
+        let pending = self.evaluate(query, accuracy)?;
+        self.commit(pending)
+    }
+
+    /// The evaluate phase: chooses and runs the mechanism under
+    /// `min(slice remaining, engine remaining)` as observed now, holding
+    /// no lock during the run and charging nothing. The returned
+    /// [`PendingCharge`] must go through [`EngineSession::commit`] (or
+    /// be dropped, which also charges nothing).
+    ///
+    /// # Errors
+    /// Same contract as [`crate::EvalContext::evaluate`], plus
+    /// [`EngineError::SessionClosed`].
+    pub fn evaluate(
+        &self,
+        query: &ExplorationQuery,
+        accuracy: &AccuracySpec,
+    ) -> Result<PendingCharge, EngineError> {
+        let cap = {
+            let slice = self.slice.lock();
+            if slice.closed {
+                return Err(EngineError::SessionClosed);
+            }
+            (self.allowance - slice.spent).max(0.0)
+        };
+        let ctx: EvalContext = self.engine.inner.lock().evaluation_context();
+        ctx.evaluate(query, accuracy, cap)
+    }
+
+    /// The commit phase: under the session→engine locks, re-checks the
+    /// pending worst case against **both** current bounds (slice and
+    /// engine `B`), then charges the actual loss to both ledgers. A
+    /// failed re-check — another session moved either ledger between
+    /// evaluate and commit — denies and charges nothing.
+    ///
+    /// # Errors
+    /// Same contract as [`ApexEngine::commit`], plus
+    /// [`EngineError::SessionClosed`] when the session was closed
+    /// underneath the pending charge (the speculative result is
+    /// discarded; nothing is charged).
+    pub fn commit(&self, pending: PendingCharge) -> Result<EngineResponse, EngineError> {
+        self.commit_with::<std::convert::Infallible>(pending, |_| Ok(()))
+            .map_err(|e| match e {
+                CommitError::Engine(e) => e,
+                CommitError::Log(never) => match never {},
+            })
+    }
+
+    /// [`EngineSession::commit`] with a durability hook: `log` runs at
+    /// the commit point — after the decision, before any ledger
+    /// mutation, with the session→engine locks held — so a persistence
+    /// layer can append its write-ahead record atomically with the
+    /// charge. If `log` fails, **nothing is charged** on either ledger:
+    /// the charge is durable-or-nothing, no refund path needed.
+    ///
+    /// # Errors
+    /// See [`CommitError`]; every error leaves both ledgers untouched.
+    pub fn commit_with<E>(
+        &self,
+        pending: PendingCharge,
+        log: impl FnOnce(&EngineResponse) -> Result<(), E>,
+    ) -> Result<EngineResponse, CommitError<E>> {
         let mut slice = self.slice.lock();
         if slice.closed {
-            return Err(EngineError::SessionClosed);
+            return Err(CommitError::Engine(EngineError::SessionClosed));
         }
         let mut engine = self.engine.inner.lock();
         let cap = (self.allowance - slice.spent).max(0.0);
-        let response = engine.submit_capped(query, accuracy, cap)?;
+        let response = engine.commit_capped_with(pending, cap, log)?;
         if let EngineResponse::Answered(a) = &response {
             slice.spent += a.epsilon;
         }
@@ -357,6 +460,64 @@ mod tests {
         let over = shared.session_with_spent(0.3, 0.9);
         assert_eq!(over.spent(), 0.3);
         assert_eq!(over.remaining(), 0.0);
+    }
+
+    #[test]
+    fn session_commit_rechecks_the_slice_bound() {
+        let shared = SharedEngine::new(make_engine(10.0));
+        let acc = AccuracySpec::new(20.0, 0.01).unwrap();
+        // Learn the deterministic worst case through a throwaway probe
+        // (evaluation charges nothing, so the engine stays pristine).
+        let upper = shared
+            .session(10.0)
+            .evaluate(&query(), &acc)
+            .unwrap()
+            .epsilon_upper()
+            .unwrap();
+        assert_eq!(shared.spent(), 0.0);
+
+        // A slice that fits exactly one worst case: both evaluates pass
+        // (each sees the untouched slice), only one commit can win.
+        let sess = shared.session(upper * 1.5);
+        let p1 = sess.evaluate(&query(), &acc).unwrap();
+        let p2 = sess.evaluate(&query(), &acc).unwrap();
+        assert!(!sess.commit(p1).unwrap().is_denied());
+        assert!(
+            sess.commit(p2).unwrap().is_denied(),
+            "the slice bound must be re-validated at the commit point"
+        );
+        assert!(sess.spent() <= sess.allowance() + 1e-9);
+        assert!((sess.spent() - shared.spent()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closing_between_evaluate_and_commit_discards_the_charge() {
+        let shared = SharedEngine::new(make_engine(1.0));
+        let acc = AccuracySpec::new(20.0, 0.01).unwrap();
+        let sess = shared.session(0.5);
+        let pending = sess.evaluate(&query(), &acc).unwrap();
+        assert!(pending.epsilon_upper().is_some());
+        // A reaper/admin closes the session mid-flight…
+        assert!(sess.close().is_some());
+        // …so the commit observes the corpse and discards the result.
+        assert!(matches!(
+            sess.commit(pending),
+            Err(EngineError::SessionClosed)
+        ));
+        assert_eq!(sess.spent(), 0.0);
+        assert_eq!(shared.spent(), 0.0, "a discarded charge spends nothing");
+    }
+
+    #[test]
+    fn shared_engine_two_phase_matches_submit_semantics() {
+        let shared = SharedEngine::new(make_engine(2.0));
+        let acc = AccuracySpec::new(20.0, 0.01).unwrap();
+        let pending = shared.evaluate(&query(), &acc).unwrap();
+        assert_eq!(shared.spent(), 0.0);
+        let r = shared.commit(pending).unwrap();
+        let a = r.answered().expect("budget is ample");
+        assert!((shared.spent() - a.epsilon).abs() < 1e-12);
+        shared.with_engine(|e| assert_eq!(e.transcript().answered(), 1));
     }
 
     #[test]

@@ -40,14 +40,18 @@
 //!   drive the server with.
 //!
 //! Budget semantics under concurrency are documented in
-//! `docs/SERVICE.md`; the one-line summary: admission checks the
-//! session's slice **and** the engine's remaining `B` atomically under
-//! the engine lock, so no interleaving of sessions can overshoot either.
-//! Persistence semantics are there too; *that* one-line summary: every
-//! ack is preceded by a durable WAL record, so a kill-and-restart can
-//! only ever leave the recovered ledger **at or above** the sum of acked
-//! responses — never below (spent budget is the one thing the engine
-//! must never forget).
+//! `docs/SERVICE.md`; the one-line summary: submissions are two-phase —
+//! the mechanism *evaluates* speculatively with no lock held, and the
+//! *commit* re-validates the worst case against the session's slice
+//! **and** the engine's remaining `B` atomically before charging, so no
+//! interleaving of sessions can overshoot either (a commit that loses
+//! the race is denied and charges nothing). Persistence semantics are
+//! there too; *that* one-line summary: the WAL append happens at the
+//! commit point, before the charge and before the ack, so a
+//! kill-and-restart can only ever leave the recovered ledger **at or
+//! above** the sum of acked responses — never below (spent budget is
+//! the one thing the engine must never forget) — and a *failed* append
+//! charges nothing at all.
 
 pub mod client;
 pub mod clock;

@@ -136,6 +136,7 @@ fn main() {
             rows: args.rows.min(5_000),
             cache_cap: args.cache_cap,
             state_dir: args.state_dir.clone().map(Into::into),
+            ..selftest::SelfTestConfig::default()
         };
         println!(
             "self-test: {} server threads, {} sessions x {} submits, {} rows/dataset{}",
@@ -168,6 +169,13 @@ fn main() {
                 println!(
                     "  restart recovery: {} wal records replayed, ledgers re-verified",
                     report.recovery_replayed
+                );
+                println!(
+                    "  compaction pause: max {} ms across {} forced rotations while a {} ms \
+                     query was in flight",
+                    report.compaction_pause_millis,
+                    report.rotations_in_flight,
+                    report.slow_query_millis
                 );
             }
             Err(e) => {

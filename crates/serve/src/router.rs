@@ -189,6 +189,12 @@ fn submit(state: &ServerState, id: u64, req: &Request) -> Response {
         Ok(SubmitOutcome::NoSuchSession) => {
             Response::json(404, wire::error_json("no such session"))
         }
+        // A mechanism overshooting its declared worst case is an engine
+        // fault, not a client error — the charge was refused (nothing
+        // spent), and the client should see a server-side failure.
+        Err(SubmitError::Engine(e @ apex_core::EngineError::LossAboveWorstCase { .. })) => {
+            Response::json(500, wire::error_json(&e.to_string()))
+        }
         Err(SubmitError::Engine(e)) => Response::json(400, wire::error_json(&e.to_string())),
         Err(SubmitError::Wal(e)) => wal_failed(&e),
     }

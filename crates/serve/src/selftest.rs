@@ -27,12 +27,24 @@
 //! Sessions *oversubscribe* on purpose: each holds a slice of `B` large
 //! enough that the slices jointly exceed `B`, so both the per-session and
 //! the engine-wide admission bound are exercised.
+//!
+//! The run ends with the **compaction-pause scenario**: a deliberately
+//! slow query (a many-row prefix workload on the `wide` tenant, whose
+//! cold translator prepare takes hundreds of milliseconds) is put in
+//! flight, and WAL rotations are forced against it. Since the
+//! evaluate/charge split, the ledger gate's shared side covers only the
+//! commit+append pair, so a rotation must complete *while the query is
+//! still evaluating* — if none does, the gate is spanning mechanism runs
+//! again and the test fails.
 
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use apex_core::{EngineConfig, Mode};
 use apex_data::synth::{adult_dataset, nytaxi_dataset};
+use apex_data::{Attribute, Dataset, Domain, Schema, Value};
 
 use crate::client;
 use crate::json::Json;
@@ -57,6 +69,11 @@ pub struct SelfTestConfig {
     /// up) a fresh temp dir. Passing a dir that already holds state runs
     /// the gate in *recovered* mode on top of it.
     pub state_dir: Option<PathBuf>,
+    /// Workload rows of the slow query the compaction-pause scenario
+    /// holds in flight (more rows → slower cold translator prepare).
+    /// The default suits release builds; debug-mode tests pass a smaller
+    /// count.
+    pub slow_query_prefixes: usize,
 }
 
 impl Default for SelfTestConfig {
@@ -68,6 +85,7 @@ impl Default for SelfTestConfig {
             rows: 2_000,
             cache_cap: 64,
             state_dir: None,
+            slow_query_prefixes: 256,
         }
     }
 }
@@ -90,10 +108,29 @@ pub struct SelfTestReport {
     pub recovered_baseline: bool,
     /// WAL records the post-shutdown restart replayed.
     pub recovery_replayed: usize,
+    /// Longest forced WAL rotation observed while the slow query was in
+    /// flight (the compaction pause the evaluate/charge split bounds).
+    pub compaction_pause_millis: u64,
+    /// Wall time of the slow query the rotations raced against.
+    pub slow_query_millis: u64,
+    /// Forced rotations that completed while the slow query was still
+    /// evaluating (must be ≥ 1 when the query was genuinely slow).
+    pub rotations_in_flight: u32,
 }
 
 /// Per-dataset budget for the scripted workload.
 const BUDGET: f64 = 0.6;
+
+/// Budget of the `wide` tenant the compaction-pause scenario spends
+/// from — ample, so the slow query itself is admitted.
+const WIDE_BUDGET: f64 = 50.0;
+
+/// Domain size of the `wide` tenant; with [`WIDE_STEP`] it bounds the
+/// slow query at 512 prefix rows.
+const WIDE_DOMAIN: i64 = 8192;
+
+/// Prefix stride of the slow query's workload rows.
+const WIDE_STEP: usize = 16;
 
 fn query_for(dataset: &str, submit: usize) -> String {
     // Two structurally distinct workloads per dataset (so the cache holds
@@ -115,6 +152,41 @@ fn query_for(dataset: &str, submit: usize) -> String {
     }
 }
 
+/// The compaction-pause scenario's tenant: a wide-domain dataset whose
+/// prefix workloads compile to many cells, making the cold translator
+/// prepare slow on purpose (cost is data-independent — rows stay tiny).
+fn wide_dataset() -> Dataset {
+    let schema = Schema::new(vec![Attribute::new(
+        "v",
+        Domain::IntRange {
+            min: 0,
+            max: WIDE_DOMAIN - 1,
+        },
+    )])
+    .expect("static schema is valid");
+    let mut d = Dataset::empty(schema);
+    for i in 0..64 {
+        d.push(vec![Value::Int(i * (WIDE_DOMAIN / 64))])
+            .expect("value in domain");
+    }
+    d
+}
+
+/// The slow query: `prefixes` nested ranges over the wide domain. Every
+/// range boundary is a fresh partition cell, so the strategy-mechanism
+/// translation Monte-Carlo simulates over ~`prefixes` cells × the full
+/// sample count — hundreds of milliseconds cold, by design.
+fn slow_wide_query(prefixes: usize) -> String {
+    let p = prefixes.clamp(2, WIDE_DOMAIN as usize / WIDE_STEP);
+    let preds: Vec<String> = (1..=p)
+        .map(|i| format!("v IN [0, {})", i * WIDE_STEP))
+        .collect();
+    format!(
+        "BIN wide ON COUNT(*) WHERE W = {{ {} }} ERROR 200 CONFIDENCE 0.99;",
+        preds.join(", ")
+    )
+}
+
 fn build_state(cfg: &SelfTestConfig) -> ServerStateBuilder {
     ServerState::builder(cfg.cache_cap)
         .dataset(
@@ -133,6 +205,15 @@ fn build_state(cfg: &SelfTestConfig) -> ServerStateBuilder {
                 budget: BUDGET,
                 mode: Mode::Pessimistic,
                 seed: 0x5E1F_0002,
+            },
+        )
+        .dataset(
+            "wide",
+            wide_dataset(),
+            EngineConfig {
+                budget: WIDE_BUDGET,
+                mode: Mode::Pessimistic,
+                seed: 0x5E1F_0003,
             },
         )
 }
@@ -288,6 +369,33 @@ fn run_in_dir(cfg: &SelfTestConfig, dir: &PathBuf) -> Result<SelfTestReport, Str
         report.budgets.push((name.to_string(), spent, budget));
     }
 
+    // The compaction-pause scenario: force WAL rotations against a slow
+    // in-flight query — rotation must not wait on the evaluate phase.
+    let probe = compaction_pause_scenario(&state, addr, cfg.slow_query_prefixes)?;
+    report.compaction_pause_millis = probe.pause_millis;
+    report.slow_query_millis = probe.query_millis;
+    report.rotations_in_flight = probe.rotations_in_flight;
+    // The scenario spent on the wide tenant after the stats snapshot
+    // above; record its ledger now so the restart leg verifies it too.
+    report.budgets.push((
+        "wide".to_string(),
+        state.tenant("wide").expect("registered").engine.spent(),
+        WIDE_BUDGET,
+    ));
+    // The forced rotations may have folded every record this run
+    // appended into the snapshot; open one more (budget-neutral)
+    // session so the restart leg always has WAL to replay — keeping the
+    // `recovery_replayed > 0` check meaningful on every machine speed.
+    let (status, _) = client::request(
+        addr,
+        "POST",
+        "/v1/sessions",
+        Some("{\"dataset\":\"wide\",\"budget\":0.001}"),
+    )?;
+    if status != 201 {
+        return Err(format!("post-scenario session creation returned {status}"));
+    }
+
     // Graceful shutdown through the API; join must then return.
     let (status, _) = client::request(addr, "POST", "/v1/admin/shutdown", Some("{}"))?;
     if status != 202 {
@@ -322,6 +430,100 @@ fn run_in_dir(cfg: &SelfTestConfig, dir: &PathBuf) -> Result<SelfTestReport, Str
         ));
     }
     Ok(report)
+}
+
+/// What the compaction-pause scenario measured.
+struct PauseProbe {
+    pause_millis: u64,
+    query_millis: u64,
+    rotations_in_flight: u32,
+}
+
+/// Puts one slow (cold-translator) query in flight on the `wide` tenant
+/// and forces WAL rotations against it, timing each. Fails when the
+/// query was genuinely slow yet no rotation completed while it was
+/// evaluating — that means the ledger gate is back to spanning whole
+/// mechanism runs instead of just the commit+append pair.
+fn compaction_pause_scenario(
+    state: &Arc<ServerState>,
+    addr: std::net::SocketAddr,
+    prefixes: usize,
+) -> Result<PauseProbe, String> {
+    let body = format!("{{\"dataset\":\"wide\",\"budget\":{WIDE_BUDGET}}}");
+    let (status, created) = client::request(addr, "POST", "/v1/sessions", Some(&body))?;
+    if status != 201 {
+        return Err(format!("wide session creation returned {status}"));
+    }
+    let id = created
+        .get("session")
+        .and_then(Json::as_u64)
+        .ok_or("wide session id missing")?;
+
+    let done = AtomicBool::new(false);
+    let t0 = Instant::now();
+    let (query_status, query_millis, pauses) = std::thread::scope(|scope| {
+        let done = &done;
+        let slow = scope.spawn(move || {
+            let body = format!(
+                "{{\"query\":{}}}",
+                Json::from(slow_wide_query(prefixes)).render()
+            );
+            let resp = client::request(
+                addr,
+                "POST",
+                &format!("/v1/sessions/{id}/query"),
+                Some(&body),
+            );
+            let elapsed = t0.elapsed();
+            done.store(true, Ordering::SeqCst);
+            (resp, elapsed)
+        });
+        // Let the evaluate get in flight, then rotate until the query
+        // lands; `true` marks rotations that finished mid-evaluate.
+        std::thread::sleep(Duration::from_millis(30));
+        let mut pauses: Vec<(Duration, bool)> = Vec::new();
+        while !done.load(Ordering::SeqCst) && pauses.len() < 1_000 {
+            let c0 = Instant::now();
+            let rotated = state.compact();
+            let dt = c0.elapsed();
+            let in_flight = !done.load(Ordering::SeqCst);
+            if let Err(e) = rotated {
+                return Err(format!("forced compaction failed mid-scenario: {e}"));
+            }
+            pauses.push((dt, in_flight));
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let (resp, elapsed) = slow
+            .join()
+            .map_err(|_| "slow-query client panicked".to_string())?;
+        let (status, _) = resp?;
+        Ok((status, elapsed, pauses))
+    })?;
+    if query_status != 200 && query_status != 409 {
+        return Err(format!(
+            "PROTOCOL VIOLATION: slow query returned {query_status}"
+        ));
+    }
+    let rotations_in_flight = pauses.iter().filter(|(_, in_flight)| *in_flight).count() as u32;
+    let pause_millis = pauses
+        .iter()
+        .map(|(d, _)| d.as_millis() as u64)
+        .max()
+        .unwrap_or(0);
+    let query_millis = query_millis.as_millis() as u64;
+    // Conclusive only when the query was actually slow: on a fast warm
+    // machine it can land before the first forced rotation gets in.
+    if query_millis >= 250 && rotations_in_flight == 0 {
+        return Err(format!(
+            "COMPACTION STALL: no WAL rotation completed during a {query_millis} ms in-flight \
+             query — the ledger gate is spanning mechanism runs again"
+        ));
+    }
+    Ok(PauseProbe {
+        pause_millis,
+        query_millis,
+        rotations_in_flight,
+    })
 }
 
 /// One analyst: open a session, submit `submits` queries, watch budgets.
@@ -421,6 +623,9 @@ mod tests {
             rows: 400,
             cache_cap: 16,
             state_dir: None,
+            // Debug builds are ~15× slower; a modest workload still puts
+            // a few-hundred-ms evaluate in flight for the pause scenario.
+            slow_query_prefixes: 64,
         })
         .expect("self-test must pass");
         assert!(report.answered > 0);
@@ -431,9 +636,17 @@ mod tests {
             report.recovery_replayed > 0,
             "the restart leg must replay this run's WAL"
         );
+        assert!(
+            report.slow_query_millis > 0,
+            "the compaction-pause scenario must have run"
+        );
         for (name, spent, budget) in &report.budgets {
             assert!(spent <= &(budget + 1e-9), "{name}: {spent} > {budget}");
         }
+        assert!(
+            report.budgets.iter().any(|(n, _, _)| n == "wide"),
+            "the wide tenant's ledger must be restart-verified too"
+        );
     }
 
     #[test]
@@ -455,6 +668,7 @@ mod tests {
             rows: 300,
             cache_cap: 16,
             state_dir: Some(dir.clone()),
+            slow_query_prefixes: 64,
         };
         let first = run(cfg()).expect("fresh pass must hold");
         assert!(!first.recovered_baseline);

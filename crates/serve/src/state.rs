@@ -25,20 +25,37 @@
 //! snapshot ([`crate::snapshot`]). Recovery replays WAL-over-snapshot:
 //! a restart re-imposes spent budget on fresh engines
 //! ([`SharedEngine::import_ledger`]) and re-opens live sessions
-//! mid-slice. The *ledger gate* (an outermost `RwLock`) makes each
-//! charge-then-append pair atomic with respect to compaction, so a
-//! snapshot can never split an event between itself and the next WAL
-//! generation (which would double-count on replay).
+//! mid-slice.
+//!
+//! Submissions are **two-phase** ([`EngineSession::evaluate`] +
+//! [`EngineSession::commit_with`]): the mechanism evaluates with *no*
+//! gate or engine lock held, and the *ledger gate* (an outermost
+//! `RwLock`, shared side) covers only the commit point — admission
+//! re-check, WAL append, charge — so compaction (exclusive side) drains
+//! in microseconds instead of waiting out the slowest in-flight query,
+//! and a snapshot still can never split an event between itself and the
+//! next WAL generation (which would double-count on replay). At the
+//! commit point the append happens **before** the charge: a failed
+//! append leaves both ledgers untouched (durable-or-nothing — in-memory
+//! `spent` can never run ahead of what recovery will reconstruct), and a
+//! crash between append and charge recovers a charge nobody was acked,
+//! the safe direction.
 //!
 //! ## TTLs
 //!
 //! Sessions carry a last-activity tick from an injectable [`Clock`];
 //! [`ServerState::reap_expired`] (driven by [`start_reaper`] in
 //! production, or called directly in tests) closes sessions idle past
-//! the TTL. Closing releases the **unspent remainder of the slice
-//! exactly once** back to the tenant's grant pool (visible as
-//! `reclaimed` in `/v1/stats`), and the session id keeps answering `410
-//! Gone` — distinct from 404 — for the rest of the server's life.
+//! the TTL. In-flight submissions **pin** their session: the reaper
+//! skips a pinned session however stale its tick, and the tick is
+//! re-stamped when the submission completes — a query slower than the
+//! TTL can never have its session reaped underneath it (an *admin*
+//! expiry is still forceful; the in-flight commit then observes the
+//! close and denies without charging). Closing releases the **unspent
+//! remainder of the slice exactly once** back to the tenant's grant
+//! pool (visible as `reclaimed` in `/v1/stats`), and the session id
+//! keeps answering `410 Gone` — distinct from 404 — for the rest of the
+//! server's life.
 
 use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
@@ -47,8 +64,8 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
 use apex_core::{
-    ApexEngine, EngineConfig, EngineError, EngineResponse, EngineSession, SharedEngine,
-    TranslatorCache,
+    ApexEngine, CommitError, EngineConfig, EngineError, EngineResponse, EngineSession,
+    SharedEngine, TranslatorCache,
 };
 use apex_data::Dataset;
 use apex_query::{AccuracySpec, ExplorationQuery};
@@ -86,7 +103,34 @@ pub struct SessionEntry {
     pub session: EngineSession,
     /// Clock tick of the last submission (TTL idleness is measured from
     /// here; budget probes deliberately do not keep a session alive).
-    last_active: AtomicU64,
+    /// `Arc` so an [`InFlightGuard`] can re-stamp it at completion
+    /// without re-resolving the (possibly already reaped) map entry.
+    last_active: Arc<AtomicU64>,
+    /// Number of submissions currently in flight. While nonzero the
+    /// reaper will not expire the session — `last_active` is stamped on
+    /// *entry*, so without the pin a query slower than the TTL would
+    /// have its session closed underneath it.
+    in_flight: Arc<AtomicU64>,
+}
+
+/// Pins one in-flight submission (see [`SessionEntry::in_flight`]).
+/// However the submission exits — answer, denial, error, panic — the
+/// drop re-stamps the idle clock *then* releases the pin, in that
+/// order, so the reaper can never observe an unpinned session with a
+/// stale tick from before the query ran.
+#[derive(Debug)]
+struct InFlightGuard {
+    clock: Arc<dyn Clock>,
+    last_active: Arc<AtomicU64>,
+    in_flight: Arc<AtomicU64>,
+}
+
+impl Drop for InFlightGuard {
+    fn drop(&mut self) {
+        self.last_active
+            .store(self.clock.now_millis(), Ordering::SeqCst);
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// Why a session id did not resolve to a live session.
@@ -116,8 +160,11 @@ pub enum SubmitOutcome {
 pub enum SubmitError {
     /// The engine rejected the query (malformed workload, …): `400`.
     Engine(EngineError),
-    /// The write-ahead append failed — the charge is *not* acked (it
-    /// will be folded into the next snapshot, never lost): `500`.
+    /// The write-ahead append failed at the commit point — the charge
+    /// was **neither acked nor applied**: the append runs before the
+    /// ledger mutation, so a refused record leaves memory and disk
+    /// agreeing that nothing happened (in-memory `spent` can never run
+    /// ahead of what recovery reconstructs): `500`.
     Wal(std::io::Error),
 }
 
@@ -397,6 +444,10 @@ struct Persist {
     /// directory.
     _lock: DirLock,
     inner: Mutex<PersistInner>,
+    /// Fault injection for tests: the next N appends fail with an I/O
+    /// error, exercising the durable-or-nothing commit contract.
+    #[cfg(test)]
+    fail_appends: AtomicU64,
 }
 
 /// Everything the request handlers share.
@@ -498,7 +549,8 @@ impl ServerState {
         let entry = SessionEntry {
             dataset: dataset.to_string(),
             session: tenant.engine.session(allowance),
-            last_active: AtomicU64::new(self.clock.now_millis()),
+            last_active: Arc::new(AtomicU64::new(self.clock.now_millis())),
+            in_flight: Arc::new(AtomicU64::new(0)),
         };
         self.sessions
             .write()
@@ -509,58 +561,82 @@ impl ServerState {
         Ok(Some(id))
     }
 
-    /// Submits a query through session `id`: resolves the session,
-    /// refreshes its activity tick, runs the engine, and (with
-    /// persistence) WAL-logs the outcome **before returning** — the
-    /// router must not ack an unlogged charge.
+    /// Submits a query through session `id`, two-phase: resolves and
+    /// **pins** the session (the reaper skips pinned sessions), runs the
+    /// evaluate phase with *no* ledger gate or engine lock held — slow
+    /// translations and mechanism runs proceed concurrently with other
+    /// sessions and with compaction — then commits under the shared side
+    /// of the ledger gate, where the WAL append and the charge form one
+    /// atomic step (append first: a refused append charges nothing). The
+    /// router must not ack an unlogged charge, and with this ordering it
+    /// cannot: the response only exists if its record was appended.
     ///
     /// # Errors
-    /// [`SubmitError::Engine`] for malformed queries,
-    /// [`SubmitError::Wal`] when the write-ahead append failed.
+    /// [`SubmitError::Engine`] for malformed queries or mechanism
+    /// faults, [`SubmitError::Wal`] when the write-ahead append failed
+    /// (nothing was charged).
     pub fn submit(
         &self,
         id: u64,
         query: &ExplorationQuery,
         accuracy: &AccuracySpec,
     ) -> Result<SubmitOutcome, SubmitError> {
-        let session = {
-            let sessions = self.sessions.read().expect("no poisoning");
-            match sessions.get(&id) {
-                Some(entry) => {
-                    entry
-                        .last_active
-                        .store(self.clock.now_millis(), Ordering::Relaxed);
-                    entry.session.clone()
-                }
-                None => {
-                    drop(sessions);
-                    return Ok(match self.session_status(id) {
-                        SessionStatus::Expired => SubmitOutcome::Gone,
-                        _ => SubmitOutcome::NoSuchSession,
-                    });
-                }
-            }
+        let Some((session, _pin)) = self.pin_session(id) else {
+            return Ok(match self.session_status(id) {
+                SessionStatus::Expired => SubmitOutcome::Gone,
+                _ => SubmitOutcome::NoSuchSession,
+            });
         };
-        // Charge and append under the shared side of the ledger gate, so
-        // compaction (exclusive side) cannot snapshot the charge while
-        // pushing its WAL record into the next generation.
-        let _gate = self.ledger_gate.read().expect("no poisoning");
-        let response = match session.submit(query, accuracy) {
-            Ok(r) => r,
+        // EVALUATE: data-independent speculation, no gate held.
+        let pending = match session.evaluate(query, accuracy) {
+            Ok(p) => p,
             Err(EngineError::SessionClosed) => return Ok(SubmitOutcome::Gone),
             Err(e) => return Err(SubmitError::Engine(e)),
         };
-        let record = match &response {
-            EngineResponse::Answered(a) => WalRecord::Debit {
-                session: id,
-                epsilon: a.epsilon,
-            },
-            EngineResponse::Denied => WalRecord::Deny { session: id },
+        // COMMIT: the shared side of the ledger gate covers exactly the
+        // re-check + append + charge, so compaction (exclusive side)
+        // cannot snapshot a charge while pushing its WAL record into the
+        // next generation — and never waits on an in-flight evaluate.
+        let _gate = self.ledger_gate.read().expect("no poisoning");
+        let response = match session.commit_with(pending, |response| {
+            self.log(match response {
+                EngineResponse::Answered(a) => WalRecord::Debit {
+                    session: id,
+                    epsilon: a.epsilon,
+                },
+                EngineResponse::Denied => WalRecord::Deny { session: id },
+            })
+        }) {
+            Ok(r) => r,
+            Err(CommitError::Engine(EngineError::SessionClosed)) => return Ok(SubmitOutcome::Gone),
+            Err(CommitError::Engine(e)) => return Err(SubmitError::Engine(e)),
+            Err(CommitError::Log(e)) => return Err(SubmitError::Wal(e)),
         };
-        self.log(record).map_err(SubmitError::Wal)?;
         drop(_gate);
+        drop(_pin);
         self.maybe_compact();
         Ok(SubmitOutcome::Response(response))
+    }
+
+    /// Resolves a live session and pins it in-flight: stamps the
+    /// activity tick on entry, and the returned guard re-stamps it and
+    /// releases the pin when the submission completes. `None` for ids
+    /// that are not live.
+    fn pin_session(&self, id: u64) -> Option<(EngineSession, InFlightGuard)> {
+        let sessions = self.sessions.read().expect("no poisoning");
+        let entry = sessions.get(&id)?;
+        entry.in_flight.fetch_add(1, Ordering::SeqCst);
+        entry
+            .last_active
+            .store(self.clock.now_millis(), Ordering::SeqCst);
+        Some((
+            entry.session.clone(),
+            InFlightGuard {
+                clock: self.clock.clone(),
+                last_active: entry.last_active.clone(),
+                in_flight: entry.in_flight.clone(),
+            },
+        ))
     }
 
     /// Whether `id` is live, expired (gone), or never issued.
@@ -638,13 +714,28 @@ impl ServerState {
     /// The WAL append failing (the close itself already happened; it
     /// will be folded into the next snapshot).
     pub fn expire_session(&self, id: u64) -> Result<Option<f64>, std::io::Error> {
+        self.expire_session_if(id, |_| true)
+    }
+
+    /// [`ServerState::expire_session`] gated by `still_expired`, checked
+    /// under the sessions **write** lock immediately before removal.
+    /// This closes the reaper's scan-to-removal race: a submission that
+    /// pins the session (or re-stamps its tick) after the reaper's
+    /// candidate scan is observed here, and the removal is abandoned —
+    /// pinning takes effect under the read lock, which cannot overlap
+    /// this write-locked re-check.
+    fn expire_session_if(
+        &self,
+        id: u64,
+        still_expired: impl FnOnce(&SessionEntry) -> bool,
+    ) -> Result<Option<f64>, std::io::Error> {
         let _gate = self.ledger_gate.read().expect("no poisoning");
         let entry = {
             let mut sessions = self.sessions.write().expect("no poisoning");
-            let Some(entry) = sessions.remove(&id) else {
-                return Ok(None);
-            };
-            entry
+            match sessions.get(&id) {
+                Some(entry) if still_expired(entry) => sessions.remove(&id).expect("checked above"),
+                _ => return Ok(None),
+            }
         };
         // Exactly-once by construction: only the thread that removed the
         // entry reaches this close, and close() itself is idempotent.
@@ -662,7 +753,11 @@ impl ServerState {
     }
 
     /// Expires every session idle past the TTL (no-op without one).
-    /// Returns the `(id, released)` pairs.
+    /// Sessions with a submission in flight are **never** reaped,
+    /// however stale their tick — the pin is checked before idleness,
+    /// and completion re-stamps the tick before unpinning, so a query
+    /// slower than the TTL keeps its session alive throughout. Returns
+    /// the `(id, released)` pairs.
     ///
     /// # Errors
     /// The first WAL append failure (later sessions stay live for the
@@ -677,12 +772,23 @@ impl ServerState {
             .read()
             .expect("no poisoning")
             .iter()
-            .filter(|(_, e)| now.saturating_sub(e.last_active.load(Ordering::Relaxed)) > ttl)
+            .filter(|(_, e)| {
+                e.in_flight.load(Ordering::SeqCst) == 0
+                    && now.saturating_sub(e.last_active.load(Ordering::SeqCst)) > ttl
+            })
             .map(|(&id, _)| id)
             .collect();
         let mut reaped = Vec::new();
         for id in idle {
-            if let Some(released) = self.expire_session(id)? {
+            // Re-verify pin + staleness under the write lock at the
+            // removal point: a submission may have pinned (or finished
+            // and re-stamped) this session since the scan above, and a
+            // live query must never lose its session to the reaper.
+            let released = self.expire_session_if(id, |e| {
+                e.in_flight.load(Ordering::SeqCst) == 0
+                    && now.saturating_sub(e.last_active.load(Ordering::SeqCst)) > ttl
+            })?;
+            if let Some(released) = released {
                 reaped.push((id, released));
             }
         }
@@ -697,6 +803,13 @@ impl ServerState {
         let Some(p) = &self.persist else {
             return Ok(());
         };
+        #[cfg(test)]
+        if p.fail_appends
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok()
+        {
+            return Err(std::io::Error::other("injected WAL append fault"));
+        }
         let mut inner = p.inner.lock().expect("no poisoning");
         match record {
             WalRecord::Deny { .. } => inner.writer.append_relaxed(&record)?,
@@ -760,6 +873,16 @@ impl ServerState {
         drop(_gate);
         snapshot::prune_wals(&p.dir, new_gen - 1);
         Ok(())
+    }
+
+    /// Makes the next `n` WAL appends fail with an injected I/O error
+    /// (no-op without persistence) — the fault half of the
+    /// durable-or-nothing commit tests.
+    #[cfg(test)]
+    fn inject_wal_faults(&self, n: u64) {
+        if let Some(p) = &self.persist {
+            p.fail_appends.store(n, Ordering::SeqCst);
+        }
     }
 
     /// The current state as a snapshot covering WAL generations
@@ -1040,7 +1163,8 @@ impl ServerStateBuilder {
                 SessionEntry {
                     dataset: img.dataset,
                     session: tenant.engine.session_with_spent(img.allowance, img.spent),
-                    last_active: AtomicU64::new(now),
+                    last_active: Arc::new(AtomicU64::new(now)),
+                    in_flight: Arc::new(AtomicU64::new(0)),
                 },
             );
         }
@@ -1075,6 +1199,8 @@ impl ServerStateBuilder {
                     gen: new_gen,
                     records_since_snapshot: 0,
                 }),
+                #[cfg(test)]
+                fail_appends: AtomicU64::new(0),
             }),
             ledger_gate: RwLock::new(()),
         };
@@ -1250,6 +1376,96 @@ mod tests {
         }
         clock.advance(51);
         assert_eq!(state.reap_expired().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn in_flight_sessions_are_never_reaped() {
+        let clock = ManualClock::new();
+        let state = ServerState::builder(8)
+            .dataset("a", tiny_dataset(), EngineConfig::default())
+            .clock(Arc::new(clock.clone()))
+            .session_ttl(Duration::from_millis(100))
+            .build();
+        let id = state.create_session("a", 0.5).unwrap().unwrap();
+        // Pin the session exactly as submit does for its in-flight span.
+        let (_session, pin) = state.pin_session(id).expect("session is live");
+        // Way past the TTL: an unpinned session would be reaped, the
+        // pinned one must survive (the mid-flight-expiry bug).
+        clock.advance(1_000);
+        assert!(
+            state.reap_expired().unwrap().is_empty(),
+            "a session with a query in flight must never be reaped"
+        );
+        assert_eq!(state.session_status(id), SessionStatus::Live);
+        // Completion re-stamps the idle clock before unpinning…
+        drop(pin);
+        assert!(
+            state.reap_expired().unwrap().is_empty(),
+            "the completion re-stamp must reset idleness"
+        );
+        // …and only genuine idleness after completion expires it.
+        clock.advance(101);
+        assert_eq!(state.reap_expired().unwrap().len(), 1);
+        assert_eq!(state.session_status(id), SessionStatus::Expired);
+    }
+
+    #[test]
+    fn failed_wal_append_charges_nothing_and_recovery_agrees() {
+        let dir = temp_dir("walfault");
+        let acc = AccuracySpec::new(25.0, 0.05).unwrap();
+        let mk = || ServerState::builder(8).dataset("a", tiny_dataset(), EngineConfig::default());
+        let opts = || PersistOptions {
+            sync: false,
+            ..PersistOptions::new(&dir)
+        };
+        let spent_final = {
+            let (state, _) = mk().build_recovered(opts()).unwrap();
+            let id = state.create_session("a", 0.9).unwrap().unwrap();
+            state.submit(id, &histogram(), &acc).unwrap();
+            let spent = state.tenant("a").unwrap().engine.spent();
+            let answered = state.tenant("a").unwrap().engine.export_ledger().answered;
+            assert!(spent > 0.0);
+
+            // Injected append failure at the commit point: the charge
+            // must be durable-or-nothing — neither the engine ledger,
+            // nor the slice, nor the transcript may move.
+            state.inject_wal_faults(1);
+            match state.submit(id, &histogram(), &acc) {
+                Err(SubmitError::Wal(_)) => {}
+                other => panic!("injected fault must surface as a WAL error, got {other:?}"),
+            }
+            let tenant = state.tenant("a").unwrap();
+            assert_eq!(
+                tenant.engine.spent(),
+                spent,
+                "engine charged on a failed append"
+            );
+            assert_eq!(
+                state.with_session(id, |s| s.session.spent()).unwrap(),
+                spent,
+                "slice charged on a failed append"
+            );
+            assert_eq!(tenant.engine.export_ledger().answered, answered);
+
+            // The writer healed: the session keeps answering.
+            match state.submit(id, &histogram(), &acc).unwrap() {
+                SubmitOutcome::Response(r) => assert!(!r.is_denied()),
+                other => panic!("unexpected: {other:?}"),
+            }
+            state.tenant("a").unwrap().engine.spent()
+            // Dropped without compaction: recovery replays the WAL.
+        };
+
+        // On restart the recovered ledger equals the in-memory one
+        // exactly — before the fix, a failed append left in-memory spent
+        // above durable spent, silently refilling B across a restart.
+        let (state, _) = mk().build_recovered(opts()).unwrap();
+        let recovered = state.tenant("a").unwrap().engine.spent();
+        assert!(
+            (recovered - spent_final).abs() < 1e-9,
+            "recovered {recovered} diverged from acked {spent_final}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

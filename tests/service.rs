@@ -11,7 +11,9 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
-use apex_core::{ApexEngine, EngineConfig, EngineSession, Mode, SharedEngine, TranslatorCache};
+use apex_core::{
+    ApexEngine, EngineConfig, EngineSession, Mode, PendingCharge, SharedEngine, TranslatorCache,
+};
 use apex_data::{Attribute, Dataset, Domain, Predicate, Schema, Value};
 use apex_query::{AccuracySpec, ExplorationQuery};
 use apex_serve::state::{start_reaper, PersistOptions, SubmitOutcome};
@@ -147,9 +149,92 @@ fn concurrent_cache_warms_are_verify_on_hit_consistent() {
     assert!(cache.stats().hits >= 1, "{:?}", cache.stats());
 }
 
+/// HISTEX-style interleaving (PAPERS.md): drive a concurrent *history*
+/// against the two-phase protocol and check the outcome contract. N
+/// sessions evaluate concurrently against the untouched ledger — all
+/// fit, nothing is charged — then the commits race; the budget fits
+/// exactly one worst case, so exactly one commit wins and every loser
+/// is denied **at the commit point**, with `spent ≤ B` throughout and
+/// the ledger balancing the slices exactly.
+#[test]
+fn concurrent_evaluates_racing_one_commit_deny_losers() {
+    let acc = AccuracySpec::new(60.0, 0.01).unwrap();
+    let q = histogram(16, 8);
+    let mk = |budget: f64| {
+        SharedEngine::new(ApexEngine::new(
+            dataset(16, 8),
+            EngineConfig {
+                budget,
+                mode: Mode::Pessimistic,
+                seed: 31,
+            },
+        ))
+    };
+    // Learn the (deterministic, data-independent) worst case, then size
+    // B to fit exactly one of them.
+    let upper = mk(100.0)
+        .evaluate(&q, &acc)
+        .unwrap()
+        .epsilon_upper()
+        .unwrap();
+    let b = upper * 1.5;
+    let engine = mk(b);
+    let sessions: Vec<EngineSession> = (0..6).map(|_| engine.session(upper * 2.0)).collect();
+
+    // Phase 1: six concurrent evaluates, all against the full budget.
+    let pendings: Vec<PendingCharge> = std::thread::scope(|s| {
+        let handles: Vec<_> = sessions
+            .iter()
+            .map(|sess| {
+                let q = q.clone();
+                s.spawn(move || sess.evaluate(&q, &acc).unwrap())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for p in &pendings {
+        assert!(
+            p.epsilon_upper().is_some(),
+            "every evaluate fits the untouched ledger"
+        );
+    }
+    assert_eq!(engine.spent(), 0.0, "speculation must charge nothing");
+
+    // Phase 2: the commits race from six threads. Whoever linearizes
+    // first exhausts the budget; every later commit must re-check and
+    // deny. `spent ≤ B` is asserted mid-race from every thread.
+    let denials: Vec<bool> = std::thread::scope(|s| {
+        let engine = &engine;
+        let handles: Vec<_> = sessions
+            .iter()
+            .zip(pendings)
+            .map(|(sess, pending)| {
+                s.spawn(move || {
+                    let denied = sess.commit(pending).unwrap().is_denied();
+                    assert!(engine.spent() <= b + 1e-9, "overshoot mid-race");
+                    denied
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let answered = denials.iter().filter(|d| !**d).count();
+    assert_eq!(answered, 1, "B fits exactly one worst case");
+    assert_eq!(denials.len() - answered, 5, "losers deny at commit");
+    assert!(engine.spent() <= b + 1e-9, "spent {}", engine.spent());
+    let joint: f64 = sessions.iter().map(EngineSession::spent).sum();
+    assert!((joint - engine.spent()).abs() < 1e-9, "ledger must balance");
+    engine.with_engine(|e| {
+        assert!(e.transcript().is_valid(b));
+        assert_eq!(e.transcript().len(), 6, "every commit leaves a trace");
+    });
+}
+
 /// The server loop end to end, via the same plumbing `--self-test`
 /// drives in CI: concurrent sessions over real sockets, budget
-/// conservation, protocol discipline, cross-session cache hits.
+/// conservation, protocol discipline, cross-session cache hits — and
+/// the compaction-pause scenario (forced WAL rotations must complete
+/// while a slow query is still evaluating).
 #[test]
 fn http_self_test_passes() {
     let report = apex_serve::run_self_test(apex_serve::SelfTestConfig {
@@ -159,6 +244,7 @@ fn http_self_test_passes() {
         rows: 500,
         cache_cap: 32,
         state_dir: None,
+        slow_query_prefixes: 64,
     })
     .expect("self-test invariants must hold");
     assert!(report.answered > 0);
