@@ -46,6 +46,8 @@
 pub mod cache;
 pub mod engine;
 pub mod error;
+pub mod selector;
+mod selector_table;
 pub mod shared;
 pub mod transcript;
 pub mod translator;
@@ -56,6 +58,7 @@ pub use engine::{
     Mode, PendingCharge,
 };
 pub use error::EngineError;
+pub use selector::OperatorSelector;
 pub use shared::{EngineSession, SharedEngine};
 pub use transcript::{QueryRecord, Transcript, TranscriptEntry};
 pub use translator::{

@@ -1,0 +1,194 @@
+//! Measured auto-selection of the translator prepare path.
+//!
+//! Three pipelines can build a workload's [`apex_mech::SmArtifacts`]
+//! (see [`OperatorPath`]), and none dominates everywhere: the dense
+//! `O(n³)` pipeline wins on tiny domains where setup costs dwarf the
+//! cubic term, the blocked multi-RHS operator pipeline wins as the domain
+//! grows, and the single-RHS operator loop sits in between (it exists
+//! mostly as the bit-identity reference, but remains selectable). Rather
+//! than hard-coding a crossover, the `mc_translate` benchmark measures all
+//! three per domain size and emits [`crate::selector_table`] — a generated
+//! file checked into the repo — and [`OperatorSelector`] just reads it:
+//! nearest measured domain size in log-space, then the fastest measured
+//! path at that size.
+//!
+//! Ranking by medians measured at one sample count is sound because all
+//! three paths are linear in the Monte-Carlo sample count at fixed `n`
+//! (the prepare is `samples × (per-sample pipeline)` plus an
+//! `n`-dependent setup shared per path), so the per-path ordering at the
+//! benched sample count carries over to other sample counts.
+//!
+//! The `APEX_OPERATOR_PATH` environment variable overrides the table:
+//! `dense`, `hier` (the single-RHS loop), or `blocked`; `auto` (or any
+//! unrecognized value) falls back to the measured choice. The chosen path
+//! is a pure function of `(n, samples, table, override)`, so cached and
+//! uncached prepares always agree — and the path is part of the artifact
+//! cache key, so flipping the override can never resurface artifacts
+//! built by a differently-rounding pipeline.
+
+use apex_mech::OperatorPath;
+
+use crate::selector_table::MEASURED;
+
+/// One benched domain size: the prepare medians of all three paths
+/// (nanoseconds; `f64::INFINITY` = not measured at that size).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MeasuredRow {
+    /// Domain size `n` (strategy columns).
+    pub n: usize,
+    /// Monte-Carlo sample count the row was benched at. Not consulted by
+    /// the selection policy today (the per-path ordering is invariant
+    /// under sample-count scaling — see the module docs) but recorded so
+    /// the table is self-describing and future policies can refine on it.
+    #[allow(dead_code)]
+    pub samples: usize,
+    /// Median prepare time of the dense reference pipeline.
+    pub dense_ns: f64,
+    /// Median prepare time of the single-RHS operator loop.
+    pub hier_ns: f64,
+    /// Median prepare time of the blocked multi-RHS pipeline.
+    pub blocked_ns: f64,
+}
+
+/// Picks the fastest prepare path per `(n, mc_samples)` from the
+/// bench-measured crossover table (see the module docs for the policy).
+#[derive(Debug, Clone, Copy)]
+pub struct OperatorSelector;
+
+impl OperatorSelector {
+    /// The path `PreparedTranslator::prepare` should take for a workload
+    /// over `n` domain cells at `mc_samples` Monte-Carlo samples:
+    /// the `APEX_OPERATOR_PATH` override when set and recognized,
+    /// otherwise the measured choice of
+    /// [`OperatorSelector::choose_measured`].
+    pub fn choose(n: usize, mc_samples: usize) -> OperatorPath {
+        std::env::var("APEX_OPERATOR_PATH")
+            .ok()
+            .and_then(|v| Self::parse_override(&v))
+            .unwrap_or_else(|| Self::choose_measured(n, mc_samples))
+    }
+
+    /// Parses an `APEX_OPERATOR_PATH` value; `None` means "no override"
+    /// (`auto`, empty, or unrecognized — unrecognized values fall through
+    /// to the measured choice rather than failing a prepare).
+    pub fn parse_override(value: &str) -> Option<OperatorPath> {
+        match value.trim().to_ascii_lowercase().as_str() {
+            "dense" => Some(OperatorPath::Dense),
+            "hier" | "single" => Some(OperatorPath::HierSingle),
+            "blocked" | "multi" => Some(OperatorPath::HierBlocked),
+            _ => None,
+        }
+    }
+
+    /// The measured choice: the fastest measured path at the nearest
+    /// benched domain size (log-space distance, since benched sizes are
+    /// geometrically spaced). Ties and unmeasured entries resolve toward
+    /// the blocked path, then the single-RHS operator path — never toward
+    /// an unmeasured dense run.
+    pub fn choose_measured(n: usize, _mc_samples: usize) -> OperatorPath {
+        let Some(row) = Self::nearest_row(n) else {
+            return OperatorPath::HierBlocked;
+        };
+        let mut best = OperatorPath::HierBlocked;
+        let mut best_ns = row.blocked_ns;
+        for (ns, path) in [
+            (row.hier_ns, OperatorPath::HierSingle),
+            (row.dense_ns, OperatorPath::Dense),
+        ] {
+            if ns.is_finite() && ns < best_ns {
+                best_ns = ns;
+                best = path;
+            }
+        }
+        if best_ns.is_finite() {
+            best
+        } else {
+            OperatorPath::HierBlocked
+        }
+    }
+
+    fn nearest_row(n: usize) -> Option<&'static MeasuredRow> {
+        let target = (n.max(1) as f64).ln();
+        MEASURED.iter().min_by(|a, b| {
+            let da = (target - (a.n as f64).ln()).abs();
+            let db = (target - (b.n as f64).ln()).abs();
+            da.total_cmp(&db)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_values_parse() {
+        assert_eq!(
+            OperatorSelector::parse_override("dense"),
+            Some(OperatorPath::Dense)
+        );
+        assert_eq!(
+            OperatorSelector::parse_override(" Hier "),
+            Some(OperatorPath::HierSingle)
+        );
+        assert_eq!(
+            OperatorSelector::parse_override("BLOCKED"),
+            Some(OperatorPath::HierBlocked)
+        );
+        assert_eq!(OperatorSelector::parse_override("auto"), None);
+        assert_eq!(OperatorSelector::parse_override(""), None);
+        assert_eq!(OperatorSelector::parse_override("warp-drive"), None);
+    }
+
+    #[test]
+    fn measured_choice_is_the_fastest_measured_path_at_each_benched_size() {
+        for row in MEASURED {
+            let got = OperatorSelector::choose_measured(row.n, row.samples);
+            let ns_of = |p: OperatorPath| match p {
+                OperatorPath::Dense => row.dense_ns,
+                OperatorPath::HierSingle => row.hier_ns,
+                OperatorPath::HierBlocked => row.blocked_ns,
+            };
+            let chosen = ns_of(got);
+            assert!(chosen.is_finite(), "n={}: chose an unmeasured path", row.n);
+            for other in [
+                OperatorPath::Dense,
+                OperatorPath::HierSingle,
+                OperatorPath::HierBlocked,
+            ] {
+                assert!(
+                    chosen <= ns_of(other),
+                    "n={}: chose {:?} ({chosen} ns) but {:?} measured {} ns",
+                    row.n,
+                    got,
+                    other,
+                    ns_of(other)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn off_grid_sizes_use_the_nearest_benched_row() {
+        // Between benched sizes the selector snaps in log-space; far
+        // beyond the largest row it keeps that row's winner.
+        let at_largest = OperatorSelector::choose_measured(MEASURED.last().unwrap().n, 300);
+        assert_eq!(OperatorSelector::choose_measured(1 << 20, 300), at_largest);
+        let at_smallest = OperatorSelector::choose_measured(MEASURED[0].n, 10_000);
+        assert_eq!(OperatorSelector::choose_measured(1, 10_000), at_smallest);
+        assert_eq!(OperatorSelector::choose_measured(2, 10_000), at_smallest);
+    }
+
+    #[test]
+    fn large_domains_never_select_the_cubic_dense_path() {
+        // The dense pipeline is O(n³); whatever the measured numbers say,
+        // the table must not have it measured-and-winning at large n.
+        for n in [1024usize, 4096, 16384, 1 << 17] {
+            assert_ne!(
+                OperatorSelector::choose_measured(n, 300),
+                OperatorPath::Dense,
+                "n={n}"
+            );
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! GENERATED FILE — measured prepare medians backing [`crate::selector`].
+//!
+//! Regenerate with a full benchmark run on the target machine:
+//!
+//! ```text
+//! APEX_SELECTOR_RS=crates/apex-core/src/selector_table.rs \
+//!     cargo bench --bench mc_translate
+//! ```
+//!
+//! Each row is one benched domain size: the `translator_prepare` groups
+//! contribute the dense and single-RHS hier medians, the
+//! `translator_prepare_multi` group the blocked median. `f64::INFINITY`
+//! marks a path not measured at that size (the dense `O(n³)` prepare is
+//! only benched on small domains); the selector never picks an unmeasured
+//! path.
+
+use crate::selector::MeasuredRow;
+
+/// Measured `translator_prepare[_multi]` medians, ascending by `n`.
+pub(crate) const MEASURED: &[MeasuredRow] = &[
+    MeasuredRow {
+        n: 64,
+        samples: 10000,
+        dense_ns: 24276413.0,
+        hier_ns: 39400576.0,
+        blocked_ns: 18115316.0,
+    },
+    MeasuredRow {
+        n: 256,
+        samples: 2000,
+        dense_ns: 201838019.0,
+        hier_ns: 33890036.0,
+        blocked_ns: 15264451.5,
+    },
+    MeasuredRow {
+        n: 1024,
+        samples: 2000,
+        dense_ns: f64::INFINITY,
+        hier_ns: 139929438.0,
+        blocked_ns: 67953721.0,
+    },
+    MeasuredRow {
+        n: 4096,
+        samples: 300,
+        dense_ns: f64::INFINITY,
+        hier_ns: 113493384.0,
+        blocked_ns: 49399940.0,
+    },
+    MeasuredRow {
+        n: 16384,
+        samples: 300,
+        dense_ns: f64::INFINITY,
+        hier_ns: 464447021.0,
+        blocked_ns: 222992276.0,
+    },
+];

@@ -1,14 +1,13 @@
 //! `bench_gate` — the CI bench-regression gate.
 //!
 //! The `--quick` smoke run of `cargo bench --bench mc_translate` writes
-//! its (non-representative) medians to a scratch JSON. This checker
-//! compares that scratch file's **shape** — group names and measured
-//! domain points — against the committed full-run `BENCH_mc_translate.json`
-//! and fails when they drift apart, which is exactly how benches rot
-//! silently: a group stops being measured but the stale committed numbers
-//! keep telling a good story.
+//! its medians to a scratch JSON. This checker compares that scratch file
+//! against the committed full-run `BENCH_mc_translate.json` two ways and
+//! fails when they drift apart.
 //!
-//! Rules (shape only — medians are machine-dependent and not compared):
+//! **Shape rules** (all groups — this is how benches rot silently: a
+//! group stops being measured but the stale committed numbers keep
+//! telling a good story):
 //!
 //! 1. every committed group must appear in the smoke run, except the
 //!    ablation groups `--quick` deliberately skips;
@@ -19,8 +18,25 @@
 //!    domains, never new ones);
 //! 4. no shared group may be empty in the smoke run.
 //!
-//! Usage: `bench_gate <committed.json> <smoke.json>`; exits non-zero with
-//! one line per violation.
+//! **Regression rule** (the `translator_prepare[_multi]` groups only —
+//! the prepare medians are the perf numbers this repo actually promises,
+//! and unlike the ablations they are stable enough on a quiet CI runner
+//! to gate on):
+//!
+//! 5. for every id measured by both runs in a regression-gated group, the
+//!    smoke median must not exceed the committed median by more than the
+//!    group's tolerance (default 25%, override per group with repeatable
+//!    `--tolerance group=pct` flags).
+//!
+//! The committed medians come from a *full* run; the smoke run measures
+//! the same configurations at domains 64/256 with fewer criterion
+//! samples, so the comparison is like-for-like per id and the tolerance
+//! absorbs sampling noise plus runner-to-runner variance. A smoke median
+//! *below* the committed one never fails (faster is not a regression;
+//! refreshing the committed file is a full-run concern).
+//!
+//! Usage: `bench_gate <committed.json> <smoke.json> [--tolerance g=pct]…`;
+//! exits non-zero with one line per violation.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::process::ExitCode;
@@ -31,10 +47,19 @@ use apex_serve::json::{self, Json};
 /// meaningful smoke-sized configuration).
 const QUICK_SKIPPED: &[&str] = &["mc_translate_samples", "mc_translate_branching"];
 
+/// Groups whose medians are gated (rule 5), not just their shape.
+const REGRESS_GROUPS: &[&str] = &["translator_prepare", "translator_prepare_multi"];
+
+/// Rule 5's default allowance for a smoke median over the committed one.
+const DEFAULT_TOLERANCE_PCT: f64 = 25.0;
+
 /// group → set of ids, and group → set of trailing numeric domain points.
 type Shape = BTreeMap<String, (BTreeSet<String>, BTreeSet<usize>)>;
 
-fn load_shape(path: &str) -> Result<Shape, String> {
+/// (group, id) → median_ns.
+type Medians = BTreeMap<(String, String), f64>;
+
+fn load(path: &str) -> Result<(Shape, Medians), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
     let results = doc
@@ -42,6 +67,7 @@ fn load_shape(path: &str) -> Result<Shape, String> {
         .and_then(Json::as_arr)
         .ok_or_else(|| format!("{path}: no \"results\" array"))?;
     let mut shape = Shape::new();
+    let mut medians = Medians::new();
     for r in results {
         let group = r
             .get("group")
@@ -56,13 +82,48 @@ fn load_shape(path: &str) -> Result<Shape, String> {
         if let Some(domain) = id.rsplit('/').next().and_then(|n| n.parse::<usize>().ok()) {
             entry.1.insert(domain);
         }
+        if let Some(m) = r.get("median_ns").and_then(Json::as_f64) {
+            medians.insert((group.to_string(), id.to_string()), m);
+        }
     }
-    Ok(shape)
+    Ok((shape, medians))
 }
 
-fn run(committed_path: &str, smoke_path: &str) -> Result<Vec<String>, String> {
-    let committed = load_shape(committed_path)?;
-    let smoke = load_shape(smoke_path)?;
+/// Parses repeatable `--tolerance group=pct` overrides (rule 5);
+/// `Err` on malformed syntax, non-numeric or negative percentages.
+fn parse_tolerances(args: &[String]) -> Result<BTreeMap<String, f64>, String> {
+    let mut tolerances = BTreeMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a != "--tolerance" {
+            return Err(format!("unexpected argument \"{a}\""));
+        }
+        let spec = it
+            .next()
+            .ok_or_else(|| "missing group=pct after --tolerance".to_string())?;
+        let (group, pct) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("--tolerance \"{spec}\" is not group=pct"))?;
+        let pct: f64 = pct
+            .parse()
+            .map_err(|_| format!("--tolerance \"{spec}\": \"{pct}\" is not a number"))?;
+        if !pct.is_finite() || pct < 0.0 {
+            return Err(format!(
+                "--tolerance \"{spec}\": percentage must be finite and >= 0"
+            ));
+        }
+        tolerances.insert(group.to_string(), pct);
+    }
+    Ok(tolerances)
+}
+
+fn run(
+    committed_path: &str,
+    smoke_path: &str,
+    tolerances: &BTreeMap<String, f64>,
+) -> Result<Vec<String>, String> {
+    let (committed, committed_medians) = load(committed_path)?;
+    let (smoke, smoke_medians) = load(smoke_path)?;
     let mut violations = Vec::new();
 
     for (group, (_, committed_domains)) in &committed {
@@ -86,6 +147,29 @@ fn run(committed_path: &str, smoke_path: &str) -> Result<Vec<String>, String> {
                 ));
             }
         }
+        if REGRESS_GROUPS.contains(&group.as_str()) {
+            let tol = tolerances
+                .get(group)
+                .copied()
+                .unwrap_or(DEFAULT_TOLERANCE_PCT);
+            for id in smoke_ids {
+                let key = (group.clone(), id.clone());
+                let (Some(&was), Some(&now)) =
+                    (committed_medians.get(&key), smoke_medians.get(&key))
+                else {
+                    continue;
+                };
+                if now > was * (1.0 + tol / 100.0) {
+                    violations.push(format!(
+                        "group \"{group}\" id \"{id}\" regressed: smoke median {:.1} ms vs \
+                         committed {:.1} ms (+{:.0}% > {tol:.0}% tolerance)",
+                        now / 1e6,
+                        was / 1e6,
+                        (now / was - 1.0) * 100.0,
+                    ));
+                }
+            }
+        }
     }
     for group in smoke.keys() {
         if !committed.contains_key(group) {
@@ -100,13 +184,22 @@ fn run(committed_path: &str, smoke_path: &str) -> Result<Vec<String>, String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let [committed, smoke] = args.as_slice() else {
-        eprintln!("usage: bench_gate <committed.json> <smoke.json>");
+    if args.len() < 2 {
+        eprintln!("usage: bench_gate <committed.json> <smoke.json> [--tolerance group=pct]...");
         return ExitCode::from(2);
+    }
+    let (committed, smoke) = (&args[0], &args[1]);
+    let tolerances = match parse_tolerances(&args[2..]) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_gate: ERROR: {e}");
+            eprintln!("usage: bench_gate <committed.json> <smoke.json> [--tolerance group=pct]...");
+            return ExitCode::from(2);
+        }
     };
-    match run(committed, smoke) {
+    match run(committed, smoke, &tolerances) {
         Ok(violations) if violations.is_empty() => {
-            println!("bench_gate: OK — smoke run shape matches {committed}");
+            println!("bench_gate: OK — smoke run matches {committed} (shape + prepare medians)");
             ExitCode::SUCCESS
         }
         Ok(violations) => {
@@ -132,17 +225,26 @@ mod tests {
         path.to_string_lossy().into_owned()
     }
 
-    fn doc(entries: &[(&str, &str)]) -> String {
+    fn doc_with_medians(entries: &[(&str, &str, f64)]) -> String {
         let rows: Vec<String> = entries
             .iter()
-            .map(|(g, i)| {
-                format!("{{\"group\": \"{g}\", \"id\": \"{i}\", \"median_ns\": 1.0, \"mean_ns\": 1.0, \"min_ns\": 1.0, \"samples\": 1, \"iters_per_sample\": 1}}")
+            .map(|(g, i, m)| {
+                format!("{{\"group\": \"{g}\", \"id\": \"{i}\", \"median_ns\": {m:.1}, \"mean_ns\": {m:.1}, \"min_ns\": {m:.1}, \"samples\": 1, \"iters_per_sample\": 1}}")
             })
             .collect();
         format!(
             "{{\"bench\": \"mc_translate\", \"results\": [{}]}}",
             rows.join(",")
         )
+    }
+
+    fn doc(entries: &[(&str, &str)]) -> String {
+        let with: Vec<(&str, &str, f64)> = entries.iter().map(|&(g, i)| (g, i, 1.0)).collect();
+        doc_with_medians(&with)
+    }
+
+    fn no_tol() -> BTreeMap<String, f64> {
+        BTreeMap::new()
     }
 
     #[test]
@@ -156,7 +258,10 @@ mod tests {
             ]),
         );
         let smoke = write_tmp("s1", &doc(&[("translator_prepare", "hier/64")]));
-        assert_eq!(run(&committed, &smoke).unwrap(), Vec::<String>::new());
+        assert_eq!(
+            run(&committed, &smoke, &no_tol()).unwrap(),
+            Vec::<String>::new()
+        );
     }
 
     #[test]
@@ -169,7 +274,7 @@ mod tests {
             ]),
         );
         let smoke = write_tmp("s2", &doc(&[("translator_prepare", "hier/64")]));
-        let v = run(&committed, &smoke).unwrap();
+        let v = run(&committed, &smoke, &no_tol()).unwrap();
         assert_eq!(v.len(), 1);
         assert!(v[0].contains("mc_translate_domain"), "{v:?}");
     }
@@ -185,7 +290,10 @@ mod tests {
             ]),
         );
         let smoke = write_tmp("s3", &doc(&[("translator_prepare", "hier/64")]));
-        assert_eq!(run(&committed, &smoke).unwrap(), Vec::<String>::new());
+        assert_eq!(
+            run(&committed, &smoke, &no_tol()).unwrap(),
+            Vec::<String>::new()
+        );
     }
 
     #[test]
@@ -198,23 +306,120 @@ mod tests {
                 ("brand_new_group", "x/64"),
             ]),
         );
-        let v = run(&committed, &smoke).unwrap();
+        let v = run(&committed, &smoke, &no_tol()).unwrap();
         assert_eq!(v.len(), 2, "{v:?}");
         assert!(v.iter().any(|m| m.contains("domain 128")));
         assert!(v.iter().any(|m| m.contains("brand_new_group")));
     }
 
     #[test]
+    fn prepare_median_regressions_fail_within_the_default_tolerance() {
+        let committed = write_tmp(
+            "c5",
+            &doc_with_medians(&[
+                ("translator_prepare", "hier/64", 100.0e6),
+                ("translator_prepare_multi", "blocked/64", 100.0e6),
+            ]),
+        );
+        // +20% passes at the default 25%, +30% fails; faster never fails.
+        let ok = write_tmp(
+            "s5ok",
+            &doc_with_medians(&[
+                ("translator_prepare", "hier/64", 120.0e6),
+                ("translator_prepare_multi", "blocked/64", 50.0e6),
+            ]),
+        );
+        assert_eq!(
+            run(&committed, &ok, &no_tol()).unwrap(),
+            Vec::<String>::new()
+        );
+        let bad = write_tmp(
+            "s5bad",
+            &doc_with_medians(&[
+                ("translator_prepare", "hier/64", 130.0e6),
+                ("translator_prepare_multi", "blocked/64", 50.0e6),
+            ]),
+        );
+        let v = run(&committed, &bad, &no_tol()).unwrap();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(
+            v[0].contains("regressed") && v[0].contains("hier/64"),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn per_group_tolerance_overrides_the_default() {
+        let committed = write_tmp(
+            "c6",
+            &doc_with_medians(&[
+                ("translator_prepare", "hier/64", 100.0e6),
+                ("translator_prepare_multi", "blocked/64", 100.0e6),
+            ]),
+        );
+        let smoke = write_tmp(
+            "s6",
+            &doc_with_medians(&[
+                ("translator_prepare", "hier/64", 140.0e6),
+                ("translator_prepare_multi", "blocked/64", 140.0e6),
+            ]),
+        );
+        // +40% on both: loosening one group leaves the other failing.
+        let tol = parse_tolerances(&[
+            "--tolerance".to_string(),
+            "translator_prepare=50".to_string(),
+        ])
+        .unwrap();
+        let v = run(&committed, &smoke, &tol).unwrap();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("translator_prepare_multi"), "{v:?}");
+    }
+
+    #[test]
+    fn medians_outside_the_regression_groups_are_not_gated() {
+        let committed = write_tmp(
+            "c7",
+            &doc_with_medians(&[("mc_translate_domain", "serial/64", 100.0e6)]),
+        );
+        let smoke = write_tmp(
+            "s7",
+            &doc_with_medians(&[("mc_translate_domain", "serial/64", 900.0e6)]),
+        );
+        assert_eq!(
+            run(&committed, &smoke, &no_tol()).unwrap(),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn tolerance_parsing_rejects_malformed_specs() {
+        assert!(parse_tolerances(&[]).unwrap().is_empty());
+        assert!(parse_tolerances(&["--tolerance".into()]).is_err());
+        assert!(parse_tolerances(&["--tolerance".into(), "nopct".into()]).is_err());
+        assert!(parse_tolerances(&["--tolerance".into(), "g=abc".into()]).is_err());
+        assert!(parse_tolerances(&["--tolerance".into(), "g=-5".into()]).is_err());
+        assert!(parse_tolerances(&["stray".into()]).is_err());
+        let t = parse_tolerances(&["--tolerance".into(), "g=40".into()]).unwrap();
+        assert_eq!(t.get("g"), Some(&40.0));
+    }
+
+    #[test]
     fn the_committed_file_matches_a_real_quick_shape() {
         // The real committed file at the workspace root must accept the
         // shape a --quick run produces today (groups at domains 64/256).
+        // Medians of 1.0 ns can never trip rule 5, so this stays a pure
+        // shape check against the committed file.
         let committed = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mc_translate.json");
         let smoke = write_tmp(
-            "s5",
+            "s8",
             &doc(&[
                 ("translator_prepare", "hier/64"),
                 ("translator_prepare", "dense/64"),
                 ("translator_prepare", "hier/256"),
+                ("translator_prepare_multi", "blocked/64"),
+                ("translator_prepare_multi", "selected/64"),
+                ("translator_prepare_multi", "blocked/256"),
+                ("translator_prepare_multi", "selected/256"),
                 ("mc_translate_domain", "serial/64"),
                 ("mc_translate_domain", "batched/64"),
                 ("mc_translate_domain", "cached/64"),
@@ -222,6 +427,9 @@ mod tests {
                 ("strategy_sparse_vs_dense", "matvec_csr/256"),
             ]),
         );
-        assert_eq!(run(committed, &smoke).unwrap(), Vec::<String>::new());
+        assert_eq!(
+            run(committed, &smoke, &no_tol()).unwrap(),
+            Vec::<String>::new()
+        );
     }
 }

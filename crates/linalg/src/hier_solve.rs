@@ -42,8 +42,53 @@
 //! matvec, so operator and CSR paths agree bit for bit — property-tested
 //! in `tests/properties.rs`.
 
-use crate::operator::{OpScratch, StrategyOperator};
+use crate::operator::{check_panel, OpScratch, StrategyOperator};
 use crate::{LinalgError, Result};
+
+/// Lane width of the blocked multi-RHS kernels. Panels are processed in
+/// tiles of `LANES` columns stored lane-interleaved (`buf[i * LANES + l]`
+/// is element `i` of lane `l`), so the innermost loops are fixed-width
+/// independent f64 operations that LLVM autovectorizes and that break the
+/// loop-carried FP addition chains of the single-RHS sweeps. Eight lanes
+/// cover one AVX-512 vector, two AVX2 vectors, or four SSE2 vectors.
+const LANES: usize = 8;
+
+/// Rows per chunk of the lane transposes below: the interleaved slab a
+/// chunk touches is `1024 × LANES × 8 B = 64 KiB`, small enough to stay
+/// cached across the per-lane passes. Without chunking, every one of the
+/// `LANES` passes walks the full tile and touches every cache line of it,
+/// multiplying the transpose traffic by `LANES` on tiles past cache size.
+const XPOSE_CHUNK: usize = 1024;
+
+/// Packs `LANES` column-major columns of length `len` into one
+/// lane-interleaved tile (`tile[i * LANES + l] = cols[l * len + i]`).
+fn pack_lanes(cols: &[f64], len: usize, tile: &mut [f64]) {
+    let mut i0 = 0;
+    while i0 < len {
+        let i1 = (i0 + XPOSE_CHUNK).min(len);
+        for (l, col) in cols.chunks_exact(len).enumerate() {
+            for i in i0..i1 {
+                tile[i * LANES + l] = col[i];
+            }
+        }
+        i0 = i1;
+    }
+}
+
+/// Inverse of [`pack_lanes`]: spreads a lane-interleaved tile back into
+/// `LANES` column-major columns of length `len`.
+fn unpack_lanes(tile: &[f64], len: usize, cols: &mut [f64]) {
+    let mut i0 = 0;
+    while i0 < len {
+        let i1 = (i0 + XPOSE_CHUNK).min(len);
+        for (l, col) in cols.chunks_exact_mut(len).enumerate() {
+            for i in i0..i1 {
+                col[i] = tile[i * LANES + l];
+            }
+        }
+        i0 = i1;
+    }
+}
 
 /// One node of the interval tree, in BFS order (children contiguous).
 #[derive(Debug, Clone)]
@@ -73,6 +118,14 @@ pub struct HierarchicalOperator {
     /// Row intervals sorted ascending by `(lo, hi)` — the exact row order
     /// of `Strategy::build_csr`.
     rows: Vec<(usize, usize)>,
+    /// Per-cell scatter plan for the blocked transpose:
+    /// `cover_rows[cover_off[c]..cover_off[c + 1]]` lists the rows
+    /// covering cell `c`, ascending. `O(n log_b n)` entries. `u32` is
+    /// ample: a domain near `u32::MAX` would need hundreds of GiB of
+    /// panel memory long before the plan overflows.
+    cover_rows: Vec<u32>,
+    /// Offsets into [`Self::cover_rows`], length `n + 1`.
+    cover_off: Vec<u32>,
     /// `‖H_b‖₁`: the maximum number of tree nodes covering one cell.
     l1_norm: f64,
 }
@@ -163,11 +216,31 @@ impl HierarchicalOperator {
             max_cover = max_cover.max(running);
         }
 
+        // Scatter plan: counting sort of the covering rows per cell,
+        // stable in row order (rows visited ascending both passes), so the
+        // per-cell fold order matches the serial reference exactly.
+        let mut cover_off = vec![0u32; n + 1];
+        let mut running_cov = 0i64;
+        for c in 0..n {
+            running_cov += cover[c];
+            cover_off[c + 1] = cover_off[c] + running_cov as u32;
+        }
+        let mut cover_rows = vec![0u32; cover_off[n] as usize];
+        let mut cursor: Vec<u32> = cover_off[..n].to_vec();
+        for (r, &(lo, hi)) in rows.iter().enumerate() {
+            for c in lo..hi {
+                cover_rows[cursor[c] as usize] = r as u32;
+                cursor[c] += 1;
+            }
+        }
+
         Ok(Self {
             n,
             branching: b,
             nodes,
             rows,
+            cover_rows,
+            cover_off,
             l1_norm: max_cover as f64,
         })
     }
@@ -228,6 +301,102 @@ impl HierarchicalOperator {
                     } else {
                         down / (1.0 + nodes[c].gamma)
                     };
+                }
+            }
+        }
+    }
+
+    /// `Aᵀ` of `LANES` lane-interleaved columns at once: each cell gathers
+    /// a whole lane-vector of row weights per covering row.
+    ///
+    /// Walks the precomputed per-cell cover lists, so each output cell is
+    /// accumulated in registers and written exactly once — the naive
+    /// row-major sweep read-modify-writes every cell once per covering row
+    /// (≈ depth × the panel) and is L2-bandwidth-bound on large domains.
+    /// The row-weight loads stay cache-hot because adjacent cells share
+    /// all but their deepest covering rows. Per lane, each cell still
+    /// accumulates its covering rows in ascending row order (the lists
+    /// are built row-ascending), starting from zero — the exact
+    /// floating-point sequence of the single-RHS scatter, bit for bit.
+    fn scatter_lanes(&self, yt: &[f64], bt: &mut [f64]) {
+        for (c, cell) in bt.chunks_exact_mut(LANES).enumerate() {
+            let lo = self.cover_off[c] as usize;
+            let hi = self.cover_off[c + 1] as usize;
+            let mut acc = [0.0f64; LANES];
+            for &r in &self.cover_rows[lo..hi] {
+                let w = &yt[r as usize * LANES..(r as usize + 1) * LANES];
+                for (a, &wl) in acc.iter_mut().zip(w) {
+                    *a += wl;
+                }
+            }
+            cell.copy_from_slice(&acc);
+        }
+    }
+
+    /// [`HierarchicalOperator::solve_sweeps`] over `LANES` lane-interleaved
+    /// right-hand sides: one interval-tree walk amortized across the whole
+    /// tile, with every scalar recurrence replicated per lane in the same
+    /// order (children summed ascending, identical correction telescoping),
+    /// so each lane is bit-identical to the scalar sweeps. The same
+    /// write-before-read discipline as the scalar version keeps dirty
+    /// buffers safe.
+    ///
+    /// Unlike the scalar sweeps, the top-down correction accumulator
+    /// reuses `sx`: the subtree sums are dead once the bottom-up pass
+    /// finishes (only `coeff` carries over), and every `acc` slot is
+    /// written by the parent before its node reads it, so the aliasing is
+    /// value-invisible — it just avoids streaming a third
+    /// `nodes × LANES` buffer through the cache per tile.
+    fn solve_sweeps_lanes(&self, b: &[f64], sx: &mut [f64], coeff: &mut [f64], x: &mut [f64]) {
+        let nodes = &self.nodes;
+        let m = nodes.len();
+
+        for v in (0..m).rev() {
+            let node = &nodes[v];
+            if node.child_count == 0 {
+                let src = &b[node.lo * LANES..(node.lo + 1) * LANES];
+                sx[v * LANES..(v + 1) * LANES].copy_from_slice(src);
+            } else {
+                let (cs, cc) = (node.child_start, node.child_count);
+                let mut alpha = [0.0f64; LANES];
+                for c in cs..cs + cc {
+                    let child = &sx[c * LANES..(c + 1) * LANES];
+                    for (a, &s) in alpha.iter_mut().zip(child) {
+                        *a += s;
+                    }
+                }
+                for (l, &a) in alpha.iter().enumerate() {
+                    let c = a / (1.0 + node.gamma);
+                    coeff[v * LANES + l] = c;
+                    sx[v * LANES + l] = a - c * node.gamma;
+                }
+            }
+        }
+
+        let acc = sx;
+        acc[..LANES].fill(0.0);
+        for v in 0..m {
+            let node = &nodes[v];
+            if node.child_count == 0 {
+                let lo = node.lo;
+                for l in 0..LANES {
+                    x[lo * LANES + l] = b[lo * LANES + l] - acc[v * LANES + l];
+                }
+            } else {
+                let mut down = [0.0f64; LANES];
+                for (l, d) in down.iter_mut().enumerate() {
+                    *d = acc[v * LANES + l] + coeff[v * LANES + l];
+                }
+                let (cs, cc) = (node.child_start, node.child_count);
+                for c in cs..cs + cc {
+                    if nodes[c].child_count == 0 {
+                        acc[c * LANES..(c + 1) * LANES].copy_from_slice(&down);
+                    } else {
+                        let inv = 1.0 + nodes[c].gamma;
+                        for (l, &d) in down.iter().enumerate() {
+                            acc[c * LANES + l] = d / inv;
+                        }
+                    }
                 }
             }
         }
@@ -356,6 +525,151 @@ impl StrategyOperator for HierarchicalOperator {
             .and_then(|()| self.solve_normal_into(&t, out, scratch));
         scratch.put_transpose(t);
         r
+    }
+
+    /// Blocked override: full tiles of [`LANES`] columns go through
+    /// [`HierarchicalOperator::scatter_lanes`]; the ragged tail falls back
+    /// to the per-column single-RHS path (bit-identical by definition).
+    fn apply_transpose_multi(
+        &self,
+        ys: &[f64],
+        k: usize,
+        out: &mut Vec<f64>,
+        scratch: &mut OpScratch,
+    ) -> Result<()> {
+        let m = self.rows.len();
+        let n = self.n;
+        check_panel(ys.len(), m, k, "hier apply_transpose_multi")?;
+        out.resize(k * n, 0.0);
+        let tiles = k / LANES;
+        for t in 0..tiles {
+            scratch.panel_a.resize(m * LANES, 0.0);
+            pack_lanes(
+                &ys[t * LANES * m..(t + 1) * LANES * m],
+                m,
+                &mut scratch.panel_a,
+            );
+            scratch.panel_b.resize(n * LANES, 0.0);
+            self.scatter_lanes(&scratch.panel_a, &mut scratch.panel_b);
+            unpack_lanes(
+                &scratch.panel_b,
+                n,
+                &mut out[t * LANES * n..(t + 1) * LANES * n],
+            );
+        }
+        let mut col = scratch.take_col();
+        let mut result = Ok(());
+        for j in tiles * LANES..k {
+            if let Err(e) = self.apply_transpose_into(&ys[j * m..(j + 1) * m], &mut col) {
+                result = Err(e);
+                break;
+            }
+            out[j * n..(j + 1) * n].copy_from_slice(&col);
+        }
+        scratch.put_col(col);
+        result
+    }
+
+    /// Blocked override: one lane-parallel pair of sweeps per tile of
+    /// [`LANES`] right-hand sides, amortizing the interval-tree walk.
+    fn solve_normal_multi(
+        &self,
+        bs: &[f64],
+        k: usize,
+        out: &mut Vec<f64>,
+        scratch: &mut OpScratch,
+    ) -> Result<()> {
+        let n = self.n;
+        check_panel(bs.len(), n, k, "hier solve_normal_multi")?;
+        out.resize(k * n, 0.0);
+        let m = self.nodes.len();
+        let tiles = k / LANES;
+        for t in 0..tiles {
+            scratch.panel_a.resize(n * LANES, 0.0);
+            pack_lanes(
+                &bs[t * LANES * n..(t + 1) * LANES * n],
+                n,
+                &mut scratch.panel_a,
+            );
+            scratch.sweep_a.resize(m * LANES, 0.0);
+            scratch.sweep_b.resize(m * LANES, 0.0);
+            scratch.panel_c.resize(n * LANES, 0.0);
+            self.solve_sweeps_lanes(
+                &scratch.panel_a,
+                &mut scratch.sweep_a,
+                &mut scratch.sweep_b,
+                &mut scratch.panel_c,
+            );
+            unpack_lanes(
+                &scratch.panel_c,
+                n,
+                &mut out[t * LANES * n..(t + 1) * LANES * n],
+            );
+        }
+        let mut col = scratch.take_col();
+        let mut result = Ok(());
+        for j in tiles * LANES..k {
+            if let Err(e) = self.solve_normal_into(&bs[j * n..(j + 1) * n], &mut col, scratch) {
+                result = Err(e);
+                break;
+            }
+            out[j * n..(j + 1) * n].copy_from_slice(&col);
+        }
+        scratch.put_col(col);
+        result
+    }
+
+    /// Blocked override chaining [`HierarchicalOperator::scatter_lanes`]
+    /// and [`HierarchicalOperator::solve_sweeps_lanes`] per tile — the
+    /// panel entry point of the blocked Monte-Carlo prepare.
+    fn pinv_apply_multi(
+        &self,
+        ys: &[f64],
+        k: usize,
+        out: &mut Vec<f64>,
+        scratch: &mut OpScratch,
+    ) -> Result<()> {
+        let m = self.rows.len();
+        let n = self.n;
+        check_panel(ys.len(), m, k, "hier pinv_apply_multi")?;
+        out.resize(k * n, 0.0);
+        let nodes = self.nodes.len();
+        let tiles = k / LANES;
+        for t in 0..tiles {
+            scratch.panel_a.resize(m * LANES, 0.0);
+            pack_lanes(
+                &ys[t * LANES * m..(t + 1) * LANES * m],
+                m,
+                &mut scratch.panel_a,
+            );
+            scratch.panel_b.resize(n * LANES, 0.0);
+            self.scatter_lanes(&scratch.panel_a, &mut scratch.panel_b);
+            scratch.sweep_a.resize(nodes * LANES, 0.0);
+            scratch.sweep_b.resize(nodes * LANES, 0.0);
+            scratch.panel_c.resize(n * LANES, 0.0);
+            self.solve_sweeps_lanes(
+                &scratch.panel_b,
+                &mut scratch.sweep_a,
+                &mut scratch.sweep_b,
+                &mut scratch.panel_c,
+            );
+            unpack_lanes(
+                &scratch.panel_c,
+                n,
+                &mut out[t * LANES * n..(t + 1) * LANES * n],
+            );
+        }
+        let mut col = scratch.take_col();
+        let mut result = Ok(());
+        for j in tiles * LANES..k {
+            if let Err(e) = self.pinv_apply_into(&ys[j * m..(j + 1) * m], &mut col, scratch) {
+                result = Err(e);
+                break;
+            }
+            out[j * n..(j + 1) * n].copy_from_slice(&col);
+        }
+        scratch.put_col(col);
+        result
     }
 }
 
@@ -514,6 +828,152 @@ mod tests {
             .solve_normal_into(&[1.0], &mut out, &mut scratch)
             .is_err());
         assert!(op.pinv_apply_into(&[1.0], &mut out, &mut scratch).is_err());
+    }
+
+    /// Deterministic pseudo-noise panel: `k` column-major columns.
+    fn panel(col_len: usize, k: usize, salt: u64) -> Vec<f64> {
+        (0..col_len * k)
+            .map(|i| {
+                let mut z = (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt;
+                z ^= z >> 29;
+                (z % 2_000) as f64 / 100.0 - 10.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn multi_rhs_is_bit_identical_to_single_rhs_per_column() {
+        // The blocked kernels must reproduce the single-RHS loop bit for
+        // bit across branchings, non-power domains, and panel widths that
+        // exercise empty/partial/multiple tiles plus ragged tails. The
+        // scratch is reused across every iteration (so dirty,
+        // differently-sized buffers are part of the test).
+        let mut scratch = OpScratch::new();
+        let mut got = Vec::new();
+        let mut want_col = Vec::new();
+        for b in [2usize, 3, 5] {
+            for n in [1usize, 3, 7, 9, 33, 100] {
+                let op = HierarchicalOperator::new(n, b).unwrap();
+                let m = op.rows();
+                for k in [1usize, 7, 8, 9, 16, 17] {
+                    let ys = panel(m, k, (b * 1000 + n) as u64);
+                    op.apply_transpose_multi(&ys, k, &mut got, &mut scratch)
+                        .unwrap();
+                    for j in 0..k {
+                        op.apply_transpose_into(&ys[j * m..(j + 1) * m], &mut want_col)
+                            .unwrap();
+                        assert_eq!(
+                            &got[j * n..(j + 1) * n],
+                            &want_col[..],
+                            "apply_transpose_multi b={b} n={n} k={k} col={j}"
+                        );
+                    }
+
+                    let bs = panel(n, k, (b * 77 + n) as u64);
+                    op.solve_normal_multi(&bs, k, &mut got, &mut scratch)
+                        .unwrap();
+                    for j in 0..k {
+                        op.solve_normal_into(&bs[j * n..(j + 1) * n], &mut want_col, &mut scratch)
+                            .unwrap();
+                        assert_eq!(
+                            &got[j * n..(j + 1) * n],
+                            &want_col[..],
+                            "solve_normal_multi b={b} n={n} k={k} col={j}"
+                        );
+                    }
+
+                    op.pinv_apply_multi(&ys, k, &mut got, &mut scratch).unwrap();
+                    for j in 0..k {
+                        op.pinv_apply_into(&ys[j * m..(j + 1) * m], &mut want_col, &mut scratch)
+                            .unwrap();
+                        assert_eq!(
+                            &got[j * n..(j + 1) * n],
+                            &want_col[..],
+                            "pinv_apply_multi b={b} n={n} k={k} col={j}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_rhs_matches_the_default_per_column_implementation() {
+        // The trait's default multi-RHS implementation is the reference;
+        // the blocked override must agree with it bit for bit. Route the
+        // default through a thin wrapper that does not override the multi
+        // methods.
+        #[derive(Debug)]
+        struct Unblocked<'a>(&'a HierarchicalOperator);
+        impl StrategyOperator for Unblocked<'_> {
+            fn shape(&self) -> (usize, usize) {
+                self.0.shape()
+            }
+            fn apply(&self, x: &[f64]) -> Result<Vec<f64>> {
+                self.0.apply(x)
+            }
+            fn apply_transpose(&self, y: &[f64]) -> Result<Vec<f64>> {
+                self.0.apply_transpose(y)
+            }
+            fn solve_normal(&self, b: &[f64]) -> Result<Vec<f64>> {
+                self.0.solve_normal(b)
+            }
+            fn l1_operator_norm(&self) -> f64 {
+                self.0.l1_operator_norm()
+            }
+            fn apply_transpose_into(&self, y: &[f64], out: &mut Vec<f64>) -> Result<()> {
+                self.0.apply_transpose_into(y, out)
+            }
+            fn solve_normal_into(
+                &self,
+                b: &[f64],
+                out: &mut Vec<f64>,
+                scratch: &mut OpScratch,
+            ) -> Result<()> {
+                self.0.solve_normal_into(b, out, scratch)
+            }
+            fn pinv_apply_into(
+                &self,
+                y: &[f64],
+                out: &mut Vec<f64>,
+                scratch: &mut OpScratch,
+            ) -> Result<()> {
+                self.0.pinv_apply_into(y, out, scratch)
+            }
+        }
+
+        let mut s1 = OpScratch::new();
+        let mut s2 = OpScratch::new();
+        let (mut got, mut want) = (Vec::new(), Vec::new());
+        for (n, b, k) in [(33usize, 2usize, 17usize), (27, 3, 8), (50, 5, 9)] {
+            let op = HierarchicalOperator::new(n, b).unwrap();
+            let reference = Unblocked(&op);
+            let ys = panel(op.rows(), k, 0xDEAD ^ n as u64);
+            op.pinv_apply_multi(&ys, k, &mut got, &mut s1).unwrap();
+            reference
+                .pinv_apply_multi(&ys, k, &mut want, &mut s2)
+                .unwrap();
+            assert_eq!(got, want, "n={n} b={b} k={k}");
+        }
+    }
+
+    #[test]
+    fn multi_rhs_checks_panel_shapes() {
+        let op = HierarchicalOperator::new(4, 2).unwrap();
+        let mut out = Vec::new();
+        let mut scratch = OpScratch::new();
+        // One element short of two full columns.
+        let bad = vec![0.0; 2 * op.rows() - 1];
+        assert!(op
+            .apply_transpose_multi(&bad, 2, &mut out, &mut scratch)
+            .is_err());
+        assert!(op
+            .pinv_apply_multi(&bad, 2, &mut out, &mut scratch)
+            .is_err());
+        let bad_n = vec![0.0; 2 * 4 - 1];
+        assert!(op
+            .solve_normal_multi(&bad_n, 2, &mut out, &mut scratch)
+            .is_err());
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub use par::{
 pub use pinv::pinv;
 pub use qr::{qr_decompose, QrDecomposition};
 pub use solve::{invert, solve_least_squares, solve_upper_triangular};
-pub use sparse::{CsrBuilder, CsrMatrix};
+pub use sparse::{CsrBuilder, CsrMatrix, PanelPlan};
 
 /// Errors surfaced by linear-algebra routines.
 #[derive(Debug, Clone, PartialEq)]

@@ -126,6 +126,106 @@ pub trait StrategyOperator: std::fmt::Debug + Send + Sync {
         *out = self.pinv_apply(y)?;
         Ok(())
     }
+
+    /// Multi-RHS [`StrategyOperator::apply_transpose`]: `ys` holds `k`
+    /// right-hand-side columns of length `rows` each, stored column-major
+    /// (`ys[j*rows..(j+1)*rows]` is column `j`); `out` is resized to
+    /// `k * cols` and column `j` of it receives `Aᵀ ysⱼ`.
+    ///
+    /// The default processes the panel one column at a time through
+    /// [`StrategyOperator::apply_transpose_into`], so every column of the
+    /// result is **bit-identical** to the single-RHS path by construction —
+    /// that makes the default the correctness reference every blocked
+    /// override is property-tested against. Structured operators override
+    /// it to amortize their structural walk across the panel.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] when `ys.len() != k * rows`.
+    fn apply_transpose_multi(
+        &self,
+        ys: &[f64],
+        k: usize,
+        out: &mut Vec<f64>,
+        scratch: &mut OpScratch,
+    ) -> Result<()> {
+        let (m, n) = self.shape();
+        check_panel(ys.len(), m, k, "apply_transpose_multi")?;
+        out.resize(k * n, 0.0);
+        let mut col = scratch.take_col();
+        let mut result = Ok(());
+        for j in 0..k {
+            if let Err(e) = self.apply_transpose_into(&ys[j * m..(j + 1) * m], &mut col) {
+                result = Err(e);
+                break;
+            }
+            out[j * n..(j + 1) * n].copy_from_slice(&col);
+        }
+        scratch.put_col(col);
+        result
+    }
+
+    /// Multi-RHS [`StrategyOperator::solve_normal`]: `bs` holds `k`
+    /// column-major right-hand sides of length `cols`; column `j` of `out`
+    /// receives `(AᵀA)⁻¹ bsⱼ`. Same per-column bit-identity contract (and
+    /// default implementation shape) as
+    /// [`StrategyOperator::apply_transpose_multi`].
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] when `bs.len() != k * cols`.
+    fn solve_normal_multi(
+        &self,
+        bs: &[f64],
+        k: usize,
+        out: &mut Vec<f64>,
+        scratch: &mut OpScratch,
+    ) -> Result<()> {
+        let n = self.cols();
+        check_panel(bs.len(), n, k, "solve_normal_multi")?;
+        out.resize(k * n, 0.0);
+        let mut col = scratch.take_col();
+        let mut result = Ok(());
+        for j in 0..k {
+            if let Err(e) = self.solve_normal_into(&bs[j * n..(j + 1) * n], &mut col, scratch) {
+                result = Err(e);
+                break;
+            }
+            out[j * n..(j + 1) * n].copy_from_slice(&col);
+        }
+        scratch.put_col(col);
+        result
+    }
+
+    /// Multi-RHS [`StrategyOperator::pinv_apply`]: `ys` holds `k`
+    /// column-major noise columns of length `rows`; column `j` of `out`
+    /// receives `A⁺ ysⱼ`. This is the panel entry point of the blocked
+    /// Monte-Carlo prepare. Same per-column bit-identity contract (and
+    /// default implementation shape) as
+    /// [`StrategyOperator::apply_transpose_multi`].
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] when `ys.len() != k * rows`.
+    fn pinv_apply_multi(
+        &self,
+        ys: &[f64],
+        k: usize,
+        out: &mut Vec<f64>,
+        scratch: &mut OpScratch,
+    ) -> Result<()> {
+        let (m, n) = self.shape();
+        check_panel(ys.len(), m, k, "pinv_apply_multi")?;
+        out.resize(k * n, 0.0);
+        let mut col = scratch.take_col();
+        let mut result = Ok(());
+        for j in 0..k {
+            if let Err(e) = self.pinv_apply_into(&ys[j * m..(j + 1) * m], &mut col, scratch) {
+                result = Err(e);
+                break;
+            }
+            out[j * n..(j + 1) * n].copy_from_slice(&col);
+        }
+        scratch.put_col(col);
+        result
+    }
 }
 
 /// Shared handle to a strategy operator — the shape caches and mechanism
@@ -156,6 +256,15 @@ pub struct OpScratch {
     pub(crate) sweep_c: Vec<f64>,
     /// Domain-sized intermediate (`Aᵀ y` inside `pinv_apply_into`).
     transpose: Vec<f64>,
+    /// Single-column staging buffer for the per-column multi-RHS defaults
+    /// and blocked-kernel ragged tails.
+    col: Vec<f64>,
+    /// Lane-interleaved packed input panel of the blocked kernels.
+    pub(crate) panel_a: Vec<f64>,
+    /// Lane-interleaved intermediate panel (`Aᵀ` of a noise panel).
+    pub(crate) panel_b: Vec<f64>,
+    /// Lane-interleaved output panel of the blocked kernels.
+    pub(crate) panel_c: Vec<f64>,
 }
 
 impl OpScratch {
@@ -175,6 +284,17 @@ impl OpScratch {
     pub fn put_transpose(&mut self, buf: Vec<f64>) {
         self.transpose = buf;
     }
+
+    /// Takes the single-column staging buffer (same ownership dance as
+    /// [`OpScratch::take_transpose`], for the multi-RHS per-column paths).
+    pub fn take_col(&mut self) -> Vec<f64> {
+        std::mem::take(&mut self.col)
+    }
+
+    /// Returns the buffer taken by [`OpScratch::take_col`].
+    pub fn put_col(&mut self, buf: Vec<f64>) {
+        self.col = buf;
+    }
 }
 
 fn check_len(len: usize, expect: usize, op: &'static str) -> Result<()> {
@@ -182,6 +302,19 @@ fn check_len(len: usize, expect: usize, op: &'static str) -> Result<()> {
         return Err(LinalgError::ShapeMismatch {
             op,
             lhs: (expect, 1),
+            rhs: (len, 1),
+        });
+    }
+    Ok(())
+}
+
+/// Validates a column-major panel: `len` must be exactly `k` columns of
+/// `col_len` elements each.
+pub(crate) fn check_panel(len: usize, col_len: usize, k: usize, op: &'static str) -> Result<()> {
+    if len != col_len.saturating_mul(k) {
+        return Err(LinalgError::ShapeMismatch {
+            op,
+            lhs: (col_len, k),
             rhs: (len, 1),
         });
     }

@@ -40,6 +40,20 @@ pub struct CsrMatrix {
     values: Vec<f64>,
 }
 
+/// Row classification for [`CsrMatrix::matvec_panel_with_plan`], built by
+/// [`CsrMatrix::panel_plan`]: which rows are prefix-sum-shaped (answered
+/// by one shared running-sum sweep per tile) and which need the generic
+/// per-row kernel. Valid only for the matrix it was built from.
+#[derive(Debug, Clone)]
+pub struct PanelPlan {
+    /// Prefix rows as `(hi, row)`, sorted ascending by `hi`.
+    prefix: Vec<(usize, usize)>,
+    /// All other rows, ascending.
+    general: Vec<usize>,
+    /// Largest prefix `hi`: how far the shared sweep must run.
+    sweep_hi: usize,
+}
+
 impl CsrMatrix {
     /// An all-zero sparse matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
@@ -217,6 +231,163 @@ impl CsrMatrix {
             let (cols, vals) = self.row(i);
             *o = cols.iter().zip(vals).map(|(&j, &v)| v * x[j]).sum();
         }
+    }
+
+    /// Multi-RHS matvec: `xs` holds `k` column-major input columns of
+    /// length `cols` each (`xs[c * cols..(c + 1) * cols]` is column `c`);
+    /// `out` is resized to `k * rows` and column `c` of it receives
+    /// `self * xsᶜ`.
+    ///
+    /// Full tiles of eight columns are processed lane-interleaved, so one
+    /// walk over the sparsity pattern serves the whole tile with
+    /// independent per-lane accumulators (autovectorizable, and free of
+    /// the loop-carried FP add chain of the single-column dot product).
+    /// Rows shaped like prefix/CDF queries (contiguous unit weights from
+    /// column 0) are all answered by one shared prefix-sum sweep per tile
+    /// instead of independent dot products. Per lane, each row still
+    /// accumulates its nonzeros in the same ascending-k order starting
+    /// from 0.0 as [`CsrMatrix::matvec`], so every column is
+    /// **bit-identical** to the single-RHS product; the ragged tail
+    /// (< 8 columns) goes through the single-RHS kernel directly.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] when `xs.len() != k * cols`.
+    pub fn matvec_panel(&self, xs: &[f64], k: usize, out: &mut Vec<f64>) -> Result<()> {
+        self.matvec_panel_with_plan(&self.panel_plan(), xs, k, out)
+    }
+
+    /// Classifies this matrix's rows for [`CsrMatrix::matvec_panel_with_plan`].
+    ///
+    /// A "prefix row" reads columns `0..hi` contiguously with unit
+    /// weights — the shape of every range/CDF workload row over the
+    /// leading cells — so its dot product is a prefix sum of `x`. The
+    /// classification walks every stored nonzero (`O(nnz)`), so callers
+    /// issuing many panel products against the same matrix should build
+    /// the plan once and reuse it.
+    pub fn panel_plan(&self) -> PanelPlan {
+        let mut prefix: Vec<(usize, usize)> = Vec::new(); // (hi, row)
+        let mut general: Vec<usize> = Vec::new();
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            let is_prefix =
+                cols.iter().enumerate().all(|(p, &j)| j == p) && vals.iter().all(|&v| v == 1.0);
+            if is_prefix {
+                prefix.push((cols.len(), i));
+            } else {
+                general.push(i);
+            }
+        }
+        prefix.sort_unstable();
+        let sweep_hi = prefix.last().map_or(0, |&(hi, _)| hi);
+        PanelPlan {
+            prefix,
+            general,
+            sweep_hi,
+        }
+    }
+
+    /// [`CsrMatrix::matvec_panel`] with a precomputed [`PanelPlan`],
+    /// skipping the per-call `O(nnz)` row classification. The plan must
+    /// come from [`CsrMatrix::panel_plan`] on this same matrix.
+    ///
+    /// One shared running accumulator per lane serves all prefix rows at
+    /// once: after `hi` additions it holds exactly the ascending-k fold
+    /// of [`CsrMatrix::matvec`] (IEEE `1.0 * x == x`, additions in the
+    /// same order from the same 0.0), so emitting it at each row's
+    /// boundary is bit-identical while doing `O(max hi)` work per tile
+    /// instead of `O(Σ hi)`. Other rows keep the generic per-row lane
+    /// kernel.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] when `xs.len() != k * cols`.
+    pub fn matvec_panel_with_plan(
+        &self,
+        plan: &PanelPlan,
+        xs: &[f64],
+        k: usize,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        const LANES: usize = 8;
+        if xs.len() != self.cols.saturating_mul(k) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "csr matvec_panel",
+                lhs: (self.cols, k),
+                rhs: (xs.len(), 1),
+            });
+        }
+        out.resize(k * self.rows, 0.0);
+        let tiles = k / LANES;
+        if tiles > 0 {
+            let PanelPlan {
+                prefix,
+                general,
+                sweep_hi,
+            } = plan;
+            let sweep_hi = *sweep_hi;
+
+            // Lane-interleaved staging buffers, reused across the tiles of
+            // this call.
+            let mut xt = vec![0.0f64; self.cols * LANES];
+            let mut yt = vec![0.0f64; self.rows * LANES];
+            for t in 0..tiles {
+                // Chunked lane transpose: the 64 KiB interleaved slab a
+                // chunk touches stays cached across the per-lane passes
+                // (a full-tile pass per lane would re-stream the whole
+                // buffer LANES times on large domains).
+                const XPOSE_CHUNK: usize = 1024;
+                let x_tile = &xs[t * LANES * self.cols..(t + 1) * LANES * self.cols];
+                let mut i0 = 0;
+                while i0 < self.cols {
+                    let i1 = (i0 + XPOSE_CHUNK).min(self.cols);
+                    for (l, col) in x_tile.chunks_exact(self.cols).enumerate() {
+                        for i in i0..i1 {
+                            xt[i * LANES + l] = col[i];
+                        }
+                    }
+                    i0 = i1;
+                }
+                let mut acc = [0.0f64; LANES];
+                let mut next = 0usize;
+                while next < prefix.len() && prefix[next].0 == 0 {
+                    let r = prefix[next].1;
+                    yt[r * LANES..(r + 1) * LANES].copy_from_slice(&acc);
+                    next += 1;
+                }
+                for j in 0..sweep_hi {
+                    let x_lanes = &xt[j * LANES..(j + 1) * LANES];
+                    for (a, &xv) in acc.iter_mut().zip(x_lanes) {
+                        *a += xv;
+                    }
+                    while next < prefix.len() && prefix[next].0 == j + 1 {
+                        let r = prefix[next].1;
+                        yt[r * LANES..(r + 1) * LANES].copy_from_slice(&acc);
+                        next += 1;
+                    }
+                }
+                for &i in general {
+                    let (cols, vals) = self.row(i);
+                    let mut acc = [0.0f64; LANES];
+                    for (&j, &v) in cols.iter().zip(vals) {
+                        let x_lanes = &xt[j * LANES..(j + 1) * LANES];
+                        for (a, &xv) in acc.iter_mut().zip(x_lanes) {
+                            *a += v * xv;
+                        }
+                    }
+                    yt[i * LANES..(i + 1) * LANES].copy_from_slice(&acc);
+                }
+                let out_tile = &mut out[t * LANES * self.rows..(t + 1) * LANES * self.rows];
+                for (l, col) in out_tile.chunks_exact_mut(self.rows).enumerate() {
+                    for (i, o) in col.iter_mut().enumerate() {
+                        *o = yt[i * LANES + l];
+                    }
+                }
+            }
+        }
+        for c in tiles * LANES..k {
+            let x = &xs[c * self.cols..(c + 1) * self.cols];
+            self.matvec_fill(x, &mut out[c * self.rows..(c + 1) * self.rows]);
+        }
+        Ok(())
     }
 
     /// Sparse × dense product `self * rhs`, returning a dense matrix in
@@ -459,6 +630,41 @@ mod tests {
         s.matvec_into(&x, &mut out).unwrap();
         assert_eq!(ptr, out.as_ptr());
         assert!(s.matvec_into(&[1.0], &mut out).is_err());
+    }
+
+    #[test]
+    fn matvec_panel_is_bit_identical_to_per_column_matvec() {
+        // Panels exercising no tiles (k < 8), exactly one tile, and
+        // tiles + ragged tail, over an interval workload and the sparse
+        // example (which has an all-zero row).
+        let mut mats = vec![CsrMatrix::from_dense(&example_dense())];
+        let mut b = CsrBuilder::new(33);
+        for i in 0..20 {
+            b.push_interval_row(i, (i * 3 + 5).min(33));
+        }
+        mats.push(b.finish());
+        let mut out = vec![f64::NAN; 3];
+        for s in &mats {
+            for k in [1usize, 7, 8, 9, 16, 17] {
+                let xs: Vec<f64> = (0..k * s.cols())
+                    .map(|i| ((i * 31 % 19) as f64) / 3.0 - 3.0)
+                    .collect();
+                s.matvec_panel(&xs, k, &mut out).unwrap();
+                assert_eq!(out.len(), k * s.rows());
+                for c in 0..k {
+                    let want = s.matvec(&xs[c * s.cols()..(c + 1) * s.cols()]).unwrap();
+                    assert_eq!(
+                        &out[c * s.rows()..(c + 1) * s.rows()],
+                        &want[..],
+                        "k={k} c={c}"
+                    );
+                }
+            }
+            // Shape check: one element short of k columns.
+            assert!(s
+                .matvec_panel(&vec![0.0; 2 * s.cols() - 1], 2, &mut out)
+                .is_err());
+        }
     }
 
     #[test]

@@ -35,10 +35,14 @@ use std::sync::{Arc, Mutex};
 
 use apex_query::Strategy;
 
-use crate::sm::SmArtifacts;
+use crate::sm::{OperatorPath, SmArtifacts};
 use crate::MechError;
 
 /// Cache key: everything the artifacts depend on.
+///
+/// `McConfig::sample_block` is deliberately absent — panel width is a pure
+/// performance knob that never changes results, so blocking must not
+/// fragment the cache.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SmCacheKey {
     /// Structural signature of the compiled workload (shape + sparsity
@@ -52,6 +56,10 @@ pub struct SmCacheKey {
     pub seed: u64,
     /// Bit pattern of the binary-search tolerance (f64 is not `Hash`).
     pub tolerance_bits: u64,
+    /// Which prepare pipeline built the artifacts. The operator paths are
+    /// bit-identical to each other but the dense reference rounds
+    /// differently, so artifacts from different paths must never alias.
+    pub path: OperatorPath,
 }
 
 /// Running hit/miss/eviction counters.
@@ -271,6 +279,7 @@ mod tests {
             samples: 10,
             seed: 1,
             tolerance_bits: 1e-3_f64.to_bits(),
+            path: OperatorPath::HierBlocked,
         }
     }
 

@@ -13,6 +13,27 @@ use crate::mc::{McConfig, McTranslator};
 use crate::traits::unsupported;
 use crate::{Laplace, MechError, MechOutput, Mechanism, PreparedQuery, Translation};
 
+/// Which prepare pipeline builds a query's [`SmArtifacts`].
+///
+/// All three produce translators drawing the same per-sample noise
+/// streams: the two operator paths are bit-identical to each other, and
+/// the dense reference differs only in floating-point summation order
+/// (≈1e-9 relative). The fastest path depends on the domain size — see
+/// `apex-core`'s `OperatorSelector`, which picks per `(n, mc_samples)`
+/// from bench-measured crossovers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperatorPath {
+    /// The dense reference pipeline: `O(n³)` QR pseudoinverse,
+    /// materialized `W A⁺`, batched dense Monte-Carlo. Fastest only for
+    /// small domains, where the cubic prepare is cheap and dense products
+    /// beat the tree walk.
+    Dense,
+    /// Matrix-free operator with the legacy single-RHS per-sample loop.
+    HierSingle,
+    /// Matrix-free operator with blocked multi-RHS panels (the default).
+    HierBlocked,
+}
+
 /// How the artifacts answer the strategy and reconstruct workload
 /// answers.
 #[derive(Debug)]
@@ -104,6 +125,41 @@ impl SmArtifacts {
         })
     }
 
+    /// Builds artifacts through an explicit [`OperatorPath`] — the entry
+    /// point of `apex-core`'s measured path selection (and of the
+    /// benchmark rows that keep each path measurable in isolation).
+    ///
+    /// # Errors
+    /// Propagates strategy-construction (and, on the dense path,
+    /// pseudoinverse) failures.
+    pub fn build_with_path(
+        workload: &CsrMatrix,
+        strategy: Strategy,
+        mc: McConfig,
+        path: OperatorPath,
+    ) -> Result<Self, MechError> {
+        match path {
+            OperatorPath::Dense => Self::build_dense_reference(workload, strategy, mc),
+            OperatorPath::HierBlocked => Self::build(workload, strategy, mc),
+            OperatorPath::HierSingle => {
+                let op = strategy.operator(workload.cols())?;
+                let strat_sensitivity = op.l1_operator_norm();
+                let translator = McTranslator::with_operator_single_rhs(
+                    workload,
+                    op.as_ref(),
+                    strat_sensitivity,
+                    mc,
+                );
+                Ok(SmArtifacts {
+                    workload: workload.clone(),
+                    strat_sensitivity,
+                    translator,
+                    backend: ReconBackend::Operator(op),
+                })
+            }
+        }
+    }
+
     /// Operator-backed artifacts through a cache, with the
     /// verify-on-hit collision check — the one shared implementation of
     /// this security-relevant pattern (used by [`StrategyMechanism`] and
@@ -126,18 +182,51 @@ impl SmArtifacts {
         strategy: Strategy,
         mc: McConfig,
     ) -> Result<Arc<Self>, MechError> {
+        Self::get_or_build_cached_with_path(
+            cache,
+            workload,
+            signature,
+            strategy,
+            mc,
+            OperatorPath::HierBlocked,
+        )
+    }
+
+    /// [`SmArtifacts::get_or_build_cached`] through an explicit
+    /// [`OperatorPath`]. The path is part of the cache key: the two
+    /// operator paths produce bit-identical translators, but the dense
+    /// reference differs in low-order floating-point bits, and a path
+    /// switch (e.g. a changed `APEX_OPERATOR_PATH` override) must never
+    /// hand back artifacts built by a differently-rounding pipeline.
+    /// `mc.sample_block` is deliberately **not** in the key — panel width
+    /// cannot change results.
+    ///
+    /// # Errors
+    /// Propagates build failures.
+    pub fn get_or_build_cached_with_path(
+        cache: &SmCache,
+        workload: &CsrMatrix,
+        signature: u64,
+        strategy: Strategy,
+        mc: McConfig,
+        path: OperatorPath,
+    ) -> Result<Arc<Self>, MechError> {
         let key = SmCacheKey {
             workload_signature: signature,
             strategy,
             samples: mc.samples,
             seed: mc.seed,
             tolerance_bits: mc.tolerance.to_bits(),
+            path,
         };
-        let art = cache.get_or_build(key, || Self::build(workload, strategy, mc))?;
+        let art =
+            cache.get_or_build(key, || Self::build_with_path(workload, strategy, mc, path))?;
         if art.workload == *workload {
             Ok(art)
         } else {
-            Ok(Arc::new(Self::build(workload, strategy, mc)?))
+            Ok(Arc::new(Self::build_with_path(
+                workload, strategy, mc, path,
+            )?))
         }
     }
 
@@ -552,6 +641,7 @@ mod tests {
             samples: small_mc().samples,
             seed: small_mc().seed,
             tolerance_bits: small_mc().tolerance.to_bits(),
+            path: OperatorPath::HierBlocked,
         };
         cache
             .get_or_build(poisoned_key, || {

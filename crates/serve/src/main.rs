@@ -166,6 +166,9 @@ fn main() {
                 for (name, spent, budget) in &report.budgets {
                     println!("  {name}: spent {spent:.4} of B = {budget}");
                 }
+                for (name, ms) in &report.prepare_ms {
+                    println!("  {name}: translator prepare_ms {ms:.1} (cold, auto-selected path)");
+                }
                 println!(
                     "  restart recovery: {} wal records replayed, ledgers re-verified",
                     report.recovery_replayed

@@ -42,9 +42,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use apex_core::{EngineConfig, Mode};
+use apex_core::{EngineConfig, Mode, PreparedTranslator};
 use apex_data::synth::{adult_dataset, nytaxi_dataset};
-use apex_data::{Attribute, Dataset, Domain, Schema, Value};
+use apex_data::{Attribute, Dataset, Domain, Predicate, Schema, Value};
+use apex_mech::mc::McConfig;
+use apex_mech::PreparedQuery;
+use apex_query::{ExplorationQuery, Strategy};
 
 use crate::client;
 use crate::json::Json;
@@ -103,6 +106,11 @@ pub struct SelfTestReport {
     pub cache_misses: u64,
     /// Per-dataset `(name, spent, budget)` at the end.
     pub budgets: Vec<(String, f64, f64)>,
+    /// Per-tenant `(name, millis)` cold translator-prepare timings for a
+    /// representative workload, through the same auto-selected operator
+    /// path production takes. Observability only — printed, never
+    /// asserted on (machine speed is not an invariant).
+    pub prepare_ms: Vec<(String, f64)>,
     /// Whether the run started from a non-empty recovered ledger (the
     /// second CI pass against one state dir).
     pub recovered_baseline: bool,
@@ -369,6 +377,8 @@ fn run_in_dir(cfg: &SelfTestConfig, dir: &PathBuf) -> Result<SelfTestReport, Str
         report.budgets.push((name.to_string(), spent, budget));
     }
 
+    report.prepare_ms = prepare_timings(cfg);
+
     // The compaction-pause scenario: force WAL rotations against a slow
     // in-flight query — rotation must not wait on the evaluate phase.
     let probe = compaction_pause_scenario(&state, addr, cfg.slow_query_prefixes)?;
@@ -430,6 +440,56 @@ fn run_in_dir(cfg: &SelfTestConfig, dir: &PathBuf) -> Result<SelfTestReport, Str
         ));
     }
     Ok(report)
+}
+
+/// Times one cold `PreparedTranslator::prepare` per tenant on a workload
+/// representative of what the scripted clients submit (the wide tenant
+/// uses the compaction scenario's prefix shape). Pure observability: the
+/// printed numbers make prepare-path regressions visible in CI logs
+/// without turning machine speed into an assertion.
+fn prepare_timings(cfg: &SelfTestConfig) -> Vec<(String, f64)> {
+    let wide_prefixes = cfg
+        .slow_query_prefixes
+        .clamp(2, WIDE_DOMAIN as usize / WIDE_STEP);
+    let probes: Vec<(&str, Schema, Vec<Predicate>)> = vec![
+        (
+            "adult",
+            adult_dataset(1, 7).schema().clone(),
+            vec![
+                Predicate::range("age", 17.0, 40.0),
+                Predicate::range("age", 40.0, 60.0),
+                Predicate::range("age", 60.0, 91.0),
+            ],
+        ),
+        (
+            "taxi",
+            nytaxi_dataset(1, 9).schema().clone(),
+            vec![
+                Predicate::range("passenger_count", 1.0, 3.0),
+                Predicate::range("passenger_count", 3.0, 11.0),
+            ],
+        ),
+        (
+            "wide",
+            wide_dataset().schema().clone(),
+            (1..=wide_prefixes)
+                .map(|i| Predicate::range("v", 0.0, (i * WIDE_STEP) as f64))
+                .collect(),
+        ),
+    ];
+    let mut timings = Vec::new();
+    for (name, schema, workload) in probes {
+        let Ok(q) = PreparedQuery::prepare(&schema, &ExplorationQuery::wcq(workload)) else {
+            continue; // a broken probe workload is not a service invariant
+        };
+        let t0 = Instant::now();
+        let prepared =
+            PreparedTranslator::prepare(q.compiled(), Strategy::H2, McConfig::default(), None);
+        if prepared.is_ok() {
+            timings.push((name.to_string(), t0.elapsed().as_secs_f64() * 1e3));
+        }
+    }
+    timings
 }
 
 /// What the compaction-pause scenario measured.
