@@ -1,9 +1,12 @@
 //! `bench_gate` — the CI bench-regression gate.
 //!
-//! The `--quick` smoke run of `cargo bench --bench mc_translate` writes
-//! its medians to a scratch JSON. This checker compares that scratch file
-//! against the committed full-run `BENCH_mc_translate.json` two ways and
-//! fails when they drift apart.
+//! The `--quick` smoke runs of `cargo bench --bench mc_translate` and
+//! `cargo bench --bench serve_soak` each write their medians to a
+//! scratch JSON. This checker compares each scratch file against its
+//! committed full-run counterpart (`BENCH_mc_translate.json`,
+//! `BENCH_serve_soak.json`) two ways and fails when they drift apart.
+//! Any number of `<committed> <smoke>` pairs can be checked in one
+//! invocation; violations accumulate across all of them.
 //!
 //! **Shape rules** (all groups — this is how benches rot silently: a
 //! group stops being measured but the stale committed numbers keep
@@ -18,10 +21,10 @@
 //!    domains, never new ones);
 //! 4. no shared group may be empty in the smoke run.
 //!
-//! **Regression rule** (the `translator_prepare[_multi]` groups only —
-//! the prepare medians are the perf numbers this repo actually promises,
-//! and unlike the ablations they are stable enough on a quiet CI runner
-//! to gate on):
+//! **Regression rule** (the `translator_prepare[_multi]` and
+//! `serve_soak` groups only — the prepare medians and soak ns/session
+//! are the perf numbers this repo actually promises, and unlike the
+//! ablations they are stable enough on a quiet CI runner to gate on):
 //!
 //! 5. for every id measured by both runs in a regression-gated group, the
 //!    smoke median must not exceed the committed median by more than the
@@ -35,8 +38,9 @@
 //! *below* the committed one never fails (faster is not a regression;
 //! refreshing the committed file is a full-run concern).
 //!
-//! Usage: `bench_gate <committed.json> <smoke.json> [--tolerance g=pct]…`;
-//! exits non-zero with one line per violation.
+//! Usage: `bench_gate <committed.json> <smoke.json> [<committed2.json>
+//! <smoke2.json>]… [--tolerance g=pct]…`; exits non-zero with one line
+//! per violation.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::process::ExitCode;
@@ -48,7 +52,13 @@ use apex_serve::json::{self, Json};
 const QUICK_SKIPPED: &[&str] = &["mc_translate_samples", "mc_translate_branching"];
 
 /// Groups whose medians are gated (rule 5), not just their shape.
-const REGRESS_GROUPS: &[&str] = &["translator_prepare", "translator_prepare_multi"];
+/// `serve_soak` medians are ns/session, so "smoke must not exceed
+/// committed by more than the tolerance" reads as a throughput floor.
+const REGRESS_GROUPS: &[&str] = &[
+    "translator_prepare",
+    "translator_prepare_multi",
+    "serve_soak",
+];
 
 /// Rule 5's default allowance for a smoke median over the committed one.
 const DEFAULT_TOLERANCE_PCT: f64 = 25.0;
@@ -143,7 +153,7 @@ fn run(
             if !committed_domains.contains(d) {
                 violations.push(format!(
                     "group \"{group}\" measured domain {d} which {committed_path} has never \
-                     recorded — regenerate the committed file (cargo bench --bench mc_translate)"
+                     recorded — regenerate the committed file with a full bench run"
                 ));
             }
         }
@@ -175,43 +185,59 @@ fn run(
         if !committed.contains_key(group) {
             violations.push(format!(
                 "smoke run measured new group \"{group}\" missing from {committed_path} — \
-                 regenerate the committed file (cargo bench --bench mc_translate)"
+                 regenerate the committed file with a full bench run"
             ));
         }
     }
     Ok(violations)
 }
 
+const USAGE: &str = "usage: bench_gate <committed.json> <smoke.json> \
+     [<committed2.json> <smoke2.json>]... [--tolerance group=pct]...";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.len() < 2 {
-        eprintln!("usage: bench_gate <committed.json> <smoke.json> [--tolerance group=pct]...");
+    // Positional args (the file pairs) end where the flags begin.
+    let flags_at = args
+        .iter()
+        .position(|a| a.starts_with("--"))
+        .unwrap_or(args.len());
+    let (pairs, flags) = args.split_at(flags_at);
+    if pairs.len() < 2 || pairs.len() % 2 != 0 {
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     }
-    let (committed, smoke) = (&args[0], &args[1]);
-    let tolerances = match parse_tolerances(&args[2..]) {
+    let tolerances = match parse_tolerances(flags) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("bench_gate: ERROR: {e}");
-            eprintln!("usage: bench_gate <committed.json> <smoke.json> [--tolerance group=pct]...");
+            eprintln!("{USAGE}");
             return ExitCode::from(2);
         }
     };
-    match run(committed, smoke, &tolerances) {
-        Ok(violations) if violations.is_empty() => {
-            println!("bench_gate: OK — smoke run matches {committed} (shape + prepare medians)");
-            ExitCode::SUCCESS
-        }
-        Ok(violations) => {
-            for v in &violations {
-                eprintln!("bench_gate: FAIL: {v}");
+    let mut failed = false;
+    for pair in pairs.chunks(2) {
+        let (committed, smoke) = (&pair[0], &pair[1]);
+        match run(committed, smoke, &tolerances) {
+            Ok(violations) if violations.is_empty() => {
+                println!("bench_gate: OK — {smoke} matches {committed} (shape + gated medians)");
             }
-            ExitCode::FAILURE
+            Ok(violations) => {
+                for v in &violations {
+                    eprintln!("bench_gate: FAIL: {v}");
+                }
+                failed = true;
+            }
+            Err(e) => {
+                eprintln!("bench_gate: ERROR: {e}");
+                failed = true;
+            }
         }
-        Err(e) => {
-            eprintln!("bench_gate: ERROR: {e}");
-            ExitCode::FAILURE
-        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -401,6 +427,64 @@ mod tests {
         assert!(parse_tolerances(&["stray".into()]).is_err());
         let t = parse_tolerances(&["--tolerance".into(), "g=40".into()]).unwrap();
         assert_eq!(t.get("g"), Some(&40.0));
+    }
+
+    #[test]
+    fn soak_median_regressions_fail() {
+        // serve_soak medians are ns/session: a slower smoke soak past
+        // the tolerance is a throughput regression and must fail.
+        let committed = write_tmp(
+            "c9",
+            &doc_with_medians(&[
+                ("serve_soak", "shards/1", 500_000.0),
+                ("serve_soak", "shards/8", 150_000.0),
+            ]),
+        );
+        let ok = write_tmp(
+            "s9ok",
+            &doc_with_medians(&[
+                ("serve_soak", "shards/1", 600_000.0),
+                ("serve_soak", "shards/8", 150_000.0),
+            ]),
+        );
+        assert_eq!(
+            run(&committed, &ok, &no_tol()).unwrap(),
+            Vec::<String>::new()
+        );
+        let bad = write_tmp(
+            "s9bad",
+            &doc_with_medians(&[
+                ("serve_soak", "shards/1", 500_000.0),
+                ("serve_soak", "shards/8", 200_000.0),
+            ]),
+        );
+        let v = run(&committed, &bad, &no_tol()).unwrap();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(
+            v[0].contains("regressed") && v[0].contains("shards/8"),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn the_committed_soak_file_matches_a_quick_shape() {
+        // The committed soak file must accept the shape a --quick soak
+        // produces (a subset of the committed shard counts). Medians of
+        // 1.0 ns can never trip rule 5.
+        let committed = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve_soak.json");
+        let smoke = write_tmp(
+            "s10",
+            &doc(&[
+                ("serve_soak", "shards/1"),
+                ("serve_soak", "shards/2"),
+                ("serve_soak", "shards/4"),
+                ("serve_soak", "shards/8"),
+            ]),
+        );
+        assert_eq!(
+            run(committed, &smoke, &no_tol()).unwrap(),
+            Vec::<String>::new()
+        );
     }
 
     #[test]

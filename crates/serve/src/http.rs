@@ -27,17 +27,17 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Largest accepted request body.
-const MAX_BODY: usize = 1 << 20;
+pub(crate) const MAX_BODY: usize = 1 << 20;
 /// Largest accepted request line / header line.
-const MAX_LINE: usize = 8 << 10;
+pub(crate) const MAX_LINE: usize = 8 << 10;
 /// Most header lines accepted per request.
-const MAX_HEADERS: usize = 100;
+pub(crate) const MAX_HEADERS: usize = 100;
 /// Per-socket read/write timeout (bounds each individual read).
-const IO_TIMEOUT: Duration = Duration::from_secs(10);
+pub(crate) const IO_TIMEOUT: Duration = Duration::from_secs(10);
 /// Wall-clock budget for reading one whole request; checked between
 /// reads, so a byte-dripping client is cut off at
 /// `REQUEST_DEADLINE + IO_TIMEOUT` worst case.
-const REQUEST_DEADLINE: Duration = Duration::from_secs(20);
+pub(crate) const REQUEST_DEADLINE: Duration = Duration::from_secs(20);
 /// Accepted connections queued ahead of the workers; beyond this the
 /// acceptor sheds new connections instead of buffering file descriptors
 /// without bound.
@@ -94,6 +94,8 @@ pub struct Response {
     pub body: String,
     /// When true, the server begins graceful shutdown after responding.
     pub shutdown: bool,
+    /// Seconds for a `Retry-After` header (backpressure 503s carry one).
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
@@ -103,11 +105,23 @@ impl Response {
             status,
             body,
             shutdown: false,
+            retry_after: None,
+        }
+    }
+
+    /// The backpressure response: 503 with `Retry-After: retry_secs` —
+    /// what a shard whose work queue is full sheds load with.
+    pub fn unavailable(retry_secs: u64) -> Self {
+        Self {
+            status: 503,
+            body: "{\"error\":\"shard overloaded, retry later\"}".to_string(),
+            shutdown: false,
+            retry_after: Some(retry_secs),
         }
     }
 }
 
-fn status_text(code: u16) -> &'static str {
+pub(crate) fn status_text(code: u16) -> &'static str {
     match code {
         200 => "OK",
         201 => "Created",
@@ -122,6 +136,7 @@ fn status_text(code: u16) -> &'static str {
         413 => "Payload Too Large",
         500 => "Internal Server Error",
         501 => "Not Implemented",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
@@ -251,15 +266,149 @@ fn read_line_capped(
 }
 
 fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    write_response_conn(stream, resp, false)
+}
+
+/// Appends one serialized response to `out`; `keep_alive` picks the
+/// `Connection:` header the sharded server's connection-migration loop
+/// relies on. Split from the write so shard workers can accumulate the
+/// responses to a pipelined burst and flush them in a single syscall.
+pub(crate) fn append_response(out: &mut Vec<u8>, resp: &Response, keep_alive: bool) {
+    let retry = resp
+        .retry_after
+        .map(|secs| format!("Retry-After: {secs}\r\n"))
+        .unwrap_or_default();
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{retry}Connection: {}\r\n\r\n",
         resp.status,
         status_text(resp.status),
-        resp.body.len()
+        resp.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
     );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(resp.body.as_bytes())?;
-    stream.flush()
+    out.reserve(head.len() + resp.body.len());
+    out.extend_from_slice(head.as_bytes());
+    out.extend_from_slice(resp.body.as_bytes());
+}
+
+/// Writes one response; head and body in ONE write: with TCP_NODELAY a
+/// separate head write is a separate packet, and on the serving hot
+/// path the extra syscall + segment per response is measurable.
+pub(crate) fn write_response_conn(
+    stream: &mut TcpStream,
+    resp: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let mut wire = Vec::new();
+    append_response(&mut wire, resp, keep_alive);
+    stream.write_all(&wire)
+}
+
+/// What [`parse_buffered`] made of the bytes accumulated so far.
+#[derive(Debug)]
+pub(crate) enum BufParse {
+    /// No complete request yet — keep reading.
+    NeedMore,
+    /// Malformed beyond repair; answer with this status and close.
+    Bad(u16),
+    /// One complete request, consuming this many bytes of the buffer.
+    Complete(Request, usize),
+}
+
+/// Incremental request parsing over a connection-owned buffer — the
+/// nonblocking sharded accept loop's counterpart to [`read_request`]
+/// (same limits, same status mapping), re-invoked as bytes arrive and
+/// across keep-alive requests (leftover pipelined bytes stay in the
+/// buffer).
+pub(crate) fn parse_buffered(buf: &[u8]) -> BufParse {
+    // Head = everything through the first blank line.
+    let Some(head_len) = find_blank_line(buf) else {
+        // A head that cannot fit the caps will never become valid.
+        return if buf.len() > MAX_LINE * (MAX_HEADERS + 2) {
+            BufParse::Bad(400)
+        } else {
+            BufParse::NeedMore
+        };
+    };
+    let head = &buf[..head_len];
+    let mut lines = head.split(|&b| b == b'\n').map(|l| {
+        let l = l.strip_suffix(b"\r").unwrap_or(l);
+        String::from_utf8_lossy(l).into_owned()
+    });
+
+    // Request line.
+    let Some(request_line) = lines.next() else {
+        return BufParse::Bad(400);
+    };
+    if request_line.len() > MAX_LINE {
+        return BufParse::Bad(400);
+    }
+    let mut parts = request_line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m.to_ascii_uppercase(), t.to_string(), v),
+        _ => return BufParse::Bad(400),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return BufParse::Bad(501);
+    }
+    let path = target.split('?').next().unwrap_or("").to_string();
+
+    // Headers, same caps and semantics as the blocking reader.
+    let mut content_length = 0usize;
+    let mut headers = Vec::new();
+    for (count, line) in lines.enumerate() {
+        if count >= MAX_HEADERS || line.len() > MAX_LINE {
+            return BufParse::Bad(400);
+        }
+        if line.is_empty() {
+            continue; // the terminating blank line
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return BufParse::Bad(400);
+        };
+        let name = name.trim();
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            match value.parse::<usize>() {
+                Ok(n) if n <= MAX_BODY => content_length = n,
+                Ok(_) => return BufParse::Bad(413),
+                Err(_) => return BufParse::Bad(400),
+            }
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return BufParse::Bad(501);
+        }
+        headers.push((name.to_ascii_lowercase(), value.to_string()));
+    }
+
+    let total = head_len + content_length;
+    if buf.len() < total {
+        return BufParse::NeedMore;
+    }
+    BufParse::Complete(
+        Request {
+            method,
+            path,
+            headers,
+            body: buf[head_len..total].to_vec(),
+        },
+        total,
+    )
+}
+
+/// Index just past the first `\r\n\r\n` (or lone `\n\n`) head terminator.
+fn find_blank_line(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while let Some(rel) = buf[i..].iter().position(|&b| b == b'\n') {
+        let at = i + rel;
+        let rest = &buf[at + 1..];
+        if rest.first() == Some(&b'\n') {
+            return Some(at + 2);
+        }
+        if rest.first() == Some(&b'\r') && rest.get(1) == Some(&b'\n') {
+            return Some(at + 3);
+        }
+        i = at + 1;
+    }
+    None
 }
 
 /// Control handle for a running server.

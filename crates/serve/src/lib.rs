@@ -30,6 +30,12 @@
 //! * [`router`] — endpoint dispatch and status-code mapping (a *denied*
 //!   query is 409, an *expired* session is 410, the admin plane checks a
 //!   bearer token);
+//! * [`shard`] — the shard layer: N shard workers each owning its own
+//!   engines, ledger gate, WAL sequence, and `state-dir/shard-K/`
+//!   directory; tenants routed by consistent hashing; a nonblocking
+//!   accept/dispatch loop with bounded per-shard queues (full ⇒ 503 +
+//!   `Retry-After`); parallel per-shard recovery at boot; aggregated
+//!   `/v1/stats`;
 //! * [`selftest`] — the end-to-end gate CI runs (`--self-test`): a
 //!   scripted concurrent workload over real sockets asserting budget
 //!   conservation, protocol discipline, cross-session cache sharing, and
@@ -59,6 +65,7 @@ pub mod http;
 pub mod json;
 pub mod router;
 pub mod selftest;
+pub mod shard;
 pub mod snapshot;
 pub mod state;
 pub mod wal;
@@ -68,6 +75,7 @@ pub use clock::{Clock, ManualClock, SystemClock};
 pub use http::{serve, Request, Response, ServerHandle};
 pub use json::Json;
 pub use selftest::{run as run_self_test, SelfTestConfig, SelfTestReport};
+pub use shard::{serve_sharded, ServeConfig, ShardRing, ShardServerHandle, ShardSet};
 pub use state::{
     start_reaper, PersistOptions, ReaperHandle, RecoverError, RecoveryReport, ServerState,
     ServerStateBuilder, SessionStatus, SubmitOutcome,

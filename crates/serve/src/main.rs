@@ -1,35 +1,57 @@
 //! The `apex-serve` binary.
 //!
 //! Serve mode hosts the bundled synthetic datasets ("adult", "taxi")
-//! behind the HTTP API; `--self-test` instead runs the scripted
+//! behind the HTTP API, sharded: `--shards N` runs N shard workers,
+//! each owning its own engines, ledger gate, WAL sequence, and
+//! `state-dir/shard-K/` directory, with tenants routed by consistent
+//! hashing and connections multiplexed through a nonblocking
+//! accept/dispatch loop (bounded per-shard queues; a full queue answers
+//! `503` with `Retry-After`). `--self-test` instead runs the scripted
 //! concurrent workload on an ephemeral port and exits non-zero on any
 //! violated invariant (the CI `service-smoke` gate). With `--state-dir`
-//! the budget ledger is durable: recovery replays WAL-over-snapshot on
-//! startup (refusing a checksum-corrupt tail unless
-//! `--force-truncate-wal` consents to cutting it at the last valid
-//! record), and the self-test additionally restarts in-process from the
-//! same directory to verify recovered-ledger-equals-wire equality.
+//! the budget ledger is durable: each shard recovers
+//! WAL-over-snapshot independently and in parallel on startup (refusing
+//! a checksum-corrupt tail unless `--force-truncate-wal` consents to
+//! cutting it at the last valid record), and the self-test additionally
+//! restarts in-process from the same directory to verify
+//! recovered-ledger-equals-wire equality.
 //!
 //! ```text
-//! apex-serve [--addr 127.0.0.1:8787] [--threads N] [--cache-cap N]
-//!            [--budget B] [--rows N] [--state-dir DIR]
+//! apex-serve [--addr 127.0.0.1:8787] [--shards N] [--workers-per-shard N]
+//!            [--cache-cap N] [--budget B] [--rows N] [--state-dir DIR]
 //!            [--snapshot-every N] [--ttl-secs N] [--admin-token TOK]
 //!            [--force-truncate-wal]
-//! apex-serve --self-test [--threads N] [--sessions N] [--submits N]
-//!            [--rows N] [--cache-cap N] [--state-dir DIR]
+//! apex-serve --self-test [--shards N] [--workers-per-shard N]
+//!            [--sessions N] [--submits N] [--rows N] [--cache-cap N]
+//!            [--state-dir DIR]
 //! ```
+//!
+//! `--threads N` is still accepted as a deprecated alias for
+//! `--workers-per-shard N`.
+//!
+//! **Changing `--shards` against an existing `--state-dir`** moves
+//! ~1/(N+1) of tenants to different shards (that is the consistent-hash
+//! guarantee), but their *spent budget* stays in the old shard's ledger
+//! files; every shard still loads every tenant's ledger, so nothing is
+//! forgotten — aggregate accounting stays exact — but a moved tenant's
+//! new owner starts charging a fresh ledger. Keep the shard count
+//! stable for a given state dir unless you migrate ledgers explicitly.
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use apex_core::{EngineConfig, Mode};
 use apex_data::synth::{adult_dataset, nytaxi_dataset};
+use apex_serve::shard::{serve_sharded, ServeConfig, ShardSet};
 use apex_serve::state::{start_reaper, PersistOptions};
-use apex_serve::{router, selftest, ServerState};
+use apex_serve::{selftest, ServerState};
 
 struct Args {
     addr: String,
-    threads: usize,
+    shards: usize,
+    workers_per_shard: Option<usize>,
+    /// Deprecated alias for `workers_per_shard`.
+    threads: Option<usize>,
     cache_cap: usize,
     budget: f64,
     rows: usize,
@@ -43,24 +65,36 @@ struct Args {
     force_truncate_wal: bool,
 }
 
+impl Args {
+    /// Worker threads per shard: the explicit flag, then the deprecated
+    /// `--threads` alias, then a parallelism-derived default.
+    fn workers(&self) -> usize {
+        self.workers_per_shard.or(self.threads).unwrap_or_else(|| {
+            let cores = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4);
+            (cores / self.shards.max(1)).clamp(2, 8)
+        })
+    }
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage: apex-serve [--addr HOST:PORT] [--threads N] [--cache-cap N] [--budget B] \
-         [--rows N] [--state-dir DIR] [--snapshot-every N] [--ttl-secs N] \
-         [--admin-token TOKEN] [--force-truncate-wal] \
-         [--self-test [--sessions N] [--submits N]]"
+        "usage: apex-serve [--addr HOST:PORT] [--shards N] [--workers-per-shard N] \
+         [--cache-cap N] [--budget B] [--rows N] [--state-dir DIR] [--snapshot-every N] \
+         [--ttl-secs N] [--admin-token TOKEN] [--force-truncate-wal] \
+         [--self-test [--sessions N] [--submits N]]\n\
+         note: --threads N is a deprecated alias for --workers-per-shard N"
     );
     std::process::exit(2)
 }
 
 fn parse_args() -> Args {
-    let default_threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(16);
     let mut args = Args {
         addr: "127.0.0.1:8787".to_string(),
-        threads: default_threads,
+        shards: 1,
+        workers_per_shard: None,
+        threads: None,
         cache_cap: 128,
         budget: 1.0,
         rows: 10_000,
@@ -83,7 +117,17 @@ fn parse_args() -> Args {
         };
         match flag.as_str() {
             "--addr" => args.addr = take("--addr"),
-            "--threads" => args.threads = parse_num(&take("--threads"), "--threads"),
+            "--shards" => args.shards = parse_num(&take("--shards"), "--shards"),
+            "--workers-per-shard" => {
+                args.workers_per_shard = Some(parse_num(
+                    &take("--workers-per-shard"),
+                    "--workers-per-shard",
+                ))
+            }
+            "--threads" => {
+                eprintln!("note: --threads is deprecated; use --workers-per-shard");
+                args.threads = Some(parse_num(&take("--threads"), "--threads"));
+            }
             "--cache-cap" => args.cache_cap = parse_num(&take("--cache-cap"), "--cache-cap"),
             "--rows" => args.rows = parse_num(&take("--rows"), "--rows"),
             "--sessions" => args.sessions = parse_num(&take("--sessions"), "--sessions"),
@@ -112,6 +156,10 @@ fn parse_args() -> Args {
             }
         }
     }
+    if args.shards > apex_serve::shard::MAX_SHARDS {
+        eprintln!("--shards must be at most {}", apex_serve::shard::MAX_SHARDS);
+        usage()
+    }
     args
 }
 
@@ -130,7 +178,8 @@ fn main() {
 
     if args.self_test {
         let cfg = selftest::SelfTestConfig {
-            server_threads: args.threads,
+            server_threads: args.workers(),
+            shards: args.shards,
             sessions: args.sessions,
             submits: args.submits,
             rows: args.rows.min(5_000),
@@ -139,7 +188,8 @@ fn main() {
             ..selftest::SelfTestConfig::default()
         };
         println!(
-            "self-test: {} server threads, {} sessions x {} submits, {} rows/dataset{}",
+            "self-test: {} shards x {} workers, {} sessions x {} submits, {} rows/dataset{}",
+            cfg.shards,
             cfg.server_threads,
             cfg.sessions,
             cfg.submits,
@@ -189,43 +239,55 @@ fn main() {
         return;
     }
 
-    let config = |seed: u64| EngineConfig {
-        budget: args.budget,
-        mode: Mode::Optimistic,
-        seed,
+    // Every shard registers every tenant (the ring decides who serves
+    // whom), with shard-distinct seeds so mechanism noise streams never
+    // correlate across shards.
+    let cache = apex_core::TranslatorCache::with_capacity(args.cache_cap);
+    let mk = |shard: usize| {
+        let config = |seed: u64| EngineConfig {
+            budget: args.budget,
+            mode: Mode::Optimistic,
+            seed: seed ^ ((shard as u64) << 32),
+        };
+        let mut builder = ServerState::builder_with_cache(cache.clone())
+            .dataset("adult", adult_dataset(args.rows, 7), config(0xA9E5_1001))
+            .dataset("taxi", nytaxi_dataset(args.rows, 9), config(0xA9E5_1002));
+        if let Some(secs) = args.ttl_secs {
+            builder = builder.session_ttl(Duration::from_secs(secs));
+        }
+        if let Some(token) = &args.admin_token {
+            builder = builder.admin_token(token);
+        }
+        builder
     };
-    let mut builder = ServerState::builder(args.cache_cap)
-        .dataset("adult", adult_dataset(args.rows, 7), config(0xA9E5_1001))
-        .dataset("taxi", nytaxi_dataset(args.rows, 9), config(0xA9E5_1002));
-    if let Some(secs) = args.ttl_secs {
-        builder = builder.session_ttl(Duration::from_secs(secs));
-    }
-    if let Some(token) = &args.admin_token {
-        builder = builder.admin_token(token);
-    }
-    let state = match &args.state_dir {
+
+    let set = match &args.state_dir {
         Some(dir) => {
-            let opts = PersistOptions {
+            let opts = |shard_dir: &std::path::Path| PersistOptions {
                 snapshot_every: args.snapshot_every,
                 truncate_corrupt: args.force_truncate_wal,
-                ..PersistOptions::new(dir)
+                ..PersistOptions::new(shard_dir)
             };
-            match builder.build_recovered(opts) {
-                Ok((state, report)) => {
-                    println!(
-                        "recovered from {dir}: {} wal records replayed over the snapshot, \
-                         {} live sessions restored{}",
-                        report.replayed,
-                        report.sessions,
-                        report
-                            .truncated
-                            .map(|n| format!(", damaged tail truncated to {n} bytes"))
-                            .unwrap_or_default()
-                    );
-                    for (name, spent) in &report.tenants {
-                        println!("  {name}: resuming with spent = {spent:.6}");
+            match ShardSet::recover(std::path::Path::new(dir), args.shards, mk, opts) {
+                Ok((set, reports)) => {
+                    for (k, report) in reports.iter().enumerate() {
+                        println!(
+                            "shard {k} recovered from {dir}/shard-{k}: {} wal records \
+                             replayed over the snapshot, {} live sessions restored{}",
+                            report.replayed,
+                            report.sessions,
+                            report
+                                .truncated
+                                .map(|n| format!(", damaged tail truncated to {n} bytes"))
+                                .unwrap_or_default()
+                        );
+                        for (name, spent) in &report.tenants {
+                            if *spent > 0.0 {
+                                println!("  {name}: resuming with spent = {spent:.6}");
+                            }
+                        }
                     }
-                    Arc::new(state)
+                    Arc::new(set)
                 }
                 Err(e) => {
                     eprintln!("refusing to start: {e}");
@@ -233,19 +295,28 @@ fn main() {
                 }
             }
         }
-        None => Arc::new(builder.build()),
+        None => Arc::new(ShardSet::build(args.shards, mk)),
     };
 
-    let reaper = args.ttl_secs.map(|secs| {
-        // Sweep a few times per TTL so expiry lag stays small.
-        let interval = Duration::from_millis((secs.saturating_mul(1000) / 4).clamp(250, 30_000));
-        start_reaper(state.clone(), interval)
-    });
+    // One TTL reaper per shard: each sweeps only its own sessions.
+    let reapers: Vec<_> = args
+        .ttl_secs
+        .map(|secs| {
+            // Sweep a few times per TTL so expiry lag stays small.
+            let interval =
+                Duration::from_millis((secs.saturating_mul(1000) / 4).clamp(250, 30_000));
+            set.states()
+                .iter()
+                .map(|s| start_reaper(s.clone(), interval))
+                .collect()
+        })
+        .unwrap_or_default();
 
-    let handler_state = state.clone();
-    let handle = match apex_serve::serve(args.addr.as_str(), args.threads, move |req| {
-        router::route(&handler_state, req)
-    }) {
+    let cfg = ServeConfig {
+        workers_per_shard: args.workers(),
+        ..ServeConfig::default()
+    };
+    let handle = match serve_sharded(args.addr.as_str(), set.clone(), cfg) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("could not bind {}: {e}", args.addr);
@@ -253,27 +324,29 @@ fn main() {
         }
     };
     println!(
-        "apex-serve listening on http://{} ({} workers, cache cap {}, B = {} per dataset{}{}; \
-         POST /v1/admin/shutdown to stop)",
+        "apex-serve listening on http://{} ({} shards x {} workers, cache cap {}, \
+         B = {} per dataset per shard{}{}; POST /v1/admin/shutdown to stop)",
         handle.addr(),
-        args.threads,
+        set.shards(),
+        args.workers(),
         args.cache_cap,
         args.budget,
         args.state_dir
             .as_deref()
-            .map(|d| format!(", durable in {d}"))
+            .map(|d| format!(", durable in {d}/shard-K"))
             .unwrap_or_default(),
         args.ttl_secs
             .map(|t| format!(", session TTL {t}s"))
             .unwrap_or_default()
     );
     handle.join();
-    if let Some(reaper) = reaper {
+    for reaper in reapers {
         reaper.stop();
     }
-    // A clean shutdown compacts, so the next start replays nothing.
+    // A clean shutdown compacts every shard, so the next start replays
+    // nothing.
     if args.state_dir.is_some() {
-        if let Err(e) = state.compact() {
+        if let Err(e) = set.compact_all() {
             eprintln!("final compaction failed (next start will replay the WAL): {e}");
         }
     }

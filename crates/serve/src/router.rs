@@ -6,6 +6,7 @@
 //! | `POST /v1/sessions`                   | open a session (dataset + budget slice)  |
 //! | `POST /v1/sessions/{id}/query`        | submit a query (200 answered, 409 denied)|
 //! | `GET  /v1/sessions/{id}/budget`       | session + engine budget state            |
+//! | `POST /v1/sessions/{id}/close`        | close a session, reclaim its remainder   |
 //! | `GET  /v1/stats`                      | cache counters (global + per dataset)    |
 //! | `GET  /v1/admin/sessions`             | admin: list live sessions                |
 //! | `POST /v1/admin/sessions/{id}/expire` | admin: force-expire a session            |
@@ -44,6 +45,9 @@ pub fn route(state: &Arc<ServerState>, req: &Request) -> Response {
         ["v1", "sessions", id, "budget"] => {
             with_session_id(id, |id| method(req, "GET", || budget(state, id)))
         }
+        ["v1", "sessions", id, "close"] => {
+            with_session_id(id, |id| method(req, "POST", || close_session(state, id)))
+        }
         ["v1", "stats"] => method(req, "GET", || stats(state)),
         ["v1", "admin", rest @ ..] => match admin_auth(state, req) {
             Ok(()) => admin(state, req, rest),
@@ -67,8 +71,9 @@ fn admin(state: &Arc<ServerState>, req: &Request, segments: &[&str]) -> Response
 
 /// Checks the bearer token when one is configured. Constant-time
 /// comparison: the verdict leaks nothing about how much of the token
-/// matched.
-fn admin_auth(state: &ServerState, req: &Request) -> Result<(), Response> {
+/// matched. `pub(crate)` so the shard layer can guard its aggregated
+/// admin endpoints with the same rule.
+pub(crate) fn admin_auth(state: &ServerState, req: &Request) -> Result<(), Response> {
     let Some(expected) = state.admin_token() else {
         return Ok(());
     };
@@ -283,6 +288,12 @@ fn admin_sessions(state: &ServerState) -> Response {
 }
 
 fn admin_expire(state: &ServerState, id: u64) -> Response {
+    close_session(state, id)
+}
+
+/// Closing a session (analyst `close` or admin `expire`): removes it,
+/// reclaims the unspent slice remainder, and reports what was released.
+fn close_session(state: &ServerState, id: u64) -> Response {
     match state.expire_session(id) {
         Ok(Some(released)) => Response::json(
             200,

@@ -51,15 +51,19 @@ use apex_query::{ExplorationQuery, Strategy};
 
 use crate::client;
 use crate::json::Json;
-use crate::router;
+use crate::shard::{serve_sharded, ServeConfig, ShardSet};
 use crate::state::{PersistOptions, RecoverError, ServerState, ServerStateBuilder};
 
-/// Self-test knobs (`--threads/--sessions/--submits/--rows/--cache-cap/
-/// --state-dir`).
+/// Self-test knobs (`--shards/--workers-per-shard/--sessions/--submits/
+/// --rows/--cache-cap/--state-dir`).
 #[derive(Debug, Clone)]
 pub struct SelfTestConfig {
-    /// Server worker threads.
+    /// Worker threads per shard.
     pub server_threads: usize,
+    /// Shard count: each shard owns its own engines, WAL sequence, and
+    /// `state-dir/shard-K/` directory; tenants route by consistent
+    /// hashing. `1` reproduces the unsharded behavior.
+    pub shards: usize,
     /// Concurrent analyst sessions (client threads).
     pub sessions: usize,
     /// Query submissions per session.
@@ -83,6 +87,7 @@ impl Default for SelfTestConfig {
     fn default() -> Self {
         Self {
             server_threads: 4,
+            shards: 1,
             sessions: 8,
             submits: 6,
             rows: 2_000,
@@ -195,8 +200,8 @@ fn slow_wide_query(prefixes: usize) -> String {
     )
 }
 
-fn build_state(cfg: &SelfTestConfig) -> ServerStateBuilder {
-    ServerState::builder(cfg.cache_cap)
+fn build_state(cfg: &SelfTestConfig, cache: apex_core::TranslatorCache) -> ServerStateBuilder {
+    ServerState::builder_with_cache(cache)
         .dataset(
             "adult",
             adult_dataset(cfg.rows, 7),
@@ -226,11 +231,21 @@ fn build_state(cfg: &SelfTestConfig) -> ServerStateBuilder {
         )
 }
 
-fn recover(cfg: &SelfTestConfig, dir: &PathBuf) -> Result<(ServerState, usize), String> {
-    build_state(cfg)
-        .build_recovered(PersistOptions::new(dir))
-        .map(|(state, report)| (state, report.replayed))
-        .map_err(|e: RecoverError| format!("recovery failed: {e}"))
+/// Recovers all shards from `dir/shard-K` (in parallel), sharing one
+/// translator cache; returns the set and the total WAL records replayed.
+fn recover(cfg: &SelfTestConfig, dir: &std::path::Path) -> Result<(ShardSet, usize), String> {
+    let cache = apex_core::TranslatorCache::with_capacity(cfg.cache_cap);
+    ShardSet::recover(
+        dir,
+        cfg.shards,
+        |_| build_state(cfg, cache.clone()),
+        |d| PersistOptions::new(d),
+    )
+    .map(|(set, reports)| {
+        let replayed = reports.iter().map(|r| r.replayed).sum();
+        (set, replayed)
+    })
+    .map_err(|e: RecoverError| format!("recovery failed: {e}"))
 }
 
 /// Runs the whole self-test: recover → serve → hammer → verify → shut
@@ -260,20 +275,29 @@ pub fn run(cfg: SelfTestConfig) -> Result<SelfTestReport, String> {
     result
 }
 
-fn run_in_dir(cfg: &SelfTestConfig, dir: &PathBuf) -> Result<SelfTestReport, String> {
-    let (state, _) = recover(cfg, dir)?;
-    let baseline: Vec<(String, f64)> = state
+fn run_in_dir(cfg: &SelfTestConfig, dir: &std::path::Path) -> Result<SelfTestReport, String> {
+    let (set, _) = recover(cfg, dir)?;
+    let set = Arc::new(set);
+    // Per-tenant baselines are summed across shards: a tenant's charges
+    // live in its owner shard's ledger, and if the shard count changed
+    // since the dir was written, in a previous owner's — the sum covers
+    // both.
+    let baseline: Vec<(String, f64)> = set
+        .state(0)
         .tenants()
         .iter()
-        .map(|(name, t)| (name.clone(), t.engine.spent()))
+        .map(|(name, _)| (name.clone(), set.spent(name)))
         .collect();
     let recovered_baseline = baseline.iter().any(|(_, s)| *s > 0.0);
 
-    let state = Arc::new(state);
-    let handler_state = state.clone();
-    let handle = crate::http::serve("127.0.0.1:0", cfg.server_threads, move |req| {
-        router::route(&handler_state, req)
-    })
+    let handle = serve_sharded(
+        "127.0.0.1:0",
+        set.clone(),
+        ServeConfig {
+            workers_per_shard: cfg.server_threads,
+            ..ServeConfig::default()
+        },
+    )
     .map_err(|e| format!("bind failed: {e}"))?;
     let addr = handle.addr();
 
@@ -317,6 +341,13 @@ fn run_in_dir(cfg: &SelfTestConfig, dir: &PathBuf) -> Result<SelfTestReport, Str
     let (status, stats) = client::request(addr, "GET", "/v1/stats", None)?;
     if status != 200 {
         return Err(format!("GET /v1/stats returned {status}"));
+    }
+    let shard_count = stats.get("shard_count").and_then(Json::as_u64).unwrap_or(0);
+    if shard_count != cfg.shards as u64 {
+        return Err(format!(
+            "stats reported {shard_count} shards, configured {}",
+            cfg.shards
+        ));
     }
     let global = stats
         .get("cache")
@@ -381,17 +412,15 @@ fn run_in_dir(cfg: &SelfTestConfig, dir: &PathBuf) -> Result<SelfTestReport, Str
 
     // The compaction-pause scenario: force WAL rotations against a slow
     // in-flight query — rotation must not wait on the evaluate phase.
-    let probe = compaction_pause_scenario(&state, addr, cfg.slow_query_prefixes)?;
+    let probe = compaction_pause_scenario(set.owner("wide"), addr, cfg.slow_query_prefixes)?;
     report.compaction_pause_millis = probe.pause_millis;
     report.slow_query_millis = probe.query_millis;
     report.rotations_in_flight = probe.rotations_in_flight;
     // The scenario spent on the wide tenant after the stats snapshot
     // above; record its ledger now so the restart leg verifies it too.
-    report.budgets.push((
-        "wide".to_string(),
-        state.tenant("wide").expect("registered").engine.spent(),
-        WIDE_BUDGET,
-    ));
+    report
+        .budgets
+        .push(("wide".to_string(), set.spent("wide"), WIDE_BUDGET));
     // The forced rotations may have folded every record this run
     // appended into the snapshot; open one more (budget-neutral)
     // session so the restart leg always has WAL to replay — keeping the
@@ -412,18 +441,18 @@ fn run_in_dir(cfg: &SelfTestConfig, dir: &PathBuf) -> Result<SelfTestReport, Str
         return Err(format!("shutdown returned {status}"));
     }
     handle.join();
-    drop(state);
+    drop(set);
 
-    // The durability leg: restart from disk (replaying this run's WAL)
-    // and re-verify that the recovered ledger equals what the wire saw.
+    // The durability leg: restart from disk (replaying every shard's
+    // WAL) and re-verify that the recovered ledger equals what the wire
+    // saw — per tenant, summed across the shards that charged it.
     let (restarted, replayed) = recover(cfg, dir)?;
     report.recovery_replayed = replayed;
     for (name, spent, _) in &report.budgets {
-        let recovered = restarted
-            .tenant(name)
-            .ok_or_else(|| format!("restart lost dataset {name}"))?
-            .engine
-            .spent();
+        if restarted.state(0).tenant(name).is_none() {
+            return Err(format!("restart lost dataset {name}"));
+        }
+        let recovered = restarted.spent(name);
         if (recovered - spent).abs() > 1e-9 {
             return Err(format!(
                 "RECOVERY DIVERGENCE on {name}: ledger was {spent} before shutdown, \
@@ -678,6 +707,7 @@ mod tests {
     fn self_test_passes_with_a_small_workload() {
         let report = run(SelfTestConfig {
             server_threads: 2,
+            shards: 1,
             sessions: 4,
             submits: 4,
             rows: 400,
@@ -710,6 +740,33 @@ mod tests {
     }
 
     #[test]
+    fn self_test_passes_with_multiple_shards() {
+        // The same invariants must hold when tenants are spread over
+        // shards: per-shard ledgers sum to what the wire acked, and the
+        // restart leg recovers every shard's WAL in parallel.
+        let report = run(SelfTestConfig {
+            server_threads: 2,
+            shards: 2,
+            sessions: 4,
+            submits: 4,
+            rows: 400,
+            cache_cap: 16,
+            state_dir: None,
+            slow_query_prefixes: 64,
+        })
+        .expect("sharded self-test must pass");
+        assert!(report.answered > 0);
+        assert!(report.denied > 0, "oversubscription must force denials");
+        assert!(
+            report.recovery_replayed > 0,
+            "the restart leg must replay per-shard WAL"
+        );
+        for (name, spent, budget) in &report.budgets {
+            assert!(spent <= &(budget + 1e-9), "{name}: {spent} > {budget}");
+        }
+    }
+
+    #[test]
     fn self_test_reruns_against_the_same_state_dir() {
         // The CI shape: two passes over one directory — the second runs
         // in recovered mode and re-verifies the combined ledger.
@@ -723,6 +780,7 @@ mod tests {
         ));
         let cfg = || SelfTestConfig {
             server_threads: 2,
+            shards: 1,
             sessions: 4,
             submits: 3,
             rows: 300,

@@ -1,0 +1,1585 @@
+//! The shard layer: N shard workers, each owning its own engine set,
+//! ledger gate, WAL generation sequence, and snapshot directory, with
+//! tenants mapped to shards by **consistent hashing** over the tenant
+//! name — adding a shard moves only ~1/(N+1) of tenants, so a resharded
+//! deployment migrates a bounded slice of state instead of all of it.
+//!
+//! The fixed thread-per-connection pool is replaced by a nonblocking
+//! accept/dispatch loop: one event thread accepts connections, reads
+//! just enough of each request to extract the routing key (the tenant
+//! name for `POST /v1/sessions`, the shard bits of the session id for
+//! everything session-scoped), then hands the connection to the owning
+//! shard's **bounded** work queue. A full queue sheds the request with
+//! `503` + `Retry-After` — backpressure is explicit, never unbounded
+//! memory. Responses default to HTTP keep-alive: after a shard worker
+//! writes its response, the connection migrates back to the event loop
+//! and its next request may route to a *different* shard, so one client
+//! connection can reach every shard.
+//!
+//! Session ids encode their owning shard in the high bits
+//! (`id = (shard << 40) | local`): routing a session-scoped request
+//! never needs a lookup, ids stay unique across shards, and they remain
+//! below 2^53 (exact in JSON doubles) for up to 2^13 shards.
+//!
+//! The `TranslatorCache` stays a single `Arc`-shared instance across
+//! shards (its artifacts are data-independent), so cross-tenant cache
+//! hits survive sharding. Recovery replays each shard's
+//! WAL-over-snapshot independently and in parallel at boot, and
+//! `/v1/stats` aggregates per-shard ledgers plus exposes the per-shard
+//! breakdown.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use apex_mech::CacheStats;
+
+use crate::http::{self, BufParse, Request, Response};
+use crate::json::Json;
+use crate::router;
+use crate::snapshot;
+use crate::state::{PersistOptions, RecoverError, RecoveryReport, ServerState, ServerStateBuilder};
+use crate::wire;
+
+/// Bits the shard index occupies above the per-shard sequence number.
+pub const SHARD_ID_SHIFT: u32 = 40;
+
+/// Hard ceiling on the shard count: keeps `(shard << 40) | local` below
+/// 2^53, so session ids stay exactly representable in JSON doubles.
+pub const MAX_SHARDS: usize = 1 << 13;
+
+/// Virtual nodes per shard on the hash ring. More vnodes → smoother
+/// ownership split and a remap fraction closer to the ideal 1/(N+1);
+/// 256 keeps the observed remap within ~1.3× of ideal while the ring
+/// stays small enough (shards × 256 points) that lookups are a binary
+/// search over a few KB.
+const VNODES: usize = 256;
+
+/// The session-id offset of shard `k`.
+pub fn shard_id_base(shard: usize) -> u64 {
+    (shard as u64) << SHARD_ID_SHIFT
+}
+
+/// The shard encoded in a session id's high bits.
+pub fn session_shard(id: u64) -> usize {
+    (id >> SHARD_ID_SHIFT) as usize
+}
+
+/// 64-bit FNV-1a — deterministic across processes and platforms (no
+/// seed, no pointer identity), which is what makes the ring's routing
+/// stable across restarts.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// MurmurHash3's 64-bit finalizer. Raw FNV-1a clusters on
+/// near-identical inputs (vnode labels differ only in a digit or two),
+/// which skews ring-arc lengths badly; the finalizer's avalanche
+/// spreads the points uniformly. Still seedless and deterministic.
+fn fmix64(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^= h >> 33;
+    h
+}
+
+/// The ring's point hash: FNV-1a with an avalanche finalizer.
+fn point_hash(bytes: &[u8]) -> u64 {
+    fmix64(fnv1a(bytes))
+}
+
+/// The consistent-hash ring mapping tenant names to shards.
+///
+/// Each shard contributes [`VNODES`] points at
+/// `point_hash("shard-{k}/vnode-{v}")`; a tenant belongs to the first
+/// point clockwise from `point_hash(name)`. Growing the ring from N to
+/// N+1 shards
+/// only reassigns tenants whose clockwise-first point is now one of the
+/// new shard's vnodes — an expected 1/(N+1) fraction; every other
+/// tenant keeps its shard, which is the property that bounds how much
+/// state a reshard has to migrate.
+#[derive(Debug, Clone)]
+pub struct ShardRing {
+    shards: usize,
+    /// Sorted `(point, shard)` pairs.
+    ring: Vec<(u64, usize)>,
+}
+
+impl ShardRing {
+    /// A ring over `shards` shards (clamped to `1..=MAX_SHARDS`).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.clamp(1, MAX_SHARDS);
+        let mut ring = Vec::with_capacity(shards * VNODES);
+        for shard in 0..shards {
+            for v in 0..VNODES {
+                ring.push((
+                    point_hash(format!("shard-{shard}/vnode-{v}").as_bytes()),
+                    shard,
+                ));
+            }
+        }
+        ring.sort_unstable();
+        // A 64-bit point collision between vnodes is astronomically
+        // unlikely, but dedup keeps the winner deterministic (lowest
+        // shard) rather than sort-order-dependent.
+        ring.dedup_by_key(|e| e.0);
+        Self { shards, ring }
+    }
+
+    /// Number of shards on the ring.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `tenant` — a pure function of (name, shard
+    /// count), identical in every process that builds the same ring.
+    pub fn shard_for(&self, tenant: &str) -> usize {
+        let h = point_hash(tenant.as_bytes());
+        let i = match self.ring.binary_search_by_key(&h, |e| e.0) {
+            Ok(i) => i,
+            Err(i) => i % self.ring.len(), // wrap past the last point
+        };
+        self.ring[i].1
+    }
+}
+
+/// A set of shard states behind one ring: shard `k` owns its engines,
+/// ledger gate, WAL sequence, and `root/shard-k` directory, while all
+/// shards share one translator cache.
+#[derive(Debug)]
+pub struct ShardSet {
+    ring: ShardRing,
+    states: Vec<Arc<ServerState>>,
+}
+
+impl ShardSet {
+    /// Builds `shards` **in-memory** shard states (no persistence).
+    /// `mk(k)` supplies shard `k`'s builder — typically
+    /// [`ServerState::builder_with_cache`] over one shared cache, with
+    /// every tenant registered on every shard (the ring decides who
+    /// serves whom; budgets are charged only on the owner).
+    pub fn build(shards: usize, mk: impl Fn(usize) -> ServerStateBuilder) -> Self {
+        let ring = ShardRing::new(shards);
+        let states = (0..ring.shards())
+            .map(|k| Arc::new(mk(k).session_id_base(shard_id_base(k)).build()))
+            .collect();
+        Self { ring, states }
+    }
+
+    /// Recovers every shard from `root/shard-k`, **independently and in
+    /// parallel** — one thread per shard replays that shard's
+    /// WAL-over-snapshot; a slow or large shard never serializes the
+    /// others. The first shard to refuse recovery fails the whole boot.
+    ///
+    /// # Errors
+    /// The first [`RecoverError`] any shard reported.
+    pub fn recover(
+        root: &Path,
+        shards: usize,
+        mk: impl Fn(usize) -> ServerStateBuilder + Sync,
+        opts: impl Fn(&Path) -> PersistOptions + Sync,
+    ) -> Result<(Self, Vec<RecoveryReport>), RecoverError> {
+        let ring = ShardRing::new(shards);
+        let n = ring.shards();
+        let mut slots: Vec<Option<Result<(ServerState, RecoveryReport), RecoverError>>> =
+            (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (k, slot) in slots.iter_mut().enumerate() {
+                let mk = &mk;
+                let opts = &opts;
+                scope.spawn(move || {
+                    let dir = snapshot::shard_dir(root, k);
+                    *slot = Some(
+                        mk(k)
+                            .session_id_base(shard_id_base(k))
+                            .build_recovered(opts(&dir)),
+                    );
+                });
+            }
+        });
+        let mut states = Vec::with_capacity(n);
+        let mut reports = Vec::with_capacity(n);
+        for slot in slots {
+            let (state, report) = slot.expect("every shard thread ran")?;
+            states.push(Arc::new(state));
+            reports.push(report);
+        }
+        Ok((Self { ring, states }, reports))
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The ring (routing is `ring().shard_for(tenant)`).
+    pub fn ring(&self) -> &ShardRing {
+        &self.ring
+    }
+
+    /// Shard `k`'s state.
+    pub fn state(&self, k: usize) -> &Arc<ServerState> {
+        &self.states[k]
+    }
+
+    /// All shard states, in shard order.
+    pub fn states(&self) -> &[Arc<ServerState>] {
+        &self.states
+    }
+
+    /// The state owning `tenant`.
+    pub fn owner(&self, tenant: &str) -> &Arc<ServerState> {
+        &self.states[self.ring.shard_for(tenant)]
+    }
+
+    /// Live sessions across all shards.
+    pub fn session_count(&self) -> usize {
+        self.states.iter().map(|s| s.session_count()).sum()
+    }
+
+    /// `tenant`'s spent budget summed across shards (only the owner
+    /// charges in a given deployment era, but the sum is correct
+    /// regardless).
+    pub fn spent(&self, tenant: &str) -> f64 {
+        self.states
+            .iter()
+            .filter_map(|s| s.tenant(tenant))
+            .map(|t| t.engine.spent())
+            .sum()
+    }
+
+    /// Compacts every shard (the clean-shutdown path). The first error
+    /// is returned but every shard is still attempted.
+    ///
+    /// # Errors
+    /// The first shard compaction failure.
+    pub fn compact_all(&self) -> Result<(), std::io::Error> {
+        let mut first_err = None;
+        for s in &self.states {
+            if let Err(e) = s.compact() {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+}
+
+/// The aggregated `/v1/stats` body: totals across shards (same shape as
+/// the unsharded endpoint, so existing clients keep working) plus a
+/// `shards` breakdown.
+pub fn stats_json(set: &ShardSet) -> Json {
+    let mut dataset_entries = Vec::new();
+    for (name, _) in set.state(0).tenants() {
+        let mut budget = 0.0;
+        let (mut spent, mut reclaimed) = (0.0f64, 0.0f64);
+        let (mut answered, mut denied) = (0usize, 0usize);
+        let mut sessions = 0usize;
+        let mut cache = CacheStats::default();
+        for st in set.states() {
+            let Some(t) = st.tenant(name) else { continue };
+            let ledger = t.engine.export_ledger();
+            budget = ledger.budget;
+            spent += ledger.spent;
+            answered += ledger.answered;
+            denied += ledger.denied;
+            reclaimed += t.reclaimed();
+            sessions += st.session_count_for(name);
+            let local = t.cache.local_stats();
+            cache.hits += local.hits;
+            cache.misses += local.misses;
+            cache.evictions += local.evictions;
+        }
+        dataset_entries.push((
+            name.clone(),
+            Json::obj(vec![
+                ("cache", wire::cache_stats_json(cache)),
+                (
+                    "budget",
+                    Json::obj(vec![
+                        ("budget", Json::Num(budget)),
+                        ("spent", Json::Num(spent)),
+                        ("remaining", Json::Num(budget - spent)),
+                        ("reclaimed", Json::Num(reclaimed)),
+                    ]),
+                ),
+                (
+                    "transcript",
+                    Json::obj(vec![
+                        ("answered", Json::from(answered)),
+                        ("denied", Json::from(denied)),
+                    ]),
+                ),
+                ("sessions", Json::from(sessions)),
+            ]),
+        ));
+    }
+
+    let shard_entries: Vec<Json> = set
+        .states()
+        .iter()
+        .enumerate()
+        .map(|(k, st)| {
+            let datasets: Vec<(String, Json)> = st
+                .tenants()
+                .iter()
+                .map(|(n, t)| {
+                    let ledger = t.engine.export_ledger();
+                    (
+                        n.clone(),
+                        Json::obj(vec![
+                            ("spent", Json::Num(ledger.spent)),
+                            ("reclaimed", Json::Num(t.reclaimed())),
+                            ("answered", Json::from(ledger.answered)),
+                            ("denied", Json::from(ledger.denied)),
+                            ("sessions", Json::from(st.session_count_for(n))),
+                        ]),
+                    )
+                })
+                .collect();
+            Json::obj(vec![
+                ("shard", Json::from(k)),
+                ("sessions", Json::from(st.session_count())),
+                ("expired", Json::from(st.expired_count())),
+                ("session_id_base", Json::from(st.session_id_base())),
+                ("datasets", Json::Obj(datasets)),
+            ])
+        })
+        .collect();
+
+    // The root cache is one shared instance; report it once, not summed.
+    let root = set.state(0).cache();
+    Json::obj(vec![
+        ("sessions", Json::from(set.session_count())),
+        (
+            "expired",
+            Json::from(
+                set.states()
+                    .iter()
+                    .map(|s| s.expired_count())
+                    .sum::<usize>(),
+            ),
+        ),
+        ("shard_count", Json::from(set.shards())),
+        (
+            "cache",
+            Json::obj(vec![
+                ("capacity", Json::from(root.capacity())),
+                ("entries", Json::from(root.len())),
+                ("global", wire::cache_stats_json(root.stats())),
+            ]),
+        ),
+        ("datasets", Json::Obj(dataset_entries)),
+        ("shards", Json::Arr(shard_entries)),
+    ])
+}
+
+/// Knobs for the sharded server.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads per shard draining that shard's queue. Shard
+    /// throughput under durable WALs is fsync-bound, so a couple of
+    /// workers per shard suffice to keep appends overlapping.
+    pub workers_per_shard: usize,
+    /// Bound of each shard's work queue; a full queue answers `503`.
+    pub queue_cap: usize,
+    /// Idle keep-alive connections past this are dropped.
+    pub idle_timeout: Duration,
+    /// Seconds advertised in the backpressure `Retry-After` header.
+    pub retry_after_secs: u64,
+    /// How long a worker lingers on a keep-alive connection after
+    /// responding, waiting for the client's next request. A session's
+    /// requests (open → query → close) all route to the same shard, so
+    /// the follow-up usually lands here within the window and is served
+    /// directly — skipping the dispatcher round trip that otherwise
+    /// dominates per-request latency. Zero disables stickiness.
+    pub sticky_wait: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers_per_shard: 2,
+            queue_cap: 256,
+            idle_timeout: Duration::from_secs(30),
+            retry_after_secs: 1,
+            sticky_wait: Duration::from_millis(1),
+        }
+    }
+}
+
+/// A connection parked in the event loop (or in flight to a worker).
+#[derive(Debug)]
+struct ConnState {
+    stream: TcpStream,
+    /// Bytes read but not yet consumed by a parsed request.
+    buf: Vec<u8>,
+    /// When the current (incomplete) request started arriving.
+    read_start: Option<Instant>,
+    last_activity: Instant,
+    /// Whether the stream is currently in worker mode (blocking, write
+    /// timeout armed) rather than event-loop mode (nonblocking). Kept
+    /// here so the worker's serve loop pays the two mode-switch
+    /// syscalls once per dispatch, not once per pipelined request.
+    worker_io: bool,
+    /// Responses accumulated for a pipelined burst, flushed in one
+    /// write once no further request is already buffered (or before
+    /// the connection blocks, parks, or drops). Always empty while the
+    /// connection sits in the event loop.
+    wbuf: Vec<u8>,
+}
+
+/// Largest buffer a single connection may accumulate: one max-size head
+/// plus one max-size body plus pipelined slack.
+const MAX_CONN_BUF: usize = http::MAX_BODY + http::MAX_LINE * (http::MAX_HEADERS + 2) + (64 << 10);
+
+/// One request handed to a shard worker, carrying its connection.
+struct Work {
+    conn: ConnState,
+    req: Request,
+}
+
+/// Control handle for a running sharded server.
+#[derive(Debug)]
+pub struct ShardServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    event: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ShardServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests graceful shutdown. The event loop polls the flag (it
+    /// never blocks indefinitely), so no nudge connection is needed.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until the event loop and every shard worker have exited.
+    pub fn join(mut self) {
+        if let Some(e) = self.event.take() {
+            let _ = e.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Starts the sharded server: binds `addr`, spawns the event thread and
+/// `workers_per_shard` workers per shard, and returns the handle.
+///
+/// # Errors
+/// Propagates bind failures.
+pub fn serve_sharded<A: ToSocketAddrs>(
+    addr: A,
+    set: Arc<ShardSet>,
+    cfg: ServeConfig,
+) -> std::io::Result<ShardServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Workers hand keep-alive connections back through this channel.
+    let (ret_tx, ret_rx) = mpsc::channel::<ConnState>();
+    let mut workers = Vec::new();
+    let mut queues: Vec<SyncSender<Work>> = Vec::with_capacity(set.shards());
+    for k in 0..set.shards() {
+        // Each shard's WAL group-commit gate gathers one writer per
+        // worker before paying its single fsync.
+        set.state(k).set_sync_peers(cfg.workers_per_shard.max(1));
+        let (tx, rx) = mpsc::sync_channel::<Work>(cfg.queue_cap);
+        let rx = Arc::new(Mutex::new(rx));
+        queues.push(tx);
+        for _ in 0..cfg.workers_per_shard.max(1) {
+            let set = set.clone();
+            let rx = rx.clone();
+            let ret = ret_tx.clone();
+            let stop = stop.clone();
+            let cfg = cfg.clone();
+            workers.push(std::thread::spawn(move || {
+                shard_worker(&set, k, &rx, &ret, &stop, &cfg);
+            }));
+        }
+    }
+    drop(ret_tx); // workers hold the only senders now
+
+    let event = {
+        let stop = stop.clone();
+        std::thread::spawn(move || event_loop(&listener, &set, &queues, &ret_rx, &stop, &cfg))
+    };
+
+    Ok(ShardServerHandle {
+        addr: local,
+        stop,
+        event: Some(event),
+        workers,
+    })
+}
+
+/// Whether the client asked to keep the connection open (HTTP/1.1
+/// default unless `Connection: close`).
+fn wants_keep_alive(req: &Request) -> bool {
+    !req.header("connection")
+        .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+}
+
+/// Cap on consecutive sticky serves per queue grab. Fairness against a
+/// chatty connection comes from the queue-priority check (queued work
+/// preempts lingering after every response), so this is only a
+/// backstop against a conn that streams requests forever; it can be
+/// generous without starving anyone.
+const STICKY_MAX: usize = 512;
+
+/// Flush the accumulated response buffer once it reaches this size even
+/// if more pipelined requests are waiting, so a long burst can't defer
+/// its first response arbitrarily.
+const WBUF_FLUSH: usize = 32 << 10;
+
+/// What the sticky wait on a keep-alive connection produced.
+enum Sticky {
+    /// The next request arrived and routes to this worker's shard.
+    Serve(Request),
+    /// No (complete) request within the window, or it routes elsewhere:
+    /// park the connection back in the event loop.
+    Park,
+    /// The client hung up or the socket failed.
+    Drop,
+}
+
+/// Waits up to `wait` for the connection's next request. Only a
+/// complete request that routes to shard `k` is consumed; anything
+/// else (partial bytes, malformed input, a foreign-shard or global
+/// request) stays buffered for the event loop to handle.
+fn sticky_next(conn: &mut ConnState, set: &ShardSet, k: usize, wait: Duration) -> Sticky {
+    let deadline = Instant::now() + wait;
+    let mut chunk = [0u8; 4096];
+    loop {
+        match http::parse_buffered(&conn.buf) {
+            BufParse::Complete(req, consumed) => {
+                if matches!(target_for(set, &req), Target::Shard(s) if s == k) {
+                    conn.buf.drain(..consumed);
+                    conn.read_start = None;
+                    conn.last_activity = Instant::now();
+                    return Sticky::Serve(req);
+                }
+                return Sticky::Park;
+            }
+            BufParse::Bad(_) => return Sticky::Park, // event loop answers it
+            BufParse::NeedMore => {
+                if conn.buf.len() > MAX_CONN_BUF {
+                    return Sticky::Park; // event loop answers 413
+                }
+            }
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return Sticky::Park;
+        }
+        // Blocking read with the remaining window as the timeout: on a
+        // busy host this yields the core to the client whose request
+        // we're waiting for.
+        if conn.stream.set_read_timeout(Some(deadline - now)).is_err() {
+            return Sticky::Park;
+        }
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => return Sticky::Drop,
+            Ok(n) => {
+                if conn.buf.is_empty() {
+                    conn.read_start = Some(Instant::now());
+                }
+                conn.buf.extend_from_slice(&chunk[..n]);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return Sticky::Park
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return Sticky::Drop,
+        }
+    }
+}
+
+/// One shard worker: drain the shard's queue, route against the shard's
+/// own state, write the response, and migrate the connection back to
+/// the event loop when it stays open.
+///
+/// After each response the worker lingers for `cfg.sticky_wait` on the
+/// connection: a session's open → query → close all hash to the same
+/// shard, so the follow-up request usually arrives within the window
+/// and is served right here, without a dispatcher round trip. Requests
+/// that route elsewhere (or don't arrive in time) park the connection
+/// back in the event loop as before.
+fn shard_worker(
+    set: &Arc<ShardSet>,
+    k: usize,
+    rx: &Arc<Mutex<Receiver<Work>>>,
+    ret: &mpsc::Sender<ConnState>,
+    stop: &Arc<AtomicBool>,
+    cfg: &ServeConfig,
+) {
+    let state = set.state(k);
+    // Parks a connection back in the event loop, nonblocking again. A
+    // closed return channel means the event loop is gone (shutdown);
+    // dropping the connection is then correct.
+    let park = |mut conn: ConnState| {
+        conn.worker_io = false;
+        if conn.stream.set_read_timeout(None).is_ok() && conn.stream.set_nonblocking(true).is_ok() {
+            let _ = ret.send(conn);
+        }
+    };
+    loop {
+        // Hold the receiver lock only while popping, so sibling workers
+        // stay runnable during request handling.
+        let next = { rx.lock().expect("no poisoning").recv() };
+        let Ok(mut work) = next else {
+            return; // queue closed: shutdown
+        };
+        let mut served = 0;
+        loop {
+            let Work { mut conn, req } = work;
+            served += 1;
+            let resp = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                router::route(state, &req)
+            })) {
+                Ok(resp) => resp,
+                Err(_) => Response::json(500, "{\"error\":\"internal error\"}".into()),
+            };
+            if resp.shutdown {
+                stop.store(true, Ordering::SeqCst);
+            }
+            let keep = wants_keep_alive(&req) && !resp.shutdown;
+            // Response writes are blocking (with a timeout): the payloads
+            // are small and a worker must not drop a half-written response.
+            if !conn.worker_io {
+                let _ = conn.stream.set_nonblocking(false);
+                let _ = conn.stream.set_write_timeout(Some(http::IO_TIMEOUT));
+                conn.worker_io = true;
+            }
+            http::append_response(&mut conn.wbuf, &resp, keep);
+            if !keep {
+                // Best-effort final flush: the connection drops either way.
+                let _ = conn.stream.write_all(&conn.wbuf);
+                break;
+            }
+            conn.last_activity = Instant::now();
+            // Pipelined burst fast path: while the next request is
+            // already buffered (zero wait), keep serving and let the
+            // responses pile up in wbuf — one flush syscall per burst
+            // instead of one per response.
+            if conn.wbuf.len() < WBUF_FLUSH && served < STICKY_MAX && !stop.load(Ordering::SeqCst) {
+                if let Sticky::Serve(next_req) = sticky_next(&mut conn, set, k, Duration::ZERO) {
+                    work = Work {
+                        conn,
+                        req: next_req,
+                    };
+                    continue;
+                }
+            }
+            // About to block, park, or drop: the client must see its
+            // responses first.
+            if conn.stream.write_all(&conn.wbuf).is_err() {
+                break; // drop the connection
+            }
+            conn.wbuf.clear();
+            // Sticky first, queue second: keeping each worker pinned to
+            // its connection is what keeps every worker of a shard an
+            // *active WAL writer* — one worker alternating between two
+            // connections would leave its sibling idle and every group
+            // commit gathering a party that never arrives. A connection
+            // streaming requests forever cannot starve the queue: the
+            // sticky window only serves requests already buffered or
+            // arriving within `sticky_wait`, and STICKY_MAX backstops
+            // pathological streams.
+            if !cfg.sticky_wait.is_zero() && served < STICKY_MAX && !stop.load(Ordering::SeqCst) {
+                match sticky_next(&mut conn, set, k, cfg.sticky_wait) {
+                    Sticky::Serve(next_req) => {
+                        work = Work {
+                            conn,
+                            req: next_req,
+                        };
+                        continue;
+                    }
+                    Sticky::Park => {}
+                    Sticky::Drop => break,
+                }
+            }
+            park(conn);
+            break;
+        }
+    }
+}
+
+/// Where one parsed request must go.
+enum Target {
+    /// Session- or tenant-scoped: the owning shard's queue.
+    Shard(usize),
+    /// Cross-shard (healthz, stats, admin list/shutdown): handled inline.
+    Global,
+    /// Answerable without touching any shard.
+    Reply(Response),
+}
+
+/// Pulls `"dataset":"…"` out of a create-session body without a full
+/// JSON parse — routing only; the owning shard's router re-parses and
+/// validates properly.
+fn extract_dataset(body: &str) -> Option<String> {
+    let at = body.find("\"dataset\"")?;
+    let rest = &body[at + "\"dataset\"".len()..];
+    let colon = rest.find(':')?;
+    let rest = rest[colon + 1..].trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+fn target_for(set: &ShardSet, req: &Request) -> Target {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match segments.as_slice() {
+        ["v1", "sessions"] => {
+            // Tenant-routed; a body the router would reject goes to
+            // shard 0 for the proper 400/404/405.
+            let shard = req
+                .body_str()
+                .and_then(extract_dataset)
+                .map(|d| set.ring().shard_for(&d))
+                .unwrap_or(0);
+            Target::Shard(shard)
+        }
+        ["v1", "sessions", id, ..] | ["v1", "admin", "sessions", id, ..] => {
+            match id.parse::<u64>() {
+                Ok(id) => {
+                    let shard = session_shard(id);
+                    if shard < set.shards() {
+                        Target::Shard(shard)
+                    } else {
+                        // An id from a larger past deployment: nothing
+                        // here can own it.
+                        Target::Reply(Response::json(404, wire::error_json("no such session")))
+                    }
+                }
+                // Router answers "session id must be an integer".
+                Err(_) => Target::Shard(0),
+            }
+        }
+        _ => Target::Global,
+    }
+}
+
+/// The cross-shard endpoints, handled on the event thread (all cheap:
+/// counter reads and ledger exports).
+fn route_global(set: &ShardSet, req: &Request) -> Response {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match segments.as_slice() {
+        ["healthz"] => {
+            if req.method != "GET" {
+                return Response::json(405, wire::error_json("use GET"));
+            }
+            let body = Json::obj(vec![
+                ("status", Json::from("ok")),
+                ("shards", Json::from(set.shards())),
+                ("datasets", Json::from(set.state(0).tenants().len())),
+                ("sessions", Json::from(set.session_count())),
+            ]);
+            Response::json(200, body.render())
+        }
+        ["v1", "stats"] => {
+            if req.method != "GET" {
+                return Response::json(405, wire::error_json("use GET"));
+            }
+            Response::json(200, stats_json(set).render())
+        }
+        ["v1", "admin", rest @ ..] => {
+            // Every shard carries the same admin token; shard 0 checks.
+            if let Err(resp) = router::admin_auth(set.state(0), req) {
+                return resp;
+            }
+            match rest {
+                ["shutdown"] => {
+                    if req.method != "POST" {
+                        return Response::json(405, wire::error_json("use POST"));
+                    }
+                    let mut resp = Response::json(
+                        202,
+                        Json::obj(vec![("status", Json::from("shutting down"))]).render(),
+                    );
+                    resp.shutdown = true;
+                    resp
+                }
+                ["sessions"] => {
+                    if req.method != "GET" {
+                        return Response::json(405, wire::error_json("use GET"));
+                    }
+                    let mut sessions: Vec<_> = set
+                        .states()
+                        .iter()
+                        .flat_map(|s| s.list_sessions())
+                        .collect();
+                    sessions.sort_by_key(|s| s.id);
+                    let body = Json::obj(vec![
+                        (
+                            "sessions",
+                            Json::Arr(sessions.into_iter().map(wire::session_info_json).collect()),
+                        ),
+                        (
+                            "expired",
+                            Json::from(
+                                set.states()
+                                    .iter()
+                                    .map(|s| s.expired_count())
+                                    .sum::<usize>(),
+                            ),
+                        ),
+                        (
+                            "ttl_millis",
+                            set.state(0)
+                                .ttl_millis()
+                                .map(Json::from)
+                                .unwrap_or(Json::Null),
+                        ),
+                    ]);
+                    Response::json(200, body.render())
+                }
+                _ => Response::json(404, wire::error_json("no such admin endpoint")),
+            }
+        }
+        _ => Response::json(404, wire::error_json("no such endpoint")),
+    }
+}
+
+/// Outcome of draining a connection's readable bytes.
+enum Fill {
+    /// Appended at least one byte.
+    Got,
+    /// Nothing available right now.
+    Nothing,
+    /// EOF or a hard error: the connection is done.
+    Closed,
+}
+
+fn fill(conn: &mut ConnState, scratch: &mut [u8]) -> Fill {
+    let mut got = false;
+    loop {
+        match conn.stream.read(scratch) {
+            Ok(0) => return Fill::Closed,
+            Ok(n) => {
+                conn.buf.extend_from_slice(&scratch[..n]);
+                got = true;
+                if n < scratch.len() {
+                    return Fill::Got;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                return if got { Fill::Got } else { Fill::Nothing };
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return Fill::Closed,
+        }
+    }
+}
+
+/// Writes `resp` inline from the event thread (blocking, with a write
+/// timeout — the payloads are small). Returns whether the connection
+/// survives: write succeeded, keep-alive wanted, and back to
+/// nonblocking cleanly.
+fn respond_inline(conn: &mut ConnState, resp: &Response, keep_alive: bool) -> bool {
+    let _ = conn.stream.set_nonblocking(false);
+    let _ = conn.stream.set_write_timeout(Some(http::IO_TIMEOUT));
+    let ok = http::write_response_conn(&mut conn.stream, resp, keep_alive).is_ok();
+    ok && keep_alive && conn.stream.set_nonblocking(true).is_ok()
+}
+
+/// Services one connection for one scan pass. Returns the connection to
+/// keep parking, or `None` when it was closed or handed to a shard.
+#[allow(clippy::too_many_arguments)] // the event loop's full working set
+fn service_conn(
+    mut conn: ConnState,
+    now: Instant,
+    set: &ShardSet,
+    queues: &[SyncSender<Work>],
+    cfg: &ServeConfig,
+    stop: &AtomicBool,
+    scratch: &mut [u8],
+    progress: &mut bool,
+) -> Option<ConnState> {
+    match fill(&mut conn, scratch) {
+        Fill::Closed => return None,
+        Fill::Got => {
+            conn.last_activity = now;
+            *progress = true;
+        }
+        Fill::Nothing => {}
+    }
+    loop {
+        if conn.buf.is_empty() {
+            conn.read_start = None;
+            if now.duration_since(conn.last_activity) > cfg.idle_timeout {
+                return None;
+            }
+            return Some(conn);
+        }
+        let read_start = *conn.read_start.get_or_insert(now);
+        match http::parse_buffered(&conn.buf) {
+            BufParse::NeedMore => {
+                if conn.buf.len() > MAX_CONN_BUF {
+                    let resp = Response::json(413, wire::error_json("request too large"));
+                    respond_inline(&mut conn, &resp, false);
+                    return None;
+                }
+                if now.duration_since(read_start) > http::REQUEST_DEADLINE {
+                    let resp = Response::json(408, wire::error_json("request timed out"));
+                    respond_inline(&mut conn, &resp, false);
+                    return None;
+                }
+                return Some(conn);
+            }
+            BufParse::Bad(status) => {
+                let resp = Response::json(status, wire::error_json(http::status_text(status)));
+                respond_inline(&mut conn, &resp, false);
+                return None;
+            }
+            BufParse::Complete(req, consumed) => {
+                conn.buf.drain(..consumed);
+                conn.read_start = None;
+                *progress = true;
+                let keep = wants_keep_alive(&req);
+                match target_for(set, &req) {
+                    Target::Reply(resp) => {
+                        if !respond_inline(&mut conn, &resp, keep) {
+                            return None;
+                        }
+                        // Loop: the buffer may hold a pipelined request.
+                    }
+                    Target::Global => {
+                        let resp = route_global(set, &req);
+                        if resp.shutdown {
+                            stop.store(true, Ordering::SeqCst);
+                        }
+                        if !respond_inline(&mut conn, &resp, keep && !resp.shutdown) {
+                            return None;
+                        }
+                    }
+                    Target::Shard(k) => match queues[k].try_send(Work { conn, req }) {
+                        Ok(()) => return None,
+                        Err(TrySendError::Full(work)) => {
+                            // Backpressure: shed THIS request, keep the
+                            // connection — the client retries after
+                            // `Retry-After` without reconnecting.
+                            let Work { conn: back, .. } = work;
+                            conn = back;
+                            let resp = Response::unavailable(cfg.retry_after_secs);
+                            if !respond_inline(&mut conn, &resp, keep) {
+                                return None;
+                            }
+                        }
+                        Err(TrySendError::Disconnected(_)) => return None,
+                    },
+                }
+            }
+        }
+    }
+}
+
+/// The nonblocking accept/dispatch loop. Single-threaded readiness by
+/// scanning: accept whatever is pending, take back worker-returned
+/// connections, try to read + parse each parked connection, dispatch
+/// complete requests. Scans that make no progress sleep briefly, so an
+/// idle server costs ~0 and a busy one never waits on a timer.
+fn event_loop(
+    listener: &TcpListener,
+    set: &Arc<ShardSet>,
+    queues: &[SyncSender<Work>],
+    ret_rx: &Receiver<ConnState>,
+    stop: &Arc<AtomicBool>,
+    cfg: &ServeConfig,
+) {
+    let mut conns: Vec<ConnState> = Vec::new();
+    let mut scratch = vec![0u8; 16 << 10];
+    while !stop.load(Ordering::SeqCst) {
+        let mut progress = false;
+
+        // New connections.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_ok() {
+                        conns.push(ConnState {
+                            stream,
+                            buf: Vec::new(),
+                            read_start: None,
+                            last_activity: Instant::now(),
+                            worker_io: false,
+                            wbuf: Vec::new(),
+                        });
+                        progress = true;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                // Persistent accept failures (e.g. EMFILE) fall through
+                // to the scan; the no-progress sleep is the backoff.
+                Err(_) => break,
+            }
+        }
+
+        // Connections migrating back from shard workers.
+        while let Ok(conn) = ret_rx.try_recv() {
+            conns.push(conn);
+            progress = true;
+        }
+
+        // Scan every parked connection.
+        let now = Instant::now();
+        let mut kept = Vec::with_capacity(conns.len());
+        for conn in conns.drain(..) {
+            if let Some(c) = service_conn(
+                conn,
+                now,
+                set,
+                queues,
+                cfg,
+                stop,
+                &mut scratch,
+                &mut progress,
+            ) {
+                kept.push(c);
+            }
+        }
+        conns = kept;
+
+        if !progress {
+            std::thread::sleep(Duration::from_micros(300));
+        }
+    }
+    // Dropping the queue senders (owned by our caller's vector) happens
+    // when this function returns; workers then drain and exit. Parked
+    // connections and the listener close on drop.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+    use apex_core::TranslatorCache;
+    use apex_core::{EngineConfig, Mode};
+    use apex_data::{Attribute, Dataset, Domain, Schema, Value};
+
+    fn tiny_dataset(domain: i64) -> Dataset {
+        let schema = Schema::new(vec![Attribute::new(
+            "v",
+            Domain::IntRange {
+                min: 0,
+                max: domain - 1,
+            },
+        )])
+        .unwrap();
+        let mut d = Dataset::empty(schema);
+        for i in 0..16 {
+            d.push(vec![Value::Int(i % domain)]).unwrap();
+        }
+        d
+    }
+
+    /// Picks `per_shard` tenant names owned by EACH shard, so tests
+    /// never depend on luck for traffic reaching every shard.
+    fn split_tenants(shards: usize, per_shard: usize) -> Vec<String> {
+        let ring = ShardRing::new(shards);
+        let mut picked: Vec<Vec<String>> = vec![Vec::new(); shards];
+        for i in 0.. {
+            let name = format!("tenant-{i}");
+            let k = ring.shard_for(&name);
+            if picked[k].len() < per_shard {
+                picked[k].push(name);
+            }
+            if picked.iter().all(|p| p.len() == per_shard) {
+                break;
+            }
+        }
+        picked.into_iter().flatten().collect()
+    }
+
+    fn demo_set(shards: usize, tenants: &[String]) -> Arc<ShardSet> {
+        let cache = TranslatorCache::with_capacity(64);
+        let tenants = tenants.to_vec();
+        Arc::new(ShardSet::build(shards, |k| {
+            let mut b = ServerState::builder_with_cache(cache.clone());
+            for (i, name) in tenants.iter().enumerate() {
+                b = b.dataset(
+                    name,
+                    tiny_dataset(8),
+                    EngineConfig {
+                        budget: 10.0,
+                        mode: Mode::Optimistic,
+                        seed: 0x5AD_0000 + (k as u64) * 100 + i as u64,
+                    },
+                );
+            }
+            b
+        }))
+    }
+
+    #[test]
+    fn ring_is_deterministic_and_pinned() {
+        // Two independent constructions agree on every tenant…
+        let a = ShardRing::new(4);
+        let b = ShardRing::new(4);
+        for i in 0..1000 {
+            let name = format!("tenant-{i}");
+            assert_eq!(a.shard_for(&name), b.shard_for(&name));
+        }
+        // …and the hash itself is pinned: routing must be identical
+        // across process restarts, which rules out any per-process seed.
+        assert_eq!(fnv1a(b"apex"), 8577353448253779745);
+        assert_eq!(fnv1a(b"adult"), 11639421285675599503);
+        assert_eq!(fnv1a(b"taxi"), 15672339713388457737);
+        assert_eq!(point_hash(b"apex"), 8112367261626308721);
+        assert_eq!(point_hash(b"adult"), 7037391770252502742);
+        assert_eq!(point_hash(b"taxi"), 14145573428915606398);
+    }
+
+    #[test]
+    fn ring_spreads_tenants_across_all_shards() {
+        for shards in [2usize, 4, 8] {
+            let ring = ShardRing::new(shards);
+            let mut counts = vec![0usize; shards];
+            for i in 0..10_000 {
+                counts[ring.shard_for(&format!("tenant-{i}"))] += 1;
+            }
+            for (k, c) in counts.iter().enumerate() {
+                assert!(
+                    *c > 10_000 / shards / 4,
+                    "shard {k} of {shards} owns only {c} of 10000 tenants"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adding_a_shard_remaps_a_bounded_fraction() {
+        const TENANTS: usize = 10_000;
+        for n in 1usize..=8 {
+            let before = ShardRing::new(n);
+            let after = ShardRing::new(n + 1);
+            let moved = (0..TENANTS)
+                .filter(|i| {
+                    let name = format!("tenant-{i}");
+                    before.shard_for(&name) != after.shard_for(&name)
+                })
+                .count();
+            // Ideal is 1/(n+1); vnode placement variance gets slack.
+            let bound = ((TENANTS as f64) * (1.6 / (n + 1) as f64 + 0.02)) as usize;
+            assert!(
+                moved <= bound,
+                "{n}→{} shards moved {moved}/{TENANTS} tenants (bound {bound})",
+                n + 1
+            );
+            // And every moved tenant landed on the NEW shard's ring
+            // points or was displaced by them — nothing shuffles between
+            // old shards.
+            for i in 0..TENANTS {
+                let name = format!("tenant-{i}");
+                let (b, a) = (before.shard_for(&name), after.shard_for(&name));
+                if b != a {
+                    assert_eq!(a, n, "tenant {name} moved {b}→{a}, not to the new shard");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn session_ids_encode_their_shard() {
+        for shard in [0usize, 1, 7, 4095] {
+            let base = shard_id_base(shard);
+            assert_eq!(session_shard(base + 1), shard);
+            assert_eq!(session_shard(base + 0xFF_FFFF), shard);
+        }
+        // Ids stay exactly representable in a JSON double.
+        assert!(shard_id_base(MAX_SHARDS - 1) + ((1u64 << SHARD_ID_SHIFT) - 1) < (1u64 << 53));
+    }
+
+    #[test]
+    fn sharded_server_routes_sessions_and_aggregates_stats() {
+        let tenants = split_tenants(2, 2);
+        let set = demo_set(2, &tenants);
+        let handle = serve_sharded("127.0.0.1:0", set.clone(), ServeConfig::default()).unwrap();
+        let addr = handle.addr();
+
+        let q = "BIN t ON COUNT(*) WHERE W = { v IN [0, 4), v IN [4, 8) } \
+                 ERROR 8 CONFIDENCE 0.95;";
+        let mut ids = Vec::new();
+        for name in &tenants {
+            let body = format!("{{\"dataset\":\"{name}\",\"budget\":2.0}}");
+            let (status, created) =
+                client::request(addr, "POST", "/v1/sessions", Some(&body)).unwrap();
+            assert_eq!(status, 201, "{created:?}");
+            let id = created.get("session").and_then(Json::as_u64).unwrap();
+            // The id's shard bits match the ring's routing decision.
+            assert_eq!(session_shard(id), set.ring().shard_for(name));
+            let (status, resp) = client::request(
+                addr,
+                "POST",
+                &format!("/v1/sessions/{id}/query"),
+                Some(&format!("{{\"query\":\"{q}\"}}")),
+            )
+            .unwrap();
+            assert_eq!(status, 200, "{resp:?}");
+            ids.push((name, id));
+        }
+
+        // Both shards saw traffic (the four tenants split across 2).
+        assert!(
+            set.states()
+                .iter()
+                .all(|s| s.tenants().iter().any(|(_, t)| t.engine.spent() > 0.0)),
+            "consistent hashing left a shard idle"
+        );
+
+        // Aggregated stats: totals match the sum over shards.
+        let (status, stats) = client::request(addr, "GET", "/v1/stats", None).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(
+            stats.get("sessions").and_then(Json::as_u64),
+            Some(tenants.len() as u64)
+        );
+        assert_eq!(stats.get("shard_count").and_then(Json::as_u64), Some(2));
+        let shards_arr = stats.get("shards").and_then(Json::as_arr).unwrap();
+        assert_eq!(shards_arr.len(), 2);
+        for name in &tenants {
+            let agg = stats
+                .get("datasets")
+                .and_then(|d| d.get(name))
+                .and_then(|d| d.get("budget"))
+                .and_then(|b| b.get("spent"))
+                .and_then(Json::as_f64)
+                .unwrap();
+            let summed = set.spent(name);
+            assert!(
+                (agg - summed).abs() < 1e-12,
+                "{name}: stats {agg} vs shard sum {summed}"
+            );
+            assert!(agg > 0.0);
+        }
+
+        // The admin list merges both shards, ascending by id.
+        let (status, listed) = client::request(addr, "GET", "/v1/admin/sessions", None).unwrap();
+        assert_eq!(status, 200);
+        let listed = listed.get("sessions").and_then(Json::as_arr).unwrap();
+        assert_eq!(listed.len(), tenants.len());
+
+        // Analyst close routes by the id's shard bits and reclaims.
+        for (name, id) in &ids {
+            let (status, closed) = client::request(
+                addr,
+                "POST",
+                &format!("/v1/sessions/{id}/close"),
+                Some("{}"),
+            )
+            .unwrap();
+            assert_eq!(status, 200, "closing {name}: {closed:?}");
+            assert!(closed.get("released").and_then(Json::as_f64).unwrap() > 0.0);
+        }
+        // A close on a foreign-deployment id (shard out of range) 404s.
+        let ghost = shard_id_base(9) + 1;
+        let (status, _) = client::request(
+            addr,
+            "POST",
+            &format!("/v1/sessions/{ghost}/close"),
+            Some("{}"),
+        )
+        .unwrap();
+        assert_eq!(status, 404);
+
+        // Graceful shutdown through the aggregated admin plane.
+        let (status, _) = client::request(addr, "POST", "/v1/admin/shutdown", Some("{}")).unwrap();
+        assert_eq!(status, 202);
+        handle.join();
+    }
+
+    #[test]
+    fn keep_alive_connection_migrates_across_shards() {
+        use std::io::Write;
+        let tenants = split_tenants(2, 2);
+        let set = demo_set(2, &tenants);
+        // split_tenants interleaves per shard, so these two differ.
+        let a = tenants[0].as_str();
+        let b = tenants
+            .iter()
+            .find(|t| set.ring().shard_for(t) != set.ring().shard_for(a))
+            .expect("split_tenants covers both shards")
+            .as_str();
+        let handle = serve_sharded("127.0.0.1:0", set.clone(), ServeConfig::default()).unwrap();
+
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut sessions = Vec::new();
+        let mut carry = Vec::new();
+        // Several requests over ONE connection, alternating shards.
+        for name in [a, b, a, b] {
+            let body = format!("{{\"dataset\":\"{name}\",\"budget\":1.0}}");
+            let raw = format!(
+                "POST /v1/sessions HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            );
+            stream.write_all(raw.as_bytes()).unwrap();
+            let resp = read_one_response(&mut stream, &mut carry);
+            assert!(resp.starts_with("HTTP/1.1 201"), "{resp}");
+            assert!(resp.contains("keep-alive"), "{resp}");
+            let at = resp.find("\"session\":").unwrap();
+            let digits: String = resp[at + 10..]
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect();
+            sessions.push(digits.parse::<u64>().unwrap());
+        }
+        let shards_hit: std::collections::HashSet<usize> =
+            sessions.iter().map(|&id| session_shard(id)).collect();
+        assert_eq!(shards_hit.len(), 2, "one connection must reach both shards");
+
+        // Pipelining: two requests written back-to-back still get two
+        // well-formed responses in order.
+        let r1 = format!(
+            "GET /v1/sessions/{}/budget HTTP/1.1\r\nHost: x\r\n\r\n",
+            sessions[0]
+        );
+        let r2 = format!(
+            "GET /v1/sessions/{}/budget HTTP/1.1\r\nHost: x\r\n\r\n",
+            sessions[1]
+        );
+        stream.write_all(r1.as_bytes()).unwrap();
+        stream.write_all(r2.as_bytes()).unwrap();
+        for _ in 0..2 {
+            let resp = read_one_response(&mut stream, &mut carry);
+            assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        }
+
+        // `Connection: close` is honored.
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let resp = read_one_response(&mut stream, &mut carry);
+        assert!(resp.contains("Connection: close"), "{resp}");
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty(), "server must close after Connection: close");
+
+        handle.stop();
+        handle.join();
+    }
+
+    /// Reads exactly one HTTP response (head + Content-Length body).
+    /// `carry` holds bytes read past the response boundary (pipelined
+    /// responses can arrive in one segment) for the next call.
+    fn read_one_response(stream: &mut TcpStream, carry: &mut Vec<u8>) -> String {
+        let mut chunk = [0u8; 1024];
+        loop {
+            let head_end = carry
+                .windows(4)
+                .position(|w| w == b"\r\n\r\n")
+                .map(|p| p + 4);
+            if let Some(head_end) = head_end {
+                let head = String::from_utf8_lossy(&carry[..head_end]).into_owned();
+                let len: usize = head
+                    .lines()
+                    .find_map(|l| l.strip_prefix("Content-Length: "))
+                    .and_then(|v| v.trim().parse().ok())
+                    .unwrap_or(0);
+                if carry.len() >= head_end + len {
+                    let resp = String::from_utf8_lossy(&carry[..head_end + len]).into_owned();
+                    carry.drain(..head_end + len);
+                    return resp;
+                }
+            }
+            let n = stream.read(&mut chunk).expect("response read");
+            assert!(n > 0, "connection closed mid-response");
+            carry.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    #[test]
+    fn full_shard_queue_answers_503_with_retry_after() {
+        use std::io::Write;
+        // One shard, ONE worker, a rendezvous (capacity-0) queue: while
+        // the worker is busy, any dispatch must shed with 503.
+        let cache = TranslatorCache::with_capacity(16);
+        let set = Arc::new(ShardSet::build(1, |_| {
+            ServerState::builder_with_cache(cache.clone()).dataset(
+                "wide",
+                {
+                    let schema = Schema::new(vec![Attribute::new(
+                        "v",
+                        Domain::IntRange { min: 0, max: 4095 },
+                    )])
+                    .unwrap();
+                    let mut d = Dataset::empty(schema);
+                    for i in 0..32 {
+                        d.push(vec![Value::Int(i * 128)]).unwrap();
+                    }
+                    d
+                },
+                EngineConfig {
+                    budget: 100.0,
+                    mode: Mode::Pessimistic,
+                    seed: 7,
+                },
+            )
+        }));
+        let cfg = ServeConfig {
+            workers_per_shard: 1,
+            queue_cap: 0,
+            ..ServeConfig::default()
+        };
+        let handle = serve_sharded("127.0.0.1:0", set, cfg).unwrap();
+        let addr = handle.addr();
+
+        let (status, created) = client::request(
+            addr,
+            "POST",
+            "/v1/sessions",
+            Some("{\"dataset\":\"wide\",\"budget\":50.0}"),
+        )
+        .unwrap();
+        assert_eq!(status, 201, "{created:?}");
+        let id = created.get("session").and_then(Json::as_u64).unwrap();
+
+        // A slow cold-prepare query occupies the only worker…
+        let preds: Vec<String> = (1..=48).map(|i| format!("v IN [0, {})", i * 64)).collect();
+        let slow = format!(
+            "BIN wide ON COUNT(*) WHERE W = {{ {} }} ERROR 200 CONFIDENCE 0.99;",
+            preds.join(", ")
+        );
+        let slow_body = format!("{{\"query\":{}}}", Json::from(slow).render());
+        let got_503 = std::thread::scope(|scope| {
+            let slow_client = scope.spawn(|| {
+                client::request(
+                    addr,
+                    "POST",
+                    &format!("/v1/sessions/{id}/query"),
+                    Some(&slow_body),
+                )
+            });
+            std::thread::sleep(Duration::from_millis(40));
+            // …so concurrent requests to the same shard shed with 503 +
+            // Retry-After (raw socket: the header must be on the wire).
+            let mut got = false;
+            for _ in 0..50 {
+                let mut s = TcpStream::connect(addr).unwrap();
+                s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                s.write_all(
+                    format!(
+                        "GET /v1/sessions/{id}/budget HTTP/1.1\r\nHost: x\r\n\
+                         Connection: close\r\n\r\n"
+                    )
+                    .as_bytes(),
+                )
+                .unwrap();
+                let mut out = String::new();
+                let _ = s.read_to_string(&mut out);
+                if out.starts_with("HTTP/1.1 503") {
+                    assert!(out.contains("Retry-After: 1"), "{out}");
+                    got = true;
+                    break;
+                }
+                // The slow query may have finished already on a fast
+                // machine; 200 is the only other legal outcome.
+                assert!(out.starts_with("HTTP/1.1 200"), "{out}");
+            }
+            let (slow_status, _) = slow_client.join().unwrap().unwrap();
+            assert!(
+                slow_status == 200 || slow_status == 409,
+                "slow query returned {slow_status}"
+            );
+            got
+        });
+        assert!(
+            got_503,
+            "a rendezvous queue with a busy worker must shed at least one 503"
+        );
+
+        // After the pressure clears, the same endpoint answers normally.
+        let (status, _) =
+            client::request(addr, "GET", &format!("/v1/sessions/{id}/budget"), None).unwrap();
+        assert_eq!(status, 200);
+
+        handle.stop();
+        handle.join();
+    }
+
+    #[test]
+    fn in_memory_set_recovers_nothing_but_durable_set_recovers_per_shard() {
+        let root = crate::testutil::temp_dir("shardset");
+        let tenants = split_tenants(2, 2);
+        let cache = TranslatorCache::with_capacity(64);
+        let mk = |k: usize| {
+            let mut b = ServerState::builder_with_cache(cache.clone());
+            for (i, name) in tenants.iter().enumerate() {
+                b = b.dataset(
+                    name,
+                    tiny_dataset(8),
+                    EngineConfig {
+                        budget: 10.0,
+                        mode: Mode::Optimistic,
+                        seed: 0xD00D + (k as u64) * 10 + i as u64,
+                    },
+                );
+            }
+            b
+        };
+        let opts = |dir: &Path| PersistOptions {
+            sync: false,
+            ..PersistOptions::new(dir)
+        };
+
+        let spent: Vec<f64> = {
+            let (set, _) = ShardSet::recover(&root, 2, mk, opts).unwrap();
+            let acc = apex_query::AccuracySpec::new(25.0, 0.05).unwrap();
+            let query = apex_query::ExplorationQuery::wcq(vec![
+                apex_data::Predicate::range("v", 0.0, 4.0),
+                apex_data::Predicate::range("v", 4.0, 8.0),
+            ]);
+            for name in &tenants {
+                let shard = set.ring().shard_for(name);
+                let id = set.state(shard).create_session(name, 2.0).unwrap().unwrap();
+                assert_eq!(session_shard(id), shard);
+                set.state(shard).submit(id, &query, &acc).unwrap();
+            }
+            tenants.iter().map(|n| set.spent(n)).collect()
+            // Dropped WITHOUT compaction: recovery replays per-shard WALs.
+        };
+        assert!(spent.iter().all(|s| *s > 0.0));
+
+        let (set, reports) = ShardSet::recover(&root, 2, mk, opts).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert!(
+            reports.iter().all(|r| r.replayed > 0),
+            "both shards must have had WAL to replay: {reports:?}"
+        );
+        for (name, before) in tenants.iter().zip(&spent) {
+            let after = set.spent(name);
+            assert!(
+                (after - before).abs() < 1e-9,
+                "{name}: recovered {after} != acked {before}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

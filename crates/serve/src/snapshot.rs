@@ -223,6 +223,14 @@ pub fn read_snapshot(dir: &Path) -> io::Result<Option<Snapshot>> {
     })
 }
 
+/// Per-shard state directory under a shard set's root: `root/shard-K`.
+/// Each shard's WAL generations, snapshot, and dir lock live entirely
+/// inside its own subdirectory, so shards recover independently (and in
+/// parallel) and never contend on one another's files.
+pub fn shard_dir(root: &Path, shard: usize) -> PathBuf {
+    root.join(format!("shard-{shard}"))
+}
+
 /// Path of the WAL file for `gen` within `dir`.
 pub fn wal_path(dir: &Path, gen: u64) -> PathBuf {
     dir.join(format!("wal-{gen:08}.log"))

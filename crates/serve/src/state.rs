@@ -60,7 +60,7 @@
 use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::Duration;
 
 use apex_core::{
@@ -329,7 +329,58 @@ struct PersistInner {
     writer: WalWriter,
     gen: u64,
     records_since_snapshot: u64,
+    /// Monotonic count of durable appends (across WAL rotations) — the
+    /// sequence the group-commit gate tracks durability against.
+    append_seq: u64,
 }
+
+/// The group-commit gate: records are made durable in *groups*, each
+/// group paying one `sync_data` call that covers every member's
+/// already-appended record. The first uncovered thread becomes the
+/// group's leader and *gathers*: it waits until `sync_peers` writers
+/// have joined (the expected concurrency, set by the serving layer) or
+/// a short timeout lapses, then reads the append high-water mark and
+/// syncs once. Joiners just wait for `synced` to pass their seq — the
+/// same durability latency they would have spent inside their own
+/// `sync_data`, minus the syscall. On a host where fsync cost is
+/// dominated by journal-commit CPU rather than device wait, collapsing
+/// k concurrent fsyncs into one is what lets independent shard WALs
+/// actually scale: every skipped call returns its CPU slice to the
+/// other shards. Without gathering, two lockstep writers always miss
+/// each other (each append lands just after the other's sync began)
+/// and every record still pays a full fsync.
+#[derive(Debug, Default)]
+struct SyncGate {
+    progress: Mutex<SyncProgress>,
+    wakeup: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct SyncProgress {
+    /// Highest `append_seq` known durable.
+    synced: u64,
+    /// Current group-commit phase.
+    phase: SyncPhase,
+    /// Writers that have joined the gathering group (leader included).
+    members: u64,
+}
+
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+enum SyncPhase {
+    /// No group in flight; the next uncovered writer leads one.
+    #[default]
+    Idle,
+    /// A leader is waiting for peers before issuing the group's sync.
+    Gathering,
+    /// The group's `sync_data` is in flight.
+    Syncing,
+}
+
+/// How long a group-commit leader waits for peers before syncing
+/// anyway — the bound on added durability latency when a shard has
+/// only one active writer (an otherwise idle shard, or the tail of a
+/// burst).
+const SYNC_GATHER_TIMEOUT: Duration = Duration::from_micros(200);
 
 /// Exclusive ownership of a state directory: a `lock` file created with
 /// `O_EXCL` holding this process's pid. Two servers appending to one WAL
@@ -444,6 +495,11 @@ struct Persist {
     /// directory.
     _lock: DirLock,
     inner: Mutex<PersistInner>,
+    sync_gate: SyncGate,
+    /// Expected number of concurrent writers (the serving layer's
+    /// workers per shard): a group-commit leader stops gathering once
+    /// this many writers have joined. 1 = sync immediately.
+    sync_peers: AtomicU64,
     /// Fault injection for tests: the next N appends fail with an I/O
     /// error, exercising the durable-or-nothing commit contract.
     #[cfg(test)]
@@ -457,12 +513,17 @@ pub struct ServerState {
     cache: TranslatorCache,
     sessions: RwLock<HashMap<u64, SessionEntry>>,
     /// Ids are handed out sequentially from here, which doubles as the
-    /// tombstone predicate: any id `≥ 1` below this watermark that is
-    /// not in the live map once existed and is now gone (`410`, not
-    /// `404`) — no per-session tombstone storage, bounded for the life
-    /// of the deployment, and it survives restarts because the
-    /// watermark is persisted.
+    /// tombstone predicate: any id above [`ServerState::session_id_base`]
+    /// and below this watermark that is not in the live map once existed
+    /// and is now gone (`410`, not `404`) — no per-session tombstone
+    /// storage, bounded for the life of the deployment, and it survives
+    /// restarts because the watermark is persisted.
     next_session: AtomicU64,
+    /// Offset under every id this state allocates (ids run from
+    /// `base + 1`). Shard sets encode the owning shard in the high bits
+    /// (`shard << 40`), so any session id names its shard and the
+    /// per-shard sequences can never collide.
+    session_id_base: u64,
     clock: Arc<dyn Clock>,
     ttl_millis: Option<u64>,
     admin_token: Option<String>,
@@ -477,13 +538,28 @@ impl ServerState {
     /// Starts building a state whose tenants share one translator cache
     /// bounded to `cache_cap` entries.
     pub fn builder(cache_cap: usize) -> ServerStateBuilder {
+        Self::builder_with_cache(TranslatorCache::with_capacity(cache_cap))
+    }
+
+    /// [`ServerState::builder`] over an existing translator cache handle.
+    /// Shard sets hand one root cache to every shard's builder, so
+    /// cross-tenant artifact sharing survives sharding (the cache is
+    /// data-independent; only the stats scopes are per tenant).
+    pub fn builder_with_cache(cache: TranslatorCache) -> ServerStateBuilder {
         ServerStateBuilder {
-            cache: TranslatorCache::with_capacity(cache_cap),
+            cache,
             tenants: Vec::new(),
             clock: Arc::new(SystemClock::new()),
             ttl: None,
             admin_token: None,
+            session_id_base: 0,
         }
+    }
+
+    /// The offset under every session id this state allocates (0 for an
+    /// unsharded state, `shard << 40` inside a shard set).
+    pub fn session_id_base(&self) -> u64 {
+        self.session_id_base
     }
 
     /// The tenant registered under `name`.
@@ -648,9 +724,11 @@ impl ServerState {
             .contains_key(&id)
         {
             SessionStatus::Live
-        } else if id >= 1 && id < self.next_session.load(Ordering::Relaxed) {
-            // Allocation is sequential, so every id below the watermark
-            // was issued once; not live means it is gone.
+        } else if id > self.session_id_base && id < self.next_session.load(Ordering::Relaxed) {
+            // Allocation is sequential from the base, so every id in
+            // (base, watermark) was issued once; not live means gone.
+            // Ids under a *different* base belong to another shard and
+            // read as unknown here.
             SessionStatus::Expired
         } else {
             SessionStatus::Unknown
@@ -680,7 +758,10 @@ impl ServerState {
     /// Number of sessions that once existed and are now gone (issued
     /// ids minus live ones — derived, not stored).
     pub fn expired_count(&self) -> usize {
-        let issued = self.next_session.load(Ordering::Relaxed).saturating_sub(1) as usize;
+        let issued = self
+            .next_session
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.session_id_base + 1) as usize;
         issued.saturating_sub(self.session_count())
     }
 
@@ -810,13 +891,123 @@ impl ServerState {
         {
             return Err(std::io::Error::other("injected WAL append fault"));
         }
-        let mut inner = p.inner.lock().expect("no poisoning");
-        match record {
-            WalRecord::Deny { .. } => inner.writer.append_relaxed(&record)?,
-            _ => inner.writer.append(&record)?,
+        // Append under the writer lock, fsync after releasing it (see
+        // `SyncGate`): a sibling handler can append the next record
+        // while this one's sync is in flight, and a completed sync
+        // covers every record appended before it started. With the
+        // fsync inside the lock, every record costs a full journal
+        // commit plus a scheduler wakeup, back to back.
+        let (seq, sync_me) = {
+            let mut inner = p.inner.lock().expect("no poisoning");
+            let sync_me = match record {
+                WalRecord::Deny { .. } => {
+                    inner.writer.append_relaxed(&record)?;
+                    None
+                }
+                _ => inner.writer.append_deferred(&record)?,
+            };
+            inner.records_since_snapshot += 1;
+            if sync_me.is_some() {
+                inner.append_seq += 1;
+            }
+            (inner.append_seq, sync_me)
+        };
+        let Some(file) = sync_me else {
+            return Ok(()); // relaxed record, or a writer that never syncs
+        };
+        // Group commit (see `SyncGate`). Loop invariant: on every pass,
+        // either this record is already durable (return), or a group is
+        // gathering (join it), or a sync is in flight (wait for its
+        // result), or this thread leads a new group. A leader that
+        // straddled a WAL rotation syncs the old generation's file —
+        // harmless, the snapshot that rotated it already covers those
+        // records (and the exclusive ledger gate keeps a rotation from
+        // racing an in-flight append-and-sync).
+        let gate = &p.sync_gate;
+        let peers = p.sync_peers.load(Ordering::Relaxed).max(1);
+        let mut prog = gate.progress.lock().expect("no poisoning");
+        let mut joined = false;
+        loop {
+            if prog.synced >= seq {
+                return Ok(());
+            }
+            match prog.phase {
+                SyncPhase::Idle => {
+                    prog.phase = SyncPhase::Gathering;
+                    prog.members = 1;
+                    break;
+                }
+                SyncPhase::Gathering => {
+                    if !joined {
+                        joined = true;
+                        prog.members += 1;
+                        if prog.members >= peers {
+                            // Group full: wake the leader to sync now.
+                            gate.wakeup.notify_all();
+                        }
+                    }
+                    prog = gate.wakeup.wait(prog).expect("no poisoning");
+                }
+                SyncPhase::Syncing => {
+                    prog = gate.wakeup.wait(prog).expect("no poisoning");
+                }
+            }
         }
-        inner.records_since_snapshot += 1;
-        Ok(())
+        // This thread leads the group: wait for the expected peers to
+        // append and join (bounded by the gather timeout), then sync
+        // once for everyone.
+        let gather_start = std::time::Instant::now();
+        while prog.members < peers {
+            let left = SYNC_GATHER_TIMEOUT.saturating_sub(gather_start.elapsed());
+            if left.is_zero() {
+                break;
+            }
+            let (p2, _) = gate.wakeup.wait_timeout(prog, left).expect("no poisoning");
+            prog = p2;
+        }
+        prog.phase = SyncPhase::Syncing;
+        drop(prog);
+        // Everything appended up to here — read under the writer lock —
+        // is on file before `sync_data` begins, so it is durable when
+        // the call returns.
+        let target = p.inner.lock().expect("no poisoning").append_seq;
+        let result = file.sync_data();
+        let mut prog = gate.progress.lock().expect("no poisoning");
+        prog.phase = SyncPhase::Idle;
+        prog.members = 0;
+        match result {
+            Ok(()) => {
+                prog.synced = prog.synced.max(target);
+                drop(prog);
+                gate.wakeup.notify_all();
+                Ok(())
+            }
+            Err(e) => {
+                // No rollback is possible out here (later appends may
+                // already sit behind this record), so fail closed: the
+                // writer refuses everything from now on, and this
+                // request errors instead of acking. If the record still
+                // reaches disk via a later commit, recovery over-counts
+                // spend relative to acks — the safe direction. Waiters
+                // are woken un-advanced; each retries the sync itself
+                // and reports its own failure.
+                drop(prog);
+                gate.wakeup.notify_all();
+                p.inner.lock().expect("no poisoning").writer.poison();
+                Err(e)
+            }
+        }
+    }
+
+    /// Tells the WAL group-commit gate how many concurrent writers to
+    /// expect (the serving layer's workers per shard): a group leader
+    /// stops gathering once this many writers joined. 1 (the default)
+    /// syncs immediately — the right call for single-threaded callers.
+    /// No-op without persistence.
+    pub fn set_sync_peers(&self, peers: usize) {
+        if let Some(p) = &self.persist {
+            p.sync_peers.store(peers.max(1) as u64, Ordering::Relaxed);
+        }
     }
 
     /// Compacts when the WAL has grown past the configured threshold.
@@ -924,6 +1115,7 @@ pub struct ServerStateBuilder {
     clock: Arc<dyn Clock>,
     ttl: Option<Duration>,
     admin_token: Option<String>,
+    session_id_base: u64,
 }
 
 impl ServerStateBuilder {
@@ -968,13 +1160,23 @@ impl ServerStateBuilder {
         self
     }
 
+    /// Offsets every session id: allocation starts at `base + 1` and the
+    /// tombstone watermark covers `(base, next)`. Shard sets pass
+    /// `shard << 40` so ids are globally unique and name their shard.
+    /// Must be stable across restarts of the same state directory.
+    pub fn session_id_base(mut self, base: u64) -> Self {
+        self.session_id_base = base;
+        self
+    }
+
     /// Finishes an **in-memory** registry (no persistence).
     pub fn build(self) -> ServerState {
         ServerState {
             tenants: self.tenants,
             cache: self.cache,
             sessions: RwLock::new(HashMap::new()),
-            next_session: AtomicU64::new(1),
+            next_session: AtomicU64::new(self.session_id_base + 1),
+            session_id_base: self.session_id_base,
             clock: self.clock,
             ttl_millis: self
                 .ttl
@@ -1082,7 +1284,7 @@ impl ServerStateBuilder {
             dataset_of.insert(s.id, s.dataset.clone());
             live.insert(s.id, s.clone());
         }
-        let mut next_session = snap.next_session.max(1);
+        let mut next_session = snap.next_session.max(self.session_id_base + 1);
 
         for record in records {
             match record {
@@ -1184,6 +1386,7 @@ impl ServerStateBuilder {
             cache: self.cache,
             sessions: RwLock::new(sessions),
             next_session: AtomicU64::new(next_session),
+            session_id_base: self.session_id_base,
             clock: self.clock,
             ttl_millis: self
                 .ttl
@@ -1198,7 +1401,10 @@ impl ServerStateBuilder {
                     writer,
                     gen: new_gen,
                     records_since_snapshot: 0,
+                    append_seq: 0,
                 }),
+                sync_gate: SyncGate::default(),
+                sync_peers: AtomicU64::new(1),
                 #[cfg(test)]
                 fail_appends: AtomicU64::new(0),
             }),

@@ -36,6 +36,7 @@
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 /// File magic: identifies a WAL and pins its format version.
 pub const WAL_MAGIC: &[u8; 8] = b"APEXWAL1";
@@ -358,7 +359,9 @@ pub fn truncate_wal(path: &Path, valid_len: u64) -> std::io::Result<()> {
 /// further appends error out, so nothing past the damage can be acked.
 #[derive(Debug)]
 pub struct WalWriter {
-    file: File,
+    /// Shared so [`WalWriter::append_deferred`] can hand the caller a
+    /// handle to `sync_data` *outside* whatever lock serializes appends.
+    file: Arc<File>,
     /// Records appended through this writer (not counting pre-existing
     /// ones) — the compaction trigger counts these.
     appended: u64,
@@ -390,7 +393,7 @@ impl WalWriter {
         }
         let good_len = file.metadata()?.len();
         Ok(Self {
-            file,
+            file: Arc::new(file),
             appended: 0,
             sync,
             good_len,
@@ -429,7 +432,7 @@ impl WalWriter {
             ));
         }
         let frame = record.encode();
-        let result = self.file.write_all(&frame).and_then(|()| {
+        let result = (&*self.file).write_all(&frame).and_then(|()| {
             if self.sync && durable {
                 self.file.sync_data()
             } else {
@@ -451,6 +454,41 @@ impl WalWriter {
                 Err(e)
             }
         }
+    }
+
+    /// Appends one record *without* syncing, returning (when this writer
+    /// syncs at all) the file handle the caller must `sync_data` before
+    /// acking. The point is lock scope: appends are serialized by
+    /// whatever mutex guards this writer, but the fsync — the 100µs+
+    /// part — can run after that mutex is released. A sibling thread
+    /// then appends the next record *while* this one's fsync is in
+    /// flight, and its own fsync finds the inode already clean (or
+    /// rides the same journal commit): group commit, supplied by the
+    /// kernel rather than bookkeeping. Concurrent `sync_data` calls on
+    /// one file are safe; each returns only once every byte written
+    /// before the call — in particular, this record — is durable.
+    ///
+    /// The deferred fsync has no rollback: by the time it fails, later
+    /// records may sit after this one, so truncation would destroy
+    /// them. The caller must [`WalWriter::poison`] the writer and fail
+    /// the request instead. The un-synced record may still reach disk
+    /// with a later journal commit — that only *over*-counts recovered
+    /// spend relative to acks, the safe direction for a budget ledger.
+    ///
+    /// # Errors
+    /// Propagates write failures; the file is rolled back (or the
+    /// writer poisoned) exactly as for [`WalWriter::append`] — the
+    /// write itself still happens under the append lock.
+    pub fn append_deferred(&mut self, record: &WalRecord) -> std::io::Result<Option<Arc<File>>> {
+        self.append_with(record, false)?;
+        Ok(self.sync.then(|| Arc::clone(&self.file)))
+    }
+
+    /// Poisons the writer: every later append fails. For a deferred
+    /// sync failure, where the usual truncate-the-partial-frame
+    /// rollback is impossible (see [`WalWriter::append_deferred`]).
+    pub fn poison(&mut self) {
+        self.poisoned = true;
     }
 
     /// Records appended through this writer.

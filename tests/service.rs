@@ -239,6 +239,7 @@ fn concurrent_evaluates_racing_one_commit_deny_losers() {
 fn http_self_test_passes() {
     let report = apex_serve::run_self_test(apex_serve::SelfTestConfig {
         server_threads: 4,
+        shards: 2,
         sessions: 8,
         submits: 5,
         rows: 500,
@@ -612,4 +613,244 @@ fn hammer_with_reaper_never_overshoots_budget() {
             "transcript validity under churn"
         )
     });
+}
+
+/// Sharded crash recovery: traffic on every shard of a 4-shard server,
+/// hard-dropped with sessions still open (no graceful shutdown, no
+/// compaction), restarted from the per-shard WALs — and every shard's
+/// recovered ledger must independently equal what that shard's tenants
+/// were acked on the wire, with the aggregate grant accounting
+/// balancing to the last slice.
+#[test]
+fn sharded_crash_recovery_preserves_every_shards_acked_debits() {
+    use apex_serve::shard::session_shard;
+    use apex_serve::{serve_sharded, ServeConfig, ShardRing, ShardSet};
+
+    const SHARDS: usize = 4;
+    const B: f64 = 4.0; // per-tenant budget
+    const SLICE: f64 = 0.25; // per-session allowance
+
+    // Enough tenants that consistent hashing gives every shard at least
+    // one; the ring is the same construction the server uses, so the
+    // ownership map here matches routing exactly.
+    let ring = ShardRing::new(SHARDS);
+    let names: Vec<String> = (0..4 * SHARDS).map(|i| format!("crash_{i}")).collect();
+    let mut owned: Vec<Vec<usize>> = vec![Vec::new(); SHARDS];
+    for (t, name) in names.iter().enumerate() {
+        owned[ring.shard_for(name)].push(t);
+    }
+    assert!(
+        owned.iter().all(|o| !o.is_empty()),
+        "every shard needs traffic for a per-shard recovery check"
+    );
+
+    let dir = temp_dir("shard-crash");
+    let build = |root: &PathBuf| {
+        ShardSet::recover(
+            root,
+            SHARDS,
+            |k| {
+                let mut b = ServerState::builder(16);
+                for name in &names {
+                    b = b.dataset(
+                        name,
+                        service_dataset(),
+                        EngineConfig {
+                            budget: B,
+                            mode: Mode::Pessimistic,
+                            seed: 77 ^ (k as u64),
+                        },
+                    );
+                }
+                b
+            },
+            |d| PersistOptions {
+                sync: false, // tests trade per-record fsync for speed
+                ..PersistOptions::new(d)
+            },
+        )
+        .expect("shard recovery must succeed")
+    };
+
+    // Per tenant: (sessions opened, Σε acked); per thread: the session
+    // left open at the crash and the ε acked on it.
+    let mut acked: Vec<(usize, f64)> = vec![(0, 0.0); names.len()];
+    let mut left_open: Vec<(u64, usize, f64)> = Vec::new();
+    {
+        let (set, _) = build(&dir);
+        let set = Arc::new(set);
+        let handle = serve_sharded(
+            "127.0.0.1:0",
+            set.clone(),
+            ServeConfig {
+                workers_per_shard: 2,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("bind sharded server");
+        let addr = handle.addr();
+
+        let per_thread = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..SHARDS)
+                .map(|k| {
+                    let owned = &owned;
+                    let names = &names;
+                    scope.spawn(move || {
+                        let mut acked: Vec<(usize, f64)> = vec![(0, 0.0); names.len()];
+                        let mut open = None;
+                        for round in 0..3 {
+                            let t = owned[k][round % owned[k].len()];
+                            let name = &names[t];
+                            let body = format!("{{\"dataset\":\"{name}\",\"budget\":{SLICE}}}");
+                            let (status, created) = apex_serve::client::request(
+                                addr,
+                                "POST",
+                                "/v1/sessions",
+                                Some(&body),
+                            )
+                            .unwrap();
+                            assert_eq!(status, 201, "open on shard {k}: {created:?}");
+                            let id = created.get("session").and_then(Json::as_u64).unwrap();
+                            assert_eq!(session_shard(id), k, "routing must respect the ring");
+                            acked[t].0 += 1;
+                            let mut session_eps = 0.0;
+                            for _ in 0..2 {
+                                let q = format!(
+                                    "{{\"query\":\"BIN {name} ON COUNT(*) WHERE W = \
+                                     {{ v IN [0, 8), v IN [8, 16) }} \
+                                     ERROR 40 CONFIDENCE 0.95;\"}}"
+                                );
+                                let (status, resp) = apex_serve::client::request(
+                                    addr,
+                                    "POST",
+                                    &format!("/v1/sessions/{id}/query"),
+                                    Some(&q),
+                                )
+                                .unwrap();
+                                match status {
+                                    // Only what was ACKED counts.
+                                    200 => {
+                                        let eps =
+                                            resp.get("epsilon").and_then(Json::as_f64).unwrap();
+                                        acked[t].1 += eps;
+                                        session_eps += eps;
+                                    }
+                                    409 => {}
+                                    other => panic!("protocol violation: {other}"),
+                                }
+                            }
+                            if round + 1 < 3 {
+                                let (status, _) = apex_serve::client::request(
+                                    addr,
+                                    "POST",
+                                    &format!("/v1/sessions/{id}/close"),
+                                    Some("{}"),
+                                )
+                                .unwrap();
+                                assert_eq!(status, 200, "close on shard {k}");
+                            } else {
+                                // The crash happens with this one live.
+                                open = Some((id, t, session_eps));
+                            }
+                        }
+                        (acked, open.expect("one session stays open"))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        });
+        for (per_tenant, open) in per_thread {
+            for (t, (opened, eps)) in per_tenant.into_iter().enumerate() {
+                acked[t].0 += opened;
+                acked[t].1 += eps;
+            }
+            left_open.push(open);
+        }
+
+        // Hard drop: no graceful shutdown, no final compaction — the
+        // per-shard WAL tails are exactly what a crash leaves.
+        handle.stop();
+        handle.join();
+    }
+    let total_acked: f64 = acked.iter().map(|a| a.1).sum();
+    assert!(total_acked > 0.0, "the workload must answer something");
+
+    // Restart from disk: every shard replays its own WAL independently.
+    let (recovered, reports) = build(&dir);
+    assert_eq!(reports.len(), SHARDS);
+    assert!(
+        reports.iter().all(|r| r.replayed > 0),
+        "every shard saw traffic, so every shard must replay records: {reports:?}"
+    );
+
+    // Per shard: the recovered spend of the tenants it owns equals the
+    // Σε those tenants were acked — shard by shard, not just in sum.
+    for (k, owned_tenants) in owned.iter().enumerate() {
+        let shard_spent: f64 = owned_tenants
+            .iter()
+            .map(|&t| recovered.spent(&names[t]))
+            .sum();
+        let shard_acked: f64 = owned_tenants.iter().map(|&t| acked[t].1).sum();
+        assert!(
+            (shard_spent - shard_acked).abs() <= 1e-9 * shard_acked.max(1.0),
+            "shard {k}: recovered spent {shard_spent} != acked {shard_acked}"
+        );
+    }
+    for (t, name) in names.iter().enumerate() {
+        let spent = recovered.spent(name);
+        assert!(
+            spent <= B + 1e-9,
+            "tenant {name} recovered past its budget: {spent}"
+        );
+        assert!(
+            (spent - acked[t].1).abs() <= 1e-9 * acked[t].1.max(1.0),
+            "tenant {name}: recovered {spent} != acked {}",
+            acked[t].1
+        );
+    }
+
+    // The sessions that were live at the crash are live again, resumed
+    // mid-slice with exactly the spend their client saw acked.
+    assert_eq!(
+        recovered.session_count(),
+        SHARDS,
+        "one live session per shard"
+    );
+    let mut live_slack = vec![0.0; names.len()];
+    for &(id, t, session_eps) in &left_open {
+        let spent = recovered
+            .state(session_shard(id))
+            .with_session(id, |s| s.session.spent())
+            .expect("the open session must survive the crash");
+        assert!(
+            (spent - session_eps).abs() <= 1e-9 * session_eps.max(1.0),
+            "live session {id}: recovered {spent} != acked {session_eps}"
+        );
+        live_slack[t] += SLICE - spent;
+    }
+
+    // Aggregate grant accounting balances: every opened slice is
+    // spent, reclaimed by a close, or still held by a live session.
+    for (t, name) in names.iter().enumerate() {
+        let granted = acked[t].0 as f64 * SLICE;
+        let spent = recovered.spent(name);
+        let reclaimed: f64 = recovered
+            .states()
+            .iter()
+            .filter_map(|s| s.tenant(name))
+            .map(apex_serve::state::Tenant::reclaimed)
+            .sum();
+        assert!(
+            (granted - (spent + reclaimed + live_slack[t])).abs() <= 1e-9 * granted.max(1.0),
+            "tenant {name}: granted {granted} != spent {spent} + reclaimed {reclaimed} \
+             + live {}",
+            live_slack[t]
+        );
+    }
+
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&dir);
 }
