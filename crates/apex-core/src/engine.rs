@@ -389,6 +389,28 @@ impl ApexEngine {
         self.data.schema()
     }
 
+    /// Buffer-pool counters of the dataset when it is backed by the
+    /// durable store (`None` for resident datasets). Operational
+    /// telemetry only — exposes nothing about tuple values.
+    pub fn dataset_pool_stats(&self) -> Option<apex_data::PoolStats> {
+        self.data.pool_stats()
+    }
+
+    /// Storage generation of a paged dataset (`None` when resident).
+    pub fn dataset_epoch(&self) -> Option<u64> {
+        self.data.storage_epoch()
+    }
+
+    /// Streams every dataset row once (through the buffer pool when the
+    /// dataset is paged) and returns the count. A fail-stop integrity
+    /// probe — corruption panics rather than under-counting — used by
+    /// the service self-test's persistence leg.
+    pub fn dataset_scan_rows(&self) -> u64 {
+        let mut n = 0u64;
+        self.data.for_each_row(|_| n += 1);
+        n
+    }
+
     /// Exports the budget ledger for persistence (see [`LedgerExport`]).
     pub fn export_ledger(&self) -> LedgerExport {
         LedgerExport {

@@ -21,10 +21,11 @@
 //!    domains, never new ones);
 //! 4. no shared group may be empty in the smoke run.
 //!
-//! **Regression rule** (the `translator_prepare[_multi]` and
-//! `serve_soak` groups only — the prepare medians and soak ns/session
-//! are the perf numbers this repo actually promises, and unlike the
-//! ablations they are stable enough on a quiet CI runner to gate on):
+//! **Regression rule** (the `translator_prepare[_multi]`, `serve_soak`,
+//! and `dataset_store` groups only — the prepare medians, soak
+//! ns/session, and store ingest/open/scan medians are the perf numbers
+//! this repo actually promises, and unlike the ablations they are
+//! stable enough on a quiet CI runner to gate on):
 //!
 //! 5. for every id measured by both runs in a regression-gated group, the
 //!    smoke median must not exceed the committed median by more than the
@@ -58,6 +59,7 @@ const REGRESS_GROUPS: &[&str] = &[
     "translator_prepare",
     "translator_prepare_multi",
     "serve_soak",
+    "dataset_store",
 ];
 
 /// Rule 5's default allowance for a smoke median over the committed one.

@@ -1,16 +1,38 @@
 //! Multiset table instances.
 
+use crate::store::{PagedRows, PoolStats, StoreError};
 use crate::{Predicate, Schema, SchemaError, Value};
+use std::path::Path;
+use std::sync::{Arc, OnceLock};
+
+/// Row storage: resident or paged through the buffer pool.
+#[derive(Debug, Clone)]
+enum Rows {
+    /// Fully resident (synthesized or built by tests).
+    Mem(Vec<Vec<Value>>),
+    /// Backed by a durable page file; rows stream through the pool.
+    Paged {
+        store: Arc<PagedRows>,
+        /// Lazy full materialization for the few legacy callers of
+        /// [`Dataset::rows`]; scans never touch this.
+        resident: Arc<OnceLock<Vec<Vec<Value>>>>,
+    },
+}
 
 /// An instance `D` of a schema: a multiset of tuples.
 ///
 /// This is the *sensitive* object in APEx — everything the analyst learns
-/// about it must flow through a differentially private mechanism. The type
-/// itself is a plain in-memory table; access control is the engine's job.
+/// about it must flow through a differentially private mechanism. Access
+/// control is the engine's job; this type's job is storage. A dataset is
+/// either **resident** (plain `Vec` of rows, as synthesized) or **paged**
+/// (opened from a durable store directory; rows are checksum-verified and
+/// streamed page-by-page through a buffer pool, so the instance can be
+/// larger than memory). Mechanisms only ever consume the schema and a row
+/// stream, so they cannot tell the difference.
 #[derive(Debug, Clone)]
 pub struct Dataset {
     schema: Schema,
-    rows: Vec<Vec<Value>>,
+    rows: Rows,
 }
 
 impl Dataset {
@@ -18,7 +40,7 @@ impl Dataset {
     pub fn empty(schema: Schema) -> Self {
         Self {
             schema,
-            rows: Vec::new(),
+            rows: Rows::Mem(Vec::new()),
         }
     }
 
@@ -28,7 +50,85 @@ impl Dataset {
         for row in &rows {
             schema.validate_row(row)?;
         }
-        Ok(Self { schema, rows })
+        Ok(Self {
+            schema,
+            rows: Rows::Mem(rows),
+        })
+    }
+
+    /// Persists this dataset into `dir` (pages + checksums + manifest) and
+    /// returns a paged dataset reading back from it. `epoch` stamps the
+    /// generation; bump it on re-ingest. `pool_frames` bounds how many
+    /// 8 KiB pages the returned dataset keeps resident.
+    pub fn ingest_paged(
+        &self,
+        dir: &Path,
+        epoch: u64,
+        pool_frames: usize,
+    ) -> Result<Dataset, StoreError> {
+        let store = match &self.rows {
+            Rows::Mem(rows) => PagedRows::ingest(
+                dir,
+                &self.schema,
+                rows.iter().map(|r| r.as_slice()),
+                epoch,
+                pool_frames,
+            )?,
+            Rows::Paged { store, .. } => {
+                // Re-ingest from the existing store (e.g. copying a tenant
+                // into a new data dir): stream rows across.
+                let rows = store.materialize()?;
+                PagedRows::ingest(
+                    dir,
+                    &self.schema,
+                    rows.iter().map(|r| r.as_slice()),
+                    epoch,
+                    pool_frames,
+                )?
+            }
+        };
+        Ok(Dataset {
+            schema: self.schema.clone(),
+            rows: Rows::Paged {
+                store: Arc::new(store),
+                resident: Arc::new(OnceLock::new()),
+            },
+        })
+    }
+
+    /// Opens a dataset previously persisted with [`Self::ingest_paged`],
+    /// verifying the manifest (format version, checksum, page coverage)
+    /// without reading any data pages.
+    pub fn open_paged(dir: &Path, pool_frames: usize) -> Result<Dataset, StoreError> {
+        let store = PagedRows::open(dir, pool_frames)?;
+        Ok(Dataset {
+            schema: store.schema().clone(),
+            rows: Rows::Paged {
+                store: Arc::new(store),
+                resident: Arc::new(OnceLock::new()),
+            },
+        })
+    }
+
+    /// Whether this dataset is backed by the durable store.
+    pub fn is_paged(&self) -> bool {
+        matches!(self.rows, Rows::Paged { .. })
+    }
+
+    /// Buffer-pool counters, when paged.
+    pub fn pool_stats(&self) -> Option<PoolStats> {
+        match &self.rows {
+            Rows::Mem(_) => None,
+            Rows::Paged { store, .. } => Some(store.pool_stats()),
+        }
+    }
+
+    /// Storage generation, when paged.
+    pub fn storage_epoch(&self) -> Option<u64> {
+        match &self.rows {
+            Rows::Mem(_) => None,
+            Rows::Paged { store, .. } => Some(store.epoch()),
+        }
     }
 
     /// The schema of the dataset.
@@ -38,24 +138,70 @@ impl Dataset {
 
     /// Number of tuples `|D|`.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        match &self.rows {
+            Rows::Mem(rows) => rows.len(),
+            Rows::Paged { store, .. } => store.row_count() as usize,
+        }
     }
 
     /// Whether the dataset holds no tuples.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len() == 0
     }
 
-    /// Immutable access to the rows.
+    /// Streams every row through `f` with bounded memory: resident
+    /// datasets iterate the vector, paged datasets go page-by-page
+    /// through the buffer pool (checksum-verified). This is the accessor
+    /// mechanisms and partition histograms use.
+    ///
+    /// # Panics
+    ///
+    /// On storage corruption detected mid-scan. The store fails stop:
+    /// serving a silently wrong histogram would corrupt every noisy
+    /// answer derived from it, which is strictly worse than dying.
+    pub fn for_each_row(&self, mut f: impl FnMut(&[Value])) {
+        match &self.rows {
+            Rows::Mem(rows) => {
+                for row in rows {
+                    f(row);
+                }
+            }
+            Rows::Paged { store, .. } => store
+                .for_each_row(f)
+                .unwrap_or_else(|e| panic!("paged dataset scan failed: {e}")),
+        }
+    }
+
+    /// Immutable access to the rows as one slice.
+    ///
+    /// For a paged dataset this materializes **all** rows on first call
+    /// (kept for the lifetime of the dataset) — fine for tests and small
+    /// tables, wrong for scans: use [`Self::for_each_row`] there.
     pub fn rows(&self) -> &[Vec<Value>] {
-        &self.rows
+        match &self.rows {
+            Rows::Mem(rows) => rows,
+            Rows::Paged { store, resident } => resident.get_or_init(|| {
+                store
+                    .materialize()
+                    .unwrap_or_else(|e| panic!("paged dataset materialization failed: {e}"))
+            }),
+        }
     }
 
-    /// Appends a row after validating it.
+    /// Appends a row after validating it. Only resident datasets are
+    /// mutable; a paged dataset is frozen at ingest (re-ingest with a new
+    /// epoch to change data).
     pub fn push(&mut self, row: Vec<Value>) -> Result<(), SchemaError> {
         self.schema.validate_row(&row)?;
-        self.rows.push(row);
-        Ok(())
+        match &mut self.rows {
+            Rows::Mem(rows) => {
+                rows.push(row);
+                Ok(())
+            }
+            Rows::Paged { .. } => Err(SchemaError::RowMismatch(
+                "dataset is paged (frozen at ingest); re-ingest to modify".into(),
+            )),
+        }
     }
 
     /// The exact (non-private!) count of rows satisfying `pred`. Used
@@ -64,20 +210,35 @@ impl Dataset {
     /// by the engine.
     pub fn count(&self, pred: &Predicate) -> Result<u64, SchemaError> {
         let mut n = 0;
-        for row in &self.rows {
-            if pred.eval(&self.schema, row)? {
-                n += 1;
+        let mut err = None;
+        self.for_each_row(|row| {
+            if err.is_some() {
+                return;
             }
+            match pred.eval(&self.schema, row) {
+                Ok(true) => n += 1,
+                Ok(false) => {}
+                Err(e) => err = Some(e),
+            }
+        });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(n),
         }
-        Ok(n)
     }
 
-    /// A new dataset containing the first `n` rows (used by the case study
-    /// to vary `|D|`; Figure 7).
+    /// A new (resident) dataset containing the first `n` rows (used by
+    /// the case study to vary `|D|`; Figure 7).
     pub fn take(&self, n: usize) -> Dataset {
+        let mut rows = Vec::with_capacity(n.min(self.len()));
+        self.for_each_row(|row| {
+            if rows.len() < n {
+                rows.push(row.to_vec());
+            }
+        });
         Dataset {
             schema: self.schema.clone(),
-            rows: self.rows.iter().take(n).cloned().collect(),
+            rows: Rows::Mem(rows),
         }
     }
 }
@@ -86,6 +247,7 @@ impl Dataset {
 mod tests {
     use super::*;
     use crate::{Attribute, CmpOp, Domain};
+    use std::path::PathBuf;
 
     fn demo() -> Dataset {
         let schema = Schema::new(vec![
@@ -103,6 +265,12 @@ mod tests {
             ],
         )
         .unwrap()
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("apex-ds-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     #[test]
@@ -149,5 +317,46 @@ mod tests {
         assert_eq!(t.rows()[1][0], Value::Int(60));
         // Taking more than available returns everything.
         assert_eq!(d.take(100).len(), 4);
+    }
+
+    #[test]
+    fn paged_dataset_behaves_like_resident() {
+        let dir = tmp_dir("parity");
+        let mem = demo();
+        let paged = mem.ingest_paged(&dir, 1, 2).unwrap();
+        assert!(paged.is_paged() && !mem.is_paged());
+        assert_eq!(paged.len(), mem.len());
+        assert_eq!(paged.schema(), mem.schema());
+        let p = Predicate::cmp("age", CmpOp::Gt, 50_i64);
+        assert_eq!(paged.count(&p).unwrap(), mem.count(&p).unwrap());
+        assert_eq!(paged.rows(), mem.rows());
+        assert_eq!(paged.take(2).rows(), mem.take(2).rows());
+        assert_eq!(paged.storage_epoch(), Some(1));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn paged_dataset_reopens_without_source() {
+        let dir = tmp_dir("reopen");
+        demo().ingest_paged(&dir, 7, 2).unwrap();
+        let reopened = Dataset::open_paged(&dir, 2).unwrap();
+        assert_eq!(reopened.len(), 4);
+        assert_eq!(reopened.storage_epoch(), Some(7));
+        let mut ages = Vec::new();
+        reopened.for_each_row(|row| ages.push(row[0].clone()));
+        assert_eq!(ages[3], Value::Int(70));
+        // Scanning again hits the pool.
+        reopened.for_each_row(|_| {});
+        assert!(reopened.pool_stats().unwrap().hits > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn paged_dataset_is_frozen() {
+        let dir = tmp_dir("frozen");
+        let mut paged = demo().ingest_paged(&dir, 1, 2).unwrap();
+        assert!(paged.push(vec![Value::Int(5), Value::from("M")]).is_err());
+        assert_eq!(paged.len(), 4);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -13,12 +13,16 @@
 //!   `T(W), T_W(D)` of Section 5 (workload matrix + histogram vector),
 //! * [`synth`] — seeded synthetic generators standing in for the paper's
 //!   Adult, NYTaxi and citations datasets (see DESIGN.md §3 for the
-//!   substitution rationale).
+//!   substitution rationale),
+//! * [`store`] — the durable paged storage layer (file manager, buffer
+//!   pool, page codec) that lets a [`Dataset`] live on disk, be opened
+//!   without re-synthesis, and grow past memory (docs/STORAGE.md).
 
 pub mod dataset;
 pub mod partition;
 pub mod predicate;
 pub mod schema;
+pub mod store;
 pub mod synth;
 pub mod value;
 
@@ -26,4 +30,5 @@ pub use dataset::Dataset;
 pub use partition::{DomainPartition, PartitionError};
 pub use predicate::{CmpOp, Predicate};
 pub use schema::{Attribute, Domain, Schema, SchemaError};
+pub use store::{PoolStats, StoreError};
 pub use value::{DataType, Value};

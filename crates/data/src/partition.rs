@@ -326,11 +326,14 @@ impl DomainPartition {
     }
 
     /// The histogram `x = T_W(D)`: counts of `D`'s tuples per merged cell.
+    ///
+    /// Streams rows (page-by-page for a paged dataset), so memory is
+    /// bounded by the buffer pool even when `D` exceeds RAM.
     pub fn histogram(&self, data: &Dataset) -> Vec<f64> {
         let mut x = vec![0.0; self.n_cells];
-        for row in data.rows() {
+        data.for_each_row(|row| {
             x[self.cell_of_row(row)] += 1.0;
-        }
+        });
         x
     }
 }

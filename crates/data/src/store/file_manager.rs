@@ -1,0 +1,346 @@
+//! Raw page I/O plus the atomic-rename manifest.
+//!
+//! One store directory holds exactly one page file:
+//!
+//! ```text
+//! <dir>/pages.dat      page_no-indexed array of PAGE_SIZE pages
+//! <dir>/manifest.bin   commit point (written via manifest.tmp + rename)
+//! ```
+//!
+//! The manifest is what makes writes atomic without a WAL of its own:
+//! pages are written and fsynced first, then the manifest — carrying the
+//! page count they extend the file to — is written to a temp file, fsynced
+//! and renamed over the old one. A crash at any point leaves either the
+//! old manifest (new pages exist but are outside coverage — never served)
+//! or the new one (pages are complete and fsynced). A torn final page can
+//! therefore only ever sit *beyond* manifest coverage.
+
+use super::page::{self, PAGE_SIZE};
+use super::StoreError;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Bump when the page or manifest layout changes incompatibly.
+pub const FORMAT_VERSION: u32 = 1;
+
+const MANIFEST_MAGIC: &[u8; 8] = b"APEXDST1";
+const PAGES_FILE: &str = "pages.dat";
+const MANIFEST_FILE: &str = "manifest.bin";
+const MANIFEST_TMP: &str = "manifest.tmp";
+
+/// Page-granular I/O over `<dir>/pages.dat`.
+///
+/// All methods take `&self`; the file handle sits behind a mutex because
+/// seek+read is two steps. Callers (the buffer pool) already serialize
+/// the miss path, so this lock is uncontended in practice.
+pub struct FileManager {
+    file: Mutex<File>,
+    dir: PathBuf,
+}
+
+impl std::fmt::Debug for FileManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileManager")
+            .field("dir", &self.dir)
+            .finish()
+    }
+}
+
+impl FileManager {
+    /// Creates (or truncates) the page file in `dir`, creating `dir` first.
+    pub fn create(dir: &Path) -> Result<Self, StoreError> {
+        std::fs::create_dir_all(dir)?;
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(dir.join(PAGES_FILE))?;
+        Ok(Self {
+            file: Mutex::new(file),
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// Opens an existing page file in `dir`.
+    pub fn open(dir: &Path) -> Result<Self, StoreError> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(dir.join(PAGES_FILE))?;
+        Ok(Self {
+            file: Mutex::new(file),
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The directory this manager serves.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Current size of the page file in bytes.
+    pub fn len_bytes(&self) -> Result<u64, StoreError> {
+        let file = self.file.lock().expect("file lock");
+        Ok(file.metadata()?.len())
+    }
+
+    /// Reads and verifies page `page_no` into `buf` (must be PAGE_SIZE).
+    ///
+    /// A short read (the page lies past EOF or the file was truncated
+    /// mid-page) is reported as corruption, not EOF: the caller only asks
+    /// for pages the manifest promised.
+    pub fn read_page(&self, page_no: u32, buf: &mut [u8]) -> Result<u32, StoreError> {
+        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        {
+            let mut file = self.file.lock().expect("file lock");
+            file.seek(SeekFrom::Start(page_no as u64 * PAGE_SIZE as u64))?;
+            if let Err(e) = file.read_exact(buf) {
+                if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                    return Err(StoreError::CorruptPage {
+                        page_no,
+                        detail: "short read: page truncated or past EOF".into(),
+                    });
+                }
+                return Err(e.into());
+            }
+        }
+        page::verify(buf, page_no)
+    }
+
+    /// Seals `buf` (stamps `page_no`, recomputes the checksum over its
+    /// current contents — the length field must already be set) and writes
+    /// it at page offset `page_no`. Does **not** sync.
+    pub fn write_page(&self, page_no: u32, buf: &mut [u8]) -> Result<(), StoreError> {
+        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        page::seal(buf, page_no);
+        let mut file = self.file.lock().expect("file lock");
+        file.seek(SeekFrom::Start(page_no as u64 * PAGE_SIZE as u64))?;
+        file.write_all(buf)?;
+        Ok(())
+    }
+
+    /// Fsyncs the page file.
+    pub fn sync(&self) -> Result<(), StoreError> {
+        let file = self.file.lock().expect("file lock");
+        file.sync_data()?;
+        Ok(())
+    }
+}
+
+/// The store's commit record.
+///
+/// `payload` is opaque to the file manager: the dataset store puts the
+/// encoded schema there, the transcript log leaves it empty.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// On-disk format version ([`FORMAT_VERSION`]).
+    pub format_version: u32,
+    /// Dataset epoch: bumped when a tenant's data is re-ingested, so a
+    /// stale directory is distinguishable from the current generation.
+    pub epoch: u64,
+    /// Pages covered by this manifest. Bytes beyond
+    /// `page_count * PAGE_SIZE` are uncommitted and never served.
+    pub page_count: u32,
+    /// Logical records (rows for a dataset, entries for a log).
+    pub record_count: u64,
+    /// Opaque payload (encoded schema for datasets).
+    pub payload: Vec<u8>,
+}
+
+impl Manifest {
+    /// Whether `dir` holds a manifest (i.e. a committed store).
+    pub fn exists(dir: &Path) -> bool {
+        dir.join(MANIFEST_FILE).is_file()
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(40 + self.payload.len());
+        out.extend_from_slice(MANIFEST_MAGIC);
+        out.extend_from_slice(&self.format_version.to_le_bytes());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.page_count.to_le_bytes());
+        out.extend_from_slice(&self.record_count.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        let crc = page::crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Writes the manifest atomically: temp file + fsync + rename + dir
+    /// fsync. This is the commit point for everything `page_count` covers.
+    pub fn write(&self, dir: &Path) -> Result<(), StoreError> {
+        let tmp = dir.join(MANIFEST_TMP);
+        let bytes = self.encode();
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, dir.join(MANIFEST_FILE))?;
+        // Persist the rename itself.
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    }
+
+    /// Loads and verifies the manifest in `dir`.
+    ///
+    /// The whole file is covered: a bad magic, a checksum mismatch, a
+    /// truncated byte or a trailing byte all fail. Version skew is
+    /// reported distinctly so operators can tell corruption from an old
+    /// binary reading a new directory.
+    pub fn load(dir: &Path) -> Result<Self, StoreError> {
+        let mut bytes = Vec::new();
+        File::open(dir.join(MANIFEST_FILE))
+            .map_err(|e| match e.kind() {
+                std::io::ErrorKind::NotFound => {
+                    StoreError::CorruptManifest("manifest missing".into())
+                }
+                _ => StoreError::Io(e),
+            })?
+            .read_to_end(&mut bytes)?;
+        Self::decode(&bytes)
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, StoreError> {
+        let corrupt = |m: &str| StoreError::CorruptManifest(m.to_string());
+        if bytes.len() < 4 {
+            return Err(corrupt("too short"));
+        }
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+        if page::crc32(body) != stored {
+            return Err(corrupt("checksum mismatch"));
+        }
+        if body.len() < 32 {
+            return Err(corrupt("header truncated"));
+        }
+        if &body[0..8] != MANIFEST_MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let format_version = u32::from_le_bytes(body[8..12].try_into().expect("4 bytes"));
+        if format_version != FORMAT_VERSION {
+            return Err(StoreError::CorruptManifest(format!(
+                "format version {format_version} (this build reads {FORMAT_VERSION})"
+            )));
+        }
+        let epoch = u64::from_le_bytes(body[12..20].try_into().expect("8 bytes"));
+        let page_count = u32::from_le_bytes(body[20..24].try_into().expect("4 bytes"));
+        let record_count = u64::from_le_bytes(body[24..32].try_into().expect("8 bytes"));
+        let payload_len = u32::from_le_bytes(body[32..36].try_into().expect("4 bytes")) as usize;
+        if body.len() != 36 + payload_len {
+            return Err(corrupt("payload length mismatch"));
+        }
+        Ok(Self {
+            format_version,
+            epoch,
+            page_count,
+            record_count,
+            payload: body[36..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::page::{set_len, PAGE_HEADER};
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("apex-fm-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn demo_manifest() -> Manifest {
+        Manifest {
+            format_version: FORMAT_VERSION,
+            epoch: 42,
+            page_count: 3,
+            record_count: 1000,
+            payload: b"schema-bytes".to_vec(),
+        }
+    }
+
+    #[test]
+    fn page_write_read_round_trip() {
+        let dir = tmp_dir("rw");
+        let fm = FileManager::create(&dir).unwrap();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        buf[PAGE_HEADER..PAGE_HEADER + 4].copy_from_slice(b"data");
+        set_len(&mut buf, 4);
+        fm.write_page(2, &mut buf).unwrap();
+        fm.sync().unwrap();
+
+        let mut back = vec![0u8; PAGE_SIZE];
+        assert_eq!(fm.read_page(2, &mut back).unwrap(), 4);
+        assert_eq!(&back[PAGE_HEADER..PAGE_HEADER + 4], b"data");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reading_past_eof_is_corruption_not_panic() {
+        let dir = tmp_dir("eof");
+        let fm = FileManager::create(&dir).unwrap();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        assert!(matches!(
+            fm.read_page(9, &mut buf),
+            Err(StoreError::CorruptPage { page_no: 9, .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_round_trip() {
+        let dir = tmp_dir("manifest");
+        let m = demo_manifest();
+        m.write(&dir).unwrap();
+        assert!(Manifest::exists(&dir));
+        assert_eq!(Manifest::load(&dir).unwrap(), m);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_manifest_bit_flip_is_detected() {
+        let bytes = demo_manifest().encode();
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut flipped = bytes.clone();
+                flipped[byte] ^= 1 << bit;
+                assert!(
+                    Manifest::decode(&flipped).is_err(),
+                    "manifest flip at byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_manifest_truncation_is_detected() {
+        let bytes = demo_manifest().encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                Manifest::decode(&bytes[..cut]).is_err(),
+                "truncation to {cut} bytes went undetected"
+            );
+        }
+        // Trailing garbage is also rejected.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(Manifest::decode(&extended).is_err());
+    }
+
+    #[test]
+    fn future_format_version_is_rejected_distinctly() {
+        let mut m = demo_manifest();
+        m.format_version = FORMAT_VERSION + 1;
+        let err = Manifest::decode(&m.encode()).unwrap_err();
+        assert!(err.to_string().contains("format version"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Durable paged dataset store: file manager + buffer pool.
+//!
+//! Tenant datasets start life in memory (synthesized by [`crate::synth`])
+//! but a real deployment cannot afford to re-synthesize every tenant at
+//! boot, nor to hold every tenant resident. This module provides the
+//! storage layer underneath [`crate::Dataset`]:
+//!
+//! * [`page`] — the fixed-size page format. Every page carries a CRC32
+//!   (same const-fn table the service WAL uses) over *all* bytes after the
+//!   checksum field, so any single-bit flip anywhere in the page — header,
+//!   payload or padding — is detected at read time.
+//! * [`FileManager`] — raw page I/O over a `pages.dat` file plus an
+//!   atomic-rename manifest (`manifest.bin`) carrying a format version,
+//!   dataset epoch, page/row counts and the encoded schema. The manifest
+//!   is the commit point: pages beyond its coverage (e.g. a torn final
+//!   append) are never served.
+//! * [`BufferPool`] — fixed-capacity frame cache with pin counts, clock
+//!   eviction, dirty-page write-back and hit/miss/eviction counters.
+//!   Pinned frames are never evicted; dirty frames are flushed (re-sealed
+//!   with a fresh checksum) before their frame is reused.
+//! * [`PagedRows`] — a dataset's row file: `ingest` packs validated rows
+//!   into pages through the pool and commits a manifest; `open` verifies
+//!   the manifest and serves rows lazily page-by-page.
+//! * [`PageLog`] — an append-only record log over the same page format,
+//!   used by the service to persist per-tenant query transcripts for
+//!   audit replay.
+//!
+//! Lock order inside the pool is strictly `meta -> frame`; see
+//! `buffer_pool.rs` for the discipline. The miss path (disk read) is
+//! serialized under the pool's meta lock; the hit path only touches it
+//! briefly, which is the case the pool optimizes for.
+
+pub mod buffer_pool;
+pub mod codec;
+pub mod file_manager;
+pub mod page;
+pub mod page_log;
+pub mod paged;
+
+pub use buffer_pool::{BufferPool, PoolStats};
+pub use file_manager::{FileManager, Manifest, FORMAT_VERSION};
+pub use page::{crc32, PAGE_CAPACITY, PAGE_HEADER, PAGE_SIZE};
+pub use page_log::PageLog;
+pub use paged::PagedRows;
+
+/// Errors surfaced by the storage layer.
+///
+/// Corruption variants are deliberately specific: the fault-injection gate
+/// asserts that flips and truncations map to a corruption error rather
+/// than being silently served.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// A page failed its checksum or carried the wrong page number.
+    CorruptPage {
+        /// Page index that failed verification.
+        page_no: u32,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The manifest is missing, malformed, or failed its checksum.
+    CorruptManifest(String),
+    /// `pages.dat` is shorter than the manifest says it must be.
+    Truncated {
+        /// Pages the manifest promises.
+        expected_pages: u32,
+        /// Bytes actually present.
+        actual_bytes: u64,
+    },
+    /// Every buffer-pool frame is pinned; nothing can be evicted.
+    AllPinned,
+    /// Row/record/schema (de)serialization failure.
+    Codec(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StoreError::CorruptPage { page_no, detail } => {
+                write!(f, "corrupt page {page_no}: {detail}")
+            }
+            StoreError::CorruptManifest(m) => write!(f, "corrupt manifest: {m}"),
+            StoreError::Truncated {
+                expected_pages,
+                actual_bytes,
+            } => write!(
+                f,
+                "page file truncated: manifest promises {expected_pages} pages, \
+                 file holds {actual_bytes} bytes"
+            ),
+            StoreError::AllPinned => write!(f, "buffer pool exhausted: all frames pinned"),
+            StoreError::Codec(m) => write!(f, "codec error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}

@@ -1,0 +1,319 @@
+//! Append-only record log over the page format, for audit transcripts.
+//!
+//! Records are opaque byte strings framed `len:u16` inside page payloads
+//! (a page payload is `record_count:u16` then that many framed records;
+//! records never span pages). Appends accumulate in an in-memory tail
+//! page; [`PageLog::flush`] writes the tail, fsyncs, and commits a
+//! manifest covering it. The manifest is the replay horizon: records
+//! appended since the last flush are lost on a crash — acceptable for
+//! transcripts, whose source of truth for *charges* is the service WAL;
+//! this log exists so auditors can replay what was asked and answered.
+//!
+//! On reopen the last (possibly partial) page is reloaded as the tail
+//! and appending continues into it, so a log that is flushed often does
+//! not leak a page per flush.
+
+use super::file_manager::{FileManager, Manifest, FORMAT_VERSION};
+use super::page::{self, PAGE_CAPACITY, PAGE_HEADER, PAGE_SIZE};
+use super::StoreError;
+use std::path::{Path, PathBuf};
+
+/// Largest record [`PageLog::append`] accepts.
+pub const MAX_RECORD: usize = PAGE_CAPACITY - 4;
+
+/// An open append-only record log.
+pub struct PageLog {
+    dir: PathBuf,
+    fm: FileManager,
+    /// Pages fully sealed and never rewritten.
+    sealed_pages: u32,
+    /// Payload of the in-progress tail page (starts with record count).
+    tail: Vec<u8>,
+    tail_records: u16,
+    record_count: u64,
+    epoch: u64,
+    /// True when records were appended since the last flush.
+    dirty: bool,
+}
+
+impl std::fmt::Debug for PageLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageLog")
+            .field("dir", &self.dir)
+            .field("records", &self.record_count)
+            .field("sealed_pages", &self.sealed_pages)
+            .finish()
+    }
+}
+
+fn empty_tail() -> Vec<u8> {
+    0u16.to_le_bytes().to_vec()
+}
+
+impl PageLog {
+    /// Creates a fresh log in `dir` (replacing any existing one).
+    pub fn create(dir: &Path, epoch: u64) -> Result<Self, StoreError> {
+        let fm = FileManager::create(dir)?;
+        let mut log = Self {
+            dir: dir.to_path_buf(),
+            fm,
+            sealed_pages: 0,
+            tail: empty_tail(),
+            tail_records: 0,
+            record_count: 0,
+            epoch,
+            dirty: true,
+        };
+        log.flush()?; // commit an empty manifest so reopen works
+        Ok(log)
+    }
+
+    /// Opens an existing log, verifying the manifest and reloading the
+    /// final page as the append tail.
+    pub fn open(dir: &Path) -> Result<Self, StoreError> {
+        let manifest = Manifest::load(dir)?;
+        let fm = FileManager::open(dir)?;
+        let (sealed_pages, tail, tail_records) = if manifest.page_count == 0 {
+            (0, empty_tail(), 0)
+        } else {
+            let last = manifest.page_count - 1;
+            let mut buf = vec![0u8; PAGE_SIZE];
+            let len = fm.read_page(last, &mut buf)? as usize;
+            let payload = buf[PAGE_HEADER..PAGE_HEADER + len].to_vec();
+            if payload.len() < 2 {
+                return Err(StoreError::Codec("log tail page too short".into()));
+            }
+            let n = u16::from_le_bytes(payload[..2].try_into().expect("2 bytes"));
+            (last, payload, n)
+        };
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            fm,
+            sealed_pages,
+            tail,
+            tail_records,
+            record_count: manifest.record_count,
+            epoch: manifest.epoch,
+            dirty: false,
+        })
+    }
+
+    /// Opens `dir` if it holds a committed log, otherwise creates one.
+    pub fn open_or_create(dir: &Path, epoch: u64) -> Result<Self, StoreError> {
+        if Manifest::exists(dir) {
+            Self::open(dir)
+        } else {
+            Self::create(dir, epoch)
+        }
+    }
+
+    /// Records appended over the log's lifetime (flushed ones only, until
+    /// the next [`Self::flush`] commits the in-memory tail).
+    pub fn record_count(&self) -> u64 {
+        self.record_count
+    }
+
+    /// Log generation.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Appends one record to the in-memory tail. Durable after the next
+    /// [`Self::flush`].
+    pub fn append(&mut self, record: &[u8]) -> Result<(), StoreError> {
+        if record.len() > MAX_RECORD {
+            return Err(StoreError::Codec(format!(
+                "record of {} bytes exceeds page capacity",
+                record.len()
+            )));
+        }
+        if self.tail.len() + 2 + record.len() > PAGE_CAPACITY || self.tail_records == u16::MAX {
+            self.seal_tail()?;
+        }
+        self.tail
+            .extend_from_slice(&(record.len() as u16).to_le_bytes());
+        self.tail.extend_from_slice(record);
+        self.tail_records += 1;
+        let count = self.tail_records.to_le_bytes();
+        self.tail[..2].copy_from_slice(&count);
+        self.record_count += 1;
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Writes the full tail page to disk and starts a new one. Not yet
+    /// covered by a manifest — flush() does that.
+    fn seal_tail(&mut self) -> Result<(), StoreError> {
+        self.write_tail_page()?;
+        self.sealed_pages += 1;
+        self.tail = empty_tail();
+        self.tail_records = 0;
+        Ok(())
+    }
+
+    fn write_tail_page(&mut self) -> Result<(), StoreError> {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        buf[PAGE_HEADER..PAGE_HEADER + self.tail.len()].copy_from_slice(&self.tail);
+        page::set_len(&mut buf, self.tail.len() as u32);
+        self.fm.write_page(self.sealed_pages, &mut buf)?;
+        Ok(())
+    }
+
+    /// Makes everything appended so far durable: tail page write, fsync,
+    /// manifest commit. Idempotent when nothing changed.
+    pub fn flush(&mut self) -> Result<(), StoreError> {
+        if !self.dirty {
+            return Ok(());
+        }
+        let mut page_count = self.sealed_pages;
+        if self.tail_records > 0 {
+            self.write_tail_page()?;
+            page_count += 1;
+        }
+        self.fm.sync()?;
+        Manifest {
+            format_version: FORMAT_VERSION,
+            epoch: self.epoch,
+            page_count,
+            record_count: self.record_count,
+            payload: Vec::new(),
+        }
+        .write(&self.dir)?;
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// Replays every committed record in append order. Reads from disk
+    /// (manifest coverage), so only flushed records appear.
+    pub fn replay(dir: &Path, mut f: impl FnMut(&[u8])) -> Result<u64, StoreError> {
+        let manifest = Manifest::load(dir)?;
+        let fm = FileManager::open(dir)?;
+        let mut buf = vec![0u8; PAGE_SIZE];
+        let mut seen: u64 = 0;
+        for no in 0..manifest.page_count {
+            let len = fm.read_page(no, &mut buf)? as usize;
+            let payload = &buf[PAGE_HEADER..PAGE_HEADER + len];
+            let (head, mut rest) = payload
+                .split_at_checked(2)
+                .ok_or_else(|| StoreError::Codec("page too short for record count".into()))?;
+            let n = u16::from_le_bytes(head.try_into().expect("2 bytes"));
+            for _ in 0..n {
+                let (lenb, r) = rest
+                    .split_at_checked(2)
+                    .ok_or_else(|| StoreError::Codec("short record header".into()))?;
+                let rec_len = u16::from_le_bytes(lenb.try_into().expect("2 bytes")) as usize;
+                let (rec, r) = r
+                    .split_at_checked(rec_len)
+                    .ok_or_else(|| StoreError::Codec("short record body".into()))?;
+                f(rec);
+                seen += 1;
+                rest = r;
+            }
+            if !rest.is_empty() {
+                return Err(StoreError::Codec("trailing bytes in log page".into()));
+            }
+        }
+        if seen != manifest.record_count {
+            return Err(StoreError::Codec(format!(
+                "manifest promises {} records, pages held {seen}",
+                manifest.record_count
+            )));
+        }
+        Ok(seen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("apex-log-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn collect(dir: &Path) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        PageLog::replay(dir, |r| out.push(r.to_vec())).unwrap();
+        out
+    }
+
+    #[test]
+    fn append_flush_replay_round_trip() {
+        let dir = tmp_dir("rt");
+        let mut log = PageLog::create(&dir, 1).unwrap();
+        for i in 0..100u32 {
+            log.append(format!("record-{i}").as_bytes()).unwrap();
+        }
+        log.flush().unwrap();
+        let records = collect(&dir);
+        assert_eq!(records.len(), 100);
+        assert_eq!(records[7], b"record-7");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unflushed_tail_is_lost_but_flushed_records_survive() {
+        let dir = tmp_dir("tail");
+        let mut log = PageLog::create(&dir, 1).unwrap();
+        log.append(b"durable").unwrap();
+        log.flush().unwrap();
+        log.append(b"lost-on-crash").unwrap();
+        drop(log); // crash: no flush
+        assert_eq!(collect(&dir), vec![b"durable".to_vec()]);
+        // Reopen resumes appending after the committed horizon.
+        let mut log = PageLog::open(&dir).unwrap();
+        assert_eq!(log.record_count(), 1);
+        log.append(b"after-reopen").unwrap();
+        log.flush().unwrap();
+        assert_eq!(
+            collect(&dir),
+            vec![b"durable".to_vec(), b"after-reopen".to_vec()]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn logs_spanning_many_pages_replay_in_order() {
+        let dir = tmp_dir("pages");
+        let mut log = PageLog::create(&dir, 1).unwrap();
+        let big = vec![b'x'; 1000];
+        for _ in 0..50 {
+            log.append(&big).unwrap(); // ~7 records per page
+        }
+        log.flush().unwrap();
+        drop(log);
+        let mut log = PageLog::open(&dir).unwrap();
+        for _ in 0..50 {
+            log.append(&big).unwrap();
+        }
+        log.flush().unwrap();
+        assert_eq!(collect(&dir).len(), 100);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn repeated_flushes_rewrite_the_tail_in_place() {
+        let dir = tmp_dir("inplace");
+        let mut log = PageLog::create(&dir, 1).unwrap();
+        for i in 0..10u32 {
+            log.append(format!("r{i}").as_bytes()).unwrap();
+            log.flush().unwrap();
+        }
+        assert_eq!(collect(&dir).len(), 10);
+        // Everything fits one page: ten flushes, one page.
+        let manifest = Manifest::load(&dir).unwrap();
+        assert_eq!(manifest.page_count, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn oversized_record_is_rejected() {
+        let dir = tmp_dir("big");
+        let mut log = PageLog::create(&dir, 1).unwrap();
+        assert!(log.append(&vec![0u8; MAX_RECORD + 1]).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,333 @@
+//! A dataset's durable row file: ingest once, scan lazily forever.
+//!
+//! `ingest` packs validated rows into pages *through the buffer pool*
+//! (so a pool smaller than the dataset exercises dirty write-back during
+//! ingest), fsyncs the page file, then commits the manifest — schema,
+//! row count, page count, epoch — via atomic rename. `open` verifies the
+//! manifest and serves rows page-at-a-time; a scan of an N-page dataset
+//! through a K-frame pool holds at most K pages resident.
+
+use super::buffer_pool::{BufferPool, PoolStats};
+use super::codec;
+use super::file_manager::{FileManager, Manifest, FORMAT_VERSION};
+use super::page::{self, PAGE_CAPACITY, PAGE_HEADER, PAGE_SIZE};
+use super::StoreError;
+use crate::{Schema, Value};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Default buffer-pool capacity (frames) when the caller does not care.
+pub const DEFAULT_POOL_FRAMES: usize = 64;
+
+/// An open, verified paged row store.
+pub struct PagedRows {
+    fm: FileManager,
+    pool: Arc<BufferPool>,
+    schema: Schema,
+    row_count: u64,
+    page_count: u32,
+    epoch: u64,
+}
+
+impl std::fmt::Debug for PagedRows {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PagedRows")
+            .field("dir", &self.fm.dir())
+            .field("rows", &self.row_count)
+            .field("pages", &self.page_count)
+            .field("epoch", &self.epoch)
+            .finish()
+    }
+}
+
+impl PagedRows {
+    /// Writes `rows` (already validated against `schema`) into `dir` and
+    /// returns the opened store. Any existing store in `dir` is replaced;
+    /// pass a larger `epoch` than the one being replaced so readers can
+    /// tell the generations apart.
+    pub fn ingest<'a>(
+        dir: &Path,
+        schema: &Schema,
+        rows: impl Iterator<Item = &'a [Value]>,
+        epoch: u64,
+        pool_frames: usize,
+    ) -> Result<Self, StoreError> {
+        let fm = FileManager::create(dir)?;
+        let pool = BufferPool::new(pool_frames);
+
+        let mut page_no: u32 = 0;
+        let mut row_count: u64 = 0;
+        let mut payload: Vec<u8> = Vec::with_capacity(PAGE_CAPACITY);
+        let mut rows_in_page: u16 = 0;
+        payload.extend_from_slice(&0u16.to_le_bytes());
+
+        let seal_page = |page_no: u32, payload: &mut Vec<u8>, rows_in_page: u16| {
+            payload[..2].copy_from_slice(&rows_in_page.to_le_bytes());
+            let guard = pool.pin_new(&fm, page_no)?;
+            guard.with_write(|buf| {
+                buf[PAGE_HEADER..PAGE_HEADER + payload.len()].copy_from_slice(payload);
+                page::set_len(buf, payload.len() as u32);
+            });
+            payload.truncate(2);
+            Ok::<(), StoreError>(())
+        };
+
+        for row in rows {
+            let sz = codec::row_size(row);
+            if sz > PAGE_CAPACITY - 2 {
+                return Err(StoreError::Codec(format!(
+                    "row of {sz} bytes exceeds page capacity"
+                )));
+            }
+            if payload.len() + sz > PAGE_CAPACITY || rows_in_page == u16::MAX {
+                seal_page(page_no, &mut payload, rows_in_page)?;
+                page_no += 1;
+                rows_in_page = 0;
+            }
+            codec::push_row(&mut payload, row);
+            rows_in_page += 1;
+            row_count += 1;
+        }
+        if rows_in_page > 0 {
+            seal_page(page_no, &mut payload, rows_in_page)?;
+            page_no += 1;
+        }
+
+        // Durability order: pages → fsync → manifest (atomic rename).
+        pool.flush_all(&fm)?;
+        fm.sync()?;
+        Manifest {
+            format_version: FORMAT_VERSION,
+            epoch,
+            page_count: page_no,
+            record_count: row_count,
+            payload: codec::encode_schema(schema),
+        }
+        .write(dir)?;
+
+        Ok(Self {
+            fm,
+            pool: Arc::new(pool),
+            schema: schema.clone(),
+            row_count,
+            page_count: page_no,
+            epoch,
+        })
+    }
+
+    /// Opens and verifies an existing store: manifest checksum + version,
+    /// schema decode, and page-file length against the promised coverage.
+    /// Bytes beyond coverage (a torn final append) are ignored, never
+    /// served; a file *shorter* than coverage is an error.
+    pub fn open(dir: &Path, pool_frames: usize) -> Result<Self, StoreError> {
+        let manifest = Manifest::load(dir)?;
+        let schema = codec::decode_schema(&manifest.payload)?;
+        let fm = FileManager::open(dir)?;
+        let need = manifest.page_count as u64 * PAGE_SIZE as u64;
+        let have = fm.len_bytes()?;
+        if have < need {
+            return Err(StoreError::Truncated {
+                expected_pages: manifest.page_count,
+                actual_bytes: have,
+            });
+        }
+        Ok(Self {
+            fm,
+            pool: Arc::new(BufferPool::new(pool_frames)),
+            schema,
+            row_count: manifest.record_count,
+            page_count: manifest.page_count,
+            epoch: manifest.epoch,
+        })
+    }
+
+    /// The schema recorded at ingest.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Logical row count (from the manifest, no scan needed).
+    pub fn row_count(&self) -> u64 {
+        self.row_count
+    }
+
+    /// Pages of row data.
+    pub fn page_count(&self) -> u32 {
+        self.page_count
+    }
+
+    /// Dataset generation stamped at ingest.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Buffer-pool counters for this store.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Streams every row through `f`, page by page via the pool. Memory
+    /// is bounded by the pool capacity regardless of dataset size. Each
+    /// page is checksum-verified on its way in from disk; corruption
+    /// surfaces as an error here, not as silently wrong counts.
+    pub fn for_each_row(&self, mut f: impl FnMut(&[Value])) -> Result<(), StoreError> {
+        let mut seen: u64 = 0;
+        for no in 0..self.page_count {
+            let guard = self.pool.pin(&self.fm, no)?;
+            // Decode under the read lock: rows borrow the frame only
+            // transiently (each row is materialized by the codec).
+            guard.with_read(|buf| {
+                let _ = page::verify(buf, no)?; // re-check resident frames too
+                codec::decode_rows(page::payload(buf), |row| {
+                    seen += 1;
+                    f(row);
+                })
+            })?;
+        }
+        if seen != self.row_count {
+            return Err(StoreError::Codec(format!(
+                "manifest promises {} rows, pages held {seen}",
+                self.row_count
+            )));
+        }
+        Ok(())
+    }
+
+    /// Materializes all rows (used by legacy `Dataset::rows()` callers;
+    /// unbounded memory — scans should prefer [`Self::for_each_row`]).
+    pub fn materialize(&self) -> Result<Vec<Vec<Value>>, StoreError> {
+        let mut out = Vec::with_capacity(self.row_count as usize);
+        self.for_each_row(|row| out.push(row.to_vec()))?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Attribute, Domain};
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("apex-paged-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn demo_schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new(
+                "age",
+                Domain::IntRange {
+                    min: 0,
+                    max: 200_000,
+                },
+            ),
+            Attribute::new("tag", Domain::Text),
+        ])
+        .unwrap()
+    }
+
+    fn demo_rows(n: usize) -> Vec<Vec<Value>> {
+        (0..n)
+            .map(|i| vec![Value::Int(i as i64), Value::Str(format!("row-{i}"))])
+            .collect()
+    }
+
+    #[test]
+    fn ingest_open_scan_round_trip() {
+        let dir = tmp_dir("roundtrip");
+        let schema = demo_schema();
+        let rows = demo_rows(5000); // several pages worth
+        let ingested =
+            PagedRows::ingest(&dir, &schema, rows.iter().map(|r| r.as_slice()), 1, 4).unwrap();
+        assert_eq!(ingested.row_count(), 5000);
+        assert!(ingested.page_count() > 1, "want a multi-page store");
+        drop(ingested);
+
+        let store = PagedRows::open(&dir, 4).unwrap();
+        assert_eq!(store.schema(), &schema);
+        assert_eq!(store.epoch(), 1);
+        assert_eq!(store.materialize().unwrap(), rows);
+        // The 4-frame pool never holds more than 4 of the pages.
+        assert!(store.pool_stats().misses >= store.page_count() as u64 - 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn small_pool_ingest_exercises_write_back() {
+        let dir = tmp_dir("writeback");
+        let schema = demo_schema();
+        let rows = demo_rows(5000);
+        let store =
+            PagedRows::ingest(&dir, &schema, rows.iter().map(|r| r.as_slice()), 1, 1).unwrap();
+        assert!(store.pool_stats().flushes >= store.page_count() as u64);
+        assert_eq!(
+            PagedRows::open(&dir, 2).unwrap().materialize().unwrap(),
+            rows
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_dataset_round_trips() {
+        let dir = tmp_dir("empty");
+        let schema = demo_schema();
+        PagedRows::ingest(&dir, &schema, std::iter::empty(), 3, 2).unwrap();
+        let store = PagedRows::open(&dir, 2).unwrap();
+        assert_eq!(store.row_count(), 0);
+        assert_eq!(store.page_count(), 0);
+        assert!(store.materialize().unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reingest_replaces_and_bumps_epoch() {
+        let dir = tmp_dir("reingest");
+        let schema = demo_schema();
+        let first = demo_rows(100);
+        PagedRows::ingest(&dir, &schema, first.iter().map(|r| r.as_slice()), 1, 2).unwrap();
+        let second = demo_rows(10);
+        PagedRows::ingest(&dir, &schema, second.iter().map(|r| r.as_slice()), 2, 2).unwrap();
+        let store = PagedRows::open(&dir, 2).unwrap();
+        assert_eq!(store.epoch(), 2);
+        assert_eq!(store.materialize().unwrap(), second);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_page_file_is_rejected_at_open() {
+        let dir = tmp_dir("truncated");
+        let schema = demo_schema();
+        let rows = demo_rows(5000);
+        PagedRows::ingest(&dir, &schema, rows.iter().map(|r| r.as_slice()), 1, 4).unwrap();
+        let pages = dir.join("pages.dat");
+        let len = std::fs::metadata(&pages).unwrap().len();
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&pages)
+            .unwrap();
+        f.set_len(len - 1).unwrap();
+        assert!(matches!(
+            PagedRows::open(&dir, 4),
+            Err(StoreError::Truncated { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_final_append_beyond_manifest_is_ignored() {
+        let dir = tmp_dir("torn");
+        let schema = demo_schema();
+        let rows = demo_rows(200);
+        PagedRows::ingest(&dir, &schema, rows.iter().map(|r| r.as_slice()), 1, 4).unwrap();
+        // Simulate a crash mid-append: garbage half-page past coverage.
+        let pages = dir.join("pages.dat");
+        let mut bytes = std::fs::read(&pages).unwrap();
+        bytes.extend_from_slice(&vec![0xAAu8; PAGE_SIZE / 2]);
+        std::fs::write(&pages, &bytes).unwrap();
+        let store = PagedRows::open(&dir, 4).unwrap();
+        assert_eq!(store.materialize().unwrap(), rows);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -37,11 +37,14 @@
 //! new owner starts charging a fresh ledger. Keep the shard count
 //! stable for a given state dir unless you migrate ledgers explicitly.
 
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
 use apex_core::{EngineConfig, Mode};
+use apex_data::store::Manifest;
 use apex_data::synth::{adult_dataset, nytaxi_dataset};
+use apex_data::Dataset;
 use apex_serve::shard::{serve_sharded, ServeConfig, ShardSet};
 use apex_serve::state::{start_reaper, PersistOptions};
 use apex_serve::{selftest, ServerState};
@@ -59,6 +62,8 @@ struct Args {
     sessions: usize,
     submits: usize,
     state_dir: Option<String>,
+    data_dir: Option<String>,
+    pool_frames: usize,
     snapshot_every: u64,
     ttl_secs: Option<u64>,
     admin_token: Option<String>,
@@ -81,7 +86,8 @@ impl Args {
 fn usage() -> ! {
     eprintln!(
         "usage: apex-serve [--addr HOST:PORT] [--shards N] [--workers-per-shard N] \
-         [--cache-cap N] [--budget B] [--rows N] [--state-dir DIR] [--snapshot-every N] \
+         [--cache-cap N] [--budget B] [--rows N] [--state-dir DIR] [--data-dir DIR] \
+         [--pool-frames N] [--snapshot-every N] \
          [--ttl-secs N] [--admin-token TOKEN] [--force-truncate-wal] \
          [--self-test [--sessions N] [--submits N]]\n\
          note: --threads N is a deprecated alias for --workers-per-shard N"
@@ -102,6 +108,8 @@ fn parse_args() -> Args {
         sessions: 8,
         submits: 6,
         state_dir: None,
+        data_dir: None,
+        pool_frames: 64,
         snapshot_every: 1024,
         ttl_secs: None,
         admin_token: None,
@@ -133,6 +141,10 @@ fn parse_args() -> Args {
             "--sessions" => args.sessions = parse_num(&take("--sessions"), "--sessions"),
             "--submits" => args.submits = parse_num(&take("--submits"), "--submits"),
             "--state-dir" => args.state_dir = Some(take("--state-dir")),
+            "--data-dir" => args.data_dir = Some(take("--data-dir")),
+            "--pool-frames" => {
+                args.pool_frames = parse_num(&take("--pool-frames"), "--pool-frames")
+            }
             "--snapshot-every" => {
                 args.snapshot_every =
                     parse_num(&take("--snapshot-every"), "--snapshot-every") as u64
@@ -173,6 +185,40 @@ fn parse_num(s: &str, flag: &str) -> usize {
     }
 }
 
+/// How a tenant's durable store came to be at boot.
+enum Ingested {
+    /// First boot: synthesized and persisted.
+    Fresh { rows: u64, pages: u32 },
+    /// A committed store already existed; opened without re-synthesis.
+    Opened { rows: u64, epoch: u64 },
+}
+
+/// Opens the committed store for `name` under `root`, synthesizing and
+/// ingesting it first when no manifest exists. The open verifies the
+/// manifest (checksum, format version, page coverage); to re-ingest —
+/// e.g. after changing `--rows` — delete `root/<name>/`.
+fn ensure_ingested(
+    root: &Path,
+    name: &str,
+    synth: &dyn Fn() -> Dataset,
+    pool_frames: usize,
+) -> Result<Ingested, apex_data::StoreError> {
+    let dir = root.join(name);
+    if Manifest::exists(&dir) {
+        let opened = Dataset::open_paged(&dir, pool_frames)?;
+        return Ok(Ingested::Opened {
+            rows: opened.len() as u64,
+            epoch: opened.storage_epoch().unwrap_or(0),
+        });
+    }
+    let data = synth();
+    let paged = data.ingest_paged(&dir, 1, pool_frames)?;
+    Ok(Ingested::Fresh {
+        rows: paged.len() as u64,
+        pages: Manifest::load(&dir)?.page_count,
+    })
+}
+
 fn main() {
     let args = parse_args();
 
@@ -185,6 +231,7 @@ fn main() {
             rows: args.rows.min(5_000),
             cache_cap: args.cache_cap,
             state_dir: args.state_dir.clone().map(Into::into),
+            data_dir: args.data_dir.clone().map(Into::into),
             ..selftest::SelfTestConfig::default()
         };
         println!(
@@ -220,6 +267,14 @@ fn main() {
                     println!("  {name}: translator prepare_ms {ms:.1} (cold, auto-selected path)");
                 }
                 println!(
+                    "  store: {} ingested, {} opened from disk, pool hits {}, \
+                     transcript records {}",
+                    report.datasets_synthesized,
+                    report.datasets_opened,
+                    report.store_pool_hits,
+                    report.transcript_records
+                );
+                println!(
                     "  restart recovery: {} wal records replayed, ledgers re-verified",
                     report.recovery_replayed
                 );
@@ -239,6 +294,36 @@ fn main() {
         return;
     }
 
+    // With --data-dir, tenants live on disk: synthesize-and-ingest on
+    // the first boot, open-and-verify (no re-synthesis) afterward. Done
+    // once, up front — every shard then opens the same read-only page
+    // files through its own buffer pool.
+    let data_root = args.data_dir.as_ref().map(PathBuf::from);
+    if let Some(root) = &data_root {
+        let tenants: [(&str, &dyn Fn() -> Dataset); 2] = [
+            ("adult", &|| adult_dataset(args.rows, 7)),
+            ("taxi", &|| nytaxi_dataset(args.rows, 9)),
+        ];
+        for (name, synth) in tenants {
+            match ensure_ingested(root, name, synth, args.pool_frames) {
+                Ok(Ingested::Fresh { rows, pages }) => {
+                    println!(
+                        "{name}: ingested {rows} rows into {} ({pages} pages)",
+                        root.display()
+                    )
+                }
+                Ok(Ingested::Opened { rows, epoch }) => println!(
+                    "{name}: opened {rows} rows from {} (epoch {epoch}, no re-synthesis)",
+                    root.display()
+                ),
+                Err(e) => {
+                    eprintln!("refusing to start: dataset store for {name:?}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+
     // Every shard registers every tenant (the ring decides who serves
     // whom), with shard-distinct seeds so mechanism noise streams never
     // correlate across shards.
@@ -249,9 +334,34 @@ fn main() {
             mode: Mode::Optimistic,
             seed: seed ^ ((shard as u64) << 32),
         };
+        let dataset = |name: &str, synth: &dyn Fn() -> Dataset| match &data_root {
+            Some(root) => {
+                Dataset::open_paged(&root.join(name), args.pool_frames).unwrap_or_else(|e| {
+                    eprintln!("refusing to start: shard {shard} open {name:?}: {e}");
+                    std::process::exit(1);
+                })
+            }
+            None => synth(),
+        };
         let mut builder = ServerState::builder_with_cache(cache.clone())
-            .dataset("adult", adult_dataset(args.rows, 7), config(0xA9E5_1001))
-            .dataset("taxi", nytaxi_dataset(args.rows, 9), config(0xA9E5_1002));
+            .dataset(
+                "adult",
+                dataset("adult", &|| adult_dataset(args.rows, 7)),
+                config(0xA9E5_1001),
+            )
+            .dataset(
+                "taxi",
+                dataset("taxi", &|| nytaxi_dataset(args.rows, 9)),
+                config(0xA9E5_1002),
+            );
+        if let Some(root) = &data_root {
+            // Shard-private transcript logs (one writer per log).
+            let tdir = root.join("transcripts").join(format!("shard-{shard}"));
+            builder = builder.transcripts_under(&tdir).unwrap_or_else(|e| {
+                eprintln!("refusing to start: transcript log for shard {shard}: {e}");
+                std::process::exit(1);
+            });
+        }
         if let Some(secs) = args.ttl_secs {
             builder = builder.session_ttl(Duration::from_secs(secs));
         }
@@ -349,6 +459,11 @@ fn main() {
         if let Err(e) = set.compact_all() {
             eprintln!("final compaction failed (next start will replay the WAL): {e}");
         }
+    }
+    // Commit the audit transcripts' tails (compact_all already flushes
+    // when a state dir exists; this covers the data-dir-only setup).
+    for s in set.states() {
+        s.flush_transcripts();
     }
     println!("apex-serve: shut down cleanly");
 }

@@ -23,6 +23,14 @@
 //!    directory), the run starts from the *recovered* baseline and the
 //!    equality check covers baseline + new traffic — any divergence
 //!    between what was persisted and what was acked fails the gate.
+//! 5. **paged persistence** — the adult/taxi tenants live in the durable
+//!    paged store under a data dir (caller-supplied, or `<state dir>/data`
+//!    so the twice-against-one-dir smoke reopens it). The first pass
+//!    ingests; every later pass must *open* the stores from disk — zero
+//!    re-synthesis — and a double integrity scan plus the workload must
+//!    leave the buffer-pool hit counter > 0. Per-tenant transcript logs
+//!    ride the same store and must replay from disk, record for record,
+//!    after shutdown.
 //!
 //! Sessions *oversubscribe* on purpose: each holds a slice of `B` large
 //! enough that the slices jointly exceed `B`, so both the per-session and
@@ -43,6 +51,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use apex_core::{EngineConfig, Mode, PreparedTranslator};
+use apex_data::store::{Manifest, PageLog};
 use apex_data::synth::{adult_dataset, nytaxi_dataset};
 use apex_data::{Attribute, Dataset, Domain, Predicate, Schema, Value};
 use apex_mech::mc::McConfig;
@@ -76,6 +85,10 @@ pub struct SelfTestConfig {
     /// up) a fresh temp dir. Passing a dir that already holds state runs
     /// the gate in *recovered* mode on top of it.
     pub state_dir: Option<PathBuf>,
+    /// Durable dataset directory for the persistence leg; `None` keeps
+    /// the paged stores under `<state dir>/data`, so a rerun against one
+    /// state dir automatically exercises ingest-then-reopen.
+    pub data_dir: Option<PathBuf>,
     /// Workload rows of the slow query the compaction-pause scenario
     /// holds in flight (more rows → slower cold translator prepare).
     /// The default suits release builds; debug-mode tests pass a smaller
@@ -93,6 +106,7 @@ impl Default for SelfTestConfig {
             rows: 2_000,
             cache_cap: 64,
             state_dir: None,
+            data_dir: None,
             slow_query_prefixes: 256,
         }
     }
@@ -129,6 +143,16 @@ pub struct SelfTestReport {
     /// Forced rotations that completed while the slow query was still
     /// evaluating (must be ≥ 1 when the query was genuinely slow).
     pub rotations_in_flight: u32,
+    /// Tenants synthesized and ingested into the data dir this run
+    /// (0 on a reopened run — the zero-re-synthesis invariant).
+    pub datasets_synthesized: u32,
+    /// Tenants opened from an existing on-disk paged store.
+    pub datasets_opened: u32,
+    /// Buffer-pool hits summed over the paged tenants at the end
+    /// (must be > 0: re-scans are served from memory, not disk).
+    pub store_pool_hits: u64,
+    /// Transcript records across all tenants and shards at shutdown.
+    pub transcript_records: u64,
 }
 
 /// Per-dataset budget for the scripted workload.
@@ -144,6 +168,15 @@ const WIDE_DOMAIN: i64 = 8192;
 
 /// Prefix stride of the slow query's workload rows.
 const WIDE_STEP: usize = 16;
+
+/// Buffer-pool frames used while **ingesting** a paged tenant —
+/// deliberately smaller than the page count of a few-thousand-row
+/// dataset, so the self-test's ingest path exercises eviction and dirty
+/// write-back. Serving pools are sized to the store instead (see
+/// [`build_state`]): a sequential rescan through a pool smaller than the
+/// store evicts every page before the scan comes back around, so the
+/// pool-hit assertion needs the whole store resident.
+const SELF_TEST_POOL_FRAMES: usize = 8;
 
 fn query_for(dataset: &str, submit: usize) -> String {
     // Two structurally distinct workloads per dataset (so the cache holds
@@ -200,11 +233,50 @@ fn slow_wide_query(prefixes: usize) -> String {
     )
 }
 
-fn build_state(cfg: &SelfTestConfig, cache: apex_core::TranslatorCache) -> ServerStateBuilder {
+/// Ingest-or-open one tenant's paged store under the data root. Returns
+/// `true` when the dataset had to be synthesized and ingested, `false`
+/// when an existing store was opened (and verified) from disk.
+fn ensure_paged(data_root: &std::path::Path, name: &str, rows: usize) -> Result<bool, String> {
+    let dir = data_root.join(name);
+    if Manifest::exists(&dir) {
+        Dataset::open_paged(&dir, SELF_TEST_POOL_FRAMES)
+            .map_err(|e| format!("persisted {name} store failed to open: {e}"))?;
+        return Ok(false);
+    }
+    let data = match name {
+        "adult" => adult_dataset(rows, 7),
+        _ => nytaxi_dataset(rows, 9),
+    };
+    data.ingest_paged(&dir, 1, SELF_TEST_POOL_FRAMES)
+        .map_err(|e| format!("ingest of {name} failed: {e}"))?;
+    Ok(true)
+}
+
+/// Builds one shard's state. The adult/taxi tenants open the paged
+/// stores [`ensure_paged`] prepared under `data_root` (each shard gets
+/// its own buffer pool over the shared read-only page files); the `wide`
+/// tenant stays resident — it exists to make translator prepare slow,
+/// not to exercise storage.
+fn build_state(
+    cache: apex_core::TranslatorCache,
+    data_root: &std::path::Path,
+) -> ServerStateBuilder {
+    let open = |name: &str| {
+        // Store-sized pool: the persistence leg asserts warm rescans are
+        // served from memory, so every page must be able to stay resident.
+        let dir = data_root.join(name);
+        let pages = Manifest::load(&dir)
+            .unwrap_or_else(|e| {
+                panic!("paged {name} manifest vanished between ingest and open: {e}")
+            })
+            .page_count as usize;
+        Dataset::open_paged(&dir, pages + 1)
+            .unwrap_or_else(|e| panic!("paged {name} store vanished between ingest and open: {e}"))
+    };
     ServerState::builder_with_cache(cache)
         .dataset(
             "adult",
-            adult_dataset(cfg.rows, 7),
+            open("adult"),
             EngineConfig {
                 budget: BUDGET,
                 mode: Mode::Pessimistic,
@@ -213,7 +285,7 @@ fn build_state(cfg: &SelfTestConfig, cache: apex_core::TranslatorCache) -> Serve
         )
         .dataset(
             "taxi",
-            nytaxi_dataset(cfg.rows, 9),
+            open("taxi"),
             EngineConfig {
                 budget: BUDGET,
                 mode: Mode::Pessimistic,
@@ -233,12 +305,22 @@ fn build_state(cfg: &SelfTestConfig, cache: apex_core::TranslatorCache) -> Serve
 
 /// Recovers all shards from `dir/shard-K` (in parallel), sharing one
 /// translator cache; returns the set and the total WAL records replayed.
-fn recover(cfg: &SelfTestConfig, dir: &std::path::Path) -> Result<(ShardSet, usize), String> {
+/// Each shard opens its tenants' paged stores under `data_root` and gets
+/// a per-shard transcript-log directory (one writer per log).
+fn recover(
+    cfg: &SelfTestConfig,
+    dir: &std::path::Path,
+    data_root: &std::path::Path,
+) -> Result<(ShardSet, usize), String> {
     let cache = apex_core::TranslatorCache::with_capacity(cfg.cache_cap);
     ShardSet::recover(
         dir,
         cfg.shards,
-        |_| build_state(cfg, cache.clone()),
+        |shard| {
+            build_state(cache.clone(), data_root)
+                .transcripts_under(&data_root.join("transcripts").join(format!("shard-{shard}")))
+                .unwrap_or_else(|e| panic!("transcript logs must open: {e}"))
+        },
         |d| PersistOptions::new(d),
     )
     .map(|(set, reports)| {
@@ -276,8 +358,41 @@ pub fn run(cfg: SelfTestConfig) -> Result<SelfTestReport, String> {
 }
 
 fn run_in_dir(cfg: &SelfTestConfig, dir: &std::path::Path) -> Result<SelfTestReport, String> {
-    let (set, _) = recover(cfg, dir)?;
+    // The persistence leg's data dir: caller-supplied, or colocated with
+    // the state dir so a rerun against one dir reopens the stores.
+    let data_root = cfg.data_dir.clone().unwrap_or_else(|| dir.join("data"));
+    let mut datasets_synthesized = 0u32;
+    let mut datasets_opened = 0u32;
+    for name in ["adult", "taxi"] {
+        if ensure_paged(&data_root, name, cfg.rows)? {
+            datasets_synthesized += 1;
+        } else {
+            datasets_opened += 1;
+        }
+    }
+
+    let (set, _) = recover(cfg, dir, &data_root)?;
     let set = Arc::new(set);
+
+    // Persistence probe: stream every paged tenant twice through its
+    // buffer pool. The scans must agree with each other (fail-stop on
+    // corruption) and the rescan must be served from memory — it shows
+    // up in the pool-hit counter the stats snapshot below asserts on.
+    for s in set.states() {
+        for (name, t) in s.tenants() {
+            if t.store_stats().is_none() {
+                continue;
+            }
+            let (cold, warm) = t
+                .engine
+                .with_engine(|e| (e.dataset_scan_rows(), e.dataset_scan_rows()));
+            if cold != warm {
+                return Err(format!(
+                    "paged store {name}: first scan saw {cold} rows, pooled rescan {warm}"
+                ));
+            }
+        }
+    }
     // Per-tenant baselines are summed across shards: a tenant's charges
     // live in its owner shard's ledger, and if the shard count changed
     // since the dir was written, in a previous owner's — the sum covers
@@ -317,6 +432,8 @@ fn run_in_dir(cfg: &SelfTestConfig, dir: &std::path::Path) -> Result<SelfTestRep
 
     let mut report = SelfTestReport {
         recovered_baseline,
+        datasets_synthesized,
+        datasets_opened,
         ..SelfTestReport::default()
     };
     let mut spent_by_client: std::collections::HashMap<String, f64> = Default::default();
@@ -405,7 +522,26 @@ fn run_in_dir(cfg: &SelfTestConfig, dir: &std::path::Path) -> Result<SelfTestRep
                 report.cache_hits
             ));
         }
+        // The tenant must be served from the paged store, and its pool
+        // counters must be surfaced through the public stats API.
+        let store = d
+            .get("store")
+            .ok_or_else(|| format!("stats missing store object for {name}"))?;
+        if store.get("paged").and_then(Json::as_bool) != Some(true) {
+            return Err(format!(
+                "{name} is not paged — the data dir was bypassed at boot"
+            ));
+        }
+        report.store_pool_hits += store
+            .get("pool_hits")
+            .and_then(Json::as_u64)
+            .ok_or("stats missing store.pool_hits")?;
         report.budgets.push((name.to_string(), spent, budget));
+    }
+    if report.store_pool_hits == 0 {
+        return Err(
+            "buffer pool recorded no hits — paged rescans are not being served from memory".into(),
+        );
     }
 
     report.prepare_ms = prepare_timings(cfg);
@@ -441,12 +577,52 @@ fn run_in_dir(cfg: &SelfTestConfig, dir: &std::path::Path) -> Result<SelfTestRep
         return Err(format!("shutdown returned {status}"));
     }
     handle.join();
+
+    // Every response this run produced must be accounted for in the
+    // transcript logs (recorded, or counted as dropped); flush them so
+    // the replay check below reads everything back from disk.
+    let mut transcript_dropped = 0u64;
+    for s in set.states() {
+        s.flush_transcripts();
+        for (_, t) in s.tenants() {
+            report.transcript_records += t.transcript_records();
+            transcript_dropped += t.transcript_dropped();
+        }
+    }
+    if report.transcript_records + transcript_dropped < report.answered + report.denied {
+        return Err(format!(
+            "transcript logs hold {} records (+{transcript_dropped} dropped) for {} responses",
+            report.transcript_records,
+            report.answered + report.denied
+        ));
+    }
     drop(set);
+
+    // The flushed transcripts must replay from disk, record for record.
+    let mut replayed_transcripts = 0u64;
+    let troot = data_root.join("transcripts");
+    for shard in 0..cfg.shards {
+        for name in ["adult", "taxi", "wide"] {
+            let d = troot.join(format!("shard-{shard}")).join(name);
+            if Manifest::exists(&d) {
+                replayed_transcripts += PageLog::replay(&d, |_| {}).map_err(|e| {
+                    format!("transcript replay failed for shard {shard}/{name}: {e}")
+                })?;
+            }
+        }
+    }
+    if replayed_transcripts != report.transcript_records {
+        return Err(format!(
+            "TRANSCRIPT DIVERGENCE: {} records at shutdown, \
+             {replayed_transcripts} replayed from disk",
+            report.transcript_records
+        ));
+    }
 
     // The durability leg: restart from disk (replaying every shard's
     // WAL) and re-verify that the recovered ledger equals what the wire
     // saw — per tenant, summed across the shards that charged it.
-    let (restarted, replayed) = recover(cfg, dir)?;
+    let (restarted, replayed) = recover(cfg, dir, &data_root)?;
     report.recovery_replayed = replayed;
     for (name, spent, _) in &report.budgets {
         if restarted.state(0).tenant(name).is_none() {
@@ -713,6 +889,7 @@ mod tests {
             rows: 400,
             cache_cap: 16,
             state_dir: None,
+            data_dir: None,
             // Debug builds are ~15× slower; a modest workload still puts
             // a few-hundred-ms evaluate in flight for the pause scenario.
             slow_query_prefixes: 64,
@@ -722,6 +899,13 @@ mod tests {
         assert!(report.denied > 0, "oversubscription must force denials");
         assert!(report.cache_hits > 0, "sessions must share warm artifacts");
         assert!(!report.recovered_baseline, "a temp dir starts fresh");
+        assert_eq!(report.datasets_synthesized, 2, "fresh data dir ingests");
+        assert_eq!(report.datasets_opened, 0);
+        assert!(report.store_pool_hits > 0, "rescans come from the pool");
+        assert!(
+            report.transcript_records >= report.answered + report.denied,
+            "every response must reach a transcript log"
+        );
         assert!(
             report.recovery_replayed > 0,
             "the restart leg must replay this run's WAL"
@@ -752,6 +936,7 @@ mod tests {
             rows: 400,
             cache_cap: 16,
             state_dir: None,
+            data_dir: None,
             slow_query_prefixes: 64,
         })
         .expect("sharded self-test must pass");
@@ -786,12 +971,24 @@ mod tests {
             rows: 300,
             cache_cap: 16,
             state_dir: Some(dir.clone()),
+            data_dir: None,
             slow_query_prefixes: 64,
         };
         let first = run(cfg()).expect("fresh pass must hold");
         assert!(!first.recovered_baseline);
+        assert_eq!(first.datasets_synthesized, 2, "first pass ingests");
         let second = run(cfg()).expect("recovered pass must hold");
         assert!(second.recovered_baseline, "second pass starts from disk");
+        // The persistence leg: the second pass must open the paged
+        // stores from disk — zero re-synthesis — and serve rescans from
+        // the buffer pool.
+        assert_eq!(second.datasets_synthesized, 0, "no tenant re-synthesized");
+        assert_eq!(second.datasets_opened, 2, "both tenants opened from disk");
+        assert!(second.store_pool_hits > 0, "pool must serve the rescans");
+        assert!(
+            second.transcript_records > first.transcript_records,
+            "transcript logs accumulate across restarts"
+        );
         // The combined ledger kept growing monotonically (or stayed put).
         for ((name, s1, _), (_, s2, _)) in first.budgets.iter().zip(&second.budgets) {
             assert!(s2 + 1e-9 >= *s1, "{name} ledger shrank across restarts");

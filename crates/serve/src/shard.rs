@@ -289,6 +289,13 @@ pub fn stats_json(set: &ShardSet) -> Json {
         let (mut answered, mut denied) = (0usize, 0usize);
         let mut sessions = 0usize;
         let mut cache = CacheStats::default();
+        // Durable-store telemetry, summed over the shards' per-tenant
+        // buffer pools. `paged` stays false for resident datasets and
+        // the store object reads all-zero.
+        let mut paged = false;
+        let mut epoch = 0u64;
+        let mut pool = apex_data::PoolStats::default();
+        let (mut transcript_records, mut transcript_dropped) = (0u64, 0u64);
         for st in set.states() {
             let Some(t) = st.tenant(name) else { continue };
             let ledger = t.engine.export_ledger();
@@ -302,11 +309,33 @@ pub fn stats_json(set: &ShardSet) -> Json {
             cache.hits += local.hits;
             cache.misses += local.misses;
             cache.evictions += local.evictions;
+            if let Some(s) = t.store_stats() {
+                paged = true;
+                pool = pool.merge(&s);
+            }
+            if let Some(e) = t.dataset_epoch() {
+                epoch = epoch.max(e);
+            }
+            transcript_records += t.transcript_records();
+            transcript_dropped += t.transcript_dropped();
         }
         dataset_entries.push((
             name.clone(),
             Json::obj(vec![
                 ("cache", wire::cache_stats_json(cache)),
+                (
+                    "store",
+                    Json::obj(vec![
+                        ("paged", Json::Bool(paged)),
+                        ("epoch", Json::from(epoch)),
+                        ("pool_hits", Json::from(pool.hits)),
+                        ("pool_misses", Json::from(pool.misses)),
+                        ("pool_evictions", Json::from(pool.evictions)),
+                        ("pool_flushes", Json::from(pool.flushes)),
+                        ("transcript_records", Json::from(transcript_records)),
+                        ("transcript_dropped", Json::from(transcript_dropped)),
+                    ]),
+                ),
                 (
                     "budget",
                     Json::obj(vec![
@@ -1516,8 +1545,20 @@ mod tests {
         );
 
         // After the pressure clears, the same endpoint answers normally.
-        let (status, _) =
-            client::request(addr, "GET", &format!("/v1/sessions/{id}/budget"), None).unwrap();
+        // The worker may take a beat to drain the slow client's
+        // connection and park back on the rendezvous queue — until it
+        // does, 503 is still the correct answer, so retry briefly.
+        let mut status = 0;
+        for _ in 0..100 {
+            status = client::request(addr, "GET", &format!("/v1/sessions/{id}/budget"), None)
+                .unwrap()
+                .0;
+            if status == 200 {
+                break;
+            }
+            assert_eq!(status, 503, "only 503 is legal while the worker drains");
+            std::thread::sleep(Duration::from_millis(10));
+        }
         assert_eq!(status, 200);
 
         handle.stop();

@@ -67,7 +67,8 @@ use apex_core::{
     ApexEngine, CommitError, EngineConfig, EngineError, EngineResponse, EngineSession,
     SharedEngine, TranslatorCache,
 };
-use apex_data::Dataset;
+use apex_data::store::PageLog;
+use apex_data::{Dataset, PoolStats, StoreError};
 use apex_query::{AccuracySpec, ExplorationQuery};
 
 use crate::clock::{Clock, SystemClock};
@@ -85,12 +86,64 @@ pub struct Tenant {
     /// Unspent allowance released by closed/expired sessions — each
     /// slice's remainder counted exactly once.
     reclaimed: Mutex<f64>,
+    /// Durable per-tenant query transcript for audit replay (see
+    /// docs/STORAGE.md). Best-effort: the WAL is the source of truth
+    /// for *charges*; this log records what was asked and answered.
+    transcript: Option<Mutex<PageLog>>,
+    /// Transcript appends dropped on storage errors (telemetry).
+    transcript_dropped: AtomicU64,
 }
 
 impl Tenant {
     /// Total unspent allowance returned by closed/expired sessions.
     pub fn reclaimed(&self) -> f64 {
         *self.reclaimed.lock().expect("no poisoning")
+    }
+
+    /// Records one submission outcome in the audit transcript (no-op
+    /// when the tenant has no transcript log).
+    fn record_transcript(&self, session: u64, response: &EngineResponse) {
+        let Some(log) = &self.transcript else {
+            return;
+        };
+        let line = match response {
+            EngineResponse::Answered(a) => format!(
+                "session={session} mechanism={} epsilon={:.9} epsilon_upper={:.9}",
+                a.mechanism, a.epsilon, a.epsilon_upper
+            ),
+            EngineResponse::Denied => format!("session={session} denied"),
+        };
+        if log
+            .lock()
+            .expect("no poisoning")
+            .append(line.as_bytes())
+            .is_err()
+        {
+            self.transcript_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Committed + pending transcript records (0 without a log).
+    pub fn transcript_records(&self) -> u64 {
+        self.transcript
+            .as_ref()
+            .map(|l| l.lock().expect("no poisoning").record_count())
+            .unwrap_or(0)
+    }
+
+    /// Appends dropped on transcript storage errors.
+    pub fn transcript_dropped(&self) -> u64 {
+        self.transcript_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Buffer-pool counters of this tenant's dataset (None = resident).
+    pub fn store_stats(&self) -> Option<PoolStats> {
+        self.engine.with_engine(|e| e.dataset_pool_stats())
+    }
+
+    /// Storage epoch of this tenant's dataset (None = resident).
+    pub fn dataset_epoch(&self) -> Option<u64> {
+        self.engine.with_engine(|e| e.dataset_epoch())
     }
 }
 
@@ -657,7 +710,7 @@ impl ServerState {
         query: &ExplorationQuery,
         accuracy: &AccuracySpec,
     ) -> Result<SubmitOutcome, SubmitError> {
-        let Some((session, _pin)) = self.pin_session(id) else {
+        let Some((session, dataset, _pin)) = self.pin_session(id) else {
             return Ok(match self.session_status(id) {
                 SessionStatus::Expired => SubmitOutcome::Gone,
                 _ => SubmitOutcome::NoSuchSession,
@@ -690,6 +743,11 @@ impl ServerState {
         };
         drop(_gate);
         drop(_pin);
+        // Audit transcript, outside the gate: append-only telemetry, the
+        // WAL record above is the durability-critical one.
+        if let Some(tenant) = self.tenant(&dataset) {
+            tenant.record_transcript(id, &response);
+        }
         self.maybe_compact();
         Ok(SubmitOutcome::Response(response))
     }
@@ -698,7 +756,7 @@ impl ServerState {
     /// activity tick on entry, and the returned guard re-stamps it and
     /// releases the pin when the submission completes. `None` for ids
     /// that are not live.
-    fn pin_session(&self, id: u64) -> Option<(EngineSession, InFlightGuard)> {
+    fn pin_session(&self, id: u64) -> Option<(EngineSession, String, InFlightGuard)> {
         let sessions = self.sessions.read().expect("no poisoning");
         let entry = sessions.get(&id)?;
         entry.in_flight.fetch_add(1, Ordering::SeqCst);
@@ -707,6 +765,7 @@ impl ServerState {
             .store(self.clock.now_millis(), Ordering::SeqCst);
         Some((
             entry.session.clone(),
+            entry.dataset.clone(),
             InFlightGuard {
                 clock: self.clock.clone(),
                 last_active: entry.last_active.clone(),
@@ -1031,6 +1090,10 @@ impl ServerState {
     /// # Errors
     /// Snapshot write or WAL rotation I/O failures.
     pub fn compact(&self) -> Result<(), std::io::Error> {
+        // Piggyback the audit-transcript flush on the compaction cadence
+        // (and on the explicit admin compact): best-effort, see
+        // [`ServerState::flush_transcripts`].
+        self.flush_transcripts();
         let Some(p) = &self.persist else {
             return Ok(());
         };
@@ -1073,6 +1136,20 @@ impl ServerState {
     fn inject_wal_faults(&self, n: u64) {
         if let Some(p) = &self.persist {
             p.fail_appends.store(n, Ordering::SeqCst);
+        }
+    }
+
+    /// Commits every tenant's audit transcript to disk (tail page +
+    /// fsync + manifest). Best-effort: a failing transcript store must
+    /// not take down query serving, so errors only bump the tenant's
+    /// dropped counter. Called on every compaction and at shutdown.
+    pub fn flush_transcripts(&self) {
+        for (_, tenant) in &self.tenants {
+            if let Some(log) = &tenant.transcript {
+                if log.lock().expect("no poisoning").flush().is_err() {
+                    tenant.transcript_dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
     }
 
@@ -1134,10 +1211,26 @@ impl ServerStateBuilder {
             engine,
             cache: scope,
             reclaimed: Mutex::new(0.0),
+            transcript: None,
+            transcript_dropped: AtomicU64::new(0),
         };
         self.tenants.retain(|(n, _)| n != name);
         self.tenants.push((name.to_string(), tenant));
         self
+    }
+
+    /// Attaches a durable audit transcript (`<root>/<tenant>/`) to every
+    /// tenant registered **so far**, opening existing logs where present.
+    /// Call after the last [`ServerStateBuilder::dataset`].
+    ///
+    /// # Errors
+    /// Corrupt transcript manifests or I/O failures opening the logs.
+    pub fn transcripts_under(mut self, root: &std::path::Path) -> Result<Self, StoreError> {
+        for (name, tenant) in &mut self.tenants {
+            let log = PageLog::open_or_create(&root.join(name.as_str()), 1)?;
+            tenant.transcript = Some(Mutex::new(log));
+        }
+        Ok(self)
     }
 
     /// Injects the clock sessions age against (tests use
@@ -1594,7 +1687,7 @@ mod tests {
             .build();
         let id = state.create_session("a", 0.5).unwrap().unwrap();
         // Pin the session exactly as submit does for its in-flight span.
-        let (_session, pin) = state.pin_session(id).expect("session is live");
+        let (_session, _dataset, pin) = state.pin_session(id).expect("session is live");
         // Way past the TTL: an unpinned session would be reaped, the
         // pinned one must survive (the mid-flight-expiry bug).
         clock.advance(1_000);

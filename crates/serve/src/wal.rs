@@ -204,34 +204,11 @@ pub(crate) fn take_str(b: &[u8]) -> Option<(String, &[u8])> {
 }
 
 /// IEEE CRC-32 (the zlib/PNG polynomial), table-driven, std-only.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    const TABLE: [u32; 256] = crc32_table();
-    let mut crc = !0u32;
-    for &b in bytes {
-        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
-    }
-    !crc
-}
-
-const fn crc32_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut k = 0;
-        while k < 8 {
-            c = if c & 1 != 0 {
-                0xEDB8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
-            k += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-}
+///
+/// The const-fn table now lives with the dataset store
+/// (`apex_data::store::page`) so WAL records and data pages share one
+/// implementation; re-exported here for the existing callers.
+pub use apex_data::store::page::crc32;
 
 /// What follows the last valid record in a WAL.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -245,10 +245,19 @@ fn http_self_test_passes() {
         rows: 500,
         cache_cap: 32,
         state_dir: None,
+        data_dir: None,
         slow_query_prefixes: 64,
     })
     .expect("self-test invariants must hold");
     assert!(report.answered > 0);
+    assert_eq!(
+        report.datasets_synthesized, 2,
+        "a fresh data dir ingests the paged tenants"
+    );
+    assert!(
+        report.store_pool_hits > 0,
+        "paged rescans must be served from the buffer pool"
+    );
     assert!(report.denied > 0, "oversubscription must force denials");
     assert!(report.cache_hits > 0, "sessions must share warm artifacts");
     assert!(
