@@ -199,6 +199,7 @@ impl EvalContext {
         accuracy: &AccuracySpec,
         cap: f64,
     ) -> Result<PendingCharge, EngineError> {
+        crate::sched_point!("engine.evaluate.enter");
         let prepared = PreparedQuery::prepare(self.data.schema(), query)?;
         let record = QueryRecord {
             kind: prepared.kind().name(),
@@ -306,6 +307,13 @@ pub struct ApexEngine {
     /// `O(n³)` QR and the MC resampling. Reuse is exact — caching cannot
     /// change any decision.
     cache: TranslatorCache,
+    /// Test-only canary: deliberately charge the ledger *before* the
+    /// durability hook runs — the exact ordering bug the schedule
+    /// exerciser exists to catch. Proves the harness can see the bug
+    /// class it guards against (an exerciser that passes with this flag
+    /// set is broken). Never set outside the exerciser's canary test.
+    #[cfg(any(test, feature = "sched"))]
+    bug_charge_before_log: bool,
 }
 
 impl ApexEngine {
@@ -349,7 +357,16 @@ impl ApexEngine {
             transcript: Transcript::new(),
             rng: StdRng::seed_from_u64(config.seed),
             cache,
+            #[cfg(any(test, feature = "sched"))]
+            bug_charge_before_log: false,
         }
+    }
+
+    /// Arms the charge-before-log canary (see the field doc). Exerciser
+    /// self-tests only.
+    #[cfg(any(test, feature = "sched"))]
+    pub fn set_bug_charge_before_log(&mut self, on: bool) {
+        self.bug_charge_before_log = on;
     }
 
     /// The engine's translator/pseudoinverse cache (inspect its stats to
@@ -571,6 +588,7 @@ impl ApexEngine {
         cap: f64,
         log: impl FnOnce(&EngineResponse) -> Result<(), E>,
     ) -> Result<EngineResponse, CommitError<E>> {
+        crate::sched_point!("engine.commit.enter");
         let PendingCharge {
             engine_id,
             record,
@@ -586,7 +604,9 @@ impl ApexEngine {
         let Some(p) = outcome else {
             // Evaluate already denied; record it (Line 16).
             let response = EngineResponse::Denied;
+            crate::sched_point!("engine.commit.pre_log");
             log(&response).map_err(CommitError::Log)?;
+            crate::sched_point!("engine.commit.post_log");
             self.transcript
                 .push(TranscriptEntry::Denied { query: record });
             return Ok(response);
@@ -606,7 +626,9 @@ impl ApexEngine {
         // must still hold. Losing the race denies and discards.
         if p.epsilon_upper > self.remaining().min(cap) {
             let response = EngineResponse::Denied;
+            crate::sched_point!("engine.commit.pre_log");
             log(&response).map_err(CommitError::Log)?;
+            crate::sched_point!("engine.commit.post_log");
             self.transcript
                 .push(TranscriptEntry::Denied { query: record });
             return Ok(response);
@@ -618,9 +640,31 @@ impl ApexEngine {
             mechanism: p.mechanism,
         };
         let response = EngineResponse::Answered(answered);
+        crate::sched_point!("engine.commit.pre_log");
+        // The canary flips append-before-charge to charge-before-append;
+        // with it set, a failed `log` strands a charge no durable record
+        // backs — which the exerciser's live-spend invariant must catch.
+        let charged_early = {
+            #[cfg(any(test, feature = "sched"))]
+            {
+                if self.bug_charge_before_log {
+                    self.spent += p.epsilon;
+                    true
+                } else {
+                    false
+                }
+            }
+            #[cfg(not(any(test, feature = "sched")))]
+            {
+                false
+            }
+        };
         log(&response).map_err(CommitError::Log)?;
-        // Line 12: charge the *actual* loss — the commit point.
-        self.spent += p.epsilon;
+        crate::sched_point!("engine.commit.post_log");
+        if !charged_early {
+            // Line 12: charge the *actual* loss — the commit point.
+            self.spent += p.epsilon;
+        }
         self.transcript.push(TranscriptEntry::Answered {
             query: record,
             mechanism: p.mechanism,
@@ -628,6 +672,7 @@ impl ApexEngine {
             epsilon_upper: p.epsilon_upper,
             answer: p.answer,
         });
+        crate::sched_point!("engine.commit.done");
         Ok(response)
     }
 }

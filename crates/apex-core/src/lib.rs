@@ -46,11 +46,31 @@
 pub mod cache;
 pub mod engine;
 pub mod error;
+#[cfg(any(test, feature = "sched"))]
+pub mod sched;
 pub mod selector;
 mod selector_table;
 pub mod shared;
 pub mod transcript;
 pub mod translator;
+
+/// Marks a named yield point for the deterministic schedule exerciser
+/// ([`sched`]). Expands to nothing unless the compiling crate is built
+/// with `cfg(test)` or its own `sched` feature — release builds carry
+/// zero overhead, not even a branch.
+///
+/// Points are trace markers *and* crash-injection sites: place one at
+/// every boundary where a process kill or a context switch would be
+/// observable (before/after a WAL append, between an append and the
+/// ledger charge, inside a lock-held critical section). Naming:
+/// `area.operation.moment`, e.g. `engine.commit.post_log`.
+#[macro_export]
+macro_rules! sched_point {
+    ($name:expr) => {{
+        #[cfg(any(test, feature = "sched"))]
+        $crate::sched::yield_point($name);
+    }};
+}
 
 pub use cache::TranslatorCache;
 pub use engine::{

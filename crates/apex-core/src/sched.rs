@@ -1,0 +1,339 @@
+//! Deterministic schedule exerciser core (HISTEX-style; see PAPERS.md).
+//!
+//! The concurrency tests added in PR 5 hand-pick a few interleavings.
+//! This module turns that into a *generator*: engine and service code is
+//! threaded with named **yield points** (the [`sched_point!`] macro,
+//! compiled away unless `cfg(any(test, feature = "sched"))`), and a
+//! harness installs a thread-local [`SchedHook`] that observes every
+//! point an operation passes through. Logical "threads" are scripted
+//! operation sequences; an **interleaving** is an order-preserving
+//! shuffle of those sequences, which the harness executes one step at a
+//! time on a single real thread — fully deterministic, no timeouts, no
+//! lost wakeups.
+//!
+//! Yield points serve two roles:
+//!
+//! 1. **Tracing** — every schedule produces an exact, replayable trace
+//!    of the points it passed through (printed on failure).
+//! 2. **Crash injection** — [`TraceHook`] can be armed to panic with
+//!    [`SimulatedCrash`] at the k-th point reached, modelling a process
+//!    kill *between* any two instructions the points bracket. The
+//!    harness catches the unwind, drops the live state, and re-recovers
+//!    from disk, checking the recovered ledger against what was acked.
+//!
+//! The schedule generators here are pure combinatorics:
+//! [`interleavings`] enumerates every order-preserving shuffle of
+//! per-thread op counts (bounded; callers keep it to ≤4 threads × ≤6
+//! ops per ISSUE 9), [`random_interleaving`] draws one uniformly from a
+//! seeded RNG, and [`case_seed`] derives a per-case seed so any failing
+//! random case replays from `(fixed seed, case index)` alone.
+//!
+//! The actual invariant checker lives next to the state it checks:
+//! `apex-serve`'s `exerciser` module drives real `ServerState` worlds
+//! (WAL + snapshots + sessions) through these schedules. See
+//! `docs/CONCURRENCY.md` for the yield-point map and the invariant set.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+// Re-exported so downstream exercisers (apex-serve) can seed and drive
+// random schedules without declaring their own dependency on the
+// vendored `rand` shim.
+pub use rand::rngs::StdRng;
+pub use rand::{RngCore, SeedableRng};
+
+/// Observer installed at yield points. Implementations must not block:
+/// the exerciser is single-threaded and a blocking hook deadlocks it.
+pub trait SchedHook {
+    /// Called every time execution reaches a named yield point.
+    fn reach(&self, point: &'static str);
+}
+
+thread_local! {
+    static HOOK: RefCell<Option<Rc<dyn SchedHook>>> = const { RefCell::new(None) };
+}
+
+/// Installs `hook` for the current thread; returns a guard that
+/// uninstalls it on drop (including on unwind, so a simulated crash
+/// never leaks a hook into recovery code).
+#[must_use = "dropping the guard uninstalls the hook"]
+pub fn hook_scope(hook: Rc<dyn SchedHook>) -> HookGuard {
+    silence_simulated_crashes();
+    HOOK.with(|h| *h.borrow_mut() = Some(hook));
+    HookGuard(())
+}
+
+/// Replaces the process panic hook (once) with one that stays silent
+/// for [`SimulatedCrash`] payloads and delegates everything else to the
+/// previous hook. An exhaustive crash sweep fires thousands of
+/// intentional panics; without this every one would print a backtrace
+/// header to stderr. Public so tests that panic with [`SimulatedCrash`]
+/// outside a [`hook_scope`] (e.g. lock-poisoning tests) can opt in too.
+pub fn silence_simulated_crashes() {
+    static INSTALLED: std::sync::Once = std::sync::Once::new();
+    INSTALLED.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<SimulatedCrash>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Uninstalls the current thread's hook when dropped.
+pub struct HookGuard(());
+
+impl Drop for HookGuard {
+    fn drop(&mut self) {
+        HOOK.with(|h| *h.borrow_mut() = None);
+    }
+}
+
+/// The runtime side of [`sched_point!`]: notifies the installed hook,
+/// if any. A no-op (one thread-local read) when no hook is installed,
+/// so plain `cargo test` runs that never install a hook are unaffected.
+#[inline]
+pub fn yield_point(point: &'static str) {
+    let hook = HOOK.with(|h| h.borrow().clone());
+    if let Some(h) = hook {
+        h.reach(point);
+    }
+}
+
+/// Panic payload for a simulated process kill at a yield point. The
+/// harness downcasts unwind payloads to this type to tell an injected
+/// crash apart from a genuine bug's panic (which it re-raises).
+#[derive(Debug, Clone, Copy)]
+pub struct SimulatedCrash;
+
+/// The standard hook: records the trace of points reached and, when
+/// armed with `crash_at = Some(k)`, panics with [`SimulatedCrash`] *at*
+/// the k-th point (1-based) — i.e. after recording it, before the code
+/// between point k and point k+1 runs.
+#[derive(Debug, Default)]
+pub struct TraceHook {
+    trace: RefCell<Vec<&'static str>>,
+    crash_at: Cell<Option<u64>>,
+    seen: Cell<u64>,
+}
+
+impl TraceHook {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_crash_at(k: u64) -> Self {
+        let h = Self::default();
+        h.crash_at.set(Some(k));
+        h
+    }
+
+    /// Number of points reached so far.
+    pub fn points_seen(&self) -> u64 {
+        self.seen.get()
+    }
+
+    /// A copy of the trace so far.
+    pub fn trace(&self) -> Vec<&'static str> {
+        self.trace.borrow().clone()
+    }
+}
+
+impl SchedHook for TraceHook {
+    fn reach(&self, point: &'static str) {
+        self.trace.borrow_mut().push(point);
+        let n = self.seen.get() + 1;
+        self.seen.set(n);
+        if self.crash_at.get() == Some(n) {
+            std::panic::panic_any(SimulatedCrash);
+        }
+    }
+}
+
+/// Number of distinct interleavings of per-thread op counts — the
+/// multinomial coefficient `(Σc)! / Π cᵢ!`. Saturates at `u128::MAX`.
+pub fn interleaving_count(counts: &[usize]) -> u128 {
+    let mut remaining: usize = counts.iter().sum();
+    let mut n: u128 = 1;
+    for &c in counts {
+        n = n.saturating_mul(binomial(remaining, c));
+        remaining -= c;
+    }
+    n
+}
+
+fn binomial(n: usize, k: usize) -> u128 {
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc.saturating_mul((n - i) as u128) / (i as u128 + 1);
+    }
+    acc
+}
+
+/// Every interleaving of `counts` (thread `t` contributes `counts[t]`
+/// ops, in program order), lexicographic by thread index, truncated at
+/// `limit`. Each schedule is a sequence of thread indices; entry `s[i]`
+/// says which thread runs its next op at step `i`.
+pub fn interleavings(counts: &[usize], limit: usize) -> Vec<Vec<usize>> {
+    fn rec(
+        remaining: &mut [usize],
+        cur: &mut Vec<usize>,
+        total: usize,
+        out: &mut Vec<Vec<usize>>,
+        limit: usize,
+    ) {
+        if out.len() >= limit {
+            return;
+        }
+        if cur.len() == total {
+            out.push(cur.clone());
+            return;
+        }
+        for t in 0..remaining.len() {
+            if remaining[t] > 0 {
+                remaining[t] -= 1;
+                cur.push(t);
+                rec(remaining, cur, total, out, limit);
+                cur.pop();
+                remaining[t] += 1;
+            }
+        }
+    }
+    let total: usize = counts.iter().sum();
+    let mut out = Vec::new();
+    let mut remaining = counts.to_vec();
+    rec(
+        &mut remaining,
+        &mut Vec::with_capacity(total),
+        total,
+        &mut out,
+        limit,
+    );
+    out
+}
+
+/// One interleaving of `counts` drawn uniformly at random: at each step
+/// the next op is picked with probability proportional to the ops each
+/// thread still has, which makes every distinct interleaving equally
+/// likely (probability `Π cᵢ! / (Σc)!`).
+pub fn random_interleaving(rng: &mut StdRng, counts: &[usize]) -> Vec<usize> {
+    let mut remaining = counts.to_vec();
+    let mut left: usize = remaining.iter().sum();
+    let mut out = Vec::with_capacity(left);
+    while left > 0 {
+        let mut pick = (rng.next_u64() % left as u64) as usize;
+        for (t, r) in remaining.iter_mut().enumerate() {
+            if pick < *r {
+                *r -= 1;
+                left -= 1;
+                out.push(t);
+                break;
+            }
+            pick -= *r;
+        }
+    }
+    out
+}
+
+/// Derives the RNG seed for case `case` of a random run from the run's
+/// fixed seed (splitmix64). A failure report prints `(seed, case)`;
+/// replaying needs nothing else.
+pub fn case_seed(seed: u64, case: u64) -> u64 {
+    let mut z = seed.wrapping_add(case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Renders a failing schedule as a single replayable report:
+/// the `(seed, case)` pair (for random runs), the explicit schedule,
+/// the crash point if one was armed, and the yield-point trace.
+pub fn format_failure(
+    scenario: &str,
+    seed: Option<(u64, u64)>,
+    schedule: &[usize],
+    crash_at: Option<u64>,
+    trace: &[&'static str],
+    message: &str,
+) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "schedule exerciser FAILURE in scenario `{scenario}`");
+    let _ = writeln!(s, "  violation: {message}");
+    if let Some((seed, case)) = seed {
+        let _ = writeln!(s, "  replay: seed=0x{seed:X} case={case}");
+    }
+    let _ = writeln!(s, "  schedule (thread per step): {schedule:?}");
+    let _ = writeln!(s, "  crash_at: {crash_at:?}");
+    let _ = writeln!(s, "  yield trace: {}", trace.join(" -> "));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn interleaving_count_matches_enumeration() {
+        for counts in [vec![2, 2], vec![2, 2, 1, 1], vec![2, 1, 2], vec![3, 3]] {
+            let all = interleavings(&counts, usize::MAX);
+            assert_eq!(all.len() as u128, interleaving_count(&counts), "{counts:?}");
+            // Distinct and order-preserving per thread.
+            for s in &all {
+                let mut used = vec![0usize; counts.len()];
+                for &t in s {
+                    used[t] += 1;
+                }
+                assert_eq!(used, counts);
+            }
+            let mut dedup = all.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(dedup.len(), all.len());
+        }
+    }
+
+    #[test]
+    fn enumeration_respects_limit() {
+        assert_eq!(interleavings(&[3, 3, 3], 10).len(), 10);
+    }
+
+    #[test]
+    fn random_interleaving_is_deterministic_per_seed_and_valid() {
+        let counts = [2, 2, 1, 1];
+        let a = random_interleaving(&mut StdRng::seed_from_u64(42), &counts);
+        let b = random_interleaving(&mut StdRng::seed_from_u64(42), &counts);
+        assert_eq!(a, b);
+        let mut used = vec![0usize; counts.len()];
+        for &t in &a {
+            used[t] += 1;
+        }
+        assert_eq!(used, counts.to_vec());
+    }
+
+    #[test]
+    fn case_seed_is_stable_and_spreads() {
+        assert_eq!(case_seed(7, 3), case_seed(7, 3));
+        assert_ne!(case_seed(7, 3), case_seed(7, 4));
+        assert_ne!(case_seed(7, 3), case_seed(8, 3));
+    }
+
+    #[test]
+    fn hook_traces_and_crashes_at_the_armed_point() {
+        let hook = Rc::new(TraceHook::with_crash_at(3));
+        let guard = hook_scope(hook.clone());
+        yield_point("a");
+        yield_point("b");
+        let unwound = std::panic::catch_unwind(|| yield_point("c"));
+        let payload = unwound.expect_err("armed point must panic");
+        assert!(payload.downcast_ref::<SimulatedCrash>().is_some());
+        assert_eq!(hook.trace(), vec!["a", "b", "c"]);
+        drop(guard);
+        // Uninstalled: further points are silent no-ops.
+        yield_point("d");
+        assert_eq!(hook.points_seen(), 3);
+    }
+}

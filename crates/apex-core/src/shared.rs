@@ -145,6 +145,14 @@ impl SharedEngine {
         }
     }
 
+    /// Arms the charge-before-log canary on the wrapped engine — see
+    /// [`ApexEngine::set_bug_charge_before_log`]. Exerciser self-tests
+    /// only.
+    #[cfg(any(test, feature = "sched"))]
+    pub fn set_bug_charge_before_log(&self, on: bool) {
+        self.inner.lock().set_bug_charge_before_log(on);
+    }
+
     /// Re-imposes a persisted spend on this engine — see
     /// [`ApexEngine::import_ledger`].
     ///
@@ -216,6 +224,7 @@ impl EngineSession {
         query: &ExplorationQuery,
         accuracy: &AccuracySpec,
     ) -> Result<PendingCharge, EngineError> {
+        crate::sched_point!("session.evaluate.enter");
         let cap = {
             let slice = self.slice.lock();
             if slice.closed {
@@ -260,6 +269,7 @@ impl EngineSession {
         pending: PendingCharge,
         log: impl FnOnce(&EngineResponse) -> Result<(), E>,
     ) -> Result<EngineResponse, CommitError<E>> {
+        crate::sched_point!("session.commit.enter");
         let mut slice = self.slice.lock();
         if slice.closed {
             return Err(CommitError::Engine(EngineError::SessionClosed));
@@ -270,6 +280,7 @@ impl EngineSession {
         if let EngineResponse::Answered(a) = &response {
             slice.spent += a.epsilon;
         }
+        crate::sched_point!("session.commit.done");
         Ok(response)
     }
 
@@ -280,11 +291,13 @@ impl EngineSession {
     /// however many reapers and admins race. The caller hands that
     /// remainder back to whatever granted the slice.
     pub fn close(&self) -> Option<f64> {
+        crate::sched_point!("session.close.enter");
         let mut slice = self.slice.lock();
         if slice.closed {
             return None;
         }
         slice.closed = true;
+        crate::sched_point!("session.close.closing");
         Some((self.allowance - slice.spent).max(0.0))
     }
 

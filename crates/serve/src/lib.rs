@@ -61,6 +61,8 @@
 
 pub mod client;
 pub mod clock;
+#[cfg(any(test, feature = "sched"))]
+pub mod exerciser;
 pub mod http;
 pub mod json;
 pub mod router;

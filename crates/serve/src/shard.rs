@@ -28,12 +28,13 @@
 //! `/v1/stats` aggregates per-shard ledgers plus exposes the per-shard
 //! breakdown.
 
+use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{self, Receiver, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use apex_mech::CacheStats;
@@ -42,7 +43,9 @@ use crate::http::{self, BufParse, Request, Response};
 use crate::json::Json;
 use crate::router;
 use crate::snapshot;
-use crate::state::{PersistOptions, RecoverError, RecoveryReport, ServerState, ServerStateBuilder};
+use crate::state::{
+    lockx, PersistOptions, RecoverError, RecoveryReport, ServerState, ServerStateBuilder,
+};
 use crate::wire;
 
 /// Bits the shard index occupies above the per-shard sequence number.
@@ -481,19 +484,151 @@ struct Work {
     req: Request,
 }
 
+/// A bounded multi-consumer work queue with a *drain signal*.
+///
+/// Replaces the `mpsc::sync_channel` + `Arc<Mutex<Receiver>>` pair the
+/// shards used before. Same dispatch semantics — `try_send` never
+/// blocks, a full queue is backpressure, closing wakes every worker —
+/// plus the one thing a channel cannot express: [`WorkQueue::is_drained`]
+/// becomes observable the instant the queue is empty *and* every worker
+/// is parked back in `recv`. Tests that previously slept-and-retried to
+/// guess when a shard went quiescent now wait on that edge directly
+/// (see `ShardServerHandle::wait_queue_drained`).
+struct WorkQueue<T> {
+    inner: Mutex<QueueInner<T>>,
+    /// Wakes workers parked in `recv`.
+    recv_cv: Condvar,
+    /// Wakes waiters in `wait_drained` when the drain edge may have
+    /// been reached.
+    drain_cv: Condvar,
+    /// Queue bound; `try_send` beyond it reports `Full` (unless an idle
+    /// worker can take the item immediately).
+    cap: usize,
+    /// Worker threads consuming this queue; drained means all of them
+    /// are parked in `recv` with nothing left to pop.
+    workers: usize,
+}
+
+struct QueueInner<T> {
+    items: VecDeque<T>,
+    /// Workers currently parked inside `recv`.
+    waiting: usize,
+    closed: bool,
+}
+
+impl<T> WorkQueue<T> {
+    fn new(cap: usize, workers: usize) -> Self {
+        Self {
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::new(),
+                waiting: 0,
+                closed: false,
+            }),
+            recv_cv: Condvar::new(),
+            drain_cv: Condvar::new(),
+            cap,
+            workers,
+        }
+    }
+
+    /// Nonblocking enqueue. `Full` is the backpressure signal (503 at
+    /// the dispatcher) — except that a parked worker with nothing to do
+    /// always admits one more item, so `cap = 0` keeps its rendezvous
+    /// reading and a small cap never sheds load an idle worker could
+    /// absorb right now.
+    fn try_send(&self, item: T) -> Result<(), TrySendError<T>> {
+        let mut g = lockx::lock(&self.inner);
+        if g.closed {
+            return Err(TrySendError::Disconnected(item));
+        }
+        if g.items.len() >= self.cap && g.waiting <= g.items.len() {
+            return Err(TrySendError::Full(item));
+        }
+        g.items.push_back(item);
+        drop(g);
+        self.recv_cv.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item arrives (`Some`) or the queue is closed and
+    /// empty (`None` — the worker's shutdown signal).
+    fn recv(&self) -> Option<T> {
+        let mut g = lockx::lock(&self.inner);
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            g.waiting += 1;
+            if g.waiting == self.workers {
+                // Every worker parked on an empty queue: the drain edge.
+                self.drain_cv.notify_all();
+            }
+            g = lockx::wait(&self.recv_cv, g);
+            g.waiting -= 1;
+        }
+    }
+
+    /// Closes the queue: further `try_send`s are refused and parked
+    /// workers drain what's left, then exit.
+    fn close(&self) {
+        lockx::lock(&self.inner).closed = true;
+        self.recv_cv.notify_all();
+        self.drain_cv.notify_all();
+    }
+
+    /// Whether the queue is quiescent right now: nothing queued and
+    /// every worker parked in `recv` (or the queue is closed).
+    fn is_drained(g: &QueueInner<T>, workers: usize) -> bool {
+        g.items.is_empty() && (g.closed || g.waiting == workers)
+    }
+
+    /// Blocks until the queue drains (empty + all workers parked) or
+    /// `timeout` elapses. `true` on the drain edge. Note a worker still
+    /// writing a response or lingering on a sticky connection counts as
+    /// busy — this reports *the shard finished its queued work*, not
+    /// merely *the queue emptied*.
+    fn wait_drained(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut g = lockx::lock(&self.inner);
+        loop {
+            if Self::is_drained(&g, self.workers) {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = lockx::wait_timeout(&self.drain_cv, g, deadline - now);
+            g = guard;
+        }
+    }
+}
+
 /// Control handle for a running sharded server.
-#[derive(Debug)]
 pub struct ShardServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     event: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    queues: Arc<Vec<WorkQueue<Work>>>,
 }
 
 impl ShardServerHandle {
     /// The bound address (useful with port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Blocks until shard `k`'s queue drains — empty with every worker
+    /// parked waiting for work — or `timeout` elapses; `true` on the
+    /// drain edge. Deterministic quiescence for tests: after the last
+    /// in-flight response is written, this returns instead of the
+    /// caller guessing with sleep-and-retry.
+    pub fn wait_queue_drained(&self, k: usize, timeout: Duration) -> bool {
+        self.queues[k].wait_drained(timeout)
     }
 
     /// Requests graceful shutdown. The event loop polls the flag (it
@@ -530,23 +665,25 @@ pub fn serve_sharded<A: ToSocketAddrs>(
 
     // Workers hand keep-alive connections back through this channel.
     let (ret_tx, ret_rx) = mpsc::channel::<ConnState>();
+    let workers_per_shard = cfg.workers_per_shard.max(1);
+    let queues: Arc<Vec<WorkQueue<Work>>> = Arc::new(
+        (0..set.shards())
+            .map(|_| WorkQueue::new(cfg.queue_cap, workers_per_shard))
+            .collect(),
+    );
     let mut workers = Vec::new();
-    let mut queues: Vec<SyncSender<Work>> = Vec::with_capacity(set.shards());
     for k in 0..set.shards() {
         // Each shard's WAL group-commit gate gathers one writer per
         // worker before paying its single fsync.
-        set.state(k).set_sync_peers(cfg.workers_per_shard.max(1));
-        let (tx, rx) = mpsc::sync_channel::<Work>(cfg.queue_cap);
-        let rx = Arc::new(Mutex::new(rx));
-        queues.push(tx);
-        for _ in 0..cfg.workers_per_shard.max(1) {
+        set.state(k).set_sync_peers(workers_per_shard);
+        for _ in 0..workers_per_shard {
             let set = set.clone();
-            let rx = rx.clone();
+            let queues = queues.clone();
             let ret = ret_tx.clone();
             let stop = stop.clone();
             let cfg = cfg.clone();
             workers.push(std::thread::spawn(move || {
-                shard_worker(&set, k, &rx, &ret, &stop, &cfg);
+                shard_worker(&set, k, &queues[k], &ret, &stop, &cfg);
             }));
         }
     }
@@ -554,7 +691,16 @@ pub fn serve_sharded<A: ToSocketAddrs>(
 
     let event = {
         let stop = stop.clone();
-        std::thread::spawn(move || event_loop(&listener, &set, &queues, &ret_rx, &stop, &cfg))
+        let queues = queues.clone();
+        std::thread::spawn(move || {
+            event_loop(&listener, &set, &queues, &ret_rx, &stop, &cfg);
+            // The dispatcher is gone: close every queue so workers
+            // drain what's left and exit (this replaces the implicit
+            // close that dropping the channel senders used to give).
+            for q in queues.iter() {
+                q.close();
+            }
+        })
     };
 
     Ok(ShardServerHandle {
@@ -562,6 +708,7 @@ pub fn serve_sharded<A: ToSocketAddrs>(
         stop,
         event: Some(event),
         workers,
+        queues,
     })
 }
 
@@ -660,7 +807,7 @@ fn sticky_next(conn: &mut ConnState, set: &ShardSet, k: usize, wait: Duration) -
 fn shard_worker(
     set: &Arc<ShardSet>,
     k: usize,
-    rx: &Arc<Mutex<Receiver<Work>>>,
+    queue: &WorkQueue<Work>,
     ret: &mpsc::Sender<ConnState>,
     stop: &Arc<AtomicBool>,
     cfg: &ServeConfig,
@@ -676,10 +823,7 @@ fn shard_worker(
         }
     };
     loop {
-        // Hold the receiver lock only while popping, so sibling workers
-        // stay runnable during request handling.
-        let next = { rx.lock().expect("no poisoning").recv() };
-        let Ok(mut work) = next else {
+        let Some(mut work) = queue.recv() else {
             return; // queue closed: shutdown
         };
         let mut served = 0;
@@ -943,7 +1087,7 @@ fn service_conn(
     mut conn: ConnState,
     now: Instant,
     set: &ShardSet,
-    queues: &[SyncSender<Work>],
+    queues: &[WorkQueue<Work>],
     cfg: &ServeConfig,
     stop: &AtomicBool,
     scratch: &mut [u8],
@@ -1035,7 +1179,7 @@ fn service_conn(
 fn event_loop(
     listener: &TcpListener,
     set: &Arc<ShardSet>,
-    queues: &[SyncSender<Work>],
+    queues: &[WorkQueue<Work>],
     ret_rx: &Receiver<ConnState>,
     stop: &Arc<AtomicBool>,
     cfg: &ServeConfig,
@@ -1544,22 +1688,17 @@ mod tests {
             "a rendezvous queue with a busy worker must shed at least one 503"
         );
 
-        // After the pressure clears, the same endpoint answers normally.
-        // The worker may take a beat to drain the slow client's
-        // connection and park back on the rendezvous queue — until it
-        // does, 503 is still the correct answer, so retry briefly.
-        let mut status = 0;
-        for _ in 0..100 {
-            status = client::request(addr, "GET", &format!("/v1/sessions/{id}/budget"), None)
-                .unwrap()
-                .0;
-            if status == 200 {
-                break;
-            }
-            assert_eq!(status, 503, "only 503 is legal while the worker drains");
-            std::thread::sleep(Duration::from_millis(10));
-        }
-        assert_eq!(status, 200);
+        // After the pressure clears, wait on the drain signal — the
+        // queue reports the moment the worker parks back on it with
+        // nothing queued. No sleep-and-retry: once drained, the very
+        // next dispatch must be admitted and answered.
+        assert!(
+            handle.wait_queue_drained(0, Duration::from_secs(10)),
+            "the shard never drained after the slow query finished"
+        );
+        let (status, _) =
+            client::request(addr, "GET", &format!("/v1/sessions/{id}/budget"), None).unwrap();
+        assert_eq!(status, 200, "a drained shard must admit the next request");
 
         handle.stop();
         handle.join();

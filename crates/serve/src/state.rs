@@ -75,6 +75,56 @@ use crate::clock::{Clock, SystemClock};
 use crate::snapshot::{self, SessionImage, Snapshot, TenantLedger};
 use crate::wal::{self, WalRecord, WalTail, WalWriter};
 
+/// Explicit poison recovery for the std locks guarding server state.
+///
+/// A panic while one of these locks is held (a handler bug, a simulated
+/// crash from the schedule exerciser) poisons it; unwrapping the poison
+/// would then turn **every later request on the shard** into a panic
+/// cascade — one bad request taking down a whole shard's traffic.
+///
+/// Recovering the guard and continuing is safe here because the
+/// durability discipline never trusts these critical sections to be
+/// atomic in memory: the WAL append happens *before* the ledger charge,
+/// every map mutation is a single `HashMap` insert/remove (no
+/// two-field states a panic can tear), and a section that died between
+/// append and charge merely leaves a durable record no ack references —
+/// recovery counts it, the safe direction. The budget invariants
+/// (spent ≤ B, append-before-ack) hold at every panic point, so the
+/// data under the lock is always consistent enough to keep serving; the
+/// schedule exerciser's crash-then-continue test proves it.
+pub(crate) mod lockx {
+    use std::sync::{
+        Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+        WaitTimeoutResult,
+    };
+    use std::time::Duration;
+
+    pub fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+        m.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn read<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+        l.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn write<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+        l.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn wait<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        cv.wait(g).unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn wait_timeout<'a, T>(
+        cv: &Condvar,
+        g: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        cv.wait_timeout(g, dur)
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
 /// One tenant dataset: its engine plus its scope of the shared cache.
 #[derive(Debug)]
 pub struct Tenant {
@@ -97,7 +147,7 @@ pub struct Tenant {
 impl Tenant {
     /// Total unspent allowance returned by closed/expired sessions.
     pub fn reclaimed(&self) -> f64 {
-        *self.reclaimed.lock().expect("no poisoning")
+        *lockx::lock(&self.reclaimed)
     }
 
     /// Records one submission outcome in the audit transcript (no-op
@@ -113,12 +163,7 @@ impl Tenant {
             ),
             EngineResponse::Denied => format!("session={session} denied"),
         };
-        if log
-            .lock()
-            .expect("no poisoning")
-            .append(line.as_bytes())
-            .is_err()
-        {
+        if lockx::lock(log).append(line.as_bytes()).is_err() {
             self.transcript_dropped.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -127,7 +172,7 @@ impl Tenant {
     pub fn transcript_records(&self) -> u64 {
         self.transcript
             .as_ref()
-            .map(|l| l.lock().expect("no poisoning").record_count())
+            .map(|l| lockx::lock(l).record_count())
             .unwrap_or(0)
     }
 
@@ -206,6 +251,40 @@ pub enum SubmitOutcome {
     Gone,
     /// No such session was ever issued: `404`.
     NoSuchSession,
+}
+
+/// The result of the evaluate half of a two-phase submission: either
+/// already resolved (no such session / gone) or a pending charge that
+/// [`ServerState::submit_commit`] must finish. `pub(crate)` — only
+/// [`ServerState::submit`] and the schedule exerciser compose phases.
+#[derive(Debug)]
+pub(crate) enum SubmitPhase {
+    Done(SubmitOutcome),
+    Pending(SubmitInFlight),
+}
+
+/// A submission held between its evaluate and commit phases: the pinned
+/// session, its dataset, and the uncharged [`apex_core::PendingCharge`].
+/// Dropping it abandons the submission — the pin releases and nothing
+/// is charged.
+#[derive(Debug)]
+pub(crate) struct SubmitInFlight {
+    id: u64,
+    session: EngineSession,
+    dataset: String,
+    pin: InFlightGuard,
+    pending: apex_core::PendingCharge,
+}
+
+impl SubmitInFlight {
+    /// The worst-case loss the commit phase may charge (`None` when the
+    /// evaluate phase already denied). The exerciser records this before
+    /// driving the commit, to bound recovered-vs-acked spend across a
+    /// crash injected mid-commit.
+    #[cfg(any(test, feature = "sched"))]
+    pub(crate) fn epsilon_upper(&self) -> Option<f64> {
+        self.pending.epsilon_upper()
+    }
 }
 
 /// A submission failure.
@@ -447,7 +526,29 @@ struct DirLock {
     path: PathBuf,
 }
 
+/// Skips [`DirLock::acquire`]'s 20 ms settle-and-verify window. The
+/// window guards against a *second process* stealing a stale lock it
+/// observed before we re-created it; the schedule exerciser opens
+/// thousands of brand-new single-process directories per gate run, for
+/// which the window is 40 ms/run of pure sleep guarding a race no
+/// second process exists to lose.
+#[cfg(any(test, feature = "sched"))]
+pub(crate) fn set_dirlock_settle_skip(on: bool) {
+    DIRLOCK_SETTLE_SKIP.store(on, Ordering::Relaxed);
+}
+
+#[cfg(any(test, feature = "sched"))]
+static DIRLOCK_SETTLE_SKIP: AtomicBool = AtomicBool::new(false);
+
 impl DirLock {
+    fn settle() {
+        #[cfg(any(test, feature = "sched"))]
+        if DIRLOCK_SETTLE_SKIP.load(Ordering::Relaxed) {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
     fn acquire(dir: &std::path::Path) -> Result<Self, RecoverError> {
         let path = dir.join("lock");
         for _ in 0..3 {
@@ -468,7 +569,7 @@ impl DirLock {
                     // ambiguity resolves fail-closed: a contender that
                     // finds its own pid under someone else's tenure
                     // refuses rather than double-owning.
-                    std::thread::sleep(Duration::from_millis(20));
+                    Self::settle();
                     match std::fs::read_to_string(&path) {
                         Ok(s) if s.trim() == std::process::id().to_string() => {
                             return Ok(Self { path });
@@ -553,9 +654,10 @@ struct Persist {
     /// workers per shard): a group-commit leader stops gathering once
     /// this many writers have joined. 1 = sync immediately.
     sync_peers: AtomicU64,
-    /// Fault injection for tests: the next N appends fail with an I/O
-    /// error, exercising the durable-or-nothing commit contract.
-    #[cfg(test)]
+    /// Fault injection for tests and the schedule exerciser: the next N
+    /// appends fail with an I/O error, exercising the
+    /// durable-or-nothing commit contract.
+    #[cfg(any(test, feature = "sched"))]
     fail_appends: AtomicU64,
 }
 
@@ -660,8 +762,9 @@ impl ServerState {
         let Some(tenant) = self.tenant(dataset) else {
             return Ok(None);
         };
-        let _gate = self.ledger_gate.read().expect("no poisoning");
+        let _gate = lockx::read(&self.ledger_gate);
         let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+        apex_core::sched_point!("state.open.enter");
         // Log BEFORE the session becomes visible in the live map: ids
         // are sequential, so a client guessing the next id could
         // otherwise race a Debit append ahead of the Open append (both
@@ -675,17 +778,16 @@ impl ServerState {
             dataset: dataset.to_string(),
             allowance,
         })?;
+        apex_core::sched_point!("state.open.logged");
         let entry = SessionEntry {
             dataset: dataset.to_string(),
             session: tenant.engine.session(allowance),
             last_active: Arc::new(AtomicU64::new(self.clock.now_millis())),
             in_flight: Arc::new(AtomicU64::new(0)),
         };
-        self.sessions
-            .write()
-            .expect("no poisoning")
-            .insert(id, entry);
+        lockx::write(&self.sessions).insert(id, entry);
         drop(_gate);
+        apex_core::sched_point!("state.open.inserted");
         self.maybe_compact();
         Ok(Some(id))
     }
@@ -710,23 +812,63 @@ impl ServerState {
         query: &ExplorationQuery,
         accuracy: &AccuracySpec,
     ) -> Result<SubmitOutcome, SubmitError> {
-        let Some((session, dataset, _pin)) = self.pin_session(id) else {
-            return Ok(match self.session_status(id) {
+        match self.submit_evaluate(id, query, accuracy)? {
+            SubmitPhase::Done(outcome) => Ok(outcome),
+            SubmitPhase::Pending(flight) => self.submit_commit(flight),
+        }
+    }
+
+    /// The evaluate half of [`ServerState::submit`]: pin + speculative
+    /// mechanism run, no gate held. Split out so the schedule exerciser
+    /// can interleave other operations between a submission's two
+    /// phases; production code always goes through `submit`.
+    pub(crate) fn submit_evaluate(
+        &self,
+        id: u64,
+        query: &ExplorationQuery,
+        accuracy: &AccuracySpec,
+    ) -> Result<SubmitPhase, SubmitError> {
+        let Some((session, dataset, pin)) = self.pin_session(id) else {
+            return Ok(SubmitPhase::Done(match self.session_status(id) {
                 SessionStatus::Expired => SubmitOutcome::Gone,
                 _ => SubmitOutcome::NoSuchSession,
-            });
+            }));
         };
+        apex_core::sched_point!("state.submit.pinned");
         // EVALUATE: data-independent speculation, no gate held.
         let pending = match session.evaluate(query, accuracy) {
             Ok(p) => p,
-            Err(EngineError::SessionClosed) => return Ok(SubmitOutcome::Gone),
+            Err(EngineError::SessionClosed) => return Ok(SubmitPhase::Done(SubmitOutcome::Gone)),
             Err(e) => return Err(SubmitError::Engine(e)),
         };
+        apex_core::sched_point!("state.submit.evaluated");
+        Ok(SubmitPhase::Pending(SubmitInFlight {
+            id,
+            session,
+            dataset,
+            pin,
+            pending,
+        }))
+    }
+
+    /// The commit half of [`ServerState::submit`].
+    pub(crate) fn submit_commit(
+        &self,
+        flight: SubmitInFlight,
+    ) -> Result<SubmitOutcome, SubmitError> {
+        let SubmitInFlight {
+            id,
+            session,
+            dataset,
+            pin,
+            pending,
+        } = flight;
         // COMMIT: the shared side of the ledger gate covers exactly the
         // re-check + append + charge, so compaction (exclusive side)
         // cannot snapshot a charge while pushing its WAL record into the
         // next generation — and never waits on an in-flight evaluate.
-        let _gate = self.ledger_gate.read().expect("no poisoning");
+        let _gate = lockx::read(&self.ledger_gate);
+        apex_core::sched_point!("state.submit.commit_gate");
         let response = match session.commit_with(pending, |response| {
             self.log(match response {
                 EngineResponse::Answered(a) => WalRecord::Debit {
@@ -742,7 +884,8 @@ impl ServerState {
             Err(CommitError::Log(e)) => return Err(SubmitError::Wal(e)),
         };
         drop(_gate);
-        drop(_pin);
+        drop(pin);
+        apex_core::sched_point!("state.submit.done");
         // Audit transcript, outside the gate: append-only telemetry, the
         // WAL record above is the durability-critical one.
         if let Some(tenant) = self.tenant(&dataset) {
@@ -757,7 +900,7 @@ impl ServerState {
     /// releases the pin when the submission completes. `None` for ids
     /// that are not live.
     fn pin_session(&self, id: u64) -> Option<(EngineSession, String, InFlightGuard)> {
-        let sessions = self.sessions.read().expect("no poisoning");
+        let sessions = lockx::read(&self.sessions);
         let entry = sessions.get(&id)?;
         entry.in_flight.fetch_add(1, Ordering::SeqCst);
         entry
@@ -776,12 +919,7 @@ impl ServerState {
 
     /// Whether `id` is live, expired (gone), or never issued.
     pub fn session_status(&self, id: u64) -> SessionStatus {
-        if self
-            .sessions
-            .read()
-            .expect("no poisoning")
-            .contains_key(&id)
-        {
+        if lockx::read(&self.sessions).contains_key(&id) {
             SessionStatus::Live
         } else if id > self.session_id_base && id < self.next_session.load(Ordering::Relaxed) {
             // Allocation is sequential from the base, so every id in
@@ -796,19 +934,17 @@ impl ServerState {
 
     /// Runs `f` with the session, or returns `None` for unknown ids.
     pub fn with_session<T>(&self, id: u64, f: impl FnOnce(&SessionEntry) -> T) -> Option<T> {
-        self.sessions.read().expect("no poisoning").get(&id).map(f)
+        lockx::read(&self.sessions).get(&id).map(f)
     }
 
     /// Number of live sessions.
     pub fn session_count(&self) -> usize {
-        self.sessions.read().expect("no poisoning").len()
+        lockx::read(&self.sessions).len()
     }
 
     /// Number of live sessions bound to `dataset`.
     pub fn session_count_for(&self, dataset: &str) -> usize {
-        self.sessions
-            .read()
-            .expect("no poisoning")
+        lockx::read(&self.sessions)
             .values()
             .filter(|s| s.dataset == dataset)
             .count()
@@ -827,10 +963,7 @@ impl ServerState {
     /// Admin-plane listing of live sessions, ascending by id.
     pub fn list_sessions(&self) -> Vec<SessionInfo> {
         let now = self.clock.now_millis();
-        let mut out: Vec<SessionInfo> = self
-            .sessions
-            .read()
-            .expect("no poisoning")
+        let mut out: Vec<SessionInfo> = lockx::read(&self.sessions)
             .iter()
             .map(|(&id, e)| SessionInfo {
                 id,
@@ -869,24 +1002,30 @@ impl ServerState {
         id: u64,
         still_expired: impl FnOnce(&SessionEntry) -> bool,
     ) -> Result<Option<f64>, std::io::Error> {
-        let _gate = self.ledger_gate.read().expect("no poisoning");
+        let _gate = lockx::read(&self.ledger_gate);
         let entry = {
-            let mut sessions = self.sessions.write().expect("no poisoning");
+            let mut sessions = lockx::write(&self.sessions);
             match sessions.get(&id) {
-                Some(entry) if still_expired(entry) => sessions.remove(&id).expect("checked above"),
+                Some(entry) if still_expired(entry) => {
+                    apex_core::sched_point!("state.expire.removing");
+                    sessions.remove(&id).expect("checked above")
+                }
                 _ => return Ok(None),
             }
         };
+        apex_core::sched_point!("state.expire.removed");
         // Exactly-once by construction: only the thread that removed the
         // entry reaches this close, and close() itself is idempotent.
         let released = entry.session.close().unwrap_or(0.0);
         if let Some(tenant) = self.tenant(&entry.dataset) {
-            *tenant.reclaimed.lock().expect("no poisoning") += released;
+            *lockx::lock(&tenant.reclaimed) += released;
         }
+        apex_core::sched_point!("state.expire.closed");
         self.log(WalRecord::Close {
             session: id,
             released,
         })?;
+        apex_core::sched_point!("state.expire.logged");
         drop(_gate);
         self.maybe_compact();
         Ok(Some(released))
@@ -907,10 +1046,7 @@ impl ServerState {
             return Ok(Vec::new());
         };
         let now = self.clock.now_millis();
-        let idle: Vec<u64> = self
-            .sessions
-            .read()
-            .expect("no poisoning")
+        let idle: Vec<u64> = lockx::read(&self.sessions)
             .iter()
             .filter(|(_, e)| {
                 e.in_flight.load(Ordering::SeqCst) == 0
@@ -918,6 +1054,7 @@ impl ServerState {
             })
             .map(|(&id, _)| id)
             .collect();
+        apex_core::sched_point!("state.reap.scanned");
         let mut reaped = Vec::new();
         for id in idle {
             // Re-verify pin + staleness under the write lock at the
@@ -943,7 +1080,8 @@ impl ServerState {
         let Some(p) = &self.persist else {
             return Ok(());
         };
-        #[cfg(test)]
+        apex_core::sched_point!("state.log.enter");
+        #[cfg(any(test, feature = "sched"))]
         if p.fail_appends
             .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
             .is_ok()
@@ -957,7 +1095,7 @@ impl ServerState {
         // fsync inside the lock, every record costs a full journal
         // commit plus a scheduler wakeup, back to back.
         let (seq, sync_me) = {
-            let mut inner = p.inner.lock().expect("no poisoning");
+            let mut inner = lockx::lock(&p.inner);
             let sync_me = match record {
                 WalRecord::Deny { .. } => {
                     inner.writer.append_relaxed(&record)?;
@@ -971,6 +1109,7 @@ impl ServerState {
             }
             (inner.append_seq, sync_me)
         };
+        apex_core::sched_point!("state.log.appended");
         let Some(file) = sync_me else {
             return Ok(()); // relaxed record, or a writer that never syncs
         };
@@ -984,7 +1123,7 @@ impl ServerState {
         // racing an in-flight append-and-sync).
         let gate = &p.sync_gate;
         let peers = p.sync_peers.load(Ordering::Relaxed).max(1);
-        let mut prog = gate.progress.lock().expect("no poisoning");
+        let mut prog = lockx::lock(&gate.progress);
         let mut joined = false;
         loop {
             if prog.synced >= seq {
@@ -1005,10 +1144,10 @@ impl ServerState {
                             gate.wakeup.notify_all();
                         }
                     }
-                    prog = gate.wakeup.wait(prog).expect("no poisoning");
+                    prog = lockx::wait(&gate.wakeup, prog);
                 }
                 SyncPhase::Syncing => {
-                    prog = gate.wakeup.wait(prog).expect("no poisoning");
+                    prog = lockx::wait(&gate.wakeup, prog);
                 }
             }
         }
@@ -1021,7 +1160,7 @@ impl ServerState {
             if left.is_zero() {
                 break;
             }
-            let (p2, _) = gate.wakeup.wait_timeout(prog, left).expect("no poisoning");
+            let (p2, _) = lockx::wait_timeout(&gate.wakeup, prog, left);
             prog = p2;
         }
         prog.phase = SyncPhase::Syncing;
@@ -1029,9 +1168,9 @@ impl ServerState {
         // Everything appended up to here — read under the writer lock —
         // is on file before `sync_data` begins, so it is durable when
         // the call returns.
-        let target = p.inner.lock().expect("no poisoning").append_seq;
+        let target = lockx::lock(&p.inner).append_seq;
         let result = file.sync_data();
-        let mut prog = gate.progress.lock().expect("no poisoning");
+        let mut prog = lockx::lock(&gate.progress);
         prog.phase = SyncPhase::Idle;
         prog.members = 0;
         match result {
@@ -1052,7 +1191,7 @@ impl ServerState {
                 // and reports its own failure.
                 drop(prog);
                 gate.wakeup.notify_all();
-                p.inner.lock().expect("no poisoning").writer.poison();
+                lockx::lock(&p.inner).writer.poison();
                 Err(e)
             }
         }
@@ -1073,7 +1212,7 @@ impl ServerState {
     fn maybe_compact(&self) {
         let Some(p) = &self.persist else { return };
         let due = {
-            let inner = p.inner.lock().expect("no poisoning");
+            let inner = lockx::lock(&p.inner);
             inner.records_since_snapshot >= p.snapshot_every
         };
         if due {
@@ -1097,8 +1236,9 @@ impl ServerState {
         let Some(p) = &self.persist else {
             return Ok(());
         };
-        let _gate = self.ledger_gate.write().expect("no poisoning");
-        let mut inner = p.inner.lock().expect("no poisoning");
+        let _gate = lockx::write(&self.ledger_gate);
+        let mut inner = lockx::lock(&p.inner);
+        apex_core::sched_point!("state.compact.enter");
         // Open the next generation BEFORE committing the snapshot that
         // covers the current one. The snapshot rename is the commit
         // point: once it claims `covered_gen = G`, no acked record may
@@ -1111,6 +1251,7 @@ impl ServerState {
         let new_gen = inner.gen + 1;
         let new_path = snapshot::wal_path(&p.dir, new_gen);
         let writer = WalWriter::open(&new_path, p.sync)?;
+        apex_core::sched_point!("state.compact.new_gen");
         let image = self.snapshot_image(inner.gen);
         if let Err(e) = snapshot::write_snapshot(&p.dir, &image) {
             // Nothing was appended to the new generation yet; remove the
@@ -1120,20 +1261,23 @@ impl ServerState {
             let _ = std::fs::remove_file(&new_path);
             return Err(e);
         }
+        apex_core::sched_point!("state.compact.snapshotted");
         inner.writer = writer;
         inner.gen = new_gen;
         inner.records_since_snapshot = 0;
         drop(inner);
         drop(_gate);
         snapshot::prune_wals(&p.dir, new_gen - 1);
+        apex_core::sched_point!("state.compact.done");
         Ok(())
     }
 
     /// Makes the next `n` WAL appends fail with an injected I/O error
     /// (no-op without persistence) — the fault half of the
-    /// durable-or-nothing commit tests.
-    #[cfg(test)]
-    fn inject_wal_faults(&self, n: u64) {
+    /// durable-or-nothing commit tests and the exerciser's `WalFault`
+    /// operation.
+    #[cfg(any(test, feature = "sched"))]
+    pub(crate) fn inject_wal_faults(&self, n: u64) {
         if let Some(p) = &self.persist {
             p.fail_appends.store(n, Ordering::SeqCst);
         }
@@ -1146,7 +1290,7 @@ impl ServerState {
     pub fn flush_transcripts(&self) {
         for (_, tenant) in &self.tenants {
             if let Some(log) = &tenant.transcript {
-                if log.lock().expect("no poisoning").flush().is_err() {
+                if lockx::lock(log).flush().is_err() {
                     tenant.transcript_dropped.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -1156,7 +1300,7 @@ impl ServerState {
     /// The current state as a snapshot covering WAL generations
     /// `≤ covered_gen`.
     fn snapshot_image(&self, covered_gen: u64) -> Snapshot {
-        let sessions = self.sessions.read().expect("no poisoning");
+        let sessions = lockx::read(&self.sessions);
         Snapshot {
             covered_gen,
             next_session: self.next_session.load(Ordering::Relaxed),
@@ -1438,8 +1582,7 @@ impl ServerStateBuilder {
                     tenant: name.clone(),
                     source,
                 })?;
-            *tenant.reclaimed.lock().expect("no poisoning") =
-                tenant_reclaimed.get(name).copied().unwrap_or(0.0);
+            *lockx::lock(&tenant.reclaimed) = tenant_reclaimed.get(name).copied().unwrap_or(0.0);
             report.tenants.push((name.clone(), spent));
         }
 
@@ -1498,7 +1641,7 @@ impl ServerStateBuilder {
                 }),
                 sync_gate: SyncGate::default(),
                 sync_peers: AtomicU64::new(1),
-                #[cfg(test)]
+                #[cfg(any(test, feature = "sched"))]
                 fail_appends: AtomicU64::new(0),
             }),
             ledger_gate: RwLock::new(()),
@@ -1765,6 +1908,60 @@ mod tests {
             "recovered {recovered} diverged from acked {spent_final}"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn poisoned_locks_recover_and_the_shard_keeps_serving() {
+        // A handler panicking while holding any of the std locks
+        // poisons it. Before the `lockx` recovery every later request
+        // on the shard re-panicked on the poison — one bad request
+        // cascading into a dead shard. Poison every lock a request
+        // path takes, then prove the full surface keeps serving.
+        apex_core::sched::silence_simulated_crashes();
+        let clock = ManualClock::new();
+        let state = ServerState::builder(8)
+            .dataset("a", tiny_dataset(), EngineConfig::default())
+            .clock(Arc::new(clock.clone()))
+            .session_ttl(Duration::from_millis(100))
+            .build();
+        let acc = AccuracySpec::new(25.0, 0.05).unwrap();
+        let id = state.create_session("a", 1.0).unwrap().unwrap();
+
+        // Each closure grabs its lock and dies holding it.
+        let poison = |f: &(dyn Fn() + Sync)| {
+            std::thread::scope(|s| {
+                let _ = s.spawn(f).join();
+            });
+        };
+        poison(&|| {
+            let _g = state.sessions.write().unwrap();
+            std::panic::panic_any(apex_core::sched::SimulatedCrash);
+        });
+        poison(&|| {
+            let _g = state.ledger_gate.write().unwrap();
+            std::panic::panic_any(apex_core::sched::SimulatedCrash);
+        });
+        poison(&|| {
+            let _g = state.tenant("a").unwrap().reclaimed.lock().unwrap();
+            std::panic::panic_any(apex_core::sched::SimulatedCrash);
+        });
+        assert!(state.sessions.is_poisoned(), "setup: write poison failed");
+        assert!(state.ledger_gate.is_poisoned());
+
+        // Every request path crosses at least one poisoned lock now.
+        match state.submit(id, &histogram(), &acc).unwrap() {
+            SubmitOutcome::Response(r) => assert!(!r.is_denied()),
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert_eq!(state.list_sessions().len(), 1);
+        assert!(matches!(state.session_status(id), SessionStatus::Live));
+        let id2 = state.create_session("a", 0.5).unwrap().unwrap();
+        assert_eq!(state.tenant("a").unwrap().reclaimed(), 0.0);
+        assert!(state.expire_session(id2).unwrap().is_some());
+        assert!(state.tenant("a").unwrap().reclaimed() > 0.0);
+        clock.advance(101);
+        assert_eq!(state.reap_expired().unwrap().len(), 1);
+        assert!(matches!(state.session_status(id), SessionStatus::Expired));
     }
 
     #[test]

@@ -408,6 +408,7 @@ impl WalWriter {
                 "WAL writer poisoned by an earlier unrecoverable append failure",
             ));
         }
+        apex_core::sched_point!("wal.append.enter");
         let frame = record.encode();
         let result = (&*self.file).write_all(&frame).and_then(|()| {
             if self.sync && durable {
@@ -420,6 +421,7 @@ impl WalWriter {
             Ok(()) => {
                 self.good_len += frame.len() as u64;
                 self.appended += 1;
+                apex_core::sched_point!("wal.append.ok");
                 Ok(())
             }
             Err(e) => {
