@@ -27,7 +27,7 @@ use rand::{RngCore, SeedableRng};
 
 use crate::cache::TranslatorCache;
 use crate::transcript::{QueryRecord, Transcript, TranscriptEntry};
-use crate::translator::choose_mechanism_cached;
+use crate::translator::choose_mechanism_cached_at_epoch;
 use crate::EngineError;
 
 /// How APEx picks among mechanisms whose privacy loss is data dependent
@@ -112,6 +112,12 @@ pub struct PendingCharge {
     /// over *that* engine's data, so charging any other ledger would
     /// leak one tenant's data while debiting another's budget.
     engine_id: u64,
+    /// Dataset epoch snapshotted when the producing [`EvalContext`] was
+    /// extracted. Commit refuses the charge when the engine's dataset has
+    /// since moved to a different epoch
+    /// ([`EngineError::StaleEpoch`]): the speculative answer was computed
+    /// over rows that a committed mutation has already superseded.
+    epoch: u64,
     record: QueryRecord,
     outcome: Option<PendingAnswer>,
 }
@@ -122,6 +128,11 @@ impl PendingCharge {
     /// at evaluate time; commit records the denial).
     pub fn epsilon_upper(&self) -> Option<f64> {
         self.outcome.as_ref().map(|p| p.epsilon_upper)
+    }
+
+    /// The dataset epoch this charge was evaluated against.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The actual loss commit would charge, or `None` for
@@ -166,6 +177,11 @@ pub enum CommitError<E> {
 pub struct EvalContext {
     engine_id: u64,
     data: Arc<Dataset>,
+    /// Dataset epoch at extraction — stamped into the [`PendingCharge`]
+    /// so commit can refuse answers computed over a superseded row set,
+    /// and mixed into the strategy-artifact cache key so post-mutation
+    /// lookups can never resolve pre-mutation artifacts.
+    epoch: u64,
     cache: Option<Arc<SmCache>>,
     mode: Mode,
     remaining: f64,
@@ -212,18 +228,20 @@ impl EvalContext {
         // whose worst case fits, choose by mode. The decision depends
         // only on the query, the accuracy, and the remaining budget —
         // never the data (Case 3 of the Theorem 6.2 proof).
-        let choice = choose_mechanism_cached(
+        let choice = choose_mechanism_cached_at_epoch(
             &prepared,
             accuracy,
             self.remaining.min(cap),
             self.mode,
             self.cache.clone(),
+            self.epoch,
         )?;
 
         let Some(choice) = choice else {
             // Line 16: nothing fits — commit will record the denial.
             return Ok(PendingCharge {
                 engine_id: self.engine_id,
+                epoch: self.epoch,
                 record,
                 outcome: None,
             });
@@ -245,6 +263,7 @@ impl EvalContext {
         }
         Ok(PendingCharge {
             engine_id: self.engine_id,
+            epoch: self.epoch,
             record,
             outcome: Some(PendingAnswer {
                 answer: out.answer,
@@ -418,6 +437,60 @@ impl ApexEngine {
         self.data.storage_epoch()
     }
 
+    /// The dataset's live-mutation epoch — bumped by every committed
+    /// [`ApexEngine::insert_rows`]/[`ApexEngine::delete_rows`] (for paged
+    /// datasets this is the storage generation, so re-ingest bumps it
+    /// too). Pending charges evaluated at an older epoch are refused at
+    /// commit ([`EngineError::StaleEpoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.data.epoch()
+    }
+
+    /// Mutation records applied to the dataset since construction (for
+    /// paged datasets: since ingest, surviving reopen).
+    pub fn mutations_applied(&self) -> u64 {
+        self.data.mutations_applied()
+    }
+
+    /// Inserts rows into the live dataset, bumping its epoch. Values may
+    /// widen numeric domains (the schema grows; compiled artifacts keyed
+    /// by older epochs are never reused). In-flight [`EvalContext`]s are
+    /// safe: resident datasets are snapshotted by the `Arc` clone, and
+    /// paged scans each observe one consistent storage epoch — either
+    /// way, a commit whose evaluate raced this mutation is refused as
+    /// epoch-stale, so the mutation is a serialization point, not a data
+    /// race.
+    ///
+    /// # Errors
+    /// [`EngineError::Mutation`] on validation failure (nothing applied)
+    /// or a storage fault.
+    pub fn insert_rows(
+        &mut self,
+        rows: &[Vec<apex_data::Value>],
+    ) -> Result<apex_data::RowDelta, EngineError> {
+        crate::sched_point!("engine.mutate.enter");
+        let delta = Arc::make_mut(&mut self.data).insert_rows(rows)?;
+        crate::sched_point!("engine.mutate.applied");
+        Ok(delta)
+    }
+
+    /// Deletes rows from the live dataset (first matching occurrence per
+    /// requested row; missing rows are silent no-ops), bumping its epoch.
+    /// Same snapshot/staleness semantics as [`ApexEngine::insert_rows`].
+    ///
+    /// # Errors
+    /// [`EngineError::Mutation`] on validation failure (nothing applied)
+    /// or a storage fault.
+    pub fn delete_rows(
+        &mut self,
+        rows: &[Vec<apex_data::Value>],
+    ) -> Result<apex_data::RowDelta, EngineError> {
+        crate::sched_point!("engine.mutate.enter");
+        let delta = Arc::make_mut(&mut self.data).delete_rows(rows)?;
+        crate::sched_point!("engine.mutate.applied");
+        Ok(delta)
+    }
+
     /// Streams every dataset row once (through the buffer pool when the
     /// dataset is paged) and returns the count. A fail-stop integrity
     /// probe — corruption panics rather than under-counting — used by
@@ -517,6 +590,7 @@ impl ApexEngine {
     pub fn evaluation_context(&mut self) -> EvalContext {
         EvalContext {
             engine_id: self.id,
+            epoch: self.data.epoch(),
             data: self.data.clone(),
             cache: Some(self.cache.handle()),
             mode: self.mode,
@@ -591,6 +665,7 @@ impl ApexEngine {
         crate::sched_point!("engine.commit.enter");
         let PendingCharge {
             engine_id,
+            epoch,
             record,
             outcome,
         } = pending;
@@ -600,6 +675,18 @@ impl ApexEngine {
             // that engine's loss and leak its data through this
             // transcript. Refuse — nothing is charged anywhere.
             return Err(CommitError::Engine(EngineError::ForeignPendingCharge));
+        }
+        let current = self.data.epoch();
+        if epoch != current {
+            // A live mutation committed between evaluate and commit: the
+            // speculative answer reflects a row set that no longer
+            // exists. Releasing it would charge the ledger for a stale
+            // view — refuse before any log or charge; the caller
+            // re-evaluates against the current epoch.
+            return Err(CommitError::Engine(EngineError::StaleEpoch {
+                pending: epoch,
+                current,
+            }));
         }
         let Some(p) = outcome else {
             // Evaluate already denied; record it (Line 16).
@@ -923,6 +1010,7 @@ mod tests {
         let engine_id = e.id;
         let rogue = |epsilon: f64| PendingCharge {
             engine_id,
+            epoch: 0,
             record: record(),
             outcome: Some(PendingAnswer {
                 answer: QueryAnswer::Counts(vec![0.0]),
@@ -968,6 +1056,72 @@ mod tests {
             0.0,
             "the foreign commit charged nothing anywhere"
         );
+    }
+
+    #[test]
+    fn commit_refuses_an_epoch_stale_pending_charge() {
+        // evaluate → mutate → commit: the speculative answer was computed
+        // over the pre-mutation row set, so the commit must refuse and
+        // charge nothing — the analyst re-evaluates at the new epoch.
+        let acc = AccuracySpec::new(30.0, 0.01).unwrap();
+        let mut e = engine(10.0);
+        assert_eq!(e.epoch(), 0);
+        let pending = e.evaluate(&histogram(8), &acc, f64::INFINITY).unwrap();
+        assert_eq!(pending.epoch(), 0);
+        let delta = e.insert_rows(&[vec![Value::Int(3)]]).unwrap();
+        assert_eq!(delta.epoch, 1);
+        assert_eq!(e.epoch(), 1);
+        match e.commit(pending) {
+            Err(EngineError::StaleEpoch { pending, current }) => {
+                assert_eq!((pending, current), (0, 1));
+            }
+            other => panic!("stale commit must refuse, got {other:?}"),
+        }
+        assert_eq!(e.spent(), 0.0, "a refused stale charge spends nothing");
+        assert!(e.transcript().is_empty());
+        // Re-evaluating at the new epoch commits normally.
+        let fresh = e.evaluate(&histogram(8), &acc, f64::INFINITY).unwrap();
+        assert_eq!(fresh.epoch(), 1);
+        assert!(!e.commit(fresh).unwrap().is_denied());
+        // Deletions are epoch bumps too.
+        let pending = e.evaluate(&histogram(8), &acc, f64::INFINITY).unwrap();
+        e.delete_rows(&[vec![Value::Int(3)]]).unwrap();
+        assert!(matches!(
+            e.commit(pending),
+            Err(EngineError::StaleEpoch { .. })
+        ));
+        assert_eq!(e.mutations_applied(), 2);
+    }
+
+    #[test]
+    fn mutation_makes_translator_cache_hits_impossible() {
+        // The SM artifact cache keys on the dataset epoch: after a
+        // mutation, the same workload structure must *miss* — the
+        // counters prove no pre-mutation artifact is ever reused.
+        let mut e = engine(100.0);
+        let acc = AccuracySpec::new(30.0, 0.01).unwrap();
+        let prefix = ExplorationQuery::wcq(
+            (1..=16)
+                .map(|i| Predicate::range("v", 0.0, (4 * i) as f64))
+                .collect(),
+        );
+        e.submit(&prefix, &acc).unwrap();
+        e.submit(&prefix, &acc).unwrap();
+        let before = e.translator_cache().stats();
+        assert_eq!(before.misses, 1);
+        assert!(before.hits >= 1);
+
+        e.insert_rows(&[vec![Value::Int(7)]]).unwrap();
+        e.submit(&prefix, &acc).unwrap();
+        let after = e.translator_cache().stats();
+        assert_eq!(
+            after.misses, 2,
+            "identical workload at a new epoch must rebuild: {after:?}"
+        );
+        // Repeats at the *same* epoch hit again — the key is the epoch,
+        // not per-call uniqueness.
+        e.submit(&prefix, &acc).unwrap();
+        assert!(e.translator_cache().stats().hits > after.hits);
     }
 
     #[test]

@@ -36,6 +36,23 @@ pub enum EngineError {
         /// The worst case it declared at translation time.
         upper: f64,
     },
+    /// A pending charge was evaluated against a dataset epoch that is no
+    /// longer current — a live mutation committed between `evaluate` and
+    /// `commit`. The speculative answer reflects rows that no longer
+    /// exist (or misses rows that now do), so releasing it would charge
+    /// the ledger for a stale view; the commit is refused and **nothing
+    /// is charged**. Callers re-evaluate against the new epoch.
+    StaleEpoch {
+        /// The dataset epoch snapshotted at evaluate time.
+        pending: u64,
+        /// The engine's current dataset epoch.
+        current: u64,
+    },
+    /// A live row mutation failed (schema violation, empty batch, or a
+    /// storage fault). Validation failures are pre-ack — nothing was
+    /// applied; storage faults after the log append are surfaced by the
+    /// store's recovery contract.
+    Mutation(apex_data::MutationError),
     /// A pending charge was evaluated on a **different engine** than
     /// the one asked to commit it. The speculative answer was computed
     /// over that engine's data, so charging any other ledger would
@@ -67,6 +84,12 @@ impl From<MechError> for EngineError {
     }
 }
 
+impl From<apex_data::MutationError> for EngineError {
+    fn from(e: apex_data::MutationError) -> Self {
+        EngineError::Mutation(e)
+    }
+}
+
 impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -88,6 +111,14 @@ impl std::fmt::Display for EngineError {
                      {upper}; the charge was refused"
                 )
             }
+            EngineError::StaleEpoch { pending, current } => {
+                write!(
+                    f,
+                    "pending charge was evaluated at dataset epoch {pending} but the engine is \
+                     now at epoch {current}; re-evaluate against the current data"
+                )
+            }
+            EngineError::Mutation(e) => write!(f, "mutation error: {e}"),
             EngineError::ForeignPendingCharge => {
                 write!(
                     f,

@@ -82,5 +82,6 @@ pub use selector::OperatorSelector;
 pub use shared::{EngineSession, SharedEngine};
 pub use transcript::{QueryRecord, Transcript, TranscriptEntry};
 pub use translator::{
-    choose_mechanism, choose_mechanism_cached, MechanismChoice, PreparedTranslator,
+    choose_mechanism, choose_mechanism_cached, choose_mechanism_cached_at_epoch, MechanismChoice,
+    PreparedTranslator,
 };

@@ -79,6 +79,42 @@ impl SharedEngine {
         self.inner.lock().commit(pending)
     }
 
+    /// Inserts rows into the live dataset under the engine lock, bumping
+    /// its epoch — see [`ApexEngine::insert_rows`]. Concurrent evaluates
+    /// already in flight will have their commits refused as epoch-stale.
+    ///
+    /// # Errors
+    /// Same contract as [`ApexEngine::insert_rows`].
+    pub fn insert_rows(
+        &self,
+        rows: &[Vec<apex_data::Value>],
+    ) -> Result<apex_data::RowDelta, EngineError> {
+        self.inner.lock().insert_rows(rows)
+    }
+
+    /// Deletes rows from the live dataset under the engine lock, bumping
+    /// its epoch — see [`ApexEngine::delete_rows`].
+    ///
+    /// # Errors
+    /// Same contract as [`ApexEngine::delete_rows`].
+    pub fn delete_rows(
+        &self,
+        rows: &[Vec<apex_data::Value>],
+    ) -> Result<apex_data::RowDelta, EngineError> {
+        self.inner.lock().delete_rows(rows)
+    }
+
+    /// The dataset's live-mutation epoch — see [`ApexEngine::epoch`].
+    pub fn epoch(&self) -> u64 {
+        self.inner.lock().epoch()
+    }
+
+    /// Mutations applied to the dataset — see
+    /// [`ApexEngine::mutations_applied`].
+    pub fn mutations_applied(&self) -> u64 {
+        self.inner.lock().mutations_applied()
+    }
+
     /// Actual privacy loss spent so far.
     pub fn spent(&self) -> f64 {
         self.inner.lock().spent()
@@ -519,6 +555,28 @@ mod tests {
         ));
         assert_eq!(sess.spent(), 0.0);
         assert_eq!(shared.spent(), 0.0, "a discarded charge spends nothing");
+    }
+
+    #[test]
+    fn mutation_between_evaluate_and_commit_is_refused_as_stale() {
+        let shared = SharedEngine::new(make_engine(10.0));
+        let acc = AccuracySpec::new(20.0, 0.01).unwrap();
+        let sess = shared.session(5.0);
+        let pending = sess.evaluate(&query(), &acc).unwrap();
+        // A live mutation lands between the session's evaluate and its
+        // commit: the speculative answer is over superseded rows.
+        let delta = shared.insert_rows(&[vec![Value::Int(4)]]).unwrap();
+        assert_eq!(delta.epoch, shared.epoch());
+        assert!(matches!(
+            sess.commit(pending),
+            Err(EngineError::StaleEpoch { pending: 0, .. })
+        ));
+        assert_eq!(sess.spent(), 0.0);
+        assert_eq!(shared.spent(), 0.0, "a stale commit charges nothing");
+        // Re-evaluating after the mutation works.
+        let fresh = sess.evaluate(&query(), &acc).unwrap();
+        assert!(!sess.commit(fresh).unwrap().is_denied());
+        assert_eq!(shared.mutations_applied(), 1);
     }
 
     #[test]

@@ -60,6 +60,7 @@ const REGRESS_GROUPS: &[&str] = &[
     "translator_prepare_multi",
     "serve_soak",
     "dataset_store",
+    "mutate",
 ];
 
 /// Rule 5's default allowance for a smoke median over the committed one.
@@ -481,6 +482,26 @@ mod tests {
                 ("serve_soak", "shards/2"),
                 ("serve_soak", "shards/4"),
                 ("serve_soak", "shards/8"),
+            ]),
+        );
+        assert_eq!(
+            run(committed, &smoke, &no_tol()).unwrap(),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn the_committed_mutate_file_matches_a_quick_shape() {
+        // A --quick mutate run measures the small row count with the two
+        // small batch sizes; the committed file must accept that subset.
+        let committed = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mutate.json");
+        let smoke = write_tmp(
+            "s11",
+            &doc(&[
+                ("mutate", "incremental_k1/4096"),
+                ("mutate", "full_k1/4096"),
+                ("mutate", "incremental_k64/4096"),
+                ("mutate", "full_k64/4096"),
             ]),
         );
         assert_eq!(

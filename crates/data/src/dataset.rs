@@ -1,9 +1,68 @@
 //! Multiset table instances.
 
-use crate::store::{PagedRows, PoolStats, StoreError};
+use crate::store::{widen_schema, PagedRows, PoolStats, StoreError};
 use crate::{Predicate, Schema, SchemaError, Value};
 use std::path::Path;
 use std::sync::{Arc, OnceLock};
+
+/// The observable effect of one committed mutation batch: the rows that
+/// actually entered/left the dataset, and the epoch stamped by the
+/// commit. This is the currency of incremental maintenance — the query
+/// layer folds a `RowDelta` into compiled artifacts in O(rows touched).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowDelta {
+    /// Rows added (exactly the requested batch for an insert).
+    pub inserted: Vec<Vec<Value>>,
+    /// Rows actually removed (first matching occurrence per requested
+    /// row; requests with no match contribute nothing here).
+    pub deleted: Vec<Vec<Value>>,
+    /// Dataset epoch after this mutation committed.
+    pub epoch: u64,
+}
+
+/// Why a mutation was refused. Refusal happens *before* anything is
+/// logged or applied — a failed mutation leaves the dataset untouched.
+#[derive(Debug)]
+pub enum MutationError {
+    /// A row failed schema validation (wrong arity, unknown category…).
+    Schema(SchemaError),
+    /// The durable store rejected or failed the mutation.
+    Store(StoreError),
+    /// Empty batches are refused: they would burn an epoch for nothing.
+    EmptyBatch,
+}
+
+impl std::fmt::Display for MutationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MutationError::Schema(e) => write!(f, "mutation rejected: {e}"),
+            MutationError::Store(e) => write!(f, "mutation failed in store: {e}"),
+            MutationError::EmptyBatch => write!(f, "mutation rejected: empty batch"),
+        }
+    }
+}
+
+impl std::error::Error for MutationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MutationError::Schema(e) => Some(e),
+            MutationError::Store(e) => Some(e),
+            MutationError::EmptyBatch => None,
+        }
+    }
+}
+
+impl From<SchemaError> for MutationError {
+    fn from(e: SchemaError) -> Self {
+        MutationError::Schema(e)
+    }
+}
+
+impl From<StoreError> for MutationError {
+    fn from(e: StoreError) -> Self {
+        MutationError::Store(e)
+    }
+}
 
 /// Row storage: resident or paged through the buffer pool.
 #[derive(Debug, Clone)]
@@ -33,6 +92,12 @@ enum Rows {
 pub struct Dataset {
     schema: Schema,
     rows: Rows,
+    /// Generation counter for resident datasets (paged datasets read the
+    /// live epoch from their store). Bumped by every committed mutation;
+    /// *not* bumped by the pre-serving builder API ([`Self::push`]).
+    mem_epoch: u64,
+    /// Mutations applied to a resident dataset (paged: from the store).
+    mem_applied: u64,
 }
 
 impl Dataset {
@@ -41,6 +106,8 @@ impl Dataset {
         Self {
             schema,
             rows: Rows::Mem(Vec::new()),
+            mem_epoch: 0,
+            mem_applied: 0,
         }
     }
 
@@ -53,6 +120,8 @@ impl Dataset {
         Ok(Self {
             schema,
             rows: Rows::Mem(rows),
+            mem_epoch: 0,
+            mem_applied: 0,
         })
     }
 
@@ -93,20 +162,25 @@ impl Dataset {
                 store: Arc::new(store),
                 resident: Arc::new(OnceLock::new()),
             },
+            mem_epoch: 0,
+            mem_applied: 0,
         })
     }
 
     /// Opens a dataset previously persisted with [`Self::ingest_paged`],
     /// verifying the manifest (format version, checksum, page coverage)
-    /// without reading any data pages.
+    /// without reading any data pages. Acked-but-uncommitted mutations in
+    /// the store's mutation log are replayed before the dataset is served.
     pub fn open_paged(dir: &Path, pool_frames: usize) -> Result<Dataset, StoreError> {
         let store = PagedRows::open(dir, pool_frames)?;
         Ok(Dataset {
-            schema: store.schema().clone(),
+            schema: store.schema(),
             rows: Rows::Paged {
                 store: Arc::new(store),
                 resident: Arc::new(OnceLock::new()),
             },
+            mem_epoch: 0,
+            mem_applied: 0,
         })
     }
 
@@ -128,6 +202,120 @@ impl Dataset {
         match &self.rows {
             Rows::Mem(_) => None,
             Rows::Paged { store, .. } => Some(store.epoch()),
+        }
+    }
+
+    /// Dataset generation: bumped by every committed mutation. Resident
+    /// datasets count from 0; paged datasets report the live store epoch
+    /// (stamped at ingest, bumped durably per mutation). The engine
+    /// snapshots this at `evaluate` and refuses to `commit` across a
+    /// mismatch — a compiled artifact from another epoch is never served.
+    pub fn epoch(&self) -> u64 {
+        match &self.rows {
+            Rows::Mem(_) => self.mem_epoch,
+            Rows::Paged { store, .. } => store.epoch(),
+        }
+    }
+
+    /// Mutation batches folded into this dataset over its lifetime.
+    pub fn mutations_applied(&self) -> u64 {
+        match &self.rows {
+            Rows::Mem(_) => self.mem_applied,
+            Rows::Paged { store, .. } => store.mutations_applied(),
+        }
+    }
+
+    /// Inserts a batch of rows as one committed mutation, returning the
+    /// [`RowDelta`] for incremental artifact maintenance. Numeric domains
+    /// widen automatically to admit out-of-range values (deterministically
+    /// — replay re-derives the same widened schema); any other mismatch is
+    /// refused before anything is logged. Paged datasets make the batch
+    /// durable (log ack + copy-on-write pages + manifest epoch bump)
+    /// before returning.
+    pub fn insert_rows(&mut self, rows: &[Vec<Value>]) -> Result<RowDelta, MutationError> {
+        if rows.is_empty() {
+            return Err(MutationError::EmptyBatch);
+        }
+        match &mut self.rows {
+            Rows::Mem(existing) => {
+                let widened = widen_schema(&self.schema, rows);
+                for row in rows {
+                    widened.validate_row(row)?;
+                }
+                self.schema = widened;
+                existing.extend(rows.iter().cloned());
+                self.mem_epoch += 1;
+                self.mem_applied += 1;
+                Ok(RowDelta {
+                    inserted: rows.to_vec(),
+                    deleted: Vec::new(),
+                    epoch: self.mem_epoch,
+                })
+            }
+            Rows::Paged { store, resident } => {
+                let outcome = store.insert_rows(rows)?;
+                // The store may have widened the schema; mirror it, and
+                // drop any stale materialization.
+                self.schema = store.schema();
+                *resident = Arc::new(OnceLock::new());
+                Ok(RowDelta {
+                    inserted: rows.to_vec(),
+                    deleted: Vec::new(),
+                    epoch: outcome.epoch,
+                })
+            }
+        }
+    }
+
+    /// Deletes the first matching occurrence (in storage order) of each
+    /// row in `rows`, as one committed mutation. Rows with no match are
+    /// silent no-ops; the returned [`RowDelta`] lists what was actually
+    /// removed. Resident and paged datasets share these semantics, so the
+    /// same request yields the same delta on either backing.
+    pub fn delete_rows(&mut self, rows: &[Vec<Value>]) -> Result<RowDelta, MutationError> {
+        if rows.is_empty() {
+            return Err(MutationError::EmptyBatch);
+        }
+        match &mut self.rows {
+            Rows::Mem(existing) => {
+                let arity = self.schema.arity();
+                for row in rows {
+                    if row.len() != arity {
+                        return Err(MutationError::Schema(SchemaError::RowMismatch(format!(
+                            "expected {arity} values, got {}",
+                            row.len()
+                        ))));
+                    }
+                }
+                let mut want: Vec<&Vec<Value>> = rows.iter().collect();
+                let mut deleted = Vec::new();
+                let mut kept = Vec::with_capacity(existing.len());
+                for row in existing.drain(..) {
+                    if let Some(pos) = want.iter().position(|w| **w == row) {
+                        want.remove(pos);
+                        deleted.push(row);
+                    } else {
+                        kept.push(row);
+                    }
+                }
+                *existing = kept;
+                self.mem_epoch += 1;
+                self.mem_applied += 1;
+                Ok(RowDelta {
+                    inserted: Vec::new(),
+                    deleted,
+                    epoch: self.mem_epoch,
+                })
+            }
+            Rows::Paged { store, resident } => {
+                let outcome = store.delete_rows(rows)?;
+                *resident = Arc::new(OnceLock::new());
+                Ok(RowDelta {
+                    inserted: Vec::new(),
+                    deleted: outcome.deleted,
+                    epoch: outcome.epoch,
+                })
+            }
         }
     }
 
@@ -188,9 +376,11 @@ impl Dataset {
         }
     }
 
-    /// Appends a row after validating it. Only resident datasets are
-    /// mutable; a paged dataset is frozen at ingest (re-ingest with a new
-    /// epoch to change data).
+    /// Appends a row after validating it — the pre-serving *builder* API
+    /// (synthesis, tests). Deliberately does **not** bump the epoch: a
+    /// dataset under construction has no consumers to invalidate. Once a
+    /// dataset is live, use [`Self::insert_rows`] / [`Self::delete_rows`],
+    /// which commit real epochs; `push` on a paged dataset is refused.
     pub fn push(&mut self, row: Vec<Value>) -> Result<(), SchemaError> {
         self.schema.validate_row(&row)?;
         match &mut self.rows {
@@ -199,7 +389,7 @@ impl Dataset {
                 Ok(())
             }
             Rows::Paged { .. } => Err(SchemaError::RowMismatch(
-                "dataset is paged (frozen at ingest); re-ingest to modify".into(),
+                "dataset is paged; use insert_rows for live mutation".into(),
             )),
         }
     }
@@ -239,6 +429,8 @@ impl Dataset {
         Dataset {
             schema: self.schema.clone(),
             rows: Rows::Mem(rows),
+            mem_epoch: 0,
+            mem_applied: 0,
         }
     }
 }
@@ -352,11 +544,89 @@ mod tests {
     }
 
     #[test]
-    fn paged_dataset_is_frozen() {
+    fn paged_push_is_refused_but_insert_rows_works() {
         let dir = tmp_dir("frozen");
         let mut paged = demo().ingest_paged(&dir, 1, 2).unwrap();
         assert!(paged.push(vec![Value::Int(5), Value::from("M")]).is_err());
         assert_eq!(paged.len(), 4);
+        let delta = paged
+            .insert_rows(&[vec![Value::Int(5), Value::from("M")]])
+            .unwrap();
+        assert_eq!(delta.epoch, 2);
+        assert_eq!(paged.len(), 5);
+        assert_eq!(paged.epoch(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mem_and_paged_mutations_agree() {
+        let dir = tmp_dir("mut-parity");
+        let mut mem = demo();
+        let mut paged = mem.ingest_paged(&dir, 1, 2).unwrap();
+        let ins = vec![
+            vec![Value::Int(33), Value::from("F")],
+            vec![Value::Int(60), Value::from("F")],
+        ];
+        let d1 = mem.insert_rows(&ins).unwrap();
+        let d2 = paged.insert_rows(&ins).unwrap();
+        assert_eq!(d1.inserted, d2.inserted);
+        // Delete a duplicated row once plus a row that does not exist.
+        let del = vec![
+            vec![Value::Int(60), Value::from("F")],
+            vec![Value::Int(999), Value::from("M")],
+        ];
+        let d1 = mem.delete_rows(&del).unwrap();
+        let d2 = paged.delete_rows(&del).unwrap();
+        assert_eq!(d1.deleted, d2.deleted);
+        assert_eq!(d1.deleted.len(), 1); // the ghost row removed nothing
+        assert_eq!(mem.rows(), paged.rows());
+        assert_eq!(mem.mutations_applied(), 2);
+        assert_eq!(paged.mutations_applied(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mem_insert_widens_schema_and_bumps_epoch() {
+        let mut d = demo();
+        assert_eq!(d.epoch(), 0);
+        d.insert_rows(&[vec![Value::Int(500), Value::from("M")]])
+            .unwrap();
+        assert_eq!(d.epoch(), 1);
+        assert_eq!(
+            d.schema().attribute("age").unwrap().domain,
+            Domain::IntRange { min: 0, max: 500 }
+        );
+        // Unknown categories are refused, nothing is applied.
+        let err = d.insert_rows(&[vec![Value::Int(1), Value::from("X")]]);
+        assert!(err.is_err());
+        assert_eq!(d.epoch(), 1);
+        assert_eq!(d.len(), 5);
+    }
+
+    #[test]
+    fn empty_batches_are_refused() {
+        let mut d = demo();
+        assert!(matches!(d.insert_rows(&[]), Err(MutationError::EmptyBatch)));
+        assert!(matches!(d.delete_rows(&[]), Err(MutationError::EmptyBatch)));
+        assert_eq!(d.epoch(), 0);
+    }
+
+    #[test]
+    fn paged_mutations_survive_reopen() {
+        let dir = tmp_dir("mut-reopen");
+        let mut paged = demo().ingest_paged(&dir, 1, 2).unwrap();
+        paged
+            .insert_rows(&[vec![Value::Int(41), Value::from("M")]])
+            .unwrap();
+        paged
+            .delete_rows(&[vec![Value::Int(25), Value::from("M")]])
+            .unwrap();
+        let want = paged.rows().to_vec();
+        drop(paged);
+        let reopened = Dataset::open_paged(&dir, 2).unwrap();
+        assert_eq!(reopened.epoch(), 3);
+        assert_eq!(reopened.mutations_applied(), 2);
+        assert_eq!(reopened.rows(), want.as_slice());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

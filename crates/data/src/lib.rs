@@ -26,7 +26,7 @@ pub mod store;
 pub mod synth;
 pub mod value;
 
-pub use dataset::Dataset;
+pub use dataset::{Dataset, MutationError, RowDelta};
 pub use partition::{DomainPartition, PartitionError};
 pub use predicate::{CmpOp, Predicate};
 pub use schema::{Attribute, Domain, Schema, SchemaError};

@@ -20,6 +20,7 @@ use super::StoreError;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Bump when the page or manifest layout changes incompatibly.
@@ -30,14 +31,41 @@ const PAGES_FILE: &str = "pages.dat";
 const MANIFEST_FILE: &str = "manifest.bin";
 const MANIFEST_TMP: &str = "manifest.tmp";
 
+/// Sentinel meaning "no committed manifest is being tracked" — the state
+/// during an initial ingest, before the first commit.
+const UNTRACKED: u64 = u64::MAX;
+
 /// Page-granular I/O over `<dir>/pages.dat`.
 ///
 /// All methods take `&self`; the file handle sits behind a mutex because
 /// seek+read is two steps. Callers (the buffer pool) already serialize
 /// the miss path, so this lock is uncontended in practice.
+///
+/// ## Epoch tracking (the mutation commit point)
+///
+/// A manager can *track* its committed manifest: the epoch and the page
+/// coverage the last committed manifest promised. [`FileManager::bump_epoch`]
+/// is then the **single commit point** for every mutation — it writes the
+/// manifest atomically and advances the tracked state in one step. While
+/// tracking, two copy-on-write invariants are asserted (debug builds):
+///
+/// * [`FileManager::read_page`] only serves pages inside committed
+///   coverage — an open handle can never observe a page image that a
+///   *different* epoch's manifest covers, because
+/// * [`FileManager::write_page`] refuses to overwrite a committed page:
+///   mutations may only write fresh pages beyond coverage, which become
+///   readable exactly when `bump_epoch` extends coverage over them.
+///
+/// Append-only logs ([`super::PageLog`]) rewrite their tail page in place
+/// and deliberately stay untracked.
 pub struct FileManager {
     file: Mutex<File>,
     dir: PathBuf,
+    /// Epoch of the last committed manifest ([`UNTRACKED`] when not
+    /// tracking).
+    committed_epoch: AtomicU64,
+    /// Page coverage of the last committed manifest.
+    committed_pages: AtomicU32,
 }
 
 impl std::fmt::Debug for FileManager {
@@ -61,6 +89,8 @@ impl FileManager {
         Ok(Self {
             file: Mutex::new(file),
             dir: dir.to_path_buf(),
+            committed_epoch: AtomicU64::new(UNTRACKED),
+            committed_pages: AtomicU32::new(0),
         })
     }
 
@@ -73,7 +103,50 @@ impl FileManager {
         Ok(Self {
             file: Mutex::new(file),
             dir: dir.to_path_buf(),
+            committed_epoch: AtomicU64::new(UNTRACKED),
+            committed_pages: AtomicU32::new(0),
         })
+    }
+
+    /// Starts tracking the committed manifest state (epoch + coverage) so
+    /// the copy-on-write assertions engage. Called by the dataset store
+    /// right after it loads or writes a manifest.
+    pub fn track_committed(&self, epoch: u64, page_coverage: u32) {
+        debug_assert_ne!(epoch, UNTRACKED);
+        self.committed_pages.store(page_coverage, Ordering::SeqCst);
+        self.committed_epoch.store(epoch, Ordering::SeqCst);
+    }
+
+    /// Epoch of the last committed manifest, when tracking.
+    pub fn committed_epoch(&self) -> Option<u64> {
+        match self.committed_epoch.load(Ordering::SeqCst) {
+            UNTRACKED => None,
+            e => Some(e),
+        }
+    }
+
+    /// The single mutation commit point: atomically writes `manifest`
+    /// (temp + fsync + rename + dir fsync) and advances the tracked
+    /// committed state to its epoch and coverage. Fresh pages written
+    /// beyond the previous coverage become servable exactly here — never
+    /// before — so a reader can never pair an old manifest with a new
+    /// page image or vice versa.
+    ///
+    /// # Errors
+    /// Propagates manifest I/O failures; the tracked state only advances
+    /// on success.
+    pub fn bump_epoch(&self, manifest: &Manifest) -> Result<(), StoreError> {
+        if let Some(committed) = self.committed_epoch() {
+            debug_assert!(
+                manifest.epoch > committed,
+                "bump_epoch must advance the epoch ({} -> {})",
+                committed,
+                manifest.epoch
+            );
+        }
+        manifest.write(&self.dir)?;
+        self.track_committed(manifest.epoch, manifest.page_count);
+        Ok(())
     }
 
     /// The directory this manager serves.
@@ -94,6 +167,13 @@ impl FileManager {
     /// for pages the manifest promised.
     pub fn read_page(&self, page_no: u32, buf: &mut [u8]) -> Result<u32, StoreError> {
         debug_assert_eq!(buf.len(), PAGE_SIZE);
+        debug_assert!(
+            self.committed_epoch.load(Ordering::SeqCst) == UNTRACKED
+                || page_no < self.committed_pages.load(Ordering::SeqCst),
+            "read of page {page_no} outside committed coverage \
+             (epoch {}): a handle may only observe pages its manifest covers",
+            self.committed_epoch.load(Ordering::SeqCst),
+        );
         {
             let mut file = self.file.lock().expect("file lock");
             file.seek(SeekFrom::Start(page_no as u64 * PAGE_SIZE as u64))?;
@@ -115,6 +195,13 @@ impl FileManager {
     /// it at page offset `page_no`. Does **not** sync.
     pub fn write_page(&self, page_no: u32, buf: &mut [u8]) -> Result<(), StoreError> {
         debug_assert_eq!(buf.len(), PAGE_SIZE);
+        debug_assert!(
+            self.committed_epoch.load(Ordering::SeqCst) == UNTRACKED
+                || page_no >= self.committed_pages.load(Ordering::SeqCst),
+            "copy-on-write violation: overwrite of committed page {page_no} \
+             (epoch {})",
+            self.committed_epoch.load(Ordering::SeqCst),
+        );
         page::seal(buf, page_no);
         let mut file = self.file.lock().expect("file lock");
         file.seek(SeekFrom::Start(page_no as u64 * PAGE_SIZE as u64))?;
@@ -334,6 +421,73 @@ mod tests {
         let mut extended = bytes.clone();
         extended.push(0);
         assert!(Manifest::decode(&extended).is_err());
+    }
+
+    #[test]
+    fn bump_epoch_commits_manifest_and_advances_tracking() {
+        let dir = tmp_dir("bump");
+        let fm = FileManager::create(&dir).unwrap();
+        assert_eq!(fm.committed_epoch(), None);
+        let mut m = demo_manifest();
+        m.epoch = 1;
+        m.page_count = 2;
+        fm.bump_epoch(&m).unwrap();
+        assert_eq!(fm.committed_epoch(), Some(1));
+        assert_eq!(Manifest::load(&dir).unwrap().epoch, 1);
+        m.epoch = 2;
+        m.page_count = 3;
+        fm.bump_epoch(&m).unwrap();
+        assert_eq!(fm.committed_epoch(), Some(2));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn overwriting_a_committed_page_is_a_cow_violation() {
+        let dir = tmp_dir("cowwrite");
+        let fm = FileManager::create(&dir).unwrap();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        set_len(&mut buf, 0);
+        fm.write_page(0, &mut buf).unwrap();
+        fm.sync().unwrap();
+        let mut m = demo_manifest();
+        m.epoch = 1;
+        m.page_count = 1;
+        fm.bump_epoch(&m).unwrap();
+        // Fresh pages beyond coverage are fine…
+        fm.write_page(1, &mut buf).unwrap();
+        // …but rewriting the committed page 0 trips the assertion.
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut buf = vec![0u8; PAGE_SIZE];
+            set_len(&mut buf, 0);
+            let _ = fm.write_page(0, &mut buf);
+        }));
+        assert!(err.is_err(), "committed-page overwrite went unasserted");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn reading_outside_committed_coverage_is_asserted() {
+        let dir = tmp_dir("cowread");
+        let fm = FileManager::create(&dir).unwrap();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        set_len(&mut buf, 0);
+        fm.write_page(0, &mut buf).unwrap();
+        fm.write_page(1, &mut buf).unwrap(); // beyond what we will commit
+        fm.sync().unwrap();
+        let mut m = demo_manifest();
+        m.epoch = 1;
+        m.page_count = 1;
+        fm.bump_epoch(&m).unwrap();
+        let mut back = vec![0u8; PAGE_SIZE];
+        fm.read_page(0, &mut back).unwrap();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut back = vec![0u8; PAGE_SIZE];
+            let _ = fm.read_page(1, &mut back);
+        }));
+        assert!(err.is_err(), "out-of-coverage read went unasserted");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -24,6 +24,10 @@
 //! * [`PageLog`] — an append-only record log over the same page format,
 //!   used by the service to persist per-tenant query transcripts for
 //!   audit replay.
+//! * [`MutationLog`] — a CRC-framed intent log for live row mutations.
+//!   Append + fsync is the ack; [`PagedRows`] folds acked records into
+//!   fresh (copy-on-write) pages and commits them by bumping the manifest
+//!   epoch, so replay-after-crash yields exactly the acked mutations.
 //!
 //! Lock order inside the pool is strictly `meta -> frame`; see
 //! `buffer_pool.rs` for the discipline. The miss path (disk read) is
@@ -33,15 +37,17 @@
 pub mod buffer_pool;
 pub mod codec;
 pub mod file_manager;
+pub mod mutation_log;
 pub mod page;
 pub mod page_log;
 pub mod paged;
 
 pub use buffer_pool::{BufferPool, PoolStats};
 pub use file_manager::{FileManager, Manifest, FORMAT_VERSION};
+pub use mutation_log::{MutationLog, MutationOp, MutationRecord, MUTATION_LOG_FILE};
 pub use page::{crc32, PAGE_CAPACITY, PAGE_HEADER, PAGE_SIZE};
 pub use page_log::PageLog;
-pub use paged::PagedRows;
+pub use paged::{widen_schema, MutationOutcome, PagedRows};
 
 /// Errors surfaced by the storage layer.
 ///

@@ -42,8 +42,9 @@
 //! matvec, so operator and CSR paths agree bit for bit — property-tested
 //! in `tests/properties.rs`.
 
-use crate::operator::{check_panel, OpScratch, StrategyOperator};
+use crate::operator::{check_panel, OpScratch, SharedOperator, StrategyOperator};
 use crate::{LinalgError, Result};
+use std::sync::Arc;
 
 /// Lane width of the blocked multi-RHS kernels. Panels are processed in
 /// tiles of `LANES` columns stored lane-interleaved (`buf[i * LANES + l]`
@@ -139,6 +140,51 @@ impl HierarchicalOperator {
     ///   branching factor below 2 is rejected by the caller
     ///   (`Strategy::operator`) — this constructor clamps defensively.
     pub fn new(n: usize, branching: usize) -> Result<Self> {
+        Self::build(n, branching, &mut std::collections::HashMap::new())
+    }
+
+    /// Grows the operator to `n_new ≥ n` cells after a domain extension.
+    ///
+    /// The tree over `[0, n_new)` is re-laid out (interval bounds shift
+    /// when the root interval grows), but the expensive part of the
+    /// precompute — the Sherman–Morrison scalars `(γ, s)` — is a **pure
+    /// function of a node's width** given the branching factor: children
+    /// split a width-`w` node the same way wherever it sits. Seeding the
+    /// width memo from this operator's nodes means the γ/s pass of the
+    /// extension only computes scalars for widths this tree has never
+    /// seen, and reuses everything else verbatim — which also makes the
+    /// result **bit-identical** to a fresh build (the fresh build computes
+    /// the same pure function in the same order; property-tested).
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] when `n_new < n` — domains grow,
+    /// they never shrink.
+    pub fn extended(&self, n_new: usize) -> Result<Self> {
+        if n_new < self.n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "hier extend_to",
+                lhs: (self.rows.len(), self.n),
+                rhs: (n_new, n_new),
+            });
+        }
+        let mut memo: std::collections::HashMap<usize, (f64, f64)> = self
+            .nodes
+            .iter()
+            .map(|v| (v.hi - v.lo, (v.gamma, v.s)))
+            .collect();
+        Self::build(n_new, self.branching, &mut memo)
+    }
+
+    /// Shared constructor: `memo` maps node width → `(γ, s)`. An empty
+    /// memo is a fresh build; [`Self::extended`] seeds it from an existing
+    /// operator. Entries must come from this same pure recurrence (leaf
+    /// `s = 1`; internal `γ = Σ child s`, `s = γ/(1+γ)`) over the same
+    /// branching factor.
+    fn build(
+        n: usize,
+        branching: usize,
+        memo: &mut std::collections::HashMap<usize, (f64, f64)>,
+    ) -> Result<Self> {
         if n == 0 {
             return Err(LinalgError::Empty);
         }
@@ -185,15 +231,26 @@ impl HierarchicalOperator {
         }
 
         // Bottom-up γ/s precompute (reverse BFS order: children before
-        // parents).
+        // parents). `(γ, s)` is a pure function of node width given the
+        // branching factor, so the memo short-circuits every width already
+        // solved — either earlier in this pass or by the seed operator in
+        // [`Self::extended`]. Memoised and freshly computed values are
+        // bitwise interchangeable: both run this exact recurrence.
         for v in (0..nodes.len()).rev() {
-            if nodes[v].child_count == 0 {
-                nodes[v].s = 1.0;
-            } else {
-                let (cs, cc) = (nodes[v].child_start, nodes[v].child_count);
-                let gamma: f64 = nodes[cs..cs + cc].iter().map(|c| c.s).sum();
+            let width = nodes[v].hi - nodes[v].lo;
+            if let Some(&(gamma, s)) = memo.get(&width) {
                 nodes[v].gamma = gamma;
-                nodes[v].s = gamma / (1.0 + gamma);
+                nodes[v].s = s;
+            } else {
+                if nodes[v].child_count == 0 {
+                    nodes[v].s = 1.0;
+                } else {
+                    let (cs, cc) = (nodes[v].child_start, nodes[v].child_count);
+                    let gamma: f64 = nodes[cs..cs + cc].iter().map(|c| c.s).sum();
+                    nodes[v].gamma = gamma;
+                    nodes[v].s = gamma / (1.0 + gamma);
+                }
+                memo.insert(width, (nodes[v].gamma, nodes[v].s));
             }
         }
 
@@ -464,6 +521,12 @@ impl StrategyOperator for HierarchicalOperator {
 
     fn l1_operator_norm(&self) -> f64 {
         self.l1_norm
+    }
+
+    fn extend_to(&self, n_new: usize) -> Option<SharedOperator> {
+        self.extended(n_new)
+            .ok()
+            .map(|op| Arc::new(op) as SharedOperator)
     }
 
     fn apply_transpose_into(&self, y: &[f64], out: &mut Vec<f64>) -> Result<()> {
@@ -974,6 +1037,67 @@ mod tests {
         assert!(op
             .solve_normal_multi(&bad_n, 2, &mut out, &mut scratch)
             .is_err());
+    }
+
+    #[test]
+    fn extended_is_bit_identical_to_fresh_build() {
+        // The whole point of `extended` is that the incremental path is
+        // indistinguishable from a from-scratch rebuild — not just "close",
+        // but bitwise. Compare every precomputed field and a solve.
+        for &b in &[2usize, 3, 5] {
+            for &(n_old, n_new) in &[
+                (1usize, 2usize),
+                (4, 4),
+                (4, 7),
+                (16, 17),
+                (16, 64),
+                (100, 257),
+            ] {
+                let old = HierarchicalOperator::new(n_old, b).unwrap();
+                let ext = old.extended(n_new).unwrap();
+                let fresh = HierarchicalOperator::new(n_new, b).unwrap();
+
+                assert_eq!(ext.n, fresh.n, "b={b} {n_old}->{n_new}");
+                assert_eq!(ext.branching, fresh.branching);
+                assert_eq!(ext.rows, fresh.rows, "b={b} {n_old}->{n_new}");
+                assert_eq!(ext.cover_off, fresh.cover_off);
+                assert_eq!(ext.cover_rows, fresh.cover_rows);
+                assert_eq!(ext.l1_norm.to_bits(), fresh.l1_norm.to_bits());
+                assert_eq!(ext.nodes.len(), fresh.nodes.len());
+                for (e, f) in ext.nodes.iter().zip(fresh.nodes.iter()) {
+                    assert_eq!((e.lo, e.hi), (f.lo, f.hi));
+                    assert_eq!(
+                        (e.child_start, e.child_count),
+                        (f.child_start, f.child_count)
+                    );
+                    assert_eq!(
+                        e.gamma.to_bits(),
+                        f.gamma.to_bits(),
+                        "b={b} {n_old}->{n_new}"
+                    );
+                    assert_eq!(e.s.to_bits(), f.s.to_bits(), "b={b} {n_old}->{n_new}");
+                }
+
+                let rhs: Vec<f64> = (0..n_new).map(|i| (i as f64).sin()).collect();
+                let xe = ext.solve_normal(&rhs).unwrap();
+                let xf = fresh.solve_normal(&rhs).unwrap();
+                for (a, c) in xe.iter().zip(xf.iter()) {
+                    assert_eq!(a.to_bits(), c.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extend_to_rejects_shrinking() {
+        let op = HierarchicalOperator::new(8, 2).unwrap();
+        assert!(matches!(
+            op.extended(7),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+        assert!(op.extend_to(7).is_none());
+        // Equal size is a valid (trivial) extension.
+        assert!(op.extend_to(8).is_some());
     }
 
     #[test]

@@ -226,6 +226,17 @@ pub trait StrategyOperator: std::fmt::Debug + Send + Sync {
         scratch.put_col(col);
         result
     }
+
+    /// Grows the operator to `n_new` domain cells after a domain
+    /// extension, reusing this operator's precompute where the structure
+    /// allows. Returns `None` when the operator has no incremental path
+    /// (the caller falls back to a fresh build); implementations that
+    /// return `Some` guarantee the result is **bit-identical** to a fresh
+    /// build over `n_new` cells (property-tested for the hierarchical
+    /// family).
+    fn extend_to(&self, _n_new: usize) -> Option<SharedOperator> {
+        None
+    }
 }
 
 /// Shared handle to a strategy operator — the shape caches and mechanism
@@ -356,6 +367,12 @@ impl StrategyOperator for IdentityOperator {
 
     fn l1_operator_norm(&self) -> f64 {
         1.0
+    }
+
+    fn extend_to(&self, n_new: usize) -> Option<SharedOperator> {
+        // The identity has no precompute; "extension" is just a bigger
+        // identity, trivially bit-identical to a fresh build.
+        (n_new >= self.n).then(|| Arc::new(IdentityOperator::new(n_new)) as SharedOperator)
     }
 }
 

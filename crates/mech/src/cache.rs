@@ -56,6 +56,14 @@ pub struct SmCacheKey {
     pub seed: u64,
     /// Bit pattern of the binary-search tolerance (f64 is not `Hash`).
     pub tolerance_bits: u64,
+    /// Epoch of the dataset the querying engine was serving when the
+    /// artifacts were requested. The artifacts themselves are
+    /// data-independent, but live mutations can grow the domain and
+    /// recompile the workload; keying by epoch guarantees that **no
+    /// artifact resolved before a mutation is ever handed out after
+    /// it** — a post-mutation lookup is a provable cache miss (the
+    /// epoch-staleness tests assert this through the miss counters).
+    pub dataset_epoch: u64,
     /// Which prepare pipeline built the artifacts. The operator paths are
     /// bit-identical to each other but the dense reference rounds
     /// differently, so artifacts from different paths must never alias.
@@ -279,6 +287,7 @@ mod tests {
             samples: 10,
             seed: 1,
             tolerance_bits: 1e-3_f64.to_bits(),
+            dataset_epoch: 0,
             path: OperatorPath::HierBlocked,
         }
     }
@@ -354,8 +363,14 @@ mod tests {
         let mut k = key(1);
         k.samples = 11;
         cache.get_or_build(k, || Ok(artifacts())).unwrap();
-        assert_eq!(cache.len(), 3);
-        assert_eq!(cache.stats().misses, 3);
+        // A dataset mutation bumps the epoch: same workload, same config,
+        // but the post-mutation key must miss (never reuse a pre-mutation
+        // resolution).
+        let mut stale = key(1);
+        stale.dataset_epoch = 3;
+        cache.get_or_build(stale, || Ok(artifacts())).unwrap();
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.stats().misses, 4);
     }
 
     #[test]

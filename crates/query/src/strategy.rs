@@ -127,6 +127,37 @@ impl Strategy {
         }
     }
 
+    /// Grows an existing operator of this strategy to `n_new` cells after
+    /// a domain extension, reusing the operator's precompute when it
+    /// supports incremental growth ([`apex_linalg::StrategyOperator::extend_to`])
+    /// and falling back to a fresh [`Strategy::operator`] build otherwise.
+    ///
+    /// Either path yields an operator **bit-identical** to
+    /// `self.operator(n_new)` — incremental maintenance must be
+    /// indistinguishable from a rebuild (property-tested).
+    ///
+    /// # Errors
+    /// * [`StrategyError::EmptyDomain`] when `n_new == 0`.
+    /// * [`StrategyError::BadBranching`] when `branching < 2`.
+    pub fn extend_to(
+        &self,
+        op: &SharedOperator,
+        n_new: usize,
+    ) -> Result<SharedOperator, StrategyError> {
+        if n_new == 0 {
+            return Err(StrategyError::EmptyDomain);
+        }
+        if let Strategy::Hierarchical { branching } = self {
+            if *branching < 2 {
+                return Err(StrategyError::BadBranching(*branching));
+            }
+        }
+        match op.extend_to(n_new) {
+            Some(grown) => Ok(grown),
+            None => self.operator(n_new),
+        }
+    }
+
     /// Human-readable name used by benchmark output.
     pub fn name(&self) -> String {
         match self {
@@ -301,6 +332,53 @@ mod tests {
                 assert!((a - b).abs() < 1e-10, "n = {n}");
             }
         }
+    }
+
+    #[test]
+    fn extend_to_matches_fresh_operator_bit_for_bit() {
+        for strat in [
+            Strategy::Identity,
+            Strategy::H2,
+            Strategy::Hierarchical { branching: 3 },
+        ] {
+            for &(n_old, n_new) in &[(1usize, 4usize), (6, 6), (6, 19), (32, 33)] {
+                let op = strat.operator(n_old).unwrap();
+                let grown = strat.extend_to(&op, n_new).unwrap();
+                let fresh = strat.operator(n_new).unwrap();
+                assert_eq!(
+                    grown.shape(),
+                    fresh.shape(),
+                    "{} {n_old}->{n_new}",
+                    strat.name()
+                );
+                assert_eq!(
+                    grown.l1_operator_norm().to_bits(),
+                    fresh.l1_operator_norm().to_bits()
+                );
+                let x: Vec<f64> = (0..n_new).map(|i| (i as f64) * 0.41 - 2.0).collect();
+                let (ya, yb) = (grown.apply(&x).unwrap(), fresh.apply(&x).unwrap());
+                for (a, b) in ya.iter().zip(&yb) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+                let rhs: Vec<f64> = (0..n_new).map(|i| (i as f64).cos()).collect();
+                let (sa, sb) = (
+                    grown.solve_normal(&rhs).unwrap(),
+                    fresh.solve_normal(&rhs).unwrap(),
+                );
+                for (a, b) in sa.iter().zip(&sb) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extend_to_rejects_empty_target() {
+        let op = Strategy::H2.operator(4).unwrap();
+        assert!(matches!(
+            Strategy::H2.extend_to(&op, 0),
+            Err(StrategyError::EmptyDomain)
+        ));
     }
 
     #[test]

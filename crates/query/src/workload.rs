@@ -9,7 +9,7 @@
 
 use std::sync::OnceLock;
 
-use apex_data::{Dataset, DomainPartition, PartitionError, Predicate, Schema};
+use apex_data::{Dataset, DomainPartition, PartitionError, Predicate, RowDelta, Schema};
 use apex_linalg::{CsrBuilder, CsrMatrix, Matrix};
 
 /// Errors raised when compiling a workload.
@@ -17,6 +17,9 @@ use apex_linalg::{CsrBuilder, CsrMatrix, Matrix};
 pub enum WorkloadError {
     /// Domain partitioning failed.
     Partition(PartitionError),
+    /// An extension target is not a pure domain growth of this workload's
+    /// partition (different workload, or a cell straddles the new grid).
+    Incompatible(String),
 }
 
 impl From<PartitionError> for WorkloadError {
@@ -29,11 +32,62 @@ impl std::fmt::Display for WorkloadError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             WorkloadError::Partition(e) => write!(f, "cannot compile workload: {e}"),
+            WorkloadError::Incompatible(m) => write!(f, "cannot extend workload: {m}"),
         }
     }
 }
 
 impl std::error::Error for WorkloadError {}
+
+/// Why a [`RowDelta`] could not be folded into a compiled workload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaError {
+    /// A delta row lies outside the domain this workload was compiled
+    /// over — the mutation grew the domain, so the caller must recompile
+    /// against the widened schema (see [`CompiledWorkload::extended`],
+    /// which also yields a cell remap carrying the old histogram over).
+    DomainGrowth(String),
+    /// A delta row does not match the compiled schema at all (arity).
+    RowMismatch(String),
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::DomainGrowth(m) => write!(f, "delta grows the domain: {m}"),
+            DeltaError::RowMismatch(m) => write!(f, "delta row mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// A sparse histogram update: the observable effect of a [`RowDelta`] on
+/// the cell-count vector `x = T_W(D)`, computed in O(rows touched) —
+/// no dataset rescan. Cells are deduplicated and carry net counts, so a
+/// delta that inserts and deletes in the same cell collapses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramDelta {
+    /// `(cell, net count change)`, sorted by cell, zero entries dropped.
+    pub updates: Vec<(usize, f64)>,
+    /// Epoch the originating mutation committed (from the [`RowDelta`]).
+    pub epoch: u64,
+}
+
+impl HistogramDelta {
+    /// Whether the delta changes nothing (e.g. insert + delete of the
+    /// same rows, or a delete that matched nothing).
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// Folds the delta into a histogram vector in O(cells touched).
+    pub fn apply_to(&self, x: &mut [f64]) {
+        for &(cell, dv) in &self.updates {
+            x[cell] += dv;
+        }
+    }
+}
 
 /// A workload compiled against a schema: the minimal domain partition, the
 /// `L × |dom_W(R)|` 0/1 matrix `W`, and its sensitivity `‖W‖₁`.
@@ -44,10 +98,17 @@ impl std::error::Error for WorkloadError {}
 #[derive(Debug, Clone)]
 pub struct CompiledWorkload {
     partition: DomainPartition,
+    /// Schema the partition was built over — consulted by
+    /// [`Self::apply_delta`] to tell in-domain mutations from ones that
+    /// grew the domain (which require [`Self::extended`]).
+    schema: Schema,
     /// The `L × n_cells` 0/1 incidence structure, sparse.
     csr: CsrMatrix,
     /// Dense materialization, built on first request only.
     dense: OnceLock<Matrix>,
+    /// Transposed incidence (cell → query rows touching it), built on the
+    /// first incremental answer update only.
+    cell_to_queries: OnceLock<Vec<Vec<u32>>>,
     sensitivity: f64,
     /// Structural signature of the compiled incidence (cache key for
     /// derived artifacts such as pseudoinverses and MC translators).
@@ -71,8 +132,10 @@ impl CompiledWorkload {
         let signature = csr.signature();
         Ok(Self {
             partition,
+            schema: schema.clone(),
             csr,
             dense: OnceLock::new(),
+            cell_to_queries: OnceLock::new(),
             sensitivity,
             signature,
         })
@@ -131,6 +194,91 @@ impl CompiledWorkload {
         self.csr
             .matvec(&x)
             .expect("histogram length matches matrix columns")
+    }
+
+    /// Folds a committed [`RowDelta`] into a [`HistogramDelta`] in
+    /// O(rows touched): each inserted/deleted row locates its partition
+    /// cell directly — no dataset rescan.
+    ///
+    /// # Errors
+    /// [`DeltaError::DomainGrowth`] when a delta row lies outside the
+    /// domain this workload was compiled over (the mutation widened the
+    /// schema): recompile via [`Self::extended`] and retry against the
+    /// new workload. [`DeltaError::RowMismatch`] on arity mismatch.
+    pub fn apply_delta(&self, delta: &RowDelta) -> Result<HistogramDelta, DeltaError> {
+        let mut net: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
+        let mut fold = |rows: &[Vec<apex_data::Value>], sign: f64| -> Result<(), DeltaError> {
+            for row in rows {
+                if row.len() != self.schema.arity() {
+                    return Err(DeltaError::RowMismatch(format!(
+                        "expected {} values, got {}",
+                        self.schema.arity(),
+                        row.len()
+                    )));
+                }
+                self.schema
+                    .validate_row(row)
+                    .map_err(|e| DeltaError::DomainGrowth(e.to_string()))?;
+                *net.entry(self.partition.cell_of_row(row)).or_insert(0.0) += sign;
+            }
+            Ok(())
+        };
+        fold(&delta.inserted, 1.0)?;
+        fold(&delta.deleted, -1.0)?;
+        Ok(HistogramDelta {
+            updates: net.into_iter().filter(|&(_, v)| v != 0.0).collect(),
+            epoch: delta.epoch,
+        })
+    }
+
+    /// Folds a [`HistogramDelta`] into a workload answer vector
+    /// `y = W x` in O(Σ queries touching each changed cell), via the
+    /// transposed CSR incidence (built once, lazily).
+    pub fn update_answer(&self, delta: &HistogramDelta, y: &mut [f64]) {
+        let t = self.cell_to_queries.get_or_init(|| {
+            let mut t = vec![Vec::new(); self.partition.n_cells()];
+            for i in 0..self.partition.n_predicates() {
+                for &c in self.partition.cells_of(i) {
+                    t[c].push(i as u32);
+                }
+            }
+            t
+        });
+        for &(cell, dv) in &delta.updates {
+            for &q in &t[cell] {
+                y[q as usize] += dv;
+            }
+        }
+    }
+
+    /// Recompiles this workload against a **widened** schema (domain
+    /// growth from an insert) and returns the new compiled workload plus
+    /// the old-cell → new-cell map: an existing histogram carries over in
+    /// O(n_cells) (`x_new[map[c]] += x_old[c]`) instead of an O(|D|)
+    /// rescan, because widening only adds cell boundaries outside the old
+    /// coverage.
+    ///
+    /// # Errors
+    /// Compilation failures propagate; [`WorkloadError::Incompatible`] if
+    /// `workload` is not the workload this was compiled from (the remap
+    /// would be ill-defined).
+    pub fn extended(
+        &self,
+        schema: &Schema,
+        workload: &[Predicate],
+    ) -> Result<(Self, Vec<usize>), WorkloadError> {
+        let new = Self::compile(schema, workload)?;
+        let map = self.partition.remap_to(new.partition()).ok_or_else(|| {
+            WorkloadError::Incompatible(
+                "target partition is not a domain growth of this one".into(),
+            )
+        })?;
+        Ok((new, map))
+    }
+
+    /// The schema this workload was compiled over.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
     }
 }
 
@@ -216,6 +364,82 @@ mod tests {
         assert_eq!(c.csr().to_dense(), *c.matrix());
         // A 10-bin histogram over an 11-cell partition: 1 nonzero per row.
         assert_eq!(c.csr().nnz(), 10);
+    }
+
+    #[test]
+    fn apply_delta_matches_full_rescan() {
+        let mut d = data(&[5, 15, 15, 25, 95]);
+        let w = histogram_workload(10, 10);
+        let c = CompiledWorkload::compile(&schema(), &w).unwrap();
+        let mut x = c.histogram(&d);
+        let mut y = c.csr().matvec(&x).unwrap();
+
+        let delta = d
+            .insert_rows(&[vec![Value::Int(15)], vec![Value::Int(77)]])
+            .unwrap();
+        let hd = c.apply_delta(&delta).unwrap();
+        hd.apply_to(&mut x);
+        c.update_answer(&hd, &mut y);
+        assert_eq!(x, c.histogram(&d), "insert: incremental == rescan");
+        assert_eq!(y, c.true_answer(&d), "insert: answers track");
+
+        let delta = d.delete_rows(&[vec![Value::Int(15)]]).unwrap();
+        let hd = c.apply_delta(&delta).unwrap();
+        hd.apply_to(&mut x);
+        c.update_answer(&hd, &mut y);
+        assert_eq!(x, c.histogram(&d), "delete: incremental == rescan");
+        assert_eq!(y, c.true_answer(&d), "delete: answers track");
+    }
+
+    #[test]
+    fn self_cancelling_delta_is_empty() {
+        let c = CompiledWorkload::compile(&schema(), &histogram_workload(10, 10)).unwrap();
+        let delta = apex_data::RowDelta {
+            inserted: vec![vec![Value::Int(15)]],
+            deleted: vec![vec![Value::Int(17)]], // same bin [10,20)
+            epoch: 1,
+        };
+        let hd = c.apply_delta(&delta).unwrap();
+        assert!(hd.is_empty());
+    }
+
+    #[test]
+    fn domain_growth_is_detected_and_extension_carries_the_histogram() {
+        let mut d = data(&[5, 15, 95]);
+        let w = histogram_workload(10, 10);
+        let c = CompiledWorkload::compile(&schema(), &w).unwrap();
+        let x_old = c.histogram(&d);
+
+        // Insert widens the domain: 500 is outside IntRange{0,99}.
+        let delta = d.insert_rows(&[vec![Value::Int(500)]]).unwrap();
+        assert!(matches!(
+            c.apply_delta(&delta),
+            Err(DeltaError::DomainGrowth(_))
+        ));
+
+        // Extend against the widened schema; carry the histogram over and
+        // fold the delta in — bit-identical to a from-scratch rebuild.
+        let (c2, map) = c.extended(d.schema(), &w).unwrap();
+        let mut x = vec![0.0; c2.n_cells()];
+        for (cell, v) in x_old.iter().enumerate() {
+            x[map[cell]] += v;
+        }
+        c2.apply_delta(&delta).unwrap().apply_to(&mut x);
+        assert_eq!(x, c2.histogram(&d));
+    }
+
+    #[test]
+    fn delta_arity_mismatch_is_rejected() {
+        let c = CompiledWorkload::compile(&schema(), &histogram_workload(10, 10)).unwrap();
+        let delta = apex_data::RowDelta {
+            inserted: vec![vec![Value::Int(1), Value::Int(2)]],
+            deleted: vec![],
+            epoch: 1,
+        };
+        assert!(matches!(
+            c.apply_delta(&delta),
+            Err(DeltaError::RowMismatch(_))
+        ));
     }
 
     #[test]

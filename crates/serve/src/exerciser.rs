@@ -69,6 +69,9 @@ pub enum Op {
     Compact,
     /// Arm the WAL to refuse the next append.
     WalFault,
+    /// Insert one row into the tenant's live dataset (bumps the epoch;
+    /// any in-flight commit that evaluated earlier must refuse stale).
+    Mutate,
     /// Kill the process here (schedule truncation; the yield-point
     /// crash sweep covers kills *inside* the other ops).
     Crash,
@@ -159,6 +162,38 @@ pub fn close_crash() -> Scenario {
     }
 }
 
+/// Two queriers racing a live row mutation (ISSUE 10): a commit whose
+/// evaluate straddled the mutation must refuse as epoch-stale and
+/// charge nothing; one that ordered cleanly charges exactly once.
+pub fn mutate_racing_queriers() -> Scenario {
+    Scenario {
+        name: "mutate-racing-queriers",
+        threads: vec![
+            vec![Op::Evaluate(0), Op::Commit(0)],
+            vec![Op::Mutate],
+            vec![Op::Evaluate(1), Op::Commit(1)],
+        ],
+        canary: false,
+    }
+}
+
+/// A mutation racing an armed WAL fault and compaction: the fault may
+/// refuse the mutation's own append (applied live, never durable) or a
+/// commit's; compaction must carry the mutation journal through the
+/// snapshot either way.
+pub fn mutate_fault_compact() -> Scenario {
+    Scenario {
+        name: "mutate-fault-compact",
+        threads: vec![
+            vec![Op::Evaluate(0), Op::Commit(0)],
+            vec![Op::Mutate],
+            vec![Op::WalFault],
+            vec![Op::Compact],
+        ],
+        canary: false,
+    }
+}
+
 /// [`fault_commit`] with the injected charge-before-append bug: the
 /// bounded enumeration must fail on it (exerciser self-test).
 pub fn canary_charge_before_log() -> Scenario {
@@ -176,6 +211,8 @@ pub fn all_scenarios() -> Vec<Scenario> {
         queriers_compact(),
         fault_commit(),
         close_crash(),
+        mutate_racing_queriers(),
+        mutate_fault_compact(),
     ]
 }
 
@@ -268,6 +305,16 @@ struct World {
     /// εᵘ of the commit currently in flight — the only slack recovery
     /// may legitimately show over `acked` after a mid-commit crash.
     inflight_upper: f64,
+    /// Mutations acked to the "client" (WAL record durable).
+    mut_acked: u64,
+    /// Mutations applied live whose append was refused (an armed WAL
+    /// fault): visible until the process dies, gone after recovery.
+    mut_unlogged: u64,
+    /// True while a mutate op is between its apply and its ack — the
+    /// only window where recovery may show one mutation over
+    /// `mut_acked` (durable-but-unacked record) or silently lose one
+    /// (applied-but-unlogged).
+    mut_inflight: bool,
     /// Pending evaluate-phase results by submission slot.
     pendings: Vec<Option<SubmitInFlight>>,
 }
@@ -304,6 +351,9 @@ impl World {
             granted: 0.0,
             acked: 0.0,
             inflight_upper: 0.0,
+            mut_acked: 0,
+            mut_unlogged: 0,
+            mut_inflight: false,
             pendings: (0..scenario.slots()).map(|_| None).collect(),
         };
         let (state, _) = world
@@ -370,9 +420,34 @@ impl World {
                     // nor applied; `check_live` verifies the "applied"
                     // half right after this step.
                     Err(SubmitError::Wal(_)) => {}
+                    // The evaluate straddled a mutation: refused at the
+                    // epoch re-check, nothing charged, nothing logged.
+                    Err(SubmitError::Engine(apex_core::EngineError::StaleEpoch { .. })) => {}
                     Err(e) => return Err(format!("commit failed: {e}")),
                 }
                 self.inflight_upper = 0.0;
+            }
+            Op::Mutate => {
+                self.mut_inflight = true;
+                match state.mutate_rows(TENANT, true, &[vec![Value::Int(3)]]) {
+                    Ok(crate::state::MutateOutcome::Applied(d)) => {
+                        if d.inserted.len() != 1 {
+                            return Err(format!(
+                                "mutation applied {} rows, not 1",
+                                d.inserted.len()
+                            ));
+                        }
+                        self.mut_acked += 1;
+                    }
+                    Ok(crate::state::MutateOutcome::NoSuchDataset) => {
+                        return Err("the world's tenant vanished".to_string());
+                    }
+                    // Armed fault refused the append: applied to the
+                    // live engine (no ack), lost on recovery.
+                    Err(SubmitError::Wal(_)) => self.mut_unlogged += 1,
+                    Err(e) => return Err(format!("mutation failed: {e}")),
+                }
+                self.mut_inflight = false;
             }
             Op::Close => {
                 // An armed WAL fault may refuse the Close record; the
@@ -408,7 +483,39 @@ impl World {
                 self.acked
             ));
         }
+        self.check_mutations(state, self.mut_acked + self.mut_unlogged, 0)?;
         self.check_granted(state, spent)
+    }
+
+    /// The live dataset must hold exactly the mutations the model says
+    /// were applied: `expected ± slack` mutation records, each having
+    /// inserted one row over the 8-row base, with `epoch` in lockstep.
+    fn check_mutations(
+        &self,
+        state: &ServerState,
+        expected: u64,
+        slack: u64,
+    ) -> Result<(), String> {
+        let engine = &state.tenant(TENANT).unwrap().engine;
+        let applied = engine.mutations_applied();
+        if applied < expected || applied > expected + slack {
+            return Err(format!(
+                "dataset carries {applied} mutations, model says {expected} (+{slack} slack)"
+            ));
+        }
+        let epoch = engine.epoch();
+        if epoch != applied {
+            return Err(format!(
+                "epoch {epoch} diverged from mutations applied {applied}"
+            ));
+        }
+        let rows = engine.with_engine(|e| e.dataset_scan_rows());
+        if rows != 8 + applied {
+            return Err(format!(
+                "dataset scans {rows} rows, expected 8 base + {applied} inserted"
+            ));
+        }
+        Ok(())
     }
 
     /// Grant conservation: granted = live allowances + spend attributed
@@ -467,6 +574,15 @@ impl World {
                 self.acked
             ));
         }
+        // Mutation bounds: every acked mutation must be replayed
+        // (durable before its ack); unlogged ones must be gone; a crash
+        // mid-mutate may leave at most the one in-flight batch either
+        // way (durable-but-unacked, or applied-but-unlogged).
+        let mutation_slack = u64::from(crashed && self.mut_inflight);
+        self.check_mutations(&state, self.mut_acked, mutation_slack)?;
+        self.mut_unlogged = 0;
+        self.mut_inflight = false;
+        self.mut_acked = state.tenant(TENANT).unwrap().engine.mutations_applied();
         let out = self.check_granted(&state, spent);
         self.state = Some(state);
         out
@@ -672,6 +788,24 @@ mod tests {
     }
 
     #[test]
+    fn exhaustive_mutate_racing_queriers_holds_with_crash_sweep() {
+        let runs = run_exhaustive(&mutate_racing_queriers(), 2).unwrap_or_else(|f| panic!("{f}"));
+        assert!(
+            runs > 30,
+            "expected 30 schedules + crash sweeps, got {runs}"
+        );
+    }
+
+    #[test]
+    fn exhaustive_mutate_fault_compact_holds_with_crash_sweep() {
+        let runs = run_exhaustive(&mutate_fault_compact(), 2).unwrap_or_else(|f| panic!("{f}"));
+        assert!(
+            runs > 60,
+            "expected 60 schedules + crash sweeps, got {runs}"
+        );
+    }
+
+    #[test]
     fn exhaustive_close_crash_holds() {
         // Every schedule position of the Crash op, plus point-level
         // sweeps on the first four schedules.
@@ -800,6 +934,28 @@ mod tests {
         };
         let t = run_one(&scenario, &[1, 0, 0], None).unwrap_or_else(|(m, _)| panic!("{m}"));
         assert_eq!(t.acked, 0.0, "a refused append must not charge");
+    }
+
+    #[test]
+    fn pinned_mutation_between_evaluate_and_commit_refuses_stale() {
+        // The ISSUE 10 race: a row mutation lands between a submission's
+        // evaluate and commit phases. The commit must observe the epoch
+        // bump, refuse as stale, and charge nothing — while the mutation
+        // itself lands durably.
+        let scenario = Scenario {
+            name: "pinned-mutate-mid-flight",
+            threads: vec![vec![Op::Evaluate(0), Op::Commit(0)], vec![Op::Mutate]],
+            canary: false,
+        };
+        let t = run_one(&scenario, &[0, 1, 0], None).unwrap_or_else(|(m, _)| panic!("{m}"));
+        assert_eq!(
+            t.acked, 0.0,
+            "a commit straddling a mutation must not charge"
+        );
+        // The reverse order charges exactly once: committed before the
+        // epoch moved.
+        let t = run_one(&scenario, &[0, 0, 1], None).unwrap_or_else(|(m, _)| panic!("{m}"));
+        assert!(t.acked > 0.0, "a commit that beat the mutation must land");
     }
 
     // ---- satellite 1: poison recovery proof ----

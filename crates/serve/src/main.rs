@@ -275,6 +275,10 @@ fn main() {
                     report.transcript_records
                 );
                 println!(
+                    "  mutations: {} row batches acked, epochs re-verified after restart",
+                    report.mutations_acked
+                );
+                println!(
                     "  restart recovery: {} wal records replayed, ledgers re-verified",
                     report.recovery_replayed
                 );

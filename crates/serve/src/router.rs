@@ -8,6 +8,7 @@
 //! | `GET  /v1/sessions/{id}/budget`       | session + engine budget state            |
 //! | `POST /v1/sessions/{id}/close`        | close a session, reclaim its remainder   |
 //! | `GET  /v1/stats`                      | cache counters (global + per dataset)    |
+//! | `POST /v1/datasets/{name}/rows`       | admin: insert/delete rows (live dataset) |
 //! | `GET  /v1/admin/sessions`             | admin: list live sessions                |
 //! | `POST /v1/admin/sessions/{id}/expire` | admin: force-expire a session            |
 //! | `POST /v1/admin/shutdown`             | admin: begin graceful shutdown           |
@@ -17,8 +18,15 @@
 //! an **expired** session is 410 (it once lived — distinct from 404); a
 //! **denied** query is 409 — denial is part of the privacy protocol, not
 //! a server fault, so it gets its own signal distinct from 4xx client
-//! errors and 2xx answers. A failed write-ahead append is 500: the
-//! charge is never acked without its log record.
+//! errors and 2xx answers. A mutation batch too large to frame as one
+//! WAL record is 413 (refused before anything is applied). A failed
+//! write-ahead append is 500: the charge is never acked without its log
+//! record.
+//!
+//! Row mutations live under `/v1/datasets/...` rather than `/v1/admin/...`
+//! so shard routing can key them by dataset name, but they carry the same
+//! bearer-token gate as the admin plane: changing the data every session
+//! queries is an operator action, not an analyst one.
 //!
 //! The admin plane (`/v1/admin/*`) checks `Authorization: Bearer <token>`
 //! when the state carries an admin token (`--admin-token`); without one
@@ -49,6 +57,10 @@ pub fn route(state: &Arc<ServerState>, req: &Request) -> Response {
             with_session_id(id, |id| method(req, "POST", || close_session(state, id)))
         }
         ["v1", "stats"] => method(req, "GET", || stats(state)),
+        ["v1", "datasets", name, "rows"] => match admin_auth(state, req) {
+            Ok(()) => method(req, "POST", || mutate(state, name, req)),
+            Err(resp) => resp,
+        },
         ["v1", "admin", rest @ ..] => match admin_auth(state, req) {
             Ok(()) => admin(state, req, rest),
             Err(resp) => resp,
@@ -202,6 +214,50 @@ fn submit(state: &ServerState, id: u64, req: &Request) -> Response {
         }
         Err(SubmitError::Engine(e)) => Response::json(400, wire::error_json(&e.to_string())),
         Err(SubmitError::Wal(e)) => wal_failed(&e),
+        // Queries never build mutation batches; unreachable here, mapped
+        // anyway so the error enum stays total.
+        Err(e @ SubmitError::BatchTooLarge { .. }) => {
+            Response::json(413, wire::error_json(&e.to_string()))
+        }
+    }
+}
+
+/// `POST /v1/datasets/{name}/rows`: apply a row mutation batch. The
+/// response is the ack — with persistence enabled, the WAL record is
+/// durable before this returns. Epoch-keyed caches and pending charges
+/// make racing queries safe: an evaluate that straddles the mutation is
+/// refused at commit with a stale-epoch error (mapped to 400 here via
+/// the query path) and nothing is charged.
+fn mutate(state: &ServerState, name: &str, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let m = match wire::parse_mutate_rows(&body) {
+        Ok(m) => m,
+        Err(msg) => return Response::json(400, wire::error_json(&msg)),
+    };
+    match state.mutate_rows(name, m.insert, &m.rows) {
+        Ok(crate::state::MutateOutcome::Applied(delta)) => {
+            let applied = state
+                .tenant(name)
+                .map(|t| t.engine.mutations_applied())
+                .unwrap_or(0);
+            Response::json(
+                200,
+                wire::mutation_json(name, m.insert, &delta, applied).render(),
+            )
+        }
+        Ok(crate::state::MutateOutcome::NoSuchDataset) => Response::json(
+            404,
+            wire::error_json(&format!("no dataset named \"{name}\"")),
+        ),
+        Err(e @ SubmitError::BatchTooLarge { .. }) => {
+            Response::json(413, wire::error_json(&e.to_string()))
+        }
+        // Arity/type mismatches, empty-batch refusals: client errors.
+        Err(SubmitError::Engine(e)) => Response::json(400, wire::error_json(&e.to_string())),
+        Err(SubmitError::Wal(e)) => wal_failed(&e),
     }
 }
 
@@ -251,6 +307,11 @@ fn stats(state: &ServerState) -> Response {
                     ]),
                 ),
                 ("sessions", Json::from(state.session_count_for(name))),
+                ("epoch", Json::from(tenant.engine.epoch())),
+                (
+                    "mutations_applied",
+                    Json::from(tenant.engine.mutations_applied()),
+                ),
             ]),
         ));
     }
@@ -577,6 +638,150 @@ mod tests {
             &req_auth("POST", "/v1/admin/sessions/777/expire", "", "s3cret"),
         );
         assert_eq!(r.status, 404);
+    }
+
+    #[test]
+    fn mutation_endpoint_applies_and_reports_the_new_epoch() {
+        let s = state();
+        // Insert four rows of v=3.
+        let r = route(
+            &s,
+            &req(
+                "POST",
+                "/v1/datasets/demo/rows",
+                r#"{"op":"insert","rows":[[3],[3],[3],[3]]}"#,
+            ),
+        );
+        assert_eq!(r.status, 200, "{}", r.body);
+        let parsed = crate::json::parse(&r.body).unwrap();
+        assert_eq!(parsed.get("inserted").and_then(Json::as_u64), Some(4));
+        assert_eq!(parsed.get("epoch").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            parsed.get("mutations_applied").and_then(Json::as_u64),
+            Some(1)
+        );
+
+        // A fresh query sees the mutated data (8 + 4 rows in [0, 4)).
+        let id = open_session(&s, r#"{"dataset":"demo","budget":5}"#);
+        let q = r#"{"query":"BIN demo ON COUNT(*) WHERE W = { v IN [0, 4), v IN [4, 8) } ERROR 8 CONFIDENCE 0.95;"}"#;
+        let r = route(&s, &req("POST", &format!("/v1/sessions/{id}/query"), q));
+        assert_eq!(r.status, 200, "{}", r.body);
+
+        // Delete two of them back out; deletes count only real matches.
+        let r = route(
+            &s,
+            &req(
+                "POST",
+                "/v1/datasets/demo/rows",
+                r#"{"op":"delete","rows":[[3],[3]]}"#,
+            ),
+        );
+        assert_eq!(r.status, 200, "{}", r.body);
+        let parsed = crate::json::parse(&r.body).unwrap();
+        assert_eq!(parsed.get("deleted").and_then(Json::as_u64), Some(2));
+        assert_eq!(parsed.get("epoch").and_then(Json::as_u64), Some(2));
+
+        // Stats surface the per-tenant epoch and mutation count.
+        let r = route(&s, &req("GET", "/v1/stats", ""));
+        let parsed = crate::json::parse(&r.body).unwrap();
+        let demo = parsed.get("datasets").and_then(|d| d.get("demo")).unwrap();
+        assert_eq!(demo.get("epoch").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            demo.get("mutations_applied").and_then(Json::as_u64),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn mutation_endpoint_error_codes() {
+        let s = state();
+        // Unknown dataset: 404. Wrong method: 405. Malformed body: 400.
+        assert_eq!(
+            route(
+                &s,
+                &req(
+                    "POST",
+                    "/v1/datasets/nope/rows",
+                    r#"{"op":"insert","rows":[[1]]}"#
+                )
+            )
+            .status,
+            404
+        );
+        assert_eq!(
+            route(&s, &req("GET", "/v1/datasets/demo/rows", "")).status,
+            405
+        );
+        assert_eq!(
+            route(&s, &req("POST", "/v1/datasets/demo/rows", "{")).status,
+            400
+        );
+        assert_eq!(
+            route(
+                &s,
+                &req(
+                    "POST",
+                    "/v1/datasets/demo/rows",
+                    r#"{"op":"insert","rows":[]}"#
+                )
+            )
+            .status,
+            400
+        );
+        // Arity mismatch on delete is an engine rejection: 400.
+        let r = route(
+            &s,
+            &req(
+                "POST",
+                "/v1/datasets/demo/rows",
+                r#"{"op":"delete","rows":[[1,2]]}"#,
+            ),
+        );
+        assert_eq!(r.status, 400, "{}", r.body);
+        // An oversized batch is refused with 413 before anything applies.
+        let big_row = format!("[{}]", vec!["1"; 40_000].join(","));
+        let r = route(
+            &s,
+            &req(
+                "POST",
+                "/v1/datasets/demo/rows",
+                &format!(r#"{{"op":"insert","rows":[{big_row}]}}"#),
+            ),
+        );
+        assert_eq!(r.status, 413, "{}", r.body);
+        assert_eq!(
+            s.tenant("demo").unwrap().engine.epoch(),
+            0,
+            "nothing applied"
+        );
+    }
+
+    #[test]
+    fn mutation_endpoint_honors_the_admin_token() {
+        let s = Arc::new(
+            ServerState::builder(16)
+                .dataset("demo", demo_dataset(), EngineConfig::default())
+                .admin_token("s3cret")
+                .build(),
+        );
+        let body = r#"{"op":"insert","rows":[[1]]}"#;
+        assert_eq!(
+            route(&s, &req("POST", "/v1/datasets/demo/rows", body)).status,
+            401
+        );
+        assert_eq!(
+            route(
+                &s,
+                &req_auth("POST", "/v1/datasets/demo/rows", body, "wrong")
+            )
+            .status,
+            401
+        );
+        let r = route(
+            &s,
+            &req_auth("POST", "/v1/datasets/demo/rows", body, "s3cret"),
+        );
+        assert_eq!(r.status, 200, "{}", r.body);
     }
 
     #[test]

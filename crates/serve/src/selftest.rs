@@ -31,6 +31,13 @@
 //!    leave the buffer-pool hit counter > 0. Per-tenant transcript logs
 //!    ride the same store and must replay from disk, record for record,
 //!    after shutdown.
+//! 6. **live mutations** — rows are inserted over the wire into a paged
+//!    tenant and a resident tenant mid-run; the ack's epoch must match
+//!    the owning engine and the stats aggregation, a query admitted
+//!    afterwards answers at the new epoch, and the restart leg must
+//!    reproduce the epoch, the mutation count, and the row count from
+//!    disk (store replay for the paged tenant, WAL/snapshot-journal
+//!    replay for the resident one).
 //!
 //! Sessions *oversubscribe* on purpose: each holds a slice of `B` large
 //! enough that the slices jointly exceed `B`, so both the per-session and
@@ -153,6 +160,10 @@ pub struct SelfTestReport {
     pub store_pool_hits: u64,
     /// Transcript records across all tenants and shards at shutdown.
     pub transcript_records: u64,
+    /// Row-mutation batches acked over the wire (the live-update leg:
+    /// one paged tenant, one resident tenant; each verified live and
+    /// re-verified after the restart).
+    pub mutations_acked: u64,
 }
 
 /// Per-dataset budget for the scripted workload.
@@ -230,6 +241,24 @@ fn slow_wide_query(prefixes: usize) -> String {
     format!(
         "BIN wide ON COUNT(*) WHERE W = {{ {} }} ERROR 200 CONFIDENCE 0.99;",
         preds.join(", ")
+    )
+}
+
+/// One wire-encodable row at each attribute's domain floor — valid for
+/// any tenant's schema, so the mutation leg can insert it blind.
+fn floor_row_json(schema: &Schema) -> Json {
+    Json::Arr(
+        schema
+            .attributes()
+            .iter()
+            .map(|a| match &a.domain {
+                Domain::IntRange { min, .. } => Json::Num(*min as f64),
+                Domain::FloatRange { min, .. } => Json::Num(*min),
+                Domain::Categorical(cats) => Json::Str(cats.first().cloned().unwrap_or_default()),
+                Domain::Text => Json::Str("x".to_string()),
+                Domain::Boolean => Json::Bool(false),
+            })
+            .collect(),
     )
 }
 
@@ -544,6 +573,111 @@ fn run_in_dir(cfg: &SelfTestConfig, dir: &std::path::Path) -> Result<SelfTestRep
         );
     }
 
+    // The live-mutation leg (ISSUE 10): insert rows over the wire into
+    // one paged tenant (durable through its store's mutation log) and
+    // the resident `wide` tenant (durable through the WAL record + the
+    // snapshot's mutation journal). The ack's epoch must match the
+    // owning engine, the scan must see the rows immediately, and the
+    // restart leg below must reproduce all three numbers from disk.
+    let mut mutation_expect: Vec<(String, u64, u64, u64)> = Vec::new();
+    for name in ["adult", "wide"] {
+        let engine = &set
+            .owner(name)
+            .tenant(name)
+            .ok_or_else(|| format!("tenant {name} missing from its owner shard"))?
+            .engine;
+        let before_rows = engine.with_engine(|e| e.dataset_scan_rows());
+        let row = engine.with_engine(|e| floor_row_json(e.schema()));
+        let body = Json::obj(vec![
+            ("op", Json::from("insert")),
+            ("rows", Json::Arr(vec![row.clone(), row])),
+        ])
+        .render();
+        let (status, resp) = client::request(
+            addr,
+            "POST",
+            &format!("/v1/datasets/{name}/rows"),
+            Some(&body),
+        )?;
+        if status != 200 {
+            return Err(format!("mutation on {name} returned {status}: {resp:?}"));
+        }
+        if resp.get("inserted").and_then(Json::as_u64) != Some(2) {
+            return Err(format!("mutation ack on {name} lost rows: {resp:?}"));
+        }
+        let acked_epoch = resp
+            .get("epoch")
+            .and_then(Json::as_u64)
+            .ok_or("mutation ack missing epoch")?;
+        let acked_applied = resp
+            .get("mutations_applied")
+            .and_then(Json::as_u64)
+            .ok_or("mutation ack missing mutations_applied")?;
+        let after_rows = engine.with_engine(|e| e.dataset_scan_rows());
+        if after_rows != before_rows + 2 {
+            return Err(format!(
+                "{name}: scan sees {after_rows} rows after inserting 2 over {before_rows}"
+            ));
+        }
+        if engine.epoch() != acked_epoch {
+            return Err(format!(
+                "{name}: acked epoch {acked_epoch} diverged from the engine's {}",
+                engine.epoch()
+            ));
+        }
+        report.mutations_acked += 1;
+        mutation_expect.push((name.to_string(), acked_epoch, acked_applied, after_rows));
+    }
+    // The public stats must surface the new epoch across the shard
+    // aggregation, and a query admitted now answers against it (wide's
+    // budget is still ample at this point in the run).
+    let (status, stats) = client::request(addr, "GET", "/v1/stats", None)?;
+    if status != 200 {
+        return Err(format!("post-mutation GET /v1/stats returned {status}"));
+    }
+    for (name, epoch, applied, _) in &mutation_expect {
+        let d = stats
+            .get("datasets")
+            .and_then(|d| d.get(name))
+            .ok_or_else(|| format!("post-mutation stats missing dataset {name}"))?;
+        if d.get("epoch").and_then(Json::as_u64) != Some(*epoch)
+            || d.get("mutations_applied").and_then(Json::as_u64) != Some(*applied)
+        {
+            return Err(format!(
+                "stats report epoch {:?} / applied {:?} for {name}, acked {epoch} / {applied}",
+                d.get("epoch"),
+                d.get("mutations_applied")
+            ));
+        }
+    }
+    {
+        let (status, created) = client::request(
+            addr,
+            "POST",
+            "/v1/sessions",
+            Some("{\"dataset\":\"wide\",\"budget\":1.0}"),
+        )?;
+        if status != 201 {
+            return Err(format!("post-mutation session creation returned {status}"));
+        }
+        let id = created
+            .get("session")
+            .and_then(Json::as_u64)
+            .ok_or("post-mutation session id missing")?;
+        let q = "BIN wide ON COUNT(*) WHERE W = { v IN [0, 16) } ERROR 200 CONFIDENCE 0.99;";
+        let (status, resp) = client::request(
+            addr,
+            "POST",
+            &format!("/v1/sessions/{id}/query"),
+            Some(&format!("{{\"query\":{}}}", Json::from(q).render())),
+        )?;
+        if status != 200 {
+            return Err(format!(
+                "post-mutation query returned {status} (must answer at the new epoch): {resp:?}"
+            ));
+        }
+    }
+
     report.prepare_ms = prepare_timings(cfg);
 
     // The compaction-pause scenario: force WAL rotations against a slow
@@ -643,6 +777,31 @@ fn run_in_dir(cfg: &SelfTestConfig, dir: &std::path::Path) -> Result<SelfTestRep
             live,
             restarted.session_count()
         ));
+    }
+    // The mutation leg's restart half: the replayed epoch, mutation
+    // count, and row count must equal what was acked before shutdown —
+    // for the paged tenant via its store, for the resident one via the
+    // WAL/journal replay.
+    for (name, epoch, applied, rows) in &mutation_expect {
+        let engine = &restarted
+            .owner(name)
+            .tenant(name)
+            .ok_or_else(|| format!("restart lost mutated tenant {name}"))?
+            .engine;
+        if engine.epoch() != *epoch || engine.mutations_applied() != *applied {
+            return Err(format!(
+                "MUTATION DIVERGENCE on {name}: epoch {} / applied {} after restart, \
+                 acked {epoch} / {applied} before shutdown",
+                engine.epoch(),
+                engine.mutations_applied()
+            ));
+        }
+        let scan = engine.with_engine(|e| e.dataset_scan_rows());
+        if scan != *rows {
+            return Err(format!(
+                "MUTATION DIVERGENCE on {name}: {scan} rows after restart, {rows} before"
+            ));
+        }
     }
     Ok(report)
 }
@@ -909,6 +1068,10 @@ mod tests {
         assert!(
             report.recovery_replayed > 0,
             "the restart leg must replay this run's WAL"
+        );
+        assert_eq!(
+            report.mutations_acked, 2,
+            "the mutation leg must cover one paged and one resident tenant"
         );
         assert!(
             report.slow_query_millis > 0,

@@ -297,6 +297,9 @@ pub fn stats_json(set: &ShardSet) -> Json {
         // the store object reads all-zero.
         let mut paged = false;
         let mut epoch = 0u64;
+        // Live-mutation telemetry: only the owning shard's engine ever
+        // mutates, so max (not sum) across shards is the true value.
+        let (mut mutation_epoch, mut mutations_applied) = (0u64, 0u64);
         let mut pool = apex_data::PoolStats::default();
         let (mut transcript_records, mut transcript_dropped) = (0u64, 0u64);
         for st in set.states() {
@@ -319,6 +322,8 @@ pub fn stats_json(set: &ShardSet) -> Json {
             if let Some(e) = t.dataset_epoch() {
                 epoch = epoch.max(e);
             }
+            mutation_epoch = mutation_epoch.max(t.engine.epoch());
+            mutations_applied = mutations_applied.max(t.engine.mutations_applied());
             transcript_records += t.transcript_records();
             transcript_dropped += t.transcript_dropped();
         }
@@ -356,6 +361,8 @@ pub fn stats_json(set: &ShardSet) -> Json {
                     ]),
                 ),
                 ("sessions", Json::from(sessions)),
+                ("epoch", Json::from(mutation_epoch)),
+                ("mutations_applied", Json::from(mutations_applied)),
             ]),
         ));
     }
@@ -937,6 +944,10 @@ fn target_for(set: &ShardSet, req: &Request) -> Target {
                 .unwrap_or(0);
             Target::Shard(shard)
         }
+        // Row mutations go to the shard that owns the dataset's engine —
+        // the same ring decision that routes its sessions, so mutations
+        // and the queries they race serialize on one engine worker.
+        ["v1", "datasets", name, ..] => Target::Shard(set.ring().shard_for(name)),
         ["v1", "sessions", id, ..] | ["v1", "admin", "sessions", id, ..] => {
             match id.parse::<u64>() {
                 Ok(id) => {
@@ -1481,6 +1492,63 @@ mod tests {
         assert_eq!(status, 404);
 
         // Graceful shutdown through the aggregated admin plane.
+        let (status, _) = client::request(addr, "POST", "/v1/admin/shutdown", Some("{}")).unwrap();
+        assert_eq!(status, 202);
+        handle.join();
+    }
+
+    #[test]
+    fn mutations_route_to_the_owning_shard_and_surface_in_stats() {
+        let tenants = split_tenants(2, 1);
+        let set = demo_set(2, &tenants);
+        let handle = serve_sharded("127.0.0.1:0", set.clone(), ServeConfig::default()).unwrap();
+        let addr = handle.addr();
+
+        for name in &tenants {
+            let (status, resp) = client::request(
+                addr,
+                "POST",
+                &format!("/v1/datasets/{name}/rows"),
+                Some(r#"{"op":"insert","rows":[[2],[4]]}"#),
+            )
+            .unwrap();
+            assert_eq!(status, 200, "{resp:?}");
+            assert_eq!(resp.get("epoch").and_then(Json::as_u64), Some(1));
+
+            // Only the owner shard's engine moved; replicas stay pristine.
+            let owner = set.ring().shard_for(name);
+            for (k, st) in set.states().iter().enumerate() {
+                let expect = if k == owner { 1 } else { 0 };
+                assert_eq!(
+                    st.tenant(name).unwrap().engine.epoch(),
+                    expect,
+                    "tenant {name} epoch on shard {k}"
+                );
+            }
+        }
+        // An unknown dataset still routes (to some shard) and 404s there.
+        let (status, _) = client::request(
+            addr,
+            "POST",
+            "/v1/datasets/ghost/rows",
+            Some(r#"{"op":"insert","rows":[[1]]}"#),
+        )
+        .unwrap();
+        assert_eq!(status, 404);
+
+        // Aggregated stats report the owner's epoch, not a replica's 0.
+        let (status, stats) = client::request(addr, "GET", "/v1/stats", None).unwrap();
+        assert_eq!(status, 200);
+        for name in &tenants {
+            let d = stats.get("datasets").and_then(|d| d.get(name)).unwrap();
+            assert_eq!(d.get("epoch").and_then(Json::as_u64), Some(1), "{name}");
+            assert_eq!(
+                d.get("mutations_applied").and_then(Json::as_u64),
+                Some(1),
+                "{name}"
+            );
+        }
+
         let (status, _) = client::request(addr, "POST", "/v1/admin/shutdown", Some("{}")).unwrap();
         assert_eq!(status, 202);
         handle.join();

@@ -32,7 +32,7 @@ use std::fs::{self, File};
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 
-use crate::wal::{crc32, push_str, take_f64, take_str, take_u32, take_u64};
+use crate::wal::{crc32, push_rows, push_str, take_f64, take_rows, take_str, take_u32, take_u64};
 
 /// Snapshot file magic (format version pinned in the last byte).
 pub const SNAPSHOT_MAGIC: &[u8; 8] = b"APEXSNP1";
@@ -64,6 +64,25 @@ pub struct SessionImage {
     pub spent: f64,
 }
 
+/// One applied row mutation retained for replay. Only **resident**
+/// (in-memory) tenants need journaling here: a paged tenant's store is
+/// its own durable mutation log, and its WAL records are skipped on
+/// replay once the store epoch covers them. For resident tenants the
+/// journal is the sole durable copy, so compaction must carry every
+/// record forward — the journal grows with the tenant's mutation
+/// history (mutations are admin-plane operations, not the query path).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MutationImage {
+    /// The mutated tenant dataset.
+    pub dataset: String,
+    /// `true` for an insert batch, `false` for a delete batch.
+    pub insert: bool,
+    /// Dataset epoch after this mutation applied.
+    pub epoch_after: u64,
+    /// The requested row batch (never empty).
+    pub rows: Vec<Vec<apex_data::Value>>,
+}
+
 /// Everything a snapshot captures.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Snapshot {
@@ -78,6 +97,10 @@ pub struct Snapshot {
     /// allocated sequentially, so `next_session` is the watermark — any
     /// id below it that is not live once existed and is gone.)
     pub sessions: Vec<SessionImage>,
+    /// Resident tenants' applied-mutation journal, in apply order.
+    /// Encoded as an optional trailing section, so snapshots written
+    /// before live mutations existed still decode (as an empty journal).
+    pub mutations: Vec<MutationImage>,
 }
 
 impl Snapshot {
@@ -106,6 +129,22 @@ impl Snapshot {
             push_str(&mut out, &s.dataset);
             out.extend_from_slice(&s.allowance.to_le_bytes());
             out.extend_from_slice(&s.spent.to_le_bytes());
+        }
+        // Optional trailing section: omitted entirely when empty, so
+        // the encoding of a journal-free snapshot is unchanged from the
+        // pre-mutation format.
+        if !self.mutations.is_empty() {
+            out.extend_from_slice(
+                &u32::try_from(self.mutations.len())
+                    .expect("bounded journal")
+                    .to_le_bytes(),
+            );
+            for m in &self.mutations {
+                push_str(&mut out, &m.dataset);
+                out.push(u8::from(m.insert));
+                out.extend_from_slice(&m.epoch_after.to_le_bytes());
+                push_rows(&mut out, &m.rows);
+            }
         }
         out
     }
@@ -141,11 +180,35 @@ impl Snapshot {
             });
             rest = r;
         }
+        let mut mutations = Vec::new();
+        if !rest.is_empty() {
+            let (n, mut rest2) = take_u32(rest)?;
+            for _ in 0..n {
+                let (dataset, r) = take_str(rest2)?;
+                let (&flag, r) = r.split_first()?;
+                let insert = match flag {
+                    0 => false,
+                    1 => true,
+                    _ => return None,
+                };
+                let (epoch_after, r) = take_u64(r)?;
+                let (rows, r) = take_rows(r)?;
+                mutations.push(MutationImage {
+                    dataset,
+                    insert,
+                    epoch_after,
+                    rows,
+                });
+                rest2 = r;
+            }
+            rest = rest2;
+        }
         rest.is_empty().then_some(Snapshot {
             covered_gen,
             next_session,
             tenants,
             sessions,
+            mutations,
         })
     }
 
@@ -295,6 +358,16 @@ mod tests {
                 dataset: "adult".into(),
                 allowance: 0.25,
                 spent: 0.0625,
+            }],
+            mutations: vec![MutationImage {
+                dataset: "adult".into(),
+                insert: true,
+                epoch_after: 2,
+                rows: vec![vec![
+                    apex_data::Value::Int(5),
+                    apex_data::Value::Str("x".into()),
+                    apex_data::Value::Null,
+                ]],
             }],
         }
     }

@@ -72,7 +72,7 @@ use apex_data::{Dataset, PoolStats, StoreError};
 use apex_query::{AccuracySpec, ExplorationQuery};
 
 use crate::clock::{Clock, SystemClock};
-use crate::snapshot::{self, SessionImage, Snapshot, TenantLedger};
+use crate::snapshot::{self, MutationImage, SessionImage, Snapshot, TenantLedger};
 use crate::wal::{self, WalRecord, WalTail, WalWriter};
 
 /// Explicit poison recovery for the std locks guarding server state.
@@ -298,6 +298,14 @@ pub enum SubmitError {
     /// agreeing that nothing happened (in-memory `spent` can never run
     /// ahead of what recovery reconstructs): `500`.
     Wal(std::io::Error),
+    /// A mutation batch too large to frame as one WAL record — refused
+    /// before anything was applied: `413`.
+    BatchTooLarge {
+        /// Encoded record-payload size of the refused batch.
+        bytes: usize,
+        /// The WAL's per-record payload bound.
+        limit: usize,
+    },
 }
 
 impl std::fmt::Display for SubmitError {
@@ -305,8 +313,22 @@ impl std::fmt::Display for SubmitError {
         match self {
             SubmitError::Engine(e) => write!(f, "{e}"),
             SubmitError::Wal(e) => write!(f, "write-ahead log append failed: {e}"),
+            SubmitError::BatchTooLarge { bytes, limit } => write!(
+                f,
+                "mutation batch encodes to {bytes} bytes, above the {limit}-byte WAL record bound"
+            ),
         }
     }
+}
+
+/// What a row mutation through [`ServerState::mutate_rows`] produced.
+#[derive(Debug)]
+pub enum MutateOutcome {
+    /// The batch applied (and, with persistence, was durably logged);
+    /// the delta carries the new dataset epoch for the response.
+    Applied(apex_data::RowDelta),
+    /// No tenant of that name: `404`.
+    NoSuchDataset,
 }
 
 /// Admin-plane view of one session.
@@ -397,6 +419,15 @@ pub enum RecoverError {
         /// The error from [`SharedEngine::import_ledger`].
         source: EngineError,
     },
+    /// A journaled row mutation failed to re-apply on recovery — the
+    /// rebuilt dataset would diverge from the data every acked answer
+    /// was computed against.
+    MutationReplay {
+        /// The offending tenant.
+        tenant: String,
+        /// The error from the replayed mutation.
+        source: EngineError,
+    },
 }
 
 impl From<std::io::Error> for RecoverError {
@@ -436,6 +467,12 @@ impl std::fmt::Display for RecoverError {
             }
             RecoverError::LedgerOverflow { tenant, source } => {
                 write!(f, "recovered ledger for \"{tenant}\" is invalid: {source}")
+            }
+            RecoverError::MutationReplay { tenant, source } => {
+                write!(
+                    f,
+                    "journaled mutation for \"{tenant}\" failed to re-apply: {source}"
+                )
             }
         }
     }
@@ -687,6 +724,15 @@ pub struct ServerState {
     /// exclusive during compaction — a snapshot can never observe a
     /// charge whose WAL record would land in the next generation.
     ledger_gate: RwLock<()>,
+    /// Applied-mutation journal for **resident** tenants: the durable
+    /// copy compaction folds into every snapshot (a paged tenant's
+    /// store logs its own mutations). Apply order == epoch order,
+    /// enforced by `mutate_serial`.
+    mutation_journal: Mutex<Vec<MutationImage>>,
+    /// Serializes concurrent mutations so WAL order equals epoch order
+    /// — recovery replays records in file order and trusts
+    /// `epoch_after` to be monotonic per tenant.
+    mutate_serial: Mutex<()>,
 }
 
 impl ServerState {
@@ -893,6 +939,89 @@ impl ServerState {
         }
         self.maybe_compact();
         Ok(SubmitOutcome::Response(response))
+    }
+
+    /// Applies a row mutation (insert or delete batch) to `dataset`'s
+    /// engine, WAL-logging it **before the ack**. The engine bumps the
+    /// dataset epoch, incrementally extends its compiled artifacts, and
+    /// from that instant refuses to commit any in-flight query that
+    /// evaluated against the old epoch ([`EngineError::StaleEpoch`]) —
+    /// readers racing this call either charge against the pre-mutation
+    /// data (their commit beat the apply) or are told to re-evaluate.
+    ///
+    /// Durability: a paged tenant's store commits the batch durably
+    /// itself (mutation log + copy-on-write pages) before this method
+    /// WAL-logs it, so the crash window between apply and append loses
+    /// nothing — recovery skips the missing record by epoch. A resident
+    /// tenant's only durable copy is the WAL record plus the snapshot
+    /// journal it compacts into; the window loses an apply nobody was
+    /// acked. A *failed* append on a resident tenant leaves the live
+    /// dataset ahead of what a restart rebuilds — the 500 tells the
+    /// caller the mutation is not durable.
+    ///
+    /// # Errors
+    /// [`SubmitError::Engine`] for schema violations or empty batches
+    /// (nothing applied), [`SubmitError::BatchTooLarge`] for a batch
+    /// whose WAL record cannot be framed (nothing applied),
+    /// [`SubmitError::Wal`] when the append failed after the apply.
+    pub fn mutate_rows(
+        &self,
+        dataset: &str,
+        insert: bool,
+        rows: &[Vec<apex_data::Value>],
+    ) -> Result<MutateOutcome, SubmitError> {
+        let Some(tenant) = self.tenant(dataset) else {
+            return Ok(MutateOutcome::NoSuchDataset);
+        };
+        // Size the WAL record before touching anything: a batch whose
+        // record cannot be framed must be refused pre-apply, not after
+        // the engine already committed it.
+        let mut record = WalRecord::Mutate {
+            dataset: dataset.to_string(),
+            insert,
+            epoch_after: 0,
+            rows: rows.to_vec(),
+        };
+        let bytes = record.encode().len().saturating_sub(8);
+        if bytes > wal::MAX_PAYLOAD {
+            return Err(SubmitError::BatchTooLarge {
+                bytes,
+                limit: wal::MAX_PAYLOAD,
+            });
+        }
+        // Shared side of the ledger gate: like a charge, the mutation's
+        // WAL record must land in the generation whose snapshot covers
+        // its effect — compaction (exclusive side) can never snapshot
+        // the new epoch while pushing the record into the next
+        // generation.
+        let _gate = lockx::read(&self.ledger_gate);
+        let _serial = lockx::lock(&self.mutate_serial);
+        apex_core::sched_point!("state.mutate.enter");
+        let delta = if insert {
+            tenant.engine.insert_rows(rows)
+        } else {
+            tenant.engine.delete_rows(rows)
+        }
+        .map_err(SubmitError::Engine)?;
+        apex_core::sched_point!("state.mutate.applied");
+        if let WalRecord::Mutate { epoch_after, .. } = &mut record {
+            *epoch_after = delta.epoch;
+        }
+        let resident = tenant.engine.with_engine(|e| e.dataset_epoch().is_none());
+        self.log(record).map_err(SubmitError::Wal)?;
+        if resident && self.persist.is_some() {
+            lockx::lock(&self.mutation_journal).push(MutationImage {
+                dataset: dataset.to_string(),
+                insert,
+                epoch_after: delta.epoch,
+                rows: rows.to_vec(),
+            });
+        }
+        apex_core::sched_point!("state.mutate.logged");
+        drop(_serial);
+        drop(_gate);
+        self.maybe_compact();
+        Ok(MutateOutcome::Applied(delta))
     }
 
     /// Resolves a live session and pins it in-flight: stamps the
@@ -1322,6 +1451,10 @@ impl ServerState {
                     spent: e.session.spent(),
                 })
                 .collect(),
+            // Coherent with the engines: compaction holds the ledger
+            // gate exclusively, and every journal push happens under
+            // its shared side.
+            mutations: lockx::lock(&self.mutation_journal).clone(),
         }
     }
 }
@@ -1421,6 +1554,8 @@ impl ServerStateBuilder {
             admin_token: self.admin_token,
             persist: None,
             ledger_gate: RwLock::new(()),
+            mutation_journal: Mutex::new(Vec::new()),
+            mutate_serial: Mutex::new(()),
         }
     }
 
@@ -1522,6 +1657,13 @@ impl ServerStateBuilder {
             live.insert(s.id, s.clone());
         }
         let mut next_session = snap.next_session.max(self.session_id_base + 1);
+        let mut mutations: Vec<MutationImage> = Vec::with_capacity(snap.mutations.len());
+        for m in &snap.mutations {
+            if !registered.contains(m.dataset.as_str()) {
+                return Err(RecoverError::UnknownTenant(m.dataset.clone()));
+            }
+            mutations.push(m.clone());
+        }
 
         for record in records {
             match record {
@@ -1569,6 +1711,57 @@ impl ServerStateBuilder {
                     live.remove(&session);
                     *tenant_reclaimed.entry(dataset.clone()).or_insert(0.0) += released;
                 }
+                WalRecord::Mutate {
+                    dataset,
+                    insert,
+                    epoch_after,
+                    rows,
+                } => {
+                    if !registered.contains(dataset.as_str()) {
+                        return Err(RecoverError::UnknownTenant(dataset));
+                    }
+                    mutations.push(MutationImage {
+                        dataset,
+                        insert,
+                        epoch_after,
+                        rows,
+                    });
+                }
+            }
+        }
+
+        // 3½. Replay row mutations, oldest first (snapshot journal, then
+        // WAL records — disjoint by construction: the journal covers
+        // exactly the folded generations). The epoch gate makes replay
+        // idempotent: a paged store that already committed a record (it
+        // is the durable copy; the apply ran before the WAL append)
+        // reports an epoch at or past `epoch_after` and the record is
+        // skipped, while a resident tenant starts from its
+        // builder-supplied base at epoch 0, so every record applies —
+        // in order, through the same deterministic mutation path the
+        // live call took, reproducing the exact pre-crash rows and
+        // epoch.
+        let mut journal: Vec<MutationImage> = Vec::new();
+        for m in mutations {
+            let tenant = self
+                .tenants
+                .iter()
+                .find(|(n, _)| *n == m.dataset)
+                .map(|(_, t)| t)
+                .expect("validated above");
+            if m.epoch_after > tenant.engine.epoch() {
+                let result = if m.insert {
+                    tenant.engine.insert_rows(&m.rows)
+                } else {
+                    tenant.engine.delete_rows(&m.rows)
+                };
+                result.map_err(|source| RecoverError::MutationReplay {
+                    tenant: m.dataset.clone(),
+                    source,
+                })?;
+            }
+            if tenant.engine.with_engine(|e| e.dataset_epoch().is_none()) {
+                journal.push(m);
             }
         }
 
@@ -1645,6 +1838,8 @@ impl ServerStateBuilder {
                 fail_appends: AtomicU64::new(0),
             }),
             ledger_gate: RwLock::new(()),
+            mutation_journal: Mutex::new(journal),
+            mutate_serial: Mutex::new(()),
         };
         // 7. Fold everything just replayed into a fresh snapshot, so the
         // next crash replays from here, not from the beginning of time.
@@ -2009,6 +2204,111 @@ mod tests {
     }
 
     #[test]
+    fn mutations_on_resident_tenants_recover_across_restart_and_compaction() {
+        let dir = temp_dir("mutrec");
+        let acc = AccuracySpec::new(25.0, 0.05).unwrap();
+        let mk = || ServerState::builder(8).dataset("a", tiny_dataset(), EngineConfig::default());
+        let opts = || PersistOptions {
+            sync: false,
+            snapshot_every: 2, // force the journal through a snapshot
+            ..PersistOptions::new(&dir)
+        };
+
+        let (epoch, applied, rows, spent) = {
+            let (state, _) = mk().build_recovered(opts()).unwrap();
+            match state
+                .mutate_rows("a", true, &[vec![Value::Int(3)], vec![Value::Int(5)]])
+                .unwrap()
+            {
+                MutateOutcome::Applied(d) => {
+                    assert_eq!(d.inserted.len(), 2);
+                    assert_eq!(d.epoch, 1);
+                }
+                other => panic!("expected Applied, got {other:?}"),
+            }
+            // One real match, one silent no-op: the epoch still bumps,
+            // so replay must reproduce the no-op too.
+            match state
+                .mutate_rows("a", false, &[vec![Value::Int(6)], vec![Value::Int(6)]])
+                .unwrap()
+            {
+                MutateOutcome::Applied(d) => {
+                    assert_eq!(d.deleted.len(), 1);
+                    assert_eq!(d.epoch, 2);
+                }
+                other => panic!("expected Applied, got {other:?}"),
+            }
+            // Interleave queries so compaction runs with the journal live.
+            let id = state.create_session("a", 0.9).unwrap().unwrap();
+            for _ in 0..6 {
+                state.submit(id, &histogram(), &acc).unwrap();
+            }
+            let t = state.tenant("a").unwrap();
+            (
+                t.engine.epoch(),
+                t.engine.mutations_applied(),
+                t.engine.with_engine(|e| e.dataset_scan_rows()),
+                t.engine.spent(),
+            )
+        };
+        assert_eq!((epoch, applied), (2, 2));
+        assert_eq!(rows, 8 + 2 - 1);
+
+        let (state, _) = mk().build_recovered(opts()).unwrap();
+        let t = state.tenant("a").unwrap();
+        assert_eq!(t.engine.epoch(), epoch, "replayed epoch diverged");
+        assert_eq!(t.engine.mutations_applied(), applied);
+        assert_eq!(t.engine.with_engine(|e| e.dataset_scan_rows()), rows);
+        assert!((t.engine.spent() - spent).abs() < 1e-9);
+        // Mutating an unknown tenant reports, never errors.
+        assert!(matches!(
+            state.mutate_rows("ghost", true, &[vec![Value::Int(1)]]),
+            Ok(MutateOutcome::NoSuchDataset)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_mutation_append_surfaces_and_the_writer_heals() {
+        let dir = temp_dir("mutfault");
+        let mk = || ServerState::builder(8).dataset("a", tiny_dataset(), EngineConfig::default());
+        let opts = || PersistOptions {
+            sync: false,
+            ..PersistOptions::new(&dir)
+        };
+        let (state, _) = mk().build_recovered(opts()).unwrap();
+
+        // Apply-then-log: the injected append failure surfaces as a WAL
+        // error (the client sees 500, no ack), with the live engine one
+        // epoch ahead of disk until restart — the documented window.
+        state.inject_wal_faults(1);
+        match state.mutate_rows("a", true, &[vec![Value::Int(1)]]) {
+            Err(SubmitError::Wal(_)) => {}
+            other => panic!("injected fault must surface as a WAL error, got {other:?}"),
+        }
+        assert_eq!(state.tenant("a").unwrap().engine.epoch(), 1);
+
+        // The writer healed: the next mutation is acked and durable.
+        match state
+            .mutate_rows("a", true, &[vec![Value::Int(2)]])
+            .unwrap()
+        {
+            MutateOutcome::Applied(d) => assert_eq!(d.epoch, 2),
+            other => panic!("expected Applied, got {other:?}"),
+        }
+        drop(state);
+
+        // Recovery replays only acked mutations; the un-acked epoch-1
+        // batch is gone, and the acked epoch-2 batch (journaled with its
+        // pre-crash epoch) re-applies through the epoch gate.
+        let (state, _) = mk().build_recovered(opts()).unwrap();
+        let t = state.tenant("a").unwrap();
+        assert_eq!(t.engine.mutations_applied(), 1, "only the acked batch");
+        assert_eq!(t.engine.with_engine(|e| e.dataset_scan_rows()), 9);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn compaction_folds_the_wal_and_recovery_agrees() {
         let dir = temp_dir("compact");
         let acc = AccuracySpec::new(25.0, 0.05).unwrap();
@@ -2230,6 +2530,7 @@ mod tests {
                 reclaimed: 0.0,
             }],
             sessions: vec![],
+            mutations: vec![],
         };
         snapshot::write_snapshot(&dir, &snap).unwrap();
         let mk = || ServerState::builder(8).dataset("a", tiny_dataset(), EngineConfig::default());

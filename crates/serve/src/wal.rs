@@ -20,7 +20,10 @@
 //!
 //! Tags: 1 = session open, 2 = budget debit (an answered query),
 //! 3 = deny (audit only — charges nothing), 4 = session close
-//! (TTL expiry or admin, carrying the released unspent slice).
+//! (TTL expiry or admin, carrying the released unspent slice),
+//! 5 = row mutation (an applied insert/delete batch with the rows and
+//! the dataset epoch it produced — replayable against in-memory
+//! tenants, idempotent against durable ones).
 //!
 //! ## Tail discipline
 //!
@@ -44,7 +47,7 @@ pub const WAL_MAGIC: &[u8; 8] = b"APEXWAL1";
 /// Upper bound on a record payload; a declared length beyond this is
 /// corruption (no legitimate record comes close — it bounds allocation
 /// when a length prefix is damaged).
-const MAX_PAYLOAD: usize = 64 << 10;
+pub(crate) const MAX_PAYLOAD: usize = 64 << 10;
 
 /// One logged event.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,6 +83,25 @@ pub enum WalRecord {
         /// Unspent allowance released back to the grant pool.
         released: f64,
     },
+    /// A row mutation was applied to `dataset`'s engine. Logged (and
+    /// synced) before the mutation is acked, carrying the **requested**
+    /// batch — replay runs it through the same mutation path, which is
+    /// deterministic (first-match-in-storage-order deletes), so the
+    /// recovered delta and epoch are bit-identical to the original.
+    /// Recovery re-applies it to in-memory tenants; durable (paged)
+    /// tenants committed it themselves, so the replay is made
+    /// idempotent by `epoch_after`: a record whose epoch the store has
+    /// already reached is skipped.
+    Mutate {
+        /// The mutated tenant dataset.
+        dataset: String,
+        /// `true` for an insert batch, `false` for a delete batch.
+        insert: bool,
+        /// Dataset epoch after this mutation applied.
+        epoch_after: u64,
+        /// The requested row batch (never empty).
+        rows: Vec<Vec<apex_data::Value>>,
+    },
 }
 
 impl WalRecord {
@@ -110,6 +132,18 @@ impl WalRecord {
                 out.push(4);
                 out.extend_from_slice(&session.to_le_bytes());
                 out.extend_from_slice(&released.to_le_bytes());
+            }
+            WalRecord::Mutate {
+                dataset,
+                insert,
+                epoch_after,
+                rows,
+            } => {
+                out.push(5);
+                out.push(u8::from(*insert));
+                out.extend_from_slice(&epoch_after.to_le_bytes());
+                push_str(&mut out, dataset);
+                push_rows(&mut out, rows);
             }
         }
         out
@@ -146,6 +180,23 @@ impl WalRecord {
                 let (released, rest) = take_f64(rest)?;
                 rest.is_empty()
                     .then_some(WalRecord::Close { session, released })
+            }
+            5 => {
+                let (&flag, rest) = rest.split_first()?;
+                let insert = match flag {
+                    0 => false,
+                    1 => true,
+                    _ => return None,
+                };
+                let (epoch_after, rest) = take_u64(rest)?;
+                let (dataset, rest) = take_str(rest)?;
+                let (rows, rest) = take_rows(rest)?;
+                rest.is_empty().then_some(WalRecord::Mutate {
+                    dataset,
+                    insert,
+                    epoch_after,
+                    rows,
+                })
             }
             _ => None,
         }
@@ -201,6 +252,103 @@ pub(crate) fn take_str(b: &[u8]) -> Option<(String, &[u8])> {
     let (len, rest) = take_u16(b)?;
     let (head, rest) = rest.split_at_checked(len as usize)?;
     Some((std::str::from_utf8(head).ok()?.to_string(), rest))
+}
+
+/// Row-batch framing for mutation records (and the snapshot's mutation
+/// journal): `count:u32`, then per row `arity:u16` + tagged values.
+pub(crate) fn push_rows(out: &mut Vec<u8>, rows: &[Vec<apex_data::Value>]) {
+    let n = u32::try_from(rows.len()).expect("bounded batch");
+    out.extend_from_slice(&n.to_le_bytes());
+    for row in rows {
+        let arity = u16::try_from(row.len()).expect("narrow rows");
+        out.extend_from_slice(&arity.to_le_bytes());
+        for v in row {
+            push_value(out, v);
+        }
+    }
+}
+
+/// The decode half of [`push_rows`]; `None` on structural mismatch.
+pub(crate) fn take_rows(b: &[u8]) -> Option<(Vec<Vec<apex_data::Value>>, &[u8])> {
+    let (n, mut rest) = take_u32(b)?;
+    // A declared count that cannot fit in the payload is a damaged
+    // field — refuse before allocating on it.
+    if n as usize > rest.len() / 2 {
+        return None;
+    }
+    let mut rows = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let (arity, mut r) = take_u16(rest)?;
+        if arity as usize > r.len() {
+            return None;
+        }
+        let mut row = Vec::with_capacity(arity as usize);
+        for _ in 0..arity {
+            let (v, r2) = take_value(r)?;
+            row.push(v);
+            r = r2;
+        }
+        rows.push(row);
+        rest = r;
+    }
+    Some((rows, rest))
+}
+
+/// Tagged cell-value framing for mutation records: `tag:u8` then the
+/// value (Int/Float = 8 LE bytes, Bool = 1 byte, Str = [`push_str`]
+/// framing, Null = nothing).
+fn push_value(out: &mut Vec<u8>, v: &apex_data::Value) {
+    match v {
+        apex_data::Value::Int(i) => {
+            out.push(1);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        apex_data::Value::Float(f) => {
+            out.push(2);
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        apex_data::Value::Str(s) => {
+            out.push(3);
+            push_str(out, s);
+        }
+        apex_data::Value::Bool(b) => {
+            out.push(4);
+            out.push(u8::from(*b));
+        }
+        apex_data::Value::Null => out.push(5),
+    }
+}
+
+/// The decode half of [`push_value`]; `None` on any structural mismatch.
+fn take_value(b: &[u8]) -> Option<(apex_data::Value, &[u8])> {
+    let (&tag, rest) = b.split_first()?;
+    match tag {
+        1 => {
+            let (head, rest) = rest.split_at_checked(8)?;
+            Some((
+                apex_data::Value::Int(i64::from_le_bytes(head.try_into().ok()?)),
+                rest,
+            ))
+        }
+        2 => {
+            let (f, rest) = take_f64(rest)?;
+            Some((apex_data::Value::Float(f), rest))
+        }
+        3 => {
+            let (s, rest) = take_str(rest)?;
+            Some((apex_data::Value::Str(s), rest))
+        }
+        4 => {
+            let (&flag, rest) = rest.split_first()?;
+            match flag {
+                0 => Some((apex_data::Value::Bool(false), rest)),
+                1 => Some((apex_data::Value::Bool(true), rest)),
+                _ => None,
+            }
+        }
+        5 => Some((apex_data::Value::Null, rest)),
+        _ => None,
+    }
 }
 
 /// IEEE CRC-32 (the zlib/PNG polynomial), table-driven, std-only.
@@ -504,6 +652,29 @@ mod tests {
             WalRecord::Close {
                 session: 1,
                 released: 0.1875,
+            },
+            WalRecord::Mutate {
+                dataset: "adult".into(),
+                insert: true,
+                epoch_after: 3,
+                rows: vec![
+                    vec![
+                        apex_data::Value::Int(41),
+                        apex_data::Value::Float(2.5),
+                        apex_data::Value::Str("clerk".into()),
+                    ],
+                    vec![
+                        apex_data::Value::Bool(true),
+                        apex_data::Value::Null,
+                        apex_data::Value::Int(-7),
+                    ],
+                ],
+            },
+            WalRecord::Mutate {
+                dataset: "taxi".into(),
+                insert: false,
+                epoch_after: 9,
+                rows: vec![vec![apex_data::Value::Int(2)]],
             },
         ]
     }

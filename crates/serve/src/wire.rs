@@ -83,6 +83,103 @@ pub fn parse_query_request(body: &Json) -> Result<(ExplorationQuery, AccuracySpe
     Ok((parsed.query, accuracy))
 }
 
+/// A decoded `POST /v1/datasets/{name}/rows` body.
+#[derive(Debug, Clone)]
+pub struct MutateRequest {
+    /// `true` for an insert batch, `false` for a delete batch.
+    pub insert: bool,
+    /// The requested rows, decoded into engine values.
+    pub rows: Vec<Vec<apex_data::Value>>,
+}
+
+/// Decodes one JSON cell into an engine [`apex_data::Value`].
+///
+/// Numbers with no fractional part that fit `i64` become `Int`; all other
+/// finite numbers become `Float`. This matches the ingest path's notion
+/// of an integer column, so mutations land in the same domain as loads.
+fn parse_value(cell: &Json) -> Result<apex_data::Value, String> {
+    Ok(match cell {
+        Json::Null => apex_data::Value::Null,
+        Json::Bool(b) => apex_data::Value::Bool(*b),
+        Json::Str(s) => apex_data::Value::Str(s.clone()),
+        Json::Num(n) => {
+            if !n.is_finite() {
+                return Err("non-finite number in row".to_string());
+            }
+            if n.fract() == 0.0 && (i64::MIN as f64..=i64::MAX as f64).contains(n) {
+                apex_data::Value::Int(*n as i64)
+            } else {
+                apex_data::Value::Float(*n)
+            }
+        }
+        Json::Arr(_) | Json::Obj(_) => {
+            return Err("row cells must be scalars (number, string, bool, null)".to_string())
+        }
+    })
+}
+
+/// Decodes a mutation body.
+///
+/// ```json
+/// {"op": "insert", "rows": [[39, "State-gov", 13], [50, "Private", 9]]}
+/// ```
+///
+/// # Errors
+/// A human-readable message naming the offending field; an empty batch
+/// or an empty row is refused here so the engine never sees one.
+pub fn parse_mutate_rows(body: &Json) -> Result<MutateRequest, String> {
+    let insert = match body.get("op").and_then(Json::as_str) {
+        Some("insert") => true,
+        Some("delete") => false,
+        Some(other) => {
+            return Err(format!(
+                "\"op\" must be \"insert\" or \"delete\", got \"{other}\""
+            ))
+        }
+        None => return Err("missing string field \"op\" (\"insert\" or \"delete\")".to_string()),
+    };
+    let rows_json = body
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("missing array field \"rows\"")?;
+    if rows_json.is_empty() {
+        return Err("\"rows\" must be a non-empty array of rows".to_string());
+    }
+    let mut rows = Vec::with_capacity(rows_json.len());
+    for (i, row) in rows_json.iter().enumerate() {
+        let cells = row
+            .as_arr()
+            .ok_or_else(|| format!("row {i} is not an array"))?;
+        if cells.is_empty() {
+            return Err(format!("row {i} is empty"));
+        }
+        let mut decoded = Vec::with_capacity(cells.len());
+        for cell in cells {
+            decoded.push(parse_value(cell).map_err(|e| format!("row {i}: {e}"))?);
+        }
+        rows.push(decoded);
+    }
+    Ok(MutateRequest { insert, rows })
+}
+
+/// The `POST /v1/datasets/{name}/rows` success body: what was applied
+/// and where the dataset's epoch landed.
+pub fn mutation_json(
+    dataset: &str,
+    insert: bool,
+    delta: &apex_data::RowDelta,
+    mutations_applied: u64,
+) -> Json {
+    Json::obj(vec![
+        ("dataset", Json::from(dataset)),
+        ("op", Json::from(if insert { "insert" } else { "delete" })),
+        ("inserted", Json::from(delta.inserted.len() as u64)),
+        ("deleted", Json::from(delta.deleted.len() as u64)),
+        ("epoch", Json::from(delta.epoch)),
+        ("mutations_applied", Json::from(mutations_applied)),
+    ])
+}
+
 fn answer_json(answer: &QueryAnswer) -> Json {
     match answer {
         QueryAnswer::Counts(counts) => Json::obj(vec![(
@@ -234,6 +331,58 @@ mod tests {
         assert!(parse_query_request(&body).is_err());
         let body = json::parse(r#"{}"#).unwrap();
         assert!(parse_query_request(&body).is_err());
+    }
+
+    #[test]
+    fn mutate_bodies_decode_and_validate() {
+        let body = json::parse(
+            r#"{"op":"insert","rows":[[39,"State-gov",13.5,true,null],[50,"Private",9,false,null]]}"#,
+        )
+        .unwrap();
+        let m = parse_mutate_rows(&body).unwrap();
+        assert!(m.insert);
+        assert_eq!(m.rows.len(), 2);
+        assert_eq!(
+            m.rows[0],
+            vec![
+                apex_data::Value::Int(39),
+                apex_data::Value::Str("State-gov".into()),
+                apex_data::Value::Float(13.5),
+                apex_data::Value::Bool(true),
+                apex_data::Value::Null,
+            ]
+        );
+        let del = json::parse(r#"{"op":"delete","rows":[[1]]}"#).unwrap();
+        assert!(!parse_mutate_rows(&del).unwrap().insert);
+        for bad in [
+            r#"{"rows":[[1]]}"#,
+            r#"{"op":"upsert","rows":[[1]]}"#,
+            r#"{"op":"insert"}"#,
+            r#"{"op":"insert","rows":[]}"#,
+            r#"{"op":"insert","rows":[[]]}"#,
+            r#"{"op":"insert","rows":[3]}"#,
+            r#"{"op":"insert","rows":[[[1]]]}"#,
+        ] {
+            assert!(
+                parse_mutate_rows(&json::parse(bad).unwrap()).is_err(),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn mutation_responses_report_the_delta() {
+        let delta = apex_data::RowDelta {
+            inserted: vec![vec![apex_data::Value::Int(1)]],
+            deleted: vec![],
+            epoch: 7,
+        };
+        let body = mutation_json("adult", true, &delta, 4).render();
+        assert!(body.contains("\"op\":\"insert\""), "{body}");
+        assert!(body.contains("\"inserted\":1"), "{body}");
+        assert!(body.contains("\"deleted\":0"), "{body}");
+        assert!(body.contains("\"epoch\":7"), "{body}");
+        assert!(body.contains("\"mutations_applied\":4"), "{body}");
     }
 
     #[test]

@@ -12,14 +12,21 @@
 //!   *would* verify as a page — is never served;
 //! - reopen-after-kill round-trips exactly the committed state, for both
 //!   row stores and transcript logs (unflushed tail records are lost,
-//!   flushed ones survive, corruption in either is detected).
+//!   flushed ones survive, corruption in either is detected);
+//! - **every** single-bit flip and **every** byte-truncation of the
+//!   mutation log stops replay at the last valid record — never a wrong
+//!   or reordered record — and the full store open path re-applies
+//!   exactly that valid acked prefix.
 //!
 //! The exhaustive page sweep runs in memory against `page::verify` (the
 //! same routine every disk read goes through); a strided sweep then
 //! flips bits in the actual file and asserts the full `open`+scan path
 //! reports them, so the two layers can't drift apart.
 
-use apex_data::store::{page, Manifest, PageLog, PagedRows, PAGE_CAPACITY, PAGE_SIZE};
+use apex_data::store::{
+    page, Manifest, MutationLog, MutationOp, MutationRecord, PageLog, PagedRows, MUTATION_LOG_FILE,
+    PAGE_CAPACITY, PAGE_SIZE,
+};
 use apex_data::{Attribute, Domain, Schema, StoreError, Value};
 use std::path::{Path, PathBuf};
 
@@ -245,6 +252,186 @@ fn reopen_after_kill_round_trips_the_committed_state() {
         assert_eq!(store.materialize().unwrap(), rows);
     }
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Byte ranges of the consecutive records in a pristine mutation log.
+fn record_spans(bytes: &[u8]) -> Vec<std::ops::Range<usize>> {
+    let mut spans = Vec::new();
+    let mut off = 0usize;
+    while let Some((_, used)) = MutationRecord::decode(&bytes[off..]) {
+        spans.push(off..off + used);
+        off += used;
+    }
+    assert_eq!(off, bytes.len(), "the pristine log must parse completely");
+    spans
+}
+
+/// A three-record mutation log (insert, delete, insert) plus its byte
+/// image, span table, and the records a clean replay yields.
+fn seeded_mutation_log(
+    dir: &Path,
+) -> (
+    PathBuf,
+    Vec<u8>,
+    Vec<std::ops::Range<usize>>,
+    Vec<MutationRecord>,
+) {
+    let mut log = MutationLog::open(dir).unwrap();
+    log.append(MutationOp::Insert, demo_rows(2)).unwrap();
+    log.append(MutationOp::Delete, demo_rows(1)).unwrap();
+    log.append(
+        MutationOp::Insert,
+        vec![vec![Value::Int(9), Value::Str("tail".to_string())]],
+    )
+    .unwrap();
+    drop(log);
+    let path = dir.join(MUTATION_LOG_FILE);
+    let pristine = std::fs::read(&path).unwrap();
+    let spans = record_spans(&pristine);
+    assert_eq!(spans.len(), 3);
+    let mut records = Vec::new();
+    assert_eq!(MutationLog::replay(dir, |r| records.push(r)).unwrap(), 3);
+    (path, pristine, spans, records)
+}
+
+#[test]
+fn every_single_bit_flip_of_the_mutation_log_stops_replay_at_the_last_valid_record() {
+    // Replay must never yield a record whose bytes changed, and must never
+    // resynchronize past one: a flip inside record i cuts the log to the
+    // first i records, byte-identical to the pristine prefix.
+    let dir = tmp_dir("mlog-flip");
+    let (path, pristine, spans, clean) = seeded_mutation_log(&dir);
+
+    for bit in 0..pristine.len() * 8 {
+        let mut bytes = pristine.clone();
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        std::fs::write(&path, &bytes).unwrap();
+        let hit = spans
+            .iter()
+            .position(|s| s.contains(&(bit / 8)))
+            .expect("every byte belongs to a record");
+        let mut replayed = Vec::new();
+        let n = MutationLog::replay(&dir, |r| replayed.push(r)).unwrap();
+        assert_eq!(
+            n as usize, hit,
+            "log bit flip at offset {bit} (record {hit}) replayed {n} records"
+        );
+        assert_eq!(
+            replayed,
+            clean[..hit],
+            "log bit flip at offset {bit} altered a replayed record"
+        );
+    }
+    std::fs::write(&path, &pristine).unwrap();
+    assert_eq!(MutationLog::replay(&dir, |_| {}).unwrap(), 3);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn every_byte_truncation_of_the_mutation_log_replays_only_whole_records() {
+    let dir = tmp_dir("mlog-trunc");
+    let (path, pristine, spans, clean) = seeded_mutation_log(&dir);
+
+    for len in 0..pristine.len() {
+        std::fs::write(&path, &pristine[..len]).unwrap();
+        let whole = spans.iter().filter(|s| s.end <= len).count();
+        let mut replayed = Vec::new();
+        let n = MutationLog::replay(&dir, |r| replayed.push(r)).unwrap();
+        assert_eq!(
+            n as usize, whole,
+            "log truncated to {len} bytes replayed {n} records"
+        );
+        assert_eq!(replayed, clean[..whole]);
+
+        // `open` heals the tear: the file is cut back to the last whole
+        // record and the next append continues at that sequence number.
+        let boundary = spans[..whole].last().map(|s| s.end).unwrap_or(0);
+        let log = MutationLog::open(&dir).unwrap();
+        assert_eq!(log.next_seq() as usize, whole);
+        drop(log);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), boundary as u64);
+    }
+    std::fs::write(&path, &pristine).unwrap();
+    assert_eq!(MutationLog::replay(&dir, |_| {}).unwrap(), 3);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Recursively copies `src` into a fresh `dst`.
+fn copy_dir(src: &Path, dst: &Path) {
+    let _ = std::fs::remove_dir_all(dst);
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        let to = dst.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_dir(&entry.path(), &to);
+        } else {
+            std::fs::copy(entry.path(), &to).unwrap();
+        }
+    }
+}
+
+#[test]
+fn a_corrupt_acked_mutation_stops_store_replay_at_the_last_valid_record() {
+    // The crash window the log exists for: mutations acked (fsynced in the
+    // log) but not yet folded into the pages. If the log then corrupts,
+    // `PagedRows::open` must re-apply exactly the valid prefix — never a
+    // damaged record, never rows from beyond the first bad byte.
+    let dir = tmp_dir("mlog-store");
+    let base = demo_rows(64);
+    drop(ingest(&dir, &base));
+    let extra: Vec<Vec<Value>> = (0..2)
+        .map(|i| vec![Value::Int(100 + i), Value::Str(format!("extra-{i}"))])
+        .collect();
+    let mut log = MutationLog::open(&dir).unwrap();
+    log.append(MutationOp::Insert, vec![extra[0].clone()])
+        .unwrap();
+    log.append(MutationOp::Insert, vec![extra[1].clone()])
+        .unwrap();
+    drop(log);
+    let log_path = dir.join(MUTATION_LOG_FILE);
+    let pristine_log = std::fs::read(&log_path).unwrap();
+    let spans = record_spans(&pristine_log);
+    assert_eq!(spans.len(), 2);
+
+    // `open` commits whatever it replays, so every flip must start from
+    // the same acked-but-unapplied on-disk state: snapshot and restore.
+    let snap = tmp_dir("mlog-store-snap");
+    copy_dir(&dir, &snap);
+
+    for bit in (0..pristine_log.len() * 8).step_by(13) {
+        copy_dir(&snap, &dir);
+        let mut bytes = pristine_log.clone();
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        std::fs::write(&log_path, &bytes).unwrap();
+        let hit = spans
+            .iter()
+            .position(|s| s.contains(&(bit / 8)))
+            .expect("every byte belongs to a record");
+        let store = PagedRows::open(&dir, 4).unwrap();
+        assert_eq!(
+            store.mutations_applied() as usize,
+            hit,
+            "log bit flip at offset {bit} changed how many records applied"
+        );
+        let mut want = base.clone();
+        want.extend(extra[..hit].iter().cloned());
+        assert_eq!(
+            store.materialize().unwrap(),
+            want,
+            "log bit flip at offset {bit} leaked into the served rows"
+        );
+    }
+
+    // The unflipped log replays both records exactly once.
+    copy_dir(&snap, &dir);
+    let store = PagedRows::open(&dir, 4).unwrap();
+    assert_eq!(store.mutations_applied(), 2);
+    let mut want = base.clone();
+    want.extend(extra.iter().cloned());
+    assert_eq!(store.materialize().unwrap(), want);
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&snap).unwrap();
 }
 
 #[test]
